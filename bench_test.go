@@ -1,0 +1,159 @@
+package balls
+
+// The benchmark harness: one benchmark per paper figure (BenchmarkFig01…
+// BenchmarkFig18), benchmarks for the validation/ablation experiments,
+// and micro-benchmarks for the allocation hot path.
+//
+// Figure benchmarks execute the full experiment pipeline at a reduced
+// problem scale (the per-iteration cost must stay in milliseconds for
+// `go test -bench`); to regenerate a figure at paper scale use
+// `go run ./cmd/bnbfig -fig figNN`. The point of benching every figure is
+// (a) a regression fence around the experiment pipeline and (b) a
+// one-command demonstration that every figure's code path runs.
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// benchParams keeps per-iteration cost low while exercising the entire
+// experiment code path.
+func benchParams() experiments.Params {
+	return experiments.Params{Reps: 3, Seed: 1, Scale: 0.02, Workers: 1}
+}
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := experiments.Get(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := benchParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tabs, err := e.Run(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tabs) == 0 {
+			b.Fatal("no tables")
+		}
+	}
+}
+
+func BenchmarkFig01(b *testing.B) { benchExperiment(b, "fig01") }
+func BenchmarkFig02(b *testing.B) { benchExperiment(b, "fig02") }
+func BenchmarkFig03(b *testing.B) { benchExperiment(b, "fig03") }
+func BenchmarkFig04(b *testing.B) { benchExperiment(b, "fig04") }
+func BenchmarkFig05(b *testing.B) { benchExperiment(b, "fig05") }
+func BenchmarkFig06(b *testing.B) { benchExperiment(b, "fig06") }
+func BenchmarkFig07(b *testing.B) { benchExperiment(b, "fig07") }
+func BenchmarkFig08(b *testing.B) { benchExperiment(b, "fig08") }
+func BenchmarkFig09(b *testing.B) { benchExperiment(b, "fig09") }
+func BenchmarkFig10(b *testing.B) { benchExperiment(b, "fig10") }
+func BenchmarkFig11(b *testing.B) { benchExperiment(b, "fig11") }
+func BenchmarkFig12(b *testing.B) { benchExperiment(b, "fig12") }
+func BenchmarkFig13(b *testing.B) { benchExperiment(b, "fig13") }
+func BenchmarkFig14(b *testing.B) { benchExperiment(b, "fig14") }
+func BenchmarkFig15(b *testing.B) { benchExperiment(b, "fig15") }
+func BenchmarkFig16(b *testing.B) { benchExperiment(b, "fig16") }
+func BenchmarkFig17(b *testing.B) { benchExperiment(b, "fig17") }
+func BenchmarkFig18(b *testing.B) { benchExperiment(b, "fig18") }
+
+func BenchmarkValidateObs1(b *testing.B)   { benchExperiment(b, "obs1") }
+func BenchmarkValidateThm3(b *testing.B)   { benchExperiment(b, "thm3") }
+func BenchmarkValidateThm5(b *testing.B)   { benchExperiment(b, "thm5") }
+func BenchmarkValidateLemma1(b *testing.B) { benchExperiment(b, "lemma1") }
+func BenchmarkLemma1Coupling(b *testing.B) { benchExperiment(b, "lemma1-coupling") }
+
+func BenchmarkAblationTieBreak(b *testing.B) { benchExperiment(b, "ablation-tiebreak") }
+func BenchmarkAblationDist(b *testing.B)     { benchExperiment(b, "ablation-dist") }
+func BenchmarkExtOnePlusBeta(b *testing.B)   { benchExperiment(b, "ext-oneplusbeta") }
+func BenchmarkExtHeights(b *testing.B)       { benchExperiment(b, "ext-heights") }
+func BenchmarkExtBatch(b *testing.B)         { benchExperiment(b, "ext-batch") }
+func BenchmarkExtHeavyHet(b *testing.B)      { benchExperiment(b, "ext-heavyhet") }
+func BenchmarkExtMigration(b *testing.B)     { benchExperiment(b, "ext-migration") }
+func BenchmarkExtWieder(b *testing.B)        { benchExperiment(b, "ext-wieder") }
+func BenchmarkExtFairness(b *testing.B)      { benchExperiment(b, "ext-fairness") }
+func BenchmarkExtCluster(b *testing.B)       { benchExperiment(b, "ext-cluster") }
+func BenchmarkExtTune(b *testing.B)          { benchExperiment(b, "ext-tune") }
+
+// --- hot-path micro-benchmarks -----------------------------------------
+
+// benchSystem builds a mixed 1/10 array, the configuration where
+// Algorithm 1's full tie-break logic is exercised.
+func benchSystem(b *testing.B, p Protocol) *System {
+	b.Helper()
+	sys, err := NewSystem(CapacitiesTwoClass(5000, 1, 5000, 10),
+		WithProtocol(p), WithSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sys
+}
+
+func BenchmarkPlaceGreedyD2(b *testing.B) {
+	sys := benchSystem(b, Greedy(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Place()
+	}
+}
+
+func BenchmarkPlaceGreedyD4(b *testing.B) {
+	sys := benchSystem(b, Greedy(4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Place()
+	}
+}
+
+func BenchmarkPlaceStandardD2(b *testing.B) {
+	sys := benchSystem(b, StandardDChoice(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Place()
+	}
+}
+
+func BenchmarkPlaceSingle(b *testing.B) {
+	sys := benchSystem(b, SingleChoice())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Place()
+	}
+}
+
+func BenchmarkPlaceGoLeftD2(b *testing.B) {
+	sys := benchSystem(b, AlwaysGoLeft(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Place()
+	}
+}
+
+func BenchmarkSimulateSmall(b *testing.B) {
+	cfg := SimConfig{
+		Capacities: CapacitiesTwoClass(500, 1, 500, 10),
+		Reps:       10,
+		Seed:       1,
+		Workers:    1,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNewSystem(b *testing.B) {
+	caps := CapacitiesTwoClass(5000, 1, 5000, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewSystem(caps); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

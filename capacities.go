@@ -1,0 +1,72 @@
+package balls
+
+import (
+	"repro/internal/bins"
+	"repro/internal/xrand"
+)
+
+// CapacitiesUniform returns n capacities of value c (n >= 1, c >= 1; a
+// panic-free builder — invalid inputs surface in NewSystem).
+func CapacitiesUniform(n int, c int64) []int64 {
+	caps := make([]int64, n)
+	for i := range caps {
+		caps[i] = c
+	}
+	return caps
+}
+
+// CapacitiesTwoClass returns nSmall bins of capacity cSmall followed by
+// nLarge bins of capacity cLarge — the paper's §4.2 mixed arrays.
+func CapacitiesTwoClass(nSmall int, cSmall int64, nLarge int, cLarge int64) []int64 {
+	caps := make([]int64, 0, nSmall+nLarge)
+	for i := 0; i < nSmall; i++ {
+		caps = append(caps, cSmall)
+	}
+	for i := 0; i < nLarge; i++ {
+		caps = append(caps, cLarge)
+	}
+	return caps
+}
+
+// CapacitiesRandomBinomial returns n capacities drawn as 1+Bin(7,(c-1)/7)
+// (the paper's §4.2 randomised generator; c in [1,8]) using the given
+// seed. The expected total capacity is c·n.
+func CapacitiesRandomBinomial(n int, c float64, seed uint64) ([]int64, error) {
+	a, err := bins.RandomBinomial(n, c, xrand.New(seed))
+	if err != nil {
+		return nil, err
+	}
+	return a.Capacities(), nil
+}
+
+// CapacitiesLinearGrowth models the §4.3 linear scale-out: the system
+// starts with firstCount disks of capacity `start` and grows in batches
+// of batchSize disks, each generation's capacity larger by `a`, until
+// totalBins disks exist.
+func CapacitiesLinearGrowth(firstCount, batchSize, totalBins int, start, a int64) ([]int64, error) {
+	arr, err := bins.Generations(bins.LinearBatches(firstCount, batchSize, totalBins, start, a))
+	if err != nil {
+		return nil, err
+	}
+	return arr.Capacities(), nil
+}
+
+// CapacitiesExponentialGrowth models the §4.3 exponential scale-out:
+// generation i has capacity round(start·b^i) (at least 1).
+func CapacitiesExponentialGrowth(firstCount, batchSize, totalBins int, start, b float64) ([]int64, error) {
+	arr, err := bins.Generations(bins.ExponentialBatches(firstCount, batchSize, totalBins, start, b))
+	if err != nil {
+		return nil, err
+	}
+	return arr.Capacities(), nil
+}
+
+// ParseCapacitySpec parses "COUNTxCAP[+COUNTxCAP...]" (e.g.
+// "5000x1+5000x8") into a capacity vector.
+func ParseCapacitySpec(spec string) ([]int64, error) {
+	a, err := bins.ParseSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	return a.Capacities(), nil
+}

@@ -1,0 +1,137 @@
+// Command bnbcluster runs the discrete-time queueing cluster simulator:
+// a request stream dispatched onto heterogeneous servers with a
+// balls-into-bins policy (Algorithm 1 by default).
+//
+// Examples:
+//
+//	bnbcluster -spec 8x1+2x10 -arrivals 21 -ticks 2000
+//	bnbcluster -spec 8x1+2x10 -arrivals 25 -policy single
+//	bnbcluster -spec 100x1 -arrivals 90 -policy standard -d 2 -json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	balls "repro"
+	"repro/internal/cluster"
+	"repro/internal/protocol"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bnbcluster:", err)
+		os.Exit(1)
+	}
+}
+
+// report is the JSON output schema.
+type report struct {
+	Servers         int     `json:"servers"`
+	TotalCapacity   int64   `json:"total_capacity"`
+	ArrivalsPerTick int     `json:"arrivals_per_tick"`
+	Utilization     float64 `json:"utilization"`
+	Ticks           int     `json:"ticks"`
+	Policy          string  `json:"policy"`
+	MeanResponse    float64 `json:"mean_response_ticks"`
+	P95Response     float64 `json:"p95_response_hint"`
+	MaxQueueLoad    float64 `json:"max_queue_load"`
+	MeanPeakQueue   float64 `json:"mean_peak_queue_load"`
+	FinalBacklog    int64   `json:"final_backlog"`
+	Completed       int64   `json:"completed"`
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("bnbcluster", flag.ContinueOnError)
+	spec := fs.String("spec", "8x1+2x10", "server speeds as COUNTxSPEED[+COUNTxSPEED...]")
+	arrivals := fs.Int("arrivals", 21, "requests arriving per tick")
+	ticks := fs.Int("ticks", 2000, "simulation horizon in ticks")
+	warmup := fs.Int("warmup", 0, "warm-up ticks excluded from stats (default ticks/10)")
+	policy := fs.String("policy", "greedy", "dispatch policy: greedy | standard | single | goleft | batched:B")
+	d := fs.Int("d", 2, "choices per request")
+	seed := fs.Uint64("seed", 1, "RNG seed")
+	asJSON := fs.Bool("json", false, "emit JSON instead of text")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	caps, err := balls.ParseCapacitySpec(*spec)
+	if err != nil {
+		return err
+	}
+	factory, name, err := parsePolicy(*policy, *d)
+	if err != nil {
+		return err
+	}
+	if *warmup == 0 {
+		*warmup = *ticks / 10
+	}
+	cfg := cluster.Config{
+		Capacities:      caps,
+		ArrivalsPerTick: *arrivals,
+		Ticks:           *ticks,
+		WarmupTicks:     *warmup,
+		Placer:          factory,
+		Seed:            *seed,
+	}
+	res, err := cluster.Run(cfg)
+	if err != nil {
+		return err
+	}
+	rep := report{
+		Servers:         len(caps),
+		TotalCapacity:   sumCaps(caps),
+		ArrivalsPerTick: *arrivals,
+		Utilization:     cluster.Utilization(cfg),
+		Ticks:           *ticks,
+		Policy:          name,
+		MeanResponse:    res.ResponseTime.Mean(),
+		P95Response:     res.ResponseTime.Mean() + 2*res.ResponseTime.StdDev(),
+		MaxQueueLoad:    res.MaxQueueLoad,
+		MeanPeakQueue:   res.MeanQueueLoad.Mean(),
+		FinalBacklog:    res.FinalQueued,
+		Completed:       res.Completed,
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	fmt.Printf("servers:          %d (capacity %d/tick)\n", rep.Servers, rep.TotalCapacity)
+	fmt.Printf("arrivals:         %d/tick (utilization %.0f%%)\n", rep.ArrivalsPerTick, 100*rep.Utilization)
+	fmt.Printf("policy:           %s\n", rep.Policy)
+	fmt.Printf("mean response:    %.3f ticks (mean+2sd %.3f)\n", rep.MeanResponse, rep.P95Response)
+	fmt.Printf("peak queue load:  %.3f (mean per-tick peak %.3f)\n", rep.MaxQueueLoad, rep.MeanPeakQueue)
+	fmt.Printf("final backlog:    %d requests after %d ticks\n", rep.FinalBacklog, rep.Ticks)
+	return nil
+}
+
+func sumCaps(caps []int64) int64 {
+	var s int64
+	for _, c := range caps {
+		s += c
+	}
+	return s
+}
+
+func parsePolicy(s string, d int) (protocol.Factory, string, error) {
+	switch {
+	case s == "greedy":
+		return protocol.GreedyFactory(d), fmt.Sprintf("greedy(d=%d)", d), nil
+	case s == "standard":
+		return protocol.StandardFactory(d), fmt.Sprintf("standard(d=%d)", d), nil
+	case s == "single":
+		return protocol.SingleFactory(), "single", nil
+	case s == "goleft":
+		return protocol.GoLeftFactory(d), fmt.Sprintf("goleft(d=%d)", d), nil
+	case len(s) > 8 && s[:8] == "batched:":
+		var b int
+		if _, err := fmt.Sscanf(s[8:], "%d", &b); err != nil || b < 1 {
+			return nil, "", fmt.Errorf("bad batch size in %q", s)
+		}
+		return protocol.BatchedFactory(d, b), fmt.Sprintf("batched(d=%d,B=%d)", d, b), nil
+	default:
+		return nil, "", fmt.Errorf("unknown policy %q", s)
+	}
+}

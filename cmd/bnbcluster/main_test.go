@@ -1,0 +1,79 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParsePolicy(t *testing.T) {
+	cases := []struct {
+		in   string
+		d    int
+		want string
+	}{
+		{"greedy", 2, "greedy(d=2)"},
+		{"standard", 3, "standard(d=3)"},
+		{"single", 2, "single"},
+		{"goleft", 2, "goleft(d=2)"},
+		{"batched:16", 2, "batched(d=2,B=16)"},
+	}
+	for _, c := range cases {
+		f, name, err := parsePolicy(c.in, c.d)
+		if err != nil {
+			t.Fatalf("parsePolicy(%q): %v", c.in, err)
+		}
+		if f == nil || name != c.want {
+			t.Errorf("parsePolicy(%q) = %q, want %q", c.in, name, c.want)
+		}
+	}
+	for _, bad := range []string{"", "zzz", "batched:", "batched:x", "batched:0"} {
+		if _, _, err := parsePolicy(bad, 2); err == nil {
+			t.Errorf("parsePolicy(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	if err := run([]string{"-spec", "4x1+1x5", "-arrivals", "4", "-ticks", "100"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if err := run([]string{"-spec", "4x1", "-arrivals", "2", "-ticks", "50", "-json"}); err != nil {
+		t.Fatalf("run -json: %v", err)
+	}
+	if err := run([]string{"-spec", "bogus"}); err == nil {
+		t.Error("bad spec accepted")
+	}
+	if err := run([]string{"-spec", "4x1", "-policy", "zzz"}); err == nil {
+		t.Error("bad policy accepted")
+	}
+	if err := run([]string{"-spec", "4x1", "-ticks", "0"}); err == nil {
+		t.Error("zero ticks accepted")
+	}
+	if err := run([]string{"-nope"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestSumCaps(t *testing.T) {
+	if got := sumCaps([]int64{1, 2, 3}); got != 6 {
+		t.Fatalf("sumCaps = %d", got)
+	}
+}
+
+func TestBatchedPolicyRuns(t *testing.T) {
+	if err := run([]string{"-spec", "8x1", "-arrivals", "4", "-ticks", "60", "-policy", "batched:8"}); err != nil {
+		t.Fatalf("batched policy: %v", err)
+	}
+}
+
+func TestPolicyNameInOutput(t *testing.T) {
+	// smoke-check that report naming goes through (no capture needed —
+	// naming logic already covered; ensure strings compose).
+	_, name, err := parsePolicy("batched:4", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(name, "B=4") || !strings.Contains(name, "d=3") {
+		t.Fatalf("name %q", name)
+	}
+}

@@ -1,0 +1,124 @@
+// Command bnbdiff compares two directories of experiment TSVs (as
+// written by `bnbfig -out`) with numeric tolerances — the regression
+// check for reproduction runs.
+//
+// Example:
+//
+//	bnbfig -all -out results-new/
+//	bnbdiff -a results/ -b results-new/ -rel 0.1 -abs 0.05
+//
+// Exit status 0 when every shared file matches within tolerance, 1 when
+// any file differs or is missing from either side.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/tsv"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bnbdiff:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+func run(args []string, out *os.File) (int, error) {
+	fs := flag.NewFlagSet("bnbdiff", flag.ContinueOnError)
+	dirA := fs.String("a", "", "baseline results directory")
+	dirB := fs.String("b", "", "candidate results directory")
+	abs := fs.Float64("abs", 0.02, "absolute tolerance")
+	rel := fs.Float64("rel", 0.1, "relative tolerance")
+	maxShow := fs.Int("max", 5, "differences to print per file")
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+	if *dirA == "" || *dirB == "" {
+		return 2, fmt.Errorf("need both -a and -b directories")
+	}
+	filesA, err := tsvSet(*dirA)
+	if err != nil {
+		return 2, err
+	}
+	filesB, err := tsvSet(*dirB)
+	if err != nil {
+		return 2, err
+	}
+	tol := tsv.Tolerance{Abs: *abs, Rel: *rel}
+
+	var names []string
+	seen := map[string]bool{}
+	for n := range filesA {
+		names = append(names, n)
+		seen[n] = true
+	}
+	for n := range filesB {
+		if !seen[n] {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+
+	failed := 0
+	for _, name := range names {
+		switch {
+		case !filesB[name]:
+			fmt.Fprintf(out, "MISSING in %s: %s\n", *dirB, name)
+			failed++
+		case !filesA[name]:
+			fmt.Fprintf(out, "EXTRA in %s: %s\n", *dirB, name)
+			failed++
+		default:
+			ta, err := tsv.ParseFile(filepath.Join(*dirA, name))
+			if err != nil {
+				return 2, err
+			}
+			tb, err := tsv.ParseFile(filepath.Join(*dirB, name))
+			if err != nil {
+				return 2, err
+			}
+			diffs := tsv.Compare(ta, tb, tol)
+			if len(diffs) == 0 {
+				fmt.Fprintf(out, "OK   %s\n", name)
+				continue
+			}
+			failed++
+			fmt.Fprintf(out, "DIFF %s (%d differences)\n", name, len(diffs))
+			for i, d := range diffs {
+				if i >= *maxShow {
+					fmt.Fprintf(out, "  ... %d more\n", len(diffs)-i)
+					break
+				}
+				fmt.Fprintf(out, "  %s\n", d)
+			}
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(out, "%d of %d files differ\n", failed, len(names))
+		return 1, nil
+	}
+	fmt.Fprintf(out, "all %d files match within tolerance\n", len(names))
+	return 0, nil
+}
+
+func tsvSet(dir string) (map[string]bool, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]bool{}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".tsv") {
+			out[e.Name()] = true
+		}
+	}
+	return out, nil
+}

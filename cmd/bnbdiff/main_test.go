@@ -1,0 +1,94 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTSV(t *testing.T, dir, name, body string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+const tsvA = "# title\n# x\ty\n1\t2\n3\t4\n"
+
+func TestDiffIdenticalDirs(t *testing.T) {
+	a, b := t.TempDir(), t.TempDir()
+	writeTSV(t, a, "f.tsv", tsvA)
+	writeTSV(t, b, "f.tsv", tsvA)
+	code, err := run([]string{"-a", a, "-b", b}, os.Stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+}
+
+func TestDiffWithinTolerance(t *testing.T) {
+	a, b := t.TempDir(), t.TempDir()
+	writeTSV(t, a, "f.tsv", tsvA)
+	writeTSV(t, b, "f.tsv", "# title\n# x\ty\n1\t2.01\n3\t4\n")
+	code, err := run([]string{"-a", a, "-b", b, "-abs", "0.05"}, os.Stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+}
+
+func TestDiffBeyondTolerance(t *testing.T) {
+	a, b := t.TempDir(), t.TempDir()
+	writeTSV(t, a, "f.tsv", tsvA)
+	writeTSV(t, b, "f.tsv", "# title\n# x\ty\n1\t9\n3\t4\n")
+	code, err := run([]string{"-a", a, "-b", b, "-abs", "0.01", "-rel", "0.01"}, os.Stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1", code)
+	}
+}
+
+func TestDiffMissingAndExtra(t *testing.T) {
+	a, b := t.TempDir(), t.TempDir()
+	writeTSV(t, a, "only-in-a.tsv", tsvA)
+	writeTSV(t, b, "only-in-b.tsv", tsvA)
+	code, err := run([]string{"-a", a, "-b", b}, os.Stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1", code)
+	}
+}
+
+func TestDiffUsageErrors(t *testing.T) {
+	if code, err := run([]string{}, os.Stdout); err == nil || code != 2 {
+		t.Error("missing dirs accepted")
+	}
+	if code, err := run([]string{"-a", "/nonexistent", "-b", "/nonexistent"}, os.Stdout); err == nil || code != 2 {
+		t.Error("nonexistent dirs accepted")
+	}
+	if code, err := run([]string{"-bogus"}, os.Stdout); err == nil || code != 2 {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestRealResultsSelfDiff(t *testing.T) {
+	// The checked-in results directory must diff clean against itself.
+	if _, err := os.Stat("../../results"); err != nil {
+		t.Skip("no results directory")
+	}
+	code, err := run([]string{"-a", "../../results", "-b", "../../results"}, os.Stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("results/ does not self-diff clean (exit %d)", code)
+	}
+}

@@ -1,0 +1,156 @@
+// Command bnbfig regenerates the data series behind any figure of the
+// paper's evaluation section (and the validation/ablation experiments).
+//
+// Examples:
+//
+//	bnbfig -list                     # show available experiments
+//	bnbfig -fig fig06                # run one figure at default size
+//	bnbfig -fig fig01 -scale 0.1     # quick run at 10% problem size
+//	bnbfig -all -out results/        # regenerate everything into TSVs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/gnuplot"
+	"repro/internal/table"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bnbfig:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("bnbfig", flag.ContinueOnError)
+	fig := fs.String("fig", "", "experiment ID to run (see -list)")
+	all := fs.Bool("all", false, "run every experiment (skipping aliases)")
+	list := fs.Bool("list", false, "list available experiments")
+	reps := fs.Int("reps", 0, "override repetitions per data point (0 = experiment default)")
+	seed := fs.Uint64("seed", 1, "base RNG seed")
+	scale := fs.Float64("scale", 1, "problem-size scale in (0,1]")
+	workers := fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	out := fs.String("out", "", "directory for TSV output (default: pretty-print to stdout)")
+	plot := fs.Bool("gnuplot", false, "also write a .gp plotting script per table (needs -out)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *plot && *out == "" {
+		return fmt.Errorf("-gnuplot requires -out")
+	}
+
+	if *list {
+		for _, e := range experiments.All() {
+			alias := ""
+			if e.AliasOf != "" {
+				alias = fmt.Sprintf("  (produced by %s)", e.AliasOf)
+			}
+			fmt.Printf("%-18s %s%s\n", e.ID, e.Title, alias)
+		}
+		return nil
+	}
+
+	params := experiments.Params{
+		Reps:    *reps,
+		Seed:    *seed,
+		Workers: *workers,
+		Scale:   *scale,
+	}
+
+	var toRun []experiments.Experiment
+	switch {
+	case *all:
+		for _, e := range experiments.All() {
+			if e.AliasOf == "" {
+				toRun = append(toRun, e)
+			}
+		}
+	case *fig != "":
+		e, err := experiments.Get(*fig)
+		if err != nil {
+			return err
+		}
+		toRun = append(toRun, e)
+	default:
+		return fmt.Errorf("nothing to do: pass -fig ID, -all, or -list")
+	}
+
+	for _, e := range toRun {
+		start := time.Now()
+		fmt.Fprintf(os.Stderr, "running %s: %s\n", e.ID, e.Title)
+		tabs, err := e.Run(params)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Fprintf(os.Stderr, "done %s in %v\n", e.ID, time.Since(start).Round(time.Millisecond))
+		if err := emit(e.ID, tabs, *out, *plot); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func emit(id string, tabs []*table.Table, outDir string, plot bool) error {
+	if outDir == "" {
+		for _, t := range tabs {
+			if err := t.WritePretty(os.Stdout); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		return nil
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	for i, t := range tabs {
+		name := id
+		if len(tabs) > 1 {
+			name = fmt.Sprintf("%s_%d", id, i+1)
+		}
+		path := filepath.Join(outDir, name+".tsv")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		err = t.WriteTSV(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%s)\n", path, firstLine(t.Title))
+		if plot && len(t.Cols) >= 2 {
+			gpPath := filepath.Join(outDir, name+".gp")
+			g, err := os.Create(gpPath)
+			if err != nil {
+				return err
+			}
+			err = gnuplot.Script(g, t, name+".tsv", gnuplot.Options{})
+			if cerr := g.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", gpPath)
+		}
+	}
+	return nil
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

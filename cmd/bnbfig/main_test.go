@@ -1,0 +1,90 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/table"
+)
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatalf("-list: %v", err)
+	}
+}
+
+func TestRunRequiresTarget(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("no target accepted")
+	}
+	if err := run([]string{"-fig", "nope"}); err == nil {
+		t.Error("unknown figure accepted")
+	}
+	if err := run([]string{"-zzz"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestRunSingleFigureToDir(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{"-fig", "fig10", "-reps", "3", "-scale", "0.02", "-out", dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no TSV files written")
+	}
+	data, err := os.ReadFile(filepath.Join(dir, entries[0].Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "# Figure 10") {
+		t.Fatalf("unexpected TSV header: %.60s", data)
+	}
+}
+
+func TestEmitMultipleTables(t *testing.T) {
+	dir := t.TempDir()
+	t1 := table.New("one", "a")
+	t1.MustAddRow(1)
+	t2 := table.New("two", "b")
+	t2.MustAddRow(2)
+	if err := emit("myexp", []*table.Table{t1, t2}, dir, true); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"myexp_1.tsv", "myexp_2.tsv"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Fatalf("missing %s: %v", name, err)
+		}
+	}
+	// single table: no suffix
+	if err := emit("solo", []*table.Table{t1}, dir, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "solo.tsv")); err != nil {
+		t.Fatal("single-table name should have no index suffix")
+	}
+}
+
+func TestEmitToStdout(t *testing.T) {
+	t1 := table.New("stdout table", "x")
+	t1.MustAddRow(7)
+	if err := emit("e", []*table.Table{t1}, "", false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFirstLine(t *testing.T) {
+	if got := firstLine("a\nb"); got != "a" {
+		t.Fatalf("firstLine = %q", got)
+	}
+	if got := firstLine("abc"); got != "abc" {
+		t.Fatalf("firstLine = %q", got)
+	}
+}

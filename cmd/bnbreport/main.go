@@ -1,0 +1,39 @@
+// Command bnbreport renders a results directory (bnbfig -out TSVs) into
+// a single Markdown digest on stdout.
+//
+// Example:
+//
+//	bnbfig -all -out results/
+//	bnbreport -dir results/ > RESULTS.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bnbreport:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("bnbreport", flag.ContinueOnError)
+	dir := fs.String("dir", "results", "directory of experiment TSVs")
+	title := fs.String("title", "Balls into Non-uniform Bins — experiment results", "document title")
+	maxRows := fs.Int("maxrows", 16, "max rows rendered per table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	out, err := report.Build(*dir, report.Options{Title: *title, MaxRows: *maxRows})
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Print(out)
+	return err
+}

@@ -1,0 +1,24 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	tsv := "# T\n# x\ty\n1\t2\n"
+	if err := os.WriteFile(filepath.Join(dir, "a.tsv"), []byte(tsv), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-dir", dir}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if err := run([]string{"-dir", "/nonexistent"}); err == nil {
+		t.Error("missing dir accepted")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

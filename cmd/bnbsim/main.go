@@ -1,0 +1,142 @@
+// Command bnbsim runs one balls-into-non-uniform-bins experiment from the
+// command line and prints aggregate statistics.
+//
+// Examples:
+//
+//	bnbsim -spec 500x1+500x10                  # m = C, d = 2, proportional
+//	bnbsim -spec 1000x1 -protocol standard -d 3 -reps 500
+//	bnbsim -spec 50x1+50x3 -dist power:2.1     # §4.5 tuned exponent
+//	bnbsim -spec 100x4 -factor 100 -reps 50    # heavily loaded m = 100·C
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	balls "repro"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bnbsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("bnbsim", flag.ContinueOnError)
+	spec := fs.String("spec", "1000x1", "bin capacities as COUNTxCAP[+COUNTxCAP...]")
+	d := fs.Int("d", 2, "number of choices per ball")
+	ballsN := fs.Int64("m", 0, "balls to throw (0 = total capacity C)")
+	factor := fs.Float64("factor", 0, "balls as a multiple of C (ignored when -m is set)")
+	reps := fs.Int("reps", 100, "independent repetitions")
+	seed := fs.Uint64("seed", 1, "base RNG seed")
+	workers := fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	distFlag := fs.String("dist", "proportional", "selection distribution: proportional | uniform | power:T | top:MINCAP")
+	protoFlag := fs.String("protocol", "greedy", "protocol: greedy | standard | single | goleft | beta:B")
+	showLoads := fs.Bool("loads", false, "print the mean sorted load vector")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	caps, err := balls.ParseCapacitySpec(*spec)
+	if err != nil {
+		return err
+	}
+	distribution, err := parseDist(*distFlag)
+	if err != nil {
+		return err
+	}
+	protocol, err := parseProtocol(*protoFlag, *d)
+	if err != nil {
+		return err
+	}
+
+	res, err := balls.Simulate(balls.SimConfig{
+		Capacities:   caps,
+		Balls:        *ballsN,
+		BallsFactor:  *factor,
+		Reps:         *reps,
+		Seed:         *seed,
+		Workers:      *workers,
+		Distribution: distribution,
+		Protocol:     protocol,
+		SortedLoads:  *showLoads,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("bins:            %d (C = %d)\n", len(caps), sum(caps))
+	fmt.Printf("balls per rep:   %d\n", res.Balls)
+	fmt.Printf("protocol:        %s\n", protocol.Name())
+	fmt.Printf("distribution:    %s\n", distribution.Name())
+	fmt.Printf("repetitions:     %d\n", res.Reps)
+	fmt.Printf("average load:    %.4f\n", res.AverageLoad)
+	fmt.Printf("max load:        %.4f ± %.4f (95%% CI), worst %.4f\n",
+		res.MeanMaxLoad, res.MaxLoadCI95, res.WorstMaxLoad)
+	fmt.Printf("max − avg:       %.4f\n", res.MeanDeviation)
+	fmt.Printf("lnln(n)/ln(2):   %.4f\n", res.TheoryBound)
+	if *showLoads {
+		fmt.Println("mean sorted loads:")
+		for i, v := range res.MeanSortedLoads {
+			fmt.Printf("%d\t%.4f\n", i, v)
+		}
+	}
+	return nil
+}
+
+func sum(caps []int64) int64 {
+	var s int64
+	for _, c := range caps {
+		s += c
+	}
+	return s
+}
+
+func parseDist(s string) (balls.Distribution, error) {
+	switch {
+	case s == "proportional":
+		return balls.Proportional(), nil
+	case s == "uniform":
+		return balls.UniformSelection(), nil
+	case strings.HasPrefix(s, "power:"):
+		t, err := strconv.ParseFloat(strings.TrimPrefix(s, "power:"), 64)
+		if err != nil {
+			return balls.Distribution{}, fmt.Errorf("bad power exponent in %q", s)
+		}
+		return balls.PowerSelection(t), nil
+	case strings.HasPrefix(s, "top:"):
+		min, err := strconv.ParseInt(strings.TrimPrefix(s, "top:"), 10, 64)
+		if err != nil {
+			return balls.Distribution{}, fmt.Errorf("bad top threshold in %q", s)
+		}
+		return balls.TopOnlySelection(min), nil
+	default:
+		return balls.Distribution{}, fmt.Errorf("unknown distribution %q", s)
+	}
+}
+
+func parseProtocol(s string, d int) (balls.Protocol, error) {
+	switch {
+	case s == "greedy":
+		return balls.Greedy(d), nil
+	case s == "standard":
+		return balls.StandardDChoice(d), nil
+	case s == "single":
+		return balls.SingleChoice(), nil
+	case s == "goleft":
+		return balls.AlwaysGoLeft(d), nil
+	case strings.HasPrefix(s, "beta:"):
+		b, err := strconv.ParseFloat(strings.TrimPrefix(s, "beta:"), 64)
+		if err != nil {
+			return balls.Protocol{}, fmt.Errorf("bad beta in %q", s)
+		}
+		return balls.OnePlusBetaChoice(b), nil
+	default:
+		return balls.Protocol{}, fmt.Errorf("unknown protocol %q", s)
+	}
+}

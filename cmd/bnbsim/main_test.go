@@ -1,0 +1,100 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseDist(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"proportional", "proportional"},
+		{"uniform", "uniform"},
+		{"power:2.1", "power(t=2.1)"},
+		{"top:5", "top-only(c>=5)"},
+	}
+	for _, c := range cases {
+		d, err := parseDist(c.in)
+		if err != nil {
+			t.Fatalf("parseDist(%q): %v", c.in, err)
+		}
+		if d.Name() != c.want {
+			t.Errorf("parseDist(%q).Name() = %q, want %q", c.in, d.Name(), c.want)
+		}
+	}
+	for _, bad := range []string{"", "nope", "power:", "power:x", "top:", "top:x"} {
+		if _, err := parseDist(bad); err == nil {
+			t.Errorf("parseDist(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseProtocol(t *testing.T) {
+	cases := []struct {
+		in   string
+		d    int
+		want string
+	}{
+		{"greedy", 2, "greedy(d=2)"},
+		{"greedy", 4, "greedy(d=4)"},
+		{"standard", 3, "standard(d=3)"},
+		{"single", 2, "single"},
+		{"goleft", 2, "goleft(d=2)"},
+		{"beta:0.5", 2, "oneplusbeta(b=0.5)"},
+	}
+	for _, c := range cases {
+		p, err := parseProtocol(c.in, c.d)
+		if err != nil {
+			t.Fatalf("parseProtocol(%q): %v", c.in, err)
+		}
+		if p.Name() != c.want {
+			t.Errorf("parseProtocol(%q, %d).Name() = %q, want %q", c.in, c.d, p.Name(), c.want)
+		}
+	}
+	for _, bad := range []string{"", "xxx", "beta:", "beta:zz"} {
+		if _, err := parseProtocol(bad, 2); err == nil {
+			t.Errorf("parseProtocol(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	// run() prints to stdout; just verify it executes without error on a
+	// small configuration and rejects bad flags.
+	if err := run([]string{"-spec", "10x1+10x4", "-reps", "5", "-m", "40"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if err := run([]string{"-spec", "bogus"}); err == nil {
+		t.Error("bad spec accepted")
+	}
+	if err := run([]string{"-spec", "4x1", "-dist", "nope"}); err == nil {
+		t.Error("bad dist accepted")
+	}
+	if err := run([]string{"-spec", "4x1", "-protocol", "nope"}); err == nil {
+		t.Error("bad protocol accepted")
+	}
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestSum(t *testing.T) {
+	if got := sum([]int64{1, 2, 3}); got != 6 {
+		t.Fatalf("sum = %d", got)
+	}
+	if got := sum(nil); got != 0 {
+		t.Fatalf("sum(nil) = %d", got)
+	}
+}
+
+func TestParseDistTopValue(t *testing.T) {
+	d, err := parseDist("top:12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(d.Name(), "12") {
+		t.Fatalf("threshold lost: %q", d.Name())
+	}
+}

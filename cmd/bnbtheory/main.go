@@ -1,0 +1,74 @@
+// Command bnbtheory prints the paper's closed-form predictions for a
+// range of system sizes: the ln ln(n)/ln(d) max-load term, the big-bin
+// threshold r·ln(n), Theorem 2's small-capacity bound, and Observation
+// 2's uniform-capacity prediction.
+//
+// Example:
+//
+//	bnbtheory -n 100,1000,10000 -d 2,3 -c 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/table"
+	"repro/internal/theory"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bnbtheory:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("bnbtheory", flag.ContinueOnError)
+	nFlag := fs.String("n", "100,1000,10000,100000", "comma-separated bin counts")
+	dFlag := fs.String("d", "2,3,4", "comma-separated choice counts")
+	cFlag := fs.Int64("c", 1, "uniform capacity for the Observation 2 column (m = c·n)")
+	rFlag := fs.Float64("r", 1, "big-bin constant r in r·ln(n)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ns, err := parseInts(*nFlag)
+	if err != nil {
+		return err
+	}
+	ds, err := parseInts(*dFlag)
+	if err != nil {
+		return err
+	}
+
+	tab := table.New("Theory predictions (constants omitted: every bound carries an O(1) term)",
+		"n", "d", "lnln_over_lnd", "big_threshold", "thm2_cs_bound",
+		"obs2_maxload_mc")
+	tab.Comment = fmt.Sprintf("obs2 column: m = %d*n balls into n bins of capacity %d; big threshold uses r=%g", *cFlag, *cFlag, *rFlag)
+	for _, n := range ns {
+		for _, d := range ds {
+			m := *cFlag * int64(n)
+			tab.MustAddRow(float64(n), float64(d),
+				theory.TwoChoiceBound(n, d),
+				theory.BigThreshold(n, *rFlag),
+				theory.Theorem2SmallCapacityBound(int64(n), d),
+				theory.UniformCapacityMaxLoad(m, n, d, *cFlag))
+		}
+	}
+	return tab.WritePretty(os.Stdout)
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad integer list entry %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

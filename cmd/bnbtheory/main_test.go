@@ -1,0 +1,39 @@
+package main
+
+import "testing"
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("1, 20,300")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 20, 300}
+	if len(got) != len(want) {
+		t.Fatalf("parseInts = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("parseInts = %v, want %v", got, want)
+		}
+	}
+	for _, bad := range []string{"", "x", "1,,2", "0", "-3", "1,x"} {
+		if _, err := parseInts(bad); err == nil {
+			t.Errorf("parseInts(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	if err := run([]string{"-n", "100,1000", "-d", "2"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if err := run([]string{"-n", "junk"}); err == nil {
+		t.Error("bad -n accepted")
+	}
+	if err := run([]string{"-d", "junk"}); err == nil {
+		t.Error("bad -d accepted")
+	}
+	if err := run([]string{"-nosuchflag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

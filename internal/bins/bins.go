@@ -1,0 +1,257 @@
+// Package bins models the state of a balls-into-bins game with
+// heterogeneous (non-uniform) bins, per Section 2 of the paper.
+//
+// Each bin i has a positive integer capacity c_i ("size"); the total
+// capacity is C = Σ c_i. When a bin holds m_i balls its load is
+// ℓ_i = m_i / c_i. Capacity does not cap the number of balls a bin can
+// receive — think "speed" or "bandwidth", not "volume".
+//
+// All load comparisons the allocation protocol performs are exact: loads
+// are rationals with integer numerator and denominator, so comparisons use
+// cross-multiplied int64 arithmetic rather than floating point. This makes
+// simulations bit-reproducible and immune to float tie ambiguity. The
+// arithmetic is safe while max(m_i+1) · max(c_j) < 2^63, far beyond any
+// configuration in the paper (the heaviest run holds ~10^7 balls in bins
+// of capacity ≤ 10).
+package bins
+
+import (
+	"fmt"
+	"math"
+)
+
+// Array is a heterogeneous bin array: capacities plus current ball counts.
+// The zero value is unusable; construct with New or a builder.
+type Array struct {
+	caps  []int64
+	balls []int64
+	c     int64 // total capacity
+	m     int64 // total balls currently allocated
+}
+
+// New constructs an Array from integer capacities. Every capacity must be
+// at least 1.
+func New(capacities []int64) (*Array, error) {
+	if len(capacities) == 0 {
+		return nil, fmt.Errorf("bins: empty capacity vector")
+	}
+	a := &Array{
+		caps:  make([]int64, len(capacities)),
+		balls: make([]int64, len(capacities)),
+	}
+	for i, c := range capacities {
+		if c < 1 {
+			return nil, fmt.Errorf("bins: capacity of bin %d is %d, must be >= 1", i, c)
+		}
+		a.caps[i] = c
+		a.c += c
+	}
+	return a, nil
+}
+
+// MustNew is New but panics on error; for tests and literals.
+func MustNew(capacities []int64) *Array {
+	a, err := New(capacities)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// N returns the number of bins.
+func (a *Array) N() int { return len(a.caps) }
+
+// Capacity returns c_i.
+func (a *Array) Capacity(i int) int64 { return a.caps[i] }
+
+// Capacities returns a copy of the capacity vector.
+func (a *Array) Capacities() []int64 {
+	out := make([]int64, len(a.caps))
+	copy(out, a.caps)
+	return out
+}
+
+// TotalCapacity returns C = Σ c_i.
+func (a *Array) TotalCapacity() int64 { return a.c }
+
+// Balls returns m_i, the number of balls currently in bin i.
+func (a *Array) Balls(i int) int64 { return a.balls[i] }
+
+// TotalBalls returns the number of balls allocated so far.
+func (a *Array) TotalBalls() int64 { return a.m }
+
+// Add places one ball into bin i.
+func (a *Array) Add(i int) {
+	a.balls[i]++
+	a.m++
+}
+
+// Remove takes one ball out of bin i (queueing-style departures; the
+// dynamic setting of the cluster simulator). It panics if bin i is
+// empty — a departure without a prior arrival is a programming error.
+func (a *Array) Remove(i int) {
+	if a.balls[i] == 0 {
+		panic(fmt.Sprintf("bins: Remove from empty bin %d", i))
+	}
+	a.balls[i]--
+	a.m--
+}
+
+// Load returns ℓ_i = m_i / c_i as a float64 (for reporting only; the
+// protocol never compares floats).
+func (a *Array) Load(i int) float64 {
+	return float64(a.balls[i]) / float64(a.caps[i])
+}
+
+// AverageLoad returns m / C, the load every bin would have under a perfect
+// capacity-proportional split. For uniform unit bins this is the familiar
+// m/n.
+func (a *Array) AverageLoad() float64 {
+	return float64(a.m) / float64(a.c)
+}
+
+// CompareLoads compares ℓ_i with ℓ_j exactly, returning -1, 0 or +1.
+func (a *Array) CompareLoads(i, j int) int {
+	return compareRatio(a.balls[i], a.caps[i], a.balls[j], a.caps[j])
+}
+
+// ComparePostLoads compares the loads bins i and j would have after
+// receiving one more ball: (m_i+1)/c_i vs (m_j+1)/c_j, exactly.
+func (a *Array) ComparePostLoads(i, j int) int {
+	return compareRatio(a.balls[i]+1, a.caps[i], a.balls[j]+1, a.caps[j])
+}
+
+// compareRatio compares p/q with r/s for positive q, s via cross
+// multiplication.
+func compareRatio(p, q, r, s int64) int {
+	lhs, rhs := p*s, r*q
+	switch {
+	case lhs < rhs:
+		return -1
+	case lhs > rhs:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// MaxLoad returns the maximum load over all bins as a float64.
+func (a *Array) MaxLoad() float64 {
+	best := 0
+	for i := 1; i < len(a.caps); i++ {
+		if a.CompareLoads(i, best) > 0 {
+			best = i
+		}
+	}
+	return a.Load(best)
+}
+
+// ArgMaxLoad returns every bin index attaining the maximum load
+// (ties resolved exactly).
+func (a *Array) ArgMaxLoad() []int {
+	best := []int{0}
+	for i := 1; i < len(a.caps); i++ {
+		switch a.CompareLoads(i, best[0]) {
+		case 1:
+			best = append(best[:0], i)
+		case 0:
+			best = append(best, i)
+		}
+	}
+	return best
+}
+
+// LoadVector returns the vector of bin loads in bin order.
+func (a *Array) LoadVector() []float64 {
+	out := make([]float64, len(a.caps))
+	for i := range out {
+		out[i] = a.Load(i)
+	}
+	return out
+}
+
+// Reset removes all balls.
+func (a *Array) Reset() {
+	for i := range a.balls {
+		a.balls[i] = 0
+	}
+	a.m = 0
+}
+
+// Clone returns a deep copy of the array (capacities and ball counts).
+func (a *Array) Clone() *Array {
+	b := &Array{
+		caps:  make([]int64, len(a.caps)),
+		balls: make([]int64, len(a.balls)),
+		c:     a.c,
+		m:     a.m,
+	}
+	copy(b.caps, a.caps)
+	copy(b.balls, a.balls)
+	return b
+}
+
+// BigThreshold returns the capacity above which a bin counts as "big" per
+// the paper's definition: capacity >= r·ln(n).
+func (a *Array) BigThreshold(r float64) float64 {
+	return r * math.Log(float64(a.N()))
+}
+
+// IsBig reports whether bin i is big for the given constant r.
+func (a *Array) IsBig(i int, r float64) bool {
+	return float64(a.caps[i]) >= a.BigThreshold(r)
+}
+
+// SmallCapacity returns C_s, the total capacity of small bins (capacity
+// below r·ln n).
+func (a *Array) SmallCapacity(r float64) int64 {
+	threshold := a.BigThreshold(r)
+	var cs int64
+	for _, c := range a.caps {
+		if float64(c) < threshold {
+			cs += c
+		}
+	}
+	return cs
+}
+
+// CapacityClasses returns the sorted distinct capacity values present.
+func (a *Array) CapacityClasses() []int64 {
+	seen := map[int64]bool{}
+	var classes []int64
+	for _, c := range a.caps {
+		if !seen[c] {
+			seen[c] = true
+			classes = append(classes, c)
+		}
+	}
+	// insertion sort; class counts are tiny (≤ 8 in the paper)
+	for i := 1; i < len(classes); i++ {
+		for j := i; j > 0 && classes[j] < classes[j-1]; j-- {
+			classes[j], classes[j-1] = classes[j-1], classes[j]
+		}
+	}
+	return classes
+}
+
+// CountClass returns how many bins have exactly capacity c.
+func (a *Array) CountClass(c int64) int {
+	n := 0
+	for _, v := range a.caps {
+		if v == c {
+			n++
+		}
+	}
+	return n
+}
+
+// MaxLoadInClassC reports whether any bin of capacity class c attains the
+// global maximum load (exact tie handling). This powers Figures 7 and 9.
+func (a *Array) MaxLoadInClassC(c int64) bool {
+	for _, i := range a.ArgMaxLoad() {
+		if a.caps[i] == c {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,177 @@
+package bins
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/xrand"
+)
+
+// Uniform returns n bins of capacity c each (the classical game for c=1;
+// §4.1's setting for c > 1).
+func Uniform(n int, c int64) (*Array, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("bins: n = %d, must be positive", n)
+	}
+	caps := make([]int64, n)
+	for i := range caps {
+		caps[i] = c
+	}
+	return New(caps)
+}
+
+// TwoClass returns nSmall bins of capacity cSmall followed by nLarge bins
+// of capacity cLarge (the §4.2 mixed arrays). Either count may be zero as
+// long as at least one bin exists.
+func TwoClass(nSmall int, cSmall int64, nLarge int, cLarge int64) (*Array, error) {
+	if nSmall < 0 || nLarge < 0 || nSmall+nLarge == 0 {
+		return nil, fmt.Errorf("bins: invalid two-class counts %d, %d", nSmall, nLarge)
+	}
+	caps := make([]int64, 0, nSmall+nLarge)
+	for i := 0; i < nSmall; i++ {
+		caps = append(caps, cSmall)
+	}
+	for i := 0; i < nLarge; i++ {
+		caps = append(caps, cLarge)
+	}
+	return New(caps)
+}
+
+// RandomBinomial returns n bins whose capacities are 1 + Bin(7, (c-1)/7),
+// the paper's §4.2 randomised size generator. c must lie in [1, 8]; the
+// expected total capacity is c·n.
+func RandomBinomial(n int, c float64, r *xrand.Rand) (*Array, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("bins: n = %d, must be positive", n)
+	}
+	if c < 1 || c > 8 {
+		return nil, fmt.Errorf("bins: target mean capacity %v outside [1,8]", c)
+	}
+	p := (c - 1) / 7
+	caps := make([]int64, n)
+	for i := range caps {
+		caps[i] = int64(1 + r.Binomial(7, p))
+	}
+	return New(caps)
+}
+
+// RandomBinomialK generalises RandomBinomial to capacities 1 + Bin(K, p)
+// with p = (c-1)/K, keeping the expected capacity at c for any c in
+// [1, K+1]. The paper's §4.4 heavily loaded experiment prescribes expected
+// capacities up to 10·n/n = 10, beyond the reach of the K = 7 generator,
+// and only says the capacities are generated "similar to" §4.2 — this is
+// that generalisation.
+func RandomBinomialK(n int, c float64, k int, r *xrand.Rand) (*Array, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("bins: n = %d, must be positive", n)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("bins: K = %d, must be >= 1", k)
+	}
+	if c < 1 || c > float64(k)+1 {
+		return nil, fmt.Errorf("bins: target mean capacity %v outside [1,%d]", c, k+1)
+	}
+	p := (c - 1) / float64(k)
+	caps := make([]int64, n)
+	for i := range caps {
+		caps[i] = int64(1 + r.Binomial(k, p))
+	}
+	return New(caps)
+}
+
+// Batch is one generation of identical bins in a growing system (§4.3:
+// "new disks are bought in batches").
+type Batch struct {
+	Count    int   // number of bins in this generation
+	Capacity int64 // capacity of each bin in this generation
+}
+
+// Generations concatenates batches into a single Array (oldest first).
+func Generations(batches []Batch) (*Array, error) {
+	var caps []int64
+	for bi, b := range batches {
+		if b.Count < 0 {
+			return nil, fmt.Errorf("bins: batch %d has negative count", bi)
+		}
+		if b.Count > 0 && b.Capacity < 1 {
+			return nil, fmt.Errorf("bins: batch %d capacity %d < 1", bi, b.Capacity)
+		}
+		for i := 0; i < b.Count; i++ {
+			caps = append(caps, b.Capacity)
+		}
+	}
+	return New(caps)
+}
+
+// LinearBatches models §4.3's linear growth: the i-th batch (0-indexed)
+// has capacity start + a·i. All batches have batchSize bins except the
+// first, which has firstCount (the experiments start from 2 disks).
+func LinearBatches(firstCount, batchSize, totalBins int, start, a int64) []Batch {
+	var batches []Batch
+	count := 0
+	for i := 0; count < totalBins; i++ {
+		size := batchSize
+		if i == 0 {
+			size = firstCount
+		}
+		if count+size > totalBins {
+			size = totalBins - count
+		}
+		batches = append(batches, Batch{Count: size, Capacity: start + a*int64(i)})
+		count += size
+	}
+	return batches
+}
+
+// ExponentialBatches models §4.3's exponential growth: the i-th batch has
+// capacity round(start · b^i), never below 1. Capacities are integers per
+// the model, so slow factors (b = 1.005) round back to the start value for
+// many generations — exactly the "slow to take off" behaviour in Fig 15.
+func ExponentialBatches(firstCount, batchSize, totalBins int, start float64, b float64) []Batch {
+	var batches []Batch
+	count := 0
+	for i := 0; count < totalBins; i++ {
+		size := batchSize
+		if i == 0 {
+			size = firstCount
+		}
+		if count+size > totalBins {
+			size = totalBins - count
+		}
+		cap := int64(math.Round(start * math.Pow(b, float64(i))))
+		if cap < 1 {
+			cap = 1
+		}
+		batches = append(batches, Batch{Count: size, Capacity: cap})
+		count += size
+	}
+	return batches
+}
+
+// ParseSpec parses a compact capacity specification of the form
+// "COUNTxCAP[+COUNTxCAP...]", e.g. "5000x1+5000x8" for 5000 unit bins and
+// 5000 capacity-8 bins. Used by the CLIs.
+func ParseSpec(spec string) (*Array, error) {
+	parts := strings.Split(spec, "+")
+	var caps []int64
+	for _, part := range parts {
+		fields := strings.Split(strings.TrimSpace(part), "x")
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("bins: bad spec component %q (want COUNTxCAP)", part)
+		}
+		count, err := strconv.Atoi(strings.TrimSpace(fields[0]))
+		if err != nil || count <= 0 {
+			return nil, fmt.Errorf("bins: bad count in %q", part)
+		}
+		c, err := strconv.ParseInt(strings.TrimSpace(fields[1]), 10, 64)
+		if err != nil || c < 1 {
+			return nil, fmt.Errorf("bins: bad capacity in %q", part)
+		}
+		for i := 0; i < count; i++ {
+			caps = append(caps, c)
+		}
+	}
+	return New(caps)
+}

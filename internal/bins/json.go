@@ -1,0 +1,52 @@
+package bins
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// arrayJSON is the serialised form of an Array: the full game state is
+// the capacity vector plus the ball counts. Used to checkpoint long
+// (heavily loaded) runs and to ship states between tools.
+type arrayJSON struct {
+	Capacities []int64 `json:"capacities"`
+	Balls      []int64 `json:"balls"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (a *Array) MarshalJSON() ([]byte, error) {
+	return json.Marshal(arrayJSON{
+		Capacities: a.Capacities(),
+		Balls:      append([]int64(nil), a.balls...),
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler, validating the state: one
+// ball count per bin, capacities >= 1, counts >= 0.
+func (a *Array) UnmarshalJSON(data []byte) error {
+	var aj arrayJSON
+	if err := json.Unmarshal(data, &aj); err != nil {
+		return err
+	}
+	restored, err := New(aj.Capacities)
+	if err != nil {
+		return err
+	}
+	if len(aj.Balls) != len(aj.Capacities) {
+		return fmt.Errorf("bins: %d ball counts for %d bins", len(aj.Balls), len(aj.Capacities))
+	}
+	for i, b := range aj.Balls {
+		if b < 0 {
+			return fmt.Errorf("bins: negative ball count %d in bin %d", b, i)
+		}
+		restored.balls[i] = b
+		restored.m += b
+	}
+	*a = *restored
+	return nil
+}
+
+var (
+	_ json.Marshaler   = (*Array)(nil)
+	_ json.Unmarshaler = (*Array)(nil)
+)

@@ -1,0 +1,196 @@
+// Package chash implements the consistent-hashing ring that motivates the
+// paper's non-uniform selection probabilities (§1 and §1.1).
+//
+// Peers are mapped to random points on the unit ring; a key at position x
+// is owned by the first peer point at or after x (wrapping). Each peer's
+// total arc length is therefore random, and — as the paper recalls from
+// Karger et al. — the maximum arc is a Θ(log n) factor above the average
+// arc. Treating arcs as bin selection probabilities turns the d-point
+// game of Byers et al. into exactly the kind of non-uniform
+// balls-into-bins game the paper generalises, which this package
+// demonstrates by exporting the arc vector as selection weights.
+package chash
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/xrand"
+)
+
+// Ring is a consistent-hashing ring with n peers, each owning vnodes
+// virtual points.
+type Ring struct {
+	n      int
+	vnodes int
+	points []float64 // sorted positions in [0,1)
+	owner  []int32   // peer owning each point
+}
+
+// NewRing places n peers with the given number of virtual nodes each at
+// positions drawn from r.
+func NewRing(n, vnodes int, r *xrand.Rand) (*Ring, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("chash: n = %d", n)
+	}
+	if vnodes <= 0 {
+		return nil, fmt.Errorf("chash: vnodes = %d", vnodes)
+	}
+	total := n * vnodes
+	ring := &Ring{
+		n:      n,
+		vnodes: vnodes,
+		points: make([]float64, total),
+		owner:  make([]int32, total),
+	}
+	type pv struct {
+		pos   float64
+		owner int32
+	}
+	pvs := make([]pv, total)
+	for p := 0; p < n; p++ {
+		for v := 0; v < vnodes; v++ {
+			pvs[p*vnodes+v] = pv{pos: r.Float64(), owner: int32(p)}
+		}
+	}
+	sort.Slice(pvs, func(i, j int) bool { return pvs[i].pos < pvs[j].pos })
+	for i, e := range pvs {
+		ring.points[i] = e.pos
+		ring.owner[i] = e.owner
+	}
+	return ring, nil
+}
+
+// N returns the number of peers.
+func (r *Ring) N() int { return r.n }
+
+// Lookup returns the peer owning position x in [0,1): the peer of the
+// first point at or after x, wrapping around.
+func (r *Ring) Lookup(x float64) int {
+	i := sort.SearchFloat64s(r.points, x)
+	if i == len(r.points) {
+		i = 0
+	}
+	return int(r.owner[i])
+}
+
+// ArcLengths returns each peer's total owned arc length; the entries sum
+// to 1. The arc ending at point i (owned by peer owner[i]) starts at the
+// previous point.
+func (r *Ring) ArcLengths() []float64 {
+	arcs := make([]float64, r.n)
+	for i := range r.points {
+		prev := 0.0
+		if i == 0 {
+			// wrap-around arc: from the last point to 1, plus 0 to points[0]
+			prev = r.points[len(r.points)-1] - 1
+		} else {
+			prev = r.points[i-1]
+		}
+		arcs[r.owner[i]] += r.points[i] - prev
+	}
+	return arcs
+}
+
+// ArcStats summarises the arc length distribution.
+type ArcStats struct {
+	Min, Max, Avg float64
+	// MaxOverAvg is the imbalance factor the paper quotes as Θ(log n)
+	// for vnodes = 1.
+	MaxOverAvg float64
+}
+
+// Stats computes arc statistics for the ring.
+func (r *Ring) Stats() ArcStats {
+	arcs := r.ArcLengths()
+	st := ArcStats{Min: arcs[0], Max: arcs[0]}
+	sum := 0.0
+	for _, a := range arcs {
+		if a < st.Min {
+			st.Min = a
+		}
+		if a > st.Max {
+			st.Max = a
+		}
+		sum += a
+	}
+	st.Avg = sum / float64(r.n)
+	st.MaxOverAvg = st.Max / st.Avg
+	return st
+}
+
+// DChoiceLoads plays the Byers et al. d-point game: m balls each draw d
+// uniform ring positions, look up the owning peers, and commit to a peer
+// currently holding the fewest balls (ties to the first drawn). It
+// returns the final ball counts per peer.
+func (r *Ring) DChoiceLoads(m int64, d int, rng *xrand.Rand) ([]int64, error) {
+	if d < 1 {
+		return nil, fmt.Errorf("chash: d = %d", d)
+	}
+	loads := make([]int64, r.n)
+	for b := int64(0); b < m; b++ {
+		best := -1
+		for j := 0; j < d; j++ {
+			p := r.Lookup(rng.Float64())
+			if best == -1 || loads[p] < loads[best] {
+				best = p
+			}
+		}
+		loads[best]++
+	}
+	return loads, nil
+}
+
+// MaxLoad returns the maximum entry of loads.
+func MaxLoad(loads []int64) int64 {
+	var max int64
+	for _, l := range loads {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// NewWeightedRing places peer p with vnodesPerUnit·capacity[p] virtual
+// nodes, the standard way to give heterogeneous peers arc shares
+// proportional to capacity. Combined with the d-point game this is the
+// ring-level equivalent of the paper's capacity-proportional selection:
+// the expected arc share of peer p is capacity[p]/ΣC.
+func NewWeightedRing(capacities []int64, vnodesPerUnit int, r *xrand.Rand) (*Ring, error) {
+	if len(capacities) == 0 {
+		return nil, fmt.Errorf("chash: no capacities")
+	}
+	if vnodesPerUnit <= 0 {
+		return nil, fmt.Errorf("chash: vnodesPerUnit = %d", vnodesPerUnit)
+	}
+	total := 0
+	for i, c := range capacities {
+		if c < 1 {
+			return nil, fmt.Errorf("chash: capacity %d of peer %d", c, i)
+		}
+		total += int(c) * vnodesPerUnit
+	}
+	ring := &Ring{
+		n:      len(capacities),
+		vnodes: -1, // heterogeneous
+		points: make([]float64, 0, total),
+		owner:  make([]int32, 0, total),
+	}
+	type pv struct {
+		pos   float64
+		owner int32
+	}
+	pvs := make([]pv, 0, total)
+	for p, c := range capacities {
+		for v := int64(0); v < c*int64(vnodesPerUnit); v++ {
+			pvs = append(pvs, pv{pos: r.Float64(), owner: int32(p)})
+		}
+	}
+	sort.Slice(pvs, func(i, j int) bool { return pvs[i].pos < pvs[j].pos })
+	for _, e := range pvs {
+		ring.points = append(ring.points, e.pos)
+		ring.owner = append(ring.owner, e.owner)
+	}
+	return ring, nil
+}

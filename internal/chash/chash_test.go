@@ -1,0 +1,266 @@
+package chash
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func TestNewRingValidation(t *testing.T) {
+	r := xrand.New(1)
+	if _, err := NewRing(0, 1, r); err == nil {
+		t.Error("n = 0 accepted")
+	}
+	if _, err := NewRing(5, 0, r); err == nil {
+		t.Error("vnodes = 0 accepted")
+	}
+}
+
+func TestArcLengthsSumToOne(t *testing.T) {
+	r := xrand.New(2)
+	for _, cfg := range []struct{ n, v int }{{1, 1}, {10, 1}, {100, 4}, {3, 50}} {
+		ring, err := NewRing(cfg.n, cfg.v, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		arcs := ring.ArcLengths()
+		if len(arcs) != cfg.n {
+			t.Fatalf("%d arcs for %d peers", len(arcs), cfg.n)
+		}
+		sum := 0.0
+		for _, a := range arcs {
+			if a < 0 {
+				t.Fatalf("negative arc %v", a)
+			}
+			sum += a
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("arcs sum to %v", sum)
+		}
+	}
+}
+
+func TestLookupConsistentWithArcs(t *testing.T) {
+	r := xrand.New(3)
+	ring, err := NewRing(50, 1, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Monte-Carlo: lookup frequencies should approximate arc lengths.
+	arcs := ring.ArcLengths()
+	counts := make([]float64, ring.N())
+	const samples = 200000
+	for i := 0; i < samples; i++ {
+		counts[ring.Lookup(r.Float64())]++
+	}
+	for p := 0; p < ring.N(); p++ {
+		got := counts[p] / samples
+		if math.Abs(got-arcs[p]) > 0.01 {
+			t.Fatalf("peer %d: lookup freq %.4f vs arc %.4f", p, got, arcs[p])
+		}
+	}
+}
+
+func TestSinglePeerOwnsEverything(t *testing.T) {
+	r := xrand.New(4)
+	ring, err := NewRing(1, 3, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if ring.Lookup(r.Float64()) != 0 {
+			t.Fatal("single peer does not own everything")
+		}
+	}
+	arcs := ring.ArcLengths()
+	if math.Abs(arcs[0]-1) > 1e-9 {
+		t.Fatalf("single peer arc = %v", arcs[0])
+	}
+}
+
+// TestArcImbalanceShrinksWithVnodes: virtual nodes reduce the max/avg arc
+// imbalance — the standard consistent-hashing smoothing.
+func TestArcImbalanceShrinksWithVnodes(t *testing.T) {
+	const n = 200
+	avg1, avg32 := 0.0, 0.0
+	const reps = 20
+	for rep := 0; rep < reps; rep++ {
+		r1 := xrand.NewStream(100, uint64(rep))
+		r2 := xrand.NewStream(200, uint64(rep))
+		ring1, _ := NewRing(n, 1, r1)
+		ring32, _ := NewRing(n, 32, r2)
+		avg1 += ring1.Stats().MaxOverAvg
+		avg32 += ring32.Stats().MaxOverAvg
+	}
+	avg1 /= reps
+	avg32 /= reps
+	if avg32 >= avg1 {
+		t.Fatalf("vnodes did not reduce imbalance: %v vs %v", avg1, avg32)
+	}
+	// vnodes = 1 imbalance should be on the order of ln(n) ≈ 5.3; allow a
+	// broad band.
+	if avg1 < 2 || avg1 > 12 {
+		t.Fatalf("vnodes=1 imbalance %v outside sanity band", avg1)
+	}
+}
+
+// TestDChoiceBeatsSingleChoice: the Byers et al. d-point game must beat
+// single-point placement on max load.
+func TestDChoiceBeatsSingleChoice(t *testing.T) {
+	const n = 300
+	var max1, max2 float64
+	const reps = 20
+	for rep := 0; rep < reps; rep++ {
+		r := xrand.NewStream(300, uint64(rep))
+		ring, err := NewRing(n, 1, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l1, err := ring.DChoiceLoads(n, 1, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l2, err := ring.DChoiceLoads(n, 2, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		max1 += float64(MaxLoad(l1))
+		max2 += float64(MaxLoad(l2))
+	}
+	if max2 >= max1 {
+		t.Fatalf("d=2 mean max %v not better than d=1 %v", max2/reps, max1/reps)
+	}
+}
+
+func TestDChoiceValidation(t *testing.T) {
+	r := xrand.New(5)
+	ring, _ := NewRing(4, 1, r)
+	if _, err := ring.DChoiceLoads(10, 0, r); err == nil {
+		t.Error("d = 0 accepted")
+	}
+}
+
+func TestDChoiceConservesBalls(t *testing.T) {
+	r := xrand.New(6)
+	ring, _ := NewRing(20, 2, r)
+	loads, err := ring.DChoiceLoads(500, 2, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum int64
+	for _, l := range loads {
+		sum += l
+	}
+	if sum != 500 {
+		t.Fatalf("loads sum %d, want 500", sum)
+	}
+}
+
+func TestMaxLoadHelper(t *testing.T) {
+	if MaxLoad([]int64{1, 7, 3}) != 7 {
+		t.Fatal("MaxLoad wrong")
+	}
+	if MaxLoad(nil) != 0 {
+		t.Fatal("MaxLoad(nil) != 0")
+	}
+}
+
+func TestWeightedRingValidation(t *testing.T) {
+	r := xrand.New(7)
+	if _, err := NewWeightedRing(nil, 1, r); err == nil {
+		t.Error("empty capacities accepted")
+	}
+	if _, err := NewWeightedRing([]int64{1, 0}, 1, r); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := NewWeightedRing([]int64{1}, 0, r); err == nil {
+		t.Error("vnodesPerUnit = 0 accepted")
+	}
+}
+
+// TestWeightedRingArcShares: with many vnodes per capacity unit, each
+// peer's arc share approaches capacity/C.
+func TestWeightedRingArcShares(t *testing.T) {
+	caps := []int64{1, 1, 4, 4, 10}
+	var total int64
+	for _, c := range caps {
+		total += c
+	}
+	// average arc shares over several rings to beat single-ring variance
+	shares := make([]float64, len(caps))
+	const reps = 30
+	for rep := 0; rep < reps; rep++ {
+		r := xrand.NewStream(500, uint64(rep))
+		ring, err := NewWeightedRing(caps, 64, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		arcs := ring.ArcLengths()
+		for i, a := range arcs {
+			shares[i] += a / reps
+		}
+	}
+	for i, c := range caps {
+		want := float64(c) / float64(total)
+		if math.Abs(shares[i]-want) > 0.25*want+0.01 {
+			t.Fatalf("peer %d (cap %d): arc share %.4f, want ~%.4f", i, c, shares[i], want)
+		}
+	}
+}
+
+// TestWeightedRingGame: the d-point game on a capacity-weighted ring is
+// playable and conserves balls.
+func TestWeightedRingGame(t *testing.T) {
+	r := xrand.New(11)
+	ring, err := NewWeightedRing([]int64{1, 2, 3, 4}, 8, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ring.N() != 4 {
+		t.Fatalf("N = %d", ring.N())
+	}
+	loads, err := ring.DChoiceLoads(100, 2, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum int64
+	for _, l := range loads {
+		sum += l
+	}
+	if sum != 100 {
+		t.Fatalf("loads sum %d", sum)
+	}
+}
+
+// Property: lookups always return a valid peer and arcs are a probability
+// vector for arbitrary ring shapes.
+func TestQuickRingInvariants(t *testing.T) {
+	f := func(seed uint64, nRaw, vRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		v := int(vRaw%4) + 1
+		r := xrand.New(seed)
+		ring, err := NewRing(n, v, r)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 16; i++ {
+			p := ring.Lookup(r.Float64())
+			if p < 0 || p >= n {
+				return false
+			}
+		}
+		sum := 0.0
+		for _, a := range ring.ArcLengths() {
+			if a < -1e-12 {
+				return false
+			}
+			sum += a
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,176 @@
+// Package cluster is a discrete-time queueing simulator for a storage /
+// server cluster with heterogeneous service capacities — the application
+// setting the paper's introduction motivates (requests = balls, servers =
+// bins, "capacity" = speed).
+//
+// Time advances in ticks. Each tick, a configurable number of requests
+// arrives; a dispatcher assigns each to a server using one of the
+// balls-into-bins policies (Algorithm 1 on queue-relative load by
+// default); then every server completes up to `capacity` requests. The
+// simulator reports queue and response-time statistics, turning the
+// paper's static max-load guarantee into the dynamic quantity operators
+// actually watch: tail latency.
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/bins"
+	"repro/internal/dist"
+	"repro/internal/protocol"
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+// Config describes a cluster run.
+type Config struct {
+	// Capacities are the per-server service rates (requests per tick).
+	Capacities []int64
+	// ArrivalsPerTick is the number of requests arriving each tick.
+	// Stability requires ArrivalsPerTick < sum(Capacities).
+	ArrivalsPerTick int
+	// RandomArrivals switches from a deterministic ArrivalsPerTick to a
+	// random per-tick count with the same mean: Bin(4·ArrivalsPerTick,
+	// 1/4), a bursty approximation of Poisson arrivals.
+	RandomArrivals bool
+	// Ticks is the simulation horizon.
+	Ticks int
+	// Dist selects dispatch probabilities (nil = proportional).
+	Dist dist.Distribution
+	// Placer builds the dispatch policy (nil = Algorithm 1 with d = 2).
+	// The policy sees the array of *queued* requests: bins.Balls(i) is
+	// the current queue length of server i.
+	Placer protocol.Factory
+	// Seed drives all randomness.
+	Seed uint64
+	// WarmupTicks are excluded from the response-time statistics.
+	WarmupTicks int
+}
+
+// Result aggregates a cluster run.
+type Result struct {
+	// Ticks simulated and requests dispatched/completed.
+	Ticks      int
+	Dispatched int64
+	Completed  int64
+	// ResponseTime aggregates per-request sojourn times in ticks
+	// (dispatch tick to completion tick, inclusive), post warm-up.
+	ResponseTime stats.Accumulator
+	// MaxQueueLoad is the worst queue-relative load (queue/capacity)
+	// observed at any tick end, post warm-up.
+	MaxQueueLoad float64
+	// MeanQueueLoad aggregates the per-tick maximum queue-relative load.
+	MeanQueueLoad stats.Accumulator
+	// FinalQueued is the backlog at the horizon.
+	FinalQueued int64
+}
+
+type server struct {
+	capacity int64
+	// queue holds the dispatch tick of each waiting request (FIFO).
+	queue []int
+}
+
+// Run simulates the cluster.
+func Run(cfg Config) (*Result, error) {
+	if cfg.ArrivalsPerTick < 0 {
+		return nil, fmt.Errorf("cluster: negative arrivals")
+	}
+	if cfg.Ticks <= 0 {
+		return nil, fmt.Errorf("cluster: ticks = %d", cfg.Ticks)
+	}
+	if cfg.WarmupTicks < 0 || cfg.WarmupTicks >= cfg.Ticks {
+		return nil, fmt.Errorf("cluster: warmup %d outside [0, %d)", cfg.WarmupTicks, cfg.Ticks)
+	}
+	arr, err := bins.New(cfg.Capacities)
+	if err != nil {
+		return nil, err
+	}
+	d := cfg.Dist
+	if d == nil {
+		d = dist.Proportional{}
+	}
+	weights, err := d.Weights(arr)
+	if err != nil {
+		return nil, err
+	}
+	factory := cfg.Placer
+	if factory == nil {
+		factory = protocol.GreedyFactory(2)
+	}
+	placer, err := factory(arr, weights)
+	if err != nil {
+		return nil, err
+	}
+
+	servers := make([]server, arr.N())
+	for i := range servers {
+		servers[i].capacity = arr.Capacity(i)
+	}
+	r := xrand.New(cfg.Seed)
+	res := &Result{Ticks: cfg.Ticks}
+
+	for tick := 0; tick < cfg.Ticks; tick++ {
+		// arrivals dispatched one at a time; the policy sees live queues
+		arrivals := cfg.ArrivalsPerTick
+		if cfg.RandomArrivals {
+			arrivals = r.Binomial(4*cfg.ArrivalsPerTick, 0.25)
+		}
+		for a := 0; a < arrivals; a++ {
+			idx := placer.Place(arr, r)
+			servers[idx].queue = append(servers[idx].queue, tick)
+			res.Dispatched++
+		}
+		// service: each server completes up to capacity requests
+		for i := range servers {
+			s := &servers[i]
+			n := int64(len(s.queue))
+			if n > s.capacity {
+				n = s.capacity
+			}
+			for k := int64(0); k < n; k++ {
+				if tick >= cfg.WarmupTicks {
+					res.ResponseTime.Add(float64(tick - s.queue[k] + 1))
+				}
+				res.Completed++
+			}
+			s.queue = s.queue[n:]
+			// keep the protocol's view in sync: bins.Balls tracks the
+			// queue length, so completed requests must leave the array.
+			for k := int64(0); k < n; k++ {
+				arr.Remove(i)
+			}
+		}
+		// tick-end queue statistics
+		if tick >= cfg.WarmupTicks {
+			maxLoad := 0.0
+			for i := range servers {
+				l := float64(len(servers[i].queue)) / float64(servers[i].capacity)
+				if l > maxLoad {
+					maxLoad = l
+				}
+			}
+			res.MeanQueueLoad.Add(maxLoad)
+			if maxLoad > res.MaxQueueLoad {
+				res.MaxQueueLoad = maxLoad
+			}
+		}
+	}
+	for i := range servers {
+		res.FinalQueued += int64(len(servers[i].queue))
+	}
+	return res, nil
+}
+
+// Utilization returns ArrivalsPerTick / sum(Capacities), the offered
+// load of a configuration.
+func Utilization(cfg Config) float64 {
+	var c int64
+	for _, v := range cfg.Capacities {
+		c += v
+	}
+	if c == 0 {
+		return 0
+	}
+	return float64(cfg.ArrivalsPerTick) / float64(c)
+}

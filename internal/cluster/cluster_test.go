@@ -1,0 +1,187 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/protocol"
+)
+
+func baseCfg() Config {
+	return Config{
+		Capacities:      []int64{1, 1, 1, 1, 10, 10},
+		ArrivalsPerTick: 12, // utilization 12/24 = 0.5
+		Ticks:           400,
+		Seed:            3,
+		WarmupTicks:     50,
+	}
+}
+
+func TestValidation(t *testing.T) {
+	cfg := baseCfg()
+	cfg.ArrivalsPerTick = -1
+	if _, err := Run(cfg); err == nil {
+		t.Error("negative arrivals accepted")
+	}
+	cfg = baseCfg()
+	cfg.Ticks = 0
+	if _, err := Run(cfg); err == nil {
+		t.Error("zero ticks accepted")
+	}
+	cfg = baseCfg()
+	cfg.WarmupTicks = cfg.Ticks
+	if _, err := Run(cfg); err == nil {
+		t.Error("warmup >= ticks accepted")
+	}
+	cfg = baseCfg()
+	cfg.Capacities = nil
+	if _, err := Run(cfg); err == nil {
+		t.Error("no capacities accepted")
+	}
+}
+
+func TestConservation(t *testing.T) {
+	cfg := baseCfg()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dispatched != int64(cfg.ArrivalsPerTick)*int64(cfg.Ticks) {
+		t.Fatalf("dispatched %d", res.Dispatched)
+	}
+	if res.Completed+res.FinalQueued != res.Dispatched {
+		t.Fatalf("requests lost: %d completed + %d queued != %d dispatched",
+			res.Completed, res.FinalQueued, res.Dispatched)
+	}
+}
+
+func TestStabilityUnderLowLoad(t *testing.T) {
+	cfg := baseCfg() // 50% utilization
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// under half load, queues cannot accumulate: the backlog at the end
+	// must be tiny and response times ~1 tick.
+	if res.FinalQueued > 24 {
+		t.Fatalf("backlog %d under 50%% load", res.FinalQueued)
+	}
+	if res.ResponseTime.Mean() > 2 {
+		t.Fatalf("mean response %v ticks under 50%% load", res.ResponseTime.Mean())
+	}
+	if Utilization(cfg) != 0.5 {
+		t.Fatalf("Utilization = %v", Utilization(cfg))
+	}
+}
+
+func TestOverloadGrowsBacklog(t *testing.T) {
+	cfg := baseCfg()
+	cfg.ArrivalsPerTick = 30 // utilization 1.25
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// overload: backlog must grow roughly (arrivals - capacity)·ticks
+	expect := int64((30 - 24) * cfg.Ticks)
+	if res.FinalQueued < expect/2 {
+		t.Fatalf("backlog %d under overload, expected around %d", res.FinalQueued, expect)
+	}
+}
+
+// TestGreedyBeatsSingleOnTail: at high utilisation the capacity-aware
+// two-choice dispatcher yields lower worst-case queue load than
+// single-choice dispatch.
+func TestGreedyBeatsSingleOnTail(t *testing.T) {
+	mk := func(f protocol.Factory) *Result {
+		cfg := baseCfg()
+		cfg.ArrivalsPerTick = 21 // 87.5% utilization
+		cfg.Ticks = 600
+		cfg.Placer = f
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	greedy := mk(protocol.GreedyFactory(2))
+	single := mk(protocol.SingleFactory())
+	if greedy.MeanQueueLoad.Mean() >= single.MeanQueueLoad.Mean() {
+		t.Fatalf("greedy mean peak queue %.3f not below single %.3f",
+			greedy.MeanQueueLoad.Mean(), single.MeanQueueLoad.Mean())
+	}
+	if greedy.ResponseTime.Mean() > single.ResponseTime.Mean()+0.5 {
+		t.Fatalf("greedy response %.3f much worse than single %.3f",
+			greedy.ResponseTime.Mean(), single.ResponseTime.Mean())
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	a, err := Run(baseCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(baseCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ResponseTime.Mean() != b.ResponseTime.Mean() ||
+		a.MaxQueueLoad != b.MaxQueueLoad ||
+		a.FinalQueued != b.FinalQueued {
+		t.Fatal("cluster run not deterministic")
+	}
+	cfg := baseCfg()
+	cfg.Seed = 999
+	c, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ResponseTime.Mean() == c.ResponseTime.Mean() && a.MaxQueueLoad == c.MaxQueueLoad {
+		t.Fatal("different seeds produced identical runs (suspicious)")
+	}
+}
+
+func TestResponseTimesOnlyAfterWarmup(t *testing.T) {
+	cfg := baseCfg()
+	cfg.WarmupTicks = cfg.Ticks - 1
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// only the final tick contributes
+	if res.ResponseTime.N() > int64(cfg.ArrivalsPerTick)*2 {
+		t.Fatalf("warm-up not respected: %d response samples", res.ResponseTime.N())
+	}
+}
+
+func TestUtilizationEdge(t *testing.T) {
+	if Utilization(Config{}) != 0 {
+		t.Fatal("empty config utilization should be 0")
+	}
+}
+
+func TestRandomArrivals(t *testing.T) {
+	cfg := baseCfg()
+	cfg.RandomArrivals = true
+	cfg.Ticks = 1000
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// mean arrivals per tick matches the deterministic configuration
+	mean := float64(res.Dispatched) / float64(cfg.Ticks)
+	if mean < float64(cfg.ArrivalsPerTick)-1 || mean > float64(cfg.ArrivalsPerTick)+1 {
+		t.Fatalf("mean arrivals %.2f, want ~%d", mean, cfg.ArrivalsPerTick)
+	}
+	// still conserves requests
+	if res.Completed+res.FinalQueued != res.Dispatched {
+		t.Fatal("requests lost under random arrivals")
+	}
+	// bursty arrivals should not be *better* than deterministic ones
+	det, err := Run(baseCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ResponseTime.Mean() < det.ResponseTime.Mean()-0.2 {
+		t.Fatalf("bursty response %.3f unexpectedly beats deterministic %.3f",
+			res.ResponseTime.Mean(), det.ResponseTime.Mean())
+	}
+}

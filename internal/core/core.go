@@ -1,0 +1,106 @@
+// Package core assembles the paper's primary contribution into a single
+// runnable object: a heterogeneous bin array (internal/bins), a selection
+// distribution over it (internal/dist), and an allocation protocol
+// (internal/protocol — Algorithm 1 by default), driven by a deterministic
+// RNG (internal/xrand).
+//
+// The public facade (package balls at the repository root) wraps a
+// core.Game; the Monte-Carlo engine (internal/sim) re-implements the same
+// loop with per-repetition streams for parallel aggregation.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bins"
+	"repro/internal/dist"
+	"repro/internal/protocol"
+	"repro/internal/xrand"
+)
+
+// Game is one live balls-into-non-uniform-bins game.
+type Game struct {
+	arr    *bins.Array
+	placer protocol.Placer
+	rng    *xrand.Rand
+	seed   uint64
+	dist   dist.Distribution
+}
+
+// Options configure a Game; zero values select the paper's defaults.
+type Options struct {
+	// Dist is the selection distribution (nil = capacity-proportional).
+	Dist dist.Distribution
+	// Placer builds the protocol (nil = Algorithm 1 with d = 2).
+	Placer protocol.Factory
+	// Seed seeds the RNG (0 is a valid, fixed seed).
+	Seed uint64
+}
+
+// NewGame builds a game over the given capacities.
+func NewGame(capacities []int64, opts Options) (*Game, error) {
+	arr, err := bins.New(capacities)
+	if err != nil {
+		return nil, err
+	}
+	d := opts.Dist
+	if d == nil {
+		d = dist.Proportional{}
+	}
+	weights, err := d.Weights(arr)
+	if err != nil {
+		return nil, err
+	}
+	factory := opts.Placer
+	if factory == nil {
+		factory = protocol.GreedyFactory(2)
+	}
+	placer, err := factory(arr, weights)
+	if err != nil {
+		return nil, err
+	}
+	return &Game{
+		arr:    arr,
+		placer: placer,
+		rng:    xrand.New(opts.Seed),
+		seed:   opts.Seed,
+		dist:   d,
+	}, nil
+}
+
+// Place allocates one ball, returning the receiving bin.
+func (g *Game) Place() int { return g.placer.Place(g.arr, g.rng) }
+
+// PlaceN allocates m balls.
+func (g *Game) PlaceN(m int64) {
+	for i := int64(0); i < m; i++ {
+		g.placer.Place(g.arr, g.rng)
+	}
+}
+
+// Array exposes the underlying bin array (read it, don't mutate it
+// outside Place — the placer's correctness depends on consistent state).
+func (g *Game) Array() *bins.Array { return g.arr }
+
+// Reset clears all balls, reseeds the RNG, and resets any protocol state
+// so the next run replays the first one exactly.
+func (g *Game) Reset() {
+	g.arr.Reset()
+	g.rng.Seed(g.seed)
+	if rp, ok := g.placer.(interface{ Reset() }); ok {
+		rp.Reset()
+	}
+}
+
+// ProtocolName reports the protocol.
+func (g *Game) ProtocolName() string { return g.placer.Name() }
+
+// DistributionName reports the selection distribution.
+func (g *Game) DistributionName() string { return g.dist.Name() }
+
+// String summarises the game state.
+func (g *Game) String() string {
+	return fmt.Sprintf("core.Game{n=%d C=%d m=%d protocol=%s dist=%s}",
+		g.arr.N(), g.arr.TotalCapacity(), g.arr.TotalBalls(),
+		g.placer.Name(), g.dist.Name())
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/protocol"
+)
+
+func TestNewGameValidation(t *testing.T) {
+	if _, err := NewGame(nil, Options{}); err == nil {
+		t.Error("empty capacities accepted")
+	}
+	if _, err := NewGame([]int64{0}, Options{}); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := NewGame([]int64{1, 2}, Options{Dist: dist.TopOnly{MinCapacity: 99}}); err == nil {
+		t.Error("impossible distribution accepted")
+	}
+	if _, err := NewGame([]int64{1, 2}, Options{Placer: protocol.GreedyFactory(0)}); err == nil {
+		t.Error("bad protocol accepted")
+	}
+}
+
+func TestGameDefaults(t *testing.T) {
+	g, err := NewGame([]int64{1, 2, 3}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.ProtocolName() != "greedy(d=2)" {
+		t.Fatalf("default protocol %q", g.ProtocolName())
+	}
+	if g.DistributionName() != "proportional" {
+		t.Fatalf("default distribution %q", g.DistributionName())
+	}
+}
+
+func TestGamePlaceAndReset(t *testing.T) {
+	g, err := NewGame([]int64{1, 1, 4}, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.PlaceN(12)
+	if g.Array().TotalBalls() != 12 {
+		t.Fatalf("TotalBalls = %d", g.Array().TotalBalls())
+	}
+	first := g.Array().LoadVector()
+	g.Reset()
+	if g.Array().TotalBalls() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+	g.PlaceN(12)
+	second := g.Array().LoadVector()
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatal("Reset replay diverged")
+		}
+	}
+}
+
+func TestGameResetClearsBatchedState(t *testing.T) {
+	g, err := NewGame([]int64{1, 1, 1, 1}, Options{
+		Placer: protocol.BatchedFactory(2, 3),
+		Seed:   4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.PlaceN(4) // mid-round
+	g.Reset()
+	g.PlaceN(4)
+	first := g.Array().LoadVector()
+	g.Reset()
+	g.PlaceN(4)
+	second := g.Array().LoadVector()
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatal("batched state leaked across Reset")
+		}
+	}
+}
+
+func TestGameString(t *testing.T) {
+	g, err := NewGame([]int64{2, 2}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := g.String()
+	for _, frag := range []string{"n=2", "C=4", "greedy", "proportional"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("String() = %q missing %q", s, frag)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+// Package coupling implements the coupled pair of processes from the
+// proof of Lemma 1 and audits the majorisation invariant the proof rests
+// on.
+//
+// Lemma 1 states that the maximum load of the d-choice process P on
+// heterogeneous bins (total capacity C) is stochastically dominated by
+// the maximum load of the process Q on C unit bins. The proof couples
+// the two processes through slot *ranks*: each ball draws d positions
+// into the normalised slot load vector; Q allocates into the slot at the
+// deepest drawn rank (a least-loaded chosen slot), P into the bin owning
+// the slot at that same rank of its own normalised slot vector. The
+// invariant is that Q's normalised slot vector majorises P's after every
+// ball.
+//
+// Coupled replays this construction step by step and reports the first
+// violation, if any — the executable version of the paper's Lemma 1
+// argument. The test suite and the lemma1-coupling experiment drive it.
+package coupling
+
+import (
+	"fmt"
+
+	"repro/internal/bins"
+	"repro/internal/loadvec"
+	"repro/internal/xrand"
+)
+
+// Coupled is a pair of processes (heterogeneous P, unit-bin Q) advanced
+// with shared slot-rank choices.
+type Coupled struct {
+	het  *bins.Array
+	unit *bins.Array
+	d    int
+	c    int // total capacity = number of slots/unit bins
+	step int64
+}
+
+// New builds a coupled pair over the given heterogeneous capacities.
+func New(capacities []int64, d int) (*Coupled, error) {
+	if d < 1 {
+		return nil, fmt.Errorf("coupling: d = %d", d)
+	}
+	het, err := bins.New(capacities)
+	if err != nil {
+		return nil, err
+	}
+	c := int(het.TotalCapacity())
+	unit, err := bins.Uniform(c, 1)
+	if err != nil {
+		return nil, err
+	}
+	return &Coupled{het: het, unit: unit, d: d, c: c}, nil
+}
+
+// Step advances both processes by one ball using ranks drawn from r and
+// returns whether Q's normalised slot vector still majorises P's.
+func (cp *Coupled) Step(r *xrand.Rand) (bool, error) {
+	// The deepest drawn rank indexes a least-loaded chosen slot (the
+	// normalised vector is sorted by non-increasing load).
+	h := 0
+	for j := 0; j < cp.d; j++ {
+		if rk := r.Intn(cp.c); rk > h {
+			h = rk
+		}
+	}
+	cp.unit.Add(binAtRank(cp.unit, h))
+	cp.het.Add(binAtRank(cp.het, h))
+	cp.step++
+	return cp.Holds()
+}
+
+// Holds checks the majorisation invariant at the current state.
+func (cp *Coupled) Holds() (bool, error) {
+	sp := loadvec.Build(cp.het).NormalizedLoads()
+	sq := loadvec.Build(cp.unit).NormalizedLoads()
+	return loadvec.MajorizesInt(sq, sp)
+}
+
+// Steps returns the number of balls placed so far.
+func (cp *Coupled) Steps() int64 { return cp.step }
+
+// MaxLoads returns (P's max load, Q's max load).
+func (cp *Coupled) MaxLoads() (het, unit float64) {
+	return cp.het.MaxLoad(), cp.unit.MaxLoad()
+}
+
+// Het returns the heterogeneous process's array.
+func (cp *Coupled) Het() *bins.Array { return cp.het }
+
+// Unit returns the unit-bin process's array.
+func (cp *Coupled) Unit() *bins.Array { return cp.unit }
+
+// binAtRank returns the bin owning the slot at position rank of the
+// normalised slot vector of a.
+func binAtRank(a *bins.Array, rank int) int {
+	return loadvec.Build(a).Normalized()[rank].Bin
+}
+
+// AuditResult summarises a full coupled run.
+type AuditResult struct {
+	// Balls is the number of balls placed.
+	Balls int64
+	// Violation is the 1-based ball index of the first majorisation
+	// violation, or 0 when the invariant held throughout.
+	Violation int64
+	// HetMaxLoad and UnitMaxLoad are the final maximum loads.
+	HetMaxLoad, UnitMaxLoad float64
+}
+
+// Audit runs m coupled balls and reports whether the invariant held at
+// every step.
+func Audit(capacities []int64, d int, m int64, seed uint64) (*AuditResult, error) {
+	cp, err := New(capacities, d)
+	if err != nil {
+		return nil, err
+	}
+	r := xrand.New(seed)
+	res := &AuditResult{Balls: m}
+	for i := int64(1); i <= m; i++ {
+		ok, err := cp.Step(r)
+		if err != nil {
+			return nil, err
+		}
+		if !ok && res.Violation == 0 {
+			res.Violation = i
+		}
+	}
+	res.HetMaxLoad, res.UnitMaxLoad = cp.MaxLoads()
+	return res, nil
+}

@@ -1,0 +1,118 @@
+package coupling
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, 2); err == nil {
+		t.Error("empty capacities accepted")
+	}
+	if _, err := New([]int64{1}, 0); err == nil {
+		t.Error("d = 0 accepted")
+	}
+	if _, err := New([]int64{0}, 2); err == nil {
+		t.Error("zero capacity accepted")
+	}
+}
+
+func TestCoupledStateAccess(t *testing.T) {
+	cp, err := New([]int64{2, 3}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Het().N() != 2 || cp.Unit().N() != 5 {
+		t.Fatalf("N het=%d unit=%d", cp.Het().N(), cp.Unit().N())
+	}
+	if cp.Steps() != 0 {
+		t.Fatal("fresh coupled pair has steps")
+	}
+	ok, err := cp.Holds()
+	if err != nil || !ok {
+		t.Fatalf("empty state should majorise trivially: %v %v", ok, err)
+	}
+	r := xrand.New(1)
+	if _, err := cp.Step(r); err != nil {
+		t.Fatal(err)
+	}
+	if cp.Steps() != 1 {
+		t.Fatalf("Steps = %d", cp.Steps())
+	}
+	if cp.Het().TotalBalls() != 1 || cp.Unit().TotalBalls() != 1 {
+		t.Fatal("Step did not place one ball in each process")
+	}
+}
+
+func TestAuditInvariantHolds(t *testing.T) {
+	configs := [][]int64{
+		{4, 4},
+		{1, 2, 3},
+		{1, 1, 1, 1, 8},
+		{5, 1, 3, 1},
+		{2, 2, 2, 2, 2, 2},
+	}
+	for _, caps := range configs {
+		var total int64
+		for _, c := range caps {
+			total += c
+		}
+		for _, d := range []int{1, 2, 3} {
+			res, err := Audit(caps, d, 2*total, 99)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Violation != 0 {
+				t.Fatalf("caps %v d=%d: majorisation violated at ball %d", caps, d, res.Violation)
+			}
+			if res.HetMaxLoad > res.UnitMaxLoad {
+				t.Fatalf("caps %v d=%d: het max %v exceeds unit max %v in the coupled run",
+					caps, d, res.HetMaxLoad, res.UnitMaxLoad)
+			}
+		}
+	}
+}
+
+// Property: the coupled invariant holds for random capacity vectors,
+// choices of d, and seeds.
+func TestQuickAuditHolds(t *testing.T) {
+	f := func(seed uint64, raw []uint8, dRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 6 {
+			raw = raw[:6]
+		}
+		caps := make([]int64, len(raw))
+		var total int64
+		for i, v := range raw {
+			caps[i] = int64(v%6) + 1
+			total += caps[i]
+		}
+		d := int(dRaw%3) + 1
+		res, err := Audit(caps, d, total, seed)
+		if err != nil {
+			return false
+		}
+		return res.Violation == 0 && res.HetMaxLoad <= res.UnitMaxLoad
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCoupledStep(b *testing.B) {
+	cp, err := New([]int64{1, 2, 3, 4, 5, 6, 7, 8}, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := xrand.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cp.Step(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,391 @@
+// Package exact computes exact outcome distributions of small
+// balls-into-bins games by enumerating every sequence of random choices
+// with its probability. It exists to validate the Monte-Carlo simulator:
+// for systems small enough to enumerate (n^d·m paths ≲ 10^7), the
+// simulator's empirical frequencies must converge to these exact values.
+//
+// The enumeration walks the full probability tree: each ball contributes
+// n^d weighted choice tuples, and uniform tie-breaks inside Algorithm 1
+// split the probability mass further. State sharing (memoisation on the
+// multiset of ball counts) keeps common workloads cheap.
+package exact
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Game describes the exact game to enumerate: capacities, selection
+// weights, d choices, m balls, Algorithm 1 semantics.
+type Game struct {
+	Capacities []int64
+	// Weights are the selection weights (need not be normalised). Nil
+	// means capacity-proportional.
+	Weights []float64
+	D       int
+	Balls   int
+}
+
+func (g *Game) validate() error {
+	if len(g.Capacities) == 0 {
+		return fmt.Errorf("exact: no capacities")
+	}
+	for i, c := range g.Capacities {
+		if c < 1 {
+			return fmt.Errorf("exact: capacity %d of bin %d", c, i)
+		}
+	}
+	if g.Weights != nil && len(g.Weights) != len(g.Capacities) {
+		return fmt.Errorf("exact: %d weights for %d bins", len(g.Weights), len(g.Capacities))
+	}
+	if g.D < 1 {
+		return fmt.Errorf("exact: d = %d", g.D)
+	}
+	if g.Balls < 0 {
+		return fmt.Errorf("exact: m = %d", g.Balls)
+	}
+	cost := math.Pow(float64(len(g.Capacities)), float64(g.D)) * float64(g.Balls+1)
+	if cost > 5e7 {
+		return fmt.Errorf("exact: game too large to enumerate (n^d·m = %g)", cost)
+	}
+	return nil
+}
+
+func (g *Game) weights() []float64 {
+	if g.Weights != nil {
+		return g.Weights
+	}
+	w := make([]float64, len(g.Capacities))
+	for i, c := range g.Capacities {
+		w[i] = float64(c)
+	}
+	return w
+}
+
+// Result is the exact outcome distribution.
+type Result struct {
+	// MaxLoadDist maps each achievable final maximum load to its exact
+	// probability (keys rounded to 12 decimals for stable comparison).
+	MaxLoadDist map[float64]float64
+	// MeanMaxLoad is the exact expectation of the final maximum load.
+	MeanMaxLoad float64
+	// BinMeanBalls is the exact expected ball count per bin.
+	BinMeanBalls []float64
+}
+
+// state is a memo key: ball counts joined by commas. Selection weights do
+// not change during the game, so ball counts fully determine the future.
+type state string
+
+func stateKey(balls []int64) state {
+	var sb strings.Builder
+	for i, b := range balls {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.FormatInt(b, 10))
+	}
+	return state(sb.String())
+}
+
+// Run enumerates the game exactly.
+func Run(g Game) (*Result, error) {
+	if err := g.validate(); err != nil {
+		return nil, err
+	}
+	n := len(g.Capacities)
+	w := g.weights()
+	total := 0.0
+	for i, v := range w {
+		if v < 0 || v != v {
+			return nil, fmt.Errorf("exact: invalid weight %v at %d", v, i)
+		}
+		total += v
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("exact: no positive weights")
+	}
+	probs := make([]float64, n)
+	for i, v := range w {
+		probs[i] = v / total
+	}
+
+	// Distribution over states after each ball, as a map state→prob.
+	cur := map[state]float64{stateKey(make([]int64, n)): 1}
+	parse := func(s state) []int64 {
+		parts := strings.Split(string(s), ",")
+		out := make([]int64, len(parts))
+		for i, p := range parts {
+			v, _ := strconv.ParseInt(p, 10, 64)
+			out[i] = v
+		}
+		return out
+	}
+
+	// Pre-enumerate all n^d choice tuples with probabilities.
+	type tuple struct {
+		bins []int
+		p    float64
+	}
+	var tuples []tuple
+	var build func(prefix []int, p float64)
+	build = func(prefix []int, p float64) {
+		if len(prefix) == g.D {
+			bs := make([]int, g.D)
+			copy(bs, prefix)
+			tuples = append(tuples, tuple{bins: bs, p: p})
+			return
+		}
+		for b := 0; b < n; b++ {
+			if probs[b] == 0 {
+				continue
+			}
+			build(append(prefix, b), p*probs[b])
+		}
+	}
+	build(nil, 1)
+
+	for ball := 0; ball < g.Balls; ball++ {
+		next := make(map[state]float64, len(cur))
+		for s, sp := range cur {
+			balls := parse(s)
+			for _, t := range tuples {
+				winners := algorithm1Winners(g.Capacities, balls, t.bins)
+				share := t.p * sp / float64(len(winners))
+				for _, wbin := range winners {
+					balls[wbin]++
+					next[stateKey(balls)] += share
+					balls[wbin]--
+				}
+			}
+		}
+		cur = next
+	}
+
+	res := &Result{
+		MaxLoadDist:  map[float64]float64{},
+		BinMeanBalls: make([]float64, n),
+	}
+	for s, sp := range cur {
+		balls := parse(s)
+		maxLoad := 0.0
+		for i, b := range balls {
+			l := float64(b) / float64(g.Capacities[i])
+			if l > maxLoad {
+				maxLoad = l
+			}
+			res.BinMeanBalls[i] += sp * float64(b)
+		}
+		key := roundKey(maxLoad)
+		res.MaxLoadDist[key] += sp
+		res.MeanMaxLoad += sp * maxLoad
+	}
+	return res, nil
+}
+
+func roundKey(v float64) float64 {
+	return math.Round(v*1e12) / 1e12
+}
+
+// OneBallDistribution returns the exact probability that each bin
+// receives the next ball under Algorithm 1, for an arbitrary current
+// state: capacities caps, current ball counts balls, selection weights
+// (nil = proportional), and d choices. It enumerates all n^d choice
+// tuples. Used by the protocol test suite to validate the sampler-driven
+// implementation state by state.
+func OneBallDistribution(caps, balls []int64, weights []float64, d int) ([]float64, error) {
+	n := len(caps)
+	if n == 0 || len(balls) != n {
+		return nil, fmt.Errorf("exact: %d capacities, %d counts", n, len(balls))
+	}
+	if d < 1 {
+		return nil, fmt.Errorf("exact: d = %d", d)
+	}
+	if math.Pow(float64(n), float64(d)) > 1e6 {
+		return nil, fmt.Errorf("exact: n^d too large to enumerate")
+	}
+	if weights == nil {
+		weights = make([]float64, n)
+		for i, c := range caps {
+			weights[i] = float64(c)
+		}
+	}
+	if len(weights) != n {
+		return nil, fmt.Errorf("exact: %d weights for %d bins", len(weights), n)
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 || w != w {
+			return nil, fmt.Errorf("exact: invalid weight %v", w)
+		}
+		total += w
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("exact: no positive weights")
+	}
+	out := make([]float64, n)
+	choices := make([]int, d)
+	var walk func(pos int, p float64)
+	walk = func(pos int, p float64) {
+		if pos == d {
+			winners := algorithm1Winners(caps, balls, choices)
+			share := p / float64(len(winners))
+			for _, w := range winners {
+				out[w] += share
+			}
+			return
+		}
+		for b := 0; b < n; b++ {
+			if weights[b] == 0 {
+				continue
+			}
+			choices[pos] = b
+			walk(pos+1, p*weights[b]/total)
+		}
+	}
+	walk(0, 1)
+	return out, nil
+}
+
+// OneBallDistributionStandard is OneBallDistribution for the
+// capacity-oblivious Standard protocol: candidates compared by ball
+// count only, ties broken uniformly over the distinct tied bins.
+func OneBallDistributionStandard(caps, balls []int64, weights []float64, d int) ([]float64, error) {
+	n := len(caps)
+	if n == 0 || len(balls) != n {
+		return nil, fmt.Errorf("exact: %d capacities, %d counts", n, len(balls))
+	}
+	if d < 1 {
+		return nil, fmt.Errorf("exact: d = %d", d)
+	}
+	if math.Pow(float64(n), float64(d)) > 1e6 {
+		return nil, fmt.Errorf("exact: n^d too large to enumerate")
+	}
+	if weights == nil {
+		weights = make([]float64, n)
+		for i, c := range caps {
+			weights[i] = float64(c)
+		}
+	}
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("exact: no positive weights")
+	}
+	out := make([]float64, n)
+	choices := make([]int, d)
+	var walk func(pos int, p float64)
+	walk = func(pos int, p float64) {
+		if pos == d {
+			winners := standardWinners(balls, choices)
+			share := p / float64(len(winners))
+			for _, w := range winners {
+				out[w] += share
+			}
+			return
+		}
+		for b := 0; b < n; b++ {
+			if weights[b] == 0 {
+				continue
+			}
+			choices[pos] = b
+			walk(pos+1, p*weights[b]/total)
+		}
+	}
+	walk(0, 1)
+	return out, nil
+}
+
+// standardWinners returns the distinct candidates minimising the ball
+// count.
+func standardWinners(balls []int64, choices []int) []int {
+	var set []int
+	for _, b := range choices {
+		dup := false
+		for _, e := range set {
+			if e == b {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			set = append(set, b)
+		}
+	}
+	winners := set[:1]
+	for _, b := range set[1:] {
+		switch {
+		case balls[b] < balls[winners[0]]:
+			winners = append(winners[:0], b)
+		case balls[b] == balls[winners[0]]:
+			winners = append(winners, b)
+		}
+	}
+	sort.Ints(winners)
+	return winners
+}
+
+// algorithm1Winners applies Algorithm 1's deterministic filtering to a
+// choice tuple and returns the set of bins the final uniform tie-break
+// chooses among: dedup the tuple into a set, keep the minimum
+// post-allocation load (exact rational comparison), then keep the
+// maximum capacity.
+func algorithm1Winners(caps, balls []int64, choices []int) []int {
+	// set B
+	var set []int
+	for _, b := range choices {
+		dup := false
+		for _, e := range set {
+			if e == b {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			set = append(set, b)
+		}
+	}
+	// Bopt: minimal (balls+1)/cap
+	opt := set[:1]
+	for _, b := range set[1:] {
+		cmp := cmpRatio(balls[b]+1, caps[b], balls[opt[0]]+1, caps[opt[0]])
+		switch {
+		case cmp < 0:
+			opt = append(opt[:0], b)
+		case cmp == 0:
+			opt = append(opt, b)
+		}
+	}
+	// max capacity filter
+	maxCap := caps[opt[0]]
+	for _, b := range opt[1:] {
+		if caps[b] > maxCap {
+			maxCap = caps[b]
+		}
+	}
+	var winners []int
+	for _, b := range opt {
+		if caps[b] == maxCap {
+			winners = append(winners, b)
+		}
+	}
+	sort.Ints(winners)
+	return winners
+}
+
+func cmpRatio(p, q, r, s int64) int {
+	lhs, rhs := p*s, r*q
+	switch {
+	case lhs < rhs:
+		return -1
+	case lhs > rhs:
+		return 1
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,247 @@
+package exact
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bins"
+	"repro/internal/protocol"
+	"repro/internal/xrand"
+)
+
+func TestValidation(t *testing.T) {
+	if _, err := Run(Game{D: 2, Balls: 1}); err == nil {
+		t.Error("no capacities accepted")
+	}
+	if _, err := Run(Game{Capacities: []int64{0}, D: 2, Balls: 1}); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := Run(Game{Capacities: []int64{1}, D: 0, Balls: 1}); err == nil {
+		t.Error("d = 0 accepted")
+	}
+	if _, err := Run(Game{Capacities: []int64{1}, D: 2, Balls: -1}); err == nil {
+		t.Error("negative balls accepted")
+	}
+	if _, err := Run(Game{Capacities: []int64{1, 1}, Weights: []float64{1}, D: 2, Balls: 1}); err == nil {
+		t.Error("weight length mismatch accepted")
+	}
+	if _, err := Run(Game{Capacities: make([]int64, 100), D: 4, Balls: 1000}); err == nil {
+		t.Error("huge game accepted")
+	}
+	if _, err := Run(Game{Capacities: []int64{1, 1}, Weights: []float64{0, 0}, D: 2, Balls: 1}); err == nil {
+		t.Error("zero weights accepted")
+	}
+}
+
+// TestSingleBallTwoBins: hand-computed distribution. Two unit bins,
+// uniform weights, d = 2, one ball. Choice tuples: (0,0) p=1/4 → bin 0;
+// (1,1) p=1/4 → bin 1; (0,1) and (1,0) p=1/4 each → tie on post-load and
+// capacity → uniform over {0,1}. Expected balls: 1/2 each; max load 1
+// with probability 1.
+func TestSingleBallTwoBins(t *testing.T) {
+	res, err := Run(Game{Capacities: []int64{1, 1}, Weights: []float64{1, 1}, D: 2, Balls: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.BinMeanBalls[0]-0.5) > 1e-12 || math.Abs(res.BinMeanBalls[1]-0.5) > 1e-12 {
+		t.Fatalf("BinMeanBalls = %v", res.BinMeanBalls)
+	}
+	if math.Abs(res.MeanMaxLoad-1) > 1e-12 {
+		t.Fatalf("MeanMaxLoad = %v", res.MeanMaxLoad)
+	}
+	if p := res.MaxLoadDist[1]; math.Abs(p-1) > 1e-12 {
+		t.Fatalf("P[max=1] = %v", p)
+	}
+}
+
+// TestCapacityTieBreakExact: bins of capacity 1 and 4, weights equal,
+// one ball, d = 2. Post loads: bin0 1/1 = 1, bin1 1/4. Bin 1 strictly
+// wins whenever drawn: tuples (0,0) → bin 0 (p 1/4); all others → bin 1
+// (p 3/4).
+func TestCapacityTieBreakExact(t *testing.T) {
+	res, err := Run(Game{Capacities: []int64{1, 4}, Weights: []float64{1, 1}, D: 2, Balls: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.BinMeanBalls[0]-0.25) > 1e-12 {
+		t.Fatalf("bin 0 mean = %v, want 0.25", res.BinMeanBalls[0])
+	}
+	if math.Abs(res.BinMeanBalls[1]-0.75) > 1e-12 {
+		t.Fatalf("bin 1 mean = %v, want 0.75", res.BinMeanBalls[1])
+	}
+	// max load: 1 with p 1/4 (ball in unit bin), else 1/4.
+	if p := res.MaxLoadDist[1]; math.Abs(p-0.25) > 1e-12 {
+		t.Fatalf("P[max=1] = %v", p)
+	}
+	if p := res.MaxLoadDist[0.25]; math.Abs(p-0.75) > 1e-12 {
+		t.Fatalf("P[max=1/4] = %v", p)
+	}
+}
+
+// TestExactTieTupleHandComputed: the worked tie case from the protocol
+// tests — bin 0 (cap 1, empty), bin 1 (cap 4, 3 balls). Post loads both
+// 1 when both drawn; capacity filter keeps bin 1. With uniform weights,
+// bin 0 receives the ball only on the (0,0) tuple: p = 1/4. We encode
+// the 3 preload balls by weighting the game: weights (0,1) for 3 balls
+// then... simpler: enumerate a 4-ball game where bin 1 must win the
+// first three (weights force it) is convoluted — instead check via the
+// probabilities of a 1-ball game on capacities (1,4) with bin 1
+// preloaded using the Balls+initial-state trick below.
+func TestExactMatchesSimulatorTieCase(t *testing.T) {
+	// Build the preloaded situation through the simulator: since exact.Run
+	// starts empty, emulate the preload by a capacity-4 bin that already
+	// holds 3 balls — the post-load tie then happens on ball 4 of a pure
+	// weight-steered sequence. Easier and fully exact: compare simulator
+	// frequencies against exact.Run on the *empty* (1,4) game over 4
+	// balls, which exercises the same comparison logic on every step.
+	g := Game{Capacities: []int64{1, 4}, Weights: []float64{1, 1}, D: 2, Balls: 4}
+	res, err := Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// probabilities sum to 1
+	sum := 0.0
+	for _, p := range res.MaxLoadDist {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("MaxLoadDist sums to %v", sum)
+	}
+	// Monte-Carlo comparison with the real protocol implementation.
+	const reps = 200000
+	arr := bins.MustNew(g.Capacities)
+	empirical := map[float64]float64{}
+	meanMax := 0.0
+	for rep := 0; rep < reps; rep++ {
+		arr.Reset()
+		r := xrand.NewStream(77, uint64(rep))
+		pl, err := protocol.NewGreedy(arr, g.Weights, g.D)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for b := 0; b < g.Balls; b++ {
+			pl.Place(arr, r)
+		}
+		ml := roundKey(arr.MaxLoad())
+		empirical[ml] += 1.0 / reps
+		meanMax += arr.MaxLoad() / reps
+	}
+	if math.Abs(meanMax-res.MeanMaxLoad) > 0.01 {
+		t.Fatalf("mean max: sim %.5f vs exact %.5f", meanMax, res.MeanMaxLoad)
+	}
+	for k, pExact := range res.MaxLoadDist {
+		if math.Abs(empirical[k]-pExact) > 0.01 {
+			t.Fatalf("P[max=%v]: sim %.5f vs exact %.5f", k, empirical[k], pExact)
+		}
+	}
+	for k := range empirical {
+		if _, ok := res.MaxLoadDist[k]; !ok && empirical[k] > 0.001 {
+			t.Fatalf("simulator produced max load %v the exact model never does", k)
+		}
+	}
+}
+
+// TestExactMatchesSimulatorHeterogeneous cross-validates on a three-bin
+// heterogeneous game with proportional weights.
+func TestExactMatchesSimulatorHeterogeneous(t *testing.T) {
+	g := Game{Capacities: []int64{1, 2, 3}, D: 2, Balls: 6}
+	res, err := Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const reps = 200000
+	arr := bins.MustNew(g.Capacities)
+	weights := []float64{1, 2, 3}
+	var meanMax float64
+	binMeans := make([]float64, 3)
+	for rep := 0; rep < reps; rep++ {
+		arr.Reset()
+		r := xrand.NewStream(123, uint64(rep))
+		pl, err := protocol.NewGreedy(arr, weights, g.D)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for b := 0; b < g.Balls; b++ {
+			pl.Place(arr, r)
+		}
+		meanMax += arr.MaxLoad() / reps
+		for i := 0; i < 3; i++ {
+			binMeans[i] += float64(arr.Balls(i)) / reps
+		}
+	}
+	if math.Abs(meanMax-res.MeanMaxLoad) > 0.01 {
+		t.Fatalf("mean max: sim %.5f vs exact %.5f", meanMax, res.MeanMaxLoad)
+	}
+	for i := range binMeans {
+		if math.Abs(binMeans[i]-res.BinMeanBalls[i]) > 0.02 {
+			t.Fatalf("bin %d mean: sim %.5f vs exact %.5f", i, binMeans[i], res.BinMeanBalls[i])
+		}
+	}
+}
+
+// TestBallConservationExact: expected bin counts sum to m.
+func TestBallConservationExact(t *testing.T) {
+	g := Game{Capacities: []int64{2, 3, 4}, D: 3, Balls: 5}
+	res, err := Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, v := range res.BinMeanBalls {
+		sum += v
+	}
+	if math.Abs(sum-5) > 1e-9 {
+		t.Fatalf("expected counts sum to %v, want 5", sum)
+	}
+}
+
+// TestZeroBalls: empty game.
+func TestZeroBalls(t *testing.T) {
+	res, err := Run(Game{Capacities: []int64{1, 2}, D: 2, Balls: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanMaxLoad != 0 {
+		t.Fatalf("MeanMaxLoad = %v", res.MeanMaxLoad)
+	}
+	if p := res.MaxLoadDist[0]; math.Abs(p-1) > 1e-12 {
+		t.Fatalf("P[max=0] = %v", p)
+	}
+}
+
+// TestZeroWeightBinNeverReceives: exact model respects zero selection
+// weights.
+func TestZeroWeightBinNeverReceives(t *testing.T) {
+	res, err := Run(Game{
+		Capacities: []int64{1, 1, 1},
+		Weights:    []float64{0, 1, 1},
+		D:          2,
+		Balls:      4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BinMeanBalls[0] != 0 {
+		t.Fatalf("zero-weight bin received %v expected balls", res.BinMeanBalls[0])
+	}
+}
+
+func TestAlgorithm1WinnersUnit(t *testing.T) {
+	caps := []int64{1, 1, 4}
+	balls := []int64{0, 1, 3}
+	// choices {0,2}: post loads 1 vs 1 → tie → capacity filter keeps 2.
+	w := algorithm1Winners(caps, balls, []int{0, 2})
+	if len(w) != 1 || w[0] != 2 {
+		t.Fatalf("winners = %v, want [2]", w)
+	}
+	// choices {0,1}: post loads 1 vs 2 → bin 0 wins.
+	w = algorithm1Winners(caps, balls, []int{0, 1})
+	if len(w) != 1 || w[0] != 0 {
+		t.Fatalf("winners = %v, want [0]", w)
+	}
+	// duplicate choice collapses: {1,1} → bin 1.
+	w = algorithm1Winners(caps, balls, []int{1, 1})
+	if len(w) != 1 || w[0] != 1 {
+		t.Fatalf("winners = %v, want [1]", w)
+	}
+}

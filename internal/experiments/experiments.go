@@ -1,0 +1,106 @@
+// Package experiments defines one runnable experiment per figure of the
+// paper's evaluation section (§4, Figures 1–18), plus validation
+// experiments for the analytical results (Observation 1, Theorem 3,
+// Theorem 5, Lemma 1).
+//
+// Each experiment regenerates the data series behind its figure as one or
+// more tables. Defaults reproduce the paper's parameters where that is
+// computationally reasonable; repetition counts default lower than the
+// paper's 10,000 (and Fig 17's 1,000,000) — the shapes are stable already
+// at the defaults, and the Params let callers dial anything up.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/table"
+)
+
+// Params tune an experiment run without changing its structure.
+type Params struct {
+	// Reps overrides the experiment's default repetitions per data point.
+	Reps int
+	// Seed is the base RNG seed (default 1).
+	Seed uint64
+	// Workers caps parallelism (0 = GOMAXPROCS).
+	Workers int
+	// Scale in (0, 1] shrinks problem sizes (number of bins, sweep
+	// density) for quick runs and benchmarks. 0 means 1 (full size).
+	Scale float64
+}
+
+func (p Params) seed() uint64 {
+	if p.Seed == 0 {
+		return 1
+	}
+	return p.Seed
+}
+
+func (p Params) scale() float64 {
+	if p.Scale <= 0 || p.Scale > 1 {
+		return 1
+	}
+	return p.Scale
+}
+
+// reps returns the repetition count: the override, or the experiment
+// default scaled like the problem size (with a floor of 3 so means stay
+// meaningful).
+func (p Params) reps(def int) int {
+	if p.Reps > 0 {
+		return p.Reps
+	}
+	r := int(float64(def) * p.scale())
+	if r < 3 {
+		r = 3
+	}
+	return r
+}
+
+// scaledN scales a problem dimension, keeping at least min.
+func (p Params) scaledN(n, min int) int {
+	s := int(float64(n) * p.scale())
+	if s < min {
+		s = min
+	}
+	return s
+}
+
+// Experiment is a registered, runnable reproduction of one paper figure
+// (or analytical validation).
+type Experiment struct {
+	// ID is the lookup key, e.g. "fig06" or "thm3".
+	ID string
+	// Title is a one-line description.
+	Title string
+	// AliasOf names another experiment whose run also produces this
+	// figure's table (e.g. fig07 is produced by fig06's sweep).
+	AliasOf string
+	// Run executes the experiment.
+	Run func(p Params) ([]*table.Table, error)
+}
+
+var registry []Experiment
+
+func register(e Experiment) {
+	registry = append(registry, e)
+}
+
+// All returns every registered experiment sorted by ID.
+func All() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Get looks up an experiment by ID.
+func Get(id string) (Experiment, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}

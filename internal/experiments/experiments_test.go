@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// tiny returns Params that make every experiment fast enough for CI.
+func tiny() Params {
+	return Params{Reps: 5, Seed: 7, Scale: 0.02}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig01", "fig02", "fig03", "fig04", "fig05", "fig06", "fig07",
+		"fig08", "fig09", "fig10", "fig11", "fig12", "fig13", "fig14",
+		"fig15", "fig16", "fig17", "fig18",
+		"obs1", "thm3", "thm5", "lemma1", "lemma1-coupling",
+		"ablation-tiebreak", "ablation-dist", "ext-oneplusbeta",
+		"ext-heights", "ext-batch", "ext-heavyhet", "ext-migration",
+		"ext-wieder", "ext-tune", "ext-fairness", "ext-cluster", "ext-vnodes", "summary",
+	}
+	all := All()
+	got := map[string]bool{}
+	for _, e := range all {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Fatalf("malformed experiment %+v", e)
+		}
+		if got[e.ID] {
+			t.Fatalf("duplicate experiment %s", e.ID)
+		}
+		got[e.ID] = true
+	}
+	for _, id := range want {
+		if !got[id] {
+			t.Errorf("missing experiment %s", id)
+		}
+	}
+	// sorted by ID
+	for i := 1; i < len(all); i++ {
+		if all[i-1].ID >= all[i].ID {
+			t.Fatal("All() not sorted")
+		}
+	}
+}
+
+func TestGet(t *testing.T) {
+	e, err := Get("fig01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.ID != "fig01" {
+		t.Fatalf("Get returned %s", e.ID)
+	}
+	if _, err := Get("nope"); err == nil {
+		t.Fatal("unknown ID accepted")
+	}
+}
+
+func TestAliasesPointAtRealExperiments(t *testing.T) {
+	for _, e := range All() {
+		if e.AliasOf == "" {
+			continue
+		}
+		target, err := Get(e.AliasOf)
+		if err != nil {
+			t.Errorf("%s aliases unknown %s", e.ID, e.AliasOf)
+			continue
+		}
+		if target.AliasOf != "" {
+			t.Errorf("%s aliases another alias %s", e.ID, e.AliasOf)
+		}
+	}
+}
+
+// TestAllExperimentsRunAtTinyScale smoke-tests every experiment end to
+// end. Aliased experiments are skipped (their target covers them).
+func TestAllExperimentsRunAtTinyScale(t *testing.T) {
+	for _, e := range All() {
+		if e.AliasOf != "" {
+			continue
+		}
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tabs, err := e.Run(tiny())
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(tabs) == 0 {
+				t.Fatalf("%s returned no tables", e.ID)
+			}
+			for _, tab := range tabs {
+				if tab.Title == "" {
+					t.Errorf("%s produced an untitled table", e.ID)
+				}
+				if tab.NumRows() == 0 {
+					t.Errorf("%s produced empty table %q", e.ID, tab.Title)
+				}
+				var sb strings.Builder
+				if err := tab.WriteTSV(&sb); err != nil {
+					t.Errorf("%s: TSV render: %v", e.ID, err)
+				}
+			}
+		})
+	}
+}
+
+func TestParamsDefaults(t *testing.T) {
+	var p Params
+	if p.seed() != 1 {
+		t.Error("default seed should be 1")
+	}
+	if p.scale() != 1 {
+		t.Error("default scale should be 1")
+	}
+	if p.reps(100) != 100 {
+		t.Error("default reps should be the experiment default")
+	}
+	p.Reps = 7
+	if p.reps(100) != 7 {
+		t.Error("reps override ignored")
+	}
+	p = Params{Scale: 0.001}
+	if p.reps(100) != 3 {
+		t.Errorf("scaled reps floor = %d, want 3", p.reps(100))
+	}
+	if p.scaledN(10000, 50) != 50 {
+		t.Error("scaledN floor broken")
+	}
+	p = Params{Scale: 5} // out of range → treated as 1
+	if p.scale() != 1 {
+		t.Error("out-of-range scale not clamped")
+	}
+}
+
+// TestFig06Shape: max load decreases substantially from 0% large bins to
+// 100% large bins (the paper's headline effect). Run at a moderate scale
+// so the shape is stable.
+func TestFig06Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test needs a moderate scale")
+	}
+	tabs, err := mixSweep(Params{Reps: 60, Seed: 3, Scale: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxCol, err := tabs[0].Col("max_load_mean")
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := maxCol[0], maxCol[len(maxCol)-1]
+	if first < 2.0 {
+		t.Errorf("max load with all-small bins = %.3f, expected >= 2 (lnln n/ln 2 regime)", first)
+	}
+	if last > 2.0 {
+		t.Errorf("max load with all-large bins = %.3f, expected < 2", last)
+	}
+	if last >= first {
+		t.Errorf("max load did not decrease: %.3f -> %.3f", first, last)
+	}
+	// Figure 7 series: small bins hold the max initially, large at the end.
+	smallCol, err := tabs[1].Col("pct_small_has_max")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if smallCol[1] < 50 {
+		t.Errorf("small bins hold max in only %.1f%% of runs at 1 step", smallCol[1])
+	}
+}

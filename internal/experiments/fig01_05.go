@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/bins"
+	"repro/internal/sim"
+	"repro/internal/table"
+	"repro/internal/theory"
+)
+
+// uniformDistribution runs the §4.1 uniform-bin games: n bins of equal
+// capacity, m = factor·C balls, d = 2, capacity-proportional selection
+// (which for uniform bins equals uniform selection), and returns the mean
+// sorted load distribution per capacity plus a max-load summary.
+func uniformDistribution(p Params, n int, caps []int64, factor float64, defReps int, figName string) ([]*table.Table, error) {
+	reps := p.reps(defReps)
+	cols := []string{"bin"}
+	for _, c := range caps {
+		cols = append(cols, fmt.Sprintf("load_c%d", c))
+	}
+	distTab := table.New(fmt.Sprintf("%s: %d uniform bins, load distribution for %g*C balls (d=2, %d reps)",
+		figName, n, factor, reps), cols...)
+
+	sumTab := table.New(fmt.Sprintf("%s summary: max load per capacity", figName),
+		"capacity", "balls", "max_load_mean", "max_load_ci95", "obs2_prediction")
+
+	vectors := make([][]float64, 0, len(caps))
+	for _, c := range caps {
+		arr, err := bins.Uniform(n, c)
+		if err != nil {
+			return nil, err
+		}
+		res, err := sim.Run(sim.Config{
+			Array:             arr,
+			BallsFactor:       factor,
+			Reps:              reps,
+			Seed:              p.seed(),
+			Workers:           p.Workers,
+			CollectLoadVector: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		vectors = append(vectors, res.MeanSortedLoads)
+		m := int64(res.Balls.Mean())
+		sumTab.MustAddRow(float64(c), float64(m),
+			res.MaxLoad.Mean(), res.MaxLoad.CI95(),
+			theory.UniformCapacityMaxLoad(m, n, 2, c))
+	}
+	for i := 0; i < n; i++ {
+		row := make([]float64, 0, len(caps)+1)
+		row = append(row, float64(i))
+		for _, v := range vectors {
+			row = append(row, v[i])
+		}
+		distTab.MustAddRow(row...)
+	}
+	return []*table.Table{distTab, sumTab}, nil
+}
+
+func init() {
+	register(Experiment{
+		ID:    "fig01",
+		Title: "Uniform bins: n=10000, d=2, c in {1,2,3,4,8}, m=C (load distribution)",
+		Run: func(p Params) ([]*table.Table, error) {
+			n := p.scaledN(10000, 100)
+			return uniformDistribution(p, n, []int64{1, 2, 3, 4, 8}, 1, 200, "Figure 1")
+		},
+	})
+	register(Experiment{
+		ID:    "fig02",
+		Title: "32 uniform bins, c in {1..4}: load distribution for C balls",
+		Run: func(p Params) ([]*table.Table, error) {
+			return uniformDistribution(p, 32, []int64{1, 2, 3, 4}, 1, 10000, "Figure 2")
+		},
+	})
+	register(Experiment{
+		ID:    "fig03",
+		Title: "32 uniform bins, c in {1..4}: load distribution for 10*C balls",
+		Run: func(p Params) ([]*table.Table, error) {
+			return uniformDistribution(p, 32, []int64{1, 2, 3, 4}, 10, 5000, "Figure 3")
+		},
+	})
+	register(Experiment{
+		ID:    "fig04",
+		Title: "32 uniform bins, c in {1..4}: load distribution for 100*C balls",
+		Run: func(p Params) ([]*table.Table, error) {
+			return uniformDistribution(p, 32, []int64{1, 2, 3, 4}, 100, 2000, "Figure 4")
+		},
+	})
+	register(Experiment{
+		ID:    "fig05",
+		Title: "32 uniform bins, c in {1..4}: load distribution for 1000*C balls",
+		Run: func(p Params) ([]*table.Table, error) {
+			return uniformDistribution(p, 32, []int64{1, 2, 3, 4}, 1000, 500, "Figure 5")
+		},
+	})
+}

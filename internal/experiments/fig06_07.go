@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/bins"
+	"repro/internal/sim"
+	"repro/internal/table"
+)
+
+// mixSweep runs the §4.2 two-class sweep: n bins of sizes cSmall/cLarge,
+// the fraction of large bins sweeping 0..100%, m = C balls each time.
+// It produces the Figure 6 series (max load vs fraction) and the Figure 7
+// series (how often a small bin attains the maximum load).
+func mixSweep(p Params) ([]*table.Table, error) {
+	const (
+		cSmall = 1
+		cLarge = 10
+	)
+	n := p.scaledN(1000, 100)
+	reps := p.reps(1000)
+	stepPct := 2
+	if p.scale() < 1 {
+		stepPct = 5
+	}
+
+	maxTab := table.New(fmt.Sprintf("Figure 6: bins of size 1 and 10, n=%d, m=C, d=2 (%d reps)", n, reps),
+		"pct_large", "total_capacity", "max_load_mean", "max_load_ci95")
+	locTab := table.New(fmt.Sprintf("Figure 7: location of maximally loaded bin, n=%d (%d reps)", n, reps),
+		"pct_large", "pct_small_has_max", "pct_large_has_max")
+
+	for pct := 0; pct <= 100; pct += stepPct {
+		nLarge := n * pct / 100
+		nSmall := n - nLarge
+		arr, err := bins.TwoClass(nSmall, cSmall, nLarge, cLarge)
+		if err != nil {
+			return nil, err
+		}
+		track := []int64{}
+		if nSmall > 0 {
+			track = append(track, cSmall)
+		}
+		if nLarge > 0 {
+			track = append(track, cLarge)
+		}
+		res, err := sim.Run(sim.Config{
+			Array:        arr,
+			Reps:         reps,
+			Seed:         p.seed(),
+			Workers:      p.Workers,
+			TrackClasses: track,
+		})
+		if err != nil {
+			return nil, err
+		}
+		maxTab.MustAddRow(float64(pct), float64(arr.TotalCapacity()),
+			res.MaxLoad.Mean(), res.MaxLoad.CI95())
+		locTab.MustAddRow(float64(pct),
+			100*res.ClassMaxFraction[cSmall], 100*res.ClassMaxFraction[cLarge])
+	}
+	return []*table.Table{maxTab, locTab}, nil
+}
+
+func init() {
+	register(Experiment{
+		ID:    "fig06",
+		Title: "Mixed 1/10 bins: max load vs fraction of large bins (also emits Figure 7)",
+		Run:   mixSweep,
+	})
+	register(Experiment{
+		ID:      "fig07",
+		Title:   "Mixed 1/10 bins: how often a small bin holds the max load",
+		AliasOf: "fig06",
+		Run:     mixSweep,
+	})
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/bins"
+	"repro/internal/sim"
+	"repro/internal/table"
+	"repro/internal/xrand"
+)
+
+// fig08 sweeps the §4.2 randomised bin sizes: n bins with capacities
+// 1 + Bin(7, (c-1)/7) for target mean capacity c from 1 to 8, m = C,
+// reporting max load against the (realised) total capacity.
+func fig08(p Params) ([]*table.Table, error) {
+	n := p.scaledN(10000, 200)
+	reps := p.reps(100)
+	step := 0.25
+	if p.scale() < 1 {
+		step = 0.5
+	}
+	tab := table.New(fmt.Sprintf("Figure 8: randomised bin sizes, n=%d, m=C, d=2 (%d reps)", n, reps),
+		"target_mean_c", "total_capacity_mean", "max_load_mean", "max_load_ci95")
+	for c := 1.0; c <= 8.0+1e-9; c += step {
+		c := c
+		res, err := sim.Run(sim.Config{
+			ArrayFn: func(r *xrand.Rand) (*bins.Array, error) {
+				return bins.RandomBinomial(n, c, r)
+			},
+			Reps:    reps,
+			Seed:    p.seed(),
+			Workers: p.Workers,
+		})
+		if err != nil {
+			return nil, err
+		}
+		tab.MustAddRow(c, res.TotalCapacity.Mean(), res.MaxLoad.Mean(), res.MaxLoad.CI95())
+	}
+	return []*table.Table{tab}, nil
+}
+
+// fig09 repeats the randomised-size sweep at n = 1000 and reports, per
+// capacity class x in {1, 2, 4, 6}, the percentage of repetitions in
+// which a size-x bin attains the maximum load.
+func fig09(p Params) ([]*table.Table, error) {
+	n := p.scaledN(1000, 100)
+	reps := p.reps(1000)
+	classes := []int64{1, 2, 4, 6}
+	step := 0.25
+	if p.scale() < 1 {
+		step = 0.5
+	}
+	cols := []string{"target_mean_c", "total_capacity_mean"}
+	for _, cl := range classes {
+		cols = append(cols, fmt.Sprintf("pct_max_in_size_%d", cl))
+	}
+	tab := table.New(fmt.Sprintf("Figure 9: randomised bin sizes, n=%d, location of max load (%d reps)", n, reps), cols...)
+	for c := 1.0; c <= 8.0+1e-9; c += step {
+		c := c
+		res, err := sim.Run(sim.Config{
+			ArrayFn: func(r *xrand.Rand) (*bins.Array, error) {
+				return bins.RandomBinomial(n, c, r)
+			},
+			Reps:         reps,
+			Seed:         p.seed(),
+			Workers:      p.Workers,
+			TrackClasses: classes,
+		})
+		if err != nil {
+			return nil, err
+		}
+		row := []float64{c, res.TotalCapacity.Mean()}
+		for _, cl := range classes {
+			row = append(row, 100*res.ClassMaxFraction[cl])
+		}
+		tab.MustAddRow(row...)
+	}
+	return []*table.Table{tab}, nil
+}
+
+func init() {
+	register(Experiment{
+		ID:    "fig08",
+		Title: "Randomised bin sizes: max load vs total capacity (n=10000)",
+		Run:   fig08,
+	})
+	register(Experiment{
+		ID:    "fig09",
+		Title: "Randomised bin sizes: which size class holds the max load (n=1000)",
+		Run:   fig09,
+	})
+}

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/bins"
+	"repro/internal/sim"
+	"repro/internal/table"
+)
+
+// twoClassDistributions runs the §4.2 fixed-ratio mixes and returns the
+// whole-array mean sorted load distribution for each mix (Figures 10 and
+// 11) and, when classTables is true, the per-class distributions
+// (Figures 12 and 13).
+func twoClassDistributions(p Params, n int, cLarge int64, largeCounts []int, defReps int, figName string, classTables bool) ([]*table.Table, error) {
+	reps := p.reps(defReps)
+	cols := []string{"bin"}
+	for _, nl := range largeCounts {
+		cols = append(cols, fmt.Sprintf("load_%dx%d_%dx1", nl, cLarge, n-nl))
+	}
+	allTab := table.New(fmt.Sprintf("%s: %d bins of capacity 1 and %d, m=C, d=2 (%d reps)", figName, n, cLarge, reps), cols...)
+
+	var largeTab, smallTab *table.Table
+	if classTables {
+		largeTab = table.New(fmt.Sprintf("Figure 12: load for bins of capacity %d only (%d reps)", cLarge, reps), cols...)
+		smallTab = table.New(fmt.Sprintf("Figure 13: load for bins of capacity 1 only (%d reps)", reps), cols...)
+	}
+
+	whole := make([][]float64, len(largeCounts))
+	largeVecs := make([][]float64, len(largeCounts))
+	smallVecs := make([][]float64, len(largeCounts))
+	for i, nl := range largeCounts {
+		arr, err := bins.TwoClass(n-nl, 1, nl, cLarge)
+		if err != nil {
+			return nil, err
+		}
+		cfg := sim.Config{
+			Array:             arr,
+			Reps:              reps,
+			Seed:              p.seed(),
+			Workers:           p.Workers,
+			CollectLoadVector: true,
+		}
+		if classTables {
+			var classes []int64
+			if nl < n {
+				classes = append(classes, 1)
+			}
+			if nl > 0 {
+				classes = append(classes, cLarge)
+			}
+			cfg.ClassLoadVectors = classes
+		}
+		res, err := sim.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		whole[i] = res.MeanSortedLoads
+		if classTables {
+			largeVecs[i] = res.ClassMeanSortedLoads[cLarge]
+			smallVecs[i] = res.ClassMeanSortedLoads[1]
+		}
+	}
+	appendRows := func(tab *table.Table, vecs [][]float64) {
+		for b := 0; b < n; b++ {
+			row := make([]float64, 0, len(vecs)+1)
+			row = append(row, float64(b))
+			any := false
+			for _, v := range vecs {
+				if b < len(v) {
+					row = append(row, v[b])
+					any = true
+				} else {
+					row = append(row, -1) // no bin of this class at this rank
+				}
+			}
+			if !any {
+				break
+			}
+			tab.MustAddRow(row...)
+		}
+	}
+	appendRows(allTab, whole)
+	out := []*table.Table{allTab}
+	if classTables {
+		largeTab.Comment = "cells of -1 mean the mix has fewer bins of this class than the rank"
+		smallTab.Comment = largeTab.Comment
+		appendRows(largeTab, largeVecs)
+		appendRows(smallTab, smallVecs)
+		out = append(out, largeTab, smallTab)
+	}
+	return out, nil
+}
+
+func fig10(p Params) ([]*table.Table, error) {
+	return twoClassDistributions(p, 32, 2, []int{0, 8, 16, 24, 32}, 10000, "Figure 10", false)
+}
+
+func fig11(p Params) ([]*table.Table, error) {
+	n := p.scaledN(10000, 100)
+	counts := []int{0, n / 4, n / 2, 3 * n / 4, n}
+	return twoClassDistributions(p, n, 8, counts, 200, "Figure 11", true)
+}
+
+func init() {
+	register(Experiment{
+		ID:    "fig10",
+		Title: "32 bins of capacity 1 and 2: load distributions per mix",
+		Run:   fig10,
+	})
+	register(Experiment{
+		ID:    "fig11",
+		Title: "10000 bins of capacity 1 and 8: load distributions per mix (also emits Figures 12, 13)",
+		Run:   fig11,
+	})
+	register(Experiment{
+		ID:      "fig12",
+		Title:   "Bins of capacities 1 and 8: distribution restricted to the capacity-8 bins",
+		AliasOf: "fig11",
+		Run:     fig11,
+	})
+	register(Experiment{
+		ID:      "fig13",
+		Title:   "Bins of capacities 1 and 8: distribution restricted to the capacity-1 bins",
+		AliasOf: "fig11",
+		Run:     fig11,
+	})
+}

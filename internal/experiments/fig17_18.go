@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/bins"
+	"repro/internal/dist"
+	"repro/internal/sim"
+	"repro/internal/table"
+)
+
+// powerMixMaxLoad runs the §4.5 game: n bins, half of capacity 1 and half
+// of capacity x, m = C balls, selection probabilities proportional to
+// c^t. Returns the mean max load.
+func powerMixMaxLoad(p Params, x int64, t float64, reps int) (float64, error) {
+	const n = 100
+	arr, err := bins.TwoClass(n/2, 1, n/2, x)
+	if err != nil {
+		return 0, err
+	}
+	res, err := sim.Run(sim.Config{
+		Array:   arr,
+		Dist:    dist.Power{T: t},
+		Reps:    reps,
+		Seed:    p.seed(),
+		Workers: p.Workers,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return res.MaxLoad.Mean(), nil
+}
+
+// fig17 sweeps the exponent t for each big-bin capacity x in {2..14} and
+// reports the t that minimises the mean maximum load. The paper uses a
+// grid of step 0.005 with 1,000,000 repetitions; we default to step 0.05
+// with the Params-controlled repetition count, which pins the optimum to
+// within the grid step.
+func fig17(p Params) ([]*table.Table, error) {
+	reps := p.reps(2000)
+	tStep := 0.05
+	if p.scale() < 1 {
+		tStep = 0.25
+	}
+	tab := table.New(fmt.Sprintf("Figure 17: optimal exponent per big-bin capacity (n=100, 50/50 mix, %d reps)", reps),
+		"capacity_x", "optimal_t", "max_load_at_opt", "max_load_at_t1")
+	for x := int64(2); x <= 14; x++ {
+		bestT, bestLoad := 0.0, 0.0
+		var atOne float64
+		first := true
+		for t := 1.0; t <= 3.0+1e-9; t += tStep {
+			ml, err := powerMixMaxLoad(p, x, t, reps)
+			if err != nil {
+				return nil, err
+			}
+			if first || ml < bestLoad {
+				bestT, bestLoad = t, ml
+				first = false
+			}
+			if t == 1.0 {
+				atOne = ml
+			}
+		}
+		tab.MustAddRow(float64(x), bestT, bestLoad, atOne)
+	}
+	return []*table.Table{tab}, nil
+}
+
+// fig18 plots the mean max load as a function of the exponent t for
+// capacity pairs (1, k), k in {2..6}.
+func fig18(p Params) ([]*table.Table, error) {
+	reps := p.reps(2000)
+	tStep := 0.1
+	if p.scale() < 1 {
+		tStep = 0.35
+	}
+	ks := []int64{2, 3, 4, 5, 6}
+	cols := []string{"t"}
+	for _, k := range ks {
+		cols = append(cols, fmt.Sprintf("max_load_caps_1_and_%d", k))
+	}
+	tab := table.New(fmt.Sprintf("Figure 18: max load vs exponent (n=100, 50/50 mix, %d reps)", reps), cols...)
+	for t := 0.0; t <= 3.5+1e-9; t += tStep {
+		row := []float64{t}
+		for _, k := range ks {
+			ml, err := powerMixMaxLoad(p, k, t, reps)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, ml)
+		}
+		tab.MustAddRow(row...)
+	}
+	return []*table.Table{tab}, nil
+}
+
+func init() {
+	register(Experiment{
+		ID:    "fig17",
+		Title: "Optimal selection-probability exponent for mixed capacities",
+		Run:   fig17,
+	})
+	register(Experiment{
+		ID:    "fig18",
+		Title: "Max load as a function of the selection-probability exponent",
+		Run:   fig18,
+	})
+}

@@ -1,0 +1,235 @@
+package experiments
+
+// Shape tests: run selected experiments at moderate scale and assert the
+// qualitative findings of the paper hold (who wins, direction of trends,
+// where crossovers fall). Skipped in -short mode.
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// TestFig06Plateau: the paper highlights the plateau at max load 2 in
+// Figure 6. Detect it programmatically at moderate scale.
+func TestFig06Plateau(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test")
+	}
+	// The plateau needs the paper's full n = 1000 (at smaller n the curve
+	// slides through 2 without flattening), so run full scale with a
+	// moderate repetition count.
+	p := Params{Seed: 11, Scale: 1, Reps: 200}
+	tabs, err := mixSweep(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ys, err := tabs[0].Col("max_load_mean")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plats := stats.Plateaus(ys, 0.06, 3)
+	found := false
+	for _, pl := range plats {
+		if pl.Level > 1.8 && pl.Level < 2.2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no plateau near level 2 detected; plateaus = %+v, series = %v", plats, ys)
+	}
+}
+
+func moderate() Params {
+	return Params{Seed: 11, Scale: 0.25}
+}
+
+// TestFig01Shape: uniform capacity-c bins with m = C match Observation
+// 2's prediction 1 + lnln(n)/c closely (the paper: "in our simulations
+// the maximum load is very close to 1 + ln ln(n)/c").
+func TestFig01Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test")
+	}
+	p := Params{Seed: 19, Scale: 0.2, Reps: 60} // n = 2000
+	tabs, err := uniformDistribution(p, 2000, []int64{2, 4}, 1, 60, "shape check")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := tabs[1] // summary table: capacity, balls, max_mean, ci, prediction
+	for i := 0; i < sum.NumRows(); i++ {
+		row := sum.Row(i)
+		c, measured := row[0], row[2]
+		lnln := 2.03 // ln ln 2000
+		predicted := 1 + lnln/c
+		if measured < 1 || measured > predicted+0.3 {
+			t.Errorf("c=%v: max load %.3f outside (1, %.3f+0.3]", c, measured, predicted)
+		}
+	}
+}
+
+func TestFig14Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test")
+	}
+	p := moderate()
+	p.Reps = 20
+	tabs, err := fig14(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tabs[0]
+	last := tab.Row(tab.NumRows() - 1)
+	// columns: bins, base, a1, a2, a4, a6
+	base, a1, a6 := last[1], last[2], last[5]
+	if base < 1.5 {
+		t.Errorf("baseline max load %.3f should stay near 2", base)
+	}
+	if a1 >= base {
+		t.Errorf("linear growth a=1 (%.3f) should beat the flat baseline (%.3f)", a1, base)
+	}
+	if a6 > a1 {
+		t.Errorf("a=6 (%.3f) should not be worse than a=1 (%.3f)", a6, a1)
+	}
+}
+
+func TestFig16Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test")
+	}
+	p := moderate()
+	p.Reps = 5
+	tabs, err := fig16(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tabs[0]
+	// columns: i, dev_1n, dev_2n, dev_5n, dev_10n
+	first := tab.Row(0)
+	last := tab.Row(tab.NumRows() - 1)
+	for c := 1; c <= 4; c++ {
+		// flat in m: the deviation after 100 rounds within 60% of round 1
+		lo, hi := first[c], last[c]
+		if hi > 1.6*lo+0.3 {
+			t.Errorf("column %d deviation grew with m: %.3f -> %.3f", c, lo, hi)
+		}
+	}
+	// ordered in capacity: bigger CAP → smaller deviation
+	if !(last[1] > last[2] && last[2] > last[3] && last[3] > last[4]) {
+		t.Errorf("deviations not ordered by capacity: %v", last[1:])
+	}
+}
+
+func TestFig18Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test")
+	}
+	p := moderate()
+	p.Reps = 400
+	tabs, err := fig18(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tabs[0]
+	// every capacity column: the minimum over t is strictly below the
+	// values at both ends (U shape), and the argmin is at t > 1.
+	ts, err := tab.Col("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci, col := range tab.Cols[1:] {
+		vals, err := tab.Col(col)
+		if err != nil {
+			t.Fatal(err)
+		}
+		minI := 0
+		for i, v := range vals {
+			if v < vals[minI] {
+				minI = i
+			}
+		}
+		if vals[minI] >= vals[0] || vals[minI] >= vals[len(vals)-1] {
+			t.Errorf("%s: no interior minimum (ends %.3f/%.3f, min %.3f)",
+				col, vals[0], vals[len(vals)-1], vals[minI])
+		}
+		// The "optimum above proportional" effect is pronounced for the
+		// larger capacity gaps; the (1,2) mix is nearly flat around its
+		// optimum, so the coarse-grid argmin is noisy there (Fig 17 puts
+		// it at ~1.15). Assert t* > 1 only from capacity 3 upwards.
+		if ci >= 1 && ts[minI] <= 0.9 {
+			t.Errorf("%s: optimal exponent %.2f not above ~1", col, ts[minI])
+		}
+	}
+}
+
+func TestExtBatchShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test")
+	}
+	p := moderate()
+	p.Reps = 100
+	tabs, err := extBatch(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := tabs[0].Col("max_load_mean")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// sequential (B=1) strictly better than fully oblivious (B=m)
+	if vals[0] >= vals[len(vals)-1] {
+		t.Errorf("B=1 (%.3f) not better than B=m (%.3f)", vals[0], vals[len(vals)-1])
+	}
+}
+
+func TestExtWiederShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test")
+	}
+	p := moderate()
+	p.Reps = 40
+	tabs, err := extWieder(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tabs[0]
+	first := tab.Row(0)
+	last := tab.Row(tab.NumRows() - 1)
+	// skewed d=2 deviation grows substantially with m
+	if last[1] < 1.5*first[1] {
+		t.Errorf("skewed d=2 deviation did not grow: %.3f -> %.3f", first[1], last[1])
+	}
+	// uniform d=2 stays flat-ish
+	if last[3] > 2*first[3]+1 {
+		t.Errorf("uniform d=2 deviation grew: %.3f -> %.3f", first[3], last[3])
+	}
+	// larger d tames the skew: d=4 well below d=2 at the end
+	if last[2] >= last[1] {
+		t.Errorf("d=4 (%.3f) not below d=2 (%.3f) under skew", last[2], last[1])
+	}
+}
+
+func TestThm5Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test")
+	}
+	p := moderate()
+	p.Reps = 100
+	tabs, err := thm5(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tabs[0]
+	for i := 0; i < tab.NumRows(); i++ {
+		row := tab.Row(i)
+		// columns: n, q, prop, toponly, bound
+		if row[3] > row[4]+1 {
+			t.Errorf("top-only load %.3f above k/alpha + 1 (n=%v)", row[3], row[0])
+		}
+	}
+	// top-only advantage appears at the largest n
+	last := tab.Row(tab.NumRows() - 1)
+	if last[3] >= last[2] {
+		t.Errorf("top-only (%.3f) should beat proportional (%.3f) at large n", last[3], last[2])
+	}
+}

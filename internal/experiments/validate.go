@@ -1,0 +1,418 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bins"
+	"repro/internal/coupling"
+	"repro/internal/dist"
+	"repro/internal/protocol"
+	"repro/internal/sim"
+	"repro/internal/table"
+	"repro/internal/theory"
+	"repro/internal/xrand"
+)
+
+// obs1 validates Observation 1: in the m = C game, bins of capacity
+// >= r·ln(n) keep load <= 4 w.h.p. We run mixed arrays and report the
+// maximum load observed in any big bin across all repetitions.
+func obs1(p Params) ([]*table.Table, error) {
+	reps := p.reps(200)
+	tab := table.New(fmt.Sprintf("Observation 1: max load of big bins stays <= %g (m=C, d=2, %d reps)",
+		theory.Observation1LoadBound, reps),
+		"n", "big_capacity", "pct_big", "max_big_load_mean", "max_big_load_worst")
+	for _, cfg := range []struct {
+		n      int
+		pctBig int
+	}{
+		{1000, 10}, {1000, 50}, {10000, 10}, {10000, 50},
+	} {
+		n := p.scaledN(cfg.n, 200)
+		bigCap := int64(math.Ceil(theory.BigThreshold(n, 1)))
+		nBig := n * cfg.pctBig / 100
+		arr, err := bins.TwoClass(n-nBig, 1, nBig, bigCap)
+		if err != nil {
+			return nil, err
+		}
+		weights, err := dist.Proportional{}.Weights(arr)
+		if err != nil {
+			return nil, err
+		}
+		var mean, worst float64
+		for rep := 0; rep < reps; rep++ {
+			r := xrand.NewStream(p.seed(), uint64(rep))
+			a := arr.Clone()
+			g, err := protocol.NewGreedy(a, weights, 2)
+			if err != nil {
+				return nil, err
+			}
+			m := a.TotalCapacity()
+			for i := int64(0); i < m; i++ {
+				g.Place(a, r)
+			}
+			maxBig := 0.0
+			for i := 0; i < a.N(); i++ {
+				if a.Capacity(i) == bigCap {
+					if l := a.Load(i); l > maxBig {
+						maxBig = l
+					}
+				}
+			}
+			mean += maxBig
+			if maxBig > worst {
+				worst = maxBig
+			}
+		}
+		mean /= float64(reps)
+		tab.MustAddRow(float64(n), float64(bigCap), float64(cfg.pctBig), mean, worst)
+	}
+	return []*table.Table{tab}, nil
+}
+
+// thm3 validates Theorem 3: for m = C = Θ(n) with heterogeneous random
+// capacities, the max load stays within ln ln(n)/ln(d) + O(1).
+func thm3(p Params) ([]*table.Table, error) {
+	reps := p.reps(100)
+	tab := table.New(fmt.Sprintf("Theorem 3: max load vs ln ln(n)/ln(d) bound (random capacities, m=C, %d reps)", reps),
+		"n", "d", "max_load_mean", "max_load_worst", "lnln_bound", "excess_over_bound")
+	for _, n0 := range []int{1000, 10000, 30000} {
+		n := p.scaledN(n0, 200)
+		for _, d := range []int{2, 3, 4} {
+			d := d
+			res, err := sim.Run(sim.Config{
+				ArrayFn: func(r *xrand.Rand) (*bins.Array, error) {
+					return bins.RandomBinomial(n, 4, r)
+				},
+				Placer:  protocol.GreedyFactory(d),
+				Reps:    reps,
+				Seed:    p.seed(),
+				Workers: p.Workers,
+			})
+			if err != nil {
+				return nil, err
+			}
+			bound := theory.TwoChoiceBound(n, d)
+			tab.MustAddRow(float64(n), float64(d),
+				res.MaxLoad.Mean(), res.MaxLoad.Max(), bound, res.MaxLoad.Mean()-bound)
+		}
+	}
+	return []*table.Table{tab}, nil
+}
+
+// thm5 validates Theorem 5: when a constant fraction α of the bins has
+// capacity q(n) = Ω(ln ln n), routing *all* probability to those bins
+// (TopOnly) yields constant max load ~ k/α + O(1), and can beat the
+// proportional distribution.
+func thm5(p Params) ([]*table.Table, error) {
+	reps := p.reps(300)
+	const alpha = 0.5
+	tab := table.New(fmt.Sprintf("Theorem 5: top-only distribution yields constant max load (alpha=%.1f, m=C, d=2, %d reps)", alpha, reps),
+		"n", "q_n", "prop_max_load", "toponly_max_load", "k_over_alpha")
+	for _, n0 := range []int{100, 1000, 10000} {
+		n := p.scaledN(n0, 100)
+		q := int64(math.Max(2, math.Ceil(3*math.Log(math.Log(float64(n))))))
+		nBig := int(alpha * float64(n))
+		arr, err := bins.TwoClass(n-nBig, 1, nBig, q)
+		if err != nil {
+			return nil, err
+		}
+		// k = m/C = 1 here (m = C).
+		run := func(dd dist.Distribution) (float64, error) {
+			res, err := sim.Run(sim.Config{
+				Array:   arr,
+				Dist:    dd,
+				Reps:    reps,
+				Seed:    p.seed(),
+				Workers: p.Workers,
+			})
+			if err != nil {
+				return 0, err
+			}
+			return res.MaxLoad.Mean(), nil
+		}
+		prop, err := run(dist.Proportional{})
+		if err != nil {
+			return nil, err
+		}
+		top, err := run(dist.TopOnly{MinCapacity: q})
+		if err != nil {
+			return nil, err
+		}
+		tab.MustAddRow(float64(n), float64(q), prop, top, theory.Theorem5MaxLoad(1, alpha))
+	}
+	return []*table.Table{tab}, nil
+}
+
+// lemma1 validates Lemma 1 end to end: the max load of the heterogeneous
+// process P is stochastically dominated by the max load of the C-unit-bin
+// process Q. We compare mean max loads over matched configurations.
+func lemma1(p Params) ([]*table.Table, error) {
+	reps := p.reps(400)
+	tab := table.New(fmt.Sprintf("Lemma 1: heterogeneous max load vs C unit bins (m=C, d=2, %d reps)", reps),
+		"n_het", "total_capacity", "het_max_load", "unit_max_load", "dominated")
+	configs := [][]int64{
+		{1, 1, 1, 1, 2, 2, 4, 4, 8, 8},
+		{10, 10, 10, 10},
+		{1, 2, 3, 4, 5, 6, 7, 8, 9, 10},
+	}
+	// plus a bigger random one
+	r := xrand.New(p.seed())
+	big := make([]int64, 500)
+	for i := range big {
+		big[i] = int64(r.Intn(8)) + 1
+	}
+	configs = append(configs, big)
+
+	for _, caps := range configs {
+		het, err := bins.New(caps)
+		if err != nil {
+			return nil, err
+		}
+		c := het.TotalCapacity()
+		unit, err := bins.Uniform(int(c), 1)
+		if err != nil {
+			return nil, err
+		}
+		resH, err := sim.Run(sim.Config{Array: het, Reps: reps, Seed: p.seed(), Workers: p.Workers})
+		if err != nil {
+			return nil, err
+		}
+		resU, err := sim.Run(sim.Config{Array: unit, Reps: reps, Seed: p.seed() + 1, Workers: p.Workers})
+		if err != nil {
+			return nil, err
+		}
+		dominated := 0.0
+		if resH.MaxLoad.Mean() <= resU.MaxLoad.Mean()+3*resU.MaxLoad.CI95() {
+			dominated = 1
+		}
+		tab.MustAddRow(float64(het.N()), float64(c),
+			resH.MaxLoad.Mean(), resU.MaxLoad.Mean(), dominated)
+	}
+	return []*table.Table{tab}, nil
+}
+
+// lemma1Coupling audits the coupled construction from Lemma 1's proof:
+// for each configuration it replays the shared-rank processes and
+// reports where (if anywhere) the majorisation invariant broke.
+func lemma1Coupling(p Params) ([]*table.Table, error) {
+	reps := p.reps(20)
+	tab := table.New(fmt.Sprintf("Lemma 1 coupling audit: Q's slot vector majorises P's after every ball (%d audited runs/config)", reps),
+		"n_het", "total_capacity", "d", "runs", "violations", "worst_het_max", "worst_unit_max")
+	configs := []struct {
+		caps []int64
+		d    int
+	}{
+		{[]int64{1, 2, 3, 4}, 2},
+		{[]int64{1, 1, 1, 1, 8}, 2},
+		{[]int64{4, 4, 4}, 3},
+		{[]int64{7, 1, 1, 1}, 2},
+	}
+	for _, cfg := range configs {
+		var total int64
+		for _, c := range cfg.caps {
+			total += c
+		}
+		violations := 0
+		worstHet, worstUnit := 0.0, 0.0
+		for rep := 0; rep < reps; rep++ {
+			res, err := coupling.Audit(cfg.caps, cfg.d, 2*total, p.seed()+uint64(rep))
+			if err != nil {
+				return nil, err
+			}
+			if res.Violation != 0 {
+				violations++
+			}
+			if res.HetMaxLoad > worstHet {
+				worstHet = res.HetMaxLoad
+			}
+			if res.UnitMaxLoad > worstUnit {
+				worstUnit = res.UnitMaxLoad
+			}
+		}
+		tab.MustAddRow(float64(len(cfg.caps)), float64(total), float64(cfg.d),
+			float64(reps), float64(violations), worstHet, worstUnit)
+	}
+	return []*table.Table{tab}, nil
+}
+
+// ablationTieBreak compares Algorithm 1's capacity tie-break against the
+// capacity-oblivious Standard protocol and against always-go-left on a
+// heterogeneous array — quantifying how much the tie-break matters.
+func ablationTieBreak(p Params) ([]*table.Table, error) {
+	reps := p.reps(500)
+	n := p.scaledN(1000, 100)
+	tab := table.New(fmt.Sprintf("Ablation: tie-breaking rule on a 50/50 mix of capacities 1 and 10 (n=%d, m=C, %d reps)", n, reps),
+		"d", "greedy_capacity_tiebreak", "standard_ballcount", "always_go_left")
+	arr, err := bins.TwoClass(n/2, 1, n/2, 10)
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range []int{2, 3, 4} {
+		row := []float64{float64(d)}
+		for _, f := range []protocol.Factory{
+			protocol.GreedyFactory(d), protocol.StandardFactory(d), protocol.GoLeftFactory(d),
+		} {
+			res, err := sim.Run(sim.Config{
+				Array: arr, Placer: f, Reps: reps, Seed: p.seed(), Workers: p.Workers,
+			})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, res.MaxLoad.Mean())
+		}
+		tab.MustAddRow(row...)
+	}
+	return []*table.Table{tab}, nil
+}
+
+// ablationDist compares selection distributions (uniform vs proportional
+// vs tuned power) on the same heterogeneous array — the §1 "two natural
+// probabilities" question plus §4.5's tuning.
+func ablationDist(p Params) ([]*table.Table, error) {
+	reps := p.reps(500)
+	n := p.scaledN(1000, 100)
+	arr, err := bins.TwoClass(n/2, 1, n/2, 10)
+	if err != nil {
+		return nil, err
+	}
+	tab := table.New(fmt.Sprintf("Ablation: selection distribution on a 50/50 mix of capacities 1 and 10 (n=%d, m=C, d=2, %d reps)", n, reps),
+		"exponent_t", "max_load_mean", "max_load_ci95")
+	for _, t := range []float64{0, 0.5, 1, 1.5, 2, 2.5, 3} {
+		res, err := sim.Run(sim.Config{
+			Array: arr, Dist: dist.Power{T: t}, Reps: reps, Seed: p.seed(), Workers: p.Workers,
+		})
+		if err != nil {
+			return nil, err
+		}
+		tab.MustAddRow(t, res.MaxLoad.Mean(), res.MaxLoad.CI95())
+	}
+	tab.Comment = "t=0 is uniform selection, t=1 capacity-proportional (the paper's default)"
+	return []*table.Table{tab}, nil
+}
+
+// onePlusBeta explores the (1+β)-choice extension on the heterogeneous
+// mix: how quickly does a small probability of a second probe recover
+// most of the two-choice benefit?
+func onePlusBeta(p Params) ([]*table.Table, error) {
+	reps := p.reps(500)
+	n := p.scaledN(1000, 100)
+	arr, err := bins.TwoClass(n/2, 1, n/2, 10)
+	if err != nil {
+		return nil, err
+	}
+	tab := table.New(fmt.Sprintf("Extension: (1+beta)-choice on a 50/50 mix of capacities 1 and 10 (n=%d, m=C, %d reps)", n, reps),
+		"beta", "max_load_mean", "max_load_ci95")
+	for _, beta := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 1} {
+		res, err := sim.Run(sim.Config{
+			Array: arr, Placer: protocol.OnePlusBetaFactory(beta),
+			Reps: reps, Seed: p.seed(), Workers: p.Workers,
+		})
+		if err != nil {
+			return nil, err
+		}
+		tab.MustAddRow(beta, res.MaxLoad.Mean(), res.MaxLoad.CI95())
+	}
+	return []*table.Table{tab}, nil
+}
+
+// summary runs a quick cross-section of the validation suite and emits a
+// single pass/fail table — the "is this reproduction healthy?" command.
+func summary(p Params) ([]*table.Table, error) {
+	if p.Scale <= 0 || p.Scale > 0.5 {
+		p.Scale = 0.5
+	}
+	tab := table.New("Reproduction health check (1 = claim holds at quick scale)",
+		"check", "pass", "measured", "reference")
+	checkID := 0.0
+	addCheck := func(pass bool, measured, reference float64) {
+		checkID++
+		v := 0.0
+		if pass {
+			v = 1
+		}
+		tab.MustAddRow(checkID, v, measured, reference)
+	}
+	tab.Comment = "checks: 1 big-bin load<=4 | 2 thm3 below lnln bound | 3 thm5 toponly<=k/a+1 | 4 lemma1 coupling | 5 greedy beats oblivious"
+
+	// 1: Observation 1 at one configuration.
+	obsTabs, err := obs1(Params{Reps: p.reps(40), Seed: p.seed(), Workers: p.Workers, Scale: p.scale()})
+	if err != nil {
+		return nil, err
+	}
+	worst := 0.0
+	for i := 0; i < obsTabs[0].NumRows(); i++ {
+		if v := obsTabs[0].Row(i)[4]; v > worst {
+			worst = v
+		}
+	}
+	addCheck(worst <= theory.Observation1LoadBound, worst, theory.Observation1LoadBound)
+
+	// 2: Theorem 3 at one (n, d).
+	n := p.scaledN(5000, 500)
+	res, err := sim.Run(sim.Config{
+		ArrayFn: func(r *xrand.Rand) (*bins.Array, error) {
+			return bins.RandomBinomial(n, 4, r)
+		},
+		Reps: p.reps(40), Seed: p.seed(), Workers: p.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	bound := theory.TwoChoiceBound(n, 2) + 2
+	addCheck(res.MaxLoad.Mean() <= bound, res.MaxLoad.Mean(), bound)
+
+	// 3: Theorem 5 top-only.
+	arr, err := bins.TwoClass(n/2, 1, n/2, 5)
+	if err != nil {
+		return nil, err
+	}
+	resTop, err := sim.Run(sim.Config{
+		Array: arr, Dist: dist.TopOnly{MinCapacity: 5},
+		Reps: p.reps(40), Seed: p.seed(), Workers: p.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	addCheck(resTop.MaxLoad.Mean() <= theory.Theorem5MaxLoad(1, 0.5)+1,
+		resTop.MaxLoad.Mean(), theory.Theorem5MaxLoad(1, 0.5))
+
+	// 4: Lemma 1 coupling audit.
+	audit, err := coupling.Audit([]int64{1, 2, 3, 4}, 2, 20, p.seed())
+	if err != nil {
+		return nil, err
+	}
+	addCheck(audit.Violation == 0, float64(audit.Violation), 0)
+
+	// 5: capacity-aware beats oblivious on a mixed array.
+	mixed, err := bins.TwoClass(n/2, 1, n/2, 10)
+	if err != nil {
+		return nil, err
+	}
+	resG, err := sim.Run(sim.Config{Array: mixed, Reps: p.reps(40), Seed: p.seed(), Workers: p.Workers})
+	if err != nil {
+		return nil, err
+	}
+	resS, err := sim.Run(sim.Config{
+		Array: mixed, Placer: protocol.StandardFactory(2),
+		Reps: p.reps(40), Seed: p.seed(), Workers: p.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	addCheck(resG.MaxLoad.Mean() < resS.MaxLoad.Mean(), resG.MaxLoad.Mean(), resS.MaxLoad.Mean())
+
+	return []*table.Table{tab}, nil
+}
+
+func init() {
+	register(Experiment{ID: "summary", Title: "Reproduction health check: key claims at quick scale", Run: summary})
+	register(Experiment{ID: "obs1", Title: "Validate Observation 1: big-bin load bounded by 4", Run: obs1})
+	register(Experiment{ID: "thm3", Title: "Validate Theorem 3: lnln(n)/ln(d) + O(1) max load", Run: thm3})
+	register(Experiment{ID: "thm5", Title: "Validate Theorem 5: top-only distribution constant load", Run: thm5})
+	register(Experiment{ID: "lemma1", Title: "Validate Lemma 1: unit-bin process dominates", Run: lemma1})
+	register(Experiment{ID: "lemma1-coupling", Title: "Audit Lemma 1's coupled majorisation invariant step by step", Run: lemma1Coupling})
+	register(Experiment{ID: "ablation-tiebreak", Title: "Ablation: Algorithm 1 tie-break vs baselines", Run: ablationTieBreak})
+	register(Experiment{ID: "ablation-dist", Title: "Ablation: selection distribution exponent", Run: ablationDist})
+	register(Experiment{ID: "ext-oneplusbeta", Title: "Extension: (1+beta)-choice process", Run: onePlusBeta})
+}

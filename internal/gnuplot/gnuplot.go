@@ -1,0 +1,86 @@
+// Package gnuplot renders plotting scripts for experiment TSV files, so
+// a results directory regenerates the paper's figures as images with a
+// single `gnuplot *.gp` invocation. Only script text is produced; this
+// repository never executes external tools.
+package gnuplot
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/table"
+)
+
+// Options tune the emitted script.
+type Options struct {
+	// Terminal is the gnuplot terminal line (default
+	// "pngcairo size 900,600").
+	Terminal string
+	// Output is the image file name (default: DataFile with .png).
+	Output string
+	// XCol is the 1-based data column used for x (default 1).
+	XCol int
+	// Style is the plot style (default "linespoints").
+	Style string
+	// LogY switches the y axis to log scale.
+	LogY bool
+}
+
+func (o Options) terminal() string {
+	if o.Terminal == "" {
+		return "pngcairo size 900,600"
+	}
+	return o.Terminal
+}
+
+func (o Options) xcol() int {
+	if o.XCol <= 0 {
+		return 1
+	}
+	return o.XCol
+}
+
+func (o Options) style() string {
+	if o.Style == "" {
+		return "linespoints"
+	}
+	return o.Style
+}
+
+// Script writes a gnuplot script that plots every non-x column of tab
+// (read from dataFile) against the x column.
+func Script(w io.Writer, tab *table.Table, dataFile string, opts Options) error {
+	if len(tab.Cols) < 2 {
+		return fmt.Errorf("gnuplot: table %q has %d columns, need >= 2", tab.Title, len(tab.Cols))
+	}
+	x := opts.xcol()
+	if x > len(tab.Cols) {
+		return fmt.Errorf("gnuplot: x column %d out of range", x)
+	}
+	out := opts.Output
+	if out == "" {
+		out = strings.TrimSuffix(dataFile, ".tsv") + ".png"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "set terminal %s\n", opts.terminal())
+	fmt.Fprintf(&sb, "set output %q\n", out)
+	fmt.Fprintf(&sb, "set title %q noenhanced\n", tab.Title)
+	fmt.Fprintf(&sb, "set xlabel %q noenhanced\n", tab.Cols[x-1])
+	fmt.Fprintf(&sb, "set key outside right\n")
+	fmt.Fprintf(&sb, "set grid\n")
+	if opts.LogY {
+		fmt.Fprintf(&sb, "set logscale y\n")
+	}
+	var plots []string
+	for c := 1; c <= len(tab.Cols); c++ {
+		if c == x {
+			continue
+		}
+		plots = append(plots, fmt.Sprintf("%q using %d:%d with %s title %q noenhanced",
+			dataFile, x, c, opts.style(), tab.Cols[c-1]))
+	}
+	fmt.Fprintf(&sb, "plot %s\n", strings.Join(plots, ", \\\n     "))
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

@@ -1,0 +1,77 @@
+package gnuplot
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/table"
+)
+
+func sample() *table.Table {
+	t := table.New("Figure X: something", "pct", "max_load", "ci")
+	t.MustAddRow(0, 3, 0.1)
+	t.MustAddRow(50, 2, 0.1)
+	return t
+}
+
+func TestScriptBasics(t *testing.T) {
+	var sb strings.Builder
+	if err := Script(&sb, sample(), "fig.tsv", Options{}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, frag := range []string{
+		`set terminal pngcairo`,
+		`set output "fig.png"`,
+		`set title "Figure X: something"`,
+		`set xlabel "pct"`,
+		`using 1:2 with linespoints title "max_load"`,
+		`using 1:3 with linespoints title "ci"`,
+	} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("script missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestScriptOptions(t *testing.T) {
+	var sb strings.Builder
+	err := Script(&sb, sample(), "data.tsv", Options{
+		Terminal: "svg",
+		Output:   "custom.svg",
+		XCol:     2,
+		Style:    "lines",
+		LogY:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, frag := range []string{
+		"set terminal svg",
+		`set output "custom.svg"`,
+		`set xlabel "max_load"`,
+		"set logscale y",
+		"using 2:1 with lines",
+		"using 2:3 with lines",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("script missing %q:\n%s", frag, out)
+		}
+	}
+	// x column itself is not plotted
+	if strings.Contains(out, "using 2:2") {
+		t.Fatal("x column plotted against itself")
+	}
+}
+
+func TestScriptErrors(t *testing.T) {
+	one := table.New("t", "only")
+	var sb strings.Builder
+	if err := Script(&sb, one, "f.tsv", Options{}); err == nil {
+		t.Error("single-column table accepted")
+	}
+	if err := Script(&sb, sample(), "f.tsv", Options{XCol: 9}); err == nil {
+		t.Error("out-of-range x column accepted")
+	}
+}

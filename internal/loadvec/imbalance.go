@@ -1,0 +1,114 @@
+package loadvec
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// This file adds scalar imbalance metrics over load vectors. The paper
+// reports only the maximum load; these metrics quantify the *whole*
+// distribution's skew and power the ext-fairness experiment.
+
+// Gini returns the Gini coefficient of the non-negative vector v:
+// 0 for perfectly equal loads, approaching 1 for total concentration.
+// An all-zero or empty vector has Gini 0 by convention.
+func Gini(v []float64) (float64, error) {
+	if len(v) == 0 {
+		return 0, nil
+	}
+	sorted := make([]float64, len(v))
+	copy(sorted, v)
+	sort.Float64s(sorted)
+	var sum, weighted float64
+	for i, x := range sorted {
+		if x < 0 || math.IsNaN(x) {
+			return 0, fmt.Errorf("loadvec: invalid load %v", x)
+		}
+		sum += x
+		weighted += float64(i+1) * x
+	}
+	if sum == 0 {
+		return 0, nil
+	}
+	n := float64(len(v))
+	return (2*weighted)/(n*sum) - (n+1)/n, nil
+}
+
+// Lorenz returns the Lorenz curve of v sampled at every index: entry k
+// is the fraction of total load carried by the least-loaded k+1 bins.
+// The last entry is always 1 (for a non-zero vector).
+func Lorenz(v []float64) ([]float64, error) {
+	if len(v) == 0 {
+		return nil, nil
+	}
+	sorted := make([]float64, len(v))
+	copy(sorted, v)
+	sort.Float64s(sorted)
+	total := 0.0
+	for _, x := range sorted {
+		if x < 0 || math.IsNaN(x) {
+			return nil, fmt.Errorf("loadvec: invalid load %v", x)
+		}
+		total += x
+	}
+	out := make([]float64, len(v))
+	if total == 0 {
+		return out, nil
+	}
+	run := 0.0
+	for i, x := range sorted {
+		run += x
+		out[i] = run / total
+	}
+	return out, nil
+}
+
+// Entropy returns the Shannon entropy (nats) of the load distribution
+// normalised to a probability vector, divided by ln(n) so that 1 means
+// perfectly even and 0 means fully concentrated. An all-zero vector
+// returns 1 (vacuously even); a single bin returns 1.
+func Entropy(v []float64) (float64, error) {
+	n := len(v)
+	if n <= 1 {
+		return 1, nil
+	}
+	total := 0.0
+	for _, x := range v {
+		if x < 0 || math.IsNaN(x) {
+			return 0, fmt.Errorf("loadvec: invalid load %v", x)
+		}
+		total += x
+	}
+	if total == 0 {
+		return 1, nil
+	}
+	h := 0.0
+	for _, x := range v {
+		if x == 0 {
+			continue
+		}
+		p := x / total
+		h -= p * math.Log(p)
+	}
+	return h / math.Log(float64(n)), nil
+}
+
+// PeakToAverage returns max(v)/mean(v), the classical load-imbalance
+// factor (NaN for empty or zero-mean vectors).
+func PeakToAverage(v []float64) float64 {
+	if len(v) == 0 {
+		return math.NaN()
+	}
+	sum, max := 0.0, v[0]
+	for _, x := range v {
+		sum += x
+		if x > max {
+			max = x
+		}
+	}
+	if sum == 0 {
+		return math.NaN()
+	}
+	return max / (sum / float64(len(v)))
+}

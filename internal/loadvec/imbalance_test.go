@@ -1,0 +1,159 @@
+package loadvec
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func TestGiniKnownValues(t *testing.T) {
+	cases := []struct {
+		v    []float64
+		want float64
+	}{
+		{[]float64{1, 1, 1, 1}, 0},    // perfect equality
+		{[]float64{0, 0, 0, 4}, 0.75}, // all load in 1 of 4 bins: (n-1)/n
+		{[]float64{}, 0},              // empty
+		{[]float64{0, 0}, 0},          // zero vector
+		{[]float64{5}, 0},             // single bin
+		{[]float64{1, 3}, 0.25},       // hand-computed
+	}
+	for _, c := range cases {
+		got, err := Gini(c.v)
+		if err != nil {
+			t.Fatalf("Gini(%v): %v", c.v, err)
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Gini(%v) = %v, want %v", c.v, got, c.want)
+		}
+	}
+	if _, err := Gini([]float64{-1}); err == nil {
+		t.Error("negative load accepted")
+	}
+	if _, err := Gini([]float64{math.NaN()}); err == nil {
+		t.Error("NaN load accepted")
+	}
+}
+
+func TestLorenz(t *testing.T) {
+	lz, err := Lorenz([]float64{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lz[0]-0.25) > 1e-12 || math.Abs(lz[1]-1) > 1e-12 {
+		t.Fatalf("Lorenz = %v", lz)
+	}
+	// zero vector → all zeros
+	lz, err = Lorenz([]float64{0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range lz {
+		if v != 0 {
+			t.Fatalf("zero-vector Lorenz = %v", lz)
+		}
+	}
+	if out, err := Lorenz(nil); err != nil || out != nil {
+		t.Fatal("Lorenz(nil) should be nil, nil")
+	}
+	if _, err := Lorenz([]float64{-2}); err == nil {
+		t.Error("negative load accepted")
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	// even distribution → 1
+	got, err := Entropy([]float64{2, 2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1) > 1e-12 {
+		t.Fatalf("even entropy = %v", got)
+	}
+	// fully concentrated → 0
+	got, err = Entropy([]float64{0, 0, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatalf("concentrated entropy = %v", got)
+	}
+	// degenerate inputs
+	if got, _ := Entropy(nil); got != 1 {
+		t.Error("Entropy(nil) != 1")
+	}
+	if got, _ := Entropy([]float64{5}); got != 1 {
+		t.Error("Entropy(single) != 1")
+	}
+	if got, _ := Entropy([]float64{0, 0}); got != 1 {
+		t.Error("Entropy(zero vector) != 1")
+	}
+	if _, err := Entropy([]float64{-1, 1}); err == nil {
+		t.Error("negative load accepted")
+	}
+}
+
+func TestPeakToAverage(t *testing.T) {
+	if got := PeakToAverage([]float64{1, 1, 4}); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("PeakToAverage = %v", got)
+	}
+	if !math.IsNaN(PeakToAverage(nil)) {
+		t.Error("empty should be NaN")
+	}
+	if !math.IsNaN(PeakToAverage([]float64{0, 0})) {
+		t.Error("zero vector should be NaN")
+	}
+}
+
+// Property: Gini ∈ [0, (n-1)/n]; Lorenz is monotone ending at 1; scaling
+// the vector changes neither.
+func TestQuickImbalanceInvariants(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%12) + 1
+		r := xrand.New(seed)
+		v := make([]float64, n)
+		anyPos := false
+		for i := range v {
+			v[i] = float64(r.Intn(20))
+			if v[i] > 0 {
+				anyPos = true
+			}
+		}
+		g, err := Gini(v)
+		if err != nil {
+			return false
+		}
+		if g < -1e-12 || g > float64(n-1)/float64(n)+1e-12 {
+			return false
+		}
+		lz, err := Lorenz(v)
+		if err != nil {
+			return false
+		}
+		prev := 0.0
+		for _, x := range lz {
+			if x < prev-1e-12 {
+				return false
+			}
+			prev = x
+		}
+		if anyPos && math.Abs(lz[len(lz)-1]-1) > 1e-9 {
+			return false
+		}
+		// scale invariance
+		scaled := make([]float64, n)
+		for i := range v {
+			scaled[i] = v[i] * 3.5
+		}
+		g2, err := Gini(scaled)
+		if err != nil {
+			return false
+		}
+		return math.Abs(g-g2) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,160 @@
+// Package loadvec implements the load-vector machinery of Section 2 of the
+// paper: normalised load vectors, slot load vectors with the round-robin
+// filling rule, the slot tie-breaking order, and majorisation.
+//
+// These are analytical tools — the allocation protocol is entirely unaware
+// of slots — but they make Lemma 1 (the unit-bin domination argument)
+// checkable by direct simulation, which the test suite does.
+package loadvec
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bins"
+)
+
+// Normalized returns a copy of v sorted in non-increasing order (the
+// paper's "normalised load vector" L̄).
+func Normalized(v []float64) []float64 {
+	out := make([]float64, len(v))
+	copy(out, v)
+	sort.Sort(sort.Reverse(sort.Float64Slice(out)))
+	return out
+}
+
+// Majorizes reports whether u majorises v (u ≽ v): for every prefix k,
+// the sum of the k largest entries of u is at least that of v. The paper
+// (Definition 1) compares vectors of equal length; an error is returned
+// otherwise.
+func Majorizes(u, v []float64) (bool, error) {
+	if len(u) != len(v) {
+		return false, fmt.Errorf("loadvec: majorisation needs equal lengths, got %d and %d", len(u), len(v))
+	}
+	un, vn := Normalized(u), Normalized(v)
+	const eps = 1e-9
+	su, sv := 0.0, 0.0
+	for i := range un {
+		su += un[i]
+		sv += vn[i]
+		if su < sv-eps {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// MajorizesInt is Majorizes for integer vectors (slot load vectors), with
+// exact arithmetic.
+func MajorizesInt(u, v []int64) (bool, error) {
+	if len(u) != len(v) {
+		return false, fmt.Errorf("loadvec: majorisation needs equal lengths, got %d and %d", len(u), len(v))
+	}
+	un := normalizedInt(u)
+	vn := normalizedInt(v)
+	var su, sv int64
+	for i := range un {
+		su += un[i]
+		sv += vn[i]
+		if su < sv {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+func normalizedInt(v []int64) []int64 {
+	out := make([]int64, len(v))
+	copy(out, v)
+	sort.Slice(out, func(i, j int) bool { return out[i] > out[j] })
+	return out
+}
+
+// Slot identifies one unit-sized slot of a bin array: the owning bin and
+// the number of balls the round-robin rule assigns to this slot.
+type Slot struct {
+	Bin  int   // owning bin index
+	Load int64 // balls in this slot under round-robin filling
+}
+
+// SlotVector is the paper's slot load vector S: every bin of capacity c
+// contributes c unit slots; a bin with m balls fills its first (m mod c)
+// slots with ⌈m/c⌉ balls and the rest with ⌊m/c⌋.
+type SlotVector struct {
+	slots []Slot
+	arr   *bins.Array // retained for tie-breaking by bin load
+}
+
+// Build constructs the slot vector of the current state of a.
+func Build(a *bins.Array) *SlotVector {
+	sv := &SlotVector{arr: a, slots: make([]Slot, 0, a.TotalCapacity())}
+	for i := 0; i < a.N(); i++ {
+		c := a.Capacity(i)
+		m := a.Balls(i)
+		q, r := m/c, m%c
+		for j := int64(0); j < c; j++ {
+			load := q
+			if j < r {
+				load = q + 1
+			}
+			sv.slots = append(sv.slots, Slot{Bin: i, Load: load})
+		}
+	}
+	return sv
+}
+
+// Len returns the number of slots (= total capacity C).
+func (sv *SlotVector) Len() int { return len(sv.slots) }
+
+// Slots returns the slot vector in bin order (bin 0's slots first).
+func (sv *SlotVector) Slots() []Slot {
+	out := make([]Slot, len(sv.slots))
+	copy(out, sv.slots)
+	return out
+}
+
+// Loads returns just the slot loads in bin order.
+func (sv *SlotVector) Loads() []int64 {
+	out := make([]int64, len(sv.slots))
+	for i, s := range sv.slots {
+		out[i] = s.Load
+	}
+	return out
+}
+
+// Normalized returns the normalised slot load vector S̄: slots sorted by
+// slot load descending; among slots of equal load, slots of bins with
+// higher bin load come first (paper §2). Bin loads are compared exactly.
+func (sv *SlotVector) Normalized() []Slot {
+	out := make([]Slot, len(sv.slots))
+	copy(out, sv.slots)
+	a := sv.arr
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Load != out[j].Load {
+			return out[i].Load > out[j].Load
+		}
+		return a.CompareLoads(out[i].Bin, out[j].Bin) > 0
+	})
+	return out
+}
+
+// NormalizedLoads returns just the loads of the normalised slot vector.
+func (sv *SlotVector) NormalizedLoads() []int64 {
+	ns := sv.Normalized()
+	out := make([]int64, len(ns))
+	for i, s := range ns {
+		out[i] = s.Load
+	}
+	return out
+}
+
+// MaxSlotLoad returns the largest slot load (s̄_1).
+func (sv *SlotVector) MaxSlotLoad() int64 {
+	var max int64
+	for _, s := range sv.slots {
+		if s.Load > max {
+			max = s.Load
+		}
+	}
+	return max
+}

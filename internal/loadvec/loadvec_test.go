@@ -1,0 +1,242 @@
+package loadvec
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bins"
+	"repro/internal/xrand"
+)
+
+func TestNormalized(t *testing.T) {
+	v := []float64{1, 3, 2, 2, 0.5}
+	n := Normalized(v)
+	want := []float64{3, 2, 2, 1, 0.5}
+	for i := range want {
+		if n[i] != want[i] {
+			t.Fatalf("Normalized = %v, want %v", n, want)
+		}
+	}
+	// input untouched
+	if v[0] != 1 || v[4] != 0.5 {
+		t.Fatal("Normalized mutated its input")
+	}
+}
+
+func TestMajorizesBasics(t *testing.T) {
+	// (3,1,0) majorises (2,1,1); (2,2,0) and (3,0,1) are comparable:
+	// (3,0,1) normalised (3,1,0) majorises (2,2,0).
+	cases := []struct {
+		u, v []float64
+		want bool
+	}{
+		{[]float64{3, 1, 0}, []float64{2, 1, 1}, true},
+		{[]float64{2, 1, 1}, []float64{3, 1, 0}, false},
+		{[]float64{3, 0, 1}, []float64{2, 2, 0}, true},
+		{[]float64{2, 2, 0}, []float64{3, 1, 0}, false},
+		{[]float64{1, 1, 1}, []float64{1, 1, 1}, true}, // reflexive
+		{[]float64{4, 4}, []float64{4, 4}, true},
+	}
+	for _, c := range cases {
+		got, err := Majorizes(c.u, c.v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("Majorizes(%v, %v) = %v, want %v", c.u, c.v, got, c.want)
+		}
+	}
+}
+
+func TestMajorizesLengthMismatch(t *testing.T) {
+	if _, err := Majorizes([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := MajorizesInt([]int64{1}, []int64{1, 2}); err == nil {
+		t.Error("length mismatch accepted (int)")
+	}
+}
+
+func TestMajorizesInt(t *testing.T) {
+	ok, err := MajorizesInt([]int64{3, 1, 0}, []int64{2, 1, 1})
+	if err != nil || !ok {
+		t.Fatalf("MajorizesInt = %v, %v", ok, err)
+	}
+	ok, err = MajorizesInt([]int64{2, 1, 1}, []int64{3, 1, 0})
+	if err != nil || ok {
+		t.Fatalf("reverse MajorizesInt = %v, %v", ok, err)
+	}
+}
+
+// TestSlotVectorRoundRobin checks the round-robin filling rule: a bin with
+// m balls and capacity c puts ⌈m/c⌉ balls in its first (m mod c) slots.
+func TestSlotVectorRoundRobin(t *testing.T) {
+	a := bins.MustNew([]int64{4})
+	for i := 0; i < 10; i++ { // 10 balls, capacity 4: slots 3,3,2,2
+		a.Add(0)
+	}
+	sv := Build(a)
+	want := []int64{3, 3, 2, 2}
+	got := sv.Loads()
+	if len(got) != len(want) {
+		t.Fatalf("slot count %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("slot loads %v, want %v", got, want)
+		}
+	}
+}
+
+// TestPaperSlotExample reproduces the worked example from §2: two bins
+// with 4 slots each, loads 2.5 and 2.75 → normalised slot load vector
+// 3,3,3,3,3,2,2,2 belonging to bins b,b,b,a,a,b,a,a.
+func TestPaperSlotExample(t *testing.T) {
+	a := bins.MustNew([]int64{4, 4}) // bin 0 = "a", bin 1 = "b"
+	for i := 0; i < 10; i++ {        // load 2.5
+		a.Add(0)
+	}
+	for i := 0; i < 11; i++ { // load 2.75
+		a.Add(1)
+	}
+	sv := Build(a)
+	if sv.Len() != 8 {
+		t.Fatalf("Len = %d", sv.Len())
+	}
+	norm := sv.Normalized()
+	wantLoads := []int64{3, 3, 3, 3, 3, 2, 2, 2}
+	wantBins := []int{1, 1, 1, 0, 0, 1, 0, 0} // b,b,b,a,a,b,a,a
+	for i := range wantLoads {
+		if norm[i].Load != wantLoads[i] || norm[i].Bin != wantBins[i] {
+			t.Fatalf("normalised[%d] = {bin %d, load %d}, want {bin %d, load %d}",
+				i, norm[i].Bin, norm[i].Load, wantBins[i], wantLoads[i])
+		}
+	}
+	nl := sv.NormalizedLoads()
+	for i := range wantLoads {
+		if nl[i] != wantLoads[i] {
+			t.Fatalf("NormalizedLoads = %v", nl)
+		}
+	}
+}
+
+func TestMaxSlotLoad(t *testing.T) {
+	a := bins.MustNew([]int64{2, 3})
+	for i := 0; i < 5; i++ {
+		a.Add(0)
+	}
+	a.Add(1)
+	sv := Build(a)
+	// bin 0: 5 balls / 2 slots → 3,2; bin 1: 1 ball → 1,0,0.
+	if got := sv.MaxSlotLoad(); got != 3 {
+		t.Fatalf("MaxSlotLoad = %d", got)
+	}
+}
+
+func TestSlotVectorEmptyBins(t *testing.T) {
+	a := bins.MustNew([]int64{3, 2})
+	sv := Build(a)
+	if sv.Len() != 5 {
+		t.Fatalf("Len = %d", sv.Len())
+	}
+	for _, s := range sv.Slots() {
+		if s.Load != 0 {
+			t.Fatalf("empty array has loaded slot %+v", s)
+		}
+	}
+	if sv.MaxSlotLoad() != 0 {
+		t.Fatal("MaxSlotLoad of empty array nonzero")
+	}
+}
+
+// Property: majorisation is reflexive, and u ≽ v together with v ≽ u
+// holds iff the normalised vectors are identical.
+func TestQuickMajorizationPartialOrder(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%8) + 2
+		r := xrand.New(seed)
+		u := make([]float64, n)
+		v := make([]float64, n)
+		// same total so that mutual majorisation is possible
+		total := 20
+		remU, remV := total, total
+		for i := 0; i < n-1; i++ {
+			du := r.Intn(remU + 1)
+			dv := r.Intn(remV + 1)
+			u[i], v[i] = float64(du), float64(dv)
+			remU -= du
+			remV -= dv
+		}
+		u[n-1], v[n-1] = float64(remU), float64(remV)
+
+		if ok, _ := Majorizes(u, u); !ok {
+			return false // reflexivity
+		}
+		uv, _ := Majorizes(u, v)
+		vu, _ := Majorizes(v, u)
+		if uv && vu {
+			un, vn := Normalized(u), Normalized(v)
+			for i := range un {
+				if un[i] != vn[i] {
+					return false // mutual majorisation of distinct vectors
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: slot vector conserves balls (sum of slot loads = total balls)
+// and the round-robin spread is balanced (max - min ≤ 1 within each bin).
+func TestQuickSlotInvariants(t *testing.T) {
+	f := func(seed uint64, nRaw uint8, ballsRaw uint16) bool {
+		n := int(nRaw%6) + 1
+		r := xrand.New(seed)
+		caps := make([]int64, n)
+		for i := range caps {
+			caps[i] = int64(r.Intn(8)) + 1
+		}
+		a := bins.MustNew(caps)
+		for i := 0; i < int(ballsRaw%300); i++ {
+			a.Add(r.Intn(n))
+		}
+		sv := Build(a)
+		var sum int64
+		perBinMin := map[int]int64{}
+		perBinMax := map[int]int64{}
+		for _, s := range sv.Slots() {
+			sum += s.Load
+			if v, ok := perBinMin[s.Bin]; !ok || s.Load < v {
+				perBinMin[s.Bin] = s.Load
+			}
+			if v, ok := perBinMax[s.Bin]; !ok || s.Load > v {
+				perBinMax[s.Bin] = s.Load
+			}
+		}
+		if sum != a.TotalBalls() {
+			return false
+		}
+		for b := 0; b < n; b++ {
+			if perBinMax[b]-perBinMin[b] > 1 {
+				return false
+			}
+		}
+		// Normalised loads are sorted non-increasing.
+		nl := sv.NormalizedLoads()
+		if !sort.SliceIsSorted(nl, func(i, j int) bool { return nl[i] > nl[j] }) {
+			for i := 1; i < len(nl); i++ {
+				if nl[i] > nl[i-1] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

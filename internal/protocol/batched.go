@@ -1,0 +1,150 @@
+package protocol
+
+import (
+	"fmt"
+
+	"repro/internal/bins"
+	"repro/internal/sampling"
+	"repro/internal/xrand"
+)
+
+// Batched wraps Algorithm 1 in the parallel batch-arrival model: balls
+// arrive in rounds of B, and every ball in a round makes its decision
+// against the loads *frozen at the start of the round* (it cannot see
+// concurrent placements). B = 1 is exactly the sequential Algorithm 1;
+// B = m is fully oblivious single-shot placement.
+//
+// This models distributed dispatchers placing requests concurrently with
+// stale load information — the standard "batched balls-into-bins"
+// relaxation — and is an extension beyond the paper, used by the
+// ext-batch experiment to show how gracefully Algorithm 1 degrades with
+// staleness.
+type Batched struct {
+	d       int
+	batch   int
+	sampler sampling.Sampler
+	frozen  []int64 // ball counts at round start
+	inRound int
+	cand    []int
+	opt     []int
+}
+
+// NewBatched builds a batched Algorithm 1 placer with round size batch.
+func NewBatched(a *bins.Array, weights []float64, d, batch int) (*Batched, error) {
+	if err := validate(a, weights, d); err != nil {
+		return nil, err
+	}
+	if batch < 1 {
+		return nil, fmt.Errorf("protocol: batch = %d", batch)
+	}
+	s, err := sampling.NewAlias(weights)
+	if err != nil {
+		return nil, fmt.Errorf("protocol: batched sampler: %w", err)
+	}
+	return &Batched{
+		d:       d,
+		batch:   batch,
+		sampler: s,
+		frozen:  make([]int64, a.N()),
+		inRound: 0,
+		cand:    make([]int, 0, d),
+		opt:     make([]int, 0, d),
+	}, nil
+}
+
+// Name implements Placer.
+func (b *Batched) Name() string {
+	return fmt.Sprintf("batched-greedy(d=%d,B=%d)", b.d, b.batch)
+}
+
+// Place implements Placer: Algorithm 1 decisions against the frozen
+// snapshot, refreshed every batch placements.
+func (b *Batched) Place(a *bins.Array, r *xrand.Rand) int {
+	if b.inRound == 0 {
+		for i := 0; i < a.N(); i++ {
+			b.frozen[i] = a.Balls(i)
+		}
+	}
+	b.inRound++
+	if b.inRound == b.batch {
+		b.inRound = 0
+	}
+
+	b.cand = b.cand[:0]
+	for i := 0; i < b.d; i++ {
+		c := b.sampler.Sample(r)
+		dup := false
+		for _, e := range b.cand {
+			if e == c {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			b.cand = append(b.cand, c)
+		}
+	}
+	// Bopt on frozen counts
+	b.opt = append(b.opt[:0], b.cand[0])
+	for _, c := range b.cand[1:] {
+		cmp := compareFrozenPost(b.frozen, a, c, b.opt[0])
+		switch {
+		case cmp < 0:
+			b.opt = append(b.opt[:0], c)
+		case cmp == 0:
+			b.opt = append(b.opt, c)
+		}
+	}
+	maxCap := a.Capacity(b.opt[0])
+	for _, c := range b.opt[1:] {
+		if v := a.Capacity(c); v > maxCap {
+			maxCap = v
+		}
+	}
+	k := 0
+	for _, c := range b.opt {
+		if a.Capacity(c) == maxCap {
+			b.opt[k] = c
+			k++
+		}
+	}
+	b.opt = b.opt[:k]
+	chosen := b.opt[0]
+	if len(b.opt) > 1 {
+		chosen = b.opt[r.Intn(len(b.opt))]
+	}
+	a.Add(chosen)
+	return chosen
+}
+
+// compareFrozenPost compares (frozen_i+1)/c_i against (frozen_j+1)/c_j
+// exactly.
+func compareFrozenPost(frozen []int64, a *bins.Array, i, j int) int {
+	lhs := (frozen[i] + 1) * a.Capacity(j)
+	rhs := (frozen[j] + 1) * a.Capacity(i)
+	switch {
+	case lhs < rhs:
+		return -1
+	case lhs > rhs:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Reset clears the round state so the next Place starts a fresh round.
+// The simulation engine calls this automatically between repetitions on
+// any placer that implements it.
+func (b *Batched) Reset() {
+	b.inRound = 0
+	for i := range b.frozen {
+		b.frozen[i] = 0
+	}
+}
+
+// BatchedFactory returns a Factory for the batched protocol.
+func BatchedFactory(d, batch int) Factory {
+	return func(a *bins.Array, w []float64) (Placer, error) { return NewBatched(a, w, d, batch) }
+}
+
+var _ Placer = (*Batched)(nil)

@@ -1,0 +1,164 @@
+package protocol
+
+import (
+	"testing"
+
+	"repro/internal/bins"
+	"repro/internal/dist"
+	"repro/internal/xrand"
+)
+
+func TestBatchedValidation(t *testing.T) {
+	a := bins.MustNew([]int64{1, 2})
+	w := []float64{1, 2}
+	if _, err := NewBatched(a, w, 2, 0); err == nil {
+		t.Error("batch = 0 accepted")
+	}
+	if _, err := NewBatched(a, w, 0, 4); err == nil {
+		t.Error("d = 0 accepted")
+	}
+	if _, err := NewBatched(a, []float64{1}, 2, 4); err == nil {
+		t.Error("weight mismatch accepted")
+	}
+}
+
+// TestBatchSizeOneEqualsGreedy: with B = 1 the batched protocol is the
+// sequential Algorithm 1 — identical stream, identical placements.
+func TestBatchSizeOneEqualsGreedy(t *testing.T) {
+	caps := []int64{1, 1, 2, 2, 4, 4}
+	w, _ := dist.Proportional{}.Weights(bins.MustNew(caps))
+	aB := bins.MustNew(caps)
+	aG := bins.MustNew(caps)
+	pb, err := NewBatched(aB, w, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, err := NewGreedy(aG, w, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, rg := xrand.New(5), xrand.New(5)
+	for i := 0; i < 200; i++ {
+		ib := pb.Place(aB, rb)
+		ig := pg.Place(aG, rg)
+		if ib != ig {
+			t.Fatalf("ball %d: batched chose %d, greedy chose %d", i, ib, ig)
+		}
+	}
+}
+
+// TestHugeBatchIsObliviousToPlacements: with batch >= m, every ball sees
+// an all-empty snapshot, so the distribution degenerates towards random
+// placement among the capacity-filtered choices. Specifically on uniform
+// unit bins the max ball count must be much worse than sequential greedy.
+func TestHugeBatchIsOblivious(t *testing.T) {
+	const n, m, reps = 100, 100, 200
+	var seqMax, batchMax float64
+	for rep := 0; rep < reps; rep++ {
+		caps := make([]int64, n)
+		for i := range caps {
+			caps[i] = 1
+		}
+		w := make([]float64, n)
+		for i := range w {
+			w[i] = 1
+		}
+		aS := bins.MustNew(caps)
+		aB := bins.MustNew(caps)
+		ps, _ := NewGreedy(aS, w, 2)
+		pb, _ := NewBatched(aB, w, 2, m)
+		rs := xrand.NewStream(900, uint64(rep))
+		rb := xrand.NewStream(901, uint64(rep))
+		for i := 0; i < m; i++ {
+			ps.Place(aS, rs)
+			pb.Place(aB, rb)
+		}
+		seqMax += aS.MaxLoad()
+		batchMax += aB.MaxLoad()
+	}
+	if batchMax <= seqMax {
+		t.Fatalf("full-batch max %.3f not worse than sequential %.3f", batchMax/reps, seqMax/reps)
+	}
+}
+
+// TestBatchedMonotoneInB: larger batches (staler information) should not
+// improve the max load, statistically.
+func TestBatchedMonotoneInB(t *testing.T) {
+	const n, m, reps = 64, 256, 150
+	mean := func(batch int) float64 {
+		caps := make([]int64, n)
+		w := make([]float64, n)
+		for i := range caps {
+			caps[i] = 1
+			w[i] = 1
+		}
+		total := 0.0
+		for rep := 0; rep < reps; rep++ {
+			a := bins.MustNew(caps)
+			p, err := NewBatched(a, w, 2, batch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := xrand.NewStream(1000+uint64(batch), uint64(rep))
+			for i := 0; i < m; i++ {
+				p.Place(a, r)
+			}
+			total += a.MaxLoad()
+		}
+		return total / reps
+	}
+	b1, b16, b256 := mean(1), mean(16), mean(256)
+	if b16 < b1-0.1 {
+		t.Fatalf("B=16 (%.3f) better than B=1 (%.3f)", b16, b1)
+	}
+	if b256 < b16-0.1 {
+		t.Fatalf("B=256 (%.3f) better than B=16 (%.3f)", b256, b16)
+	}
+}
+
+func TestBatchedReset(t *testing.T) {
+	caps := []int64{1, 1}
+	w := []float64{1, 1}
+	a := bins.MustNew(caps)
+	p, err := NewBatched(a, w, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(1)
+	p.Place(a, r) // mid-round now
+	a.Reset()
+	p.Reset()
+	if p.inRound != 0 {
+		t.Fatal("Reset did not clear round state")
+	}
+	for _, f := range p.frozen {
+		if f != 0 {
+			t.Fatal("Reset did not clear frozen counts")
+		}
+	}
+	// determinism after reset: two identical sequences
+	r1, r2 := xrand.New(9), xrand.New(9)
+	a1, a2 := bins.MustNew(caps), bins.MustNew(caps)
+	p.Reset()
+	seq1 := make([]int, 10)
+	for i := range seq1 {
+		seq1[i] = p.Place(a1, r1)
+	}
+	p.Reset()
+	for i := range seq1 {
+		if got := p.Place(a2, r2); got != seq1[i] {
+			t.Fatal("batched placer not deterministic after Reset")
+		}
+	}
+}
+
+func TestBatchedFactory(t *testing.T) {
+	a := bins.MustNew([]int64{2, 2})
+	p, err := BatchedFactory(2, 4)(a, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "batched-greedy(d=2,B=4)" {
+		t.Fatalf("name %q", p.Name())
+	}
+}

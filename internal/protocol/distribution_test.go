@@ -1,0 +1,142 @@
+package protocol
+
+// State-by-state validation of the Greedy implementation against the
+// exact one-ball distribution computed by brute-force enumeration in
+// internal/exact: for random small configurations and random preloaded
+// states, the empirical frequency with which each bin receives the next
+// ball must match the enumerated probabilities.
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bins"
+	"repro/internal/exact"
+	"repro/internal/xrand"
+)
+
+func TestGreedyOneBallDistributionMatchesExact(t *testing.T) {
+	const trials = 60000
+	rng := xrand.New(20240611)
+	for config := 0; config < 8; config++ {
+		n := rng.Intn(4) + 2 // 2..5 bins
+		caps := make([]int64, n)
+		for i := range caps {
+			caps[i] = int64(rng.Intn(5)) + 1
+		}
+		arr := bins.MustNew(caps)
+		preload := rng.Intn(12)
+		for i := 0; i < preload; i++ {
+			arr.Add(rng.Intn(n))
+		}
+		balls := make([]int64, n)
+		weights := make([]float64, n)
+		for i := 0; i < n; i++ {
+			balls[i] = arr.Balls(i)
+			weights[i] = float64(caps[i])
+		}
+		d := rng.Intn(2) + 2 // d in {2, 3}
+
+		want, err := exact.OneBallDistribution(caps, balls, weights, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := NewGreedy(arr, weights, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := make([]float64, n)
+		for i := 0; i < trials; i++ {
+			b := arr.Clone()
+			counts[g.Place(b, rng)]++
+		}
+		for i := 0; i < n; i++ {
+			got := counts[i] / trials
+			// binomial std dev ≈ sqrt(p(1-p)/trials) ≤ 0.002; allow 5 sigma
+			if math.Abs(got-want[i]) > 0.011 {
+				t.Fatalf("config %d (caps=%v balls=%v d=%d): bin %d frequency %.4f, exact %.4f",
+					config, caps, balls, d, i, got, want[i])
+			}
+		}
+	}
+}
+
+func TestStandardOneBallDistributionMatchesExact(t *testing.T) {
+	const trials = 60000
+	rng := xrand.New(777)
+	for config := 0; config < 6; config++ {
+		n := rng.Intn(3) + 2
+		caps := make([]int64, n)
+		for i := range caps {
+			caps[i] = int64(rng.Intn(4)) + 1
+		}
+		arr := bins.MustNew(caps)
+		for i := 0; i < rng.Intn(10); i++ {
+			arr.Add(rng.Intn(n))
+		}
+		balls := make([]int64, n)
+		weights := make([]float64, n)
+		for i := 0; i < n; i++ {
+			balls[i] = arr.Balls(i)
+			weights[i] = float64(caps[i])
+		}
+		const d = 2
+		want, err := exact.OneBallDistributionStandard(caps, balls, weights, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := NewStandard(arr, weights, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := make([]float64, n)
+		for i := 0; i < trials; i++ {
+			b := arr.Clone()
+			counts[s.Place(b, rng)]++
+		}
+		for i := 0; i < n; i++ {
+			got := counts[i] / trials
+			if math.Abs(got-want[i]) > 0.011 {
+				t.Fatalf("config %d (caps=%v balls=%v): bin %d frequency %.4f, exact %.4f",
+					config, caps, balls, i, got, want[i])
+			}
+		}
+	}
+}
+
+// TestGreedyTieFreqWorkedExample is the fully hand-computed case: bins
+// (cap 1, empty) and (cap 4, 3 balls), uniform weights, d = 2.
+// Tuples: (0,0) → bin 0; all other three → tie on post-load 1, capacity
+// filter keeps bin 1. Exact distribution: bin 0 = 1/4, bin 1 = 3/4.
+func TestGreedyTieFreqWorkedExample(t *testing.T) {
+	caps := []int64{1, 4}
+	balls := []int64{0, 3}
+	want, err := exact.OneBallDistribution(caps, balls, []float64{1, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(want[0]-0.25) > 1e-12 || math.Abs(want[1]-0.75) > 1e-12 {
+		t.Fatalf("exact distribution %v, want [0.25 0.75]", want)
+	}
+	arr := bins.MustNew(caps)
+	arr.Add(1)
+	arr.Add(1)
+	arr.Add(1)
+	g, err := NewGreedy(arr, []float64{1, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(5)
+	const trials = 100000
+	wins0 := 0
+	for i := 0; i < trials; i++ {
+		b := arr.Clone()
+		if g.Place(b, rng) == 0 {
+			wins0++
+		}
+	}
+	got := float64(wins0) / trials
+	if math.Abs(got-0.25) > 0.01 {
+		t.Fatalf("bin 0 frequency %.4f, want 0.25", got)
+	}
+}

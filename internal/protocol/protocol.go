@@ -1,0 +1,347 @@
+// Package protocol implements the allocation protocols: the paper's
+// Algorithm 1 (greedy d-choice with capacity tie-breaking) plus the
+// baselines and extensions it is compared against.
+//
+// A Placer places one ball at a time into a bins.Array using a caller
+// supplied RNG. Placers are bound at construction to a fixed capacity
+// vector and selection-weight vector (they pre-build alias tables), but
+// they read ball counts live, so the same Placer can be reused across
+// repetitions by resetting the array.
+//
+// All load comparisons are exact integer arithmetic via
+// bins.ComparePostLoads — no floating point is involved in any placement
+// decision.
+package protocol
+
+import (
+	"fmt"
+
+	"repro/internal/bins"
+	"repro/internal/sampling"
+	"repro/internal/xrand"
+)
+
+// Placer allocates balls one at a time.
+type Placer interface {
+	// Place chooses bins for one ball per the protocol, allocates the
+	// ball into a, and returns the receiving bin's index.
+	Place(a *bins.Array, r *xrand.Rand) int
+	// Name identifies the protocol in reports.
+	Name() string
+}
+
+// Factory builds a Placer for a specific array and selection weights.
+// The simulation engine calls it once per repetition (or once per worker
+// for fixed arrays).
+type Factory func(a *bins.Array, weights []float64) (Placer, error)
+
+// maxChoices bounds d to keep candidate buffers on the stack.
+const maxChoices = 32
+
+func validate(a *bins.Array, weights []float64, d int) error {
+	if a == nil {
+		return fmt.Errorf("protocol: nil array")
+	}
+	if len(weights) != a.N() {
+		return fmt.Errorf("protocol: %d weights for %d bins", len(weights), a.N())
+	}
+	if d < 1 || d > maxChoices {
+		return fmt.Errorf("protocol: d = %d outside [1,%d]", d, maxChoices)
+	}
+	return nil
+}
+
+// Greedy is the paper's Algorithm 1. For each ball it draws d candidate
+// bins (independently, with the configured selection probabilities),
+// keeps the candidates whose load after a hypothetical allocation would
+// be smallest, removes from that set every bin whose capacity is below
+// the set's maximum capacity, and finally picks uniformly among the
+// survivors.
+type Greedy struct {
+	d       int
+	sampler sampling.Sampler
+	// scratch buffers, reused across Place calls
+	cand []int
+	opt  []int
+}
+
+// NewGreedy builds Algorithm 1 with d choices over the given weights.
+func NewGreedy(a *bins.Array, weights []float64, d int) (*Greedy, error) {
+	if err := validate(a, weights, d); err != nil {
+		return nil, err
+	}
+	s, err := sampling.NewAlias(weights)
+	if err != nil {
+		return nil, fmt.Errorf("protocol: greedy sampler: %w", err)
+	}
+	return &Greedy{
+		d:       d,
+		sampler: s,
+		cand:    make([]int, 0, d),
+		opt:     make([]int, 0, d),
+	}, nil
+}
+
+// Name implements Placer.
+func (g *Greedy) Name() string { return fmt.Sprintf("greedy(d=%d)", g.d) }
+
+// Place implements Placer; it is the verbatim translation of Algorithm 1.
+func (g *Greedy) Place(a *bins.Array, r *xrand.Rand) int {
+	// Step 2: independently choose a set B of d bins. The d draws are
+	// independent; duplicates collapse because B is a set.
+	g.cand = g.cand[:0]
+	for i := 0; i < g.d; i++ {
+		b := g.sampler.Sample(r)
+		dup := false
+		for _, c := range g.cand {
+			if c == b {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			g.cand = append(g.cand, b)
+		}
+	}
+	// Step 3: Bopt = bins minimising the post-allocation load.
+	g.opt = append(g.opt[:0], g.cand[0])
+	for _, b := range g.cand[1:] {
+		switch a.ComparePostLoads(b, g.opt[0]) {
+		case -1:
+			g.opt = append(g.opt[:0], b)
+		case 0:
+			g.opt = append(g.opt, b)
+		}
+	}
+	// Steps 4-5: keep only maximum-capacity members of Bopt.
+	maxCap := a.Capacity(g.opt[0])
+	for _, b := range g.opt[1:] {
+		if c := a.Capacity(b); c > maxCap {
+			maxCap = c
+		}
+	}
+	k := 0
+	for _, b := range g.opt {
+		if a.Capacity(b) == maxCap {
+			g.opt[k] = b
+			k++
+		}
+	}
+	g.opt = g.opt[:k]
+	// Step 6: i.u.r. choice among the survivors.
+	chosen := g.opt[0]
+	if len(g.opt) > 1 {
+		chosen = g.opt[r.Intn(len(g.opt))]
+	}
+	a.Add(chosen)
+	return chosen
+}
+
+// Standard is the classical Azar et al. Greedy[d]: candidates are
+// compared by *ball count* (not capacity-relative load) and ties are
+// broken uniformly at random. With uniform capacities and uniform
+// selection probabilities this is the standard d-choice game; it serves
+// as the capacity-oblivious baseline for heterogeneous arrays.
+type Standard struct {
+	d       int
+	sampler sampling.Sampler
+	opt     []int
+}
+
+// NewStandard builds the capacity-oblivious d-choice baseline.
+func NewStandard(a *bins.Array, weights []float64, d int) (*Standard, error) {
+	if err := validate(a, weights, d); err != nil {
+		return nil, err
+	}
+	s, err := sampling.NewAlias(weights)
+	if err != nil {
+		return nil, fmt.Errorf("protocol: standard sampler: %w", err)
+	}
+	return &Standard{d: d, sampler: s, opt: make([]int, 0, d)}, nil
+}
+
+// Name implements Placer.
+func (s *Standard) Name() string { return fmt.Sprintf("standard(d=%d)", s.d) }
+
+// Place implements Placer.
+func (s *Standard) Place(a *bins.Array, r *xrand.Rand) int {
+	s.opt = s.opt[:0]
+	var best int64
+	for i := 0; i < s.d; i++ {
+		b := s.sampler.Sample(r)
+		m := a.Balls(b)
+		switch {
+		case i == 0 || m < best:
+			best = m
+			s.opt = append(s.opt[:0], b)
+		case m == best:
+			dup := false
+			for _, c := range s.opt {
+				if c == b {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				s.opt = append(s.opt, b)
+			}
+		}
+	}
+	chosen := s.opt[0]
+	if len(s.opt) > 1 {
+		chosen = s.opt[r.Intn(len(s.opt))]
+	}
+	a.Add(chosen)
+	return chosen
+}
+
+// Single places each ball into one randomly selected bin (d = 1): the
+// no-choice baseline.
+type Single struct {
+	sampler sampling.Sampler
+}
+
+// NewSingle builds the single-choice baseline.
+func NewSingle(a *bins.Array, weights []float64) (*Single, error) {
+	if err := validate(a, weights, 1); err != nil {
+		return nil, err
+	}
+	s, err := sampling.NewAlias(weights)
+	if err != nil {
+		return nil, fmt.Errorf("protocol: single sampler: %w", err)
+	}
+	return &Single{sampler: s}, nil
+}
+
+// Name implements Placer.
+func (s *Single) Name() string { return "single" }
+
+// Place implements Placer.
+func (s *Single) Place(a *bins.Array, r *xrand.Rand) int {
+	b := s.sampler.Sample(r)
+	a.Add(b)
+	return b
+}
+
+// GoLeft is Vöcking's Always-Go-Left d-choice protocol adapted to
+// heterogeneous bins (an extension/ablation, not in the paper): the bins
+// are split into d contiguous groups, each ball draws one candidate per
+// group (weights restricted to the group), compares post-allocation loads
+// exactly, and breaks ties towards the leftmost group instead of towards
+// higher capacity.
+type GoLeft struct {
+	d        int
+	offsets  []int // start index of each group
+	samplers []sampling.Sampler
+}
+
+// NewGoLeft builds the always-go-left placer. Each of the d groups must
+// contain at least one bin with positive weight.
+func NewGoLeft(a *bins.Array, weights []float64, d int) (*GoLeft, error) {
+	if err := validate(a, weights, d); err != nil {
+		return nil, err
+	}
+	n := a.N()
+	if d > n {
+		return nil, fmt.Errorf("protocol: go-left needs d <= n (%d > %d)", d, n)
+	}
+	g := &GoLeft{d: d}
+	for k := 0; k < d; k++ {
+		lo := k * n / d
+		hi := (k + 1) * n / d
+		s, err := sampling.NewAlias(weights[lo:hi])
+		if err != nil {
+			return nil, fmt.Errorf("protocol: go-left group %d: %w", k, err)
+		}
+		g.offsets = append(g.offsets, lo)
+		g.samplers = append(g.samplers, s)
+	}
+	return g, nil
+}
+
+// Name implements Placer.
+func (g *GoLeft) Name() string { return fmt.Sprintf("goleft(d=%d)", g.d) }
+
+// Place implements Placer.
+func (g *GoLeft) Place(a *bins.Array, r *xrand.Rand) int {
+	best := -1
+	for k := 0; k < g.d; k++ {
+		b := g.offsets[k] + g.samplers[k].Sample(r)
+		// strictly smaller post-load wins; ties keep the leftmost group.
+		if best == -1 || a.ComparePostLoads(b, best) < 0 {
+			best = b
+		}
+	}
+	a.Add(best)
+	return best
+}
+
+// OnePlusBeta is Mitzenmacher's (1+β)-choice process adapted to the
+// heterogeneous setting (extension): with probability beta a ball runs
+// Algorithm 1 with d = 2, otherwise it places single-choice. It
+// interpolates between d=1 and d=2 probe cost.
+type OnePlusBeta struct {
+	beta   float64
+	greedy *Greedy
+	single *Single
+}
+
+// NewOnePlusBeta builds the (1+β) placer for beta in [0, 1].
+func NewOnePlusBeta(a *bins.Array, weights []float64, beta float64) (*OnePlusBeta, error) {
+	if beta < 0 || beta > 1 {
+		return nil, fmt.Errorf("protocol: beta = %v outside [0,1]", beta)
+	}
+	g, err := NewGreedy(a, weights, 2)
+	if err != nil {
+		return nil, err
+	}
+	s, err := NewSingle(a, weights)
+	if err != nil {
+		return nil, err
+	}
+	return &OnePlusBeta{beta: beta, greedy: g, single: s}, nil
+}
+
+// Name implements Placer.
+func (p *OnePlusBeta) Name() string { return fmt.Sprintf("oneplusbeta(b=%g)", p.beta) }
+
+// Place implements Placer.
+func (p *OnePlusBeta) Place(a *bins.Array, r *xrand.Rand) int {
+	if r.Bernoulli(p.beta) {
+		return p.greedy.Place(a, r)
+	}
+	return p.single.Place(a, r)
+}
+
+// GreedyFactory returns a Factory for Algorithm 1 with d choices.
+func GreedyFactory(d int) Factory {
+	return func(a *bins.Array, w []float64) (Placer, error) { return NewGreedy(a, w, d) }
+}
+
+// StandardFactory returns a Factory for the capacity-oblivious baseline.
+func StandardFactory(d int) Factory {
+	return func(a *bins.Array, w []float64) (Placer, error) { return NewStandard(a, w, d) }
+}
+
+// SingleFactory returns a Factory for the single-choice baseline.
+func SingleFactory() Factory {
+	return func(a *bins.Array, w []float64) (Placer, error) { return NewSingle(a, w) }
+}
+
+// GoLeftFactory returns a Factory for always-go-left with d groups.
+func GoLeftFactory(d int) Factory {
+	return func(a *bins.Array, w []float64) (Placer, error) { return NewGoLeft(a, w, d) }
+}
+
+// OnePlusBetaFactory returns a Factory for the (1+β) process.
+func OnePlusBetaFactory(beta float64) Factory {
+	return func(a *bins.Array, w []float64) (Placer, error) { return NewOnePlusBeta(a, w, beta) }
+}
+
+var (
+	_ Placer = (*Greedy)(nil)
+	_ Placer = (*Standard)(nil)
+	_ Placer = (*Single)(nil)
+	_ Placer = (*GoLeft)(nil)
+	_ Placer = (*OnePlusBeta)(nil)
+)

@@ -1,0 +1,124 @@
+// Package report assembles a results directory (the TSVs written by
+// bnbfig) into a single human-readable Markdown digest: one section per
+// experiment with its table rendered inline, truncated to a preview for
+// long series. cmd/bnbreport is the CLI wrapper.
+package report
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/table"
+	"repro/internal/tsv"
+)
+
+// Options tune the digest.
+type Options struct {
+	// MaxRows caps the rows rendered per table; longer tables show the
+	// first MaxRows/2 and last MaxRows/2 rows (default 16).
+	MaxRows int
+	// Title heads the document (default "Experiment results").
+	Title string
+}
+
+func (o Options) maxRows() int {
+	if o.MaxRows <= 0 {
+		return 16
+	}
+	return o.MaxRows
+}
+
+func (o Options) title() string {
+	if o.Title == "" {
+		return "Experiment results"
+	}
+	return o.Title
+}
+
+// Build reads every .tsv in dir and renders the Markdown digest.
+func Build(dir string, opts Options) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".tsv") {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		return "", fmt.Errorf("report: no .tsv files in %s", dir)
+	}
+	sort.Strings(names)
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# %s\n\n", opts.title())
+	fmt.Fprintf(&sb, "%d experiment tables from `%s`.\n\n", len(names), dir)
+	for _, name := range names {
+		t, err := tsv.ParseFile(filepath.Join(dir, name))
+		if err != nil {
+			return "", err
+		}
+		renderSection(&sb, name, t, opts.maxRows())
+	}
+	return sb.String(), nil
+}
+
+func renderSection(sb *strings.Builder, name string, t *table.Table, maxRows int) {
+	fmt.Fprintf(sb, "## %s\n\n", t.Title)
+	fmt.Fprintf(sb, "Source: `%s`", name)
+	if t.Comment != "" {
+		fmt.Fprintf(sb, " — %s", strings.ReplaceAll(t.Comment, "\n", "; "))
+	}
+	fmt.Fprint(sb, "\n\n")
+
+	// Markdown table header
+	fmt.Fprintf(sb, "| %s |\n", strings.Join(t.Cols, " | "))
+	seps := make([]string, len(t.Cols))
+	for i := range seps {
+		seps[i] = "---:"
+	}
+	fmt.Fprintf(sb, "| %s |\n", strings.Join(seps, " | "))
+
+	n := t.NumRows()
+	if n <= maxRows {
+		for r := 0; r < n; r++ {
+			writeRow(sb, t.Row(r))
+		}
+	} else {
+		head := maxRows / 2
+		tail := maxRows - head
+		for r := 0; r < head; r++ {
+			writeRow(sb, t.Row(r))
+		}
+		elision := make([]string, len(t.Cols))
+		for i := range elision {
+			elision[i] = "…"
+		}
+		fmt.Fprintf(sb, "| %s |\n", strings.Join(elision, " | "))
+		for r := n - tail; r < n; r++ {
+			writeRow(sb, t.Row(r))
+		}
+		fmt.Fprintf(sb, "\n*%d rows total; middle elided.*\n", n)
+	}
+	fmt.Fprint(sb, "\n")
+}
+
+func writeRow(sb *strings.Builder, row []float64) {
+	cells := make([]string, len(row))
+	for i, v := range row {
+		cells[i] = formatNumber(v)
+	}
+	fmt.Fprintf(sb, "| %s |\n", strings.Join(cells, " | "))
+}
+
+func formatNumber(v float64) string {
+	if v == float64(int64(v)) && v < 1e15 && v > -1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.4f", v)
+}

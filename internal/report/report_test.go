@@ -1,0 +1,102 @@
+package report
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFixture(t *testing.T, dir, name, body string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildBasics(t *testing.T) {
+	dir := t.TempDir()
+	writeFixture(t, dir, "fig99.tsv", "# Figure 99: test\n# a note\n# x\ty\n1\t2.5\n2\t3\n")
+	out, err := Build(dir, Options{Title: "My Digest"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{
+		"# My Digest",
+		"## Figure 99: test",
+		"`fig99.tsv`",
+		"a note",
+		"| x | y |",
+		"| 1 | 2.5000 |",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("digest missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestBuildTruncatesLongTables(t *testing.T) {
+	dir := t.TempDir()
+	var sb strings.Builder
+	sb.WriteString("# Long\n# x\n")
+	for i := 0; i < 100; i++ {
+		sb.WriteString("1\n")
+	}
+	writeFixture(t, dir, "long.tsv", sb.String())
+	out, err := Build(dir, Options{MaxRows: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "100 rows total") {
+		t.Fatalf("missing elision note:\n%s", out)
+	}
+	if !strings.Contains(out, "…") {
+		t.Fatal("missing elision marker")
+	}
+	// 10 data rows + 1 elision row
+	if got := strings.Count(out, "| 1 |"); got != 10 {
+		t.Fatalf("rendered %d data rows, want 10", got)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build("/nonexistent-dir", Options{}); err == nil {
+		t.Error("missing dir accepted")
+	}
+	empty := t.TempDir()
+	if _, err := Build(empty, Options{}); err == nil {
+		t.Error("empty dir accepted")
+	}
+	bad := t.TempDir()
+	writeFixture(t, bad, "bad.tsv", "no metadata at all")
+	if _, err := Build(bad, Options{}); err == nil {
+		t.Error("unparseable TSV accepted")
+	}
+}
+
+func TestBuildRealResults(t *testing.T) {
+	if _, err := os.Stat("../../results"); err != nil {
+		t.Skip("no results directory")
+	}
+	out, err := Build("../../results", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"Figure 1", "Figure 16", "Theorem 3"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("real-results digest missing %q", frag)
+		}
+	}
+}
+
+func TestFormatNumber(t *testing.T) {
+	if got := formatNumber(3); got != "3" {
+		t.Fatalf("formatNumber(3) = %q", got)
+	}
+	if got := formatNumber(3.5); got != "3.5000" {
+		t.Fatalf("formatNumber(3.5) = %q", got)
+	}
+	if got := formatNumber(-7); got != "-7" {
+		t.Fatalf("formatNumber(-7) = %q", got)
+	}
+}

@@ -1,0 +1,272 @@
+// Package sampling implements discrete weighted sampling, the substrate
+// underneath "a ball chooses bin i with probability c_i/C" and every other
+// bin-probability distribution in the paper.
+//
+// Three interchangeable samplers are provided:
+//
+//   - AliasTable: Vose's alias method; O(n) build, O(1) sample. The default
+//     for static bin arrays (all paper experiments).
+//   - CDF: binary search over cumulative weights; O(n) build, O(log n)
+//     sample. Simpler, used as a cross-check in tests.
+//   - Fenwick: a Fenwick (binary indexed) tree over weights; O(log n)
+//     sample AND O(log n) single-weight update, for dynamically growing
+//     systems (the §4.3 scale-out scenarios rebuild arrays between runs,
+//     but the Fenwick sampler supports true online growth as an extension).
+//
+// All samplers draw from the same *xrand.Rand so experiments remain
+// deterministic under sampler substitution only if the sampler is fixed;
+// the protocol layer pins AliasTable for paper runs.
+package sampling
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/xrand"
+)
+
+// Sampler draws indices in [0, N()) from a fixed discrete distribution.
+type Sampler interface {
+	// Sample returns an index in [0, N()).
+	Sample(r *xrand.Rand) int
+	// N returns the number of categories.
+	N() int
+}
+
+// ErrNoWeights is returned when a sampler is built from an empty or
+// all-zero weight vector.
+var ErrNoWeights = errors.New("sampling: no positive weights")
+
+func validateWeights(weights []float64) (total float64, err error) {
+	if len(weights) == 0 {
+		return 0, ErrNoWeights
+	}
+	for i, w := range weights {
+		if w < 0 || w != w { // w != w catches NaN
+			return 0, fmt.Errorf("sampling: weight %d is invalid (%v)", i, w)
+		}
+		total += w
+	}
+	if total <= 0 {
+		return 0, ErrNoWeights
+	}
+	return total, nil
+}
+
+// AliasTable samples from a discrete distribution in O(1) using Vose's
+// alias method. Weights need not be normalised; zero weights are allowed
+// (those indices are simply never returned).
+type AliasTable struct {
+	prob  []float64 // acceptance probability per column
+	alias []int32   // alias index per column
+}
+
+// NewAlias builds an alias table from the given non-negative weights.
+func NewAlias(weights []float64) (*AliasTable, error) {
+	total, err := validateWeights(weights)
+	if err != nil {
+		return nil, err
+	}
+	n := len(weights)
+	t := &AliasTable{
+		prob:  make([]float64, n),
+		alias: make([]int32, n),
+	}
+	// Scale weights so the average column is exactly 1.
+	scaled := make([]float64, n)
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / total
+	}
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i := n - 1; i >= 0; i-- {
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		l := small[len(small)-1]
+		small = small[:len(small)-1]
+		g := large[len(large)-1]
+		large = large[:len(large)-1]
+		t.prob[l] = scaled[l]
+		t.alias[l] = g
+		scaled[g] = (scaled[g] + scaled[l]) - 1
+		if scaled[g] < 1 {
+			small = append(small, g)
+		} else {
+			large = append(large, g)
+		}
+	}
+	// Numerical leftovers: both queues should drain with columns at 1.
+	for _, g := range large {
+		t.prob[g] = 1
+		t.alias[g] = g
+	}
+	for _, l := range small {
+		t.prob[l] = 1
+		t.alias[l] = l
+	}
+	return t, nil
+}
+
+// Sample returns an index distributed according to the build weights.
+func (t *AliasTable) Sample(r *xrand.Rand) int {
+	i := int(r.Uint64n(uint64(len(t.prob))))
+	if r.Float64() < t.prob[i] {
+		return i
+	}
+	return int(t.alias[i])
+}
+
+// N returns the number of categories.
+func (t *AliasTable) N() int { return len(t.prob) }
+
+// CDF samples by binary search over the cumulative distribution.
+type CDF struct {
+	cum []float64
+}
+
+// NewCDF builds a cumulative-sum sampler from non-negative weights.
+func NewCDF(weights []float64) (*CDF, error) {
+	total, err := validateWeights(weights)
+	if err != nil {
+		return nil, err
+	}
+	cum := make([]float64, len(weights))
+	run := 0.0
+	for i, w := range weights {
+		run += w / total
+		cum[i] = run
+	}
+	cum[len(cum)-1] = 1 // absorb rounding
+	return &CDF{cum: cum}, nil
+}
+
+// Sample returns an index distributed according to the build weights.
+func (c *CDF) Sample(r *xrand.Rand) int {
+	u := r.Float64()
+	return sort.SearchFloat64s(c.cum, u)
+}
+
+// N returns the number of categories.
+func (c *CDF) N() int { return len(c.cum) }
+
+// Fenwick is a dynamically updatable weighted sampler backed by a Fenwick
+// tree of weights. Sample and UpdateWeight both cost O(log n).
+type Fenwick struct {
+	tree  []float64 // 1-based Fenwick tree of weights
+	w     []float64 // current weights, 0-based
+	total float64
+}
+
+// NewFenwick builds a Fenwick sampler from non-negative weights.
+func NewFenwick(weights []float64) (*Fenwick, error) {
+	total, err := validateWeights(weights)
+	if err != nil {
+		return nil, err
+	}
+	n := len(weights)
+	f := &Fenwick{
+		tree:  make([]float64, n+1),
+		w:     make([]float64, n),
+		total: total,
+	}
+	copy(f.w, weights)
+	// O(n) Fenwick construction.
+	for i := 1; i <= n; i++ {
+		f.tree[i] += weights[i-1]
+		if j := i + (i & -i); j <= n {
+			f.tree[j] += f.tree[i]
+		}
+	}
+	return f, nil
+}
+
+// N returns the number of categories.
+func (f *Fenwick) N() int { return len(f.w) }
+
+// Total returns the current sum of weights.
+func (f *Fenwick) Total() float64 { return f.total }
+
+// Weight returns the current weight of index i.
+func (f *Fenwick) Weight(i int) float64 { return f.w[i] }
+
+// UpdateWeight sets the weight of index i to w (w >= 0).
+func (f *Fenwick) UpdateWeight(i int, w float64) error {
+	if i < 0 || i >= len(f.w) {
+		return fmt.Errorf("sampling: index %d out of range [0,%d)", i, len(f.w))
+	}
+	if w < 0 || w != w {
+		return fmt.Errorf("sampling: invalid weight %v", w)
+	}
+	delta := w - f.w[i]
+	f.w[i] = w
+	f.total += delta
+	for j := i + 1; j < len(f.tree); j += j & -j {
+		f.tree[j] += delta
+	}
+	return nil
+}
+
+// Sample returns an index with probability proportional to its current
+// weight, by descending the Fenwick tree.
+func (f *Fenwick) Sample(r *xrand.Rand) int {
+	if f.total <= 0 {
+		panic("sampling: Fenwick sampler has no positive weights left")
+	}
+	target := r.Float64() * f.total
+	idx := 0
+	// mask = highest power of two <= len(w)
+	mask := 1
+	for mask<<1 <= len(f.w) {
+		mask <<= 1
+	}
+	for ; mask > 0; mask >>= 1 {
+		next := idx + mask
+		if next < len(f.tree) && f.tree[next] < target {
+			target -= f.tree[next]
+			idx = next
+		}
+	}
+	// idx is the count of prefix entries strictly below target; clamp for
+	// the target==total edge (Float64 < 1 makes this near-impossible, but
+	// floating accumulation in total can overshoot).
+	if idx >= len(f.w) {
+		idx = len(f.w) - 1
+	}
+	// Skip zero-weight landing spots caused by floating point residue.
+	for f.w[idx] == 0 {
+		idx = (idx + 1) % len(f.w)
+	}
+	return idx
+}
+
+// Uniform samples uniformly from [0, n).
+type Uniform struct {
+	n int
+}
+
+// NewUniform returns a uniform sampler over n categories.
+func NewUniform(n int) (*Uniform, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("sampling: uniform over %d categories", n)
+	}
+	return &Uniform{n: n}, nil
+}
+
+// Sample returns a uniform index in [0, N()).
+func (u *Uniform) Sample(r *xrand.Rand) int { return r.Intn(u.n) }
+
+// N returns the number of categories.
+func (u *Uniform) N() int { return u.n }
+
+var (
+	_ Sampler = (*AliasTable)(nil)
+	_ Sampler = (*CDF)(nil)
+	_ Sampler = (*Fenwick)(nil)
+	_ Sampler = (*Uniform)(nil)
+)

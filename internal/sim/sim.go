@@ -1,0 +1,521 @@
+// Package sim is the Monte-Carlo simulation engine: it runs a configured
+// balls-into-bins game for many independent repetitions in parallel and
+// aggregates the metrics the paper's figures report.
+//
+// # Determinism
+//
+// Repetition i of a run with base seed s draws every random decision
+// (random capacities, bin choices, tie breaks) from the dedicated stream
+// xrand.NewStream(s, i). Repetitions are processed in fixed-size chunks;
+// chunk partial aggregates are merged in chunk order. The result is
+// bit-identical for any worker count, including 1.
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/bins"
+	"repro/internal/dist"
+	"repro/internal/protocol"
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+// chunkSize is the number of repetitions aggregated into one mergeable
+// partial. It is a constant (not tunable) so that results do not depend
+// on the execution environment.
+const chunkSize = 8
+
+// Config describes one experiment: the bin array (fixed or per-repetition
+// random), the selection probability distribution, the protocol, the
+// number of balls, and what to collect.
+type Config struct {
+	// Array supplies fixed capacities; it is cloned per worker and reset
+	// between repetitions. Ignored when ArrayFn is set.
+	Array *bins.Array
+	// ArrayFn builds a fresh (possibly random) array per repetition.
+	// All repetitions must produce the same number of bins.
+	ArrayFn func(r *xrand.Rand) (*bins.Array, error)
+	// Dist chooses bin selection weights. Nil defaults to
+	// dist.Proportional{} — the paper's standard assumption.
+	Dist dist.Distribution
+	// Placer builds the allocation protocol. Nil defaults to the paper's
+	// Algorithm 1 with d = 2.
+	Placer protocol.Factory
+	// Balls fixes the number of balls per repetition. When 0, the count
+	// is BallsFactor·C (rounded), and when BallsFactor is also 0 it
+	// defaults to exactly C — the paper's m = C baseline.
+	Balls int64
+	// BallsFactor scales the realised total capacity into a ball count.
+	BallsFactor float64
+	// Reps is the number of independent repetitions (>= 1).
+	Reps int
+	// Seed is the base RNG seed.
+	Seed uint64
+	// Workers caps parallelism; 0 means GOMAXPROCS.
+	Workers int
+
+	// CollectLoadVector requests the element-wise mean of the sorted
+	// (non-increasing) load vector across repetitions — the "load
+	// distribution" curves of Figs 1-5 and 10-11.
+	CollectLoadVector bool
+	// ClassLoadVectors requests per-capacity-class mean sorted load
+	// vectors (Figs 12-13). Requires a fixed Array (class sizes must not
+	// vary across repetitions).
+	ClassLoadVectors []int64
+	// TrackClasses requests, per capacity class, the fraction of
+	// repetitions in which a bin of that class attains the maximum load
+	// (Figs 7 and 9).
+	TrackClasses []int64
+	// Checkpoints lists ball counts at which the running maximum load
+	// and its deviation from the running average load are recorded
+	// (Fig 16). Values larger than the ball count are ignored.
+	Checkpoints []int64
+	// HeightBins, when positive, requests a histogram of ball heights —
+	// the paper's §2 notion: the load of the receiving bin immediately
+	// after the allocation. The histogram spans [0, HeightMax) with
+	// HeightBins bins (HeightMax defaults to 8).
+	HeightBins int
+	// HeightMax is the histogram's upper bound (default 8).
+	HeightMax float64
+}
+
+// CheckpointStat aggregates one checkpoint across repetitions.
+type CheckpointStat struct {
+	Balls     int64
+	MaxLoad   stats.Accumulator
+	Deviation stats.Accumulator // max load − average load at the checkpoint
+}
+
+// Result aggregates a run.
+type Result struct {
+	// N is the number of bins (identical across repetitions).
+	N int
+	// Balls aggregates the per-repetition ball count (constant unless the
+	// array is random and BallsFactor scaling is used).
+	Balls stats.Accumulator
+	// TotalCapacity aggregates the realised C per repetition.
+	TotalCapacity stats.Accumulator
+	// MaxLoad aggregates the final maximum load.
+	MaxLoad stats.Accumulator
+	// AvgLoad aggregates the final average load m/C.
+	AvgLoad stats.Accumulator
+	// Deviation aggregates final (max − average) load.
+	Deviation stats.Accumulator
+	// MeanSortedLoads is the element-wise mean of the sorted load vector
+	// (only when CollectLoadVector).
+	MeanSortedLoads []float64
+	// ClassMaxFraction maps capacity class → fraction of repetitions in
+	// which that class attains the maximum load (only for TrackClasses).
+	ClassMaxFraction map[int64]float64
+	// ClassMeanSortedLoads maps class → mean sorted load vector over the
+	// bins of that class (only for ClassLoadVectors).
+	ClassMeanSortedLoads map[int64][]float64
+	// Checkpoints holds per-checkpoint aggregates in ascending ball
+	// order (only when Checkpoints were requested).
+	Checkpoints []CheckpointStat
+	// Heights is the aggregated ball-height histogram (only when
+	// HeightBins was requested).
+	Heights *stats.Histogram
+}
+
+type chunkPartial struct {
+	balls, totalCap, maxLoad, avgLoad, deviation stats.Accumulator
+	loadSum                                      []float64
+	loadCount                                    int64
+	classMaxCount                                map[int64]int64
+	classLoadSum                                 map[int64][]float64
+	cp                                           []CheckpointStat
+	heights                                      *stats.Histogram
+	err                                          error
+}
+
+func (c *Config) validate() error {
+	if c.Array == nil && c.ArrayFn == nil {
+		return fmt.Errorf("sim: no Array or ArrayFn configured")
+	}
+	if c.Reps < 1 {
+		return fmt.Errorf("sim: Reps = %d, need >= 1", c.Reps)
+	}
+	if c.Balls < 0 {
+		return fmt.Errorf("sim: Balls = %d", c.Balls)
+	}
+	if c.BallsFactor < 0 {
+		return fmt.Errorf("sim: BallsFactor = %v", c.BallsFactor)
+	}
+	if len(c.ClassLoadVectors) > 0 && c.ArrayFn != nil {
+		return fmt.Errorf("sim: ClassLoadVectors requires a fixed Array")
+	}
+	return nil
+}
+
+func (c *Config) distribution() dist.Distribution {
+	if c.Dist == nil {
+		return dist.Proportional{}
+	}
+	return c.Dist
+}
+
+func (c *Config) factory() protocol.Factory {
+	if c.Placer == nil {
+		return protocol.GreedyFactory(2)
+	}
+	return c.Placer
+}
+
+func (c *Config) ballCount(totalCapacity int64) int64 {
+	if c.Balls > 0 {
+		return c.Balls
+	}
+	if c.BallsFactor > 0 {
+		m := int64(c.BallsFactor*float64(totalCapacity) + 0.5)
+		if m < 1 {
+			m = 1
+		}
+		return m
+	}
+	return totalCapacity
+}
+
+// Run executes the configured experiment.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	nChunks := (cfg.Reps + chunkSize - 1) / chunkSize
+	if workers > nChunks {
+		workers = nChunks
+	}
+
+	checkpoints := append([]int64(nil), cfg.Checkpoints...)
+	sort.Slice(checkpoints, func(i, j int) bool { return checkpoints[i] < checkpoints[j] })
+
+	partials := make([]chunkPartial, nChunks)
+	chunkCh := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			worker(&cfg, checkpoints, chunkCh, partials)
+		}()
+	}
+	for ci := 0; ci < nChunks; ci++ {
+		chunkCh <- ci
+	}
+	close(chunkCh)
+	wg.Wait()
+
+	return reduce(&cfg, checkpoints, partials)
+}
+
+// worker processes chunks of repetitions. Each worker keeps its own clone
+// of a fixed array (and a placer built once) so workers never share
+// mutable state.
+func worker(cfg *Config, checkpoints []int64, chunkCh <-chan int, partials []chunkPartial) {
+	var fixedArr *bins.Array
+	var fixedPlacer protocol.Placer
+	var setupErr error
+	if cfg.ArrayFn == nil {
+		fixedArr = cfg.Array.Clone()
+		fixedArr.Reset()
+		weights, err := cfg.distribution().Weights(fixedArr)
+		if err == nil {
+			fixedPlacer, err = cfg.factory()(fixedArr, weights)
+		}
+		setupErr = err
+	}
+	for ci := range chunkCh {
+		p := &partials[ci]
+		if setupErr != nil {
+			p.err = setupErr
+			continue
+		}
+		lo := ci * chunkSize
+		hi := lo + chunkSize
+		if hi > cfg.Reps {
+			hi = cfg.Reps
+		}
+		for rep := lo; rep < hi; rep++ {
+			if err := runRep(cfg, checkpoints, uint64(rep), fixedArr, fixedPlacer, p); err != nil {
+				p.err = err
+				break
+			}
+		}
+	}
+}
+
+// runRep executes one repetition and folds its metrics into the partial.
+func runRep(cfg *Config, checkpoints []int64, rep uint64, fixedArr *bins.Array, fixedPlacer protocol.Placer, p *chunkPartial) error {
+	r := xrand.NewStream(cfg.Seed, rep)
+
+	arr := fixedArr
+	placer := fixedPlacer
+	if cfg.ArrayFn != nil {
+		var err error
+		arr, err = cfg.ArrayFn(r)
+		if err != nil {
+			return fmt.Errorf("sim: rep %d array: %w", rep, err)
+		}
+		weights, err := cfg.distribution().Weights(arr)
+		if err != nil {
+			return fmt.Errorf("sim: rep %d weights: %w", rep, err)
+		}
+		placer, err = cfg.factory()(arr, weights)
+		if err != nil {
+			return fmt.Errorf("sim: rep %d placer: %w", rep, err)
+		}
+	} else {
+		arr.Reset()
+		// Stateful placers (e.g. the batched protocol's round snapshot)
+		// must forget the previous repetition.
+		if rp, ok := placer.(interface{ Reset() }); ok {
+			rp.Reset()
+		}
+	}
+
+	m := cfg.ballCount(arr.TotalCapacity())
+
+	if len(checkpoints) > 0 && p.cp == nil {
+		p.cp = make([]CheckpointStat, len(checkpoints))
+		for i, b := range checkpoints {
+			p.cp[i].Balls = b
+		}
+	}
+	if cfg.HeightBins > 0 && p.heights == nil {
+		hiMax := cfg.HeightMax
+		if hiMax <= 0 {
+			hiMax = 8
+		}
+		h, err := stats.NewHistogram(0, hiMax, cfg.HeightBins)
+		if err != nil {
+			return err
+		}
+		p.heights = h
+	}
+	nextCp := 0
+	for k := int64(1); k <= m; k++ {
+		idx := placer.Place(arr, r)
+		if p.heights != nil {
+			p.heights.Add(arr.Load(idx))
+		}
+		for nextCp < len(checkpoints) && checkpoints[nextCp] == k {
+			max := arr.MaxLoad()
+			avg := arr.AverageLoad()
+			p.cp[nextCp].MaxLoad.Add(max)
+			p.cp[nextCp].Deviation.Add(max - avg)
+			nextCp++
+		}
+	}
+	// skip checkpoints beyond m (they stay with fewer observations)
+	for nextCp < len(checkpoints) && checkpoints[nextCp] <= m {
+		nextCp++
+	}
+
+	max := arr.MaxLoad()
+	avg := arr.AverageLoad()
+	p.balls.Add(float64(m))
+	p.totalCap.Add(float64(arr.TotalCapacity()))
+	p.maxLoad.Add(max)
+	p.avgLoad.Add(avg)
+	p.deviation.Add(max - avg)
+
+	if cfg.CollectLoadVector {
+		lv := arr.LoadVector()
+		sort.Sort(sort.Reverse(sort.Float64Slice(lv)))
+		if p.loadSum == nil {
+			p.loadSum = make([]float64, len(lv))
+		}
+		if len(p.loadSum) != len(lv) {
+			return fmt.Errorf("sim: rep %d produced %d bins, earlier reps %d", rep, len(lv), len(p.loadSum))
+		}
+		for i, v := range lv {
+			p.loadSum[i] += v
+		}
+		p.loadCount++
+	}
+	if len(cfg.TrackClasses) > 0 {
+		if p.classMaxCount == nil {
+			p.classMaxCount = make(map[int64]int64, len(cfg.TrackClasses))
+		}
+		for _, class := range cfg.TrackClasses {
+			if arr.MaxLoadInClassC(class) {
+				p.classMaxCount[class]++
+			}
+		}
+	}
+	if len(cfg.ClassLoadVectors) > 0 {
+		if p.classLoadSum == nil {
+			p.classLoadSum = make(map[int64][]float64, len(cfg.ClassLoadVectors))
+		}
+		for _, class := range cfg.ClassLoadVectors {
+			var loads []float64
+			for i := 0; i < arr.N(); i++ {
+				if arr.Capacity(i) == class {
+					loads = append(loads, arr.Load(i))
+				}
+			}
+			sort.Sort(sort.Reverse(sort.Float64Slice(loads)))
+			sum := p.classLoadSum[class]
+			if sum == nil {
+				sum = make([]float64, len(loads))
+				p.classLoadSum[class] = sum
+			}
+			for i, v := range loads {
+				sum[i] += v
+			}
+		}
+	}
+	return nil
+}
+
+// reduce merges chunk partials in deterministic (chunk index) order.
+func reduce(cfg *Config, checkpoints []int64, partials []chunkPartial) (*Result, error) {
+	res := &Result{}
+	if len(checkpoints) > 0 {
+		res.Checkpoints = make([]CheckpointStat, len(checkpoints))
+		for i, b := range checkpoints {
+			res.Checkpoints[i].Balls = b
+		}
+	}
+	var loadCount int64
+	for ci := range partials {
+		p := &partials[ci]
+		if p.err != nil {
+			return nil, p.err
+		}
+		res.Balls.Merge(&p.balls)
+		res.TotalCapacity.Merge(&p.totalCap)
+		res.MaxLoad.Merge(&p.maxLoad)
+		res.AvgLoad.Merge(&p.avgLoad)
+		res.Deviation.Merge(&p.deviation)
+		if p.loadSum != nil {
+			if res.MeanSortedLoads == nil {
+				res.MeanSortedLoads = make([]float64, len(p.loadSum))
+			}
+			if len(res.MeanSortedLoads) != len(p.loadSum) {
+				return nil, fmt.Errorf("sim: inconsistent bin counts across repetitions")
+			}
+			for i, v := range p.loadSum {
+				res.MeanSortedLoads[i] += v
+			}
+			loadCount += p.loadCount
+		}
+		if p.classMaxCount != nil {
+			if res.ClassMaxFraction == nil {
+				res.ClassMaxFraction = make(map[int64]float64)
+			}
+			for class, count := range p.classMaxCount {
+				res.ClassMaxFraction[class] += float64(count)
+			}
+		}
+		if p.classLoadSum != nil {
+			if res.ClassMeanSortedLoads == nil {
+				res.ClassMeanSortedLoads = make(map[int64][]float64)
+			}
+			for class, sum := range p.classLoadSum {
+				dst := res.ClassMeanSortedLoads[class]
+				if dst == nil {
+					dst = make([]float64, len(sum))
+					res.ClassMeanSortedLoads[class] = dst
+				}
+				for i, v := range sum {
+					dst[i] += v
+				}
+			}
+		}
+		for i := range p.cp {
+			res.Checkpoints[i].MaxLoad.Merge(&p.cp[i].MaxLoad)
+			res.Checkpoints[i].Deviation.Merge(&p.cp[i].Deviation)
+		}
+		if p.heights != nil {
+			if res.Heights == nil {
+				h, err := stats.NewHistogram(p.heights.Lo, p.heights.Hi, len(p.heights.Counts))
+				if err != nil {
+					return nil, err
+				}
+				res.Heights = h
+			}
+			if err := res.Heights.Merge(p.heights); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if res.MeanSortedLoads != nil && loadCount > 0 {
+		for i := range res.MeanSortedLoads {
+			res.MeanSortedLoads[i] /= float64(loadCount)
+		}
+	}
+	if res.ClassMaxFraction != nil {
+		for class := range res.ClassMaxFraction {
+			res.ClassMaxFraction[class] /= float64(cfg.Reps)
+		}
+	}
+	if res.ClassMeanSortedLoads != nil {
+		for _, sum := range res.ClassMeanSortedLoads {
+			for i := range sum {
+				sum[i] /= float64(cfg.Reps)
+			}
+		}
+	}
+	if res.Balls.N() > 0 {
+		res.N = nBins(cfg)
+	}
+	return res, nil
+}
+
+func nBins(cfg *Config) int {
+	if cfg.Array != nil {
+		return cfg.Array.N()
+	}
+	// ArrayFn: rebuild rep 0's array cheaply to read n. The builder is
+	// deterministic in the stream, so this matches what the run used.
+	r := xrand.NewStream(cfg.Seed, 0)
+	a, err := cfg.ArrayFn(r)
+	if err != nil {
+		return 0
+	}
+	return a.N()
+}
+
+// RunOnce executes a single repetition (rep index 0 of the given seed)
+// and returns the final array — the simplest way to inspect one game's
+// full outcome.
+func RunOnce(cfg Config) (*bins.Array, error) {
+	cfg.Reps = 1
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	r := xrand.NewStream(cfg.Seed, 0)
+	var arr *bins.Array
+	var err error
+	if cfg.ArrayFn != nil {
+		arr, err = cfg.ArrayFn(r)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		arr = cfg.Array.Clone()
+		arr.Reset()
+	}
+	weights, err := cfg.distribution().Weights(arr)
+	if err != nil {
+		return nil, err
+	}
+	placer, err := cfg.factory()(arr, weights)
+	if err != nil {
+		return nil, err
+	}
+	m := cfg.ballCount(arr.TotalCapacity())
+	for k := int64(0); k < m; k++ {
+		placer.Place(arr, r)
+	}
+	return arr, nil
+}

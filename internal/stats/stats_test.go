@@ -1,0 +1,363 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func TestAccumulatorBasics(t *testing.T) {
+	var a Accumulator
+	if !math.IsNaN(a.Mean()) || !math.IsNaN(a.Min()) || !math.IsNaN(a.Max()) {
+		t.Fatal("empty accumulator should report NaN")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(x)
+	}
+	if a.N() != 8 {
+		t.Fatalf("N = %d", a.N())
+	}
+	if got := a.Mean(); got != 5 {
+		t.Fatalf("Mean = %v", got)
+	}
+	// population variance is 4; sample variance = 32/7.
+	if got := a.Variance(); math.Abs(got-32.0/7.0) > 1e-12 {
+		t.Fatalf("Variance = %v", got)
+	}
+	if a.Min() != 2 || a.Max() != 9 {
+		t.Fatalf("Min/Max = %v/%v", a.Min(), a.Max())
+	}
+}
+
+func TestAccumulatorSingle(t *testing.T) {
+	var a Accumulator
+	a.Add(3)
+	if a.Mean() != 3 || a.Min() != 3 || a.Max() != 3 {
+		t.Fatal("single observation stats wrong")
+	}
+	if !math.IsNaN(a.Variance()) {
+		t.Fatal("variance of single observation should be NaN")
+	}
+}
+
+func TestAccumulatorAddN(t *testing.T) {
+	var a, b Accumulator
+	a.AddN(2, 3)
+	a.AddN(5, 1)
+	for _, x := range []float64{2, 2, 2, 5} {
+		b.Add(x)
+	}
+	if a.Mean() != b.Mean() || a.N() != b.N() {
+		t.Fatalf("AddN mismatch: %v vs %v", a.Mean(), b.Mean())
+	}
+}
+
+func TestAccumulatorMerge(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	var whole Accumulator
+	for _, x := range xs {
+		whole.Add(x)
+	}
+	var left, right Accumulator
+	for _, x := range xs[:4] {
+		left.Add(x)
+	}
+	for _, x := range xs[4:] {
+		right.Add(x)
+	}
+	left.Merge(&right)
+	if left.N() != whole.N() {
+		t.Fatalf("merged N = %d", left.N())
+	}
+	if math.Abs(left.Mean()-whole.Mean()) > 1e-12 {
+		t.Fatalf("merged mean %v vs %v", left.Mean(), whole.Mean())
+	}
+	if math.Abs(left.Variance()-whole.Variance()) > 1e-12 {
+		t.Fatalf("merged variance %v vs %v", left.Variance(), whole.Variance())
+	}
+	if left.Min() != 1 || left.Max() != 10 {
+		t.Fatal("merged min/max wrong")
+	}
+	// merging into empty
+	var empty Accumulator
+	empty.Merge(&whole)
+	if empty.N() != whole.N() || empty.Mean() != whole.Mean() {
+		t.Fatal("merge into empty failed")
+	}
+	// merging empty is a no-op
+	before := whole.Mean()
+	var e2 Accumulator
+	whole.Merge(&e2)
+	if whole.Mean() != before {
+		t.Fatal("merge of empty changed state")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	s := Describe([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Median != 3 || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("Describe = %+v", s)
+	}
+	empty := Describe(nil)
+	if empty.N != 0 || !math.IsNaN(empty.Median) {
+		t.Fatalf("Describe(nil) = %+v", empty)
+	}
+	if s.String() == "" {
+		t.Fatal("Summary.String empty")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	cases := []struct {
+		q, want float64
+	}{
+		{0, 10}, {1, 40}, {0.5, 25}, {1.0 / 3.0, 20}, {-1, 10}, {2, 40},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("Quantile(nil) should be NaN")
+	}
+	// input must not be reordered
+	if xs[0] != 10 {
+		t.Error("Quantile mutated input")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{-1, 0, 1.9, 2, 9.99, 10, 11} {
+		h.Add(x)
+	}
+	if h.Underflow != 1 || h.Overflow != 2 {
+		t.Fatalf("under/over = %d/%d", h.Underflow, h.Overflow)
+	}
+	if h.Counts[0] != 2 || h.Counts[1] != 1 || h.Counts[4] != 1 {
+		t.Fatalf("counts = %v", h.Counts)
+	}
+	if h.Total() != 4 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	if got := h.BinCenter(0); got != 1 {
+		t.Fatalf("BinCenter(0) = %v", got)
+	}
+	if _, err := NewHistogram(5, 5, 3); err == nil {
+		t.Error("degenerate range accepted")
+	}
+	if _, err := NewHistogram(0, 1, 0); err == nil {
+		t.Error("zero bins accepted")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, _ := NewHistogram(0, 10, 5)
+	b, _ := NewHistogram(0, 10, 5)
+	a.Add(1)
+	a.Add(11) // overflow
+	b.Add(1)
+	b.Add(9)
+	b.Add(-1) // underflow
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Counts[0] != 2 || a.Counts[4] != 1 {
+		t.Fatalf("merged counts %v", a.Counts)
+	}
+	if a.Overflow != 1 || a.Underflow != 1 {
+		t.Fatalf("merged under/over %d/%d", a.Underflow, a.Overflow)
+	}
+	c, _ := NewHistogram(0, 5, 5)
+	if err := a.Merge(c); err == nil {
+		t.Error("incompatible merge accepted")
+	}
+	d, _ := NewHistogram(0, 10, 4)
+	if err := a.Merge(d); err == nil {
+		t.Error("incompatible bin count accepted")
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{3, 5, 7, 9} // y = 2x + 1
+	fit, err := Linear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-2) > 1e-12 || math.Abs(fit.Intercept-1) > 1e-12 {
+		t.Fatalf("fit = %+v", fit)
+	}
+	if math.Abs(fit.R2-1) > 1e-12 {
+		t.Fatalf("R2 = %v", fit.R2)
+	}
+}
+
+func TestLinearFitFlat(t *testing.T) {
+	fit, err := Linear([]float64{1, 2, 3}, []float64{4, 4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Slope != 0 || fit.Intercept != 4 || fit.R2 != 1 {
+		t.Fatalf("flat fit = %+v", fit)
+	}
+}
+
+func TestLinearFitErrors(t *testing.T) {
+	if _, err := Linear([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Linear([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point accepted")
+	}
+	if _, err := Linear([]float64{2, 2}, []float64{1, 3}); err == nil {
+		t.Error("vertical data accepted")
+	}
+}
+
+func TestChiSquare(t *testing.T) {
+	chi2, err := ChiSquare([]float64{12, 8}, []float64{10, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(chi2-0.8) > 1e-12 {
+		t.Fatalf("chi2 = %v", chi2)
+	}
+	if _, err := ChiSquare([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := ChiSquare([]float64{1}, []float64{0}); err == nil {
+		t.Error("zero expected accepted")
+	}
+}
+
+func TestMeanOfMaxOf(t *testing.T) {
+	if got := MeanOf([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("MeanOf = %v", got)
+	}
+	if got := MaxOf([]float64{1, 7, 3}); got != 7 {
+		t.Fatalf("MaxOf = %v", got)
+	}
+	if !math.IsNaN(MeanOf(nil)) || !math.IsNaN(MaxOf(nil)) {
+		t.Fatal("empty should be NaN")
+	}
+}
+
+func TestPlateaus(t *testing.T) {
+	// clear plateau at level 2 between indices 2 and 6
+	ys := []float64{3.2, 2.6, 2.02, 1.98, 2.01, 1.99, 2.0, 1.6, 1.3, 1.2}
+	ps := Plateaus(ys, 0.05, 3)
+	if len(ps) != 1 {
+		t.Fatalf("plateaus = %+v", ps)
+	}
+	p := ps[0]
+	if p.Start != 2 || p.End != 6 {
+		t.Fatalf("plateau span [%d,%d], want [2,6]", p.Start, p.End)
+	}
+	if math.Abs(p.Level-2) > 0.02 {
+		t.Fatalf("plateau level %v", p.Level)
+	}
+	if p.Len() != 5 {
+		t.Fatalf("plateau length %d", p.Len())
+	}
+}
+
+func TestPlateausNoneInSteepSeries(t *testing.T) {
+	ys := []float64{10, 8, 6, 4, 2, 0}
+	if ps := Plateaus(ys, 0.1, 2); len(ps) != 0 {
+		t.Fatalf("found plateaus in a steep series: %+v", ps)
+	}
+}
+
+func TestPlateausWholeSeriesFlat(t *testing.T) {
+	ys := []float64{5, 5, 5, 5}
+	ps := Plateaus(ys, 0.01, 2)
+	if len(ps) != 1 || ps[0].Start != 0 || ps[0].End != 3 {
+		t.Fatalf("flat series plateaus = %+v", ps)
+	}
+}
+
+func TestPlateausMinLenFloor(t *testing.T) {
+	// minLen below 2 is clamped to 2
+	ys := []float64{1, 1, 9}
+	ps := Plateaus(ys, 0.01, 0)
+	if len(ps) != 1 || ps[0].Len() != 2 {
+		t.Fatalf("plateaus = %+v", ps)
+	}
+	if ps := Plateaus(nil, 0.1, 2); len(ps) != 0 {
+		t.Fatal("plateaus on empty series")
+	}
+}
+
+// Property: Merge(a, b) equals accumulating the concatenation, for random
+// splits.
+func TestQuickMergeEquivalence(t *testing.T) {
+	f := func(seed uint64, nRaw uint8, splitRaw uint8) bool {
+		n := int(nRaw%50) + 2
+		r := xrand.New(seed)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Float64()*100 - 50
+		}
+		split := int(splitRaw) % n
+		var whole, left, right Accumulator
+		for _, x := range xs {
+			whole.Add(x)
+		}
+		for _, x := range xs[:split] {
+			left.Add(x)
+		}
+		for _, x := range xs[split:] {
+			right.Add(x)
+		}
+		left.Merge(&right)
+		if left.N() != whole.N() {
+			return false
+		}
+		tol := 1e-9 * (1 + math.Abs(whole.Mean()))
+		if math.Abs(left.Mean()-whole.Mean()) > tol {
+			return false
+		}
+		if whole.N() >= 2 {
+			vtol := 1e-7 * (1 + whole.Variance())
+			if math.Abs(left.Variance()-whole.Variance()) > vtol {
+				return false
+			}
+		}
+		return left.Min() == whole.Min() && left.Max() == whole.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: quantiles are monotone in q and bounded by min/max.
+func TestQuickQuantileMonotone(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%30) + 1
+		r := xrand.New(seed)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Float64() * 10
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := Quantile(xs, q)
+			if v < prev-1e-12 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

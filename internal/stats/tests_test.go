@@ -1,0 +1,211 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func accFrom(xs ...float64) *Accumulator {
+	var a Accumulator
+	for _, x := range xs {
+		a.Add(x)
+	}
+	return &a
+}
+
+func TestWelchTIdenticalSamples(t *testing.T) {
+	a := accFrom(1, 2, 3, 4, 5)
+	tt, df, err := WelchT(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tt != 0 {
+		t.Fatalf("t = %v for identical samples", tt)
+	}
+	if df <= 0 {
+		t.Fatalf("df = %v", df)
+	}
+}
+
+func TestWelchTSeparatedSamples(t *testing.T) {
+	r := xrand.New(1)
+	var a, b Accumulator
+	for i := 0; i < 500; i++ {
+		a.Add(r.Float64())
+		b.Add(r.Float64() + 1) // shifted by 1
+	}
+	tt, _, err := WelchT(&a, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tt) < 10 {
+		t.Fatalf("|t| = %v for clearly separated samples", math.Abs(tt))
+	}
+	if tt > 0 {
+		t.Fatal("sign: a < b should give negative t")
+	}
+}
+
+func TestWelchTSameDistribution(t *testing.T) {
+	r := xrand.New(7)
+	var a, b Accumulator
+	for i := 0; i < 2000; i++ {
+		a.Add(r.Float64())
+		b.Add(r.Float64())
+	}
+	tt, _, err := WelchT(&a, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tt) > 3.29 { // 0.1% two-sided
+		t.Fatalf("|t| = %v for same-distribution samples", math.Abs(tt))
+	}
+}
+
+func TestWelchTErrorsAndDegenerate(t *testing.T) {
+	if _, _, err := WelchT(accFrom(1), accFrom(1, 2)); err == nil {
+		t.Error("tiny sample accepted")
+	}
+	// zero variance, equal means
+	tt, df, err := WelchT(accFrom(2, 2, 2), accFrom(2, 2))
+	if err != nil || tt != 0 || !math.IsInf(df, 1) {
+		t.Fatalf("constant equal samples: t=%v df=%v err=%v", tt, df, err)
+	}
+	// zero variance, different means
+	tt, _, err = WelchT(accFrom(2, 2), accFrom(3, 3))
+	if err != nil || !math.IsInf(tt, 1) {
+		t.Fatalf("constant distinct samples: t=%v err=%v", tt, err)
+	}
+}
+
+func TestKolmogorovSmirnov(t *testing.T) {
+	// identical samples → 0
+	d, err := KolmogorovSmirnov([]float64{1, 2, 3}, []float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Fatalf("KS of identical samples = %v", d)
+	}
+	// disjoint supports → 1
+	d, err = KolmogorovSmirnov([]float64{1, 2}, []float64{10, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 1 {
+		t.Fatalf("KS of disjoint samples = %v", d)
+	}
+	if _, err := KolmogorovSmirnov(nil, []float64{1}); err == nil {
+		t.Error("empty sample accepted")
+	}
+}
+
+func TestKSSameDistributionUnderThreshold(t *testing.T) {
+	r := xrand.New(9)
+	a := make([]float64, 1000)
+	b := make([]float64, 1500)
+	for i := range a {
+		a[i] = r.Float64()
+	}
+	for i := range b {
+		b[i] = r.Float64()
+	}
+	d, err := KolmogorovSmirnov(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	thr, err := KSThreshold(len(a), len(b), 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > thr {
+		t.Fatalf("KS %v above 0.1%% threshold %v for same distribution", d, thr)
+	}
+}
+
+func TestKSThresholdErrors(t *testing.T) {
+	if _, err := KSThreshold(10, 10, 0.5); err == nil {
+		t.Error("unsupported alpha accepted")
+	}
+	if _, err := KSThreshold(0, 10, 0.05); err == nil {
+		t.Error("zero sample size accepted")
+	}
+	t5, _ := KSThreshold(100, 100, 0.05)
+	t1, _ := KSThreshold(100, 100, 0.01)
+	if t1 <= t5 {
+		t.Fatal("stricter alpha should raise the threshold")
+	}
+}
+
+func TestBinomialPMF(t *testing.T) {
+	// Bin(7, 0.5): P[k=3] = 35/128
+	got := BinomialPMF(7, 0.5, 3)
+	if math.Abs(got-35.0/128.0) > 1e-12 {
+		t.Fatalf("PMF = %v, want %v", got, 35.0/128.0)
+	}
+	// edge cases
+	if BinomialPMF(5, 0, 0) != 1 || BinomialPMF(5, 0, 1) != 0 {
+		t.Fatal("p = 0 PMF wrong")
+	}
+	if BinomialPMF(5, 1, 5) != 1 || BinomialPMF(5, 1, 4) != 0 {
+		t.Fatal("p = 1 PMF wrong")
+	}
+	if BinomialPMF(5, 0.5, -1) != 0 || BinomialPMF(5, 0.5, 6) != 0 {
+		t.Fatal("out-of-range k PMF wrong")
+	}
+	// PMF sums to 1
+	sum := 0.0
+	for k := 0; k <= 20; k++ {
+		sum += BinomialPMF(20, 0.3, k)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("PMF sums to %v", sum)
+	}
+}
+
+func TestBinomialCDF(t *testing.T) {
+	if got := BinomialCDF(7, 0.5, 7); got != 1 {
+		t.Fatalf("CDF at n = %v", got)
+	}
+	if got := BinomialCDF(7, 0.5, -1); got != 0 {
+		t.Fatalf("CDF below 0 = %v", got)
+	}
+	// median of Bin(7, 0.5) is 3.5: CDF(3) = 0.5
+	if got := BinomialCDF(7, 0.5, 3); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("CDF(3) = %v", got)
+	}
+	// monotone
+	prev := 0.0
+	for k := 0; k <= 7; k++ {
+		c := BinomialCDF(7, 0.3, k)
+		if c < prev {
+			t.Fatalf("CDF not monotone at %d", k)
+		}
+		prev = c
+	}
+}
+
+// TestBinomialSamplerMatchesPMF closes the loop: the xrand.Binomial
+// sampler's empirical distribution must match BinomialPMF (chi-square).
+func TestBinomialSamplerMatchesPMF(t *testing.T) {
+	const n, p, samples = 7, 3.0 / 7.0, 200000
+	r := xrand.New(31337)
+	counts := make([]float64, n+1)
+	for i := 0; i < samples; i++ {
+		counts[r.Binomial(n, p)]++
+	}
+	expected := make([]float64, n+1)
+	for k := 0; k <= n; k++ {
+		expected[k] = samples * BinomialPMF(n, p, k)
+	}
+	chi2, err := ChiSquare(counts, expected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 99.9% quantile of chi-square with 7 df ≈ 24.32
+	if chi2 > 24.32 {
+		t.Fatalf("chi-square %v; sampler does not match PMF", chi2)
+	}
+}

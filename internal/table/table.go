@@ -1,0 +1,172 @@
+// Package table is the output harness for experiment results: a minimal
+// column-oriented table with TSV (gnuplot-ready) and aligned-text
+// renderers. Every figure experiment returns one of these; the CLIs and
+// benches print them.
+package table
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a titled set of named numeric columns of equal length.
+type Table struct {
+	Title   string
+	Comment string // optional free-text context line(s)
+	Cols    []string
+	rows    [][]float64
+}
+
+// New creates a table with the given title and column names.
+func New(title string, cols ...string) *Table {
+	return &Table{Title: title, Cols: cols}
+}
+
+// AddRow appends one row; the number of values must match the columns.
+func (t *Table) AddRow(values ...float64) error {
+	if len(values) != len(t.Cols) {
+		return fmt.Errorf("table: row has %d values for %d columns", len(values), len(t.Cols))
+	}
+	row := make([]float64, len(values))
+	copy(row, values)
+	t.rows = append(t.rows, row)
+	return nil
+}
+
+// MustAddRow is AddRow but panics on arity mismatch (a programming error
+// in experiment code).
+func (t *Table) MustAddRow(values ...float64) {
+	if err := t.AddRow(values...); err != nil {
+		panic(err)
+	}
+}
+
+// NumRows returns the number of rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Row returns row i (a copy).
+func (t *Table) Row(i int) []float64 {
+	out := make([]float64, len(t.rows[i]))
+	copy(out, t.rows[i])
+	return out
+}
+
+// Col returns the values of the named column.
+func (t *Table) Col(name string) ([]float64, error) {
+	for j, c := range t.Cols {
+		if c == name {
+			out := make([]float64, len(t.rows))
+			for i, row := range t.rows {
+				out[i] = row[j]
+			}
+			return out, nil
+		}
+	}
+	return nil, fmt.Errorf("table: no column %q", name)
+}
+
+func formatCell(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "nan"
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return fmt.Sprintf("%d", int64(v))
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+// WriteTSV renders the table as gnuplot-friendly TSV: '#'-prefixed title
+// and header, tab-separated data rows.
+func (t *Table) WriteTSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# %s\n", t.Title); err != nil {
+		return err
+	}
+	if t.Comment != "" {
+		for _, line := range strings.Split(t.Comment, "\n") {
+			if _, err := fmt.Fprintf(w, "# %s\n", line); err != nil {
+				return err
+			}
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# %s\n", strings.Join(t.Cols, "\t")); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = formatCell(v)
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, "\t")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WritePretty renders an aligned, human-readable table.
+func (t *Table) WritePretty(w io.Writer) error {
+	widths := make([]int, len(t.Cols))
+	for i, c := range t.Cols {
+		widths[i] = len(c)
+	}
+	rendered := make([][]string, len(t.rows))
+	for ri, row := range t.rows {
+		rendered[ri] = make([]string, len(row))
+		for ci, v := range row {
+			s := formatCell(v)
+			rendered[ri][ci] = s
+			if len(s) > widths[ci] {
+				widths[ci] = len(s)
+			}
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+		return err
+	}
+	if t.Comment != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", t.Comment); err != nil {
+			return err
+		}
+	}
+	header := make([]string, len(t.Cols))
+	for i, c := range t.Cols {
+		header[i] = pad(c, widths[i])
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(header, "  ")); err != nil {
+		return err
+	}
+	rule := make([]string, len(t.Cols))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(rule, "  ")); err != nil {
+		return err
+	}
+	for _, row := range rendered {
+		cells := make([]string, len(row))
+		for i, s := range row {
+			cells[i] = pad(s, widths[i])
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, "  ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return strings.Repeat(" ", w-len(s)) + s
+}
+
+// String renders the pretty form (for logs and tests).
+func (t *Table) String() string {
+	var sb strings.Builder
+	_ = t.WritePretty(&sb)
+	return sb.String()
+}

@@ -1,0 +1,126 @@
+package table
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestAddRowArity(t *testing.T) {
+	tb := New("t", "a", "b")
+	if err := tb.AddRow(1); err == nil {
+		t.Error("short row accepted")
+	}
+	if err := tb.AddRow(1, 2, 3); err == nil {
+		t.Error("long row accepted")
+	}
+	if err := tb.AddRow(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumRows() != 1 {
+		t.Fatalf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestMustAddRowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAddRow did not panic")
+		}
+	}()
+	New("t", "a").MustAddRow(1, 2)
+}
+
+func TestRowIsCopy(t *testing.T) {
+	tb := New("t", "a")
+	tb.MustAddRow(5)
+	r := tb.Row(0)
+	r[0] = 99
+	if tb.Row(0)[0] != 5 {
+		t.Fatal("Row aliases internal storage")
+	}
+	// AddRow must copy the caller's slice too
+	vals := []float64{7}
+	if err := tb.AddRow(vals...); err != nil {
+		t.Fatal(err)
+	}
+	vals[0] = 0
+	if tb.Row(1)[0] != 7 {
+		t.Fatal("AddRow aliases caller slice")
+	}
+}
+
+func TestCol(t *testing.T) {
+	tb := New("t", "x", "y")
+	tb.MustAddRow(1, 10)
+	tb.MustAddRow(2, 20)
+	ys, err := tb.Col("y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ys) != 2 || ys[0] != 10 || ys[1] != 20 {
+		t.Fatalf("Col = %v", ys)
+	}
+	if _, err := tb.Col("zzz"); err == nil {
+		t.Error("missing column accepted")
+	}
+}
+
+func TestWriteTSV(t *testing.T) {
+	tb := New("My Title", "x", "maxload")
+	tb.Comment = "context"
+	tb.MustAddRow(1, 2.53219)
+	tb.MustAddRow(10, 3)
+	var sb strings.Builder
+	if err := tb.WriteTSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, frag := range []string{"# My Title", "# context", "# x\tmaxload", "1\t2.5322", "10\t3"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("TSV missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestWritePretty(t *testing.T) {
+	tb := New("Title", "x", "y")
+	tb.MustAddRow(1, 1.5)
+	tb.MustAddRow(100, 2)
+	out := tb.String()
+	for _, frag := range []string{"Title", "x", "y", "1.5000", "100"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("pretty output missing %q:\n%s", frag, out)
+		}
+	}
+	// header separator present
+	if !strings.Contains(out, "---") {
+		t.Fatalf("missing rule:\n%s", out)
+	}
+}
+
+func TestFormatCell(t *testing.T) {
+	if got := formatCell(math.NaN()); got != "nan" {
+		t.Fatalf("NaN formatted as %q", got)
+	}
+	if got := formatCell(3); got != "3" {
+		t.Fatalf("integer formatted as %q", got)
+	}
+	if got := formatCell(3.14159); got != "3.1416" {
+		t.Fatalf("float formatted as %q", got)
+	}
+	if got := formatCell(-12); got != "-12" {
+		t.Fatalf("negative int formatted as %q", got)
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	tb := New("empty", "a")
+	var sb strings.Builder
+	if err := tb.WriteTSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.WritePretty(&sb); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,102 @@
+// Package theory collects the closed-form quantities the paper proves or
+// cites, so experiments and tests can compare measurements against
+// predictions.
+//
+// All bounds here are asymptotic statements with unspecified constants
+// (the ubiquitous O(1)); callers should treat them as shape predictions,
+// not exact values. The test suite checks measured values against these
+// predictions with generous constant slack, which is exactly the claim
+// the paper's own simulations make ("the asymptotic bounds behave well in
+// practice").
+package theory
+
+import (
+	"fmt"
+	"math"
+)
+
+// TwoChoiceBound returns ln ln(n) / ln(d), the leading term of the
+// maximum load for the d-choice game with m = n (Azar et al., and the
+// paper's Theorem 3 for heterogeneous bins with m = C).
+func TwoChoiceBound(n int, d int) float64 {
+	if n < 3 || d < 2 {
+		return math.NaN()
+	}
+	return math.Log(math.Log(float64(n))) / math.Log(float64(d))
+}
+
+// HeavyDeviation returns the leading term of the deviation of the maximum
+// from the average in the heavily loaded uniform game: ln ln(n)/ln(d)
+// (Berenbrink et al., the paper's Theorem 4 citation). Notably it does
+// not depend on m.
+func HeavyDeviation(n int, d int) float64 {
+	return TwoChoiceBound(n, d)
+}
+
+// UniformCapacityMaxLoad returns Observation 2's prediction for n bins of
+// equal capacity c receiving m balls with d >= 2 choices:
+// (m/n + ln ln n/ln d) / c.
+func UniformCapacityMaxLoad(m int64, n int, d int, c int64) float64 {
+	if c < 1 {
+		return math.NaN()
+	}
+	return (float64(m)/float64(n) + TwoChoiceBound(n, d)) / float64(c)
+}
+
+// BigThreshold returns r·ln(n), the capacity at which a bin becomes "big"
+// in the paper's analysis.
+func BigThreshold(n int, r float64) float64 {
+	return r * math.Log(float64(n))
+}
+
+// ExpectedSmallOnlyBalls returns E[Xs] = C · (Cs/C)^d, the expected
+// number of balls whose d choices all land in small bins (Theorem 2).
+func ExpectedSmallOnlyBalls(c, cs int64, d int) float64 {
+	if c <= 0 || cs < 0 || d < 1 {
+		return math.NaN()
+	}
+	return float64(c) * math.Pow(float64(cs)/float64(c), float64(d))
+}
+
+// Theorem2SmallCapacityBound returns the largest small-bin capacity
+// C_s for which Theorem 2 guarantees constant maximum load:
+// C^((d-1)/d) · (log C)^(1/d).
+func Theorem2SmallCapacityBound(c int64, d int) float64 {
+	if c < 2 || d < 2 {
+		return math.NaN()
+	}
+	cf := float64(c)
+	df := float64(d)
+	return math.Pow(cf, (df-1)/df) * math.Pow(math.Log(cf), 1/df)
+}
+
+// ChernoffUpperTail returns the multiplicative Chernoff bound
+// P[X >= (1+eps)·mu] <= exp(-eps²·mu/3) used in Observation 1.
+func ChernoffUpperTail(mu, eps float64) float64 {
+	if mu < 0 || eps < 0 {
+		return math.NaN()
+	}
+	return math.Exp(-eps * eps * mu / 3)
+}
+
+// Observation1LoadBound is the constant load bound for big bins: 4.
+const Observation1LoadBound = 4.0
+
+// Theorem5MaxLoad returns the Theorem 5 prediction k/α + O(1) for the
+// top-only distribution, where m = k·C balls land on the α·n bins of
+// capacity q(n).
+func Theorem5MaxLoad(k, alpha float64) float64 {
+	if alpha <= 0 || alpha > 1 || k <= 0 {
+		return math.NaN()
+	}
+	return k / alpha
+}
+
+// Describe renders the key predicted quantities for an (n, d) pair; used
+// by cmd/bnbtheory.
+func Describe(n int, d int) string {
+	return fmt.Sprintf(
+		"n=%d d=%d: lnln(n)/ln(d)=%.4f  big-threshold(r=1)=%.2f  thm2-Cs-bound(C=n)=%.2f",
+		n, d, TwoChoiceBound(n, d), BigThreshold(n, 1),
+		Theorem2SmallCapacityBound(int64(n), d))
+}

@@ -1,0 +1,130 @@
+package theory
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTwoChoiceBound(t *testing.T) {
+	// ln ln 10000 / ln 2 ≈ 3.2033
+	got := TwoChoiceBound(10000, 2)
+	if math.Abs(got-3.2033) > 0.001 {
+		t.Fatalf("TwoChoiceBound(10000, 2) = %v", got)
+	}
+	// growing d shrinks the bound
+	if TwoChoiceBound(10000, 4) >= got {
+		t.Fatal("bound should decrease with d")
+	}
+	// invalid inputs
+	if !math.IsNaN(TwoChoiceBound(2, 2)) {
+		t.Error("n < 3 should be NaN")
+	}
+	if !math.IsNaN(TwoChoiceBound(100, 1)) {
+		t.Error("d < 2 should be NaN")
+	}
+}
+
+func TestHeavyDeviationEqualsTwoChoice(t *testing.T) {
+	if HeavyDeviation(500, 2) != TwoChoiceBound(500, 2) {
+		t.Fatal("HeavyDeviation should equal TwoChoiceBound")
+	}
+}
+
+func TestUniformCapacityMaxLoad(t *testing.T) {
+	// m = c·n: prediction 1 + lnln(n)/(ln d · c)
+	n, c := 10000, int64(4)
+	m := c * int64(n)
+	got := UniformCapacityMaxLoad(m, n, 2, c)
+	want := 1 + TwoChoiceBound(n, 2)/float64(c)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	if !math.IsNaN(UniformCapacityMaxLoad(10, 10, 2, 0)) {
+		t.Error("c = 0 should be NaN")
+	}
+}
+
+func TestBigThreshold(t *testing.T) {
+	got := BigThreshold(10000, 1)
+	if math.Abs(got-math.Log(10000)) > 1e-12 {
+		t.Fatalf("BigThreshold = %v", got)
+	}
+	if BigThreshold(10000, 2) != 2*got {
+		t.Fatal("threshold not linear in r")
+	}
+}
+
+func TestExpectedSmallOnlyBalls(t *testing.T) {
+	// C = 100, Cs = 10, d = 2 → 100 · (0.1)² = 1
+	got := ExpectedSmallOnlyBalls(100, 10, 2)
+	if math.Abs(got-1) > 1e-12 {
+		t.Fatalf("E[Xs] = %v", got)
+	}
+	// d = 3 → 0.1
+	got = ExpectedSmallOnlyBalls(100, 10, 3)
+	if math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("E[Xs] = %v", got)
+	}
+	if !math.IsNaN(ExpectedSmallOnlyBalls(0, 10, 2)) {
+		t.Error("C = 0 should be NaN")
+	}
+	if !math.IsNaN(ExpectedSmallOnlyBalls(10, -1, 2)) {
+		t.Error("Cs < 0 should be NaN")
+	}
+}
+
+func TestTheorem2SmallCapacityBound(t *testing.T) {
+	// d = 2, C = 10000: sqrt(C)·sqrt(log C) = 100·sqrt(9.21) ≈ 303.5
+	got := Theorem2SmallCapacityBound(10000, 2)
+	want := 100 * math.Sqrt(math.Log(10000))
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("bound = %v, want %v", got, want)
+	}
+	// larger d pushes the bound towards C
+	if Theorem2SmallCapacityBound(10000, 4) <= got {
+		t.Fatal("bound should grow with d")
+	}
+	if !math.IsNaN(Theorem2SmallCapacityBound(1, 2)) {
+		t.Error("C < 2 should be NaN")
+	}
+}
+
+func TestChernoffUpperTail(t *testing.T) {
+	// eps = 1, mu = 3·ln(10) → bound = 0.1
+	mu := 3 * math.Log(10)
+	got := ChernoffUpperTail(mu, 1)
+	if math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("Chernoff = %v", got)
+	}
+	if ChernoffUpperTail(10, 0) != 1 {
+		t.Error("eps = 0 should give bound 1")
+	}
+	if !math.IsNaN(ChernoffUpperTail(-1, 1)) {
+		t.Error("negative mu should be NaN")
+	}
+}
+
+func TestTheorem5MaxLoad(t *testing.T) {
+	if got := Theorem5MaxLoad(1, 0.5); got != 2 {
+		t.Fatalf("k/alpha = %v", got)
+	}
+	if !math.IsNaN(Theorem5MaxLoad(1, 0)) {
+		t.Error("alpha = 0 should be NaN")
+	}
+	if !math.IsNaN(Theorem5MaxLoad(0, 0.5)) {
+		t.Error("k = 0 should be NaN")
+	}
+	if !math.IsNaN(Theorem5MaxLoad(1, 1.5)) {
+		t.Error("alpha > 1 should be NaN")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	s := Describe(10000, 2)
+	for _, frag := range []string{"n=10000", "d=2", "3.20"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("Describe missing %q: %s", frag, s)
+		}
+	}
+}

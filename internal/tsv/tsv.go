@@ -1,0 +1,155 @@
+// Package tsv reads the TSV files written by table.WriteTSV back into
+// tables and compares result sets with numeric tolerances. It powers
+// cmd/bnbdiff, the regression checker for reproduction runs: re-run the
+// figures, diff against a stored results/ directory, and alert on any
+// series that moved beyond noise.
+package tsv
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/table"
+)
+
+// Parse reads one table from TSV produced by table.WriteTSV. The first
+// '#' line is the title, subsequent '#' lines except the last are the
+// comment, the final '#' line is the header.
+func Parse(r io.Reader) (*table.Table, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	var meta []string
+	var rows [][]float64
+	for sc.Scan() {
+		line := strings.TrimRight(sc.Text(), "\r\n")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if len(rows) > 0 {
+				return nil, fmt.Errorf("tsv: comment line after data rows")
+			}
+			meta = append(meta, strings.TrimSpace(strings.TrimPrefix(line, "#")))
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		row := make([]float64, len(fields))
+		for i, f := range fields {
+			f = strings.TrimSpace(f)
+			if f == "nan" {
+				row[i] = math.NaN()
+				continue
+			}
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("tsv: bad number %q: %v", f, err)
+			}
+			row[i] = v
+		}
+		rows = append(rows, row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(meta) < 2 {
+		return nil, fmt.Errorf("tsv: missing title or header (need >= 2 '#' lines)")
+	}
+	title := meta[0]
+	header := meta[len(meta)-1]
+	comment := strings.Join(meta[1:len(meta)-1], "\n")
+	cols := strings.Split(header, "\t")
+	t := table.New(title, cols...)
+	t.Comment = comment
+	for _, row := range rows {
+		if err := t.AddRow(row...); err != nil {
+			return nil, fmt.Errorf("tsv: %v (header has %d columns)", err, len(cols))
+		}
+	}
+	return t, nil
+}
+
+// ParseFile reads one table from a TSV file.
+func ParseFile(path string) (*table.Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	t, err := Parse(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return t, nil
+}
+
+// Tolerance bounds an acceptable numeric difference: a value passes when
+// |a−b| <= Abs + Rel·max(|a|,|b|).
+type Tolerance struct {
+	Abs float64
+	Rel float64
+}
+
+// Within reports whether a and b agree within the tolerance. NaNs agree
+// only with NaNs.
+func (tol Tolerance) Within(a, b float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.IsNaN(a) && math.IsNaN(b)
+	}
+	diff := math.Abs(a - b)
+	return diff <= tol.Abs+tol.Rel*math.Max(math.Abs(a), math.Abs(b))
+}
+
+// Diff describes one difference between two tables.
+type Diff struct {
+	Kind     string // "structure" or "value"
+	Detail   string
+	Row, Col int // value diffs only; -1 otherwise
+}
+
+func (d Diff) String() string {
+	if d.Kind == "value" {
+		return fmt.Sprintf("row %d col %d: %s", d.Row, d.Col, d.Detail)
+	}
+	return d.Detail
+}
+
+// Compare returns all differences between two tables under tol.
+// Structural mismatches (columns, row counts) short-circuit value
+// comparison.
+func Compare(a, b *table.Table, tol Tolerance) []Diff {
+	var diffs []Diff
+	if len(a.Cols) != len(b.Cols) {
+		return []Diff{{Kind: "structure", Row: -1, Col: -1,
+			Detail: fmt.Sprintf("column counts differ: %d vs %d", len(a.Cols), len(b.Cols))}}
+	}
+	for i := range a.Cols {
+		if a.Cols[i] != b.Cols[i] {
+			diffs = append(diffs, Diff{Kind: "structure", Row: -1, Col: i,
+				Detail: fmt.Sprintf("column %d named %q vs %q", i, a.Cols[i], b.Cols[i])})
+		}
+	}
+	if len(diffs) > 0 {
+		return diffs
+	}
+	if a.NumRows() != b.NumRows() {
+		return []Diff{{Kind: "structure", Row: -1, Col: -1,
+			Detail: fmt.Sprintf("row counts differ: %d vs %d", a.NumRows(), b.NumRows())}}
+	}
+	for r := 0; r < a.NumRows(); r++ {
+		ra, rb := a.Row(r), b.Row(r)
+		for c := range ra {
+			if !tol.Within(ra[c], rb[c]) {
+				diffs = append(diffs, Diff{
+					Kind: "value", Row: r, Col: c,
+					Detail: fmt.Sprintf("%s: %g vs %g", a.Cols[c], ra[c], rb[c]),
+				})
+			}
+		}
+	}
+	return diffs
+}

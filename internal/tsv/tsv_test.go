@@ -1,0 +1,152 @@
+package tsv
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/table"
+)
+
+func roundTrip(t *testing.T, tab *table.Table) *table.Table {
+	t.Helper()
+	var sb strings.Builder
+	if err := tab.WriteTSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("Parse: %v\ninput:\n%s", err, sb.String())
+	}
+	return got
+}
+
+func TestRoundTrip(t *testing.T) {
+	tab := table.New("My Figure", "x", "y")
+	tab.Comment = "some context"
+	tab.MustAddRow(1, 2.5)
+	tab.MustAddRow(10, 3)
+	got := roundTrip(t, tab)
+	if got.Title != "My Figure" {
+		t.Fatalf("title %q", got.Title)
+	}
+	if got.Comment != "some context" {
+		t.Fatalf("comment %q", got.Comment)
+	}
+	if len(got.Cols) != 2 || got.Cols[0] != "x" || got.Cols[1] != "y" {
+		t.Fatalf("cols %v", got.Cols)
+	}
+	if got.NumRows() != 2 {
+		t.Fatalf("rows %d", got.NumRows())
+	}
+	if got.Row(0)[1] != 2.5 || got.Row(1)[0] != 10 {
+		t.Fatalf("values %v %v", got.Row(0), got.Row(1))
+	}
+}
+
+func TestRoundTripNoComment(t *testing.T) {
+	tab := table.New("T", "a")
+	tab.MustAddRow(math.NaN())
+	got := roundTrip(t, tab)
+	if got.Comment != "" {
+		t.Fatalf("comment %q", got.Comment)
+	}
+	if !math.IsNaN(got.Row(0)[0]) {
+		t.Fatal("NaN lost in round trip")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",                              // no metadata
+		"# title only\n",                // missing header
+		"# t\n# h\nnot-a-number",        // bad cell
+		"# t\n# a\tb\n1\n",              // arity mismatch
+		"# t\n# h\n1\n# late comment\n", // comment after data
+	}
+	for _, in := range cases {
+		if _, err := Parse(strings.NewReader(in)); err == nil {
+			t.Errorf("Parse(%q) accepted", in)
+		}
+	}
+}
+
+func TestParseFileMissing(t *testing.T) {
+	if _, err := ParseFile("/nonexistent/file.tsv"); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestToleranceWithin(t *testing.T) {
+	tol := Tolerance{Abs: 0.1, Rel: 0.01}
+	cases := []struct {
+		a, b float64
+		want bool
+	}{
+		{1, 1, true},
+		{1, 1.05, true},    // abs covers
+		{100, 100.9, true}, // rel covers
+		{100, 102, false},  // 2 > 0.1 + 1.02
+		{0, 0.05, true},
+		{0, 0.2, false},
+		{math.NaN(), math.NaN(), true},
+		{math.NaN(), 1, false},
+		{1, math.NaN(), false},
+	}
+	for _, c := range cases {
+		if got := tol.Within(c.a, c.b); got != c.want {
+			t.Errorf("Within(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareIdentical(t *testing.T) {
+	tab := table.New("T", "a", "b")
+	tab.MustAddRow(1, 2)
+	if diffs := Compare(tab, tab, Tolerance{}); len(diffs) != 0 {
+		t.Fatalf("self-compare diffs: %v", diffs)
+	}
+}
+
+func TestCompareStructural(t *testing.T) {
+	a := table.New("T", "a", "b")
+	b := table.New("T", "a")
+	diffs := Compare(a, b, Tolerance{})
+	if len(diffs) != 1 || diffs[0].Kind != "structure" {
+		t.Fatalf("diffs %v", diffs)
+	}
+	c := table.New("T", "a", "zzz")
+	diffs = Compare(a, c, Tolerance{})
+	if len(diffs) != 1 || !strings.Contains(diffs[0].Detail, "zzz") {
+		t.Fatalf("diffs %v", diffs)
+	}
+	a.MustAddRow(1, 2)
+	d := table.New("T", "a", "b")
+	diffs = Compare(a, d, Tolerance{})
+	if len(diffs) != 1 || !strings.Contains(diffs[0].Detail, "row counts") {
+		t.Fatalf("diffs %v", diffs)
+	}
+}
+
+func TestCompareValues(t *testing.T) {
+	a := table.New("T", "x", "y")
+	a.MustAddRow(1, 10)
+	a.MustAddRow(2, 20)
+	b := table.New("T", "x", "y")
+	b.MustAddRow(1, 10.001)
+	b.MustAddRow(2, 25)
+	diffs := Compare(a, b, Tolerance{Abs: 0.01})
+	if len(diffs) != 1 {
+		t.Fatalf("diffs %v", diffs)
+	}
+	if diffs[0].Row != 1 || diffs[0].Col != 1 {
+		t.Fatalf("diff location %+v", diffs[0])
+	}
+	if s := diffs[0].String(); !strings.Contains(s, "row 1") {
+		t.Fatalf("String() = %q", s)
+	}
+	// looser tolerance passes
+	if diffs := Compare(a, b, Tolerance{Abs: 10}); len(diffs) != 0 {
+		t.Fatalf("loose compare diffs: %v", diffs)
+	}
+}

@@ -1,0 +1,274 @@
+// Package tune searches for good bin-selection probability distributions
+// — the paper's closing future-work item ("it would be interesting to
+// further analyse the problem of choosing the best probability
+// distribution for a given heterogeneous bin array").
+//
+// Two searches are provided. OptimalExponent restricts the search to the
+// paper's §4.5 power family p_i ∝ c_i^t and minimises the Monte-Carlo
+// mean maximum load over t by iterative grid refinement (robust to
+// simulation noise, unlike golden-section on a noisy objective).
+// OptimalClassWeights searches the full simplex over capacity *classes*
+// (bins of equal capacity share a weight) by coordinate descent, which
+// for the paper's two-class arrays recovers and slightly beats the best
+// power exponent.
+package tune
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bins"
+	"repro/internal/dist"
+	"repro/internal/sim"
+)
+
+// Config controls the simulation budget of a search.
+type Config struct {
+	// Balls per repetition; 0 means m = C.
+	Balls int64
+	// Reps per objective evaluation (default 500).
+	Reps int
+	// Seed for the underlying simulations (default 1). Every objective
+	// evaluation uses the same seed, making the objective a
+	// deterministic function and the search reproducible.
+	Seed uint64
+	// Workers caps parallelism (0 = GOMAXPROCS).
+	Workers int
+	// D is the number of choices (default 2).
+	D int
+}
+
+func (c Config) reps() int {
+	if c.Reps <= 0 {
+		return 500
+	}
+	return c.Reps
+}
+
+func (c Config) seed() uint64 {
+	if c.Seed == 0 {
+		return 1
+	}
+	return c.Seed
+}
+
+// EvaluateExponent returns the mean maximum load of the game with
+// selection probabilities ∝ c^t.
+func EvaluateExponent(caps []int64, t float64, cfg Config) (float64, error) {
+	arr, err := bins.New(caps)
+	if err != nil {
+		return 0, err
+	}
+	res, err := sim.Run(sim.Config{
+		Array:   arr,
+		Dist:    dist.Power{T: t},
+		Balls:   cfg.Balls,
+		Reps:    cfg.reps(),
+		Seed:    cfg.seed(),
+		Workers: cfg.Workers,
+		Placer:  nil, // Algorithm 1, d = 2 default
+	})
+	if err != nil {
+		return 0, err
+	}
+	return res.MaxLoad.Mean(), nil
+}
+
+// ExponentResult is the outcome of OptimalExponent.
+type ExponentResult struct {
+	// T is the best exponent found.
+	T float64
+	// MaxLoad is the objective at T.
+	MaxLoad float64
+	// AtProportional is the objective at t = 1 for comparison.
+	AtProportional float64
+	// Evaluations counts objective evaluations spent.
+	Evaluations int
+}
+
+// OptimalExponent minimises the mean max load over t in [lo, hi] using
+// `rounds` rounds of grid refinement with `points` grid points each.
+// Because the objective is Monte-Carlo noise over a shallow bowl, grid
+// refinement with a fixed seed (a deterministic objective) is both
+// reproducible and robust.
+func OptimalExponent(caps []int64, lo, hi float64, cfg Config) (*ExponentResult, error) {
+	if !(hi > lo) {
+		return nil, fmt.Errorf("tune: bad exponent range [%v, %v]", lo, hi)
+	}
+	const (
+		rounds = 3
+		points = 9
+	)
+	res := &ExponentResult{}
+	atOne := math.NaN()
+	bestT, bestV := lo, math.Inf(1)
+	curLo, curHi := lo, hi
+	for round := 0; round < rounds; round++ {
+		step := (curHi - curLo) / float64(points-1)
+		for i := 0; i < points; i++ {
+			t := curLo + float64(i)*step
+			v, err := EvaluateExponent(caps, t, cfg)
+			if err != nil {
+				return nil, err
+			}
+			res.Evaluations++
+			if v < bestV {
+				bestT, bestV = t, v
+			}
+			if math.Abs(t-1) < 1e-9 {
+				atOne = v
+			}
+		}
+		// zoom into ±1 step around the incumbent
+		curLo = math.Max(lo, bestT-step)
+		curHi = math.Min(hi, bestT+step)
+	}
+	if math.IsNaN(atOne) {
+		v, err := EvaluateExponent(caps, 1, cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.Evaluations++
+		atOne = v
+	}
+	res.T = bestT
+	res.MaxLoad = bestV
+	res.AtProportional = atOne
+	return res, nil
+}
+
+// ClassWeightsResult is the outcome of OptimalClassWeights.
+type ClassWeightsResult struct {
+	// Classes lists the distinct capacities in ascending order.
+	Classes []int64
+	// Weights holds the per-class selection weight (per bin of the
+	// class, normalised so the largest class weight is 1).
+	Weights []float64
+	// MaxLoad is the objective at the returned weights.
+	MaxLoad float64
+	// Evaluations counts objective evaluations spent.
+	Evaluations int
+}
+
+// OptimalClassWeights searches per-class selection weights by cyclic
+// coordinate descent on a log-scale grid. All bins of one capacity class
+// share a weight; the search multiplies one class weight at a time by
+// factors from a shrinking palette and keeps improvements.
+func OptimalClassWeights(caps []int64, cfg Config) (*ClassWeightsResult, error) {
+	arr, err := bins.New(caps)
+	if err != nil {
+		return nil, err
+	}
+	classes := arr.CapacityClasses()
+	if len(classes) == 1 {
+		// one class: weights don't matter
+		v, err := evaluateClassWeights(arr, classes, []float64{1}, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &ClassWeightsResult{Classes: classes, Weights: []float64{1}, MaxLoad: v, Evaluations: 1}, nil
+	}
+	// start from proportional weights
+	weights := make([]float64, len(classes))
+	for i, c := range classes {
+		weights[i] = float64(c)
+	}
+	best, err := evaluateClassWeights(arr, classes, weights, cfg)
+	if err != nil {
+		return nil, err
+	}
+	evals := 1
+	factors := []float64{4, 2, 1.5, 1.2, 1.1}
+	for _, f := range factors {
+		improved := true
+		for pass := 0; improved && pass < 4; pass++ {
+			improved = false
+			for ci := range classes {
+				for _, mult := range []float64{f, 1 / f} {
+					trial := append([]float64(nil), weights...)
+					trial[ci] *= mult
+					v, err := evaluateClassWeights(arr, classes, trial, cfg)
+					if err != nil {
+						return nil, err
+					}
+					evals++
+					if v < best-1e-9 {
+						best = v
+						weights = trial
+						improved = true
+					}
+				}
+			}
+		}
+	}
+	// normalise: max class weight = 1
+	maxW := 0.0
+	for _, w := range weights {
+		if w > maxW {
+			maxW = w
+		}
+	}
+	for i := range weights {
+		weights[i] /= maxW
+	}
+	return &ClassWeightsResult{
+		Classes:     classes,
+		Weights:     weights,
+		MaxLoad:     best,
+		Evaluations: evals,
+	}, nil
+}
+
+func evaluateClassWeights(arr *bins.Array, classes []int64, classW []float64, cfg Config) (float64, error) {
+	idx := map[int64]int{}
+	for i, c := range classes {
+		idx[c] = i
+	}
+	w := make([]float64, arr.N())
+	for i := 0; i < arr.N(); i++ {
+		w[i] = classW[idx[arr.Capacity(i)]]
+	}
+	res, err := sim.Run(sim.Config{
+		Array:   arr,
+		Dist:    dist.Custom{W: w, Desc: "class-weights"},
+		Balls:   cfg.Balls,
+		Reps:    cfg.reps(),
+		Seed:    cfg.seed(),
+		Workers: cfg.Workers,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return res.MaxLoad.Mean(), nil
+}
+
+// ImpliedExponent fits the power-family exponent that best explains a
+// set of class weights: least squares of log(w) against log(c) over
+// classes with positive weight. Returns NaN when fewer than two usable
+// classes exist.
+func ImpliedExponent(classes []int64, weights []float64) float64 {
+	var xs, ys []float64
+	for i, c := range classes {
+		if weights[i] > 0 && c > 0 {
+			xs = append(xs, math.Log(float64(c)))
+			ys = append(ys, math.Log(weights[i]))
+		}
+	}
+	if len(xs) < 2 {
+		return math.NaN()
+	}
+	// simple OLS slope
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := sxx - sx*sx/n
+	if den == 0 {
+		return math.NaN()
+	}
+	return (sxy - sx*sy/n) / den
+}

@@ -1,0 +1,141 @@
+package tune
+
+import (
+	"math"
+	"testing"
+)
+
+func twoClass(nSmall int, cSmall int64, nLarge int, cLarge int64) []int64 {
+	caps := make([]int64, 0, nSmall+nLarge)
+	for i := 0; i < nSmall; i++ {
+		caps = append(caps, cSmall)
+	}
+	for i := 0; i < nLarge; i++ {
+		caps = append(caps, cLarge)
+	}
+	return caps
+}
+
+func TestEvaluateExponent(t *testing.T) {
+	caps := twoClass(20, 1, 20, 3)
+	cfg := Config{Reps: 200, Seed: 2}
+	v1, err := EvaluateExponent(caps, 1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1 < 1 || v1 > 4 {
+		t.Fatalf("objective at t=1 is %v", v1)
+	}
+	// deterministic objective: same call, same value
+	v1b, err := EvaluateExponent(caps, 1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1 != v1b {
+		t.Fatal("objective is not deterministic for fixed seed")
+	}
+	if _, err := EvaluateExponent([]int64{0}, 1, cfg); err == nil {
+		t.Error("bad capacities accepted")
+	}
+}
+
+func TestOptimalExponentRangeValidation(t *testing.T) {
+	if _, err := OptimalExponent([]int64{1, 2}, 2, 1, Config{Reps: 10}); err == nil {
+		t.Error("inverted range accepted")
+	}
+}
+
+// TestOptimalExponentBeatsProportional reproduces the §4.5 headline: for
+// a 50/50 mix of capacities 1 and 3 the best exponent is well above 1
+// and strictly improves on proportional selection.
+func TestOptimalExponentBeatsProportional(t *testing.T) {
+	caps := twoClass(50, 1, 50, 3)
+	res, err := OptimalExponent(caps, 0.5, 3, Config{Reps: 800, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.T < 1.3 || res.T > 2.8 {
+		t.Fatalf("optimal exponent %v outside the paper's band (~2.1)", res.T)
+	}
+	if res.MaxLoad >= res.AtProportional {
+		t.Fatalf("optimum %v no better than proportional %v", res.MaxLoad, res.AtProportional)
+	}
+	if res.Evaluations < 9 {
+		t.Fatalf("suspiciously few evaluations: %d", res.Evaluations)
+	}
+}
+
+func TestOptimalClassWeightsSingleClass(t *testing.T) {
+	res, err := OptimalClassWeights(twoClass(10, 2, 0, 1), Config{Reps: 100, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Classes) != 1 || res.Weights[0] != 1 {
+		t.Fatalf("single-class result %+v", res)
+	}
+}
+
+// TestOptimalClassWeightsImproves: coordinate descent must do at least
+// as well as the proportional start.
+func TestOptimalClassWeightsImproves(t *testing.T) {
+	caps := twoClass(30, 1, 30, 3)
+	cfg := Config{Reps: 400, Seed: 4}
+	start, err := EvaluateExponent(caps, 1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := OptimalClassWeights(caps, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxLoad > start+1e-9 {
+		t.Fatalf("descent worsened the objective: %v -> %v", start, res.MaxLoad)
+	}
+	if len(res.Weights) != 2 {
+		t.Fatalf("weights %v", res.Weights)
+	}
+	// normalised: max weight is 1
+	if math.Max(res.Weights[0], res.Weights[1]) != 1 {
+		t.Fatalf("weights not normalised: %v", res.Weights)
+	}
+	// the big class should be overweighted relative to proportional:
+	// w_big / w_small > c_big / c_small is the §4.5 finding. Allow equality
+	// slack for noise but require at least proportionality.
+	ratio := res.Weights[1] / res.Weights[0]
+	if ratio < 3 {
+		t.Fatalf("big-class weight ratio %v below proportional 3", ratio)
+	}
+}
+
+func TestImpliedExponent(t *testing.T) {
+	// weights exactly c^2 → exponent 2
+	got := ImpliedExponent([]int64{1, 2, 4}, []float64{1, 4, 16})
+	if math.Abs(got-2) > 1e-9 {
+		t.Fatalf("ImpliedExponent = %v, want 2", got)
+	}
+	// proportional weights → exponent 1
+	got = ImpliedExponent([]int64{1, 3}, []float64{2, 6})
+	if math.Abs(got-1) > 1e-9 {
+		t.Fatalf("ImpliedExponent = %v, want 1", got)
+	}
+	// degenerate cases → NaN
+	if !math.IsNaN(ImpliedExponent([]int64{2}, []float64{1})) {
+		t.Error("single class should be NaN")
+	}
+	if !math.IsNaN(ImpliedExponent([]int64{2, 2}, []float64{1, 1})) {
+		t.Error("identical classes should be NaN")
+	}
+	if !math.IsNaN(ImpliedExponent([]int64{1, 2}, []float64{0, 0})) {
+		t.Error("zero weights should be NaN")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	var c Config
+	if c.reps() != 500 {
+		t.Fatalf("default reps %d", c.reps())
+	}
+	if c.seed() != 1 {
+		t.Fatalf("default seed %d", c.seed())
+	}
+}

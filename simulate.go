@@ -1,0 +1,125 @@
+package balls
+
+import (
+	"fmt"
+
+	"repro/internal/bins"
+	"repro/internal/sim"
+	"repro/internal/theory"
+)
+
+// SimConfig describes a Monte-Carlo run: many independent repetitions of
+// the same game, aggregated.
+type SimConfig struct {
+	// Capacities of the bin array (required).
+	Capacities []int64
+	// Balls per repetition; 0 means m = C (the paper's default).
+	Balls int64
+	// BallsFactor scales C into a ball count when Balls is 0 (e.g. 10
+	// for the heavily loaded m = 10·C).
+	BallsFactor float64
+	// Reps is the number of repetitions (default 100).
+	Reps int
+	// Seed is the base seed (default 1); repetition i uses an
+	// independent stream derived from (Seed, i).
+	Seed uint64
+	// Workers caps parallelism (0 = GOMAXPROCS).
+	Workers int
+	// Distribution and Protocol default to Proportional / Greedy(2).
+	Distribution Distribution
+	Protocol     Protocol
+	// SortedLoads requests the mean sorted load vector (the paper's
+	// "load distribution" curves).
+	SortedLoads bool
+	// Checkpoints requests running (max − average) load measurements at
+	// the given ball counts (the paper's §4.4 heavy-load series).
+	Checkpoints []int64
+}
+
+// CheckpointResult is one aggregated checkpoint.
+type CheckpointResult struct {
+	Balls         int64
+	MeanMaxLoad   float64
+	MeanDeviation float64 // max − average at this point
+}
+
+// SimResult aggregates a Monte-Carlo run.
+type SimResult struct {
+	// Reps is the number of repetitions aggregated.
+	Reps int
+	// Balls is the number of balls per repetition.
+	Balls int64
+	// MeanMaxLoad / MaxLoadCI95: final maximum load, mean and 95% CI
+	// half-width.
+	MeanMaxLoad float64
+	MaxLoadCI95 float64
+	// WorstMaxLoad is the largest final max load seen in any repetition.
+	WorstMaxLoad float64
+	// AverageLoad is m/C.
+	AverageLoad float64
+	// MeanDeviation is the mean of (max − average) final load.
+	MeanDeviation float64
+	// MeanSortedLoads is the element-wise mean of the non-increasing
+	// load vector (only when SortedLoads was requested).
+	MeanSortedLoads []float64
+	// Checkpoints holds running aggregates (only when requested).
+	Checkpoints []CheckpointResult
+	// TheoryBound is ln ln(n)/ln(2), the paper's leading-order max-load
+	// term for d = 2 and m = C, for orientation.
+	TheoryBound float64
+}
+
+// Simulate runs cfg.Reps independent games and aggregates them. Results
+// are deterministic in (Capacities, Balls, Seed, Distribution, Protocol)
+// regardless of Workers.
+func Simulate(cfg SimConfig) (*SimResult, error) {
+	if len(cfg.Capacities) == 0 {
+		return nil, fmt.Errorf("balls: Simulate needs capacities")
+	}
+	arr, err := bins.New(cfg.Capacities)
+	if err != nil {
+		return nil, err
+	}
+	reps := cfg.Reps
+	if reps == 0 {
+		reps = 100
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	res, err := sim.Run(sim.Config{
+		Array:             arr,
+		Dist:              cfg.Distribution.resolve(),
+		Placer:            cfg.Protocol.resolve(),
+		Balls:             cfg.Balls,
+		BallsFactor:       cfg.BallsFactor,
+		Reps:              reps,
+		Seed:              seed,
+		Workers:           cfg.Workers,
+		CollectLoadVector: cfg.SortedLoads,
+		Checkpoints:       cfg.Checkpoints,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &SimResult{
+		Reps:            reps,
+		Balls:           int64(res.Balls.Mean()),
+		MeanMaxLoad:     res.MaxLoad.Mean(),
+		MaxLoadCI95:     res.MaxLoad.CI95(),
+		WorstMaxLoad:    res.MaxLoad.Max(),
+		AverageLoad:     res.AvgLoad.Mean(),
+		MeanDeviation:   res.Deviation.Mean(),
+		MeanSortedLoads: res.MeanSortedLoads,
+		TheoryBound:     theory.TwoChoiceBound(arr.N(), 2),
+	}
+	for _, cp := range res.Checkpoints {
+		out.Checkpoints = append(out.Checkpoints, CheckpointResult{
+			Balls:         cp.Balls,
+			MeanMaxLoad:   cp.MaxLoad.Mean(),
+			MeanDeviation: cp.Deviation.Mean(),
+		})
+	}
+	return out, nil
+}

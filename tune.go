@@ -1,0 +1,39 @@
+package balls
+
+import "repro/internal/tune"
+
+// TuneResult reports the outcome of OptimizeSelectionExponent.
+type TuneResult struct {
+	// T is the best exponent found for selection weights ∝ c^T.
+	T float64
+	// MaxLoad is the mean maximum load at T.
+	MaxLoad float64
+	// AtProportional is the mean maximum load at T = 1 (the paper's
+	// default), for comparison.
+	AtProportional float64
+	// Evaluations is the number of Monte-Carlo objective evaluations
+	// the search spent.
+	Evaluations int
+}
+
+// OptimizeSelectionExponent searches the exponent range [lo, hi] of the
+// power selection family (PowerSelection) for the value minimising the
+// mean maximum load with m = C balls and Algorithm 1 (d = 2) — an
+// implementation of the paper's closing future-work question. reps is
+// the Monte-Carlo budget per evaluation (0 = 500); the search is
+// deterministic for a fixed seed (0 = 1).
+func OptimizeSelectionExponent(capacities []int64, lo, hi float64, reps int, seed uint64) (*TuneResult, error) {
+	res, err := tune.OptimalExponent(capacities, lo, hi, tune.Config{
+		Reps: reps,
+		Seed: seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &TuneResult{
+		T:              res.T,
+		MaxLoad:        res.MaxLoad,
+		AtProportional: res.AtProportional,
+		Evaluations:    res.Evaluations,
+	}, nil
+}
