@@ -1,0 +1,39 @@
+package balls
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestSimulateBitIdenticalAcrossWorkers pins the engine's parallelism
+// contract at the public API: the entire SimResult — every aggregate,
+// the mean sorted load vector, every checkpoint — is bit-identical no
+// matter how many workers execute the repetitions. Repetition i draws
+// from stream (Seed, i) and chunk partials merge in chunk order, so the
+// worker count can only change scheduling, never arithmetic.
+func TestSimulateBitIdenticalAcrossWorkers(t *testing.T) {
+	base := SimConfig{
+		Capacities:  CapacitiesTwoClass(40, 1, 40, 10),
+		Reps:        25,
+		Seed:        7,
+		SortedLoads: true,
+		Checkpoints: []int64{100, 400},
+	}
+	var ref *SimResult
+	for _, workers := range []int{1, 2, 8} {
+		cfg := base
+		cfg.Workers = workers
+		res, err := Simulate(cfg)
+		if err != nil {
+			t.Fatalf("Workers=%d: %v", workers, err)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		if !reflect.DeepEqual(ref, res) {
+			t.Fatalf("Workers=%d: SimResult differs from Workers=1:\n  got  %+v\n  want %+v",
+				workers, res, ref)
+		}
+	}
+}

@@ -22,11 +22,21 @@ import (
 
 // Array is a heterogeneous bin array: capacities plus current ball counts.
 // The zero value is unusable; construct with New or a builder.
+//
+// Capacity and ball count are interleaved per bin (one 16-byte struct)
+// rather than held in parallel slices: the allocation hot path touches a
+// handful of random bins per ball, and the packed layout makes each
+// touched bin exactly one cache line instead of two.
 type Array struct {
-	caps  []int64
-	balls []int64
-	c     int64 // total capacity
-	m     int64 // total balls currently allocated
+	bins []bin
+	c    int64 // total capacity
+	m    int64 // total balls currently allocated
+}
+
+// bin packs one bin's capacity and current ball count.
+type bin struct {
+	cap   int64
+	balls int64
 }
 
 // New constructs an Array from integer capacities. Every capacity must be
@@ -35,15 +45,12 @@ func New(capacities []int64) (*Array, error) {
 	if len(capacities) == 0 {
 		return nil, fmt.Errorf("bins: empty capacity vector")
 	}
-	a := &Array{
-		caps:  make([]int64, len(capacities)),
-		balls: make([]int64, len(capacities)),
-	}
+	a := &Array{bins: make([]bin, len(capacities))}
 	for i, c := range capacities {
 		if c < 1 {
 			return nil, fmt.Errorf("bins: capacity of bin %d is %d, must be >= 1", i, c)
 		}
-		a.caps[i] = c
+		a.bins[i].cap = c
 		a.c += c
 	}
 	return a, nil
@@ -59,15 +66,17 @@ func MustNew(capacities []int64) *Array {
 }
 
 // N returns the number of bins.
-func (a *Array) N() int { return len(a.caps) }
+func (a *Array) N() int { return len(a.bins) }
 
 // Capacity returns c_i.
-func (a *Array) Capacity(i int) int64 { return a.caps[i] }
+func (a *Array) Capacity(i int) int64 { return a.bins[i].cap }
 
 // Capacities returns a copy of the capacity vector.
 func (a *Array) Capacities() []int64 {
-	out := make([]int64, len(a.caps))
-	copy(out, a.caps)
+	out := make([]int64, len(a.bins))
+	for i := range a.bins {
+		out[i] = a.bins[i].cap
+	}
 	return out
 }
 
@@ -75,14 +84,14 @@ func (a *Array) Capacities() []int64 {
 func (a *Array) TotalCapacity() int64 { return a.c }
 
 // Balls returns m_i, the number of balls currently in bin i.
-func (a *Array) Balls(i int) int64 { return a.balls[i] }
+func (a *Array) Balls(i int) int64 { return a.bins[i].balls }
 
 // TotalBalls returns the number of balls allocated so far.
 func (a *Array) TotalBalls() int64 { return a.m }
 
 // Add places one ball into bin i.
 func (a *Array) Add(i int) {
-	a.balls[i]++
+	a.bins[i].balls++
 	a.m++
 }
 
@@ -90,17 +99,17 @@ func (a *Array) Add(i int) {
 // dynamic setting of the cluster simulator). It panics if bin i is
 // empty — a departure without a prior arrival is a programming error.
 func (a *Array) Remove(i int) {
-	if a.balls[i] == 0 {
+	if a.bins[i].balls == 0 {
 		panic(fmt.Sprintf("bins: Remove from empty bin %d", i))
 	}
-	a.balls[i]--
+	a.bins[i].balls--
 	a.m--
 }
 
 // Load returns ℓ_i = m_i / c_i as a float64 (for reporting only; the
 // protocol never compares floats).
 func (a *Array) Load(i int) float64 {
-	return float64(a.balls[i]) / float64(a.caps[i])
+	return float64(a.bins[i].balls) / float64(a.bins[i].cap)
 }
 
 // AverageLoad returns m / C, the load every bin would have under a perfect
@@ -112,13 +121,15 @@ func (a *Array) AverageLoad() float64 {
 
 // CompareLoads compares ℓ_i with ℓ_j exactly, returning -1, 0 or +1.
 func (a *Array) CompareLoads(i, j int) int {
-	return compareRatio(a.balls[i], a.caps[i], a.balls[j], a.caps[j])
+	bi, bj := &a.bins[i], &a.bins[j]
+	return compareRatio(bi.balls, bi.cap, bj.balls, bj.cap)
 }
 
 // ComparePostLoads compares the loads bins i and j would have after
 // receiving one more ball: (m_i+1)/c_i vs (m_j+1)/c_j, exactly.
 func (a *Array) ComparePostLoads(i, j int) int {
-	return compareRatio(a.balls[i]+1, a.caps[i], a.balls[j]+1, a.caps[j])
+	bi, bj := &a.bins[i], &a.bins[j]
+	return compareRatio(bi.balls+1, bi.cap, bj.balls+1, bj.cap)
 }
 
 // compareRatio compares p/q with r/s for positive q, s via cross
@@ -138,7 +149,7 @@ func compareRatio(p, q, r, s int64) int {
 // MaxLoad returns the maximum load over all bins as a float64.
 func (a *Array) MaxLoad() float64 {
 	best := 0
-	for i := 1; i < len(a.caps); i++ {
+	for i := 1; i < len(a.bins); i++ {
 		if a.CompareLoads(i, best) > 0 {
 			best = i
 		}
@@ -150,7 +161,7 @@ func (a *Array) MaxLoad() float64 {
 // (ties resolved exactly).
 func (a *Array) ArgMaxLoad() []int {
 	best := []int{0}
-	for i := 1; i < len(a.caps); i++ {
+	for i := 1; i < len(a.bins); i++ {
 		switch a.CompareLoads(i, best[0]) {
 		case 1:
 			best = append(best[:0], i)
@@ -163,17 +174,27 @@ func (a *Array) ArgMaxLoad() []int {
 
 // LoadVector returns the vector of bin loads in bin order.
 func (a *Array) LoadVector() []float64 {
-	out := make([]float64, len(a.caps))
-	for i := range out {
-		out[i] = a.Load(i)
+	return a.LoadVectorInto(nil)
+}
+
+// LoadVectorInto fills dst with the bin loads in bin order, growing it
+// if needed, and returns the filled slice. It lets hot loops reuse one
+// buffer across calls instead of allocating per call.
+func (a *Array) LoadVectorInto(dst []float64) []float64 {
+	if cap(dst) < len(a.bins) {
+		dst = make([]float64, len(a.bins))
 	}
-	return out
+	dst = dst[:len(a.bins)]
+	for i := range dst {
+		dst[i] = a.Load(i)
+	}
+	return dst
 }
 
 // Reset removes all balls.
 func (a *Array) Reset() {
-	for i := range a.balls {
-		a.balls[i] = 0
+	for i := range a.bins {
+		a.bins[i].balls = 0
 	}
 	a.m = 0
 }
@@ -181,13 +202,11 @@ func (a *Array) Reset() {
 // Clone returns a deep copy of the array (capacities and ball counts).
 func (a *Array) Clone() *Array {
 	b := &Array{
-		caps:  make([]int64, len(a.caps)),
-		balls: make([]int64, len(a.balls)),
-		c:     a.c,
-		m:     a.m,
+		bins: make([]bin, len(a.bins)),
+		c:    a.c,
+		m:    a.m,
 	}
-	copy(b.caps, a.caps)
-	copy(b.balls, a.balls)
+	copy(b.bins, a.bins)
 	return b
 }
 
@@ -199,7 +218,7 @@ func (a *Array) BigThreshold(r float64) float64 {
 
 // IsBig reports whether bin i is big for the given constant r.
 func (a *Array) IsBig(i int, r float64) bool {
-	return float64(a.caps[i]) >= a.BigThreshold(r)
+	return float64(a.bins[i].cap) >= a.BigThreshold(r)
 }
 
 // SmallCapacity returns C_s, the total capacity of small bins (capacity
@@ -207,8 +226,8 @@ func (a *Array) IsBig(i int, r float64) bool {
 func (a *Array) SmallCapacity(r float64) int64 {
 	threshold := a.BigThreshold(r)
 	var cs int64
-	for _, c := range a.caps {
-		if float64(c) < threshold {
+	for i := range a.bins {
+		if c := a.bins[i].cap; float64(c) < threshold {
 			cs += c
 		}
 	}
@@ -219,8 +238,8 @@ func (a *Array) SmallCapacity(r float64) int64 {
 func (a *Array) CapacityClasses() []int64 {
 	seen := map[int64]bool{}
 	var classes []int64
-	for _, c := range a.caps {
-		if !seen[c] {
+	for i := range a.bins {
+		if c := a.bins[i].cap; !seen[c] {
 			seen[c] = true
 			classes = append(classes, c)
 		}
@@ -237,8 +256,8 @@ func (a *Array) CapacityClasses() []int64 {
 // CountClass returns how many bins have exactly capacity c.
 func (a *Array) CountClass(c int64) int {
 	n := 0
-	for _, v := range a.caps {
-		if v == c {
+	for i := range a.bins {
+		if a.bins[i].cap == c {
 			n++
 		}
 	}
@@ -249,7 +268,7 @@ func (a *Array) CountClass(c int64) int {
 // global maximum load (exact tie handling). This powers Figures 7 and 9.
 func (a *Array) MaxLoadInClassC(c int64) bool {
 	for _, i := range a.ArgMaxLoad() {
-		if a.caps[i] == c {
+		if a.bins[i].cap == c {
 			return true
 		}
 	}

@@ -15,9 +15,13 @@ type arrayJSON struct {
 
 // MarshalJSON implements json.Marshaler.
 func (a *Array) MarshalJSON() ([]byte, error) {
+	balls := make([]int64, len(a.bins))
+	for i := range a.bins {
+		balls[i] = a.bins[i].balls
+	}
 	return json.Marshal(arrayJSON{
 		Capacities: a.Capacities(),
-		Balls:      append([]int64(nil), a.balls...),
+		Balls:      balls,
 	})
 }
 
@@ -39,7 +43,7 @@ func (a *Array) UnmarshalJSON(data []byte) error {
 		if b < 0 {
 			return fmt.Errorf("bins: negative ball count %d in bin %d", b, i)
 		}
-		restored.balls[i] = b
+		restored.bins[i].balls = b
 		restored.m += b
 	}
 	*a = *restored

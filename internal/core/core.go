@@ -71,11 +71,10 @@ func NewGame(capacities []int64, opts Options) (*Game, error) {
 // Place allocates one ball, returning the receiving bin.
 func (g *Game) Place() int { return g.placer.Place(g.arr, g.rng) }
 
-// PlaceN allocates m balls.
+// PlaceN allocates m balls through the protocol's batch kernel: one
+// interface dispatch for the whole batch, a monomorphic loop inside.
 func (g *Game) PlaceN(m int64) {
-	for i := int64(0); i < m; i++ {
-		g.placer.Place(g.arr, g.rng)
-	}
+	g.placer.PlaceBatch(g.arr, g.rng, m)
 }
 
 // Array exposes the underlying bin array (read it, don't mutate it

@@ -22,11 +22,9 @@ import (
 type Batched struct {
 	d       int
 	batch   int
-	sampler sampling.Sampler
+	table   *sampling.AliasTable
 	frozen  []int64 // ball counts at round start
 	inRound int
-	cand    []int
-	opt     []int
 }
 
 // NewBatched builds a batched Algorithm 1 placer with round size batch.
@@ -37,18 +35,15 @@ func NewBatched(a *bins.Array, weights []float64, d, batch int) (*Batched, error
 	if batch < 1 {
 		return nil, fmt.Errorf("protocol: batch = %d", batch)
 	}
-	s, err := sampling.NewAlias(weights)
+	t, err := sampling.NewAlias(weights)
 	if err != nil {
 		return nil, fmt.Errorf("protocol: batched sampler: %w", err)
 	}
 	return &Batched{
-		d:       d,
-		batch:   batch,
-		sampler: s,
-		frozen:  make([]int64, a.N()),
-		inRound: 0,
-		cand:    make([]int, 0, d),
-		opt:     make([]int, 0, d),
+		d:      d,
+		batch:  batch,
+		table:  t,
+		frozen: make([]int64, a.N()),
 	}, nil
 }
 
@@ -57,9 +52,9 @@ func (b *Batched) Name() string {
 	return fmt.Sprintf("batched-greedy(d=%d,B=%d)", b.d, b.batch)
 }
 
-// Place implements Placer: Algorithm 1 decisions against the frozen
-// snapshot, refreshed every batch placements.
-func (b *Batched) Place(a *bins.Array, r *xrand.Rand) int {
+// choose runs Algorithm 1 against the frozen snapshot, refreshing it
+// every batch placements, and returns the receiving bin.
+func (b *Batched) choose(a *bins.Array, r *xrand.Rand) int {
 	if b.inRound == 0 {
 		for i := 0; i < a.N(); i++ {
 			b.frozen[i] = a.Balls(i)
@@ -69,52 +64,43 @@ func (b *Batched) Place(a *bins.Array, r *xrand.Rand) int {
 	if b.inRound == b.batch {
 		b.inRound = 0
 	}
+	if b.d == 2 {
+		return b.choose2(a, r)
+	}
+	return b.chooseGeneral(a, r)
+}
 
-	b.cand = b.cand[:0]
-	for i := 0; i < b.d; i++ {
-		c := b.sampler.Sample(r)
-		dup := false
-		for _, e := range b.cand {
-			if e == c {
-				dup = true
-				break
-			}
-		}
-		if !dup {
-			b.cand = append(b.cand, c)
-		}
+// choose2 mirrors Greedy.choose2 (same draw sequence, so B = 1
+// reproduces the sequential protocol ball for ball) but compares against
+// the frozen snapshot.
+func (b *Batched) choose2(a *bins.Array, r *xrand.Rand) int {
+	b1, b2 := b.table.Sample2(r)
+	coin := r.Uint64()&1 == 1
+	if b1 == b2 {
+		return b1
 	}
-	// Bopt on frozen counts
-	b.opt = append(b.opt[:0], b.cand[0])
-	for _, c := range b.cand[1:] {
-		cmp := compareFrozenPost(b.frozen, a, c, b.opt[0])
-		switch {
-		case cmp < 0:
-			b.opt = append(b.opt[:0], c)
-		case cmp == 0:
-			b.opt = append(b.opt, c)
-		}
-	}
-	maxCap := a.Capacity(b.opt[0])
-	for _, c := range b.opt[1:] {
-		if v := a.Capacity(c); v > maxCap {
-			maxCap = v
-		}
-	}
-	k := 0
-	for _, c := range b.opt {
-		if a.Capacity(c) == maxCap {
-			b.opt[k] = c
-			k++
-		}
-	}
-	b.opt = b.opt[:k]
-	chosen := b.opt[0]
-	if len(b.opt) > 1 {
-		chosen = b.opt[r.Intn(len(b.opt))]
-	}
+	c1, c2 := a.Capacity(b1), a.Capacity(b2)
+	l1 := (b.frozen[b1] + 1) * c2
+	l2 := (b.frozen[b2] + 1) * c1
+	return select2(b1, b2, c1, c2, l1, l2, coin)
+}
+
+func (b *Batched) chooseGeneral(a *bins.Array, r *xrand.Rand) int {
+	return chooseGeneralFrom(b.table, b.d, b.frozen, a, r)
+}
+
+// Place implements Placer.
+func (b *Batched) Place(a *bins.Array, r *xrand.Rand) int {
+	chosen := b.choose(a, r)
 	a.Add(chosen)
 	return chosen
+}
+
+// PlaceBatch implements Placer.
+func (b *Batched) PlaceBatch(a *bins.Array, r *xrand.Rand, k int64) {
+	for ; k > 0; k-- {
+		a.Add(b.choose(a, r))
+	}
 }
 
 // compareFrozenPost compares (frozen_i+1)/c_i against (frozen_j+1)/c_j

@@ -1,0 +1,117 @@
+package protocol
+
+// Golden-sequence regression tests: the exact placement sequence of
+// every protocol is pinned for a fixed seed. The canonical draw sequence
+// was redefined once, when the hot path moved to the integer-threshold
+// alias sampler (Sample2 + unconditional tie coin in the d = 2 kernels);
+// it is frozen from that point on. A diff here means the allocation
+// stream changed — which silently invalidates every pinned experiment
+// result — so it must be deliberate and called out loudly.
+
+import (
+	"testing"
+
+	"repro/internal/bins"
+	"repro/internal/xrand"
+)
+
+const goldenSeed = 20260727
+
+// goldenCaps is a small heterogeneous ladder exercising capacity ties
+// (three unit bins) and a skewed top end.
+var goldenCaps = []int64{1, 1, 1, 2, 3, 5, 8, 10}
+
+func goldenFactories() []struct {
+	name string
+	f    Factory
+} {
+	return []struct {
+		name string
+		f    Factory
+	}{
+		{"greedy-d2", GreedyFactory(2)},
+		{"greedy-d3", GreedyFactory(3)},
+		{"standard-d2", StandardFactory(2)},
+		{"single", SingleFactory()},
+		{"goleft-d2", GoLeftFactory(2)},
+		{"oneplusbeta-0.5", OnePlusBetaFactory(0.5)},
+		{"batched-d2-B4", BatchedFactory(2, 4)},
+	}
+}
+
+var goldenSequences = map[string][]int{
+	"greedy-d2":       {7, 6, 5, 6, 6, 4, 5, 5, 6, 7, 7, 6, 7, 5, 6, 6},
+	"greedy-d3":       {7, 7, 6, 7, 5, 7, 7, 6, 6, 5, 6, 3, 7, 4, 4, 7},
+	"standard-d2":     {7, 6, 5, 6, 6, 4, 2, 0, 5, 0, 4, 4, 7, 2, 5, 0},
+	"single":          {5, 5, 7, 7, 5, 7, 6, 5, 6, 7, 3, 7, 2, 6, 5, 0},
+	"goleft-d2":       {6, 7, 7, 6, 7, 7, 6, 4, 7, 5, 3, 7, 4, 0, 6, 6},
+	"oneplusbeta-0.5": {5, 5, 5, 7, 7, 5, 7, 4, 6, 6, 6, 6, 1, 6, 7, 7},
+	"batched-d2-B4":   {7, 7, 5, 6, 6, 4, 5, 5, 6, 7, 7, 6, 7, 5, 6, 6},
+}
+
+func goldenWeights(caps []int64) []float64 {
+	w := make([]float64, len(caps))
+	for i, c := range caps {
+		w[i] = float64(c)
+	}
+	return w
+}
+
+func TestGoldenPlacementSequences(t *testing.T) {
+	for _, fc := range goldenFactories() {
+		want, ok := goldenSequences[fc.name]
+		if !ok {
+			t.Fatalf("%s: no golden sequence pinned", fc.name)
+		}
+		a := bins.MustNew(goldenCaps)
+		p, err := fc.f(a, goldenWeights(goldenCaps))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := xrand.New(goldenSeed)
+		for k, wantBin := range want {
+			if got := p.Place(a, r); got != wantBin {
+				t.Fatalf("%s: ball %d placed into bin %d, golden %d", fc.name, k, got, wantBin)
+			}
+		}
+	}
+}
+
+// TestPlaceBatchMatchesPlace: for every protocol, PlaceBatch(k) must
+// produce the identical final state to k sequential Place calls — the
+// determinism contract that lets the engine batch whenever it does not
+// need per-ball observations.
+func TestPlaceBatchMatchesPlace(t *testing.T) {
+	const balls = 500
+	for _, fc := range goldenFactories() {
+		w := goldenWeights(goldenCaps)
+
+		one := bins.MustNew(goldenCaps)
+		pOne, err := fc.f(one, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rOne := xrand.New(goldenSeed)
+		for i := 0; i < balls; i++ {
+			pOne.Place(one, rOne)
+		}
+
+		batch := bins.MustNew(goldenCaps)
+		pBatch, err := fc.f(batch, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rBatch := xrand.New(goldenSeed)
+		pBatch.PlaceBatch(batch, rBatch, balls)
+
+		for i := 0; i < one.N(); i++ {
+			if one.Balls(i) != batch.Balls(i) {
+				t.Fatalf("%s: bin %d has %d balls per-ball vs %d batched",
+					fc.name, i, one.Balls(i), batch.Balls(i))
+			}
+		}
+		if *rOne != *rBatch {
+			t.Fatalf("%s: RNG states diverge after %d balls", fc.name, balls)
+		}
+	}
+}

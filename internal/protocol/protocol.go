@@ -2,11 +2,20 @@
 // Algorithm 1 (greedy d-choice with capacity tie-breaking) plus the
 // baselines and extensions it is compared against.
 //
-// A Placer places one ball at a time into a bins.Array using a caller
-// supplied RNG. Placers are bound at construction to a fixed capacity
-// vector and selection-weight vector (they pre-build alias tables), but
-// they read ball counts live, so the same Placer can be reused across
+// A Placer places balls into a bins.Array using a caller-supplied RNG,
+// either one at a time (Place) or as a monomorphic batch loop
+// (PlaceBatch) that the hot paths use to avoid per-ball interface
+// dispatch. Placers are bound at construction to a fixed capacity vector
+// and selection-weight vector (they pre-build alias tables), but they
+// read ball counts live, so the same Placer can be reused across
 // repetitions by resetting the array.
+//
+// Every placer holds its sampler as a concrete *sampling.AliasTable —
+// not the sampling.Sampler interface — so the per-ball sampling call is
+// direct and inlinable. One sample costs a single 64-bit RNG draw (the
+// integer-threshold alias table). For a fixed seed the placement
+// sequence of Place and PlaceBatch is identical: PlaceBatch(a, r, k)
+// consumes exactly the draws of k Place(a, r) calls.
 //
 // All load comparisons are exact integer arithmetic via
 // bins.ComparePostLoads — no floating point is involved in any placement
@@ -21,11 +30,15 @@ import (
 	"repro/internal/xrand"
 )
 
-// Placer allocates balls one at a time.
+// Placer allocates balls.
 type Placer interface {
 	// Place chooses bins for one ball per the protocol, allocates the
 	// ball into a, and returns the receiving bin's index.
 	Place(a *bins.Array, r *xrand.Rand) int
+	// PlaceBatch allocates k balls with the draw sequence of k Place
+	// calls, but without per-ball interface dispatch: each protocol
+	// runs a concrete, monomorphic loop.
+	PlaceBatch(a *bins.Array, r *xrand.Rand, k int64)
 	// Name identifies the protocol in reports.
 	Name() string
 }
@@ -58,11 +71,8 @@ func validate(a *bins.Array, weights []float64, d int) error {
 // the set's maximum capacity, and finally picks uniformly among the
 // survivors.
 type Greedy struct {
-	d       int
-	sampler sampling.Sampler
-	// scratch buffers, reused across Place calls
-	cand []int
-	opt  []int
+	d     int
+	table *sampling.AliasTable
 }
 
 // NewGreedy builds Algorithm 1 with d choices over the given weights.
@@ -70,71 +80,154 @@ func NewGreedy(a *bins.Array, weights []float64, d int) (*Greedy, error) {
 	if err := validate(a, weights, d); err != nil {
 		return nil, err
 	}
-	s, err := sampling.NewAlias(weights)
+	t, err := sampling.NewAlias(weights)
 	if err != nil {
 		return nil, fmt.Errorf("protocol: greedy sampler: %w", err)
 	}
-	return &Greedy{
-		d:       d,
-		sampler: s,
-		cand:    make([]int, 0, d),
-		opt:     make([]int, 0, d),
-	}, nil
+	return &Greedy{d: d, table: t}, nil
 }
 
 // Name implements Placer.
 func (g *Greedy) Name() string { return fmt.Sprintf("greedy(d=%d)", g.d) }
 
-// Place implements Placer; it is the verbatim translation of Algorithm 1.
-func (g *Greedy) Place(a *bins.Array, r *xrand.Rand) int {
+// select2 resolves Algorithm 1's two-candidate decision from
+// precomputed cross products l1 = (m1+1)·c2 and l2 = (m2+1)·c1 (steps
+// 3-6: smaller post-load wins, capacity breaks post-load ties, the coin
+// breaks full ties). It is a cascade of conditional moves, not
+// branches: ties are common on class-structured arrays and their
+// outcome is a coin toss the branch predictor would keep losing. Shared
+// by the live-count (Greedy) and frozen-snapshot (Batched) kernels so
+// the tie-break rule lives in exactly one place.
+func select2(b1, b2 int, c1, c2, l1, l2 int64, coin bool) int {
+	tieWin := b1
+	if coin {
+		tieWin = b2
+	}
+	capWin := b1
+	if c2 > c1 {
+		capWin = b2
+	}
+	if c2 == c1 {
+		capWin = tieWin
+	}
+	win := b1
+	if l2 < l1 {
+		win = b2
+	}
+	if l2 == l1 {
+		win = capWin
+	}
+	return win
+}
+
+// choose2 is the branch-lean d = 2 specialization of Algorithm 1. Both
+// candidates come from one Sample2 draw and the tie-break coin is a
+// second unconditional draw, so every ball consumes exactly two RNG
+// advances regardless of outcome.
+func (g *Greedy) choose2(a *bins.Array, r *xrand.Rand) int {
+	b1, b2 := g.table.Sample2(r)
+	coin := r.Uint64()&1 == 1
+	if b1 == b2 {
+		return b1
+	}
+	c1, c2 := a.Capacity(b1), a.Capacity(b2)
+	l1 := (a.Balls(b1) + 1) * c2
+	l2 := (a.Balls(b2) + 1) * c1
+	return select2(b1, b2, c1, c2, l1, l2, coin)
+}
+
+// chooseGeneralFrom is the verbatim translation of Algorithm 1 for any
+// d, shared by the sequential (frozen == nil: live ball counts) and
+// batched (frozen: round-start snapshot) protocols so the candidate
+// dedup and tie-break logic lives in one place. Candidate and survivor
+// sets live in stack arrays (d <= maxChoices).
+func chooseGeneralFrom(t *sampling.AliasTable, d int, frozen []int64, a *bins.Array, r *xrand.Rand) int {
 	// Step 2: independently choose a set B of d bins. The d draws are
 	// independent; duplicates collapse because B is a set.
-	g.cand = g.cand[:0]
-	for i := 0; i < g.d; i++ {
-		b := g.sampler.Sample(r)
+	var cand [maxChoices]int
+	nc := 0
+	for i := 0; i < d; i++ {
+		b := t.Sample(r)
 		dup := false
-		for _, c := range g.cand {
+		for _, c := range cand[:nc] {
 			if c == b {
 				dup = true
 				break
 			}
 		}
 		if !dup {
-			g.cand = append(g.cand, b)
+			cand[nc] = b
+			nc++
 		}
 	}
 	// Step 3: Bopt = bins minimising the post-allocation load.
-	g.opt = append(g.opt[:0], g.cand[0])
-	for _, b := range g.cand[1:] {
-		switch a.ComparePostLoads(b, g.opt[0]) {
+	var opt [maxChoices]int
+	opt[0] = cand[0]
+	no := 1
+	for _, b := range cand[1:nc] {
+		var cmp int
+		if frozen == nil {
+			cmp = a.ComparePostLoads(b, opt[0])
+		} else {
+			cmp = compareFrozenPost(frozen, a, b, opt[0])
+		}
+		switch cmp {
 		case -1:
-			g.opt = append(g.opt[:0], b)
+			opt[0] = b
+			no = 1
 		case 0:
-			g.opt = append(g.opt, b)
+			opt[no] = b
+			no++
 		}
 	}
 	// Steps 4-5: keep only maximum-capacity members of Bopt.
-	maxCap := a.Capacity(g.opt[0])
-	for _, b := range g.opt[1:] {
+	maxCap := a.Capacity(opt[0])
+	for _, b := range opt[1:no] {
 		if c := a.Capacity(b); c > maxCap {
 			maxCap = c
 		}
 	}
 	k := 0
-	for _, b := range g.opt {
+	for _, b := range opt[:no] {
 		if a.Capacity(b) == maxCap {
-			g.opt[k] = b
+			opt[k] = b
 			k++
 		}
 	}
-	g.opt = g.opt[:k]
 	// Step 6: i.u.r. choice among the survivors.
-	chosen := g.opt[0]
-	if len(g.opt) > 1 {
-		chosen = g.opt[r.Intn(len(g.opt))]
+	if k > 1 {
+		return opt[r.Intn(k)]
+	}
+	return opt[0]
+}
+
+func (g *Greedy) chooseGeneral(a *bins.Array, r *xrand.Rand) int {
+	return chooseGeneralFrom(g.table, g.d, nil, a, r)
+}
+
+// Place implements Placer.
+func (g *Greedy) Place(a *bins.Array, r *xrand.Rand) int {
+	var chosen int
+	if g.d == 2 {
+		chosen = g.choose2(a, r)
+	} else {
+		chosen = g.chooseGeneral(a, r)
 	}
 	a.Add(chosen)
 	return chosen
+}
+
+// PlaceBatch implements Placer.
+func (g *Greedy) PlaceBatch(a *bins.Array, r *xrand.Rand, k int64) {
+	if g.d == 2 {
+		for ; k > 0; k-- {
+			a.Add(g.choose2(a, r))
+		}
+		return
+	}
+	for ; k > 0; k-- {
+		a.Add(g.chooseGeneral(a, r))
+	}
 }
 
 // Standard is the classical Azar et al. Greedy[d]: candidates are
@@ -143,9 +236,8 @@ func (g *Greedy) Place(a *bins.Array, r *xrand.Rand) int {
 // selection probabilities this is the standard d-choice game; it serves
 // as the capacity-oblivious baseline for heterogeneous arrays.
 type Standard struct {
-	d       int
-	sampler sampling.Sampler
-	opt     []int
+	d     int
+	table *sampling.AliasTable
 }
 
 // NewStandard builds the capacity-oblivious d-choice baseline.
@@ -153,52 +245,101 @@ func NewStandard(a *bins.Array, weights []float64, d int) (*Standard, error) {
 	if err := validate(a, weights, d); err != nil {
 		return nil, err
 	}
-	s, err := sampling.NewAlias(weights)
+	t, err := sampling.NewAlias(weights)
 	if err != nil {
 		return nil, fmt.Errorf("protocol: standard sampler: %w", err)
 	}
-	return &Standard{d: d, sampler: s, opt: make([]int, 0, d)}, nil
+	return &Standard{d: d, table: t}, nil
 }
 
 // Name implements Placer.
 func (s *Standard) Name() string { return fmt.Sprintf("standard(d=%d)", s.d) }
 
-// Place implements Placer.
-func (s *Standard) Place(a *bins.Array, r *xrand.Rand) int {
-	s.opt = s.opt[:0]
+// choose2 is the branch-lean d = 2 specialization: both candidates from
+// one Sample2 draw, an unconditional coin draw, then a select cascade on
+// the ball-count comparison (see Greedy.choose2 for the rationale).
+func (s *Standard) choose2(a *bins.Array, r *xrand.Rand) int {
+	b1, b2 := s.table.Sample2(r)
+	coin := r.Uint64()&1 == 1
+	if b1 == b2 {
+		return b1
+	}
+	m1, m2 := a.Balls(b1), a.Balls(b2)
+	tieWin := b1
+	if coin {
+		tieWin = b2
+	}
+	win := b1
+	if m2 < m1 {
+		win = b2
+	}
+	if m2 == m1 {
+		win = tieWin
+	}
+	return win
+}
+
+func (s *Standard) chooseGeneral(a *bins.Array, r *xrand.Rand) int {
+	var opt [maxChoices]int
+	no := 0
 	var best int64
 	for i := 0; i < s.d; i++ {
-		b := s.sampler.Sample(r)
+		b := s.table.Sample(r)
 		m := a.Balls(b)
 		switch {
 		case i == 0 || m < best:
 			best = m
-			s.opt = append(s.opt[:0], b)
+			opt[0] = b
+			no = 1
 		case m == best:
 			dup := false
-			for _, c := range s.opt {
+			for _, c := range opt[:no] {
 				if c == b {
 					dup = true
 					break
 				}
 			}
 			if !dup {
-				s.opt = append(s.opt, b)
+				opt[no] = b
+				no++
 			}
 		}
 	}
-	chosen := s.opt[0]
-	if len(s.opt) > 1 {
-		chosen = s.opt[r.Intn(len(s.opt))]
+	if no > 1 {
+		return opt[r.Intn(no)]
+	}
+	return opt[0]
+}
+
+// Place implements Placer.
+func (s *Standard) Place(a *bins.Array, r *xrand.Rand) int {
+	var chosen int
+	if s.d == 2 {
+		chosen = s.choose2(a, r)
+	} else {
+		chosen = s.chooseGeneral(a, r)
 	}
 	a.Add(chosen)
 	return chosen
 }
 
+// PlaceBatch implements Placer.
+func (s *Standard) PlaceBatch(a *bins.Array, r *xrand.Rand, k int64) {
+	if s.d == 2 {
+		for ; k > 0; k-- {
+			a.Add(s.choose2(a, r))
+		}
+		return
+	}
+	for ; k > 0; k-- {
+		a.Add(s.chooseGeneral(a, r))
+	}
+}
+
 // Single places each ball into one randomly selected bin (d = 1): the
 // no-choice baseline.
 type Single struct {
-	sampler sampling.Sampler
+	table *sampling.AliasTable
 }
 
 // NewSingle builds the single-choice baseline.
@@ -206,11 +347,11 @@ func NewSingle(a *bins.Array, weights []float64) (*Single, error) {
 	if err := validate(a, weights, 1); err != nil {
 		return nil, err
 	}
-	s, err := sampling.NewAlias(weights)
+	t, err := sampling.NewAlias(weights)
 	if err != nil {
 		return nil, fmt.Errorf("protocol: single sampler: %w", err)
 	}
-	return &Single{sampler: s}, nil
+	return &Single{table: t}, nil
 }
 
 // Name implements Placer.
@@ -218,9 +359,16 @@ func (s *Single) Name() string { return "single" }
 
 // Place implements Placer.
 func (s *Single) Place(a *bins.Array, r *xrand.Rand) int {
-	b := s.sampler.Sample(r)
+	b := s.table.Sample(r)
 	a.Add(b)
 	return b
+}
+
+// PlaceBatch implements Placer.
+func (s *Single) PlaceBatch(a *bins.Array, r *xrand.Rand, k int64) {
+	for ; k > 0; k-- {
+		a.Add(s.table.Sample(r))
+	}
 }
 
 // GoLeft is Vöcking's Always-Go-Left d-choice protocol adapted to
@@ -230,9 +378,9 @@ func (s *Single) Place(a *bins.Array, r *xrand.Rand) int {
 // exactly, and breaks ties towards the leftmost group instead of towards
 // higher capacity.
 type GoLeft struct {
-	d        int
-	offsets  []int // start index of each group
-	samplers []sampling.Sampler
+	d       int
+	offsets []int // start index of each group
+	tables  []*sampling.AliasTable
 }
 
 // NewGoLeft builds the always-go-left placer. Each of the d groups must
@@ -249,12 +397,12 @@ func NewGoLeft(a *bins.Array, weights []float64, d int) (*GoLeft, error) {
 	for k := 0; k < d; k++ {
 		lo := k * n / d
 		hi := (k + 1) * n / d
-		s, err := sampling.NewAlias(weights[lo:hi])
+		t, err := sampling.NewAlias(weights[lo:hi])
 		if err != nil {
 			return nil, fmt.Errorf("protocol: go-left group %d: %w", k, err)
 		}
 		g.offsets = append(g.offsets, lo)
-		g.samplers = append(g.samplers, s)
+		g.tables = append(g.tables, t)
 	}
 	return g, nil
 }
@@ -262,18 +410,30 @@ func NewGoLeft(a *bins.Array, weights []float64, d int) (*GoLeft, error) {
 // Name implements Placer.
 func (g *GoLeft) Name() string { return fmt.Sprintf("goleft(d=%d)", g.d) }
 
-// Place implements Placer.
-func (g *GoLeft) Place(a *bins.Array, r *xrand.Rand) int {
-	best := -1
-	for k := 0; k < g.d; k++ {
-		b := g.offsets[k] + g.samplers[k].Sample(r)
+func (g *GoLeft) choose(a *bins.Array, r *xrand.Rand) int {
+	best := g.offsets[0] + g.tables[0].Sample(r)
+	for k := 1; k < g.d; k++ {
+		b := g.offsets[k] + g.tables[k].Sample(r)
 		// strictly smaller post-load wins; ties keep the leftmost group.
-		if best == -1 || a.ComparePostLoads(b, best) < 0 {
+		if a.ComparePostLoads(b, best) < 0 {
 			best = b
 		}
 	}
+	return best
+}
+
+// Place implements Placer.
+func (g *GoLeft) Place(a *bins.Array, r *xrand.Rand) int {
+	best := g.choose(a, r)
 	a.Add(best)
 	return best
+}
+
+// PlaceBatch implements Placer.
+func (g *GoLeft) PlaceBatch(a *bins.Array, r *xrand.Rand, k int64) {
+	for ; k > 0; k-- {
+		a.Add(g.choose(a, r))
+	}
 }
 
 // OnePlusBeta is Mitzenmacher's (1+β)-choice process adapted to the
@@ -311,6 +471,15 @@ func (p *OnePlusBeta) Place(a *bins.Array, r *xrand.Rand) int {
 		return p.greedy.Place(a, r)
 	}
 	return p.single.Place(a, r)
+}
+
+// PlaceBatch implements Placer. Place is already a direct call on the
+// concrete receiver (p.greedy and p.single are concrete fields), so the
+// loop is monomorphic as-is.
+func (p *OnePlusBeta) PlaceBatch(a *bins.Array, r *xrand.Rand, k int64) {
+	for ; k > 0; k-- {
+		p.Place(a, r)
+	}
 }
 
 // GreedyFactory returns a Factory for Algorithm 1 with d choices.

@@ -242,7 +242,7 @@ func TestAliasSingleCategory(t *testing.T) {
 }
 
 // Property: alias tables built from arbitrary positive weights produce
-// only in-range indices, and the acceptance probabilities are in [0,1].
+// only in-range indices, and every alias target is in range.
 func TestQuickAliasValid(t *testing.T) {
 	f := func(seed uint64, raw []uint16) bool {
 		if len(raw) == 0 {
@@ -266,8 +266,11 @@ func TestQuickAliasValid(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		for _, p := range a.prob {
-			if p < 0 || p > 1+1e-9 {
+		if len(a.cols) != len(weights) {
+			return false
+		}
+		for _, c := range a.cols {
+			if c.alias < 0 || int(c.alias) >= len(weights) {
 				return false
 			}
 		}

@@ -14,6 +14,7 @@ package sim
 import (
 	"fmt"
 	"runtime"
+	"slices"
 	"sort"
 	"sync"
 
@@ -149,6 +150,11 @@ func (c *Config) validate() error {
 	if len(c.ClassLoadVectors) > 0 && c.ArrayFn != nil {
 		return fmt.Errorf("sim: ClassLoadVectors requires a fixed Array")
 	}
+	for _, cp := range c.Checkpoints {
+		if cp < 1 {
+			return fmt.Errorf("sim: checkpoint at %d balls, need >= 1", cp)
+		}
+	}
 	return nil
 }
 
@@ -216,8 +222,19 @@ func Run(cfg Config) (*Result, error) {
 	return reduce(&cfg, checkpoints, partials)
 }
 
+// workerScratch holds per-worker reusable buffers so the repetition loop
+// does not allocate: one buffer for sorting full load vectors, one for
+// per-class load vectors. Buffers are reused across all repetitions a
+// worker processes; partial aggregates stay per chunk so merging remains
+// deterministic.
+type workerScratch struct {
+	loads      []float64
+	classLoads []float64
+}
+
 // worker processes chunks of repetitions. Each worker keeps its own clone
-// of a fixed array (and a placer built once) so workers never share
+// of a fixed array, a placer (and its alias tables) built once and reused
+// across repetitions via Reset, and scratch buffers — workers never share
 // mutable state.
 func worker(cfg *Config, checkpoints []int64, chunkCh <-chan int, partials []chunkPartial) {
 	var fixedArr *bins.Array
@@ -232,6 +249,7 @@ func worker(cfg *Config, checkpoints []int64, chunkCh <-chan int, partials []chu
 		}
 		setupErr = err
 	}
+	var scratch workerScratch
 	for ci := range chunkCh {
 		p := &partials[ci]
 		if setupErr != nil {
@@ -244,7 +262,7 @@ func worker(cfg *Config, checkpoints []int64, chunkCh <-chan int, partials []chu
 			hi = cfg.Reps
 		}
 		for rep := lo; rep < hi; rep++ {
-			if err := runRep(cfg, checkpoints, uint64(rep), fixedArr, fixedPlacer, p); err != nil {
+			if err := runRep(cfg, checkpoints, uint64(rep), fixedArr, fixedPlacer, &scratch, p); err != nil {
 				p.err = err
 				break
 			}
@@ -253,7 +271,7 @@ func worker(cfg *Config, checkpoints []int64, chunkCh <-chan int, partials []chu
 }
 
 // runRep executes one repetition and folds its metrics into the partial.
-func runRep(cfg *Config, checkpoints []int64, rep uint64, fixedArr *bins.Array, fixedPlacer protocol.Placer, p *chunkPartial) error {
+func runRep(cfg *Config, checkpoints []int64, rep uint64, fixedArr *bins.Array, fixedPlacer protocol.Placer, scratch *workerScratch, p *chunkPartial) error {
 	r := xrand.NewStream(cfg.Seed, rep)
 
 	arr := fixedArr
@@ -301,23 +319,38 @@ func runRep(cfg *Config, checkpoints []int64, rep uint64, fixedArr *bins.Array, 
 		p.heights = h
 	}
 	nextCp := 0
-	for k := int64(1); k <= m; k++ {
-		idx := placer.Place(arr, r)
-		if p.heights != nil {
+	if p.heights != nil {
+		// Ball heights need the receiving bin of every single ball, so
+		// this path stays per-ball. The draw sequence is identical to the
+		// batch path below.
+		for k := int64(1); k <= m; k++ {
+			idx := placer.Place(arr, r)
 			p.heights.Add(arr.Load(idx))
+			for nextCp < len(checkpoints) && checkpoints[nextCp] == k {
+				max := arr.MaxLoad()
+				avg := arr.AverageLoad()
+				p.cp[nextCp].MaxLoad.Add(max)
+				p.cp[nextCp].Deviation.Add(max - avg)
+				nextCp++
+			}
 		}
-		for nextCp < len(checkpoints) && checkpoints[nextCp] == k {
+	} else {
+		// Batch kernel: one interface dispatch per checkpoint segment
+		// instead of one per ball.
+		placed := int64(0)
+		for nextCp < len(checkpoints) && checkpoints[nextCp] <= m {
+			cp := checkpoints[nextCp]
+			placer.PlaceBatch(arr, r, cp-placed)
+			placed = cp
 			max := arr.MaxLoad()
 			avg := arr.AverageLoad()
 			p.cp[nextCp].MaxLoad.Add(max)
 			p.cp[nextCp].Deviation.Add(max - avg)
 			nextCp++
 		}
+		placer.PlaceBatch(arr, r, m-placed)
 	}
-	// skip checkpoints beyond m (they stay with fewer observations)
-	for nextCp < len(checkpoints) && checkpoints[nextCp] <= m {
-		nextCp++
-	}
+	// checkpoints beyond m stay unrecorded (fewer observations)
 
 	max := arr.MaxLoad()
 	avg := arr.AverageLoad()
@@ -328,16 +361,18 @@ func runRep(cfg *Config, checkpoints []int64, rep uint64, fixedArr *bins.Array, 
 	p.deviation.Add(max - avg)
 
 	if cfg.CollectLoadVector {
-		lv := arr.LoadVector()
-		sort.Sort(sort.Reverse(sort.Float64Slice(lv)))
+		lv := arr.LoadVectorInto(scratch.loads)
+		scratch.loads = lv
+		slices.Sort(lv)
 		if p.loadSum == nil {
 			p.loadSum = make([]float64, len(lv))
 		}
 		if len(p.loadSum) != len(lv) {
 			return fmt.Errorf("sim: rep %d produced %d bins, earlier reps %d", rep, len(lv), len(p.loadSum))
 		}
-		for i, v := range lv {
-			p.loadSum[i] += v
+		// accumulate in non-increasing order
+		for i := range lv {
+			p.loadSum[i] += lv[len(lv)-1-i]
 		}
 		p.loadCount++
 	}
@@ -356,20 +391,22 @@ func runRep(cfg *Config, checkpoints []int64, rep uint64, fixedArr *bins.Array, 
 			p.classLoadSum = make(map[int64][]float64, len(cfg.ClassLoadVectors))
 		}
 		for _, class := range cfg.ClassLoadVectors {
-			var loads []float64
+			loads := scratch.classLoads[:0]
 			for i := 0; i < arr.N(); i++ {
 				if arr.Capacity(i) == class {
 					loads = append(loads, arr.Load(i))
 				}
 			}
-			sort.Sort(sort.Reverse(sort.Float64Slice(loads)))
+			scratch.classLoads = loads
+			slices.Sort(loads)
 			sum := p.classLoadSum[class]
 			if sum == nil {
 				sum = make([]float64, len(loads))
 				p.classLoadSum[class] = sum
 			}
-			for i, v := range loads {
-				sum[i] += v
+			// accumulate in non-increasing order
+			for i := range loads {
+				sum[i] += loads[len(loads)-1-i]
 			}
 		}
 	}
@@ -514,8 +551,6 @@ func RunOnce(cfg Config) (*bins.Array, error) {
 		return nil, err
 	}
 	m := cfg.ballCount(arr.TotalCapacity())
-	for k := int64(0); k < m; k++ {
-		placer.Place(arr, r)
-	}
+	placer.PlaceBatch(arr, r, m)
 	return arr, nil
 }

@@ -1,0 +1,43 @@
+#!/bin/sh
+# bench.sh — run the hot-path benchmark suite and emit BENCH_<N>.json so
+# the perf trajectory is tracked across PRs.
+#
+# Usage: scripts/bench.sh [N]
+#   N is the PR index used in the output filename (default 1).
+#
+# The JSON maps benchmark name -> {ns_per_op, bytes_per_op, allocs_per_op}.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+N="${1:-1}"
+OUT="BENCH_${N}.json"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' -bench 'BenchmarkPlace|BenchmarkSimulateSmall' \
+	-benchmem -benchtime 1s -count 1 . | tee "$RAW"
+
+awk '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)   # strip the GOMAXPROCS suffix
+	ns = ""; bytes = ""; allocs = ""
+	for (i = 2; i < NF; i++) {
+		if ($(i+1) == "ns/op") ns = $i
+		if ($(i+1) == "B/op") bytes = $i
+		if ($(i+1) == "allocs/op") allocs = $i
+	}
+	if (ns != "") {
+		results[++n] = sprintf("  \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
+			name, ns, bytes == "" ? "null" : bytes, allocs == "" ? "null" : allocs)
+	}
+}
+END {
+	print "{"
+	for (i = 1; i <= n; i++) printf "%s%s\n", results[i], (i < n ? "," : "")
+	print "}"
+}
+' "$RAW" > "$OUT"
+
+echo "wrote $OUT"
