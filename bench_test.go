@@ -148,6 +148,30 @@ func BenchmarkSimulateSmall(b *testing.B) {
 	}
 }
 
+// benchRunLarge measures ONE sharded million-bin repetition end to end
+// (routing + parallel per-shard placement). The 1-worker/4-worker pair
+// exposes the single-run scaling the sharded engine exists for; the
+// final states are bit-identical by contract regardless of workers.
+func benchRunLarge(b *testing.B, workers int) {
+	b.Helper()
+	caps := CapacitiesTwoClass(500000, 1, 500000, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SimulateLarge(LargeConfig{
+			Capacities: caps,
+			Balls:      1_000_000,
+			Seed:       1,
+			Shards:     64,
+			Workers:    workers,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunLargeSharded1W(b *testing.B) { benchRunLarge(b, 1) }
+func BenchmarkRunLargeSharded4W(b *testing.B) { benchRunLarge(b, 4) }
+
 func BenchmarkNewSystem(b *testing.B) {
 	caps := CapacitiesTwoClass(5000, 1, 5000, 10)
 	b.ResetTimer()

@@ -7,6 +7,8 @@
 //	bnbsim -spec 1000x1 -protocol standard -d 3 -reps 500
 //	bnbsim -spec 50x1+50x3 -dist power:2.1     # §4.5 tuned exponent
 //	bnbsim -spec 100x4 -factor 100 -reps 50    # heavily loaded m = 100·C
+//	bnbsim -spec 500000x1+500000x10 -large     # one sharded huge run
+//	bnbsim -spec 1000000x1 -large -shards 128 -workers 8
 package main
 
 import (
@@ -15,6 +17,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	balls "repro"
 )
@@ -38,6 +41,8 @@ func run(args []string) error {
 	distFlag := fs.String("dist", "proportional", "selection distribution: proportional | uniform | power:T | top:MINCAP")
 	protoFlag := fs.String("protocol", "greedy", "protocol: greedy | standard | single | goleft | beta:B")
 	showLoads := fs.Bool("loads", false, "print the mean sorted load vector")
+	large := fs.Bool("large", false, "run ONE sharded repetition instead of a Monte-Carlo aggregate (for huge n)")
+	shards := fs.Int("shards", 0, "shard count for -large (0 = engine default; part of the model)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -53,6 +58,23 @@ func run(args []string) error {
 	protocol, err := parseProtocol(*protoFlag, *d)
 	if err != nil {
 		return err
+	}
+
+	// Flags that belong to only one of the two modes fail loudly when
+	// combined with the other, instead of being silently dropped.
+	explicit := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if *large {
+		if *showLoads {
+			return fmt.Errorf("-loads is not supported with -large (one run has no mean load vector; inspect the result through the library API instead)")
+		}
+		if explicit["reps"] {
+			return fmt.Errorf("-reps is not supported with -large (it runs exactly one sharded repetition; drop -large for Monte-Carlo aggregates)")
+		}
+		return runLarge(caps, *ballsN, *factor, *seed, *shards, *workers, distribution, protocol)
+	}
+	if explicit["shards"] {
+		return fmt.Errorf("-shards requires -large (the classic engine shards repetitions, not the bin array)")
 	}
 
 	res, err := balls.Simulate(balls.SimConfig{
@@ -86,6 +108,45 @@ func run(args []string) error {
 			fmt.Printf("%d\t%.4f\n", i, v)
 		}
 	}
+	return nil
+}
+
+// runLarge executes the sharded single-run mode and prints its summary.
+func runLarge(caps []int64, m int64, factor float64, seed uint64, shards, workers int, d balls.Distribution, p balls.Protocol) error {
+	start := time.Now()
+	res, err := balls.SimulateLarge(balls.LargeConfig{
+		Capacities:   caps,
+		Balls:        m,
+		BallsFactor:  factor,
+		Seed:         seed,
+		Shards:       shards,
+		Workers:      workers,
+		Distribution: d,
+		Protocol:     p,
+	})
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	var minB, maxB int64 = res.Balls, 0
+	for _, b := range res.ShardBalls {
+		if b < minB {
+			minB = b
+		}
+		if b > maxB {
+			maxB = b
+		}
+	}
+	fmt.Printf("mode:            sharded single run\n")
+	fmt.Printf("bins:            %d (C = %d)\n", res.N, sum(caps))
+	fmt.Printf("balls:           %d\n", res.Balls)
+	fmt.Printf("protocol:        %s\n", p.Name())
+	fmt.Printf("distribution:    %s\n", d.Name())
+	fmt.Printf("shards:          %d (balls/shard %d..%d)\n", res.Shards, minB, maxB)
+	fmt.Printf("average load:    %.4f\n", res.AverageLoad)
+	fmt.Printf("max load:        %.4f\n", res.MaxLoad)
+	fmt.Printf("max − avg:       %.4f\n", res.Deviation)
+	fmt.Printf("wall time:       %s\n", elapsed.Round(time.Millisecond))
 	return nil
 }
 

@@ -80,6 +80,30 @@ func TestRunEndToEnd(t *testing.T) {
 	}
 }
 
+func TestRunLargeEndToEnd(t *testing.T) {
+	if err := run([]string{"-spec", "100x1+100x10", "-large", "-shards", "8"}); err != nil {
+		t.Fatalf("run -large: %v", err)
+	}
+	if err := run([]string{"-spec", "100x1", "-large", "-shards", "4", "-workers", "3", "-m", "500"}); err != nil {
+		t.Fatalf("run -large with workers: %v", err)
+	}
+	if err := run([]string{"-spec", "4x1", "-large", "-shards", "9"}); err == nil {
+		t.Error("shards > n accepted")
+	}
+	if err := run([]string{"-spec", "100x1", "-large", "-shards", "4", "-factor", "3"}); err != nil {
+		t.Fatalf("run -large with factor: %v", err)
+	}
+	if err := run([]string{"-spec", "100x1", "-large", "-loads"}); err == nil {
+		t.Error("-loads with -large accepted")
+	}
+	if err := run([]string{"-spec", "100x1", "-large", "-reps", "50"}); err == nil {
+		t.Error("-reps with -large accepted")
+	}
+	if err := run([]string{"-spec", "100x1", "-shards", "4"}); err == nil {
+		t.Error("-shards without -large accepted")
+	}
+}
+
 func TestSum(t *testing.T) {
 	if got := sum([]int64{1, 2, 3}); got != 6 {
 		t.Fatalf("sum = %d", got)

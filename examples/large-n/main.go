@@ -1,0 +1,67 @@
+// Command large-n demonstrates the sharded single-run engine: one
+// million-bin game placed across worker counts, showing that the wall
+// clock scales with cores while the final state stays bit-identical —
+// the determinism contract of balls.SimulateLarge (only capacities,
+// balls, seed, shards, distribution and protocol determine the result;
+// workers never do).
+//
+//	go run ./examples/large-n [-n 1000000] [-shards 64]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"time"
+
+	balls "repro"
+)
+
+func main() {
+	n := flag.Int("n", 1_000_000, "number of bins (half capacity 1, half capacity 10)")
+	shards := flag.Int("shards", 64, "shard count (part of the model)")
+	flag.Parse()
+
+	caps := balls.CapacitiesTwoClass(*n/2, 1, *n-*n/2, 10)
+	fmt.Printf("one game: n = %d bins, m = C balls, greedy d=2, %d shards\n\n", *n, *shards)
+
+	workerCounts := []int{1, 2, 4}
+	if c := runtime.GOMAXPROCS(0); c > 4 {
+		workerCounts = append(workerCounts, c)
+	}
+
+	var first *balls.LargeResult
+	var baseline time.Duration
+	for _, w := range workerCounts {
+		start := time.Now()
+		res, err := balls.SimulateLarge(balls.LargeConfig{
+			Capacities: caps,
+			Seed:       1,
+			Shards:     *shards,
+			Workers:    w,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		elapsed := time.Since(start)
+		if first == nil {
+			first = res
+			baseline = elapsed
+		}
+		fmt.Printf("workers=%d: max load %.4f (avg %.4f)  wall %8s  speedup %.2fx\n",
+			w, res.MaxLoad, res.AverageLoad, elapsed.Round(time.Millisecond),
+			float64(baseline)/float64(elapsed))
+		for i := 0; i < res.Loads.N(); i++ {
+			if res.Loads.Balls(i) != first.Loads.Balls(i) {
+				fmt.Fprintf(os.Stderr, "DETERMINISM VIOLATION: bin %d differs at workers=%d\n", i, w)
+				os.Exit(1)
+			}
+		}
+	}
+	fmt.Printf("\nfinal state bit-identical across all worker counts ✓\n")
+	fmt.Printf("(on a single-core machine the speedup column stays ~1x — the\n")
+	fmt.Printf("contract that matters everywhere is identical bits; the scaling\n")
+	fmt.Printf("shows up wherever GOMAXPROCS cores exist)\n")
+}

@@ -89,6 +89,15 @@ func (a *Array) Balls(i int) int64 { return a.bins[i].balls }
 // TotalBalls returns the number of balls allocated so far.
 func (a *Array) TotalBalls() int64 { return a.m }
 
+// PostLoad returns (m_i + 1, c_i) — the numerator and denominator of
+// the load bin i would have after receiving one more ball — in a single
+// probe, so the allocation kernels pay one bounds check per candidate
+// instead of two.
+func (a *Array) PostLoad(i int) (int64, int64) {
+	b := &a.bins[i]
+	return b.balls + 1, b.cap
+}
+
 // Add places one ball into bin i.
 func (a *Array) Add(i int) {
 	a.bins[i].balls++
@@ -189,6 +198,37 @@ func (a *Array) LoadVectorInto(dst []float64) []float64 {
 		dst[i] = a.Load(i)
 	}
 	return dst
+}
+
+// Shard returns a view of bins [lo, hi): it shares the parent's
+// underlying bin storage — mutations through the view are visible to
+// the parent — while carrying its own capacity and ball totals computed
+// over the range. Disjoint shard views may be mutated concurrently
+// (none of the parent's methods may run while they are), which is the
+// substrate of the sharded single-run engine: each worker owns one
+// contiguous slice of one huge array. The parent's cached ball total
+// does not see balls added through views; call Recount on the parent
+// after the views quiesce.
+func (a *Array) Shard(lo, hi int) (*Array, error) {
+	if lo < 0 || hi > len(a.bins) || lo >= hi {
+		return nil, fmt.Errorf("bins: shard [%d,%d) of %d bins", lo, hi, len(a.bins))
+	}
+	s := &Array{bins: a.bins[lo:hi:hi]}
+	for i := range s.bins {
+		s.c += s.bins[i].cap
+		s.m += s.bins[i].balls
+	}
+	return s, nil
+}
+
+// Recount rebuilds the cached ball total from the per-bin counts after
+// out-of-band mutation through shard views.
+func (a *Array) Recount() {
+	var m int64
+	for i := range a.bins {
+		m += a.bins[i].balls
+	}
+	a.m = m
 }
 
 // Reset removes all balls.

@@ -480,3 +480,60 @@ func TestQuickBallConservation(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestShardViews(t *testing.T) {
+	a := MustNew([]int64{1, 2, 3, 4, 5, 6})
+	if _, err := a.Shard(-1, 3); err == nil {
+		t.Error("negative lo accepted")
+	}
+	if _, err := a.Shard(2, 7); err == nil {
+		t.Error("hi > n accepted")
+	}
+	if _, err := a.Shard(3, 3); err == nil {
+		t.Error("empty shard accepted")
+	}
+	s1, err := a.Shard(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := a.Shard(3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.N() != 3 || s2.N() != 3 {
+		t.Fatalf("shard sizes %d, %d", s1.N(), s2.N())
+	}
+	if s1.TotalCapacity() != 6 || s2.TotalCapacity() != 15 {
+		t.Fatalf("shard capacities %d, %d", s1.TotalCapacity(), s2.TotalCapacity())
+	}
+	// mutations through views are visible to the parent
+	s1.Add(0)
+	s2.Add(2) // parent bin 5
+	if a.Balls(0) != 1 || a.Balls(5) != 1 {
+		t.Fatal("view mutation not visible in parent")
+	}
+	if s1.TotalBalls() != 1 || s2.TotalBalls() != 1 {
+		t.Fatal("view ball totals wrong")
+	}
+	// parent total is stale until Recount
+	if a.TotalBalls() != 0 {
+		t.Fatal("parent total unexpectedly live")
+	}
+	a.Recount()
+	if a.TotalBalls() != 2 {
+		t.Fatalf("Recount gave %d, want 2", a.TotalBalls())
+	}
+	// a view built over preexisting balls picks them up
+	s3, err := a.Shard(0, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3.TotalBalls() != 2 {
+		t.Fatalf("full view sees %d balls, want 2", s3.TotalBalls())
+	}
+	// a view must not be able to grow into the parent's tail via append
+	// semantics: loads and comparisons stay in range
+	if got := s1.MaxLoad(); got != 1 {
+		t.Fatalf("shard max load %v", got)
+	}
+}

@@ -23,26 +23,35 @@ func TestBatchedValidation(t *testing.T) {
 }
 
 // TestBatchSizeOneEqualsGreedy: with B = 1 the batched protocol is the
-// sequential Algorithm 1 — identical stream, identical placements.
+// sequential Algorithm 1 — identical stream, identical placements. For
+// d = 3 and d = 4 this is also the equivalence proof between the
+// devirtualized Greedy kernels (choose3/choose4) and the general
+// chooseGeneralFrom path the batched protocol runs: both must consume
+// the same draws and make the same decisions, ball for ball.
 func TestBatchSizeOneEqualsGreedy(t *testing.T) {
-	caps := []int64{1, 1, 2, 2, 4, 4}
-	w, _ := dist.Proportional{}.Weights(bins.MustNew(caps))
-	aB := bins.MustNew(caps)
-	aG := bins.MustNew(caps)
-	pb, err := NewBatched(aB, w, 2, 1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	pg, err := NewGreedy(aG, w, 2)
-	if err != nil {
-		t.Fatal(err)
-	}
-	rb, rg := xrand.New(5), xrand.New(5)
-	for i := 0; i < 200; i++ {
-		ib := pb.Place(aB, rb)
-		ig := pg.Place(aG, rg)
-		if ib != ig {
-			t.Fatalf("ball %d: batched chose %d, greedy chose %d", i, ib, ig)
+	for _, d := range []int{2, 3, 4} {
+		caps := []int64{1, 1, 2, 2, 4, 4}
+		w, _ := dist.Proportional{}.Weights(bins.MustNew(caps))
+		aB := bins.MustNew(caps)
+		aG := bins.MustNew(caps)
+		pb, err := NewBatched(aB, w, d, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pg, err := NewGreedy(aG, w, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, rg := xrand.New(5), xrand.New(5)
+		for i := 0; i < 200; i++ {
+			ib := pb.Place(aB, rb)
+			ig := pg.Place(aG, rg)
+			if ib != ig {
+				t.Fatalf("d=%d ball %d: batched chose %d, greedy chose %d", d, i, ib, ig)
+			}
+		}
+		if *rb != *rg {
+			t.Fatalf("d=%d: RNG states diverge after 200 balls", d)
 		}
 	}
 }

@@ -2,11 +2,14 @@ package protocol
 
 // Golden-sequence regression tests: the exact placement sequence of
 // every protocol is pinned for a fixed seed. The canonical draw sequence
-// was redefined once, when the hot path moved to the integer-threshold
-// alias sampler (Sample2 + unconditional tie coin in the d = 2 kernels);
-// it is frozen from that point on. A diff here means the allocation
-// stream changed — which silently invalidates every pinned experiment
-// result — so it must be deliberate and called out loudly.
+// was redefined once for d = 2, when the hot path moved to the
+// integer-threshold alias sampler (Sample2 + unconditional tie coin in
+// the d = 2 kernels), and once for d >= 3, when the general path moved
+// to SampleN draw packing (two candidates per 64-bit draw; ceil(d/2)
+// draws per ball). Both sequences are frozen from those points on. A
+// diff here means the allocation stream changed — which silently
+// invalidates every pinned experiment result — so it must be deliberate
+// and called out loudly.
 
 import (
 	"testing"
@@ -29,24 +32,35 @@ func goldenFactories() []struct {
 		name string
 		f    Factory
 	}{
+		{"greedy-d1", GreedyFactory(1)},
 		{"greedy-d2", GreedyFactory(2)},
 		{"greedy-d3", GreedyFactory(3)},
+		{"greedy-d4", GreedyFactory(4)},
 		{"standard-d2", StandardFactory(2)},
 		{"single", SingleFactory()},
 		{"goleft-d2", GoLeftFactory(2)},
 		{"oneplusbeta-0.5", OnePlusBetaFactory(0.5)},
 		{"batched-d2-B4", BatchedFactory(2, 4)},
+		{"batched-d3-B4", BatchedFactory(3, 4)},
 	}
 }
 
 var goldenSequences = map[string][]int{
-	"greedy-d2":       {7, 6, 5, 6, 6, 4, 5, 5, 6, 7, 7, 6, 7, 5, 6, 6},
-	"greedy-d3":       {7, 7, 6, 7, 5, 7, 7, 6, 6, 5, 6, 3, 7, 4, 4, 7},
+	// greedy-d1 degenerates to single choice: one draw per ball, no
+	// tie draw — it must stay identical to the "single" sequence.
+	"greedy-d1": {5, 5, 7, 7, 5, 7, 6, 5, 6, 7, 3, 7, 2, 6, 5, 0},
+	"greedy-d2": {7, 6, 5, 6, 6, 4, 5, 5, 6, 7, 7, 6, 7, 5, 6, 6},
+	// greedy-d3/d4 and batched-d3 re-pinned once when the d >= 3 path
+	// moved to SampleN draw packing (two candidates per 64-bit draw)
+	// plus an unconditional tie draw (ceil(d/2) + 1 advances per ball).
+	"greedy-d3":       {7, 7, 6, 7, 5, 6, 7, 4, 6, 5, 6, 3, 7, 7, 7, 7},
+	"greedy-d4":       {7, 7, 6, 7, 5, 6, 4, 6, 7, 5, 6, 3, 7, 7, 5, 7},
 	"standard-d2":     {7, 6, 5, 6, 6, 4, 2, 0, 5, 0, 4, 4, 7, 2, 5, 0},
 	"single":          {5, 5, 7, 7, 5, 7, 6, 5, 6, 7, 3, 7, 2, 6, 5, 0},
 	"goleft-d2":       {6, 7, 7, 6, 7, 7, 6, 4, 7, 5, 3, 7, 4, 0, 6, 6},
 	"oneplusbeta-0.5": {5, 5, 5, 7, 7, 5, 7, 4, 6, 6, 6, 6, 1, 6, 7, 7},
 	"batched-d2-B4":   {7, 7, 5, 6, 6, 4, 5, 5, 6, 7, 7, 6, 7, 5, 6, 6},
+	"batched-d3-B4":   {7, 7, 6, 7, 5, 5, 7, 6, 6, 5, 6, 3, 7, 7, 7, 7},
 }
 
 func goldenWeights(caps []int64) []float64 {

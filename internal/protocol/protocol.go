@@ -24,6 +24,7 @@ package protocol
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/bins"
 	"repro/internal/sampling"
@@ -140,14 +141,24 @@ func (g *Greedy) choose2(a *bins.Array, r *xrand.Rand) int {
 // d, shared by the sequential (frozen == nil: live ball counts) and
 // batched (frozen: round-start snapshot) protocols so the candidate
 // dedup and tie-break logic lives in one place. Candidate and survivor
-// sets live in stack arrays (d <= maxChoices).
+// sets live in stack arrays (d <= maxChoices). All d candidates come
+// from one SampleN call — ceil(d/2) RNG draws, two candidates packed
+// per draw — so the devirtualized d = 3 and d = 4 kernels below consume
+// exactly the same stream as this general path.
 func chooseGeneralFrom(t *sampling.AliasTable, d int, frozen []int64, a *bins.Array, r *xrand.Rand) int {
+	// d = 1 degenerates to single choice: one draw, no tie set and no
+	// tie draw — the same stream as the Single protocol and as every
+	// pre-SampleN pinned d = 1 run.
+	if d == 1 {
+		return t.Sample(r)
+	}
 	// Step 2: independently choose a set B of d bins. The d draws are
 	// independent; duplicates collapse because B is a set.
+	var raw [maxChoices]int
+	t.SampleN(r, raw[:d])
 	var cand [maxChoices]int
 	nc := 0
-	for i := 0; i < d; i++ {
-		b := t.Sample(r)
+	for _, b := range raw[:d] {
 		dup := false
 		for _, c := range cand[:nc] {
 			if c == b {
@@ -194,39 +205,323 @@ func chooseGeneralFrom(t *sampling.AliasTable, d int, frozen []int64, a *bins.Ar
 			k++
 		}
 	}
-	// Step 6: i.u.r. choice among the survivors.
-	if k > 1 {
-		return opt[r.Intn(k)]
-	}
-	return opt[0]
+	// Step 6: i.u.r. choice among the survivors (the tie draw is
+	// unconditional; see tieIdx).
+	return opt[tieIdx(r, k)]
 }
 
 func (g *Greedy) chooseGeneral(a *bins.Array, r *xrand.Rand) int {
 	return chooseGeneralFrom(g.table, g.d, nil, a, r)
 }
 
+// greedyPick resolves Algorithm 1's steps 3-6 for up to four
+// deduplicated candidates against live ball counts. It is
+// decision-equivalent to the tail of chooseGeneralFrom — same tie sets,
+// same unconditional tieIdx consumption — but shaped for the pipeline:
+// all candidate bin states load up front into fixed four-slot vectors,
+// the minimum post-load resolves through a compare cascade of
+// conditional moves, and set membership is recomputed from the final
+// minimum (all candidates tying the running minimum equal the overall
+// minimum, so incremental set maintenance and final recomputation give
+// the same Bopt). Tie outcomes are coin tosses the branch predictor
+// would keep losing; keeping them out of the control flow is the same
+// trick the d = 2 kernel plays.
+func greedyPick(a *bins.Array, r *xrand.Rand, cand *[4]int, nc int) int {
+	var ms, cs [4]int64
+	for i := 0; i < nc; i++ {
+		ms[i], cs[i] = a.PostLoad(cand[i])
+	}
+	// Step 3a: minimum post-allocation load, exact cross-multiplied
+	// compare against the running best. Single-assignment conditionals
+	// compile to conditional moves.
+	bm, bc := ms[0], cs[0]
+	for i := 1; i < nc; i++ {
+		m, c := ms[i], cs[i]
+		lt := m*bc < bm*c
+		if lt {
+			bm = m
+		}
+		if lt {
+			bc = c
+		}
+	}
+	// Steps 3b-5: Bopt membership (exact tie with the minimum, so
+	// ms[i]*bc == bm*cs[i]) and the maximum capacity over Bopt,
+	// without data-dependent branches: a non-member's capacity is
+	// zeroed out of the running maximum.
+	var maxCap int64
+	for i := 0; i < nc; i++ {
+		c := cs[i]
+		if ms[i]*bc != bm*cs[i] {
+			c = 0
+		}
+		if c > maxCap {
+			maxCap = c
+		}
+	}
+	// Survivors: members of Bopt at maximum capacity, compacted in
+	// candidate order (the order chooseGeneralFrom's incremental sets
+	// preserve). z == 0 iff both the tie difference and the capacity
+	// gap are zero; the write is unconditional, the count conditional.
+	var surv [4]int
+	k := 0
+	for i := 0; i < nc; i++ {
+		z := (ms[i]*bc - bm*cs[i]) | (maxCap - cs[i])
+		surv[k] = cand[i]
+		if z == 0 {
+			k++
+		}
+	}
+	// Step 6: i.u.r. choice among the survivors (the tie draw is
+	// unconditional; see tieIdx).
+	return surv[tieIdx(r, k)]
+}
+
+// nonzero64 returns 1 if v != 0 and 0 otherwise, without a branch.
+func nonzero64(v int64) int {
+	return int((uint64(v|-v) >> 63) & 1)
+}
+
+// tieIdx resolves Algorithm 1's step-6 uniform choice among k tied
+// survivors from exactly one 64-bit draw: the high word of the draw×k
+// product. For k <= maxChoices the Lemire bias a rejection loop would
+// remove is below 2^-58 — far beneath anything a Monte-Carlo experiment
+// can resolve. The draw is consumed UNCONDITIONALLY, even when k = 1
+// (the product's high word is then 0, selecting the single survivor):
+// at steady state on class-structured arrays more than half of all
+// balls see a tie, so a draw-only-on-tie branch is a coin toss the
+// branch predictor keeps losing — the same rationale as the d = 2
+// kernel's unconditional tie coin. Every ball of a d >= 3 protocol
+// therefore consumes exactly ceil(d/2) + 1 RNG advances regardless of
+// outcome. Every Algorithm-1 tie break (the specialised kernels, the
+// general path, and the duplicate-candidate fallback) routes through
+// this one function so the draw stream stays identical across paths.
+func tieIdx(r *xrand.Rand, k int) int {
+	hi, _ := bits.Mul64(r.Uint64(), uint64(k))
+	return int(hi)
+}
+
+// choose3 is the devirtualized d = 3 kernel: all three candidates come
+// from two RNG draws (the SampleN packing — one Sample2 draw plus one
+// Sample draw, flattened into Sample3). The common all-distinct case
+// runs fully unrolled in registers; a duplicate (probability ~n⁻¹ per
+// pair) collapses the set and delegates to greedyPick. Decision- and
+// stream-equivalent to chooseGeneralFrom with d = 3.
+func (g *Greedy) choose3(a *bins.Array, r *xrand.Rand) int {
+	b0, b1, b2 := g.table.Sample3(r)
+	if b1 == b0 || b2 == b0 || b2 == b1 {
+		var cand [4]int
+		cand[0] = b0
+		nc := 1
+		if b1 != b0 {
+			cand[nc] = b1
+			nc++
+		}
+		if b2 != b0 && b2 != b1 {
+			cand[nc] = b2
+			nc++
+		}
+		return greedyPick(a, r, &cand, nc)
+	}
+	m0, c0 := a.PostLoad(b0)
+	m1, c1 := a.PostLoad(b1)
+	m2, c2 := a.PostLoad(b2)
+	// Steps 3-5 as one lexicographic minimisation (smallest post-load,
+	// then largest capacity) via a conditional-move compare cascade;
+	// see choose4 for the argument. The winner's denominator ac is the
+	// maximum capacity over Bopt.
+	am, ac := m0, c0
+	p := m1 * ac
+	q := am * c1
+	sel := p - q
+	if sel == 0 {
+		sel = ac - c1
+	}
+	lt := sel < 0
+	if lt {
+		am = m1
+	}
+	if lt {
+		ac = c1
+	}
+	p = m2 * ac
+	q = am * c2
+	sel = p - q
+	if sel == 0 {
+		sel = ac - c2
+	}
+	lt2 := sel < 0
+	if lt2 {
+		am = m2
+	}
+	if lt2 {
+		ac = c2
+	}
+	// Survivor counts and select, exactly as in choose4 (the tie test
+	// cancels to pair equality because survivors carry capacity ac).
+	s0 := 1 - nonzero64((m0-am)|(c0-ac))
+	s1 := 1 - nonzero64((m1-am)|(c1-ac))
+	s2 := 1 - nonzero64((m2-am)|(c2-ac))
+	k := s0 + s1 + s2
+	j := tieIdx(r, k)
+	t0 := s0
+	t1 := t0 + s1
+	win := b2
+	if j < t1 {
+		win = b1
+	}
+	if j < t0 {
+		win = b0
+	}
+	return win
+}
+
+// choose4 is the devirtualized d = 4 kernel: four candidates from two
+// packed draws (Sample4), the all-distinct case fully unrolled, the
+// rare duplicate case collapsed and delegated to greedyPick. Decision-
+// and stream-equivalent to chooseGeneralFrom with d = 4.
+func (g *Greedy) choose4(a *bins.Array, r *xrand.Rand) int {
+	b0, b1, b2, b3 := g.table.Sample4(r)
+	if b1 == b0 || b2 == b0 || b2 == b1 || b3 == b0 || b3 == b1 || b3 == b2 {
+		var cand [4]int
+		cand[0] = b0
+		nc := 1
+		if b1 != b0 {
+			cand[nc] = b1
+			nc++
+		}
+		if b2 != b0 && b2 != b1 {
+			cand[nc] = b2
+			nc++
+		}
+		if b3 != b0 && b3 != b1 && b3 != b2 {
+			cand[nc] = b3
+			nc++
+		}
+		return greedyPick(a, r, &cand, nc)
+	}
+	m0, c0 := a.PostLoad(b0)
+	m1, c1 := a.PostLoad(b1)
+	m2, c2 := a.PostLoad(b2)
+	m3, c3 := a.PostLoad(b3)
+	// Steps 3-5 are one lexicographic minimisation — smallest post-load
+	// first, then largest capacity — run as a two-level conditional-move
+	// tournament (the two first-round compares carry no dependency on
+	// each other). Each round compares the pair exactly: sel is the
+	// cross-multiplied post-load difference, replaced by the capacity
+	// difference on an exact post-load tie (one extra conditional move,
+	// no branch). The winner's denominator ac is then by construction
+	// the maximum capacity over Bopt, so no separate capacity-filter
+	// pass is needed.
+	am, ac := m0, c0
+	p := m1 * ac
+	q := am * c1
+	sel := p - q
+	if sel == 0 {
+		sel = ac - c1
+	}
+	lt := sel < 0
+	if lt {
+		am = m1
+	}
+	if lt {
+		ac = c1
+	}
+	xm, xc := m2, c2
+	p = m3 * xc
+	q = xm * c3
+	sel = p - q
+	if sel == 0 {
+		sel = xc - c3
+	}
+	lt2 := sel < 0
+	if lt2 {
+		xm = m3
+	}
+	if lt2 {
+		xc = c3
+	}
+	p = xm * ac
+	q = am * xc
+	sel = p - q
+	if sel == 0 {
+		sel = ac - xc
+	}
+	lt3 := sel < 0
+	if lt3 {
+		am = xm
+	}
+	if lt3 {
+		ac = xc
+	}
+	// Survivors (s_i == 1): candidates tying the winning post-load
+	// exactly AND carrying the winning (maximum-over-Bopt) capacity.
+	// Since a survivor's capacity equals ac, the cross-multiplied tie
+	// test m_i·ac == am·c_i cancels to plain pair equality
+	// (m_i, c_i) == (am, ac) — no multiplies. The j-th survivor in
+	// candidate order resolves through the running survivor counts t_i
+	// without materialising a list: the winner is the first candidate
+	// whose cumulative survivor count exceeds j.
+	s0 := 1 - nonzero64((m0-am)|(c0-ac))
+	s1 := 1 - nonzero64((m1-am)|(c1-ac))
+	s2 := 1 - nonzero64((m2-am)|(c2-ac))
+	s3 := 1 - nonzero64((m3-am)|(c3-ac))
+	k := s0 + s1 + s2 + s3
+	j := tieIdx(r, k)
+	t0 := s0
+	t1 := t0 + s1
+	t2 := t1 + s2
+	win := b3
+	if j < t2 {
+		win = b2
+	}
+	if j < t1 {
+		win = b1
+	}
+	if j < t0 {
+		win = b0
+	}
+	return win
+}
+
 // Place implements Placer.
 func (g *Greedy) Place(a *bins.Array, r *xrand.Rand) int {
 	var chosen int
-	if g.d == 2 {
+	switch g.d {
+	case 2:
 		chosen = g.choose2(a, r)
-	} else {
+	case 3:
+		chosen = g.choose3(a, r)
+	case 4:
+		chosen = g.choose4(a, r)
+	default:
 		chosen = g.chooseGeneral(a, r)
 	}
 	a.Add(chosen)
 	return chosen
 }
 
-// PlaceBatch implements Placer.
+// PlaceBatch implements Placer. Each supported d runs its own
+// monomorphic loop so the per-ball kernel call is direct and the d
+// dispatch happens once per batch, not once per ball.
 func (g *Greedy) PlaceBatch(a *bins.Array, r *xrand.Rand, k int64) {
-	if g.d == 2 {
+	switch g.d {
+	case 2:
 		for ; k > 0; k-- {
 			a.Add(g.choose2(a, r))
 		}
-		return
-	}
-	for ; k > 0; k-- {
-		a.Add(g.chooseGeneral(a, r))
+	case 3:
+		for ; k > 0; k-- {
+			a.Add(g.choose3(a, r))
+		}
+	case 4:
+		for ; k > 0; k-- {
+			a.Add(g.choose4(a, r))
+		}
+	default:
+		for ; k > 0; k-- {
+			a.Add(g.chooseGeneral(a, r))
+		}
 	}
 }
 

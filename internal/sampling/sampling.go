@@ -87,6 +87,11 @@ type aliasCol struct {
 }
 
 // thresholdOf converts an acceptance probability to its uint32 threshold.
+// The scaled product is clamped below 2^32 before the float64→uint32
+// conversion: for p within one ulp of 1 the product sits right at the
+// top of the uint32 range, and a conversion of a value >= 2^32 is
+// undefined in Go (amd64 yields 0) — which would turn a near-certain
+// acceptance into a certain alias redirect.
 func thresholdOf(p float64) uint32 {
 	if p >= 1 {
 		return ^uint32(0)
@@ -94,7 +99,11 @@ func thresholdOf(p float64) uint32 {
 	if p <= 0 {
 		return 0
 	}
-	return uint32(p * 0x1p32)
+	f := p * 0x1p32
+	if f >= 0x1p32 {
+		return ^uint32(0)
+	}
+	return uint32(f)
 }
 
 // NewAlias builds an alias table from the given non-negative weights.
@@ -142,12 +151,11 @@ func NewAlias(weights []float64) (*AliasTable, error) {
 	return t, nil
 }
 
-// Sample returns an index distributed according to the build weights.
-// It consumes exactly one 64-bit draw: the top 32 bits run the Lemire
-// reduction, whose product's high half selects the column and low half
-// tests the threshold (the draw's own low 32 bits are unused).
-func (t *AliasTable) Sample(r *xrand.Rand) int {
-	p := (r.Uint64() >> 32) * uint64(len(t.cols))
+// sampleHi maps the high 32 bits of a 64-bit draw to an index: a 32-bit
+// Lemire reduction whose product's high half selects the column and low
+// half tests the acceptance threshold.
+func (t *AliasTable) sampleHi(u uint64) int {
+	p := (u >> 32) * uint64(len(t.cols))
 	i := int(p >> 32)
 	c := t.cols[i]
 	if uint32(p) >= c.thresh {
@@ -156,16 +164,10 @@ func (t *AliasTable) Sample(r *xrand.Rand) int {
 	return i
 }
 
-// Sample2 returns two independent samples from a single 64-bit draw: the
-// d = 2 hot path's whole random budget is one RNG advance per ball. Each
-// half of the draw runs a 32-bit Lemire reduction whose low product bits
-// test the acceptance threshold; per-sample granularity is n/2^32 — for
-// the paper's n <= 10^5 below 10^-4 relative error, invisible to
-// Monte-Carlo statistics while keeping the stream fully deterministic.
-// The threshold selects via conditional moves, not branches: accept vs
-// alias is a coin toss the branch predictor would lose.
-func (t *AliasTable) Sample2(r *xrand.Rand) (int, int) {
-	u := r.Uint64()
+// sampleBoth maps both 32-bit halves of a 64-bit draw to two independent
+// indices (high half first). This is the draw-packing core shared by
+// Sample2 and SampleN.
+func (t *AliasTable) sampleBoth(u uint64) (int, int) {
 	n := uint64(len(t.cols))
 	p1 := (u >> 32) * n
 	p2 := (u & 0xffffffff) * n
@@ -180,6 +182,115 @@ func (t *AliasTable) Sample2(r *xrand.Rand) (int, int) {
 		i2 = int(c2.alias)
 	}
 	return i1, i2
+}
+
+// Sample returns an index distributed according to the build weights.
+// It consumes exactly one 64-bit draw: the top 32 bits run the Lemire
+// reduction, whose product's high half selects the column and low half
+// tests the threshold (the draw's own low 32 bits are unused).
+func (t *AliasTable) Sample(r *xrand.Rand) int {
+	return t.sampleHi(r.Uint64())
+}
+
+// Sample2 returns two independent samples from a single 64-bit draw: the
+// d = 2 hot path's whole random budget is one RNG advance per ball. Each
+// half of the draw runs a 32-bit Lemire reduction whose low product bits
+// test the acceptance threshold; per-sample granularity is n/2^32 — for
+// the paper's n <= 10^5 below 10^-4 relative error, invisible to
+// Monte-Carlo statistics while keeping the stream fully deterministic.
+// The threshold selects via conditional moves, not branches: accept vs
+// alias is a coin toss the branch predictor would lose.
+func (t *AliasTable) Sample2(r *xrand.Rand) (int, int) {
+	return t.sampleBoth(r.Uint64())
+}
+
+// Sample3 returns three independent samples from exactly two 64-bit
+// draws — the SampleN packing for n = 3 (one Sample2 draw plus one
+// Sample draw), flattened into a single call so the d = 3 kernel's
+// three table loads can issue together instead of serialising behind
+// two function calls. The reduction bodies are deliberately duplicated
+// rather than composed from sampleBoth/sampleHi: sampleBoth exceeds
+// the compiler's inlining budget, and a composed Sample3/Sample4 would
+// put one or two calls back into the hottest per-ball path. Any change
+// to the reduction or threshold logic must be mirrored across
+// sampleHi, sampleBoth, Sample3 and Sample4 (the stream-contract test
+// pins them against each other).
+func (t *AliasTable) Sample3(r *xrand.Rand) (int, int, int) {
+	u1 := r.Uint64()
+	u2 := r.Uint64()
+	n := uint64(len(t.cols))
+	p1 := (u1 >> 32) * n
+	p2 := (u1 & 0xffffffff) * n
+	p3 := (u2 >> 32) * n
+	i1 := int(p1 >> 32)
+	i2 := int(p2 >> 32)
+	i3 := int(p3 >> 32)
+	c1 := t.cols[i1]
+	c2 := t.cols[i2]
+	c3 := t.cols[i3]
+	if uint32(p1) >= c1.thresh {
+		i1 = int(c1.alias)
+	}
+	if uint32(p2) >= c2.thresh {
+		i2 = int(c2.alias)
+	}
+	if uint32(p3) >= c3.thresh {
+		i3 = int(c3.alias)
+	}
+	return i1, i2, i3
+}
+
+// Sample4 returns four independent samples from exactly two 64-bit
+// draws — the SampleN packing for n = 4 (two Sample2 draws), flattened
+// into a single call for the d = 4 kernel.
+func (t *AliasTable) Sample4(r *xrand.Rand) (int, int, int, int) {
+	u1 := r.Uint64()
+	u2 := r.Uint64()
+	n := uint64(len(t.cols))
+	p1 := (u1 >> 32) * n
+	p2 := (u1 & 0xffffffff) * n
+	p3 := (u2 >> 32) * n
+	p4 := (u2 & 0xffffffff) * n
+	i1 := int(p1 >> 32)
+	i2 := int(p2 >> 32)
+	i3 := int(p3 >> 32)
+	i4 := int(p4 >> 32)
+	c1 := t.cols[i1]
+	c2 := t.cols[i2]
+	c3 := t.cols[i3]
+	c4 := t.cols[i4]
+	if uint32(p1) >= c1.thresh {
+		i1 = int(c1.alias)
+	}
+	if uint32(p2) >= c2.thresh {
+		i2 = int(c2.alias)
+	}
+	if uint32(p3) >= c3.thresh {
+		i3 = int(c3.alias)
+	}
+	if uint32(p4) >= c4.thresh {
+		i4 = int(c4.alias)
+	}
+	return i1, i2, i3, i4
+}
+
+// SampleN fills out with len(out) independent samples, packing two
+// candidates into every 64-bit draw: it consumes exactly
+// ceil(len(out)/2) RNG advances. Each draw runs the two 32-bit Lemire
+// reductions of Sample2 (high half first); when len(out) is odd, the
+// final draw contributes only its high half — exactly a Sample call —
+// so the stream is the concatenation of floor(n/2) Sample2 draws and,
+// for odd n, one Sample draw. Per-sample quantisation is the Sample2
+// contract: below n/2^32 relative error, invisible to Monte-Carlo
+// statistics.
+func (t *AliasTable) SampleN(r *xrand.Rand, out []int) {
+	i := 0
+	for ; i+1 < len(out); i += 2 {
+		out[i], out[i+1] = t.sampleBoth(r.Uint64())
+	}
+	if i < len(out) {
+		out[i] = t.sampleHi(r.Uint64())
+	}
 }
 
 // N returns the number of categories.
@@ -202,14 +313,49 @@ func NewCDF(weights []float64) (*CDF, error) {
 		run += w / total
 		cum[i] = run
 	}
-	cum[len(cum)-1] = 1 // absorb rounding
+	// Absorb accumulated rounding into the *last positive-weight* bin,
+	// not blindly into cum[len-1]: assigning the residual mass to a
+	// trailing zero-weight bin would make that bin reachable whenever the
+	// float accumulation undershoots 1.
+	last := len(weights) - 1
+	for last > 0 && weights[last] == 0 {
+		last--
+	}
+	for i := last; i < len(cum); i++ {
+		cum[i] = 1
+	}
 	return &CDF{cum: cum}, nil
 }
 
 // Sample returns an index distributed according to the build weights.
+// Zero-weight categories are never returned: the binary search cannot
+// land on one mid-array (equal cumulative values resolve to the run's
+// first index), and the two edges — Float64 returning exactly 0 with a
+// zero-weight prefix, and rounding absorption at the tail — are handled
+// by locate.
 func (c *CDF) Sample(r *xrand.Rand) int {
-	u := r.Float64()
-	return sort.SearchFloat64s(c.cum, u)
+	return c.locate(r.Float64())
+}
+
+// locate maps u in [0, 1) to the sampled index: the first index whose
+// cumulative weight reaches u, skipped forward past zero-mass landings
+// (cum equal to its predecessor — possible only for u = 0 on a
+// zero-weight prefix, where the search legitimately returns index 0
+// despite it carrying no probability mass).
+func (c *CDF) locate(u float64) int {
+	idx := sort.SearchFloat64s(c.cum, u)
+	if idx >= len(c.cum) {
+		// unreachable for u < 1 (cum ends at exactly 1); guard anyway
+		idx = len(c.cum) - 1
+	}
+	prev := 0.0
+	if idx > 0 {
+		prev = c.cum[idx-1]
+	}
+	for idx < len(c.cum)-1 && c.cum[idx] == prev {
+		idx++
+	}
+	return idx
 }
 
 // N returns the number of categories.

@@ -415,3 +415,202 @@ func BenchmarkAliasBuild(b *testing.B) {
 		}
 	}
 }
+
+// TestThresholdOfNearOne: for p within a few ulps of 1 the scaled
+// product sits at the very top of the uint32 range; the conversion must
+// saturate at the maximum threshold (near-certain acceptance), never
+// wrap around to a tiny threshold (certain alias redirect). p = 1−2⁻³⁴
+// is the regression pin: its exact product is 2³² − 0.25.
+func TestThresholdOfNearOne(t *testing.T) {
+	cases := []struct {
+		name string
+		p    float64
+		want uint32
+	}{
+		{"1-2^-34", 1 - 0x1p-34, ^uint32(0)},
+		{"largest-below-1", math.Nextafter(1, 0), ^uint32(0)},
+		{"exactly-1", 1, ^uint32(0)},
+		{"above-1", 1 + 0x1p-16, ^uint32(0)},
+		{"half", 0.5, 1 << 31},
+		{"zero", 0, 0},
+		{"tiny", 0x1p-40, 0}, // rounds down: below one threshold step
+	}
+	for _, c := range cases {
+		if got := thresholdOf(c.p); got != c.want {
+			t.Errorf("thresholdOf(%s) = %d, want %d", c.name, got, c.want)
+		}
+	}
+	// A table built with a near-1 acceptance column must accept nearly
+	// always: weights {1, 2^-40} give column 0 acceptance ~1−2^-40.
+	a, err := NewAlias([]float64{1, 0x1p-40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(123)
+	hits := 0
+	for i := 0; i < 100000; i++ {
+		if a.Sample(r) == 1 {
+			hits++
+		}
+	}
+	if hits > 2 {
+		t.Fatalf("near-zero-weight index drawn %d times in 1e5 samples", hits)
+	}
+}
+
+// TestCDFZeroWeightEdges covers the two edges of CDF.Sample: a
+// zero-weight prefix must never be returned even when the uniform draw
+// is exactly 0, and a zero-weight tail must stay unreachable even
+// though rounding absorption pins the final cumulative value to 1.
+func TestCDFZeroWeightEdges(t *testing.T) {
+	// Leading zeros: u = 0 lands on index 0 in the raw search.
+	lead, err := NewCDF([]float64{0, 0, 3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := lead.locate(0); got != 2 {
+		t.Fatalf("locate(0) with zero-weight prefix = %d, want 2", got)
+	}
+	// Trailing zeros: rounding can leave cum[lastPositive] below 1, and
+	// the old blind cum[len-1] = 1 absorption made the final zero-weight
+	// bin absorb the residual band just under 1.
+	weights := []float64{1, 1e-9, 1e-9, 0}
+	tail, err := NewCDF(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tail.locate(math.Nextafter(1, 0)); weights[got] == 0 {
+		t.Fatalf("locate(1-ulp) returned zero-weight index %d", got)
+	}
+	// Middle zeros stay unreachable under both edges combined.
+	mid, err := NewCDF([]float64{0, 2, 0, 0, 5, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range []float64{0, 0.1, 0.2856, 0.99999, math.Nextafter(1, 0)} {
+		idx := mid.locate(u)
+		if idx < 0 || idx > 5 || []float64{0, 2, 0, 0, 5, 0}[idx] == 0 {
+			t.Fatalf("locate(%v) = %d (zero-weight or out of range)", u, idx)
+		}
+	}
+	// All-edges Monte-Carlo: no zero-weight index over many draws.
+	r := xrand.New(77)
+	for i := 0; i < 50000; i++ {
+		if idx := tail.Sample(r); weights[idx] == 0 {
+			t.Fatalf("Sample returned zero-weight index %d", idx)
+		}
+	}
+}
+
+// TestSampleNStreamContract: SampleN(n) must consume exactly
+// ceil(n/2) draws and reproduce the concatenation of floor(n/2)
+// Sample2 calls plus, for odd n, one Sample call — the packing the
+// d = 3 and d = 4 kernels rely on.
+func TestSampleNStreamContract(t *testing.T) {
+	weights := []float64{5, 1, 3, 0.5, 2, 8, 0.25, 4}
+	a, err := NewAlias(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8} {
+		r1 := xrand.New(999)
+		out := make([]int, n)
+		a.SampleN(r1, out)
+
+		r2 := xrand.New(999)
+		want := make([]int, 0, n)
+		for len(want)+1 < n {
+			i, j := a.Sample2(r2)
+			want = append(want, i, j)
+		}
+		if len(want) < n {
+			want = append(want, a.Sample(r2))
+		}
+		for i := range out {
+			if out[i] != want[i] {
+				t.Fatalf("n=%d: SampleN[%d] = %d, reference %d", n, i, out[i], want[i])
+			}
+		}
+		if *r1 != *r2 {
+			t.Fatalf("n=%d: RNG states diverge (draw counts differ)", n)
+		}
+	}
+	// Sample3 and Sample4 are the flattened kernels of the same packing.
+	r1, r2 := xrand.New(31), xrand.New(31)
+	x0, x1, x2 := a.Sample3(r1)
+	out := make([]int, 3)
+	a.SampleN(r2, out)
+	if x0 != out[0] || x1 != out[1] || x2 != out[2] || *r1 != *r2 {
+		t.Fatal("Sample3 diverges from SampleN(3)")
+	}
+	r1, r2 = xrand.New(32), xrand.New(32)
+	y0, y1, y2, y3 := a.Sample4(r1)
+	out = make([]int, 4)
+	a.SampleN(r2, out)
+	if y0 != out[0] || y1 != out[1] || y2 != out[2] || y3 != out[3] || *r1 != *r2 {
+		t.Fatal("Sample4 diverges from SampleN(4)")
+	}
+}
+
+// TestSampleNMatchesDistribution: chi-square agreement of the packed
+// multi-candidate draws with the build weights, on skewed and
+// near-degenerate vectors — every position of the packed draw must
+// carry the same marginal as Sample.
+func TestSampleNMatchesDistribution(t *testing.T) {
+	cases := []struct {
+		name    string
+		weights []float64
+	}{
+		{"skewed", []float64{1000, 1, 1, 1, 1}},
+		{"near-degenerate", []float64{1, 1e-7, 1e-7}},
+		{"paper-two-class", []float64{1, 1, 1, 1, 1, 10, 10, 10, 10, 10}},
+		{"with-zeros", []float64{0, 4, 0, 6, 0, 2}},
+	}
+	// 99.9% chi-square quantiles by degrees of freedom.
+	quantile := map[int]float64{
+		1: 10.83, 2: 13.82, 3: 16.27, 4: 18.47,
+		5: 20.52, 6: 22.46, 7: 24.32, 8: 26.12, 9: 27.88,
+	}
+	const rounds = 60000
+	for _, tc := range cases {
+		a, err := NewAlias(tc.weights)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := xrand.New(0x5a5a)
+		// draw in packs of 3 and 4, counting every position
+		counts := make([]int, len(tc.weights))
+		buf := make([]int, 4)
+		samples := 0
+		for i := 0; i < rounds; i++ {
+			n := 3 + i%2
+			a.SampleN(r, buf[:n])
+			for _, idx := range buf[:n] {
+				counts[idx]++
+			}
+			samples += n
+		}
+		nonzero := 0
+		for i, w := range tc.weights {
+			if w > 0 {
+				nonzero++
+			} else if counts[i] != 0 {
+				t.Fatalf("%s: zero-weight index %d drawn %d times", tc.name, i, counts[i])
+			}
+		}
+		// near-degenerate weights have expected counts far below the
+		// chi-square validity floor for the tiny categories; fall back
+		// to a direct frequency bound there.
+		if tc.name == "near-degenerate" {
+			f := float64(counts[1]+counts[2]) / float64(samples)
+			if f > 1e-5 {
+				t.Fatalf("%s: tiny categories frequency %v", tc.name, f)
+			}
+			continue
+		}
+		chi2 := chiSquare(counts, tc.weights, samples)
+		if lim := quantile[nonzero-1]; chi2 > lim {
+			t.Errorf("%s: chi-square %.2f > %.2f (counts %v)", tc.name, chi2, lim, counts)
+		}
+	}
+}

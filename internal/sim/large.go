@@ -1,0 +1,258 @@
+// Sharded single-run engine: one huge repetition (n up to 10^7 bins)
+// partitioned across workers, so a single game scales across cores the
+// way Run scales repetitions.
+//
+// # Model and determinism contract
+//
+// The bin array is split into Shards contiguous shards of (nearly)
+// equal size. Placement is a two-level protocol:
+//
+//  1. Routing: every ball is routed to a shard with probability
+//     proportional to the shard's total selection weight, by a
+//     sequential pass over a dedicated routing stream (stream 0 of the
+//     base seed). Only the per-shard ball counts survive this pass.
+//  2. Placement: each shard runs the configured protocol over its own
+//     bins, with selection weights restricted (and renormalised by the
+//     alias build) to the shard, its own pre-built alias tables, and
+//     its own RNG stream (stream 1+s for shard s), placing exactly the
+//     balls routed to it.
+//
+// Because a candidate's marginal probability factorises as
+// P(shard)·P(bin | shard), each individual candidate draw has exactly
+// the configured distribution; the relaxation is that all d choices of
+// one ball land in the same shard, so load comparisons never cross a
+// shard boundary. This is the standard partitioned-d-choice relaxation
+// (cf. the batched-arrival relaxation in protocol.Batched): for shards
+// of roughly equal total weight the per-shard games are independent
+// copies of the original game at n/Shards scale.
+//
+// The result is a deterministic function of (capacities, distribution,
+// protocol, balls, Seed, Shards) and — bit for bit — independent of
+// Workers, because shard s's placement depends only on its own stream
+// and its routed count. Workers only schedules which core runs which
+// shard. Changing Shards changes the game (and the stream), like
+// changing Seed.
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/bins"
+	"repro/internal/dist"
+	"repro/internal/protocol"
+	"repro/internal/sampling"
+	"repro/internal/xrand"
+)
+
+// DefaultShards is the shard count used when LargeConfig.Shards is 0.
+// It is a fixed constant (not derived from the machine) so results are
+// reproducible across environments; 64 shards keep 4-16 workers busy
+// with low imbalance while leaving per-shard arrays large enough that
+// the within-shard game is statistically meaningful.
+const DefaultShards = 64
+
+// LargeConfig describes one sharded single-run experiment.
+type LargeConfig struct {
+	// Array supplies the capacities (required). It is cloned and reset;
+	// the caller's array is never mutated.
+	Array *bins.Array
+	// Dist chooses bin selection weights. Nil defaults to
+	// dist.Proportional{}.
+	Dist dist.Distribution
+	// Placer builds the per-shard allocation protocol. Nil defaults to
+	// the paper's Algorithm 1 with d = 2.
+	Placer protocol.Factory
+	// Balls is the number of balls to place. When 0, the count is
+	// BallsFactor·C (rounded), and when BallsFactor is also 0 it
+	// defaults to exactly C — the same rules as Config.
+	Balls int64
+	// BallsFactor scales the total capacity into a ball count.
+	BallsFactor float64
+	// Seed is the base RNG seed. Stream 0 routes balls to shards;
+	// stream 1+s places shard s.
+	Seed uint64
+	// Shards is the number of contiguous shards (0 = DefaultShards,
+	// clamped to the number of bins). Part of the model: changing it
+	// changes the result, like changing Seed.
+	Shards int
+	// Workers caps parallelism (0 = GOMAXPROCS). Never affects the
+	// result, only the wall clock.
+	Workers int
+}
+
+// LargeResult aggregates one sharded run.
+type LargeResult struct {
+	// N is the number of bins; Shards the realised shard count.
+	N      int
+	Shards int
+	// Balls is the total number of balls placed (= cfg.Balls or C).
+	Balls int64
+	// MaxLoad, AvgLoad and Deviation are the final whole-array load
+	// statistics (deviation = max − average).
+	MaxLoad   float64
+	AvgLoad   float64
+	Deviation float64
+	// ShardBalls[s] is the number of balls routed to shard s.
+	ShardBalls []int64
+	// Array is the final bin state (owned by the caller).
+	Array *bins.Array
+}
+
+func (c *LargeConfig) validate() (shards int, err error) {
+	if c.Array == nil {
+		return 0, fmt.Errorf("sim: RunLarge needs an Array")
+	}
+	if c.Balls < 0 {
+		return 0, fmt.Errorf("sim: Balls = %d", c.Balls)
+	}
+	if c.BallsFactor < 0 {
+		return 0, fmt.Errorf("sim: BallsFactor = %v", c.BallsFactor)
+	}
+	n := c.Array.N()
+	shards = c.Shards
+	if shards == 0 {
+		shards = DefaultShards
+		if shards > n {
+			shards = n
+		}
+	} else if shards < 1 || shards > n {
+		return 0, fmt.Errorf("sim: Shards = %d outside [1,%d]", c.Shards, n)
+	}
+	return shards, nil
+}
+
+// RunLarge executes one sharded single run. See the package comment of
+// this file for the model and the determinism contract.
+func RunLarge(cfg LargeConfig) (*LargeResult, error) {
+	shards, err := cfg.validate()
+	if err != nil {
+		return nil, err
+	}
+	n := cfg.Array.N()
+	arr := cfg.Array.Clone()
+	arr.Reset()
+
+	d := cfg.Dist
+	if d == nil {
+		d = dist.Proportional{}
+	}
+	weights, err := d.Weights(arr)
+	if err != nil {
+		return nil, fmt.Errorf("sim: RunLarge weights: %w", err)
+	}
+	factory := cfg.Placer
+	if factory == nil {
+		factory = protocol.GreedyFactory(2)
+	}
+
+	// Shard boundaries and total selection weight per shard.
+	bounds := make([]int, shards+1)
+	for s := 0; s <= shards; s++ {
+		bounds[s] = s * n / shards
+	}
+	shardW := make([]float64, shards)
+	for s := 0; s < shards; s++ {
+		for i := bounds[s]; i < bounds[s+1]; i++ {
+			shardW[s] += weights[i]
+		}
+	}
+	router, err := sampling.NewAlias(shardW)
+	if err != nil {
+		return nil, fmt.Errorf("sim: RunLarge router: %w", err)
+	}
+
+	m := (&Config{Balls: cfg.Balls, BallsFactor: cfg.BallsFactor}).ballCount(arr.TotalCapacity())
+
+	// Phase 1 — deterministic sequential routing on stream 0: only the
+	// per-shard counts matter, because within a shard the placement
+	// order is the shard's own affair.
+	counts := make([]int64, shards)
+	rr := xrand.NewStream(cfg.Seed, 0)
+	for i := int64(0); i < m; i++ {
+		counts[router.Sample(rr)]++
+	}
+
+	// Shard views are built sequentially, before any worker starts:
+	// Array.Shard is a parent method, and the bins.Shard contract
+	// forbids running parent methods while views mutate concurrently.
+	// A shard with no routed balls gets no view and no placer — which
+	// also keeps zero-weight shards (e.g. under a top-only
+	// distribution) from failing the placer build.
+	views := make([]*bins.Array, shards)
+	for s := 0; s < shards; s++ {
+		if counts[s] == 0 {
+			continue
+		}
+		views[s], err = arr.Shard(bounds[s], bounds[s+1])
+		if err != nil {
+			return nil, fmt.Errorf("sim: RunLarge shard %d: %w", s, err)
+		}
+	}
+
+	// Phase 2 — parallel per-shard placement. Shard s touches only its
+	// own view, placer and stream, so any scheduling of shards onto
+	// workers produces identical bits. Placer construction (alias
+	// table builds, O(shard size)) runs inside the workers too: it
+	// reads only the shard's own weights slice and view.
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > shards {
+		workers = shards
+	}
+	errs := make([]error, shards)
+	shardCh := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range shardCh {
+				errs[s] = placeShard(views[s], weights[bounds[s]:bounds[s+1]], factory, cfg.Seed, counts[s], s)
+			}
+		}()
+	}
+	for s := 0; s < shards; s++ {
+		shardCh <- s
+	}
+	close(shardCh)
+	wg.Wait()
+	for s := 0; s < shards; s++ {
+		if errs[s] != nil {
+			return nil, fmt.Errorf("sim: RunLarge shard %d: %w", s, errs[s])
+		}
+	}
+
+	arr.Recount()
+	max := arr.MaxLoad()
+	avg := arr.AverageLoad()
+	return &LargeResult{
+		N:          n,
+		Shards:     shards,
+		Balls:      m,
+		MaxLoad:    max,
+		AvgLoad:    avg,
+		Deviation:  max - avg,
+		ShardBalls: counts,
+		Array:      arr,
+	}, nil
+}
+
+// placeShard runs shard s's game: its own pre-built view, its own
+// alias tables and its own RNG stream. A nil view means no balls were
+// routed here — nothing to do.
+func placeShard(view *bins.Array, weights []float64, factory protocol.Factory, seed uint64, count int64, s int) error {
+	if view == nil {
+		return nil
+	}
+	placer, err := factory(view, weights)
+	if err != nil {
+		return err
+	}
+	rs := xrand.NewStream(seed, uint64(s)+1)
+	placer.PlaceBatch(view, rs, count)
+	return nil
+}

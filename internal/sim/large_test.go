@@ -1,0 +1,243 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bins"
+	"repro/internal/dist"
+	"repro/internal/protocol"
+)
+
+func largeArray(t testing.TB, n int) *bins.Array {
+	t.Helper()
+	a, err := bins.TwoClass(n/2, 1, n-n/2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestRunLargeValidation(t *testing.T) {
+	if _, err := RunLarge(LargeConfig{}); err == nil {
+		t.Error("nil array accepted")
+	}
+	a := largeArray(t, 100)
+	if _, err := RunLarge(LargeConfig{Array: a, Balls: -1}); err == nil {
+		t.Error("negative balls accepted")
+	}
+	if _, err := RunLarge(LargeConfig{Array: a, BallsFactor: -0.5}); err == nil {
+		t.Error("negative factor accepted")
+	}
+	if _, err := RunLarge(LargeConfig{Array: a, Shards: -3}); err == nil {
+		t.Error("negative shards accepted")
+	}
+	if _, err := RunLarge(LargeConfig{Array: a, Shards: 101}); err == nil {
+		t.Error("shards > n accepted")
+	}
+}
+
+func TestRunLargeDefaults(t *testing.T) {
+	a := largeArray(t, 1000)
+	res, err := RunLarge(LargeConfig{Array: a, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shards != DefaultShards {
+		t.Fatalf("shards = %d, want %d", res.Shards, DefaultShards)
+	}
+	if res.Balls != a.TotalCapacity() {
+		t.Fatalf("balls = %d, want C = %d", res.Balls, a.TotalCapacity())
+	}
+	if got := res.Array.TotalBalls(); got != res.Balls {
+		t.Fatalf("final array holds %d balls, want %d", got, res.Balls)
+	}
+	var routed int64
+	for _, c := range res.ShardBalls {
+		routed += c
+	}
+	if routed != res.Balls {
+		t.Fatalf("routed %d balls across shards, want %d", routed, res.Balls)
+	}
+	if res.AvgLoad != 1 {
+		t.Fatalf("avg load %v, want 1 (m = C)", res.AvgLoad)
+	}
+	if res.MaxLoad < res.AvgLoad {
+		t.Fatalf("max load %v below average %v", res.MaxLoad, res.AvgLoad)
+	}
+	// the caller's array must stay untouched
+	if a.TotalBalls() != 0 {
+		t.Fatal("RunLarge mutated the config array")
+	}
+	// BallsFactor scales C, explicit Balls overrides it
+	fres, err := RunLarge(LargeConfig{Array: a, Seed: 1, BallsFactor: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fres.Balls != 2*a.TotalCapacity() {
+		t.Fatalf("factor 2 placed %d balls, want %d", fres.Balls, 2*a.TotalCapacity())
+	}
+	ores, err := RunLarge(LargeConfig{Array: a, Seed: 1, Balls: 7, BallsFactor: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ores.Balls != 7 {
+		t.Fatalf("explicit Balls overridden: %d", ores.Balls)
+	}
+	// tiny-n default: shards clamp to n
+	small, err := bins.Uniform(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sres, err := RunLarge(LargeConfig{Array: small, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sres.Shards != 3 {
+		t.Fatalf("default shards on n=3: %d, want 3", sres.Shards)
+	}
+}
+
+// TestRunLargeBitIdenticalAcrossWorkers is the engine's core contract:
+// the full final bin state is bit-identical for any worker count.
+func TestRunLargeBitIdenticalAcrossWorkers(t *testing.T) {
+	a := largeArray(t, 2000)
+	var base *LargeResult
+	for _, workers := range []int{1, 2, 3, 8} {
+		res, err := RunLarge(LargeConfig{
+			Array: a, Seed: 42, Shards: 16, Workers: workers,
+			Placer: protocol.GreedyFactory(4),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base == nil {
+			base = res
+			continue
+		}
+		if res.MaxLoad != base.MaxLoad || res.Deviation != base.Deviation {
+			t.Fatalf("workers=%d: stats differ", workers)
+		}
+		for i := 0; i < res.Array.N(); i++ {
+			if res.Array.Balls(i) != base.Array.Balls(i) {
+				t.Fatalf("workers=%d: bin %d has %d balls, want %d",
+					workers, i, res.Array.Balls(i), base.Array.Balls(i))
+			}
+		}
+	}
+}
+
+// TestRunLargeShardsArePartOfTheModel: changing Shards legitimately
+// changes the result (like changing Seed) — pin that it does, so an
+// accidental coupling of Shards to Workers would be caught by the
+// bit-identity test above rather than hidden here.
+func TestRunLargeShardsArePartOfTheModel(t *testing.T) {
+	a := largeArray(t, 2000)
+	r16, err := RunLarge(LargeConfig{Array: a, Seed: 7, Shards: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r32, err := RunLarge(LargeConfig{Array: a, Seed: 7, Shards: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := 0; i < a.N(); i++ {
+		if r16.Array.Balls(i) != r32.Array.Balls(i) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("16 and 32 shards produced identical states (suspicious)")
+	}
+}
+
+// TestRunLargeRoutingProportional: with single-choice placement the
+// final per-bin counts expose the end-to-end selection distribution;
+// the two-level (shard, then bin) factorisation must reproduce the
+// configured marginal. Compare class totals against expectation.
+func TestRunLargeRoutingProportional(t *testing.T) {
+	const n = 1000
+	a := largeArray(t, n) // C = 500·1 + 500·10 = 5500
+	res, err := RunLarge(LargeConfig{
+		Array:  a,
+		Seed:   3,
+		Balls:  200000,
+		Placer: protocol.SingleFactory(),
+		Shards: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var small, large int64
+	for i := 0; i < n; i++ {
+		if res.Array.Capacity(i) == 1 {
+			small += res.Array.Balls(i)
+		} else {
+			large += res.Array.Balls(i)
+		}
+	}
+	wantSmall := 200000.0 * 500.0 / 5500.0
+	if got := float64(small); math.Abs(got-wantSmall) > 0.05*wantSmall {
+		t.Fatalf("small-class balls %v, want ~%v", got, wantSmall)
+	}
+	if small+large != 200000 {
+		t.Fatalf("total %d", small+large)
+	}
+}
+
+// TestRunLargeZeroWeightShards: a distribution that zeroes out whole
+// shards (top-only zeroes every small bin, and the two-class array is
+// contiguous) must route nothing there and not try to build placers on
+// all-zero weight vectors.
+func TestRunLargeZeroWeightShards(t *testing.T) {
+	a := largeArray(t, 1000)
+	res, err := RunLarge(LargeConfig{
+		Array:  a,
+		Seed:   5,
+		Dist:   dist.TopOnly{MinCapacity: 10},
+		Shards: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < a.N(); i++ {
+		if res.Array.Capacity(i) < 10 && res.Array.Balls(i) != 0 {
+			t.Fatalf("small bin %d received balls under top-only", i)
+		}
+	}
+}
+
+// TestRunLargeGoldenValues pins exact outputs for a fixed (seed,
+// shards) configuration, the way golden_test.go pins placement
+// sequences: the routing stream (stream 0), the shard stream layout
+// (1+s) and the per-shard kernels are all deterministic, so any change
+// to these values means the sharded draw stream was redefined — which
+// silently invalidates every pinned large-run result and must be
+// deliberate.
+func TestRunLargeGoldenValues(t *testing.T) {
+	a := largeArray(t, 512)
+	res, err := RunLarge(LargeConfig{Array: a, Seed: 20260727, Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantShardBalls := []int64{62, 70, 70, 60, 630, 678, 606, 640}
+	for s, want := range wantShardBalls {
+		if res.ShardBalls[s] != want {
+			t.Fatalf("routing stream changed: shard %d got %d balls, golden %d",
+				s, res.ShardBalls[s], want)
+		}
+	}
+	if res.MaxLoad != 3 || res.Deviation != 2 {
+		t.Fatalf("max/deviation = %v/%v, golden 3/2", res.MaxLoad, res.Deviation)
+	}
+	var h uint64
+	for i := 0; i < res.Array.N(); i++ {
+		h = h*1315423911 + uint64(res.Array.Balls(i))
+	}
+	const wantHash = uint64(2074143230056129896)
+	if h != wantHash {
+		t.Fatalf("final-state hash %d, golden %d (shard streams changed)", h, wantHash)
+	}
+}

@@ -503,23 +503,31 @@ func reduce(cfg *Config, checkpoints []int64, partials []chunkPartial) (*Result,
 		}
 	}
 	if res.Balls.N() > 0 {
-		res.N = nBins(cfg)
+		n, err := nBins(cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.N = n
 	}
 	return res, nil
 }
 
-func nBins(cfg *Config) int {
+func nBins(cfg *Config) (int, error) {
 	if cfg.Array != nil {
-		return cfg.Array.N()
+		return cfg.Array.N(), nil
 	}
 	// ArrayFn: rebuild rep 0's array cheaply to read n. The builder is
 	// deterministic in the stream, so this matches what the run used.
+	// A builder error here would mean the run itself should already
+	// have failed, but it must not be swallowed into N = 0: an ArrayFn
+	// that succeeds only on some streams would otherwise silently
+	// corrupt the result.
 	r := xrand.NewStream(cfg.Seed, 0)
 	a, err := cfg.ArrayFn(r)
 	if err != nil {
-		return 0
+		return 0, fmt.Errorf("sim: probing bin count from ArrayFn: %w", err)
 	}
-	return a.N()
+	return a.N(), nil
 }
 
 // RunOnce executes a single repetition (rep index 0 of the given seed)

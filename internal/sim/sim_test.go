@@ -300,6 +300,27 @@ type testError struct{}
 
 func (*testError) Error() string { return "test error" }
 
+// TestNBinsProbeErrorSurfaces: reduce probes ArrayFn once more (stream
+// 0) to read the bin count. A builder that succeeds during the run but
+// fails on the probe — only possible for a stateful ArrayFn — must
+// surface that error instead of silently reporting N = 0.
+func TestNBinsProbeErrorSurfaces(t *testing.T) {
+	calls := 0
+	_, err := Run(Config{
+		ArrayFn: func(r *xrand.Rand) (*bins.Array, error) {
+			calls++
+			if calls > 2 { // reps succeed, the final probe fails
+				return nil, errTest
+			}
+			return bins.Uniform(4, 1)
+		},
+		Reps: 2, Seed: 1, Workers: 1,
+	})
+	if err == nil {
+		t.Fatal("probe error swallowed (N would silently read 0)")
+	}
+}
+
 func TestUniformDistOption(t *testing.T) {
 	// With uniform selection over a two-class array, large bins no longer
 	// receive proportionally more choices; single-choice shows the raw

@@ -1,0 +1,116 @@
+package balls
+
+import (
+	"fmt"
+
+	"repro/internal/bins"
+	"repro/internal/sim"
+)
+
+// LargeConfig describes one sharded single run: one huge game (n up to
+// 10^7 bins) whose bin array is partitioned into contiguous shards that
+// place their balls in parallel. See SimulateLarge.
+type LargeConfig struct {
+	// Capacities of the bin array (required).
+	Capacities []int64
+	// Balls to place; 0 means BallsFactor·C, or exactly C when
+	// BallsFactor is also 0.
+	Balls int64
+	// BallsFactor scales C into a ball count when Balls is 0 (e.g. 10
+	// for the heavily loaded m = 10·C).
+	BallsFactor float64
+	// Seed is the base seed (default 1). Stream 0 routes balls to
+	// shards, stream 1+s places shard s.
+	Seed uint64
+	// Shards is the number of contiguous shards (0 = engine default).
+	// It is part of the model: changing it changes the result, exactly
+	// like changing Seed.
+	Shards int
+	// Workers caps parallelism (0 = GOMAXPROCS). It never affects the
+	// result, only the wall clock.
+	Workers int
+	// Distribution and Protocol default to Proportional / Greedy(2).
+	Distribution Distribution
+	Protocol     Protocol
+}
+
+// LargeLoads exposes the final state of a sharded run.
+type LargeLoads struct {
+	arr *bins.Array
+}
+
+// LargeResult aggregates one sharded single run.
+type LargeResult struct {
+	// N is the number of bins, Shards the realised shard count, Balls
+	// the number of balls placed.
+	N      int
+	Shards int
+	Balls  int64
+	// MaxLoad, AverageLoad and Deviation are the final whole-array
+	// statistics (deviation = max − average).
+	MaxLoad     float64
+	AverageLoad float64
+	Deviation   float64
+	// ShardBalls[s] is the number of balls routed to shard s.
+	ShardBalls []int64
+	// Loads gives read access to the final per-bin state.
+	Loads LargeLoads
+}
+
+// Balls returns the final ball count of bin i.
+func (l LargeLoads) Balls(i int) int64 { return l.arr.Balls(i) }
+
+// Capacity returns the capacity of bin i.
+func (l LargeLoads) Capacity(i int) int64 { return l.arr.Capacity(i) }
+
+// Load returns the final load of bin i.
+func (l LargeLoads) Load(i int) float64 { return l.arr.Load(i) }
+
+// N returns the number of bins.
+func (l LargeLoads) N() int { return l.arr.N() }
+
+// SimulateLarge runs ONE game at large scale, sharded across workers:
+// the bin array splits into cfg.Shards contiguous shards, every ball is
+// deterministically routed to a shard with probability proportional to
+// the shard's total selection weight, and each shard runs the protocol
+// over its own bins on its own RNG stream. Each candidate draw has
+// exactly the configured marginal distribution; the relaxation is that
+// one ball's d choices all land in the same shard. The final state is
+// bit-identical for any Workers value — only (Capacities, Balls, Seed,
+// Shards, Distribution, Protocol) determine it.
+func SimulateLarge(cfg LargeConfig) (*LargeResult, error) {
+	if len(cfg.Capacities) == 0 {
+		return nil, fmt.Errorf("balls: SimulateLarge needs capacities")
+	}
+	arr, err := bins.New(cfg.Capacities)
+	if err != nil {
+		return nil, err
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	res, err := sim.RunLarge(sim.LargeConfig{
+		Array:       arr,
+		Dist:        cfg.Distribution.resolve(),
+		Placer:      cfg.Protocol.resolve(),
+		Balls:       cfg.Balls,
+		BallsFactor: cfg.BallsFactor,
+		Seed:        seed,
+		Shards:      cfg.Shards,
+		Workers:     cfg.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &LargeResult{
+		N:           res.N,
+		Shards:      res.Shards,
+		Balls:       res.Balls,
+		MaxLoad:     res.MaxLoad,
+		AverageLoad: res.AvgLoad,
+		Deviation:   res.Deviation,
+		ShardBalls:  res.ShardBalls,
+		Loads:       LargeLoads{arr: res.Array},
+	}, nil
+}

@@ -1,0 +1,54 @@
+package balls
+
+import "testing"
+
+func TestSimulateLarge(t *testing.T) {
+	cfg := LargeConfig{
+		Capacities: CapacitiesTwoClass(500, 1, 500, 10),
+		Seed:       9,
+		Shards:     16,
+	}
+	res, err := SimulateLarge(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.N != 1000 || res.Shards != 16 {
+		t.Fatalf("N = %d shards = %d", res.N, res.Shards)
+	}
+	if res.Balls != 5500 { // m = C default
+		t.Fatalf("balls = %d", res.Balls)
+	}
+	if res.AverageLoad != 1 {
+		t.Fatalf("avg load %v", res.AverageLoad)
+	}
+	var sum int64
+	for i := 0; i < res.Loads.N(); i++ {
+		sum += res.Loads.Balls(i)
+	}
+	if sum != res.Balls {
+		t.Fatalf("final state holds %d balls, want %d", sum, res.Balls)
+	}
+
+	// Workers never changes the outcome.
+	cfg.Workers = 4
+	res4, err := SimulateLarge(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < res.Loads.N(); i++ {
+		if res.Loads.Balls(i) != res4.Loads.Balls(i) {
+			t.Fatalf("bin %d differs across worker counts", i)
+		}
+	}
+}
+
+func TestSimulateLargeValidation(t *testing.T) {
+	if _, err := SimulateLarge(LargeConfig{}); err == nil {
+		t.Error("empty capacities accepted")
+	}
+	if _, err := SimulateLarge(LargeConfig{
+		Capacities: []int64{1, 1}, Shards: 5,
+	}); err == nil {
+		t.Error("shards > n accepted")
+	}
+}

@@ -15,7 +15,7 @@ OUT="BENCH_${N}.json"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
-go test -run '^$' -bench 'BenchmarkPlace|BenchmarkSimulateSmall' \
+go test -run '^$' -bench 'BenchmarkPlace|BenchmarkSimulateSmall|BenchmarkRunLargeSharded' \
 	-benchmem -benchtime 1s -count 1 . | tee "$RAW"
 
 awk '
