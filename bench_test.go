@@ -172,6 +172,32 @@ func benchRunLarge(b *testing.B, workers int) {
 func BenchmarkRunLargeSharded1W(b *testing.B) { benchRunLarge(b, 1) }
 func BenchmarkRunLargeSharded4W(b *testing.B) { benchRunLarge(b, 4) }
 
+// benchRunLargeMonte measures the sharded Monte-Carlo engine: several
+// repetitions of a large sharded game per iteration, with per-shard
+// tasks nested inside repetition orchestration on the shared pool.
+func benchRunLargeMonte(b *testing.B, workers int) {
+	b.Helper()
+	caps := CapacitiesTwoClass(100_000, 1, 100_000, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MonteCarloLarge(MonteLargeConfig{
+			LargeConfig: LargeConfig{
+				Capacities: caps,
+				Balls:      200_000,
+				Seed:       1,
+				Shards:     64,
+				Workers:    workers,
+			},
+			Reps: 4,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunLargeMonte1W(b *testing.B) { benchRunLargeMonte(b, 1) }
+func BenchmarkRunLargeMonte4W(b *testing.B) { benchRunLargeMonte(b, 4) }
+
 func BenchmarkNewSystem(b *testing.B) {
 	caps := CapacitiesTwoClass(5000, 1, 5000, 10)
 	b.ResetTimer()

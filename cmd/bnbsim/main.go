@@ -9,6 +9,7 @@
 //	bnbsim -spec 100x4 -factor 100 -reps 50    # heavily loaded m = 100·C
 //	bnbsim -spec 500000x1+500000x10 -large     # one sharded huge run
 //	bnbsim -spec 1000000x1 -large -shards 128 -workers 8
+//	bnbsim -spec 1000000x1 -large -reps 100    # sharded Monte-Carlo aggregate
 package main
 
 import (
@@ -41,7 +42,7 @@ func run(args []string) error {
 	distFlag := fs.String("dist", "proportional", "selection distribution: proportional | uniform | power:T | top:MINCAP")
 	protoFlag := fs.String("protocol", "greedy", "protocol: greedy | standard | single | goleft | beta:B")
 	showLoads := fs.Bool("loads", false, "print the mean sorted load vector")
-	large := fs.Bool("large", false, "run ONE sharded repetition instead of a Monte-Carlo aggregate (for huge n)")
+	large := fs.Bool("large", false, "shard the bin array for huge n: one repetition, or a sharded Monte-Carlo aggregate when -reps is given")
 	shards := fs.Int("shards", 0, "shard count for -large (0 = engine default; part of the model)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -60,16 +61,18 @@ func run(args []string) error {
 		return err
 	}
 
-	// Flags that belong to only one of the two modes fail loudly when
+	// Flags that belong to only one of the modes fail loudly when
 	// combined with the other, instead of being silently dropped.
 	explicit := map[string]bool{}
 	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 	if *large {
-		if *showLoads {
-			return fmt.Errorf("-loads is not supported with -large (one run has no mean load vector; inspect the result through the library API instead)")
-		}
+		// -large alone runs one sharded repetition; -large with an
+		// explicit -reps runs the sharded Monte-Carlo engine.
 		if explicit["reps"] {
-			return fmt.Errorf("-reps is not supported with -large (it runs exactly one sharded repetition; drop -large for Monte-Carlo aggregates)")
+			return runLargeMonte(caps, *ballsN, *factor, *seed, *shards, *workers, *reps, *showLoads, distribution, protocol)
+		}
+		if *showLoads {
+			return fmt.Errorf("-loads with -large needs -reps (one run has no mean load vector; inspect the result through the library API instead)")
 		}
 		return runLarge(caps, *ballsN, *factor, *seed, *shards, *workers, distribution, protocol)
 	}
@@ -147,6 +150,52 @@ func runLarge(caps []int64, m int64, factor float64, seed uint64, shards, worker
 	fmt.Printf("max load:        %.4f\n", res.MaxLoad)
 	fmt.Printf("max − avg:       %.4f\n", res.Deviation)
 	fmt.Printf("wall time:       %s\n", elapsed.Round(time.Millisecond))
+	return nil
+}
+
+// runLargeMonte executes the sharded Monte-Carlo mode (-large -reps)
+// and prints its aggregate summary.
+func runLargeMonte(caps []int64, m int64, factor float64, seed uint64, shards, workers, reps int, showLoads bool, d balls.Distribution, p balls.Protocol) error {
+	if reps < 1 {
+		return fmt.Errorf("-large -reps %d: need at least 1 repetition", reps)
+	}
+	start := time.Now()
+	res, err := balls.MonteCarloLarge(balls.MonteLargeConfig{
+		LargeConfig: balls.LargeConfig{
+			Capacities:   caps,
+			Balls:        m,
+			BallsFactor:  factor,
+			Seed:         seed,
+			Shards:       shards,
+			Workers:      workers,
+			Distribution: d,
+			Protocol:     p,
+		},
+		Reps:        reps,
+		SortedLoads: showLoads,
+	})
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("mode:            sharded monte-carlo\n")
+	fmt.Printf("bins:            %d (C = %d)\n", res.N, sum(caps))
+	fmt.Printf("balls per rep:   %d\n", res.Balls)
+	fmt.Printf("protocol:        %s\n", p.Name())
+	fmt.Printf("distribution:    %s\n", d.Name())
+	fmt.Printf("shards:          %d\n", res.Shards)
+	fmt.Printf("repetitions:     %d\n", res.Reps)
+	fmt.Printf("average load:    %.4f\n", res.AverageLoad)
+	fmt.Printf("max load:        %.4f ± %.4f (95%% CI), worst %.4f\n",
+		res.MeanMaxLoad, res.MaxLoadCI95, res.WorstMaxLoad)
+	fmt.Printf("max − avg:       %.4f ± %.4f\n", res.MeanDeviation, res.DeviationCI95)
+	fmt.Printf("wall time:       %s\n", elapsed.Round(time.Millisecond))
+	if showLoads {
+		fmt.Println("mean sorted loads:")
+		for i, v := range res.MeanSortedLoads {
+			fmt.Printf("%d\t%.4f\n", i, v)
+		}
+	}
 	return nil
 }
 

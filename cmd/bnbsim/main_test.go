@@ -94,13 +94,25 @@ func TestRunLargeEndToEnd(t *testing.T) {
 		t.Fatalf("run -large with factor: %v", err)
 	}
 	if err := run([]string{"-spec", "100x1", "-large", "-loads"}); err == nil {
-		t.Error("-loads with -large accepted")
-	}
-	if err := run([]string{"-spec", "100x1", "-large", "-reps", "50"}); err == nil {
-		t.Error("-reps with -large accepted")
+		t.Error("-loads with -large but without -reps accepted")
 	}
 	if err := run([]string{"-spec", "100x1", "-shards", "4"}); err == nil {
 		t.Error("-shards without -large accepted")
+	}
+}
+
+func TestRunLargeMonteEndToEnd(t *testing.T) {
+	if err := run([]string{"-spec", "100x1+100x10", "-large", "-reps", "10", "-shards", "8"}); err != nil {
+		t.Fatalf("run -large -reps: %v", err)
+	}
+	if err := run([]string{"-spec", "100x1", "-large", "-reps", "5", "-shards", "4", "-workers", "3", "-m", "500"}); err != nil {
+		t.Fatalf("run -large -reps with workers: %v", err)
+	}
+	if err := run([]string{"-spec", "20x1", "-large", "-reps", "3", "-loads"}); err != nil {
+		t.Fatalf("run -large -reps -loads: %v", err)
+	}
+	if err := run([]string{"-spec", "100x1", "-large", "-reps", "0"}); err == nil {
+		t.Error("-reps 0 with -large accepted")
 	}
 }
 

@@ -1,3 +1,5 @@
 module repro
 
-go 1.24
+// Kept at the oldest Go release the CI matrix exercises (1.23); the
+// code must build on both matrix legs.
+go 1.23

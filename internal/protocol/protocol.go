@@ -74,7 +74,20 @@ func validate(a *bins.Array, weights []float64, d int) error {
 type Greedy struct {
 	d     int
 	table *sampling.AliasTable
+	// batchCand/batchTie are the SampleBatch scratch buffers of the
+	// devirtualized d = 2/3/4 PlaceBatch kernels (ballBatch balls per
+	// block), allocated once at construction so the batch loops stay
+	// zero-allocation. They make a Greedy unsafe for concurrent use —
+	// which it already was, since Place mutates the caller's RNG.
+	batchCand []int
+	batchTie  []uint64
 }
+
+// ballBatch is the number of balls whose candidates and tie draws are
+// pre-sampled per SampleBatch block: large enough to amortise the loop
+// overhead and keep many independent table loads in flight, small
+// enough that the scratch (d·8 B + 8 B per ball) stays inside L1.
+const ballBatch = 256
 
 // NewGreedy builds Algorithm 1 with d choices over the given weights.
 func NewGreedy(a *bins.Array, weights []float64, d int) (*Greedy, error) {
@@ -85,7 +98,12 @@ func NewGreedy(a *bins.Array, weights []float64, d int) (*Greedy, error) {
 	if err != nil {
 		return nil, fmt.Errorf("protocol: greedy sampler: %w", err)
 	}
-	return &Greedy{d: d, table: t}, nil
+	g := &Greedy{d: d, table: t}
+	if d >= 2 && d <= 4 {
+		g.batchCand = make([]int, d*ballBatch)
+		g.batchTie = make([]uint64, ballBatch)
+	}
+	return g, nil
 }
 
 // Name implements Placer.
@@ -121,20 +139,27 @@ func select2(b1, b2 int, c1, c2, l1, l2 int64, coin bool) int {
 	return win
 }
 
-// choose2 is the branch-lean d = 2 specialization of Algorithm 1. Both
-// candidates come from one Sample2 draw and the tie-break coin is a
-// second unconditional draw, so every ball consumes exactly two RNG
-// advances regardless of outcome.
-func (g *Greedy) choose2(a *bins.Array, r *xrand.Rand) int {
-	b1, b2 := g.table.Sample2(r)
-	coin := r.Uint64()&1 == 1
+// greedyPick2 resolves Algorithm 1's d = 2 decision for two sampled
+// candidates and one raw tie draw (the coin is the draw's low bit). It
+// is the decision half of choose2, split out so the SampleBatch-fed
+// batch kernel and the per-ball path share one body.
+func greedyPick2(a *bins.Array, b1, b2 int, u uint64) int {
 	if b1 == b2 {
 		return b1
 	}
 	c1, c2 := a.Capacity(b1), a.Capacity(b2)
 	l1 := (a.Balls(b1) + 1) * c2
 	l2 := (a.Balls(b2) + 1) * c1
-	return select2(b1, b2, c1, c2, l1, l2, coin)
+	return select2(b1, b2, c1, c2, l1, l2, u&1 == 1)
+}
+
+// choose2 is the branch-lean d = 2 specialization of Algorithm 1. Both
+// candidates come from one Sample2 draw and the tie-break coin is a
+// second unconditional draw, so every ball consumes exactly two RNG
+// advances regardless of outcome.
+func (g *Greedy) choose2(a *bins.Array, r *xrand.Rand) int {
+	b1, b2 := g.table.Sample2(r)
+	return greedyPick2(a, b1, b2, r.Uint64())
 }
 
 // chooseGeneralFrom is the verbatim translation of Algorithm 1 for any
@@ -215,7 +240,10 @@ func (g *Greedy) chooseGeneral(a *bins.Array, r *xrand.Rand) int {
 }
 
 // greedyPick resolves Algorithm 1's steps 3-6 for up to four
-// deduplicated candidates against live ball counts. It is
+// deduplicated candidates against live ball counts, with the step-6
+// tie draw supplied raw in u (already consumed by the caller, so the
+// stream position is the same whether the draw came straight off the
+// RNG or out of a SampleBatch tie buffer). It is
 // decision-equivalent to the tail of chooseGeneralFrom — same tie sets,
 // same unconditional tieIdx consumption — but shaped for the pipeline:
 // all candidate bin states load up front into fixed four-slot vectors,
@@ -226,7 +254,7 @@ func (g *Greedy) chooseGeneral(a *bins.Array, r *xrand.Rand) int {
 // the same Bopt). Tie outcomes are coin tosses the branch predictor
 // would keep losing; keeping them out of the control flow is the same
 // trick the d = 2 kernel plays.
-func greedyPick(a *bins.Array, r *xrand.Rand, cand *[4]int, nc int) int {
+func greedyPick(a *bins.Array, u uint64, cand *[4]int, nc int) int {
 	var ms, cs [4]int64
 	for i := 0; i < nc; i++ {
 		ms[i], cs[i] = a.PostLoad(cand[i])
@@ -274,7 +302,7 @@ func greedyPick(a *bins.Array, r *xrand.Rand, cand *[4]int, nc int) int {
 	}
 	// Step 6: i.u.r. choice among the survivors (the tie draw is
 	// unconditional; see tieIdx).
-	return surv[tieIdx(r, k)]
+	return surv[tieIdxFrom(u, k)]
 }
 
 // nonzero64 returns 1 if v != 0 and 0 otherwise, without a branch.
@@ -297,18 +325,24 @@ func nonzero64(v int64) int {
 // general path, and the duplicate-candidate fallback) routes through
 // this one function so the draw stream stays identical across paths.
 func tieIdx(r *xrand.Rand, k int) int {
-	hi, _ := bits.Mul64(r.Uint64(), uint64(k))
+	return tieIdxFrom(r.Uint64(), k)
+}
+
+// tieIdxFrom is tieIdx for a draw the caller already consumed — the
+// SampleBatch path buffers the per-ball tie draw alongside the
+// candidates and resolves it here without touching the RNG again.
+func tieIdxFrom(u uint64, k int) int {
+	hi, _ := bits.Mul64(u, uint64(k))
 	return int(hi)
 }
 
-// choose3 is the devirtualized d = 3 kernel: all three candidates come
-// from two RNG draws (the SampleN packing — one Sample2 draw plus one
-// Sample draw, flattened into Sample3). The common all-distinct case
-// runs fully unrolled in registers; a duplicate (probability ~n⁻¹ per
-// pair) collapses the set and delegates to greedyPick. Decision- and
-// stream-equivalent to chooseGeneralFrom with d = 3.
-func (g *Greedy) choose3(a *bins.Array, r *xrand.Rand) int {
-	b0, b1, b2 := g.table.Sample3(r)
+// greedyPick3 resolves the d = 3 decision for three sampled candidates
+// and one raw tie draw — the decision half of choose3, shared by the
+// per-ball path and the SampleBatch-fed batch kernel. The common
+// all-distinct case runs fully unrolled in registers; a duplicate
+// (probability ~n⁻¹ per pair) collapses the set and delegates to
+// greedyPick.
+func greedyPick3(a *bins.Array, b0, b1, b2 int, u uint64) int {
 	if b1 == b0 || b2 == b0 || b2 == b1 {
 		var cand [4]int
 		cand[0] = b0
@@ -321,7 +355,7 @@ func (g *Greedy) choose3(a *bins.Array, r *xrand.Rand) int {
 			cand[nc] = b2
 			nc++
 		}
-		return greedyPick(a, r, &cand, nc)
+		return greedyPick(a, u, &cand, nc)
 	}
 	m0, c0 := a.PostLoad(b0)
 	m1, c1 := a.PostLoad(b1)
@@ -363,7 +397,7 @@ func (g *Greedy) choose3(a *bins.Array, r *xrand.Rand) int {
 	s1 := 1 - nonzero64((m1-am)|(c1-ac))
 	s2 := 1 - nonzero64((m2-am)|(c2-ac))
 	k := s0 + s1 + s2
-	j := tieIdx(r, k)
+	j := tieIdxFrom(u, k)
 	t0 := s0
 	t1 := t0 + s1
 	win := b2
@@ -376,12 +410,22 @@ func (g *Greedy) choose3(a *bins.Array, r *xrand.Rand) int {
 	return win
 }
 
-// choose4 is the devirtualized d = 4 kernel: four candidates from two
-// packed draws (Sample4), the all-distinct case fully unrolled, the
-// rare duplicate case collapsed and delegated to greedyPick. Decision-
-// and stream-equivalent to chooseGeneralFrom with d = 4.
-func (g *Greedy) choose4(a *bins.Array, r *xrand.Rand) int {
-	b0, b1, b2, b3 := g.table.Sample4(r)
+// choose3 is the devirtualized d = 3 kernel: all three candidates come
+// from two RNG draws (the SampleN packing — one Sample2 draw plus one
+// Sample draw, flattened into Sample3) and the unconditional tie draw
+// is the third advance. Decision- and stream-equivalent to
+// chooseGeneralFrom with d = 3.
+func (g *Greedy) choose3(a *bins.Array, r *xrand.Rand) int {
+	b0, b1, b2 := g.table.Sample3(r)
+	return greedyPick3(a, b0, b1, b2, r.Uint64())
+}
+
+// greedyPick4 resolves the d = 4 decision for four sampled candidates
+// and one raw tie draw — the decision half of choose4, shared by the
+// per-ball path and the SampleBatch-fed batch kernel: the all-distinct
+// case fully unrolled, the rare duplicate case collapsed and delegated
+// to greedyPick.
+func greedyPick4(a *bins.Array, b0, b1, b2, b3 int, u uint64) int {
 	if b1 == b0 || b2 == b0 || b2 == b1 || b3 == b0 || b3 == b1 || b3 == b2 {
 		var cand [4]int
 		cand[0] = b0
@@ -398,7 +442,7 @@ func (g *Greedy) choose4(a *bins.Array, r *xrand.Rand) int {
 			cand[nc] = b3
 			nc++
 		}
-		return greedyPick(a, r, &cand, nc)
+		return greedyPick(a, u, &cand, nc)
 	}
 	m0, c0 := a.PostLoad(b0)
 	m1, c1 := a.PostLoad(b1)
@@ -467,7 +511,7 @@ func (g *Greedy) choose4(a *bins.Array, r *xrand.Rand) int {
 	s2 := 1 - nonzero64((m2-am)|(c2-ac))
 	s3 := 1 - nonzero64((m3-am)|(c3-ac))
 	k := s0 + s1 + s2 + s3
-	j := tieIdx(r, k)
+	j := tieIdxFrom(u, k)
 	t0 := s0
 	t1 := t0 + s1
 	t2 := t1 + s2
@@ -482,6 +526,14 @@ func (g *Greedy) choose4(a *bins.Array, r *xrand.Rand) int {
 		win = b0
 	}
 	return win
+}
+
+// choose4 is the devirtualized d = 4 kernel: four candidates from two
+// packed draws (Sample4) plus the unconditional tie draw. Decision- and
+// stream-equivalent to chooseGeneralFrom with d = 4.
+func (g *Greedy) choose4(a *bins.Array, r *xrand.Rand) int {
+	b0, b1, b2, b3 := g.table.Sample4(r)
+	return greedyPick4(a, b0, b1, b2, b3, r.Uint64())
 }
 
 // Place implements Placer.
@@ -503,20 +555,54 @@ func (g *Greedy) Place(a *bins.Array, r *xrand.Rand) int {
 
 // PlaceBatch implements Placer. Each supported d runs its own
 // monomorphic loop so the per-ball kernel call is direct and the d
-// dispatch happens once per batch, not once per ball.
+// dispatch happens once per batch, not once per ball. The d = 2/3/4
+// kernels additionally split each block of up to ballBatch balls into
+// two passes: SampleBatch pre-draws every candidate and tie draw of the
+// block in one dependency-free loop (table loads of many balls in
+// flight at once), then a pure decision loop reads bin state and
+// places. Candidate choice never depends on bin state — only the
+// placement decision does — so the two-pass schedule consumes the
+// exact per-ball draw sequence and produces the exact final state of k
+// sequential Place calls (pinned by the golden and batch-equivalence
+// tests).
 func (g *Greedy) PlaceBatch(a *bins.Array, r *xrand.Rand, k int64) {
+	cand, tie := g.batchCand, g.batchTie
 	switch g.d {
 	case 2:
-		for ; k > 0; k-- {
-			a.Add(g.choose2(a, r))
+		for k > 0 {
+			n := ballBatch
+			if int64(n) > k {
+				n = int(k)
+			}
+			g.table.SampleBatch(r, 2, cand[:2*n], tie[:n])
+			for i := 0; i < n; i++ {
+				a.Add(greedyPick2(a, cand[2*i], cand[2*i+1], tie[i]))
+			}
+			k -= int64(n)
 		}
 	case 3:
-		for ; k > 0; k-- {
-			a.Add(g.choose3(a, r))
+		for k > 0 {
+			n := ballBatch
+			if int64(n) > k {
+				n = int(k)
+			}
+			g.table.SampleBatch(r, 3, cand[:3*n], tie[:n])
+			for i := 0; i < n; i++ {
+				a.Add(greedyPick3(a, cand[3*i], cand[3*i+1], cand[3*i+2], tie[i]))
+			}
+			k -= int64(n)
 		}
 	case 4:
-		for ; k > 0; k-- {
-			a.Add(g.choose4(a, r))
+		for k > 0 {
+			n := ballBatch
+			if int64(n) > k {
+				n = int(k)
+			}
+			g.table.SampleBatch(r, 4, cand[:4*n], tie[:n])
+			for i := 0; i < n; i++ {
+				a.Add(greedyPick4(a, cand[4*i], cand[4*i+1], cand[4*i+2], cand[4*i+3], tie[i]))
+			}
+			k -= int64(n)
 		}
 	default:
 		for ; k > 0; k-- {

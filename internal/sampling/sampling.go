@@ -293,6 +293,129 @@ func (t *AliasTable) SampleN(r *xrand.Rand, out []int) {
 	}
 }
 
+// SampleBatch fills cand with len(tie) groups of d candidate indices and
+// tie with one raw 64-bit draw per group, amortising RNG advances and
+// table-load latency across a whole ball batch: the fill loop carries no
+// dependency from one ball to the next, so the table loads of many balls
+// are in flight at once instead of serialising behind each ball's
+// placement decision. len(cand) must equal d·len(tie).
+//
+// The draw sequence is pinned to the per-ball kernels: for each ball,
+// first the candidate draws — the SampleN packing, two candidates per
+// 64-bit advance, ceil(d/2) advances — then one further advance stored
+// raw in tie (the d = 2 kernels read their coin from tie's low bit, the
+// d >= 3 kernels feed it to the step-6 tie pick). A batch of b balls
+// therefore consumes exactly the draws of b sequential per-ball kernel
+// calls, in the same order, so wiring SampleBatch into PlaceBatch does
+// not move a single bit of any pinned placement stream.
+//
+// The d = 2/3/4 reduction bodies are deliberately duplicated from
+// Sample2/Sample3/Sample4 rather than composed: a per-ball call into
+// sampleBoth would put a function call back into the hottest loop (see
+// the Sample3 comment). Any change to the reduction or threshold logic
+// must be mirrored here as well; the stream-contract tests pin all
+// paths against each other.
+func (t *AliasTable) SampleBatch(r *xrand.Rand, d int, cand []int, tie []uint64) {
+	if d < 1 || len(cand) != d*len(tie) {
+		panic(fmt.Sprintf("sampling: SampleBatch(d=%d) with %d candidates for %d balls",
+			d, len(cand), len(tie)))
+	}
+	n := uint64(len(t.cols))
+	switch d {
+	case 2:
+		j := 0
+		for i := range tie {
+			u := r.Uint64()
+			p1 := (u >> 32) * n
+			p2 := (u & 0xffffffff) * n
+			i1 := int(p1 >> 32)
+			i2 := int(p2 >> 32)
+			c1 := t.cols[i1]
+			c2 := t.cols[i2]
+			if uint32(p1) >= c1.thresh {
+				i1 = int(c1.alias)
+			}
+			if uint32(p2) >= c2.thresh {
+				i2 = int(c2.alias)
+			}
+			cand[j] = i1
+			cand[j+1] = i2
+			tie[i] = r.Uint64()
+			j += 2
+		}
+	case 3:
+		j := 0
+		for i := range tie {
+			u1 := r.Uint64()
+			u2 := r.Uint64()
+			p1 := (u1 >> 32) * n
+			p2 := (u1 & 0xffffffff) * n
+			p3 := (u2 >> 32) * n
+			i1 := int(p1 >> 32)
+			i2 := int(p2 >> 32)
+			i3 := int(p3 >> 32)
+			c1 := t.cols[i1]
+			c2 := t.cols[i2]
+			c3 := t.cols[i3]
+			if uint32(p1) >= c1.thresh {
+				i1 = int(c1.alias)
+			}
+			if uint32(p2) >= c2.thresh {
+				i2 = int(c2.alias)
+			}
+			if uint32(p3) >= c3.thresh {
+				i3 = int(c3.alias)
+			}
+			cand[j] = i1
+			cand[j+1] = i2
+			cand[j+2] = i3
+			tie[i] = r.Uint64()
+			j += 3
+		}
+	case 4:
+		j := 0
+		for i := range tie {
+			u1 := r.Uint64()
+			u2 := r.Uint64()
+			p1 := (u1 >> 32) * n
+			p2 := (u1 & 0xffffffff) * n
+			p3 := (u2 >> 32) * n
+			p4 := (u2 & 0xffffffff) * n
+			i1 := int(p1 >> 32)
+			i2 := int(p2 >> 32)
+			i3 := int(p3 >> 32)
+			i4 := int(p4 >> 32)
+			c1 := t.cols[i1]
+			c2 := t.cols[i2]
+			c3 := t.cols[i3]
+			c4 := t.cols[i4]
+			if uint32(p1) >= c1.thresh {
+				i1 = int(c1.alias)
+			}
+			if uint32(p2) >= c2.thresh {
+				i2 = int(c2.alias)
+			}
+			if uint32(p3) >= c3.thresh {
+				i3 = int(c3.alias)
+			}
+			if uint32(p4) >= c4.thresh {
+				i4 = int(c4.alias)
+			}
+			cand[j] = i1
+			cand[j+1] = i2
+			cand[j+2] = i3
+			cand[j+3] = i4
+			tie[i] = r.Uint64()
+			j += 4
+		}
+	default:
+		for i := range tie {
+			t.SampleN(r, cand[i*d:(i+1)*d])
+			tie[i] = r.Uint64()
+		}
+	}
+}
+
 // N returns the number of categories.
 func (t *AliasTable) N() int { return len(t.cols) }
 

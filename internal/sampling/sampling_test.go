@@ -552,6 +552,70 @@ func TestSampleNStreamContract(t *testing.T) {
 	}
 }
 
+// TestSampleBatchStreamContract: SampleBatch(d) over b balls must
+// reproduce, ball for ball, d SampleN candidates followed by one raw
+// Uint64 tie draw — the exact per-ball draw order of the greedy
+// kernels — and consume exactly b·(ceil(d/2)+1) advances.
+func TestSampleBatchStreamContract(t *testing.T) {
+	weights := []float64{5, 1, 3, 0.5, 2, 8, 0.25, 4}
+	a, err := NewAlias(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []int{1, 2, 3, 4, 5, 7} {
+		for _, b := range []int{1, 2, 17} {
+			r1 := xrand.New(uint64(1000*d + b))
+			cand := make([]int, d*b)
+			tie := make([]uint64, b)
+			a.SampleBatch(r1, d, cand, tie)
+
+			r2 := xrand.New(uint64(1000*d + b))
+			wantCand := make([]int, d)
+			for ball := 0; ball < b; ball++ {
+				a.SampleN(r2, wantCand)
+				for i, w := range wantCand {
+					if cand[ball*d+i] != w {
+						t.Fatalf("d=%d b=%d: ball %d candidate %d = %d, reference %d",
+							d, b, ball, i, cand[ball*d+i], w)
+					}
+				}
+				if u := r2.Uint64(); tie[ball] != u {
+					t.Fatalf("d=%d b=%d: ball %d tie draw %#x, reference %#x",
+						d, b, ball, tie[ball], u)
+				}
+			}
+			if *r1 != *r2 {
+				t.Fatalf("d=%d b=%d: RNG states diverge (draw counts differ)", d, b)
+			}
+		}
+	}
+}
+
+func TestSampleBatchPanicsOnSizeMismatch(t *testing.T) {
+	a, err := NewAlias([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []struct {
+		d          int
+		cand, ties int
+	}{
+		{0, 0, 0},
+		{2, 3, 2},
+		{3, 3, 2},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SampleBatch(d=%d, %d cand, %d ties) did not panic",
+						bad.d, bad.cand, bad.ties)
+				}
+			}()
+			a.SampleBatch(xrand.New(1), bad.d, make([]int, bad.cand), make([]uint64, bad.ties))
+		}()
+	}
+}
+
 // TestSampleNMatchesDistribution: chi-square agreement of the packed
 // multi-candidate draws with the build weights, on skewed and
 // near-degenerate vectors — every position of the packed draw must

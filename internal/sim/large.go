@@ -147,18 +147,7 @@ func RunLarge(cfg LargeConfig) (*LargeResult, error) {
 		factory = protocol.GreedyFactory(2)
 	}
 
-	// Shard boundaries and total selection weight per shard.
-	bounds := make([]int, shards+1)
-	for s := 0; s <= shards; s++ {
-		bounds[s] = s * n / shards
-	}
-	shardW := make([]float64, shards)
-	for s := 0; s < shards; s++ {
-		for i := bounds[s]; i < bounds[s+1]; i++ {
-			shardW[s] += weights[i]
-		}
-	}
-	router, err := sampling.NewAlias(shardW)
+	bounds, _, router, err := shardPlan(weights, n, shards)
 	if err != nil {
 		return nil, fmt.Errorf("sim: RunLarge router: %w", err)
 	}
@@ -239,6 +228,30 @@ func RunLarge(cfg LargeConfig) (*LargeResult, error) {
 		ShardBalls: counts,
 		Array:      arr,
 	}, nil
+}
+
+// shardPlan computes the contiguous shard boundaries, each shard's
+// total selection weight and the routing alias table over those
+// weights. RunLarge and RunLargeMonte share it so the shard geometry
+// and routing distribution can never diverge: the Monte engine's
+// "repetition 0 reproduces RunLarge bit for bit" contract depends on
+// both engines using the identical plan.
+func shardPlan(weights []float64, n, shards int) (bounds []int, shardW []float64, router *sampling.AliasTable, err error) {
+	bounds = make([]int, shards+1)
+	for s := 0; s <= shards; s++ {
+		bounds[s] = s * n / shards
+	}
+	shardW = make([]float64, shards)
+	for s := 0; s < shards; s++ {
+		for i := bounds[s]; i < bounds[s+1]; i++ {
+			shardW[s] += weights[i]
+		}
+	}
+	router, err = sampling.NewAlias(shardW)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return bounds, shardW, router, nil
 }
 
 // placeShard runs shard s's game: its own pre-built view, its own

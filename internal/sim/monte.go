@@ -1,0 +1,363 @@
+// Sharded Monte-Carlo engine: R repetitions of the sharded single-run
+// game (RunLarge), scheduled as a two-level pipeline so that huge-n
+// aggregates — the regime where the paper's gap bounds become
+// empirically sharp — run at full machine width without holding more
+// than a handful of bin arrays in memory.
+//
+// # Scheduling model
+//
+// All CPU work (routing passes, per-shard placement, per-repetition
+// summaries) executes on ONE shared bounded worker pool of cfg.Workers
+// goroutines. On top of it, min(Workers, Reps) repetition orchestrators
+// each own a single reusable bin-array clone (plus its shard views and
+// per-shard placers, built once and reset between repetitions) and
+// pump their repetitions through the pool phase by phase:
+//
+//	route(rep) ∥ reset shards → place shards in parallel → summarise
+//
+// Orchestrators only coordinate — they never burn a core — so shard
+// tasks of one repetition overlap the routing pass of the next, and
+// total CPU concurrency never exceeds Workers. Peak memory is
+// min(Workers, Reps) bin arrays plus one O(Reps)-free running summary:
+// O(Shards · shardSize) per in-flight repetition, never O(Reps · n),
+// so n = 10^7 with hundreds of repetitions fits in RAM.
+//
+// # Determinism contract
+//
+// Repetition rep offsets the single-run stream layout by
+// rep·(Shards+1): its routing pass draws from stream rep·(Shards+1)
+// and shard s places from stream rep·(Shards+1)+1+s of the base seed.
+// Repetition 0 therefore consumes exactly the streams of RunLarge —
+// RunLargeMonte with Reps = 1 reproduces RunLarge bit for bit — and
+// every repetition is a pure function of (capacities, distribution,
+// protocol, balls, Seed, Shards, rep). Aggregation folds repetition
+// summaries strictly in repetition order (a turn-based in-order fold),
+// so every accumulator and the mean load vector are bit-identical for
+// any Workers value. Shards remains part of the model, exactly as in
+// RunLarge.
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"slices"
+	"sync"
+
+	"repro/internal/bins"
+	"repro/internal/dist"
+	"repro/internal/protocol"
+	"repro/internal/sampling"
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+// LargeMonteConfig describes a Monte-Carlo aggregate over sharded
+// single runs: Reps independent repetitions of the game LargeConfig
+// describes.
+type LargeMonteConfig struct {
+	LargeConfig
+	// Reps is the number of independent repetitions (>= 1). Repetition
+	// rep derives its RNG streams by offsetting the single-run layout:
+	// routing on stream rep·(Shards+1), shard s on stream
+	// rep·(Shards+1)+1+s — so repetition 0 is bit-identical to
+	// RunLarge with the same LargeConfig.
+	Reps int
+	// CollectLoadVector requests the element-wise mean of the sorted
+	// (non-increasing) load vector across repetitions. Costs one O(n)
+	// sort per repetition plus a single O(n) running-sum vector; the
+	// per-repetition vectors are never retained.
+	CollectLoadVector bool
+}
+
+// LargeMonteResult aggregates a sharded Monte-Carlo run. Per-repetition
+// bin arrays are not retained — only streaming summaries.
+type LargeMonteResult struct {
+	// N is the number of bins; Shards the realised shard count; Reps
+	// the number of repetitions aggregated.
+	N      int
+	Shards int
+	Reps   int
+	// Balls is the number of balls placed per repetition (identical
+	// across repetitions: the array is fixed).
+	Balls int64
+	// MaxLoad, AvgLoad and Deviation aggregate the final whole-array
+	// load statistics across repetitions (deviation = max − average,
+	// the paper's gap).
+	MaxLoad   stats.Accumulator
+	AvgLoad   stats.Accumulator
+	Deviation stats.Accumulator
+	// MeanSortedLoads is the element-wise mean of the non-increasing
+	// sorted load vector (only when CollectLoadVector).
+	MeanSortedLoads []float64
+}
+
+// monteAgg folds per-repetition summaries strictly in repetition order:
+// an orchestrator that finished repetition rep waits until every
+// repetition below rep has folded. Welford updates and the load-vector
+// float sums therefore happen in one fixed order, which is what makes
+// the aggregate bit-identical across worker topologies.
+type monteAgg struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	next    int // next repetition index allowed to fold
+	err     error
+	loadSum []float64
+}
+
+// fold blocks until it is rep's turn, runs fn under the aggregation
+// lock (skipped once an earlier repetition has failed), and passes the
+// turn on. Every repetition must fold exactly once, success or not,
+// or the turn chain stalls.
+func (ag *monteAgg) fold(rep int, fn func(ag *monteAgg)) {
+	ag.mu.Lock()
+	for ag.next != rep {
+		ag.cond.Wait()
+	}
+	if ag.err == nil {
+		fn(ag)
+	}
+	ag.next++
+	ag.cond.Broadcast()
+	ag.mu.Unlock()
+}
+
+// failed reports whether an earlier repetition has recorded an error —
+// later orchestrators use it to skip useless work.
+func (ag *monteAgg) failed() bool {
+	ag.mu.Lock()
+	defer ag.mu.Unlock()
+	return ag.err != nil
+}
+
+// monteRepState is one orchestrator's reusable per-repetition state:
+// its own array clone, shard views and per-shard placers (built once,
+// reset between repetitions), routing counts and summary scratch. It
+// is touched by pool tasks of at most one repetition at a time.
+type monteRepState struct {
+	arr     *bins.Array
+	views   []*bins.Array     // nil for zero-weight shards (never routed to)
+	placers []protocol.Placer // nil iff views[s] is nil
+	counts  []int64
+	collect bool
+	loads   []float64 // sorted-ascending load vector scratch
+	max     float64
+	avg     float64
+}
+
+// newMonteRepState clones the (already reset) master array and builds
+// the orchestrator's shard views and placers. Zero-weight shards get
+// neither — the router can never send a ball there, and building a
+// placer over an all-zero weight slice would fail.
+func newMonteRepState(master *bins.Array, weights []float64, bounds []int, shardW []float64, factory protocol.Factory, collect bool) (*monteRepState, error) {
+	shards := len(shardW)
+	st := &monteRepState{
+		arr:     master.Clone(),
+		views:   make([]*bins.Array, shards),
+		placers: make([]protocol.Placer, shards),
+		counts:  make([]int64, shards),
+		collect: collect,
+	}
+	for s := 0; s < shards; s++ {
+		if shardW[s] <= 0 {
+			continue
+		}
+		v, err := st.arr.Shard(bounds[s], bounds[s+1])
+		if err != nil {
+			return nil, fmt.Errorf("sim: RunLargeMonte shard %d: %w", s, err)
+		}
+		p, err := factory(v, weights[bounds[s]:bounds[s+1]])
+		if err != nil {
+			return nil, fmt.Errorf("sim: RunLargeMonte shard %d placer: %w", s, err)
+		}
+		st.views[s] = v
+		st.placers[s] = p
+	}
+	return st, nil
+}
+
+// runRep executes one repetition through the shared pool in three
+// phases. Phase A overlaps the sequential routing pass (stream
+// base = rep·(shards+1)) with the per-shard resets: routing touches
+// only the router table and st.counts, resets touch only view bins.
+// Phase B places every routed shard in parallel on stream base+1+s.
+// Phase C summarises the whole array (the only phase that may run
+// parent-array methods, which the bins.Shard contract forbids while
+// views mutate).
+func (st *monteRepState) runRep(tasks chan<- func(), seed, rep uint64, shards int, m int64, router *sampling.AliasTable) {
+	base := rep * uint64(shards+1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	tasks <- func() {
+		defer wg.Done()
+		for s := range st.counts {
+			st.counts[s] = 0
+		}
+		rr := xrand.NewStream(seed, base)
+		for i := int64(0); i < m; i++ {
+			st.counts[router.Sample(rr)]++
+		}
+	}
+	for s := range st.views {
+		if st.views[s] == nil {
+			continue
+		}
+		wg.Add(1)
+		tasks <- func() {
+			defer wg.Done()
+			st.views[s].Reset()
+		}
+	}
+	wg.Wait()
+
+	for s := range st.views {
+		if st.counts[s] == 0 {
+			continue
+		}
+		wg.Add(1)
+		tasks <- func() {
+			defer wg.Done()
+			p := st.placers[s]
+			// Stateful placers (e.g. the batched protocol's round
+			// snapshot) must forget the previous repetition.
+			if rp, ok := p.(interface{ Reset() }); ok {
+				rp.Reset()
+			}
+			rs := xrand.NewStream(seed, base+1+uint64(s))
+			p.PlaceBatch(st.views[s], rs, st.counts[s])
+		}
+	}
+	wg.Wait()
+
+	wg.Add(1)
+	tasks <- func() {
+		defer wg.Done()
+		st.arr.Recount()
+		st.max = st.arr.MaxLoad()
+		st.avg = st.arr.AverageLoad()
+		if st.collect {
+			st.loads = st.arr.LoadVectorInto(st.loads)
+			slices.Sort(st.loads)
+		}
+	}
+	wg.Wait()
+}
+
+// RunLargeMonte executes cfg.Reps repetitions of the sharded single-run
+// engine and aggregates them. See the package comment of this file for
+// the scheduling model and the determinism contract.
+func RunLargeMonte(cfg LargeMonteConfig) (*LargeMonteResult, error) {
+	shards, err := cfg.LargeConfig.validate()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Reps < 1 {
+		return nil, fmt.Errorf("sim: RunLargeMonte Reps = %d, need >= 1", cfg.Reps)
+	}
+
+	n := cfg.Array.N()
+	master := cfg.Array.Clone()
+	master.Reset()
+	d := cfg.Dist
+	if d == nil {
+		d = dist.Proportional{}
+	}
+	weights, err := d.Weights(master)
+	if err != nil {
+		return nil, fmt.Errorf("sim: RunLargeMonte weights: %w", err)
+	}
+	factory := cfg.Placer
+	if factory == nil {
+		factory = protocol.GreedyFactory(2)
+	}
+
+	// The shard plan (boundaries, per-shard weights, routing table) is
+	// shared read-only across repetitions: AliasTable.Sample only reads
+	// the packed columns, so concurrent routing passes of different
+	// repetitions can use one router.
+	bounds, shardW, router, err := shardPlan(weights, n, shards)
+	if err != nil {
+		return nil, fmt.Errorf("sim: RunLargeMonte router: %w", err)
+	}
+
+	m := (&Config{Balls: cfg.Balls, BallsFactor: cfg.BallsFactor}).ballCount(master.TotalCapacity())
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	inflight := workers
+	if inflight > cfg.Reps {
+		inflight = cfg.Reps
+	}
+
+	res := &LargeMonteResult{N: n, Shards: shards, Reps: cfg.Reps, Balls: m}
+	agg := &monteAgg{}
+	agg.cond = sync.NewCond(&agg.mu)
+	if cfg.CollectLoadVector {
+		agg.loadSum = make([]float64, n)
+	}
+
+	// The shared bounded pool: every CPU-heavy task of every phase of
+	// every repetition runs here, so concurrency is exactly workers.
+	tasks := make(chan func())
+	var poolWG sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		poolWG.Add(1)
+		go func() {
+			defer poolWG.Done()
+			for f := range tasks {
+				f()
+			}
+		}()
+	}
+
+	var orchWG sync.WaitGroup
+	for w := 0; w < inflight; w++ {
+		orchWG.Add(1)
+		go func(w int) {
+			defer orchWG.Done()
+			st, serr := newMonteRepState(master, weights, bounds, shardW, factory, cfg.CollectLoadVector)
+			// Static strided assignment: orchestrator w owns reps
+			// w, w+inflight, … — processed in increasing order, which
+			// the in-order fold relies on for progress.
+			for rep := w; rep < cfg.Reps; rep += inflight {
+				if serr != nil {
+					err := serr
+					agg.fold(rep, func(ag *monteAgg) { ag.err = err })
+					continue
+				}
+				if agg.failed() {
+					agg.fold(rep, func(*monteAgg) {})
+					continue
+				}
+				st.runRep(tasks, cfg.Seed, uint64(rep), shards, m, router)
+				agg.fold(rep, func(ag *monteAgg) {
+					res.MaxLoad.Add(st.max)
+					res.AvgLoad.Add(st.avg)
+					res.Deviation.Add(st.max - st.avg)
+					if ag.loadSum != nil {
+						// accumulate in non-increasing order, matching
+						// Run's MeanSortedLoads convention
+						for i := range st.loads {
+							ag.loadSum[i] += st.loads[len(st.loads)-1-i]
+						}
+					}
+				})
+			}
+		}(w)
+	}
+	orchWG.Wait()
+	close(tasks)
+	poolWG.Wait()
+
+	if agg.err != nil {
+		return nil, agg.err
+	}
+	if agg.loadSum != nil {
+		for i := range agg.loadSum {
+			agg.loadSum[i] /= float64(cfg.Reps)
+		}
+		res.MeanSortedLoads = agg.loadSum
+	}
+	return res, nil
+}

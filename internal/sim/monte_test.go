@@ -1,0 +1,241 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/bins"
+	"repro/internal/dist"
+	"repro/internal/protocol"
+)
+
+func TestRunLargeMonteValidation(t *testing.T) {
+	a := largeArray(t, 100)
+	if _, err := RunLargeMonte(LargeMonteConfig{Reps: 1}); err == nil {
+		t.Error("nil array accepted")
+	}
+	if _, err := RunLargeMonte(LargeMonteConfig{LargeConfig: LargeConfig{Array: a}}); err == nil {
+		t.Error("Reps = 0 accepted")
+	}
+	if _, err := RunLargeMonte(LargeMonteConfig{LargeConfig: LargeConfig{Array: a}, Reps: -2}); err == nil {
+		t.Error("negative Reps accepted")
+	}
+	if _, err := RunLargeMonte(LargeMonteConfig{LargeConfig: LargeConfig{Array: a, Shards: 101}, Reps: 1}); err == nil {
+		t.Error("shards > n accepted")
+	}
+	if _, err := RunLargeMonte(LargeMonteConfig{LargeConfig: LargeConfig{Array: a, Balls: -1}, Reps: 1}); err == nil {
+		t.Error("negative balls accepted")
+	}
+}
+
+// TestRunLargeMonteRepZeroMatchesRunLarge: with Reps = 1 the Monte
+// engine must reproduce RunLarge exactly — repetition 0 consumes the
+// identical stream layout (routing on stream 0, shard s on stream
+// 1+s), so every statistic matches bit for bit.
+func TestRunLargeMonteRepZeroMatchesRunLarge(t *testing.T) {
+	a := largeArray(t, 1500)
+	cases := []LargeConfig{
+		{Array: a, Seed: 42, Shards: 16},
+		{Array: a, Seed: 7, Shards: 5, Placer: protocol.GreedyFactory(4)},
+		{Array: a, Seed: 9, Shards: 8, Balls: 3000, Placer: protocol.SingleFactory()},
+		{Array: a, Seed: 11, Shards: 10, Dist: dist.TopOnly{MinCapacity: 10}},
+		{Array: a, Seed: 3, Shards: 6, BallsFactor: 2.5},
+	}
+	for i, lc := range cases {
+		want, err := RunLarge(lc)
+		if err != nil {
+			t.Fatalf("case %d: RunLarge: %v", i, err)
+		}
+		got, err := RunLargeMonte(LargeMonteConfig{LargeConfig: lc, Reps: 1})
+		if err != nil {
+			t.Fatalf("case %d: RunLargeMonte: %v", i, err)
+		}
+		if got.Balls != want.Balls || got.Shards != want.Shards || got.N != want.N {
+			t.Fatalf("case %d: shape mismatch: %+v vs %+v", i, got, want)
+		}
+		if got.MaxLoad.Mean() != want.MaxLoad || got.AvgLoad.Mean() != want.AvgLoad ||
+			got.Deviation.Mean() != want.Deviation {
+			t.Fatalf("case %d: stats differ: max %v/%v avg %v/%v dev %v/%v", i,
+				got.MaxLoad.Mean(), want.MaxLoad,
+				got.AvgLoad.Mean(), want.AvgLoad,
+				got.Deviation.Mean(), want.Deviation)
+		}
+	}
+}
+
+// TestRunLargeMonteBitIdenticalAcrossTopologies is the engine's core
+// contract: the entire aggregate — every accumulator, the mean sorted
+// load vector — is bit-identical for any Workers value, across shard
+// and repetition counts (the race CI job runs these nested-pool
+// combinations under -race as well).
+func TestRunLargeMonteBitIdenticalAcrossTopologies(t *testing.T) {
+	a := largeArray(t, 600)
+	for _, shards := range []int{1, 4, 16} {
+		for _, reps := range []int{1, 3, 10} {
+			var base *LargeMonteResult
+			for _, workers := range []int{1, 2, 3, 8} {
+				res, err := RunLargeMonte(LargeMonteConfig{
+					LargeConfig: LargeConfig{
+						Array: a, Seed: 77, Shards: shards, Workers: workers,
+					},
+					Reps:              reps,
+					CollectLoadVector: true,
+				})
+				if err != nil {
+					t.Fatalf("shards=%d reps=%d workers=%d: %v", shards, reps, workers, err)
+				}
+				if base == nil {
+					base = res
+					continue
+				}
+				if !reflect.DeepEqual(base, res) {
+					t.Fatalf("shards=%d reps=%d workers=%d: result differs from workers=1:\n got  %+v\n want %+v",
+						shards, reps, workers, res, base)
+				}
+			}
+		}
+	}
+}
+
+// TestRunLargeMonteAggregates: repetitions are genuinely independent
+// (nonzero variance), counts add up, and the gap aggregate is
+// consistent with max/avg.
+func TestRunLargeMonteAggregates(t *testing.T) {
+	a := largeArray(t, 1000)
+	res, err := RunLargeMonte(LargeMonteConfig{
+		LargeConfig: LargeConfig{Array: a, Seed: 13, Shards: 8},
+		Reps:        20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxLoad.N() != 20 || res.Deviation.N() != 20 {
+		t.Fatalf("accumulated %d/%d observations, want 20", res.MaxLoad.N(), res.Deviation.N())
+	}
+	if res.AvgLoad.Mean() != 1 {
+		t.Fatalf("avg load %v, want 1 (m = C)", res.AvgLoad.Mean())
+	}
+	if res.AvgLoad.Min() != res.AvgLoad.Max() {
+		t.Fatalf("avg load varies across reps of a fixed array: [%v, %v]",
+			res.AvgLoad.Min(), res.AvgLoad.Max())
+	}
+	if res.MaxLoad.Variance() == 0 {
+		t.Fatal("max load variance is exactly 0 over 20 reps (streams not independent?)")
+	}
+	if got, want := res.Deviation.Mean(), res.MaxLoad.Mean()-res.AvgLoad.Mean(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("deviation mean %v, max−avg %v", got, want)
+	}
+	// the caller's array must stay untouched
+	if a.TotalBalls() != 0 {
+		t.Fatal("RunLargeMonte mutated the config array")
+	}
+}
+
+// TestRunLargeMonteLoadVector: on a uniform unit-capacity array the
+// sorted load vector is the sorted ball-count vector, so its sum is
+// exactly m in every repetition — and therefore in the mean.
+func TestRunLargeMonteLoadVector(t *testing.T) {
+	a, err := bins.Uniform(400, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunLargeMonte(LargeMonteConfig{
+		LargeConfig:       LargeConfig{Array: a, Seed: 21, Shards: 4},
+		Reps:              6,
+		CollectLoadVector: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.MeanSortedLoads) != 400 {
+		t.Fatalf("load vector length %d, want 400", len(res.MeanSortedLoads))
+	}
+	var sum float64
+	for i, v := range res.MeanSortedLoads {
+		sum += v
+		if i > 0 && v > res.MeanSortedLoads[i-1] {
+			t.Fatalf("mean sorted loads not non-increasing at %d", i)
+		}
+	}
+	if math.Abs(sum-float64(res.Balls)) > 1e-9 {
+		t.Fatalf("mean sorted loads sum %v, want m = %d", sum, res.Balls)
+	}
+	// without the flag no vector is produced
+	res2, err := RunLargeMonte(LargeMonteConfig{
+		LargeConfig: LargeConfig{Array: a, Seed: 21, Shards: 4},
+		Reps:        2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.MeanSortedLoads != nil {
+		t.Fatal("MeanSortedLoads produced without CollectLoadVector")
+	}
+}
+
+// TestRunLargeMonteZeroWeightShards mirrors the RunLarge test: whole
+// shards with zero selection weight must never receive balls and must
+// not fail placer construction, across many repetitions.
+func TestRunLargeMonteZeroWeightShards(t *testing.T) {
+	a := largeArray(t, 1000)
+	res, err := RunLargeMonte(LargeMonteConfig{
+		LargeConfig: LargeConfig{
+			Array:  a,
+			Seed:   5,
+			Dist:   dist.TopOnly{MinCapacity: 10},
+			Shards: 20,
+		},
+		Reps: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxLoad.N() != 5 {
+		t.Fatalf("aggregated %d reps, want 5", res.MaxLoad.N())
+	}
+}
+
+// TestRunLargeMonteFactoryError: a failing placer factory surfaces as
+// an error, not a hang — every repetition still takes its fold turn.
+func TestRunLargeMonteFactoryError(t *testing.T) {
+	a := largeArray(t, 200)
+	boom := func(*bins.Array, []float64) (protocol.Placer, error) {
+		return nil, fmt.Errorf("boom")
+	}
+	for _, workers := range []int{1, 3} {
+		_, err := RunLargeMonte(LargeMonteConfig{
+			LargeConfig: LargeConfig{Array: a, Seed: 1, Shards: 4, Workers: workers, Placer: boom},
+			Reps:        7,
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: factory error swallowed", workers)
+		}
+	}
+}
+
+// TestRunLargeMonteGoldenValues pins the Monte stream layout the way
+// TestRunLargeGoldenValues pins the single-run layout: any change to
+// the per-repetition stream offsets silently redefines every
+// aggregate, so it must show up here and be deliberate.
+func TestRunLargeMonteGoldenValues(t *testing.T) {
+	a := largeArray(t, 512)
+	res, err := RunLargeMonte(LargeMonteConfig{
+		LargeConfig: LargeConfig{Array: a, Seed: 20260727, Shards: 8},
+		Reps:        4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// rep 0 is the RunLarge golden configuration (max load 3, pinned
+	// in TestRunLargeGoldenValues); the aggregate additionally pins
+	// reps 1-3's offset streams.
+	if res.MaxLoad.Min() != 2 || res.MaxLoad.Max() != 3 || res.MaxLoad.Mean() != 2.75 {
+		t.Fatalf("max load min/max/mean = %v/%v/%v, golden 2/3/2.75",
+			res.MaxLoad.Min(), res.MaxLoad.Max(), res.MaxLoad.Mean())
+	}
+	if res.Deviation.Mean() != 1.75 {
+		t.Fatalf("deviation mean %v, golden 1.75", res.Deviation.Mean())
+	}
+}

@@ -114,3 +114,105 @@ func SimulateLarge(cfg LargeConfig) (*LargeResult, error) {
 		Loads:       LargeLoads{arr: res.Array},
 	}, nil
 }
+
+// MonteLargeConfig describes a Monte-Carlo aggregate over sharded
+// single runs: Reps independent repetitions of the game a LargeConfig
+// describes, streamed into summary statistics. See MonteCarloLarge.
+type MonteLargeConfig struct {
+	LargeConfig
+	// Reps is the number of independent repetitions (default 100).
+	Reps int
+	// SortedLoads requests the element-wise mean of the non-increasing
+	// sorted load vector across repetitions (one O(n) sort per
+	// repetition; the per-repetition vectors are never retained).
+	SortedLoads bool
+}
+
+// MonteLargeResult aggregates a sharded Monte-Carlo run. Only summary
+// statistics are kept — per-repetition bin arrays are discarded as
+// soon as each repetition is summarised, so memory stays
+// O(min(Workers, Reps) · n), never O(Reps · n).
+type MonteLargeResult struct {
+	// N is the number of bins, Shards the realised shard count, Reps
+	// the number of repetitions aggregated, Balls the balls placed per
+	// repetition.
+	N      int
+	Shards int
+	Reps   int
+	Balls  int64
+	// AverageLoad is m/C (identical in every repetition).
+	AverageLoad float64
+	// MeanMaxLoad / MaxLoadCI95: final maximum load, mean and 95% CI
+	// half-width; WorstMaxLoad is the largest final max load seen in
+	// any repetition.
+	MeanMaxLoad  float64
+	MaxLoadCI95  float64
+	WorstMaxLoad float64
+	// MeanDeviation / DeviationCI95 aggregate (max − average), the
+	// paper's gap.
+	MeanDeviation float64
+	DeviationCI95 float64
+	// MeanSortedLoads is the element-wise mean of the non-increasing
+	// load vector (only when SortedLoads was requested).
+	MeanSortedLoads []float64
+}
+
+// MonteCarloLarge runs cfg.Reps independent sharded games (each as
+// SimulateLarge would) and aggregates them, nesting the per-shard
+// parallelism of each repetition inside repetition-level parallelism
+// on one shared bounded worker pool — the huge-n Monte-Carlo regime
+// (n up to 10^7 with hundreds of repetitions) the classic Simulate
+// and single-run SimulateLarge engines cannot reach alone.
+//
+// Repetition 0 consumes exactly the streams of SimulateLarge with the
+// same config (Reps = 1 reproduces it bit for bit); repetition rep
+// offsets the stream layout by rep·(Shards+1). The aggregate is
+// bit-identical for any Workers value; Shards remains part of the
+// model, exactly as in SimulateLarge.
+func MonteCarloLarge(cfg MonteLargeConfig) (*MonteLargeResult, error) {
+	if len(cfg.Capacities) == 0 {
+		return nil, fmt.Errorf("balls: MonteCarloLarge needs capacities")
+	}
+	arr, err := bins.New(cfg.Capacities)
+	if err != nil {
+		return nil, err
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	reps := cfg.Reps
+	if reps == 0 {
+		reps = 100
+	}
+	res, err := sim.RunLargeMonte(sim.LargeMonteConfig{
+		LargeConfig: sim.LargeConfig{
+			Array:       arr,
+			Dist:        cfg.Distribution.resolve(),
+			Placer:      cfg.Protocol.resolve(),
+			Balls:       cfg.Balls,
+			BallsFactor: cfg.BallsFactor,
+			Seed:        seed,
+			Shards:      cfg.Shards,
+			Workers:     cfg.Workers,
+		},
+		Reps:              reps,
+		CollectLoadVector: cfg.SortedLoads,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &MonteLargeResult{
+		N:               res.N,
+		Shards:          res.Shards,
+		Reps:            res.Reps,
+		Balls:           res.Balls,
+		AverageLoad:     res.AvgLoad.Mean(),
+		MeanMaxLoad:     res.MaxLoad.Mean(),
+		MaxLoadCI95:     res.MaxLoad.CI95(),
+		WorstMaxLoad:    res.MaxLoad.Max(),
+		MeanDeviation:   res.Deviation.Mean(),
+		DeviationCI95:   res.Deviation.CI95(),
+		MeanSortedLoads: res.MeanSortedLoads,
+	}, nil
+}

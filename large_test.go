@@ -1,6 +1,9 @@
 package balls
 
-import "testing"
+import (
+	"reflect"
+	"testing"
+)
 
 func TestSimulateLarge(t *testing.T) {
 	cfg := LargeConfig{
@@ -39,6 +42,85 @@ func TestSimulateLarge(t *testing.T) {
 		if res.Loads.Balls(i) != res4.Loads.Balls(i) {
 			t.Fatalf("bin %d differs across worker counts", i)
 		}
+	}
+}
+
+func TestMonteCarloLarge(t *testing.T) {
+	cfg := MonteLargeConfig{
+		LargeConfig: LargeConfig{
+			Capacities: CapacitiesTwoClass(500, 1, 500, 10),
+			Seed:       9,
+			Shards:     16,
+		},
+		Reps: 12,
+	}
+	res, err := MonteCarloLarge(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.N != 1000 || res.Shards != 16 || res.Reps != 12 {
+		t.Fatalf("N = %d shards = %d reps = %d", res.N, res.Shards, res.Reps)
+	}
+	if res.Balls != 5500 || res.AverageLoad != 1 {
+		t.Fatalf("balls = %d avg = %v", res.Balls, res.AverageLoad)
+	}
+	if res.WorstMaxLoad < res.MeanMaxLoad || res.MeanMaxLoad < res.AverageLoad {
+		t.Fatalf("implausible aggregate: worst %v mean %v avg %v",
+			res.WorstMaxLoad, res.MeanMaxLoad, res.AverageLoad)
+	}
+
+	// Repetition 0 is exactly the SimulateLarge game for the same config.
+	single, err := SimulateLarge(cfg.LargeConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := cfg
+	one.Reps = 1
+	ores, err := MonteCarloLarge(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ores.MeanMaxLoad != single.MaxLoad || ores.MeanDeviation != single.Deviation {
+		t.Fatalf("Reps=1 diverges from SimulateLarge: %v/%v vs %v/%v",
+			ores.MeanMaxLoad, ores.MeanDeviation, single.MaxLoad, single.Deviation)
+	}
+
+	// Workers never changes the aggregate.
+	w4 := cfg
+	w4.Workers = 4
+	w4.SortedLoads = true
+	res4, err := MonteCarloLarge(w4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1 := w4
+	w1.Workers = 1
+	res1, err := MonteCarloLarge(w1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res1, res4) {
+		t.Fatalf("workers changed the aggregate:\n  1: %+v\n  4: %+v", res1, res4)
+	}
+	if len(res4.MeanSortedLoads) != res4.N {
+		t.Fatalf("sorted loads length %d, want %d", len(res4.MeanSortedLoads), res4.N)
+	}
+}
+
+func TestMonteCarloLargeValidation(t *testing.T) {
+	if _, err := MonteCarloLarge(MonteLargeConfig{}); err == nil {
+		t.Error("empty capacities accepted")
+	}
+	if _, err := MonteCarloLarge(MonteLargeConfig{
+		LargeConfig: LargeConfig{Capacities: []int64{1, 1}, Shards: 5},
+	}); err == nil {
+		t.Error("shards > n accepted")
+	}
+	if _, err := MonteCarloLarge(MonteLargeConfig{
+		LargeConfig: LargeConfig{Capacities: []int64{1, 1}},
+		Reps:        -1,
+	}); err == nil {
+		t.Error("negative reps accepted")
 	}
 }
 

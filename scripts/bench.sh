@@ -3,22 +3,42 @@
 # the perf trajectory is tracked across PRs.
 #
 # Usage: scripts/bench.sh [N]
-#   N is the PR index used in the output filename (default 1).
+#   N is the PR index used in the output filename (default 1), or the
+#   literal "ci" for the bench-regression CI job (same suite, shorter
+#   benchtime, output BENCH_ci.json — never commit that file).
 #
 # The JSON maps benchmark name -> {ns_per_op, bytes_per_op, allocs_per_op}.
+# Missing -benchmem fields are emitted as JSON null; the output is
+# always valid JSON (self-checked with `jq -e .` when jq is available),
+# including the no-benchmarks-matched case ({}).
 set -eu
 
 cd "$(dirname "$0")/.."
 
 N="${1:-1}"
 OUT="BENCH_${N}.json"
+# The ci mode keeps the recorded-baseline benchtime (1s) by default so
+# CI numbers are not additionally skewed against the committed
+# BENCH_<N>.json by a shorter measurement window.
+BENCHTIME="1s"
+if [ "$N" = "ci" ]; then
+	BENCHTIME="${BENCH_CI_BENCHTIME:-1s}"
+fi
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
-go test -run '^$' -bench 'BenchmarkPlace|BenchmarkSimulateSmall|BenchmarkRunLargeSharded' \
-	-benchmem -benchtime 1s -count 1 . | tee "$RAW"
+go test -run '^$' -bench 'BenchmarkPlace|BenchmarkSimulateSmall|BenchmarkRunLargeSharded|BenchmarkRunLargeMonte' \
+	-benchmem -benchtime "$BENCHTIME" -count 1 . | tee "$RAW"
 
 awk '
+# jnum renders a benchmark metric as a JSON value: the number itself,
+# or null when the field was absent from the line (e.g. -benchmem off).
+function jnum(x) {
+	if (x == "") {
+		return "null"
+	}
+	return x
+}
 /^Benchmark/ {
 	name = $1
 	sub(/-[0-9]+$/, "", name)   # strip the GOMAXPROCS suffix
@@ -30,7 +50,7 @@ awk '
 	}
 	if (ns != "") {
 		results[++n] = sprintf("  \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
-			name, ns, bytes == "" ? "null" : bytes, allocs == "" ? "null" : allocs)
+			name, jnum(ns), jnum(bytes), jnum(allocs))
 	}
 }
 END {
@@ -39,5 +59,13 @@ END {
 	print "}"
 }
 ' "$RAW" > "$OUT"
+
+# Self-check: the emitted file must be valid JSON. Fail the script (and
+# any CI job running it) if the emitter ever regresses.
+if command -v jq >/dev/null 2>&1; then
+	jq -e . "$OUT" >/dev/null || { echo "bench.sh: $OUT is not valid JSON" >&2; exit 1; }
+else
+	echo "bench.sh: warning: jq not found, skipping JSON self-check" >&2
+fi
 
 echo "wrote $OUT"

@@ -1,0 +1,69 @@
+#!/bin/sh
+# bench_compare.sh — fail when the current benchmark run regresses
+# against a committed baseline.
+#
+# Usage: scripts/bench_compare.sh <baseline.json> <current.json> [tolerance_pct]
+#
+# Both files are bench.sh output (benchmark -> {ns_per_op, bytes_per_op,
+# allocs_per_op}). The script fails when, for any benchmark present in
+# BOTH files:
+#   - ns_per_op regresses by more than tolerance_pct percent (default 25,
+#     also settable via BENCH_TOLERANCE_PCT), or
+#   - allocs_per_op increases at all (allocation count is deterministic,
+#     so any increase is a real regression, not noise).
+# Benchmarks present in only one file are reported and skipped: new
+# benchmarks have no baseline, and retired ones no current number.
+set -eu
+
+if [ $# -lt 2 ]; then
+	echo "usage: $0 <baseline.json> <current.json> [tolerance_pct]" >&2
+	exit 2
+fi
+BASE="$1"
+CUR="$2"
+TOL="${3:-${BENCH_TOLERANCE_PCT:-25}}"
+
+command -v jq >/dev/null 2>&1 || { echo "bench_compare.sh: jq is required" >&2; exit 2; }
+jq -e . "$BASE" >/dev/null || { echo "bench_compare.sh: $BASE is not valid JSON" >&2; exit 2; }
+jq -e . "$CUR" >/dev/null || { echo "bench_compare.sh: $CUR is not valid JSON" >&2; exit 2; }
+
+fail=0
+for name in $(jq -r 'keys[]' "$BASE"); do
+	if ! jq -e --arg n "$name" 'has($n)' "$CUR" >/dev/null; then
+		echo "SKIP  $name: absent from current run"
+		continue
+	fi
+	base_ns=$(jq -r --arg n "$name" '.[$n].ns_per_op // empty' "$BASE")
+	cur_ns=$(jq -r --arg n "$name" '.[$n].ns_per_op // empty' "$CUR")
+	base_allocs=$(jq -r --arg n "$name" '.[$n].allocs_per_op // empty' "$BASE")
+	cur_allocs=$(jq -r --arg n "$name" '.[$n].allocs_per_op // empty' "$CUR")
+
+	if [ -n "$base_ns" ] && [ -n "$cur_ns" ]; then
+		if awk -v b="$base_ns" -v c="$cur_ns" -v t="$TOL" \
+			'BEGIN { exit !(c > b * (1 + t / 100)) }'; then
+			printf 'FAIL  %s: ns/op %s -> %s (> +%s%%)\n' "$name" "$base_ns" "$cur_ns" "$TOL"
+			fail=1
+			continue
+		fi
+	fi
+	if [ -n "$base_allocs" ] && [ -n "$cur_allocs" ]; then
+		if awk -v b="$base_allocs" -v c="$cur_allocs" 'BEGIN { exit !(c > b) }'; then
+			printf 'FAIL  %s: allocs/op %s -> %s (any increase fails)\n' "$name" "$base_allocs" "$cur_allocs"
+			fail=1
+			continue
+		fi
+	fi
+	printf 'ok    %s: ns/op %s -> %s, allocs/op %s -> %s\n' \
+		"$name" "${base_ns:-?}" "${cur_ns:-?}" "${base_allocs:-?}" "${cur_allocs:-?}"
+done
+for name in $(jq -r 'keys[]' "$CUR"); do
+	if ! jq -e --arg n "$name" 'has($n)' "$BASE" >/dev/null; then
+		echo "NEW   $name: no baseline yet"
+	fi
+done
+
+if [ "$fail" -ne 0 ]; then
+	echo "bench_compare.sh: benchmark regression against $BASE (tolerance ${TOL}%)" >&2
+	exit 1
+fi
+echo "bench_compare.sh: no regressions against $BASE (tolerance ${TOL}%)"

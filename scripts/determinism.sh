@@ -1,0 +1,59 @@
+#!/bin/sh
+# determinism.sh — byte-compare bnbsim output across worker topologies.
+#
+# The engines' contract is that Workers only schedules work: for a fixed
+# seed the classic Monte-Carlo engine, the sharded single-run engine
+# (at each shard count — Shards is part of the model) and the sharded
+# Monte-Carlo engine must print byte-identical results for any -workers
+# value. Wall-time lines are the only legitimate difference and are
+# filtered out before the diff.
+#
+# Usage: scripts/determinism.sh [path-to-bnbsim]
+#   Without an argument the binary is built into a temp dir first.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BNBSIM="${1:-}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+if [ -z "$BNBSIM" ]; then
+	BNBSIM="$TMP/bnbsim"
+	go build -o "$BNBSIM" ./cmd/bnbsim
+fi
+
+# run CMD... : capture output with wall-time lines stripped. bnbsim
+# runs as its own statement (not the head of a pipeline) so a non-zero
+# exit aborts the script under set -e instead of being masked by grep —
+# a failing binary must fail the job, not pass it with empty diffs.
+run() {
+	out="$1"
+	shift
+	"$BNBSIM" "$@" > "$out.raw"
+	grep -v '^wall time' "$out.raw" > "$out"
+}
+
+check() {
+	desc="$1"
+	shift
+	run "$TMP/w1.txt" "$@" -workers 1
+	run "$TMP/w4.txt" "$@" -workers 4
+	if ! diff -u "$TMP/w1.txt" "$TMP/w4.txt"; then
+		echo "DETERMINISM VIOLATION: $desc differs between -workers 1 and -workers 4" >&2
+		exit 1
+	fi
+	echo "ok    $desc"
+}
+
+SPEC="2000x1+2000x10"
+SEED=20260727
+
+check "classic Monte-Carlo"            -spec "$SPEC" -seed "$SEED" -reps 40
+check "classic Monte-Carlo (loads)"    -spec "$SPEC" -seed "$SEED" -reps 10 -loads
+for shards in 1 4; do
+	check "sharded single run (shards=$shards)"   -spec "$SPEC" -seed "$SEED" -large -shards "$shards"
+	check "sharded Monte-Carlo (shards=$shards)"  -spec "$SPEC" -seed "$SEED" -large -shards "$shards" -reps 12
+done
+check "sharded Monte-Carlo (d=4, loads)" -spec "$SPEC" -seed "$SEED" -large -shards 8 -reps 6 -d 4 -loads
+
+echo "all bnbsim outputs byte-identical across worker counts"
