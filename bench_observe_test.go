@@ -1,0 +1,29 @@
+package balls
+
+import "testing"
+
+// BenchmarkSimulateLargeCheckpoints measures the same sharded
+// million-bin run with the observation pipeline engaged (4 checkpoint
+// cuts + a 4-level height table): the routing pass records prefixes,
+// every shard segments its PlaceBatch at the block-aligned cuts, and
+// the collectors fold. Compare against BenchmarkRunLargeSharded1W —
+// the no-collector path — which bench_compare.sh fences at its
+// committed allocs/op so the observation subsystem can never leak
+// cost into runs that request nothing.
+func BenchmarkSimulateLargeCheckpoints(b *testing.B) {
+	caps := CapacitiesTwoClass(500000, 1, 500000, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SimulateLarge(LargeConfig{
+			Capacities:  caps,
+			Balls:       1_000_000,
+			Seed:        1,
+			Shards:      64,
+			Workers:     1,
+			Checkpoints: []int64{250_000, 500_000, 750_000, 1_000_000},
+			Heights:     4,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

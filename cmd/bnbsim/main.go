@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -44,11 +45,17 @@ func run(args []string) error {
 	showLoads := fs.Bool("loads", false, "print the mean sorted load vector")
 	large := fs.Bool("large", false, "shard the bin array for huge n: one repetition, or a sharded Monte-Carlo aggregate when -reps is given")
 	shards := fs.Int("shards", 0, "shard count for -large (0 = engine default; part of the model)")
+	checkpointsFlag := fs.String("checkpoints", "", "comma-separated ball counts for running max / max−avg observations; each entry is an integer or NxC (N times the total capacity), e.g. 1xC,2xC,5xC")
+	heights := fs.Int("heights", 0, "report the number of bins at final load >= k for k = 1..HEIGHTS")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	caps, err := balls.ParseCapacitySpec(*spec)
+	if err != nil {
+		return err
+	}
+	checkpoints, err := parseCheckpoints(*checkpointsFlag, sum(caps))
 	if err != nil {
 		return err
 	}
@@ -69,12 +76,12 @@ func run(args []string) error {
 		// -large alone runs one sharded repetition; -large with an
 		// explicit -reps runs the sharded Monte-Carlo engine.
 		if explicit["reps"] {
-			return runLargeMonte(caps, *ballsN, *factor, *seed, *shards, *workers, *reps, *showLoads, distribution, protocol)
+			return runLargeMonte(caps, *ballsN, *factor, *seed, *shards, *workers, *reps, *showLoads, checkpoints, *heights, distribution, protocol)
 		}
 		if *showLoads {
 			return fmt.Errorf("-loads with -large needs -reps (one run has no mean load vector; inspect the result through the library API instead)")
 		}
-		return runLarge(caps, *ballsN, *factor, *seed, *shards, *workers, distribution, protocol)
+		return runLarge(caps, *ballsN, *factor, *seed, *shards, *workers, checkpoints, *heights, distribution, protocol)
 	}
 	if explicit["shards"] {
 		return fmt.Errorf("-shards requires -large (the classic engine shards repetitions, not the bin array)")
@@ -90,6 +97,8 @@ func run(args []string) error {
 		Distribution: distribution,
 		Protocol:     protocol,
 		SortedLoads:  *showLoads,
+		Checkpoints:  checkpoints,
+		Heights:      *heights,
 	})
 	if err != nil {
 		return err
@@ -105,6 +114,8 @@ func run(args []string) error {
 		res.MeanMaxLoad, res.MaxLoadCI95, res.WorstMaxLoad)
 	fmt.Printf("max − avg:       %.4f\n", res.MeanDeviation)
 	fmt.Printf("lnln(n)/ln(2):   %.4f\n", res.TheoryBound)
+	printCheckpoints(res.Checkpoints)
+	printHeights(res.Heights)
 	if *showLoads {
 		fmt.Println("mean sorted loads:")
 		for i, v := range res.MeanSortedLoads {
@@ -114,8 +125,67 @@ func run(args []string) error {
 	return nil
 }
 
+// parseCheckpoints parses the -checkpoints flag: comma-separated ball
+// counts, each a plain integer or NxC — N multiples of the total
+// capacity c (the natural unit of the paper's §4.4 heavy-load series).
+func parseCheckpoints(s string, c int64) ([]int64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int64
+	for _, item := range strings.Split(s, ",") {
+		item = strings.TrimSpace(item)
+		scale := int64(1)
+		if rest, ok := strings.CutSuffix(item, "xC"); ok {
+			item, scale = rest, c
+		}
+		v, err := strconv.ParseInt(item, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad checkpoint %q (want an integer or NxC)", item)
+		}
+		out = append(out, v*scale)
+	}
+	return out, nil
+}
+
+// printCheckpoints renders the shared checkpoint table. Cuts no
+// repetition observed (beyond m, or with an empty block-aligned
+// realisation in the sharded engines) print as dashes — the Reps
+// column is how the shortfall stays visible instead of silently
+// under-recording.
+func printCheckpoints(cps []balls.CheckpointResult) {
+	if len(cps) == 0 {
+		return
+	}
+	fmt.Println("checkpoints:     (balls, reps, mean balls, max load, max − avg)")
+	for _, cp := range cps {
+		if cp.Reps == 0 {
+			fmt.Printf("%16d %6d %14s %10s %10s  (not observed)\n", cp.Balls, cp.Reps, "-", "-", "-")
+			continue
+		}
+		fmt.Printf("%16d %6d %14.1f %10.4f %10.4f\n",
+			cp.Balls, cp.Reps, cp.MeanBalls, cp.MeanMaxLoad, cp.MeanDeviation)
+	}
+}
+
+// printHeights renders the bins-at-load>=k table (CI suppressed for a
+// single observation, where it is undefined).
+func printHeights(hs []balls.HeightResult) {
+	if len(hs) == 0 {
+		return
+	}
+	fmt.Println("bins at load>=k:")
+	for _, h := range hs {
+		if math.IsNaN(h.BinsCI95) {
+			fmt.Printf("  k=%-4d %14.1f\n", h.Level, h.MeanBins)
+			continue
+		}
+		fmt.Printf("  k=%-4d %14.1f ± %.1f\n", h.Level, h.MeanBins, h.BinsCI95)
+	}
+}
+
 // runLarge executes the sharded single-run mode and prints its summary.
-func runLarge(caps []int64, m int64, factor float64, seed uint64, shards, workers int, d balls.Distribution, p balls.Protocol) error {
+func runLarge(caps []int64, m int64, factor float64, seed uint64, shards, workers int, checkpoints []int64, heights int, d balls.Distribution, p balls.Protocol) error {
 	start := time.Now()
 	res, err := balls.SimulateLarge(balls.LargeConfig{
 		Capacities:   caps,
@@ -126,6 +196,8 @@ func runLarge(caps []int64, m int64, factor float64, seed uint64, shards, worker
 		Workers:      workers,
 		Distribution: d,
 		Protocol:     p,
+		Checkpoints:  checkpoints,
+		Heights:      heights,
 	})
 	if err != nil {
 		return err
@@ -149,13 +221,15 @@ func runLarge(caps []int64, m int64, factor float64, seed uint64, shards, worker
 	fmt.Printf("average load:    %.4f\n", res.AverageLoad)
 	fmt.Printf("max load:        %.4f\n", res.MaxLoad)
 	fmt.Printf("max − avg:       %.4f\n", res.Deviation)
+	printCheckpoints(res.Checkpoints)
+	printHeights(res.Heights)
 	fmt.Printf("wall time:       %s\n", elapsed.Round(time.Millisecond))
 	return nil
 }
 
 // runLargeMonte executes the sharded Monte-Carlo mode (-large -reps)
 // and prints its aggregate summary.
-func runLargeMonte(caps []int64, m int64, factor float64, seed uint64, shards, workers, reps int, showLoads bool, d balls.Distribution, p balls.Protocol) error {
+func runLargeMonte(caps []int64, m int64, factor float64, seed uint64, shards, workers, reps int, showLoads bool, checkpoints []int64, heights int, d balls.Distribution, p balls.Protocol) error {
 	if reps < 1 {
 		return fmt.Errorf("-large -reps %d: need at least 1 repetition", reps)
 	}
@@ -170,6 +244,8 @@ func runLargeMonte(caps []int64, m int64, factor float64, seed uint64, shards, w
 			Workers:      workers,
 			Distribution: d,
 			Protocol:     p,
+			Checkpoints:  checkpoints,
+			Heights:      heights,
 		},
 		Reps:        reps,
 		SortedLoads: showLoads,
@@ -189,6 +265,8 @@ func runLargeMonte(caps []int64, m int64, factor float64, seed uint64, shards, w
 	fmt.Printf("max load:        %.4f ± %.4f (95%% CI), worst %.4f\n",
 		res.MeanMaxLoad, res.MaxLoadCI95, res.WorstMaxLoad)
 	fmt.Printf("max − avg:       %.4f ± %.4f\n", res.MeanDeviation, res.DeviationCI95)
+	printCheckpoints(res.Checkpoints)
+	printHeights(res.Heights)
 	fmt.Printf("wall time:       %s\n", elapsed.Round(time.Millisecond))
 	if showLoads {
 		fmt.Println("mean sorted loads:")

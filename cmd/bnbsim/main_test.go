@@ -134,3 +134,51 @@ func TestParseDistTopValue(t *testing.T) {
 		t.Fatalf("threshold lost: %q", d.Name())
 	}
 }
+
+func TestParseCheckpoints(t *testing.T) {
+	got, err := parseCheckpoints("500, 1xC,2xC", 2200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{500, 2200, 4400}
+	if len(got) != len(want) {
+		t.Fatalf("parseCheckpoints = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("parseCheckpoints = %v, want %v", got, want)
+		}
+	}
+	if got, err := parseCheckpoints("", 100); err != nil || got != nil {
+		t.Fatalf("empty flag: %v, %v", got, err)
+	}
+	for _, bad := range []string{"abc", "1x", "xC", "1.5xC", "10,"} {
+		if _, err := parseCheckpoints(bad, 100); err == nil {
+			t.Errorf("parseCheckpoints(%q) accepted", bad)
+		}
+	}
+}
+
+func TestObservationFlagsEndToEnd(t *testing.T) {
+	// classic, sharded single-run and sharded Monte-Carlo modes all
+	// accept -checkpoints/-heights (including cuts beyond m, which
+	// print as unobserved rows).
+	if err := run([]string{"-spec", "50x1+50x10", "-reps", "5", "-checkpoints", "100,1xC,9xC", "-heights", "3"}); err != nil {
+		t.Fatalf("classic with observations: %v", err)
+	}
+	if err := run([]string{"-spec", "200x1+200x10", "-large", "-shards", "4", "-checkpoints", "600,1xC", "-heights", "2"}); err != nil {
+		t.Fatalf("-large with observations: %v", err)
+	}
+	if err := run([]string{"-spec", "200x1+200x10", "-large", "-shards", "4", "-reps", "4", "-checkpoints", "600,1xC", "-heights", "2"}); err != nil {
+		t.Fatalf("-large -reps with observations: %v", err)
+	}
+	if err := run([]string{"-spec", "10x1", "-checkpoints", "bogus"}); err == nil {
+		t.Error("bad -checkpoints accepted")
+	}
+	if err := run([]string{"-spec", "10x1", "-checkpoints", "0"}); err == nil {
+		t.Error("checkpoint at 0 balls accepted")
+	}
+	if err := run([]string{"-spec", "10x1", "-heights", "-2"}); err == nil {
+		t.Error("negative -heights accepted")
+	}
+}

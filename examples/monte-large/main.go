@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"reflect"
 	"runtime"
 	"time"
 
@@ -26,6 +27,14 @@ func main() {
 	flag.Parse()
 
 	caps := balls.CapacitiesTwoClass(*n/2, 1, *n-*n/2, 10)
+	var total int64
+	for _, c := range caps {
+		total += c
+	}
+	// Mid-run observations ride along: checkpoints at C/4, C/2, C
+	// (realised through block-aligned per-shard cuts) plus the final
+	// bins-at-load>=k table. They are part of the bit-identity check.
+	checkpoints := []int64{total / 4, total / 2, total}
 	fmt.Printf("monte-carlo: n = %d bins, m = C balls, greedy d=2, %d shards × %d reps\n\n",
 		*n, *shards, *reps)
 
@@ -40,10 +49,12 @@ func main() {
 		start := time.Now()
 		res, err := balls.MonteCarloLarge(balls.MonteLargeConfig{
 			LargeConfig: balls.LargeConfig{
-				Capacities: caps,
-				Seed:       1,
-				Shards:     *shards,
-				Workers:    w,
+				Capacities:  caps,
+				Seed:        1,
+				Shards:      *shards,
+				Workers:     w,
+				Checkpoints: checkpoints,
+				Heights:     4,
 			},
 			Reps: *reps,
 		})
@@ -62,9 +73,37 @@ func main() {
 			res.WorstMaxLoad != first.WorstMaxLoad {
 			log.Fatalf("DETERMINISM VIOLATION: aggregate differs at workers=%d", w)
 		}
+		if !reflect.DeepEqual(res.Checkpoints, first.Checkpoints) || !sameHeights(res.Heights, first.Heights) {
+			log.Fatalf("DETERMINISM VIOLATION: observations differ at workers=%d", w)
+		}
 	}
-	fmt.Printf("\naggregate bit-identical across all worker counts ✓\n")
+	fmt.Printf("\nmid-run trajectory (mean over %d reps):\n", *reps)
+	for _, cp := range first.Checkpoints {
+		fmt.Printf("  after ~%9d balls (realised %9.0f): max %.4f, gap %.4f\n",
+			cp.Balls, cp.MeanBalls, cp.MeanMaxLoad, cp.MeanDeviation)
+	}
+	fmt.Println("final bins at load >= k:")
+	for _, h := range first.Heights {
+		fmt.Printf("  k=%-3d %12.1f ± %.1f\n", h.Level, h.MeanBins, h.BinsCI95)
+	}
+	fmt.Printf("\naggregate AND observations bit-identical across all worker counts ✓\n")
 	fmt.Printf("(repetition 0 reproduces balls.SimulateLarge exactly; each further\n")
 	fmt.Printf("repetition offsets the stream layout by shards+1 — the topology of\n")
 	fmt.Printf("workers over shards and repetitions never touches a single bit)\n")
+}
+
+// sameHeights compares height rows on Level and MeanBins only: with a
+// single repetition BinsCI95 is NaN, and NaN != NaN would turn a
+// bit-identical result into a false determinism violation under
+// reflect.DeepEqual.
+func sameHeights(a, b []balls.HeightResult) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Level != b[i].Level || a[i].MeanBins != b[i].MeanBins {
+			return false
+		}
+	}
+	return true
 }

@@ -1,0 +1,459 @@
+// Package obs is the unified observation subsystem: composable,
+// merge-able collectors that all three simulation engines — the classic
+// chunked Monte-Carlo engine (sim.Run), the sharded single-run engine
+// (sim.RunLarge) and the sharded Monte-Carlo engine (sim.RunLargeMonte)
+// — drive through one contract.
+//
+// # Contract
+//
+// A Collector is fed observations of bin-array state at deterministic
+// cut points: Snapshot(cut, ...) with cut >= 0 records the running
+// state at the collector's cut index (a checkpoint, or a shard index
+// for ShardStats), and cut == Final records the end-of-game state.
+// Partial collectors from different aggregation domains (repetition
+// chunks, shards, repetitions) are folded with Merge; engines MUST
+// merge in a deterministic order (chunk order, shard order, repetition
+// order) so that floating-point aggregation is bit-identical for any
+// worker topology.
+//
+// # Cost model
+//
+// Collectors are block-grained, never ball-grained: a Snapshot costs
+// one O(n) (or O(shard)) scan, taken between placement segments. When
+// no collector is requested the engines skip every observation hook,
+// so the no-collector hot path costs nothing (bench-gated).
+//
+// # Sharded checkpoint cuts are part of the model
+//
+// In the sharded engines there is no global ball order, only the
+// deterministic routing pass. A checkpoint at B balls is realised as
+// per-shard cuts: the number of balls among the first B routed to
+// shard s, aligned DOWN to a multiple of the placement kernel's block
+// size (AlignShardCuts), so snapshots land between 256-ball
+// SampleBatch blocks and never split a kernel block. The realised
+// ball count at a cut (Σ over shards, itself a multiple of the block
+// size) is therefore at most B — and can be 0 for a cut smaller than
+// roughly shards·blockSize, in which case the engines skip the
+// observation entirely (like a cut beyond m, visible through
+// CheckpointRow.Reps) rather than record a fictitious empty state.
+// Like Shards, this cut rule is part of the model: it depends only on
+// (seed, shards, checkpoints), never on Workers.
+package obs
+
+import (
+	"fmt"
+	"slices"
+
+	"repro/internal/bins"
+	"repro/internal/stats"
+)
+
+// Final is the Snapshot cut index of the end-of-game observation.
+const Final = -1
+
+// Collector is the contract shared by all observation collectors. See
+// the package comment for the cut semantics and the merge-order
+// requirement.
+type Collector interface {
+	// Snapshot records one observation of array state. cut >= 0 is an
+	// index into the collector's cut points (checkpoints, shards);
+	// Final marks the end-of-game state. balls is the realised ball
+	// count behind the observation. Collectors ignore cuts that do not
+	// concern them.
+	Snapshot(cut int, a *bins.Array, balls int64) error
+	// Merge folds another collector of the same type and shape into
+	// the receiver. Engines must call it in a deterministic order.
+	Merge(other Collector) error
+}
+
+// NormalizeCuts returns a sorted copy of the requested checkpoint ball
+// counts, rejecting non-positive entries (a checkpoint at 0 balls can
+// never be reached by a placement).
+func NormalizeCuts(cuts []int64) ([]int64, error) {
+	for _, c := range cuts {
+		if c < 1 {
+			return nil, fmt.Errorf("obs: checkpoint at %d balls, need >= 1", c)
+		}
+	}
+	out := append([]int64(nil), cuts...)
+	slices.Sort(out)
+	return out, nil
+}
+
+// CountReached returns how many of the (ascending) cuts are <= m.
+// Cuts beyond the ball count are never observed; callers can see the
+// shortfall through CheckpointRow.Reps.
+func CountReached(cuts []int64, m int64) int {
+	n := 0
+	for _, c := range cuts {
+		if c > m {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// AlignShardCuts converts per-checkpoint per-shard routing prefix
+// counts into block-aligned cut counts, in place: prefix[k][s] — the
+// number of balls among the first cuts[k] routed balls that went to
+// shard s — is rounded down to a multiple of align, and realized[k]
+// receives the per-checkpoint total Σ_s of the aligned cuts. align
+// must be >= 1 (the engines pass the placement kernel's block size).
+// The aligned matrix stays monotone in k column-wise, so per-shard
+// placement segments are never negative.
+func AlignShardCuts(prefix [][]int64, align int64, realized []int64) {
+	for k, row := range prefix {
+		var total int64
+		for s, c := range row {
+			c -= c % align
+			row[s] = c
+			total += c
+		}
+		realized[k] = total
+	}
+}
+
+// ---------------------------------------------------------------------
+// Checkpoints
+
+// CheckpointRow aggregates one checkpoint across repetitions.
+type CheckpointRow struct {
+	// Balls is the requested cut (a global ball count).
+	Balls int64
+	// RealBalls aggregates the realised ball count at the cut: equal
+	// to Balls in the classic engine, the block-aligned per-shard sum
+	// (<= Balls, and varying per repetition with the routing stream)
+	// in the sharded engines.
+	RealBalls stats.Accumulator
+	// MaxLoad aggregates the running maximum load at the cut.
+	MaxLoad stats.Accumulator
+	// Deviation aggregates max − average load at the cut, where the
+	// average is realised balls / total capacity.
+	Deviation stats.Accumulator
+}
+
+// Reps is the number of repetitions that actually observed this cut.
+// Checkpoints beyond a repetition's ball count — and, in the sharded
+// engines, cuts whose block-aligned realisation is empty — are
+// skipped, so Reps may be smaller than the run's repetition count
+// (and 0 when no repetition observed the cut at all).
+func (r *CheckpointRow) Reps() int64 { return r.MaxLoad.N() }
+
+// Checkpoints collects running (max, max − average) load observations
+// at fixed ball counts — the paper's §4.4 heavy-load series.
+type Checkpoints struct {
+	rows []CheckpointRow
+}
+
+// NewCheckpoints builds a collector over the given cuts (normalized
+// with NormalizeCuts). Every cut gets a row up front, so unreached
+// cuts surface as rows with Reps() == 0 rather than disappearing.
+func NewCheckpoints(cuts []int64) *Checkpoints {
+	c := &Checkpoints{rows: make([]CheckpointRow, len(cuts))}
+	for i, b := range cuts {
+		c.rows[i].Balls = b
+	}
+	return c
+}
+
+// Len returns the number of cuts.
+func (c *Checkpoints) Len() int { return len(c.rows) }
+
+// Observe records one repetition's realised observation at cut index
+// i: balls placed at the cut, the array's total capacity, and the
+// running maximum load. The deviation is maxLoad − balls/totalCap.
+func (c *Checkpoints) Observe(i int, balls, totalCap int64, maxLoad float64) {
+	r := &c.rows[i]
+	r.RealBalls.Add(float64(balls))
+	r.MaxLoad.Add(maxLoad)
+	r.Deviation.Add(maxLoad - float64(balls)/float64(totalCap))
+}
+
+// Snapshot implements Collector: a whole-array observation at cut i.
+// Final is ignored — checkpoints observe only their own cuts.
+func (c *Checkpoints) Snapshot(cut int, a *bins.Array, balls int64) error {
+	if cut == Final {
+		return nil
+	}
+	c.Observe(cut, balls, a.TotalCapacity(), a.MaxLoad())
+	return nil
+}
+
+// Merge implements Collector.
+func (c *Checkpoints) Merge(other Collector) error {
+	o, ok := other.(*Checkpoints)
+	if !ok {
+		return fmt.Errorf("obs: merging %T into *Checkpoints", other)
+	}
+	if len(o.rows) != len(c.rows) {
+		return fmt.Errorf("obs: merging %d checkpoints into %d", len(o.rows), len(c.rows))
+	}
+	for i := range c.rows {
+		if c.rows[i].Balls != o.rows[i].Balls {
+			return fmt.Errorf("obs: checkpoint %d cut mismatch: %d vs %d", i, c.rows[i].Balls, o.rows[i].Balls)
+		}
+		c.rows[i].RealBalls.Merge(&o.rows[i].RealBalls)
+		c.rows[i].MaxLoad.Merge(&o.rows[i].MaxLoad)
+		c.rows[i].Deviation.Merge(&o.rows[i].Deviation)
+	}
+	return nil
+}
+
+// Rows returns the per-checkpoint aggregates in ascending cut order.
+func (c *Checkpoints) Rows() []CheckpointRow { return c.rows }
+
+// ---------------------------------------------------------------------
+// Heights
+
+// HeightRow aggregates, across repetitions, the number of bins whose
+// final load is at least Level — the observable of the balls-into-bins
+// concentration bounds (bins above height k).
+type HeightRow struct {
+	Level int64
+	Bins  stats.Accumulator
+}
+
+// Heights counts bins at load >= k for k = 1..levels over the final
+// state of each repetition. Bins at or above the top level all count
+// into every row they dominate (the rows are cumulative from above).
+type Heights struct {
+	rows    []HeightRow
+	scratch []int64
+}
+
+// NewHeights builds a collector for levels k = 1..levels (levels >= 1).
+func NewHeights(levels int) *Heights {
+	h := &Heights{rows: make([]HeightRow, levels), scratch: make([]int64, levels)}
+	for i := range h.rows {
+		h.rows[i].Level = int64(i + 1)
+	}
+	return h
+}
+
+// Levels returns the number of height levels collected.
+func (h *Heights) Levels() int { return len(h.rows) }
+
+// CountAtOrAbove fills counts[k-1] with the number of bins of a whose
+// load is >= k, for k = 1..len(counts). Load comparisons are exact:
+// load >= k iff balls >= k·capacity in integers.
+func CountAtOrAbove(a *bins.Array, counts []int64) {
+	levels := len(counts)
+	for i := range counts {
+		counts[i] = 0
+	}
+	for i := 0; i < a.N(); i++ {
+		k := int(a.Balls(i) / a.Capacity(i))
+		if k > levels {
+			k = levels
+		}
+		if k >= 1 {
+			counts[k-1]++
+		}
+	}
+	// cumulate from the top: load >= k includes every higher bucket
+	for k := levels - 1; k >= 1; k-- {
+		counts[k-1] += counts[k]
+	}
+}
+
+// Observe folds one repetition's bins-at-or-above counts (as produced
+// by CountAtOrAbove with len == Levels()).
+func (h *Heights) Observe(counts []int64) {
+	for i := range h.rows {
+		h.rows[i].Bins.Add(float64(counts[i]))
+	}
+}
+
+// Snapshot implements Collector: Heights observes only the final
+// state.
+func (h *Heights) Snapshot(cut int, a *bins.Array, balls int64) error {
+	if cut != Final {
+		return nil
+	}
+	CountAtOrAbove(a, h.scratch)
+	h.Observe(h.scratch)
+	return nil
+}
+
+// Merge implements Collector.
+func (h *Heights) Merge(other Collector) error {
+	o, ok := other.(*Heights)
+	if !ok {
+		return fmt.Errorf("obs: merging %T into *Heights", other)
+	}
+	if len(o.rows) != len(h.rows) {
+		return fmt.Errorf("obs: merging %d height levels into %d", len(o.rows), len(h.rows))
+	}
+	for i := range h.rows {
+		h.rows[i].Bins.Merge(&o.rows[i].Bins)
+	}
+	return nil
+}
+
+// Rows returns the per-level aggregates in ascending level order.
+func (h *Heights) Rows() []HeightRow { return h.rows }
+
+// ---------------------------------------------------------------------
+// SortedLoads
+
+// SortedLoads accumulates the element-wise mean of the non-increasing
+// sorted load vector across repetitions — the paper's "load
+// distribution" curves. Per-repetition vectors are never retained.
+type SortedLoads struct {
+	sum     []float64
+	n       int64
+	scratch []float64
+}
+
+// NewSortedLoads builds an empty collector; the vector length is fixed
+// by the first observation.
+func NewSortedLoads() *SortedLoads { return &SortedLoads{} }
+
+// Observe folds one repetition's ASCENDING-sorted load vector (the
+// sort order the engines' scratch buffers already produce); the
+// accumulated mean is reported non-increasing.
+func (s *SortedLoads) Observe(sortedAsc []float64) error {
+	if s.sum == nil {
+		s.sum = make([]float64, len(sortedAsc))
+	}
+	if len(s.sum) != len(sortedAsc) {
+		return fmt.Errorf("obs: load vector of %d bins, earlier repetitions had %d", len(sortedAsc), len(s.sum))
+	}
+	for i := range sortedAsc {
+		s.sum[i] += sortedAsc[len(sortedAsc)-1-i]
+	}
+	s.n++
+	return nil
+}
+
+// Snapshot implements Collector: SortedLoads observes only the final
+// state, sorting into an internal scratch buffer.
+func (s *SortedLoads) Snapshot(cut int, a *bins.Array, balls int64) error {
+	if cut != Final {
+		return nil
+	}
+	s.scratch = a.LoadVectorInto(s.scratch)
+	slices.Sort(s.scratch)
+	return s.Observe(s.scratch)
+}
+
+// Merge implements Collector.
+func (s *SortedLoads) Merge(other Collector) error {
+	o, ok := other.(*SortedLoads)
+	if !ok {
+		return fmt.Errorf("obs: merging %T into *SortedLoads", other)
+	}
+	if o.sum == nil {
+		return nil
+	}
+	if s.sum == nil {
+		s.sum = make([]float64, len(o.sum))
+	}
+	if len(s.sum) != len(o.sum) {
+		return fmt.Errorf("obs: merging load vectors of %d and %d bins", len(o.sum), len(s.sum))
+	}
+	for i, v := range o.sum {
+		s.sum[i] += v
+	}
+	s.n += o.n
+	return nil
+}
+
+// Reps returns the number of repetitions observed.
+func (s *SortedLoads) Reps() int64 { return s.n }
+
+// Mean returns the element-wise mean non-increasing load vector, or
+// nil when nothing was observed.
+func (s *SortedLoads) Mean() []float64 {
+	if s.n == 0 {
+		return nil
+	}
+	out := make([]float64, len(s.sum))
+	for i, v := range s.sum {
+		out[i] = v / float64(s.n)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------
+// ShardStats
+
+// ShardRow aggregates one shard across repetitions.
+type ShardRow struct {
+	Shard int
+	// Balls aggregates the number of balls routed to the shard.
+	Balls stats.Accumulator
+	// MaxLoad aggregates the shard-local final maximum load.
+	MaxLoad stats.Accumulator
+}
+
+// ShardStats collects per-shard routing and load statistics for the
+// sharded engines — the imbalance view of the two-level protocol.
+type ShardStats struct {
+	rows []ShardRow
+}
+
+// NewShardStats builds a collector over the given shard count.
+func NewShardStats(shards int) *ShardStats {
+	s := &ShardStats{rows: make([]ShardRow, shards)}
+	for i := range s.rows {
+		s.rows[i].Shard = i
+	}
+	return s
+}
+
+// Shards returns the shard count.
+func (s *ShardStats) Shards() int { return len(s.rows) }
+
+// Observe folds one repetition's per-shard routed ball counts and
+// final shard-local maximum loads (both indexed by shard).
+func (s *ShardStats) Observe(balls []int64, maxLoads []float64) error {
+	if len(balls) != len(s.rows) || len(maxLoads) != len(s.rows) {
+		return fmt.Errorf("obs: shard stats over %d/%d shards, collector has %d",
+			len(balls), len(maxLoads), len(s.rows))
+	}
+	for i := range s.rows {
+		s.rows[i].Balls.Add(float64(balls[i]))
+		s.rows[i].MaxLoad.Add(maxLoads[i])
+	}
+	return nil
+}
+
+// Snapshot implements Collector: cut is the shard index, a the shard
+// view (nil for a shard that can never receive balls) and balls the
+// count routed to it.
+func (s *ShardStats) Snapshot(cut int, a *bins.Array, balls int64) error {
+	if cut == Final {
+		return nil
+	}
+	if cut < 0 || cut >= len(s.rows) {
+		return fmt.Errorf("obs: shard index %d outside [0,%d)", cut, len(s.rows))
+	}
+	max := 0.0
+	if a != nil && balls > 0 {
+		max = a.MaxLoad()
+	}
+	s.rows[cut].Balls.Add(float64(balls))
+	s.rows[cut].MaxLoad.Add(max)
+	return nil
+}
+
+// Merge implements Collector.
+func (s *ShardStats) Merge(other Collector) error {
+	o, ok := other.(*ShardStats)
+	if !ok {
+		return fmt.Errorf("obs: merging %T into *ShardStats", other)
+	}
+	if len(o.rows) != len(s.rows) {
+		return fmt.Errorf("obs: merging %d shards into %d", len(o.rows), len(s.rows))
+	}
+	for i := range s.rows {
+		s.rows[i].Balls.Merge(&o.rows[i].Balls)
+		s.rows[i].MaxLoad.Merge(&o.rows[i].MaxLoad)
+	}
+	return nil
+}
+
+// Rows returns the per-shard aggregates in shard order.
+func (s *ShardStats) Rows() []ShardRow { return s.rows }

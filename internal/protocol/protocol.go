@@ -89,6 +89,13 @@ type Greedy struct {
 // enough that the scratch (d·8 B + 8 B per ball) stays inside L1.
 const ballBatch = 256
 
+// BlockSize is ballBatch under its exported name: the block
+// granularity of the devirtualized PlaceBatch kernels. The sharded
+// engines align checkpoint cuts to this boundary so observation
+// snapshots land between SampleBatch blocks and never split one — the
+// cut rule is part of the observation model (see internal/obs).
+const BlockSize = ballBatch
+
 // NewGreedy builds Algorithm 1 with d choices over the given weights.
 func NewGreedy(a *bins.Array, weights []float64, d int) (*Greedy, error) {
 	if err := validate(a, weights, d); err != nil {

@@ -41,6 +41,7 @@ import (
 
 	"repro/internal/bins"
 	"repro/internal/dist"
+	"repro/internal/obs"
 	"repro/internal/protocol"
 	"repro/internal/sampling"
 	"repro/internal/xrand"
@@ -80,6 +81,30 @@ type LargeConfig struct {
 	// Workers caps parallelism (0 = GOMAXPROCS). Never affects the
 	// result, only the wall clock.
 	Workers int
+
+	// Checkpoints lists global ball counts at which running (max,
+	// max − average) load observations are taken. There is no global
+	// ball order in a sharded run, so a checkpoint at B is realised as
+	// per-shard cuts: the number of balls among the first B routed to
+	// each shard, aligned down to the placement kernel's block size
+	// (protocol.BlockSize) so snapshots land between SampleBatch
+	// blocks. The realised ball count (CheckpointRow.RealBalls, a
+	// multiple of the block size, <= B) reflects that; a cut whose
+	// realisation is empty (B below ~Shards·BlockSize) is skipped
+	// like a cut beyond m, visible through Reps. Like Shards,
+	// the cut rule is part of the model: it depends only on (Seed,
+	// Shards, Checkpoints), never on Workers — and requesting
+	// checkpoints never moves a single draw: the final state is
+	// bit-identical with and without them.
+	Checkpoints []int64
+	// HeightLevels, when positive, requests the count of bins at final
+	// load >= k for k = 1..HeightLevels (obs.Heights).
+	HeightLevels int
+	// AdoptArray lets the engine take ownership of Array: it is reset
+	// and mutated in place instead of cloned first. The public
+	// wrappers, which build a private array from a capacity slice,
+	// use it to avoid a transient second O(n) array at n = 10^7.
+	AdoptArray bool
 }
 
 // LargeResult aggregates one sharded run.
@@ -96,6 +121,13 @@ type LargeResult struct {
 	Deviation float64
 	// ShardBalls[s] is the number of balls routed to shard s.
 	ShardBalls []int64
+	// Checkpoints holds the single run's checkpoint observations in
+	// ascending cut order (each row has one observation; only when
+	// Checkpoints were requested).
+	Checkpoints []obs.CheckpointRow
+	// HeightCounts holds the bins-at-load>=k counts of the final state
+	// (only when HeightLevels was requested).
+	HeightCounts []obs.HeightRow
 	// Array is the final bin state (owned by the caller).
 	Array *bins.Array
 }
@@ -109,6 +141,12 @@ func (c *LargeConfig) validate() (shards int, err error) {
 	}
 	if c.BallsFactor < 0 {
 		return 0, fmt.Errorf("sim: BallsFactor = %v", c.BallsFactor)
+	}
+	if c.HeightLevels < 0 {
+		return 0, fmt.Errorf("sim: HeightLevels = %d", c.HeightLevels)
+	}
+	if _, err := obs.NormalizeCuts(c.Checkpoints); err != nil {
+		return 0, fmt.Errorf("sim: %w", err)
 	}
 	n := c.Array.N()
 	shards = c.Shards
@@ -131,7 +169,10 @@ func RunLarge(cfg LargeConfig) (*LargeResult, error) {
 		return nil, err
 	}
 	n := cfg.Array.N()
-	arr := cfg.Array.Clone()
+	arr := cfg.Array
+	if !cfg.AdoptArray {
+		arr = cfg.Array.Clone()
+	}
 	arr.Reset()
 
 	d := cfg.Dist
@@ -154,13 +195,27 @@ func RunLarge(cfg LargeConfig) (*LargeResult, error) {
 
 	m := (&Config{Balls: cfg.Balls, BallsFactor: cfg.BallsFactor}).ballCount(arr.TotalCapacity())
 
+	cuts, _ := obs.NormalizeCuts(cfg.Checkpoints) // validated above
+	nCuts := obs.CountReached(cuts, m)
+	var prefix [][]int64
+	var realized []int64
+	if nCuts > 0 {
+		prefix = make([][]int64, nCuts)
+		for k := range prefix {
+			prefix[k] = make([]int64, shards)
+		}
+		realized = make([]int64, nCuts)
+	}
+
 	// Phase 1 — deterministic sequential routing on stream 0: only the
-	// per-shard counts matter, because within a shard the placement
-	// order is the shard's own affair.
+	// per-shard counts matter (plus, when checkpoints are requested,
+	// the per-shard prefix counts at each cut), because within a shard
+	// the placement order is the shard's own affair.
 	counts := make([]int64, shards)
 	rr := xrand.NewStream(cfg.Seed, 0)
-	for i := int64(0); i < m; i++ {
-		counts[router.Sample(rr)]++
+	routeBalls(rr, router, counts, m, cuts[:nCuts], prefix)
+	if nCuts > 0 {
+		obs.AlignShardCuts(prefix, protocol.BlockSize, realized)
 	}
 
 	// Shard views are built sequentially, before any worker starts:
@@ -192,6 +247,16 @@ func RunLarge(cfg LargeConfig) (*LargeResult, error) {
 	if workers > shards {
 		workers = shards
 	}
+	// track[k][s] is shard s's local running max at cut k; each shard
+	// writes only its own column, so any worker schedule produces the
+	// same matrix.
+	var track [][]float64
+	if nCuts > 0 {
+		track = make([][]float64, nCuts)
+		for k := range track {
+			track[k] = make([]float64, shards)
+		}
+	}
 	errs := make([]error, shards)
 	shardCh := make(chan int)
 	var wg sync.WaitGroup
@@ -200,7 +265,7 @@ func RunLarge(cfg LargeConfig) (*LargeResult, error) {
 		go func() {
 			defer wg.Done()
 			for s := range shardCh {
-				errs[s] = placeShard(views[s], weights[bounds[s]:bounds[s+1]], factory, cfg.Seed, counts[s], s)
+				errs[s] = placeShard(views[s], weights[bounds[s]:bounds[s+1]], factory, cfg.Seed, counts[s], s, prefix, track)
 			}
 		}()
 	}
@@ -215,19 +280,68 @@ func RunLarge(cfg LargeConfig) (*LargeResult, error) {
 		}
 	}
 
-	arr.Recount()
-	max := arr.MaxLoad()
-	avg := arr.AverageLoad()
-	return &LargeResult{
+	res := &LargeResult{
 		N:          n,
 		Shards:     shards,
 		Balls:      m,
-		MaxLoad:    max,
-		AvgLoad:    avg,
-		Deviation:  max - avg,
 		ShardBalls: counts,
 		Array:      arr,
-	}, nil
+	}
+	if len(cuts) > 0 {
+		cp := obs.NewCheckpoints(cuts)
+		c := arr.TotalCapacity()
+		maxs := make([]float64, nCuts)
+		combineShardMaxima(track, maxs)
+		for k := 0; k < nCuts; k++ {
+			// A cut so small that every shard's block-aligned prefix is
+			// empty realises no state at all; skip it like a cut beyond
+			// m (visible through Reps) instead of recording a fictitious
+			// max load of 0.
+			if realized[k] == 0 {
+				continue
+			}
+			cp.Observe(k, realized[k], c, maxs[k])
+		}
+		res.Checkpoints = cp.Rows()
+	}
+
+	arr.Recount()
+	max := arr.MaxLoad()
+	avg := arr.AverageLoad()
+	res.MaxLoad = max
+	res.AvgLoad = avg
+	res.Deviation = max - avg
+	if cfg.HeightLevels > 0 {
+		hl := obs.NewHeights(cfg.HeightLevels)
+		if err := hl.Snapshot(obs.Final, arr, m); err != nil {
+			return nil, fmt.Errorf("sim: RunLarge heights: %w", err)
+		}
+		res.HeightCounts = hl.Rows()
+	}
+	return res, nil
+}
+
+// routeBalls routes m balls through the router on stream rr,
+// incrementing counts. When cuts are requested (ascending, every cut
+// <= m), prefix[k] receives a snapshot of the per-shard counts after
+// the first cuts[k] balls — the raw material of the block-aligned
+// checkpoint cut plan. With no cuts this is the original tight
+// routing loop, so the no-collector path costs nothing extra.
+func routeBalls(rr *xrand.Rand, router *sampling.AliasTable, counts []int64, m int64, cuts []int64, prefix [][]int64) {
+	if len(cuts) == 0 {
+		for i := int64(0); i < m; i++ {
+			counts[router.Sample(rr)]++
+		}
+		return
+	}
+	next := 0
+	for i := int64(1); i <= m; i++ {
+		counts[router.Sample(rr)]++
+		for next < len(cuts) && cuts[next] == i {
+			copy(prefix[next], counts)
+			next++
+		}
+	}
 }
 
 // shardPlan computes the contiguous shard boundaries, each shard's
@@ -256,8 +370,14 @@ func shardPlan(weights []float64, n, shards int) (bounds []int, shardW []float64
 
 // placeShard runs shard s's game: its own pre-built view, its own
 // alias tables and its own RNG stream. A nil view means no balls were
-// routed here — nothing to do.
-func placeShard(view *bins.Array, weights []float64, factory protocol.Factory, seed uint64, count int64, s int) error {
+// routed here — nothing to do. When checkpoint cuts are requested
+// (cuts[k][s] is the block-aligned count of this shard's balls at cut
+// k), placement is segmented at the cuts and the shard-local running
+// max is recorded into track[k][s]. Segmenting PlaceBatch never moves
+// a draw — PlaceBatch(a)+PlaceBatch(b) consumes exactly the draws of
+// PlaceBatch(a+b) — so the final state is bit-identical with and
+// without checkpoints (pinned by tests).
+func placeShard(view *bins.Array, weights []float64, factory protocol.Factory, seed uint64, count int64, s int, cuts [][]int64, track [][]float64) error {
 	if view == nil {
 		return nil
 	}
@@ -266,6 +386,42 @@ func placeShard(view *bins.Array, weights []float64, factory protocol.Factory, s
 		return err
 	}
 	rs := xrand.NewStream(seed, uint64(s)+1)
-	placer.PlaceBatch(view, rs, count)
+	placeShardSegments(placer, view, rs, count, s, cuts, track)
 	return nil
+}
+
+// placeShardSegments runs one shard's placement, segmented at the
+// block-aligned cuts (cuts[k][s]), recording the shard-local running
+// max into track[k][s]. It is shared by RunLarge's placeShard and
+// RunLargeMonte's placement tasks so the cut schedule can never
+// diverge between the engines — the "Reps = 1 reproduces a
+// checkpointed RunLarge bit for bit" contract depends on both using
+// this exact schedule. With no cuts it is a single PlaceBatch.
+func placeShardSegments(placer protocol.Placer, view *bins.Array, rs *xrand.Rand, count int64, s int, cuts [][]int64, track [][]float64) {
+	placed := int64(0)
+	for k := range cuts {
+		cut := cuts[k][s]
+		placer.PlaceBatch(view, rs, cut-placed)
+		placed = cut
+		if cut > 0 {
+			track[k][s] = view.MaxLoad()
+		}
+	}
+	placer.PlaceBatch(view, rs, count-placed)
+}
+
+// combineShardMaxima reduces the per-shard cut maxima spatially:
+// out[k] = max over shards of track[k][s] — a pure max in shard
+// order, order-independent for finite floats, so any worker schedule
+// that filled track produces the same combination.
+func combineShardMaxima(track [][]float64, out []float64) {
+	for k := range track {
+		max := 0.0
+		for _, v := range track[k] {
+			if v > max {
+				max = v
+			}
+		}
+		out[k] = max
+	}
 }

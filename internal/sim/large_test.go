@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"repro/internal/bins"
@@ -239,5 +240,178 @@ func TestRunLargeGoldenValues(t *testing.T) {
 	const wantHash = uint64(2074143230056129896)
 	if h != wantHash {
 		t.Fatalf("final-state hash %d, golden %d (shard streams changed)", h, wantHash)
+	}
+}
+
+// TestRunLargeCheckpointsDoNotMoveDraws is the tentpole contract of
+// the observation subsystem: requesting checkpoints segments each
+// shard's PlaceBatch at the block-aligned cuts, and segmentation must
+// not move a single draw — the final state (and hence the golden
+// hash of TestRunLargeGoldenValues' configuration) is bit-identical
+// with and without checkpoints.
+func TestRunLargeCheckpointsDoNotMoveDraws(t *testing.T) {
+	a := largeArray(t, 512)
+	plain, err := RunLarge(LargeConfig{Array: a, Seed: 20260727, Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cped, err := RunLarge(LargeConfig{
+		Array: a, Seed: 20260727, Shards: 8,
+		Checkpoints:  []int64{300, 1500, 2500},
+		HeightLevels: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cped.MaxLoad != plain.MaxLoad || cped.Deviation != plain.Deviation {
+		t.Fatalf("checkpoints moved final stats: %v/%v vs %v/%v",
+			cped.MaxLoad, cped.Deviation, plain.MaxLoad, plain.Deviation)
+	}
+	for i := 0; i < plain.Array.N(); i++ {
+		if cped.Array.Balls(i) != plain.Array.Balls(i) {
+			t.Fatalf("bin %d: %d balls with checkpoints, %d without",
+				i, cped.Array.Balls(i), plain.Array.Balls(i))
+		}
+	}
+	if len(cped.Checkpoints) != 3 || len(cped.HeightCounts) != 4 {
+		t.Fatalf("observations missing: %d checkpoints, %d height rows",
+			len(cped.Checkpoints), len(cped.HeightCounts))
+	}
+}
+
+// TestRunLargeCheckpointModel pins the sharded cut rule: each shard's
+// cut is a multiple of the kernel block size, so the realised ball
+// count at every cut is a multiple of protocol.BlockSize and at most
+// the requested count, and observations grow monotonically. A cut too
+// small to realise any block-aligned state at all (here: 1 ball) is
+// skipped like a cut beyond m rather than recorded as max load 0.
+func TestRunLargeCheckpointModel(t *testing.T) {
+	a := largeArray(t, 4000) // C = 22000
+	res, err := RunLarge(LargeConfig{
+		Array: a, Seed: 9, Shards: 4,
+		Checkpoints: []int64{1, 5000, 15000, 900000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Checkpoints) != 4 {
+		t.Fatalf("%d checkpoint rows", len(res.Checkpoints))
+	}
+	if tiny := &res.Checkpoints[0]; tiny.Reps() != 0 {
+		t.Fatalf("empty-realisation cut observed %d times (max %v)", tiny.Reps(), tiny.MaxLoad.Mean())
+	}
+	var prevReal float64
+	for i, row := range res.Checkpoints[1:3] {
+		if row.Reps() != 1 {
+			t.Fatalf("cut %d observed %d times in a single run", i, row.Reps())
+		}
+		real := row.RealBalls.Mean()
+		if int64(real)%protocol.BlockSize != 0 {
+			t.Fatalf("cut %d realised %v balls, not a multiple of %d", i, real, protocol.BlockSize)
+		}
+		if real > float64(row.Balls) {
+			t.Fatalf("cut %d realised %v > requested %d", i, real, row.Balls)
+		}
+		if real < prevReal {
+			t.Fatalf("realised balls shrank: %v -> %v", prevReal, real)
+		}
+		prevReal = real
+		if row.Deviation.Mean() < 0 {
+			t.Fatalf("cut %d negative deviation", i)
+		}
+	}
+	// the cut beyond m = C stays unobserved, visible through Reps
+	if beyond := &res.Checkpoints[3]; beyond.Reps() != 0 {
+		t.Fatalf("cut beyond m observed %d times", beyond.Reps())
+	}
+}
+
+// TestRunLargeCheckpointsBitIdenticalAcrossWorkers extends the core
+// worker-independence contract to the observation pipeline.
+func TestRunLargeCheckpointsBitIdenticalAcrossWorkers(t *testing.T) {
+	a := largeArray(t, 2000)
+	var base *LargeResult
+	for _, workers := range []int{1, 2, 3, 8} {
+		res, err := RunLarge(LargeConfig{
+			Array: a, Seed: 42, Shards: 16, Workers: workers,
+			Checkpoints:  []int64{2000, 6000, 10000},
+			HeightLevels: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base == nil {
+			base = res
+			continue
+		}
+		if !reflect.DeepEqual(res.Checkpoints, base.Checkpoints) {
+			t.Fatalf("workers=%d: checkpoint rows differ", workers)
+		}
+		if !reflect.DeepEqual(res.HeightCounts, base.HeightCounts) {
+			t.Fatalf("workers=%d: height rows differ", workers)
+		}
+	}
+}
+
+// TestRunLargeHeights cross-checks the obs.Heights counts against a
+// direct scan of the final array.
+func TestRunLargeHeights(t *testing.T) {
+	a := largeArray(t, 1000)
+	res, err := RunLarge(LargeConfig{
+		Array: a, Seed: 4, Shards: 8, BallsFactor: 3, HeightLevels: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.HeightCounts) != 5 {
+		t.Fatalf("%d height rows", len(res.HeightCounts))
+	}
+	for k := int64(1); k <= 5; k++ {
+		var want int64
+		for i := 0; i < res.Array.N(); i++ {
+			if res.Array.Balls(i) >= k*res.Array.Capacity(i) {
+				want++
+			}
+		}
+		row := res.HeightCounts[k-1]
+		if row.Level != k || int64(row.Bins.Mean()) != want {
+			t.Fatalf("level %d: got %v bins, scan says %d", k, row.Bins.Mean(), want)
+		}
+	}
+}
+
+// TestRunLargeAdoptArray: AdoptArray mutates the caller's array in
+// place (saving the O(n) clone) and produces the identical result.
+func TestRunLargeAdoptArray(t *testing.T) {
+	a := largeArray(t, 800)
+	ref, err := RunLarge(LargeConfig{Array: a, Seed: 6, Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	own := largeArray(t, 800)
+	res, err := RunLarge(LargeConfig{Array: own, Seed: 6, Shards: 8, AdoptArray: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Array != own {
+		t.Fatal("AdoptArray cloned anyway")
+	}
+	if own.TotalBalls() != ref.Balls {
+		t.Fatalf("adopted array holds %d balls, want %d", own.TotalBalls(), ref.Balls)
+	}
+	for i := 0; i < ref.Array.N(); i++ {
+		if res.Array.Balls(i) != ref.Array.Balls(i) {
+			t.Fatalf("bin %d differs under AdoptArray", i)
+		}
+	}
+}
+
+func TestRunLargeObservationValidation(t *testing.T) {
+	a := largeArray(t, 100)
+	if _, err := RunLarge(LargeConfig{Array: a, Checkpoints: []int64{0}}); err == nil {
+		t.Error("checkpoint at 0 balls accepted")
+	}
+	if _, err := RunLarge(LargeConfig{Array: a, HeightLevels: -1}); err == nil {
+		t.Error("negative HeightLevels accepted")
 	}
 }

@@ -45,6 +45,7 @@ import (
 
 	"repro/internal/bins"
 	"repro/internal/dist"
+	"repro/internal/obs"
 	"repro/internal/protocol"
 	"repro/internal/sampling"
 	"repro/internal/stats"
@@ -67,6 +68,11 @@ type LargeMonteConfig struct {
 	// sort per repetition plus a single O(n) running-sum vector; the
 	// per-repetition vectors are never retained.
 	CollectLoadVector bool
+	// ShardStats requests per-shard aggregates across repetitions
+	// (balls routed, final shard-local max load) — the imbalance view
+	// of the two-level protocol. Costs one O(shard) scan per shard per
+	// repetition.
+	ShardStats bool
 }
 
 // LargeMonteResult aggregates a sharded Monte-Carlo run. Per-repetition
@@ -89,6 +95,18 @@ type LargeMonteResult struct {
 	// MeanSortedLoads is the element-wise mean of the non-increasing
 	// sorted load vector (only when CollectLoadVector).
 	MeanSortedLoads []float64
+	// Checkpoints holds per-checkpoint aggregates across repetitions,
+	// in ascending cut order (only when LargeConfig.Checkpoints were
+	// requested). Each repetition realises a cut through its own
+	// routing stream, so RealBalls varies across repetitions; rows
+	// fold strictly in repetition order.
+	Checkpoints []obs.CheckpointRow
+	// HeightCounts holds per-level bins-at-load>=k aggregates across
+	// repetitions (only when LargeConfig.HeightLevels was requested).
+	HeightCounts []obs.HeightRow
+	// ShardStats holds per-shard aggregates (only when
+	// LargeMonteConfig.ShardStats was requested).
+	ShardStats *obs.ShardStats
 }
 
 // monteAgg folds per-repetition summaries strictly in repetition order:
@@ -97,11 +115,18 @@ type LargeMonteResult struct {
 // float sums therefore happen in one fixed order, which is what makes
 // the aggregate bit-identical across worker topologies.
 type monteAgg struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	next    int // next repetition index allowed to fold
-	err     error
-	loadSum []float64
+	mu   sync.Mutex
+	cond *sync.Cond
+	next int // next repetition index allowed to fold
+	err  error
+	// The result-level collectors. fold runs strictly in repetition
+	// order, so every Observe below happens in one fixed order — the
+	// unified observation contract's requirement for bit-identical
+	// aggregates across worker topologies.
+	loads *obs.SortedLoads
+	cp    *obs.Checkpoints
+	hl    *obs.Heights
+	ss    *obs.ShardStats
 }
 
 // fold blocks until it is rep's turn, runs fn under the aggregation
@@ -142,20 +167,47 @@ type monteRepState struct {
 	loads   []float64 // sorted-ascending load vector scratch
 	max     float64
 	avg     float64
+
+	// Observation scratch, allocated once per orchestrator and reused
+	// across its repetitions (all nil/empty when not requested).
+	cuts     []int64     // the reached cuts (shared, read-only)
+	prefix   [][]int64   // [cut][shard] routing prefixes → aligned cuts
+	cutBalls []int64     // realised balls per cut
+	track    [][]float64 // [cut][shard] shard-local running max at cut
+	cpMax    []float64   // combined whole-array max per cut
+	hlCounts []int64     // bins at load >= k (HeightLevels)
+	shardMax []float64   // final shard-local max (ShardStats)
 }
 
 // newMonteRepState clones the (already reset) master array and builds
 // the orchestrator's shard views and placers. Zero-weight shards get
 // neither — the router can never send a ball there, and building a
 // placer over an all-zero weight slice would fail.
-func newMonteRepState(master *bins.Array, weights []float64, bounds []int, shardW []float64, factory protocol.Factory, collect bool) (*monteRepState, error) {
+func newMonteRepState(master *bins.Array, weights []float64, bounds []int, shardW []float64, factory protocol.Factory, cfg *LargeMonteConfig, cuts []int64) (*monteRepState, error) {
 	shards := len(shardW)
 	st := &monteRepState{
 		arr:     master.Clone(),
 		views:   make([]*bins.Array, shards),
 		placers: make([]protocol.Placer, shards),
 		counts:  make([]int64, shards),
-		collect: collect,
+		collect: cfg.CollectLoadVector,
+		cuts:    cuts,
+	}
+	if len(cuts) > 0 {
+		st.prefix = make([][]int64, len(cuts))
+		st.track = make([][]float64, len(cuts))
+		for k := range cuts {
+			st.prefix[k] = make([]int64, shards)
+			st.track[k] = make([]float64, shards)
+		}
+		st.cutBalls = make([]int64, len(cuts))
+		st.cpMax = make([]float64, len(cuts))
+	}
+	if cfg.HeightLevels > 0 {
+		st.hlCounts = make([]int64, cfg.HeightLevels)
+	}
+	if cfg.ShardStats {
+		st.shardMax = make([]float64, shards)
 	}
 	for s := 0; s < shards; s++ {
 		if shardW[s] <= 0 {
@@ -192,9 +244,14 @@ func (st *monteRepState) runRep(tasks chan<- func(), seed, rep uint64, shards in
 		for s := range st.counts {
 			st.counts[s] = 0
 		}
+		for k := range st.track {
+			clear(st.track[k])
+		}
+		clear(st.shardMax)
 		rr := xrand.NewStream(seed, base)
-		for i := int64(0); i < m; i++ {
-			st.counts[router.Sample(rr)]++
+		routeBalls(rr, router, st.counts, m, st.cuts, st.prefix)
+		if len(st.cuts) > 0 {
+			obs.AlignShardCuts(st.prefix, protocol.BlockSize, st.cutBalls)
 		}
 	}
 	for s := range st.views {
@@ -223,7 +280,13 @@ func (st *monteRepState) runRep(tasks chan<- func(), seed, rep uint64, shards in
 				rp.Reset()
 			}
 			rs := xrand.NewStream(seed, base+1+uint64(s))
-			p.PlaceBatch(st.views[s], rs, st.counts[s])
+			// The shared segment schedule (placeShardSegments) is what
+			// keeps repetition 0 bit-identical to a checkpointed
+			// RunLarge. Segmentation never moves a draw.
+			placeShardSegments(p, st.views[s], rs, st.counts[s], s, st.prefix, st.track)
+			if st.shardMax != nil {
+				st.shardMax[s] = st.views[s].MaxLoad()
+			}
 		}
 	}
 	wg.Wait()
@@ -237,6 +300,10 @@ func (st *monteRepState) runRep(tasks chan<- func(), seed, rep uint64, shards in
 		if st.collect {
 			st.loads = st.arr.LoadVectorInto(st.loads)
 			slices.Sort(st.loads)
+		}
+		combineShardMaxima(st.track, st.cpMax)
+		if st.hlCounts != nil {
+			obs.CountAtOrAbove(st.arr, st.hlCounts)
 		}
 	}
 	wg.Wait()
@@ -255,7 +322,10 @@ func RunLargeMonte(cfg LargeMonteConfig) (*LargeMonteResult, error) {
 	}
 
 	n := cfg.Array.N()
-	master := cfg.Array.Clone()
+	master := cfg.Array
+	if !cfg.AdoptArray {
+		master = cfg.Array.Clone()
+	}
 	master.Reset()
 	d := cfg.Dist
 	if d == nil {
@@ -281,6 +351,10 @@ func RunLargeMonte(cfg LargeMonteConfig) (*LargeMonteResult, error) {
 
 	m := (&Config{Balls: cfg.Balls, BallsFactor: cfg.BallsFactor}).ballCount(master.TotalCapacity())
 
+	allCuts, _ := obs.NormalizeCuts(cfg.Checkpoints) // validated above
+	cuts := allCuts[:obs.CountReached(allCuts, m)]
+	totalCap := master.TotalCapacity()
+
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -294,7 +368,16 @@ func RunLargeMonte(cfg LargeMonteConfig) (*LargeMonteResult, error) {
 	agg := &monteAgg{}
 	agg.cond = sync.NewCond(&agg.mu)
 	if cfg.CollectLoadVector {
-		agg.loadSum = make([]float64, n)
+		agg.loads = obs.NewSortedLoads()
+	}
+	if len(allCuts) > 0 {
+		agg.cp = obs.NewCheckpoints(allCuts)
+	}
+	if cfg.HeightLevels > 0 {
+		agg.hl = obs.NewHeights(cfg.HeightLevels)
+	}
+	if cfg.ShardStats {
+		agg.ss = obs.NewShardStats(shards)
 	}
 
 	// The shared bounded pool: every CPU-heavy task of every phase of
@@ -316,7 +399,7 @@ func RunLargeMonte(cfg LargeMonteConfig) (*LargeMonteResult, error) {
 		orchWG.Add(1)
 		go func(w int) {
 			defer orchWG.Done()
-			st, serr := newMonteRepState(master, weights, bounds, shardW, factory, cfg.CollectLoadVector)
+			st, serr := newMonteRepState(master, weights, bounds, shardW, factory, &cfg, cuts)
 			// Static strided assignment: orchestrator w owns reps
 			// w, w+inflight, … — processed in increasing order, which
 			// the in-order fold relies on for progress.
@@ -335,11 +418,31 @@ func RunLargeMonte(cfg LargeMonteConfig) (*LargeMonteResult, error) {
 					res.MaxLoad.Add(st.max)
 					res.AvgLoad.Add(st.avg)
 					res.Deviation.Add(st.max - st.avg)
-					if ag.loadSum != nil {
-						// accumulate in non-increasing order, matching
-						// Run's MeanSortedLoads convention
-						for i := range st.loads {
-							ag.loadSum[i] += st.loads[len(st.loads)-1-i]
+					if ag.loads != nil {
+						if err := ag.loads.Observe(st.loads); err != nil {
+							ag.err = err
+							return
+						}
+					}
+					if ag.cp != nil {
+						for k := range cuts {
+							// An empty block-aligned realisation means
+							// this repetition saw no state at the cut;
+							// skip it (like a cut beyond m) so zeros
+							// never contaminate the maxima aggregates.
+							if st.cutBalls[k] == 0 {
+								continue
+							}
+							ag.cp.Observe(k, st.cutBalls[k], totalCap, st.cpMax[k])
+						}
+					}
+					if ag.hl != nil {
+						ag.hl.Observe(st.hlCounts)
+					}
+					if ag.ss != nil {
+						if err := ag.ss.Observe(st.counts, st.shardMax); err != nil {
+							ag.err = err
+							return
 						}
 					}
 				})
@@ -353,11 +456,15 @@ func RunLargeMonte(cfg LargeMonteConfig) (*LargeMonteResult, error) {
 	if agg.err != nil {
 		return nil, agg.err
 	}
-	if agg.loadSum != nil {
-		for i := range agg.loadSum {
-			agg.loadSum[i] /= float64(cfg.Reps)
-		}
-		res.MeanSortedLoads = agg.loadSum
+	if agg.loads != nil {
+		res.MeanSortedLoads = agg.loads.Mean()
 	}
+	if agg.cp != nil {
+		res.Checkpoints = agg.cp.Rows()
+	}
+	if agg.hl != nil {
+		res.HeightCounts = agg.hl.Rows()
+	}
+	res.ShardStats = agg.ss
 	return res, nil
 }

@@ -239,3 +239,153 @@ func TestRunLargeMonteGoldenValues(t *testing.T) {
 		t.Fatalf("deviation mean %v, golden 1.75", res.Deviation.Mean())
 	}
 }
+
+// TestRunLargeMonteCheckpointedRepZero: with Reps = 1 and the full
+// observation set requested, the Monte engine must reproduce a
+// checkpointed RunLarge bit for bit — same cuts, same realised balls,
+// same maxima, same height counts.
+func TestRunLargeMonteCheckpointedRepZero(t *testing.T) {
+	a := largeArray(t, 1500)
+	lc := LargeConfig{
+		Array: a, Seed: 42, Shards: 16,
+		Checkpoints:  []int64{1000, 4000, 8000},
+		HeightLevels: 4,
+	}
+	want, err := RunLarge(lc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunLargeMonte(LargeMonteConfig{LargeConfig: lc, Reps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Checkpoints, want.Checkpoints) {
+		t.Fatalf("checkpoint rows differ:\n got  %+v\n want %+v", got.Checkpoints, want.Checkpoints)
+	}
+	if !reflect.DeepEqual(got.HeightCounts, want.HeightCounts) {
+		t.Fatalf("height rows differ:\n got  %+v\n want %+v", got.HeightCounts, want.HeightCounts)
+	}
+}
+
+// TestRunLargeMonteObservationsBitIdenticalAcrossTopologies is the
+// collector merge-determinism matrix of the unified observation
+// subsystem: across shards × reps × workers, every checkpoint row,
+// height row and shard-stat row must be bit-identical (the race CI
+// job runs this under -race as well).
+func TestRunLargeMonteObservationsBitIdenticalAcrossTopologies(t *testing.T) {
+	a := largeArray(t, 600)
+	for _, shards := range []int{1, 4, 16} {
+		for _, reps := range []int{1, 3, 10} {
+			var base *LargeMonteResult
+			for _, workers := range []int{1, 2, 3, 8} {
+				res, err := RunLargeMonte(LargeMonteConfig{
+					LargeConfig: LargeConfig{
+						Array: a, Seed: 77, Shards: shards, Workers: workers,
+						Checkpoints:  []int64{500, 1500, 3000},
+						HeightLevels: 3,
+					},
+					Reps:              reps,
+					CollectLoadVector: true,
+					ShardStats:        true,
+				})
+				if err != nil {
+					t.Fatalf("shards=%d reps=%d workers=%d: %v", shards, reps, workers, err)
+				}
+				if base == nil {
+					base = res
+					continue
+				}
+				if !reflect.DeepEqual(base, res) {
+					t.Fatalf("shards=%d reps=%d workers=%d: observations differ from workers=1:\n got  %+v\n want %+v",
+						shards, reps, workers, res, base)
+				}
+			}
+		}
+	}
+}
+
+// TestRunLargeMonteCheckpointAggregates: realised balls vary with the
+// per-repetition routing stream but stay block-aligned and <= the
+// requested cut; every in-range cut is observed by every repetition.
+func TestRunLargeMonteCheckpointAggregates(t *testing.T) {
+	a := largeArray(t, 1000) // C = 5500
+	res, err := RunLargeMonte(LargeMonteConfig{
+		LargeConfig: LargeConfig{
+			Array: a, Seed: 13, Shards: 8,
+			Checkpoints: []int64{2000, 4000, 50000},
+		},
+		Reps: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Checkpoints) != 3 {
+		t.Fatalf("%d checkpoint rows", len(res.Checkpoints))
+	}
+	for i, row := range res.Checkpoints[:2] {
+		if row.Reps() != 12 {
+			t.Fatalf("cut %d observed %d/12 times", i, row.Reps())
+		}
+		if row.RealBalls.Max() > float64(row.Balls) {
+			t.Fatalf("cut %d realised %v > requested %d", i, row.RealBalls.Max(), row.Balls)
+		}
+		if int64(row.RealBalls.Min())%protocol.BlockSize != 0 ||
+			int64(row.RealBalls.Max())%protocol.BlockSize != 0 {
+			t.Fatalf("cut %d realised balls not block-aligned: [%v, %v]",
+				i, row.RealBalls.Min(), row.RealBalls.Max())
+		}
+	}
+	if res.Checkpoints[2].Reps() != 0 {
+		t.Fatalf("cut beyond m observed %d times", res.Checkpoints[2].Reps())
+	}
+	// routing varies per repetition, so realised cuts should too (the
+	// odds of 12 identical aligned prefixes are negligible)
+	if row := res.Checkpoints[0]; row.RealBalls.Min() == row.RealBalls.Max() {
+		t.Logf("warning: realised balls identical across reps: %v", row.RealBalls.Mean())
+	}
+}
+
+// TestRunLargeMonteShardStats: shard rows aggregate exactly Reps
+// observations, the routed-ball means sum to m, and shard maxima are
+// consistent with the global max.
+func TestRunLargeMonteShardStats(t *testing.T) {
+	a := largeArray(t, 1000)
+	res, err := RunLargeMonte(LargeMonteConfig{
+		LargeConfig: LargeConfig{Array: a, Seed: 21, Shards: 8},
+		Reps:        6,
+		ShardStats:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ShardStats == nil || res.ShardStats.Shards() != 8 {
+		t.Fatal("shard stats missing")
+	}
+	var ballSum, maxOfMax float64
+	for _, row := range res.ShardStats.Rows() {
+		if row.Balls.N() != 6 {
+			t.Fatalf("shard %d has %d observations", row.Shard, row.Balls.N())
+		}
+		ballSum += row.Balls.Mean()
+		if row.MaxLoad.Max() > maxOfMax {
+			maxOfMax = row.MaxLoad.Max()
+		}
+	}
+	if math.Abs(ballSum-float64(res.Balls)) > 1e-9 {
+		t.Fatalf("mean shard balls sum %v, want m = %d", ballSum, res.Balls)
+	}
+	if maxOfMax != res.MaxLoad.Max() {
+		t.Fatalf("max of shard maxima %v, global worst max %v", maxOfMax, res.MaxLoad.Max())
+	}
+	// without the flag no stats are produced
+	res2, err := RunLargeMonte(LargeMonteConfig{
+		LargeConfig: LargeConfig{Array: a, Seed: 21, Shards: 8},
+		Reps:        2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.ShardStats != nil {
+		t.Fatal("ShardStats produced without the flag")
+	}
+}

@@ -15,11 +15,11 @@ import (
 	"fmt"
 	"runtime"
 	"slices"
-	"sort"
 	"sync"
 
 	"repro/internal/bins"
 	"repro/internal/dist"
+	"repro/internal/obs"
 	"repro/internal/protocol"
 	"repro/internal/stats"
 	"repro/internal/xrand"
@@ -73,8 +73,15 @@ type Config struct {
 	TrackClasses []int64
 	// Checkpoints lists ball counts at which the running maximum load
 	// and its deviation from the running average load are recorded
-	// (Fig 16). Values larger than the ball count are ignored.
+	// (Fig 16). Checkpoints larger than a repetition's ball count are
+	// skipped for that repetition — the shortfall is visible through
+	// CheckpointStat.Reps, which counts the repetitions that actually
+	// observed each cut.
 	Checkpoints []int64
+	// HeightLevels, when positive, requests the count of bins at final
+	// load >= k for k = 1..HeightLevels — the concentration-bound
+	// observable (collected through obs.Heights).
+	HeightLevels int
 	// HeightBins, when positive, requests a histogram of ball heights —
 	// the paper's §2 notion: the load of the receiving bin immediately
 	// after the allocation. The histogram spans [0, HeightMax) with
@@ -84,12 +91,11 @@ type Config struct {
 	HeightMax float64
 }
 
-// CheckpointStat aggregates one checkpoint across repetitions.
-type CheckpointStat struct {
-	Balls     int64
-	MaxLoad   stats.Accumulator
-	Deviation stats.Accumulator // max load − average load at the checkpoint
-}
+// CheckpointStat aggregates one checkpoint across repetitions. It is
+// the obs.CheckpointRow of the unified observation subsystem; Reps()
+// reports how many repetitions actually observed the cut (checkpoints
+// beyond a repetition's ball count are skipped, not zero-filled).
+type CheckpointStat = obs.CheckpointRow
 
 // Result aggregates a run.
 type Result struct {
@@ -118,6 +124,9 @@ type Result struct {
 	// Checkpoints holds per-checkpoint aggregates in ascending ball
 	// order (only when Checkpoints were requested).
 	Checkpoints []CheckpointStat
+	// HeightCounts holds per-level bins-at-load>=k aggregates (only
+	// when HeightLevels was requested).
+	HeightCounts []obs.HeightRow
 	// Heights is the aggregated ball-height histogram (only when
 	// HeightBins was requested).
 	Heights *stats.Histogram
@@ -125,11 +134,11 @@ type Result struct {
 
 type chunkPartial struct {
 	balls, totalCap, maxLoad, avgLoad, deviation stats.Accumulator
-	loadSum                                      []float64
-	loadCount                                    int64
+	loads                                        *obs.SortedLoads
 	classMaxCount                                map[int64]int64
 	classLoadSum                                 map[int64][]float64
-	cp                                           []CheckpointStat
+	cp                                           *obs.Checkpoints
+	hl                                           *obs.Heights
 	heights                                      *stats.Histogram
 	err                                          error
 }
@@ -150,10 +159,11 @@ func (c *Config) validate() error {
 	if len(c.ClassLoadVectors) > 0 && c.ArrayFn != nil {
 		return fmt.Errorf("sim: ClassLoadVectors requires a fixed Array")
 	}
-	for _, cp := range c.Checkpoints {
-		if cp < 1 {
-			return fmt.Errorf("sim: checkpoint at %d balls, need >= 1", cp)
-		}
+	if c.HeightLevels < 0 {
+		return fmt.Errorf("sim: HeightLevels = %d", c.HeightLevels)
+	}
+	if _, err := obs.NormalizeCuts(c.Checkpoints); err != nil {
+		return fmt.Errorf("sim: %w", err)
 	}
 	return nil
 }
@@ -200,8 +210,10 @@ func Run(cfg Config) (*Result, error) {
 		workers = nChunks
 	}
 
-	checkpoints := append([]int64(nil), cfg.Checkpoints...)
-	sort.Slice(checkpoints, func(i, j int) bool { return checkpoints[i] < checkpoints[j] })
+	checkpoints, err := obs.NormalizeCuts(cfg.Checkpoints)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
 
 	partials := make([]chunkPartial, nChunks)
 	chunkCh := make(chan int)
@@ -302,10 +314,10 @@ func runRep(cfg *Config, checkpoints []int64, rep uint64, fixedArr *bins.Array, 
 	m := cfg.ballCount(arr.TotalCapacity())
 
 	if len(checkpoints) > 0 && p.cp == nil {
-		p.cp = make([]CheckpointStat, len(checkpoints))
-		for i, b := range checkpoints {
-			p.cp[i].Balls = b
-		}
+		p.cp = obs.NewCheckpoints(checkpoints)
+	}
+	if cfg.HeightLevels > 0 && p.hl == nil {
+		p.hl = obs.NewHeights(cfg.HeightLevels)
 	}
 	if cfg.HeightBins > 0 && p.heights == nil {
 		hiMax := cfg.HeightMax
@@ -327,10 +339,9 @@ func runRep(cfg *Config, checkpoints []int64, rep uint64, fixedArr *bins.Array, 
 			idx := placer.Place(arr, r)
 			p.heights.Add(arr.Load(idx))
 			for nextCp < len(checkpoints) && checkpoints[nextCp] == k {
-				max := arr.MaxLoad()
-				avg := arr.AverageLoad()
-				p.cp[nextCp].MaxLoad.Add(max)
-				p.cp[nextCp].Deviation.Add(max - avg)
+				if err := p.cp.Snapshot(nextCp, arr, k); err != nil {
+					return err
+				}
 				nextCp++
 			}
 		}
@@ -342,15 +353,16 @@ func runRep(cfg *Config, checkpoints []int64, rep uint64, fixedArr *bins.Array, 
 			cp := checkpoints[nextCp]
 			placer.PlaceBatch(arr, r, cp-placed)
 			placed = cp
-			max := arr.MaxLoad()
-			avg := arr.AverageLoad()
-			p.cp[nextCp].MaxLoad.Add(max)
-			p.cp[nextCp].Deviation.Add(max - avg)
+			if err := p.cp.Snapshot(nextCp, arr, cp); err != nil {
+				return err
+			}
 			nextCp++
 		}
 		placer.PlaceBatch(arr, r, m-placed)
 	}
-	// checkpoints beyond m stay unrecorded (fewer observations)
+	// Checkpoints beyond m stay unrecorded for this repetition: their
+	// rows end up with Reps() < cfg.Reps (0 when no repetition reaches
+	// them), which is how callers see the shortfall.
 
 	max := arr.MaxLoad()
 	avg := arr.AverageLoad()
@@ -360,21 +372,21 @@ func runRep(cfg *Config, checkpoints []int64, rep uint64, fixedArr *bins.Array, 
 	p.avgLoad.Add(avg)
 	p.deviation.Add(max - avg)
 
+	if p.hl != nil {
+		if err := p.hl.Snapshot(obs.Final, arr, m); err != nil {
+			return fmt.Errorf("sim: rep %d heights: %w", rep, err)
+		}
+	}
 	if cfg.CollectLoadVector {
 		lv := arr.LoadVectorInto(scratch.loads)
 		scratch.loads = lv
 		slices.Sort(lv)
-		if p.loadSum == nil {
-			p.loadSum = make([]float64, len(lv))
+		if p.loads == nil {
+			p.loads = obs.NewSortedLoads()
 		}
-		if len(p.loadSum) != len(lv) {
-			return fmt.Errorf("sim: rep %d produced %d bins, earlier reps %d", rep, len(lv), len(p.loadSum))
+		if err := p.loads.Observe(lv); err != nil {
+			return fmt.Errorf("sim: rep %d: %w", rep, err)
 		}
-		// accumulate in non-increasing order
-		for i := range lv {
-			p.loadSum[i] += lv[len(lv)-1-i]
-		}
-		p.loadCount++
 	}
 	if len(cfg.TrackClasses) > 0 {
 		if p.classMaxCount == nil {
@@ -416,13 +428,15 @@ func runRep(cfg *Config, checkpoints []int64, rep uint64, fixedArr *bins.Array, 
 // reduce merges chunk partials in deterministic (chunk index) order.
 func reduce(cfg *Config, checkpoints []int64, partials []chunkPartial) (*Result, error) {
 	res := &Result{}
+	var cp *obs.Checkpoints
 	if len(checkpoints) > 0 {
-		res.Checkpoints = make([]CheckpointStat, len(checkpoints))
-		for i, b := range checkpoints {
-			res.Checkpoints[i].Balls = b
-		}
+		cp = obs.NewCheckpoints(checkpoints)
 	}
-	var loadCount int64
+	var hl *obs.Heights
+	if cfg.HeightLevels > 0 {
+		hl = obs.NewHeights(cfg.HeightLevels)
+	}
+	loads := obs.NewSortedLoads()
 	for ci := range partials {
 		p := &partials[ci]
 		if p.err != nil {
@@ -433,17 +447,20 @@ func reduce(cfg *Config, checkpoints []int64, partials []chunkPartial) (*Result,
 		res.MaxLoad.Merge(&p.maxLoad)
 		res.AvgLoad.Merge(&p.avgLoad)
 		res.Deviation.Merge(&p.deviation)
-		if p.loadSum != nil {
-			if res.MeanSortedLoads == nil {
-				res.MeanSortedLoads = make([]float64, len(p.loadSum))
+		if p.loads != nil {
+			if err := loads.Merge(p.loads); err != nil {
+				return nil, fmt.Errorf("sim: inconsistent bin counts across repetitions: %w", err)
 			}
-			if len(res.MeanSortedLoads) != len(p.loadSum) {
-				return nil, fmt.Errorf("sim: inconsistent bin counts across repetitions")
+		}
+		if p.cp != nil {
+			if err := cp.Merge(p.cp); err != nil {
+				return nil, fmt.Errorf("sim: %w", err)
 			}
-			for i, v := range p.loadSum {
-				res.MeanSortedLoads[i] += v
+		}
+		if p.hl != nil {
+			if err := hl.Merge(p.hl); err != nil {
+				return nil, fmt.Errorf("sim: %w", err)
 			}
-			loadCount += p.loadCount
 		}
 		if p.classMaxCount != nil {
 			if res.ClassMaxFraction == nil {
@@ -468,10 +485,6 @@ func reduce(cfg *Config, checkpoints []int64, partials []chunkPartial) (*Result,
 				}
 			}
 		}
-		for i := range p.cp {
-			res.Checkpoints[i].MaxLoad.Merge(&p.cp[i].MaxLoad)
-			res.Checkpoints[i].Deviation.Merge(&p.cp[i].Deviation)
-		}
 		if p.heights != nil {
 			if res.Heights == nil {
 				h, err := stats.NewHistogram(p.heights.Lo, p.heights.Hi, len(p.heights.Counts))
@@ -485,10 +498,12 @@ func reduce(cfg *Config, checkpoints []int64, partials []chunkPartial) (*Result,
 			}
 		}
 	}
-	if res.MeanSortedLoads != nil && loadCount > 0 {
-		for i := range res.MeanSortedLoads {
-			res.MeanSortedLoads[i] /= float64(loadCount)
-		}
+	res.MeanSortedLoads = loads.Mean()
+	if cp != nil {
+		res.Checkpoints = cp.Rows()
+	}
+	if hl != nil {
+		res.HeightCounts = hl.Rows()
 	}
 	if res.ClassMaxFraction != nil {
 		for class := range res.ClassMaxFraction {

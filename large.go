@@ -32,6 +32,18 @@ type LargeConfig struct {
 	// Distribution and Protocol default to Proportional / Greedy(2).
 	Distribution Distribution
 	Protocol     Protocol
+	// Checkpoints requests running (max − average) observations at the
+	// given global ball counts. A sharded run has no global ball
+	// order, so a checkpoint at B is realised per shard — the balls
+	// among the first B routed to each shard, aligned down to the
+	// placement kernel's 256-ball block size — and the realised count
+	// (CheckpointResult.MeanBalls <= B) reflects that. The cut rule is
+	// part of the model, like Shards: it never depends on Workers, and
+	// requesting checkpoints never changes the final state.
+	Checkpoints []int64
+	// Heights requests, for k = 1..Heights, the number of bins whose
+	// final load is at least k.
+	Heights int
 }
 
 // LargeLoads exposes the final state of a sharded run.
@@ -53,6 +65,12 @@ type LargeResult struct {
 	Deviation   float64
 	// ShardBalls[s] is the number of balls routed to shard s.
 	ShardBalls []int64
+	// Checkpoints holds the run's checkpoint observations (only when
+	// requested; Reps is 1 for every realised cut).
+	Checkpoints []CheckpointResult
+	// Heights holds bins-at-load>=k counts of the final state (only
+	// when requested).
+	Heights []HeightResult
 	// Loads gives read access to the final per-bin state.
 	Loads LargeLoads
 }
@@ -91,14 +109,20 @@ func SimulateLarge(cfg LargeConfig) (*LargeResult, error) {
 		seed = 1
 	}
 	res, err := sim.RunLarge(sim.LargeConfig{
-		Array:       arr,
-		Dist:        cfg.Distribution.resolve(),
-		Placer:      cfg.Protocol.resolve(),
-		Balls:       cfg.Balls,
-		BallsFactor: cfg.BallsFactor,
-		Seed:        seed,
-		Shards:      cfg.Shards,
-		Workers:     cfg.Workers,
+		Array:        arr,
+		Dist:         cfg.Distribution.resolve(),
+		Placer:       cfg.Protocol.resolve(),
+		Balls:        cfg.Balls,
+		BallsFactor:  cfg.BallsFactor,
+		Seed:         seed,
+		Shards:       cfg.Shards,
+		Workers:      cfg.Workers,
+		Checkpoints:  cfg.Checkpoints,
+		HeightLevels: cfg.Heights,
+		// arr is private to this call, so the engine may own it —
+		// skipping the clone avoids a second transient O(n) array at
+		// n = 10^7.
+		AdoptArray: true,
 	})
 	if err != nil {
 		return nil, err
@@ -111,6 +135,8 @@ func SimulateLarge(cfg LargeConfig) (*LargeResult, error) {
 		AverageLoad: res.AvgLoad,
 		Deviation:   res.Deviation,
 		ShardBalls:  res.ShardBalls,
+		Checkpoints: checkpointResults(res.Checkpoints),
+		Heights:     heightResults(res.HeightCounts),
 		Loads:       LargeLoads{arr: res.Array},
 	}, nil
 }
@@ -155,6 +181,13 @@ type MonteLargeResult struct {
 	// MeanSortedLoads is the element-wise mean of the non-increasing
 	// load vector (only when SortedLoads was requested).
 	MeanSortedLoads []float64
+	// Checkpoints holds per-checkpoint aggregates across repetitions
+	// (only when requested). Each repetition realises the cuts through
+	// its own routing stream, so MeanBalls is an average over
+	// block-aligned per-repetition counts.
+	Checkpoints []CheckpointResult
+	// Heights holds bins-at-load>=k aggregates (only when requested).
+	Heights []HeightResult
 }
 
 // MonteCarloLarge runs cfg.Reps independent sharded games (each as
@@ -187,14 +220,19 @@ func MonteCarloLarge(cfg MonteLargeConfig) (*MonteLargeResult, error) {
 	}
 	res, err := sim.RunLargeMonte(sim.LargeMonteConfig{
 		LargeConfig: sim.LargeConfig{
-			Array:       arr,
-			Dist:        cfg.Distribution.resolve(),
-			Placer:      cfg.Protocol.resolve(),
-			Balls:       cfg.Balls,
-			BallsFactor: cfg.BallsFactor,
-			Seed:        seed,
-			Shards:      cfg.Shards,
-			Workers:     cfg.Workers,
+			Array:        arr,
+			Dist:         cfg.Distribution.resolve(),
+			Placer:       cfg.Protocol.resolve(),
+			Balls:        cfg.Balls,
+			BallsFactor:  cfg.BallsFactor,
+			Seed:         seed,
+			Shards:       cfg.Shards,
+			Workers:      cfg.Workers,
+			Checkpoints:  cfg.Checkpoints,
+			HeightLevels: cfg.Heights,
+			// arr is private to this call; adopting it as the master
+			// saves one transient O(n) array at n = 10^7.
+			AdoptArray: true,
 		},
 		Reps:              reps,
 		CollectLoadVector: cfg.SortedLoads,
@@ -214,5 +252,7 @@ func MonteCarloLarge(cfg MonteLargeConfig) (*MonteLargeResult, error) {
 		MeanDeviation:   res.Deviation.Mean(),
 		DeviationCI95:   res.Deviation.CI95(),
 		MeanSortedLoads: res.MeanSortedLoads,
+		Checkpoints:     checkpointResults(res.Checkpoints),
+		Heights:         heightResults(res.HeightCounts),
 	}, nil
 }

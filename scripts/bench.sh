@@ -27,7 +27,7 @@ fi
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
-go test -run '^$' -bench 'BenchmarkPlace|BenchmarkSimulateSmall|BenchmarkRunLargeSharded|BenchmarkRunLargeMonte' \
+go test -run '^$' -bench 'BenchmarkPlace|BenchmarkSimulateSmall|BenchmarkSimulateLargeCheckpoints|BenchmarkRunLargeSharded|BenchmarkRunLargeMonte' \
 	-benchmem -benchtime "$BENCHTIME" -count 1 . | tee "$RAW"
 
 awk '

@@ -47,12 +47,19 @@ check() {
 
 SPEC="2000x1+2000x10"
 SEED=20260727
+# Checkpoint cuts exercise the observation pipeline: in-range raw and
+# NxC cuts plus one beyond m (must print as an unobserved row, not
+# vanish), with a bins-at-load>=k table riding along.
+CPS="1000,5000,1xC,9xC"
 
 check "classic Monte-Carlo"            -spec "$SPEC" -seed "$SEED" -reps 40
 check "classic Monte-Carlo (loads)"    -spec "$SPEC" -seed "$SEED" -reps 10 -loads
+check "classic Monte-Carlo (obs)"      -spec "$SPEC" -seed "$SEED" -reps 10 -checkpoints "$CPS" -heights 4
 for shards in 1 4; do
 	check "sharded single run (shards=$shards)"   -spec "$SPEC" -seed "$SEED" -large -shards "$shards"
+	check "sharded single run (obs, shards=$shards)" -spec "$SPEC" -seed "$SEED" -large -shards "$shards" -checkpoints "$CPS" -heights 4
 	check "sharded Monte-Carlo (shards=$shards)"  -spec "$SPEC" -seed "$SEED" -large -shards "$shards" -reps 12
+	check "sharded Monte-Carlo (obs, shards=$shards)" -spec "$SPEC" -seed "$SEED" -large -shards "$shards" -reps 12 -checkpoints "$CPS" -heights 4
 done
 check "sharded Monte-Carlo (d=4, loads)" -spec "$SPEC" -seed "$SEED" -large -shards 8 -reps 6 -d 4 -loads
 

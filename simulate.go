@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/bins"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/theory"
 )
@@ -33,14 +34,79 @@ type SimConfig struct {
 	SortedLoads bool
 	// Checkpoints requests running (max − average) load measurements at
 	// the given ball counts (the paper's §4.4 heavy-load series).
+	// Checkpoints beyond the ball count are skipped, not zero-filled;
+	// CheckpointResult.Reps counts the repetitions that observed each.
 	Checkpoints []int64
+	// Heights requests, for k = 1..Heights, the number of bins whose
+	// final load is at least k — the concentration-bound observable.
+	Heights int
 }
 
-// CheckpointResult is one aggregated checkpoint.
+// CheckpointResult is one aggregated checkpoint. It is shared by all
+// three engines (Simulate, SimulateLarge, MonteCarloLarge).
 type CheckpointResult struct {
-	Balls         int64
+	// Balls is the requested cut (a global ball count).
+	Balls int64
+	// Reps is the number of repetitions that actually observed the
+	// cut: checkpoints beyond a repetition's ball count — and, in the
+	// sharded engines, cuts so small that their block-aligned
+	// realisation is empty — are skipped, so Reps may be below the
+	// run's repetition count (0 when no repetition observed the cut —
+	// the Mean fields are NaN then).
+	Reps int64
+	// MeanBalls is the mean realised ball count at the cut. For
+	// Simulate it equals Balls; for the sharded engines the cut is
+	// realised per shard, aligned down to the placement kernel's
+	// block size (see SimulateLarge), so MeanBalls <= Balls and can
+	// vary with each repetition's routing stream.
+	MeanBalls     float64
 	MeanMaxLoad   float64
 	MeanDeviation float64 // max − average at this point
+}
+
+// HeightResult aggregates, across repetitions, the number of bins at
+// final load >= Level.
+type HeightResult struct {
+	Level    int64
+	MeanBins float64
+	BinsCI95 float64 // 95% CI half-width (NaN for a single run)
+}
+
+// checkpointResults converts the observation subsystem's rows into the
+// public form.
+func checkpointResults(rows []obs.CheckpointRow) []CheckpointResult {
+	if len(rows) == 0 {
+		return nil
+	}
+	out := make([]CheckpointResult, len(rows))
+	for i := range rows {
+		r := &rows[i]
+		out[i] = CheckpointResult{
+			Balls:         r.Balls,
+			Reps:          r.Reps(),
+			MeanBalls:     r.RealBalls.Mean(),
+			MeanMaxLoad:   r.MaxLoad.Mean(),
+			MeanDeviation: r.Deviation.Mean(),
+		}
+	}
+	return out
+}
+
+// heightResults converts the observation subsystem's rows into the
+// public form.
+func heightResults(rows []obs.HeightRow) []HeightResult {
+	if len(rows) == 0 {
+		return nil
+	}
+	out := make([]HeightResult, len(rows))
+	for i := range rows {
+		out[i] = HeightResult{
+			Level:    rows[i].Level,
+			MeanBins: rows[i].Bins.Mean(),
+			BinsCI95: rows[i].Bins.CI95(),
+		}
+	}
+	return out
 }
 
 // SimResult aggregates a Monte-Carlo run.
@@ -64,6 +130,8 @@ type SimResult struct {
 	MeanSortedLoads []float64
 	// Checkpoints holds running aggregates (only when requested).
 	Checkpoints []CheckpointResult
+	// Heights holds bins-at-load>=k aggregates (only when requested).
+	Heights []HeightResult
 	// TheoryBound is ln ln(n)/ln(2), the paper's leading-order max-load
 	// term for d = 2 and m = C, for orientation.
 	TheoryBound float64
@@ -99,11 +167,12 @@ func Simulate(cfg SimConfig) (*SimResult, error) {
 		Workers:           cfg.Workers,
 		CollectLoadVector: cfg.SortedLoads,
 		Checkpoints:       cfg.Checkpoints,
+		HeightLevels:      cfg.Heights,
 	})
 	if err != nil {
 		return nil, err
 	}
-	out := &SimResult{
+	return &SimResult{
 		Reps:            reps,
 		Balls:           int64(res.Balls.Mean()),
 		MeanMaxLoad:     res.MaxLoad.Mean(),
@@ -112,14 +181,8 @@ func Simulate(cfg SimConfig) (*SimResult, error) {
 		AverageLoad:     res.AvgLoad.Mean(),
 		MeanDeviation:   res.Deviation.Mean(),
 		MeanSortedLoads: res.MeanSortedLoads,
+		Checkpoints:     checkpointResults(res.Checkpoints),
+		Heights:         heightResults(res.HeightCounts),
 		TheoryBound:     theory.TwoChoiceBound(arr.N(), 2),
-	}
-	for _, cp := range res.Checkpoints {
-		out.Checkpoints = append(out.Checkpoints, CheckpointResult{
-			Balls:         cp.Balls,
-			MeanMaxLoad:   cp.MaxLoad.Mean(),
-			MeanDeviation: cp.Deviation.Mean(),
-		})
-	}
-	return out, nil
+	}, nil
 }
