@@ -98,6 +98,16 @@ func (a *Array) PostLoad(i int) (int64, int64) {
 	return b.balls + 1, b.cap
 }
 
+// Prefetch touches bin i's packed (capacity, balls) line and returns
+// its ball count. The software-pipelined PlaceBatch decision loops
+// call it for the NEXT ball's candidates while deciding the current
+// ball, so the next iteration's line loads overlap the current
+// compare cascade; callers fold the value into a sink they keep live,
+// which is what stops the compiler from discarding the load. The
+// value itself is never used for a decision — decisions always
+// re-read fresh state.
+func (a *Array) Prefetch(i int) int64 { return a.bins[i].balls }
+
 // Add places one ball into bin i.
 func (a *Array) Add(i int) {
 	a.bins[i].balls++

@@ -25,19 +25,24 @@
 //
 // # Sharded checkpoint cuts are part of the model
 //
-// In the sharded engines there is no global ball order, only the
-// deterministic routing pass. A checkpoint at B balls is realised as
-// per-shard cuts: the number of balls among the first B routed to
-// shard s, aligned DOWN to a multiple of the placement kernel's block
-// size (AlignShardCuts), so snapshots land between 256-ball
-// SampleBatch blocks and never split a kernel block. The realised
-// ball count at a cut (Σ over shards, itself a multiple of the block
-// size) is therefore at most B — and can be 0 for a cut smaller than
-// roughly shards·blockSize, in which case the engines skip the
+// In the sharded engines there is no per-ball order, only the
+// block-wise multinomial routing pass (internal/sim's route.go): the
+// model orders balls routing block by routing block and, within a
+// block, by shard index. A checkpoint at B balls is realised as
+// per-shard cuts — the number of balls among the first B so ordered
+// that belong to shard s (full blocks below B plus a shard-ordered
+// partial fill of the boundary block) — aligned DOWN to a multiple of
+// the placement kernel's block size (AlignShardCuts), so snapshots
+// land between 256-ball SampleBatch blocks and never split a kernel
+// block. The realised ball count at a cut (Σ over shards, itself a
+// multiple of the block size) is therefore at most B — and can be 0
+// for a cut whose aligned per-shard prefixes all vanish (B below
+// roughly the kernel block size), in which case the engines skip the
 // observation entirely (like a cut beyond m, visible through
 // CheckpointRow.Reps) rather than record a fictitious empty state.
-// Like Shards, this cut rule is part of the model: it depends only on
-// (seed, shards, checkpoints), never on Workers.
+// Like Shards and the routing-block structure, this cut rule is part
+// of the model: it depends only on (seed, shards, checkpoints), never
+// on Workers.
 package obs
 
 import (

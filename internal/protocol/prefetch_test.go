@@ -1,0 +1,55 @@
+package protocol
+
+import (
+	"testing"
+
+	"repro/internal/bins"
+	"repro/internal/xrand"
+)
+
+// TestPlaceBatchPrefetchMatchesPlace extends the batch-equivalence
+// contract to the software-pipelined decision loops: on an array
+// large enough to engage the prefetch gate (>= prefetchMinBins bins),
+// PlaceBatch must still produce the exact final state and RNG
+// position of sequential Place calls — prefetched lines warm the
+// cache, never a decision.
+func TestPlaceBatchPrefetchMatchesPlace(t *testing.T) {
+	const n = prefetchMinBins
+	caps := make([]int64, n)
+	w := make([]float64, n)
+	for i := range caps {
+		caps[i] = 1 + int64(i%10)
+		w[i] = float64(caps[i])
+	}
+	for _, d := range []int{3, 4} {
+		one := bins.MustNew(caps)
+		pOne, err := NewGreedy(one, w, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch := bins.MustNew(caps)
+		pBatch, err := NewGreedy(batch, w, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !pBatch.pf {
+			t.Fatalf("d=%d: prefetch gate not engaged at n = %d", d, n)
+		}
+		const balls = 3 * ballBatch / 2 // spans a full block and a partial one
+		rOne := xrand.New(goldenSeed)
+		for i := 0; i < balls; i++ {
+			pOne.Place(one, rOne)
+		}
+		rBatch := xrand.New(goldenSeed)
+		pBatch.PlaceBatch(batch, rBatch, balls)
+		if *rOne != *rBatch {
+			t.Fatalf("d=%d: RNG states diverge under prefetch", d)
+		}
+		for i := 0; i < n; i++ {
+			if one.Balls(i) != batch.Balls(i) {
+				t.Fatalf("d=%d: bin %d has %d balls per-ball vs %d batched",
+					d, i, one.Balls(i), batch.Balls(i))
+			}
+		}
+	}
+}

@@ -212,18 +212,20 @@ func TestRunLargeZeroWeightShards(t *testing.T) {
 
 // TestRunLargeGoldenValues pins exact outputs for a fixed (seed,
 // shards) configuration, the way golden_test.go pins placement
-// sequences: the routing stream (stream 0), the shard stream layout
-// (1+s) and the per-shard kernels are all deterministic, so any change
-// to these values means the sharded draw stream was redefined — which
-// silently invalidates every pinned large-run result and must be
-// deliberate.
+// sequences: the routing substreams (stream 0 block substreams), the
+// shard stream layout (1+s) and the per-shard kernels are all
+// deterministic, so any change to these values means the sharded draw
+// stream was redefined — which silently invalidates every pinned
+// large-run result and must be deliberate. Re-pinned exactly once
+// when routing moved from the serial per-ball alias pass to
+// block-wise multinomial count generation; frozen from that point on.
 func TestRunLargeGoldenValues(t *testing.T) {
 	a := largeArray(t, 512)
 	res, err := RunLarge(LargeConfig{Array: a, Seed: 20260727, Shards: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
-	wantShardBalls := []int64{62, 70, 70, 60, 630, 678, 606, 640}
+	wantShardBalls := []int64{62, 68, 77, 64, 663, 636, 603, 643}
 	for s, want := range wantShardBalls {
 		if res.ShardBalls[s] != want {
 			t.Fatalf("routing stream changed: shard %d got %d balls, golden %d",
@@ -237,7 +239,7 @@ func TestRunLargeGoldenValues(t *testing.T) {
 	for i := 0; i < res.Array.N(); i++ {
 		h = h*1315423911 + uint64(res.Array.Balls(i))
 	}
-	const wantHash = uint64(2074143230056129896)
+	const wantHash = uint64(17615593939143187072)
 	if h != wantHash {
 		t.Fatalf("final-state hash %d, golden %d (shard streams changed)", h, wantHash)
 	}

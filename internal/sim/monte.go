@@ -6,17 +6,18 @@
 //
 // # Scheduling model
 //
-// All CPU work (routing passes, per-shard placement, per-repetition
+// All CPU work (routing blocks, per-shard placement, per-repetition
 // summaries) executes on ONE shared bounded worker pool of cfg.Workers
 // goroutines. On top of it, min(Workers, Reps) repetition orchestrators
-// each own a single reusable bin-array clone (plus its shard views and
-// per-shard placers, built once and reset between repetitions) and
-// pump their repetitions through the pool phase by phase:
+// each own a single reusable bin-array clone (plus its shard views,
+// per-shard placers and routing groups, built once and reset between
+// repetitions) and pump their repetitions through the pool phase by
+// phase:
 //
-//	route(rep) ∥ reset shards → place shards in parallel → summarise
+//	route blocks(rep) ∥ reset shards → place shards in parallel → summarise
 //
 // Orchestrators only coordinate — they never burn a core — so shard
-// tasks of one repetition overlap the routing pass of the next, and
+// tasks of one repetition overlap the routing blocks of the next, and
 // total CPU concurrency never exceeds Workers. Peak memory is
 // min(Workers, Reps) bin arrays plus one O(Reps)-free running summary:
 // O(Shards · shardSize) per in-flight repetition, never O(Reps · n),
@@ -25,16 +26,17 @@
 // # Determinism contract
 //
 // Repetition rep offsets the single-run stream layout by
-// rep·(Shards+1): its routing pass draws from stream rep·(Shards+1)
-// and shard s places from stream rep·(Shards+1)+1+s of the base seed.
-// Repetition 0 therefore consumes exactly the streams of RunLarge —
-// RunLargeMonte with Reps = 1 reproduces RunLarge bit for bit — and
-// every repetition is a pure function of (capacities, distribution,
-// protocol, balls, Seed, Shards, rep). Aggregation folds repetition
-// summaries strictly in repetition order (a turn-based in-order fold),
-// so every accumulator and the mean load vector are bit-identical for
-// any Workers value. Shards remains part of the model, exactly as in
-// RunLarge.
+// rep·(Shards+1): its routing blocks draw from the substreams of
+// stream rep·(Shards+1) (block b from (Seed, rep·(Shards+1), b) — see
+// route.go) and shard s places from stream rep·(Shards+1)+1+s of the
+// base seed. Repetition 0 therefore consumes exactly the streams of
+// RunLarge — RunLargeMonte with Reps = 1 reproduces RunLarge bit for
+// bit — and every repetition is a pure function of (capacities,
+// distribution, protocol, balls, Seed, Shards, rep). Aggregation folds
+// repetition summaries strictly in repetition order (a turn-based
+// in-order fold), so every accumulator and the mean load vector are
+// bit-identical for any Workers value. Shards and the routing-block
+// structure remain part of the model, exactly as in RunLarge.
 package sim
 
 import (
@@ -155,18 +157,37 @@ func (ag *monteAgg) failed() bool {
 }
 
 // monteRepState is one orchestrator's reusable per-repetition state:
-// its own array clone, shard views and per-shard placers (built once,
-// reset between repetitions), routing counts and summary scratch. It
-// is touched by pool tasks of at most one repetition at a time.
+// its own array clone, shard views, per-shard placers and generators,
+// and routing groups (built once, reset between repetitions), routing
+// counts and summary scratch. It is touched by pool tasks of at most
+// one repetition at a time.
 type monteRepState struct {
 	arr     *bins.Array
 	views   []*bins.Array     // nil for zero-weight shards (never routed to)
 	placers []protocol.Placer // nil iff views[s] is nil
+	rands   []xrand.Rand      // per-shard placement generators, re-seeded each rep
 	counts  []int64
 	collect bool
 	loads   []float64 // sorted-ascending load vector scratch
 	max     float64
 	avg     float64
+
+	// Per-repetition task parameters, set by runRep before submitting
+	// any task of the repetition (tasks of at most one repetition
+	// touch the state at a time, so plain fields suffice).
+	wg     sync.WaitGroup
+	seed   uint64
+	base   uint64 // stream base rep·(shards+1)
+	rbase  uint64 // Mix64(seed, base): the routing substream base
+	m      int64
+	router *sampling.Multinomial
+
+	// Routing state: the orchestrator's routing groups (route.go),
+	// reused across its repetitions, plus the cut plan (shared,
+	// read-only across orchestrators).
+	routeGroups []routeGroup
+	cutBlocks   []int64
+	cutRems     []int64
 
 	// Observation scratch, allocated once per orchestrator and reused
 	// across its repetitions (all nil/empty when not requested).
@@ -180,25 +201,33 @@ type monteRepState struct {
 }
 
 // newMonteRepState clones the (already reset) master array and builds
-// the orchestrator's shard views and placers. Zero-weight shards get
-// neither — the router can never send a ball there, and building a
-// placer over an all-zero weight slice would fail.
-func newMonteRepState(master *bins.Array, weights []float64, bounds []int, shardW []float64, factory protocol.Factory, cfg *LargeMonteConfig, cuts []int64) (*monteRepState, error) {
+// the orchestrator's shard views, placers and routing groups.
+// Zero-weight shards get neither view nor placer — the router can
+// never send a ball there, and building a placer over an all-zero
+// weight slice would fail. routeWidth is the number of routing groups
+// (min(workers, blocks)), and cutBlocks/cutRems the shared cut plan.
+func newMonteRepState(master *bins.Array, weights []float64, bounds []int, shardW []float64, factory protocol.Factory, cfg *LargeMonteConfig, cuts []int64, routeWidth int, cutBlocks, cutRems []int64) (*monteRepState, error) {
 	shards := len(shardW)
 	st := &monteRepState{
-		arr:     master.Clone(),
-		views:   make([]*bins.Array, shards),
-		placers: make([]protocol.Placer, shards),
-		counts:  make([]int64, shards),
-		collect: cfg.CollectLoadVector,
-		cuts:    cuts,
+		arr:         master.Clone(),
+		views:       make([]*bins.Array, shards),
+		placers:     make([]protocol.Placer, shards),
+		rands:       make([]xrand.Rand, shards),
+		counts:      make([]int64, shards),
+		collect:     cfg.CollectLoadVector,
+		routeGroups: newRouteGroups(routeWidth, shards, len(cuts)),
+		cutBlocks:   cutBlocks,
+		cutRems:     cutRems,
+		cuts:        cuts,
 	}
 	if len(cuts) > 0 {
 		st.prefix = make([][]int64, len(cuts))
 		st.track = make([][]float64, len(cuts))
+		pflat := make([]int64, len(cuts)*shards)
+		tflat := make([]float64, len(cuts)*shards)
 		for k := range cuts {
-			st.prefix[k] = make([]int64, shards)
-			st.track[k] = make([]float64, shards)
+			st.prefix[k] = pflat[k*shards : (k+1)*shards]
+			st.track[k] = tflat[k*shards : (k+1)*shards]
 		}
 		st.cutBalls = make([]int64, len(cuts))
 		st.cpMax = make([]float64, len(cuts))
@@ -227,73 +256,60 @@ func newMonteRepState(master *bins.Array, weights []float64, bounds []int, shard
 	return st, nil
 }
 
-// runRep executes one repetition through the shared pool in three
-// phases. Phase A overlaps the sequential routing pass (stream
-// base = rep·(shards+1)) with the per-shard resets: routing touches
-// only the router table and st.counts, resets touch only view bins.
-// Phase B places every routed shard in parallel on stream base+1+s.
-// Phase C summarises the whole array (the only phase that may run
-// parent-array methods, which the bins.Shard contract forbids while
-// views mutate).
-func (st *monteRepState) runRep(tasks chan<- func(), seed, rep uint64, shards int, m int64, router *sampling.AliasTable) {
-	base := rep * uint64(shards+1)
-	var wg sync.WaitGroup
-	wg.Add(1)
-	tasks <- func() {
-		defer wg.Done()
-		for s := range st.counts {
-			st.counts[s] = 0
-		}
-		for k := range st.track {
-			clear(st.track[k])
-		}
-		clear(st.shardMax)
-		rr := xrand.NewStream(seed, base)
-		routeBalls(rr, router, st.counts, m, st.cuts, st.prefix)
-		if len(st.cuts) > 0 {
-			obs.AlignShardCuts(st.prefix, protocol.BlockSize, st.cutBalls)
-		}
-	}
-	for s := range st.views {
-		if st.views[s] == nil {
-			continue
-		}
-		wg.Add(1)
-		tasks <- func() {
-			defer wg.Done()
-			st.views[s].Reset()
-		}
-	}
-	wg.Wait()
+// poolTask is one unit of pool work, passed by VALUE through the task
+// channel: the repetition state pointer plus a kind and an index. The
+// old chan-of-closures pool allocated one closure (plus captured loop
+// variables) per task — ~130 heap objects per repetition at 64
+// shards; a value task allocates nothing per submission.
+type poolTask struct {
+	st   *monteRepState
+	kind taskKind
+	idx  int
+}
 
-	for s := range st.views {
-		if st.counts[s] == 0 {
-			continue
-		}
-		wg.Add(1)
-		tasks <- func() {
-			defer wg.Done()
-			p := st.placers[s]
-			// Stateful placers (e.g. the batched protocol's round
-			// snapshot) must forget the previous repetition.
-			if rp, ok := p.(interface{ Reset() }); ok {
-				rp.Reset()
-			}
-			rs := xrand.NewStream(seed, base+1+uint64(s))
-			// The shared segment schedule (placeShardSegments) is what
-			// keeps repetition 0 bit-identical to a checkpointed
-			// RunLarge. Segmentation never moves a draw.
-			placeShardSegments(p, st.views[s], rs, st.counts[s], s, st.prefix, st.track)
-			if st.shardMax != nil {
-				st.shardMax[s] = st.views[s].MaxLoad()
-			}
-		}
-	}
-	wg.Wait()
+type taskKind int8
 
-	wg.Add(1)
-	tasks <- func() {
-		defer wg.Done()
+const (
+	taskRoute   taskKind = iota // route block group idx (Phase A)
+	taskReset                   // reset shard idx's view (Phase A)
+	taskPlace                   // place shard idx (Phase B)
+	taskSummary                 // whole-array summary (Phase C)
+)
+
+// run executes the task. Per-repetition parameters (seed, stream
+// base, ball count, router) live on the repetition state, set by
+// runRep before any task of that repetition is submitted.
+func (t poolTask) run() {
+	st := t.st
+	defer st.wg.Done()
+	switch t.kind {
+	case taskRoute:
+		rg := &st.routeGroups[t.idx]
+		rg.reset()
+		rg.route(st.rbase, st.router, st.m, t.idx, len(st.routeGroups), st.cutBlocks, st.cutRems)
+	case taskReset:
+		st.views[t.idx].Reset()
+	case taskPlace:
+		s := t.idx
+		p := st.placers[s]
+		// Stateful placers (e.g. the batched protocol's round
+		// snapshot) must forget the previous repetition.
+		if rp, ok := p.(interface{ Reset() }); ok {
+			rp.Reset()
+		}
+		// Re-seeding the shard's reusable generator is NewStream
+		// without the allocation (pinned by the stream-contract
+		// tests).
+		rs := &st.rands[s]
+		rs.Seed(xrand.Mix64(st.seed, st.base+1+uint64(s)))
+		// The shared segment schedule (placeShardSegments) is what
+		// keeps repetition 0 bit-identical to a checkpointed
+		// RunLarge. Segmentation never moves a draw.
+		placeShardSegments(p, st.views[s], rs, st.counts[s], s, st.prefix, st.track)
+		if st.shardMax != nil {
+			st.shardMax[s] = st.views[s].MaxLoad()
+		}
+	case taskSummary:
 		st.arr.Recount()
 		st.max = st.arr.MaxLoad()
 		st.avg = st.arr.AverageLoad()
@@ -306,7 +322,59 @@ func (st *monteRepState) runRep(tasks chan<- func(), seed, rep uint64, shards in
 			obs.CountAtOrAbove(st.arr, st.hlCounts)
 		}
 	}
-	wg.Wait()
+}
+
+// runRep executes one repetition through the shared pool in three
+// phases. Phase A overlaps the routing blocks (substreams of stream
+// base = rep·(shards+1), fanned out across the orchestrator's routing
+// groups) with the per-shard resets: routing touches only the
+// splitting tree and the group's own buffers, resets touch only view
+// bins; the orchestrator folds the groups afterwards (exact integer
+// sums, order-free). Phase B places every routed shard in parallel on
+// stream base+1+s. Phase C summarises the whole array (the only phase
+// that may run parent-array methods, which the bins.Shard contract
+// forbids while views mutate).
+func (st *monteRepState) runRep(tasks chan<- poolTask, seed, rep uint64, shards int, m int64, router *sampling.Multinomial) {
+	st.seed = seed
+	st.base = rep * uint64(shards+1)
+	st.rbase = xrand.Mix64(seed, st.base)
+	st.m = m
+	st.router = router
+	for g := range st.routeGroups {
+		st.wg.Add(1)
+		tasks <- poolTask{st, taskRoute, g}
+	}
+	for s := range st.views {
+		if st.views[s] == nil {
+			continue
+		}
+		st.wg.Add(1)
+		tasks <- poolTask{st, taskReset, s}
+	}
+	st.wg.Wait()
+	// Folding the groups is O(groups·shards·cuts) — orchestrator-side
+	// bookkeeping, not pool work.
+	mergeRouteGroups(st.routeGroups, st.counts, st.prefix)
+	if len(st.cuts) > 0 {
+		obs.AlignShardCuts(st.prefix, protocol.BlockSize, st.cutBalls)
+	}
+	for k := range st.track {
+		clear(st.track[k])
+	}
+	clear(st.shardMax)
+
+	for s := range st.views {
+		if st.counts[s] == 0 {
+			continue
+		}
+		st.wg.Add(1)
+		tasks <- poolTask{st, taskPlace, s}
+	}
+	st.wg.Wait()
+
+	st.wg.Add(1)
+	tasks <- poolTask{st, taskSummary, 0}
+	st.wg.Wait()
 }
 
 // RunLargeMonte executes cfg.Reps repetitions of the sharded single-run
@@ -363,6 +431,17 @@ func RunLargeMonte(cfg LargeMonteConfig) (*LargeMonteResult, error) {
 	if inflight > cfg.Reps {
 		inflight = cfg.Reps
 	}
+	// Routing fan-out per repetition: one group per worker, capped at
+	// the number of routing blocks (the grouping never affects the
+	// merged counts — integer sums are exact).
+	routeWidth := workers
+	if nb := numRouteBlocks(m); routeWidth > nb {
+		routeWidth = nb
+	}
+	if routeWidth < 1 {
+		routeWidth = 1
+	}
+	cutBlocks, cutRems := cutPlan(cuts)
 
 	res := &LargeMonteResult{N: n, Shards: shards, Reps: cfg.Reps, Balls: m}
 	agg := &monteAgg{}
@@ -382,14 +461,15 @@ func RunLargeMonte(cfg LargeMonteConfig) (*LargeMonteResult, error) {
 
 	// The shared bounded pool: every CPU-heavy task of every phase of
 	// every repetition runs here, so concurrency is exactly workers.
-	tasks := make(chan func())
+	// Tasks travel by value — no per-task heap traffic.
+	tasks := make(chan poolTask)
 	var poolWG sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		poolWG.Add(1)
 		go func() {
 			defer poolWG.Done()
-			for f := range tasks {
-				f()
+			for t := range tasks {
+				t.run()
 			}
 		}()
 	}
@@ -399,7 +479,44 @@ func RunLargeMonte(cfg LargeMonteConfig) (*LargeMonteResult, error) {
 		orchWG.Add(1)
 		go func(w int) {
 			defer orchWG.Done()
-			st, serr := newMonteRepState(master, weights, bounds, shardW, factory, &cfg, cuts)
+			st, serr := newMonteRepState(master, weights, bounds, shardW, factory, &cfg, cuts, routeWidth, cutBlocks, cutRems)
+			// One fold body per orchestrator, not per repetition: it
+			// snapshots whatever st holds when its repetition's turn
+			// comes, so hoisting it out of the loop only removes the
+			// per-rep closure allocation, never a bit of the result.
+			foldRep := func(ag *monteAgg) {
+				res.MaxLoad.Add(st.max)
+				res.AvgLoad.Add(st.avg)
+				res.Deviation.Add(st.max - st.avg)
+				if ag.loads != nil {
+					if err := ag.loads.Observe(st.loads); err != nil {
+						ag.err = err
+						return
+					}
+				}
+				if ag.cp != nil {
+					for k := range cuts {
+						// An empty block-aligned realisation means
+						// this repetition saw no state at the cut;
+						// skip it (like a cut beyond m) so zeros
+						// never contaminate the maxima aggregates.
+						if st.cutBalls[k] == 0 {
+							continue
+						}
+						ag.cp.Observe(k, st.cutBalls[k], totalCap, st.cpMax[k])
+					}
+				}
+				if ag.hl != nil {
+					ag.hl.Observe(st.hlCounts)
+				}
+				if ag.ss != nil {
+					if err := ag.ss.Observe(st.counts, st.shardMax); err != nil {
+						ag.err = err
+						return
+					}
+				}
+			}
+			skip := func(*monteAgg) {}
 			// Static strided assignment: orchestrator w owns reps
 			// w, w+inflight, … — processed in increasing order, which
 			// the in-order fold relies on for progress.
@@ -410,42 +527,11 @@ func RunLargeMonte(cfg LargeMonteConfig) (*LargeMonteResult, error) {
 					continue
 				}
 				if agg.failed() {
-					agg.fold(rep, func(*monteAgg) {})
+					agg.fold(rep, skip)
 					continue
 				}
 				st.runRep(tasks, cfg.Seed, uint64(rep), shards, m, router)
-				agg.fold(rep, func(ag *monteAgg) {
-					res.MaxLoad.Add(st.max)
-					res.AvgLoad.Add(st.avg)
-					res.Deviation.Add(st.max - st.avg)
-					if ag.loads != nil {
-						if err := ag.loads.Observe(st.loads); err != nil {
-							ag.err = err
-							return
-						}
-					}
-					if ag.cp != nil {
-						for k := range cuts {
-							// An empty block-aligned realisation means
-							// this repetition saw no state at the cut;
-							// skip it (like a cut beyond m) so zeros
-							// never contaminate the maxima aggregates.
-							if st.cutBalls[k] == 0 {
-								continue
-							}
-							ag.cp.Observe(k, st.cutBalls[k], totalCap, st.cpMax[k])
-						}
-					}
-					if ag.hl != nil {
-						ag.hl.Observe(st.hlCounts)
-					}
-					if ag.ss != nil {
-						if err := ag.ss.Observe(st.counts, st.shardMax); err != nil {
-							ag.err = err
-							return
-						}
-					}
-				})
+				agg.fold(rep, foldRep)
 			}
 		}(w)
 	}

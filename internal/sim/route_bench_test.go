@@ -1,0 +1,78 @@
+package sim
+
+// BenchmarkRouteBalls pits the retired per-ball routing pass against
+// the block-wise multinomial pass at the BenchmarkRunLargeSharded
+// scale (10^6 balls over 64 shards): the tentpole claim is that count
+// generation shrinks routing WORK (RNG draws and table lookups), not
+// just wall-clock parallelism, so the single-threaded comparison is
+// the honest one. Tracked by scripts/bench.sh and the
+// bench-regression CI job.
+
+import (
+	"testing"
+
+	"repro/internal/sampling"
+	"repro/internal/xrand"
+)
+
+const (
+	benchRouteBalls  = 1_000_000
+	benchRouteShards = 64
+)
+
+// benchShardWeights mirrors the BenchmarkRunLargeSharded geometry:
+// 10^6 bins, half capacity 1 and half capacity 10, proportional
+// weights, 64 contiguous shards.
+func benchShardWeights() []float64 {
+	w := make([]float64, benchRouteShards)
+	const n = 1_000_000
+	for s := 0; s < benchRouteShards; s++ {
+		lo, hi := s*n/benchRouteShards, (s+1)*n/benchRouteShards
+		for i := lo; i < hi; i++ {
+			if i < n/2 {
+				w[s] += 1
+			} else {
+				w[s] += 10
+			}
+		}
+	}
+	return w
+}
+
+// routeBallsPerBall is the retired Phase-1 routing loop — one alias
+// draw per ball, counts only — kept verbatim as the benchmark
+// baseline the multinomial pass is measured against.
+func routeBallsPerBall(rr *xrand.Rand, router *sampling.AliasTable, counts []int64, m int64) {
+	for i := int64(0); i < m; i++ {
+		counts[router.Sample(rr)]++
+	}
+}
+
+func BenchmarkRouteBallsPerBall(b *testing.B) {
+	router, err := sampling.NewAlias(benchShardWeights())
+	if err != nil {
+		b.Fatal(err)
+	}
+	counts := make([]int64, benchRouteShards)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clear(counts)
+		rr := xrand.NewStream(1, 0)
+		routeBallsPerBall(rr, router, counts, benchRouteBalls)
+	}
+}
+
+func BenchmarkRouteBallsMultinomial(b *testing.B) {
+	mult, err := sampling.NewMultinomial(benchShardWeights())
+	if err != nil {
+		b.Fatal(err)
+	}
+	counts := make([]int64, benchRouteShards)
+	groups := newRouteGroups(1, benchRouteShards, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		groups[0].reset()
+		groups[0].route(xrand.Mix64(1, 0), mult, benchRouteBalls, 0, 1, nil, nil)
+		mergeRouteGroups(groups, counts, nil)
+	}
+}

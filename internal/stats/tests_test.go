@@ -209,3 +209,34 @@ func TestBinomialSamplerMatchesPMF(t *testing.T) {
 		t.Fatalf("chi-square %v; sampler does not match PMF", chi2)
 	}
 }
+
+// TestChiSquareCritical pins the Wilson–Hilferty approximation against
+// reference chi-square quantiles (exact to a fraction of a percent for
+// the df range the sampler tests use).
+func TestChiSquareCritical(t *testing.T) {
+	cases := []struct {
+		df    int
+		alpha float64
+		want  float64 // reference quantile
+	}{
+		{7, 0.001, 24.32},
+		{9, 0.001, 27.88},
+		{10, 0.05, 18.31},
+		{20, 0.01, 37.57},
+	}
+	for _, c := range cases {
+		got, err := ChiSquareCritical(c.df, c.alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel := (got - c.want) / c.want; rel < -0.01 || rel > 0.01 {
+			t.Fatalf("df=%d alpha=%v: %v, reference %v", c.df, c.alpha, got, c.want)
+		}
+	}
+	if _, err := ChiSquareCritical(0, 0.05); err == nil {
+		t.Error("df = 0 accepted")
+	}
+	if _, err := ChiSquareCritical(5, 0.2); err == nil {
+		t.Error("unsupported alpha accepted")
+	}
+}

@@ -59,6 +59,17 @@ func NewStream(seed, index uint64) *Rand {
 	return New(Mix64(seed, index))
 }
 
+// NewBlockStream returns the generator for sub-stream `block` of
+// stream `index` of base seed `seed`: New(Mix64(Mix64(seed, index),
+// block)). It is the two-level derivation used by block-structured
+// passes (the sharded engines' routing blocks), chosen so a hot loop
+// can hoist base := Mix64(seed, index) and re-seed one reusable Rand
+// with Seed(Mix64(base, block)) — the stream-contract tests pin that
+// equivalence.
+func NewBlockStream(seed, index, block uint64) *Rand {
+	return New(Mix64(Mix64(seed, index), block))
+}
+
 // Seed resets the generator state from seed using splitmix64, per the
 // xoshiro authors' recommendation.
 func (r *Rand) Seed(seed uint64) {

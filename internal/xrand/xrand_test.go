@@ -448,3 +448,32 @@ func BenchmarkFloat64(b *testing.B) {
 	}
 	_ = sink
 }
+
+// TestNewBlockStream pins the two-level substream derivation used by
+// the block-wise routing pass: NewBlockStream(seed, index, block) is
+// exactly New(Mix64(Mix64(seed, index), block)), distinct blocks give
+// distinct streams, and block streams never collide with the plain
+// per-index streams of the same seed.
+func TestNewBlockStream(t *testing.T) {
+	const seed = 99
+	seen := map[uint64]string{}
+	for index := uint64(0); index < 4; index++ {
+		if v := NewStream(seed, index).Uint64(); seen[v] != "" {
+			t.Fatalf("stream collision with %s", seen[v])
+		} else {
+			seen[v] = "stream"
+		}
+		for block := uint64(0); block < 4; block++ {
+			want := New(Mix64(Mix64(seed, index), block))
+			got := NewBlockStream(seed, index, block)
+			if *got != *want {
+				t.Fatalf("(%d,%d): state differs from documented composition", index, block)
+			}
+			if v := got.Uint64(); seen[v] != "" {
+				t.Fatalf("(%d,%d) collides with a %s", index, block, seen[v])
+			} else {
+				seen[v] = "block stream"
+			}
+		}
+	}
+}

@@ -19,8 +19,9 @@ type LargeConfig struct {
 	// BallsFactor scales C into a ball count when Balls is 0 (e.g. 10
 	// for the heavily loaded m = 10·C).
 	BallsFactor float64
-	// Seed is the base seed (default 1). Stream 0 routes balls to
-	// shards, stream 1+s places shard s.
+	// Seed is the base seed (default 1). Routing happens in fixed-size
+	// routing blocks, block b drawing from substream (Seed, stream 0,
+	// b); stream 1+s places shard s.
 	Seed uint64
 	// Shards is the number of contiguous shards (0 = engine default).
 	// It is part of the model: changing it changes the result, exactly
@@ -88,14 +89,17 @@ func (l LargeLoads) Load(i int) float64 { return l.arr.Load(i) }
 func (l LargeLoads) N() int { return l.arr.N() }
 
 // SimulateLarge runs ONE game at large scale, sharded across workers:
-// the bin array splits into cfg.Shards contiguous shards, every ball is
-// deterministically routed to a shard with probability proportional to
-// the shard's total selection weight, and each shard runs the protocol
-// over its own bins on its own RNG stream. Each candidate draw has
-// exactly the configured marginal distribution; the relaxation is that
-// one ball's d choices all land in the same shard. The final state is
+// the bin array splits into cfg.Shards contiguous shards, balls are
+// routed to shards with probability proportional to each shard's
+// total selection weight — generated block-wise as exact multinomial
+// count vectors, one deterministic substream per routing block, never
+// ball by ball — and each shard runs the protocol over its own bins
+// on its own RNG stream. Each candidate draw has exactly the
+// configured marginal distribution; the relaxation is that one ball's
+// d choices all land in the same shard. The final state is
 // bit-identical for any Workers value — only (Capacities, Balls, Seed,
-// Shards, Distribution, Protocol) determine it.
+// Shards, Distribution, Protocol) determine it; routing blocks are
+// part of the model, like Shards.
 func SimulateLarge(cfg LargeConfig) (*LargeResult, error) {
 	if len(cfg.Capacities) == 0 {
 		return nil, fmt.Errorf("balls: SimulateLarge needs capacities")
@@ -152,6 +156,11 @@ type MonteLargeConfig struct {
 	// sorted load vector across repetitions (one O(n) sort per
 	// repetition; the per-repetition vectors are never retained).
 	SortedLoads bool
+	// ShardStats requests per-shard aggregates across repetitions
+	// (balls routed, shard-local final max load) — the imbalance view
+	// of the two-level protocol. Costs one O(shard) scan per shard per
+	// repetition.
+	ShardStats bool
 }
 
 // MonteLargeResult aggregates a sharded Monte-Carlo run. Only summary
@@ -188,6 +197,9 @@ type MonteLargeResult struct {
 	Checkpoints []CheckpointResult
 	// Heights holds bins-at-load>=k aggregates (only when requested).
 	Heights []HeightResult
+	// ShardStats holds per-shard routing/load aggregates in shard
+	// order (only when requested).
+	ShardStats []ShardStatResult
 }
 
 // MonteCarloLarge runs cfg.Reps independent sharded games (each as
@@ -236,6 +248,7 @@ func MonteCarloLarge(cfg MonteLargeConfig) (*MonteLargeResult, error) {
 		},
 		Reps:              reps,
 		CollectLoadVector: cfg.SortedLoads,
+		ShardStats:        cfg.ShardStats,
 	})
 	if err != nil {
 		return nil, err
@@ -254,5 +267,6 @@ func MonteCarloLarge(cfg MonteLargeConfig) (*MonteLargeResult, error) {
 		MeanSortedLoads: res.MeanSortedLoads,
 		Checkpoints:     checkpointResults(res.Checkpoints),
 		Heights:         heightResults(res.HeightCounts),
+		ShardStats:      shardStatResults(res.ShardStats),
 	}, nil
 }

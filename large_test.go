@@ -107,6 +107,49 @@ func TestMonteCarloLarge(t *testing.T) {
 	}
 }
 
+// TestMonteCarloLargeShardStats: the public per-shard aggregates
+// carry one observation per repetition, sum to the ball count, and
+// stay off unless requested.
+func TestMonteCarloLargeShardStats(t *testing.T) {
+	cfg := MonteLargeConfig{
+		LargeConfig: LargeConfig{
+			Capacities: CapacitiesTwoClass(400, 1, 400, 10),
+			Seed:       11,
+			Shards:     8,
+		},
+		Reps:       5,
+		ShardStats: true,
+	}
+	res, err := MonteCarloLarge(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ShardStats) != 8 {
+		t.Fatalf("%d shard rows, want 8", len(res.ShardStats))
+	}
+	var sum float64
+	for i, row := range res.ShardStats {
+		if row.Shard != i {
+			t.Fatalf("row %d has shard index %d", i, row.Shard)
+		}
+		if row.WorstMaxLoad < row.MeanMaxLoad {
+			t.Fatalf("shard %d: worst %v below mean %v", i, row.WorstMaxLoad, row.MeanMaxLoad)
+		}
+		sum += row.MeanBalls
+	}
+	if got, want := sum, float64(res.Balls); got < want-1e-6 || got > want+1e-6 {
+		t.Fatalf("mean shard balls sum %v, want m = %v", got, want)
+	}
+	cfg.ShardStats = false
+	plain, err := MonteCarloLarge(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.ShardStats != nil {
+		t.Fatal("ShardStats produced without the flag")
+	}
+}
+
 func TestMonteCarloLargeValidation(t *testing.T) {
 	if _, err := MonteCarloLarge(MonteLargeConfig{}); err == nil {
 		t.Error("empty capacities accepted")

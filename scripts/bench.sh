@@ -27,8 +27,12 @@ fi
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
-go test -run '^$' -bench 'BenchmarkPlace|BenchmarkSimulateSmall|BenchmarkSimulateLargeCheckpoints|BenchmarkRunLargeSharded|BenchmarkRunLargeMonte' \
-	-benchmem -benchtime "$BENCHTIME" -count 1 . | tee "$RAW"
+# BenchmarkRouteBalls* (old per-ball routing vs the block-wise
+# multinomial pass) lives in internal/sim, so the suite spans two
+# packages; the awk emitter below keys on benchmark lines only and is
+# package-agnostic.
+go test -run '^$' -bench 'BenchmarkPlace|BenchmarkSimulateSmall|BenchmarkSimulateLargeCheckpoints|BenchmarkRunLargeSharded|BenchmarkRunLargeMonte|BenchmarkRouteBalls' \
+	-benchmem -benchtime "$BENCHTIME" -count 1 . ./internal/sim | tee "$RAW"
 
 awk '
 # jnum renders a benchmark metric as a JSON value: the number itself,

@@ -63,4 +63,28 @@ for shards in 1 4; do
 done
 check "sharded Monte-Carlo (d=4, loads)" -spec "$SPEC" -seed "$SEED" -large -shards 8 -reps 6 -d 4 -loads
 
+# A routing-heavy spec: m spans several multinomial routing blocks
+# (RoutingBlock = 65536), so the block fan-out and merge — not just the
+# single-block path — must be worker-independent.
+BIGSPEC="100000x1+100000x10"
+check "sharded single run (multi-block routing)" -spec "$BIGSPEC" -seed "$SEED" -large -shards 8 -checkpoints "70000,3xC" -heights 3
+
+# Checkpoints must never move a draw: a checkpointed run with the
+# observation lines stripped must byte-match the plain run. (The cut
+# realisation itself is covered by the across-workers diffs above.)
+strip_obs() {
+	awk '/^checkpoints:/ { skip=1; next }
+	     /^bins at load>=k:/ { skip=1; next }
+	     /^[a-z]/ { skip=0 }
+	     !skip' "$1"
+}
+run "$TMP/plain.txt" -spec "$SPEC" -seed "$SEED" -large -shards 4
+run "$TMP/obs.txt"   -spec "$SPEC" -seed "$SEED" -large -shards 4 -checkpoints "$CPS" -heights 4
+strip_obs "$TMP/obs.txt" > "$TMP/obs_stripped.txt"
+if ! diff -u "$TMP/plain.txt" "$TMP/obs_stripped.txt"; then
+	echo "DETERMINISM VIOLATION: requesting checkpoints changed the final state" >&2
+	exit 1
+fi
+echo "ok    checkpoints never move a draw (sharded single run)"
+
 echo "all bnbsim outputs byte-identical across worker counts"

@@ -92,6 +92,43 @@ func checkpointResults(rows []obs.CheckpointRow) []CheckpointResult {
 	return out
 }
 
+// ShardStatResult aggregates one shard of a sharded Monte-Carlo run
+// across repetitions — the imbalance view of the two-level protocol
+// (only when MonteLargeConfig.ShardStats was requested).
+type ShardStatResult struct {
+	// Shard is the shard index (shards are contiguous bin ranges).
+	Shard int
+	// MeanBalls / BallsCI95: balls routed to the shard, mean and 95%
+	// CI half-width across repetitions (NaN for a single repetition).
+	MeanBalls float64
+	BallsCI95 float64
+	// MeanMaxLoad / WorstMaxLoad: the shard-local final maximum load,
+	// mean and worst across repetitions.
+	MeanMaxLoad  float64
+	WorstMaxLoad float64
+}
+
+// shardStatResults converts the observation subsystem's rows into the
+// public form.
+func shardStatResults(ss *obs.ShardStats) []ShardStatResult {
+	if ss == nil {
+		return nil
+	}
+	rows := ss.Rows()
+	out := make([]ShardStatResult, len(rows))
+	for i := range rows {
+		r := &rows[i]
+		out[i] = ShardStatResult{
+			Shard:        r.Shard,
+			MeanBalls:    r.Balls.Mean(),
+			BallsCI95:    r.Balls.CI95(),
+			MeanMaxLoad:  r.MaxLoad.Mean(),
+			WorstMaxLoad: r.MaxLoad.Max(),
+		}
+	}
+	return out
+}
+
 // heightResults converts the observation subsystem's rows into the
 // public form.
 func heightResults(rows []obs.HeightRow) []HeightResult {
