@@ -13,22 +13,37 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	balls "repro"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "bnbsim:", err)
-		os.Exit(1)
+	err := run(os.Args[1:])
+	if err == nil {
+		return
 	}
+	fmt.Fprintln(os.Stderr, "bnbsim:", err)
+	var cancelled *balls.CancelledError
+	if errors.As(err, &cancelled) {
+		if cancelled.Cause == nil {
+			// A planned -cancel-after-reps stop is a success: the
+			// partial observations and resume state are the output.
+			return
+		}
+		os.Exit(130) // interrupted by signal, partial state drained
+	}
+	os.Exit(1)
 }
 
 func run(args []string) error {
@@ -47,6 +62,8 @@ func run(args []string) error {
 	shards := fs.Int("shards", 0, "shard count for -large (0 = engine default; part of the model)")
 	checkpointsFlag := fs.String("checkpoints", "", "comma-separated ball counts for running max / max−avg observations; each entry is an integer or NxC (N times the total capacity), e.g. 1xC,2xC,5xC")
 	heights := fs.Int("heights", 0, "report the number of bins at final load >= k for k = 1..HEIGHTS")
+	resumeFile := fs.String("resume", "", "resume-state file for -large -reps: loaded when it exists, written on cancellation; a resumed run's output is byte-identical to an uninterrupted one")
+	cancelAfter := fs.Int("cancel-after-reps", 0, "with -large -reps: deterministically stop after this many repetitions, emitting partial aggregates (and -resume state) with exit status 0")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -72,19 +89,32 @@ func run(args []string) error {
 	// combined with the other, instead of being silently dropped.
 	explicit := map[string]bool{}
 	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+
+	// SIGINT/SIGTERM drain the engines gracefully: the run stops at the
+	// next task boundary, prints the partial observations it completed,
+	// and (in resumable modes) persists resume state before exiting 130.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	if *large {
 		// -large alone runs one sharded repetition; -large with an
 		// explicit -reps runs the sharded Monte-Carlo engine.
 		if explicit["reps"] {
-			return runLargeMonte(caps, *ballsN, *factor, *seed, *shards, *workers, *reps, *showLoads, checkpoints, *heights, distribution, protocol)
+			return runLargeMonte(ctx, caps, *ballsN, *factor, *seed, *shards, *workers, *reps, *showLoads, checkpoints, *heights, distribution, protocol, *resumeFile, *cancelAfter)
 		}
 		if *showLoads {
 			return fmt.Errorf("-loads with -large needs -reps (one run has no mean load vector; inspect the result through the library API instead)")
 		}
-		return runLarge(caps, *ballsN, *factor, *seed, *shards, *workers, checkpoints, *heights, distribution, protocol)
+		if *resumeFile != "" || *cancelAfter != 0 {
+			return fmt.Errorf("-resume and -cancel-after-reps need -large -reps (only the sharded Monte-Carlo engine has repetition-granular resume state)")
+		}
+		return runLarge(ctx, caps, *ballsN, *factor, *seed, *shards, *workers, checkpoints, *heights, distribution, protocol)
 	}
 	if explicit["shards"] {
 		return fmt.Errorf("-shards requires -large (the classic engine shards repetitions, not the bin array)")
+	}
+	if *resumeFile != "" || *cancelAfter != 0 {
+		return fmt.Errorf("-resume and -cancel-after-reps need -large -reps (only the sharded Monte-Carlo engine has repetition-granular resume state)")
 	}
 
 	res, err := balls.Simulate(balls.SimConfig{
@@ -99,9 +129,14 @@ func run(args []string) error {
 		SortedLoads:  *showLoads,
 		Checkpoints:  checkpoints,
 		Heights:      *heights,
+		Context:      ctx,
 	})
-	if err != nil {
+	var cancelled *balls.CancelledError
+	if err != nil && !errors.As(err, &cancelled) {
 		return err
+	}
+	if cancelled != nil {
+		fmt.Fprintf(os.Stderr, "bnbsim: interrupted — aggregates below cover the first %d completed repetitions\n", cancelled.CompletedReps)
 	}
 
 	fmt.Printf("bins:            %d (C = %d)\n", len(caps), sum(caps))
@@ -122,7 +157,7 @@ func run(args []string) error {
 			fmt.Printf("%d\t%.4f\n", i, v)
 		}
 	}
-	return nil
+	return err
 }
 
 // parseCheckpoints parses the -checkpoints flag: comma-separated ball
@@ -185,7 +220,10 @@ func printHeights(hs []balls.HeightResult) {
 }
 
 // runLarge executes the sharded single-run mode and prints its summary.
-func runLarge(caps []int64, m int64, factor float64, seed uint64, shards, workers int, checkpoints []int64, heights int, d balls.Distribution, p balls.Protocol) error {
+// A cancelled run prints the checkpoint rows it completed (each
+// bit-identical to the corresponding row of an uninterrupted run) and
+// returns the CancelledError for main's exit-status handling.
+func runLarge(ctx context.Context, caps []int64, m int64, factor float64, seed uint64, shards, workers int, checkpoints []int64, heights int, d balls.Distribution, p balls.Protocol) error {
 	start := time.Now()
 	res, err := balls.SimulateLarge(balls.LargeConfig{
 		Capacities:   caps,
@@ -198,8 +236,18 @@ func runLarge(caps []int64, m int64, factor float64, seed uint64, shards, worker
 		Protocol:     p,
 		Checkpoints:  checkpoints,
 		Heights:      heights,
+		Context:      ctx,
 	})
-	if err != nil {
+	var cancelled *balls.CancelledError
+	if err != nil && !errors.As(err, &cancelled) {
+		return err
+	}
+	if cancelled != nil {
+		fmt.Fprintf(os.Stderr, "bnbsim: interrupted — %d checkpoint cuts completed, no final state\n", cancelled.CompletedCuts)
+		fmt.Printf("mode:            sharded single run (interrupted)\n")
+		fmt.Printf("bins:            %d (C = %d)\n", res.N, sum(caps))
+		fmt.Printf("balls:           %d\n", res.Balls)
+		printCheckpoints(res.Checkpoints)
 		return err
 	}
 	elapsed := time.Since(start)
@@ -229,12 +277,20 @@ func runLarge(caps []int64, m int64, factor float64, seed uint64, shards, worker
 
 // runLargeMonte executes the sharded Monte-Carlo mode (-large -reps)
 // and prints its aggregate summary.
-func runLargeMonte(caps []int64, m int64, factor float64, seed uint64, shards, workers, reps int, showLoads bool, checkpoints []int64, heights int, d balls.Distribution, p balls.Protocol) error {
+//
+// Resume and cancellation keep the mode's determinism contract: a run
+// interrupted at repetition k (by signal or -cancel-after-reps) that
+// persisted its state via -resume, then re-run with the same flags,
+// prints a summary byte-identical to an uninterrupted run's — resume
+// notices go to stderr so stdout stays comparable.
+func runLargeMonte(ctx context.Context, caps []int64, m int64, factor float64, seed uint64, shards, workers, reps int, showLoads bool, checkpoints []int64, heights int, d balls.Distribution, p balls.Protocol, resumeFile string, cancelAfter int) error {
 	if reps < 1 {
 		return fmt.Errorf("-large -reps %d: need at least 1 repetition", reps)
 	}
-	start := time.Now()
-	res, err := balls.MonteCarloLarge(balls.MonteLargeConfig{
+	if cancelAfter < 0 {
+		return fmt.Errorf("-cancel-after-reps %d: need >= 0", cancelAfter)
+	}
+	cfg := balls.MonteLargeConfig{
 		LargeConfig: balls.LargeConfig{
 			Capacities:   caps,
 			Balls:        m,
@@ -246,12 +302,39 @@ func runLargeMonte(caps []int64, m int64, factor float64, seed uint64, shards, w
 			Protocol:     p,
 			Checkpoints:  checkpoints,
 			Heights:      heights,
+			Context:      ctx,
 		},
-		Reps:        reps,
-		SortedLoads: showLoads,
-	})
-	if err != nil {
+		Reps:            reps,
+		SortedLoads:     showLoads,
+		CancelAfterReps: cancelAfter,
+	}
+	if resumeFile != "" {
+		st, err := balls.ReadResumeState(resumeFile)
+		switch {
+		case err == nil:
+			cfg.Resume = st
+			fmt.Fprintf(os.Stderr, "bnbsim: resuming from %s (%d repetitions already folded)\n", resumeFile, st.CompletedReps)
+		case errors.Is(err, os.ErrNotExist):
+			// First run: nothing to resume yet; the file is written if
+			// this run is cancelled.
+		default:
+			return err
+		}
+	}
+	start := time.Now()
+	res, err := balls.MonteCarloLarge(cfg)
+	var cancelled *balls.CancelledError
+	if err != nil && !errors.As(err, &cancelled) {
 		return err
+	}
+	if cancelled != nil {
+		fmt.Fprintf(os.Stderr, "bnbsim: interrupted — aggregates below cover the first %d completed repetitions\n", cancelled.CompletedReps)
+		if resumeFile != "" && cancelled.Checkpoint != nil {
+			if werr := cancelled.Checkpoint.WriteFile(resumeFile); werr != nil {
+				return fmt.Errorf("writing resume state: %w", werr)
+			}
+			fmt.Fprintf(os.Stderr, "bnbsim: resume state written to %s\n", resumeFile)
+		}
 	}
 	elapsed := time.Since(start)
 	fmt.Printf("mode:            sharded monte-carlo\n")
@@ -274,7 +357,7 @@ func runLargeMonte(caps []int64, m int64, factor float64, seed uint64, shards, w
 			fmt.Printf("%d\t%.4f\n", i, v)
 		}
 	}
-	return nil
+	return err
 }
 
 func sum(caps []int64) int64 {

@@ -1,8 +1,13 @@
 package main
 
 import (
+	"errors"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	balls "repro"
 )
 
 func TestParseDist(t *testing.T) {
@@ -180,5 +185,48 @@ func TestObservationFlagsEndToEnd(t *testing.T) {
 	}
 	if err := run([]string{"-spec", "10x1", "-heights", "-2"}); err == nil {
 		t.Error("negative -heights accepted")
+	}
+}
+
+func TestResumeFlagValidation(t *testing.T) {
+	// -resume / -cancel-after-reps belong to the sharded Monte-Carlo
+	// mode only; everywhere else they must fail loudly.
+	if err := run([]string{"-spec", "10x1", "-resume", "x.json"}); err == nil {
+		t.Error("-resume without -large -reps accepted")
+	}
+	if err := run([]string{"-spec", "10x1", "-cancel-after-reps", "2"}); err == nil {
+		t.Error("-cancel-after-reps without -large -reps accepted")
+	}
+	if err := run([]string{"-spec", "100x1", "-large", "-resume", "x.json"}); err == nil {
+		t.Error("-resume with -large but without -reps accepted")
+	}
+	if err := run([]string{"-spec", "100x1", "-large", "-reps", "3", "-cancel-after-reps", "-1"}); err == nil {
+		t.Error("negative -cancel-after-reps accepted")
+	}
+	if err := run([]string{"-spec", "100x1", "-large", "-reps", "3", "-resume", "/does/not/exist/dir/x.json", "-cancel-after-reps", "1"}); err == nil {
+		t.Error("unwritable -resume path accepted")
+	}
+}
+
+func TestCancelResumeEndToEnd(t *testing.T) {
+	resume := filepath.Join(t.TempDir(), "resume.json")
+	args := []string{"-spec", "200x1+200x10", "-seed", "99", "-large", "-shards", "4", "-reps", "8", "-checkpoints", "500,1xC"}
+	// The interrupted run stops deterministically after 3 repetitions,
+	// persists its resume state, and reports a planned cancel (nil
+	// cause — main exits 0 on it).
+	err := run(append(args, "-resume", resume, "-cancel-after-reps", "3"))
+	var cerr *balls.CancelledError
+	if !errors.As(err, &cerr) {
+		t.Fatalf("interrupted run: err = %v, want *balls.CancelledError", err)
+	}
+	if cerr.Cause != nil || cerr.CompletedReps != 3 {
+		t.Fatalf("interrupted run: provenance %+v, want planned cancel at 3 reps", cerr)
+	}
+	if _, err := os.Stat(resume); err != nil {
+		t.Fatalf("resume state not written: %v", err)
+	}
+	// The resumed run loads the state and completes cleanly.
+	if err := run(append(args, "-resume", resume)); err != nil {
+		t.Fatalf("resumed run: %v", err)
 	}
 }

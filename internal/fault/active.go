@@ -1,0 +1,72 @@
+//go:build faultinject
+
+package fault
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Enabled is true in -tags faultinject builds: the engines' site hooks
+// call into the armed registry.
+const Enabled = true
+
+// armedPlan pairs a Plan with its hit counter. Counters are atomic so
+// concurrent pool tasks hitting the same pattern race safely; the
+// deterministic chaos tests pin sites precisely enough (exact rep /
+// shard / block) that at most one hit matches anyway.
+type armedPlan struct {
+	plan  Plan
+	hits  atomic.Int64
+	fired atomic.Bool
+}
+
+// registry is the currently armed plan set (nil = nothing armed).
+// Swapped atomically so Arm/disarm from a test goroutine never races
+// the engines' Hit calls.
+var registry atomic.Pointer[[]*armedPlan]
+
+// Arm installs the given plans, replacing any previously armed set,
+// and returns a disarm func that removes them again. Tests must defer
+// the disarm so an armed fault never leaks into the next test.
+func Arm(plans ...Plan) (disarm func()) {
+	set := make([]*armedPlan, len(plans))
+	for i := range plans {
+		set[i] = &armedPlan{plan: plans[i]}
+	}
+	registry.Store(&set)
+	return func() { registry.Store(nil) }
+}
+
+// Hit checks the site against every armed plan and performs the first
+// matching plan's action. Panics propagate to the engine's recovery
+// layer — exactly like a genuine bug at that site would.
+func Hit(s Site) {
+	setp := registry.Load()
+	if setp == nil {
+		return
+	}
+	for _, ap := range *setp {
+		if !ap.plan.Match.matches(s) {
+			continue
+		}
+		n := ap.hits.Add(1)
+		if ap.plan.Count > 0 && n != int64(ap.plan.Count) {
+			continue
+		}
+		if ap.plan.Once && !ap.fired.CompareAndSwap(false, true) {
+			continue
+		}
+		switch ap.plan.Do {
+		case Panic:
+			panic(&Injected{Site: s, Msg: ap.plan.Msg})
+		case Delay:
+			time.Sleep(ap.plan.Sleep)
+		case CancelRun:
+			if ap.plan.Cancel != nil {
+				ap.plan.Cancel()
+			}
+		}
+		return
+	}
+}

@@ -1,0 +1,97 @@
+//go:build faultinject
+
+package fault
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// mustPanic runs f and returns the *Injected it panicked with, failing
+// the test if it did not panic or panicked with something else.
+func mustPanic(t *testing.T, f func()) *Injected {
+	t.Helper()
+	var inj *Injected
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("no panic fired")
+			}
+			var ok bool
+			if inj, ok = r.(*Injected); !ok {
+				t.Fatalf("panicked with %T, want *Injected", r)
+			}
+		}()
+		f()
+	}()
+	return inj
+}
+
+func TestArmPanic(t *testing.T) {
+	disarm := Arm(Plan{
+		Match: Site{Engine: "RunLarge", Op: OpPlace, Rep: -1, Shard: 2, Block: -1},
+		Do:    Panic, Msg: "boom",
+	})
+	defer disarm()
+
+	// Non-matching sites pass through untouched.
+	Hit(Site{Engine: "RunLarge", Op: OpPlace, Rep: 0, Shard: 1, Block: -1})
+	Hit(Site{Engine: "Run", Op: OpChunk, Rep: 2, Shard: -1, Block: -1})
+
+	inj := mustPanic(t, func() {
+		Hit(Site{Engine: "RunLarge", Op: OpPlace, Rep: 0, Shard: 2, Block: -1})
+	})
+	if inj.Site.Shard != 2 || inj.Msg != "boom" {
+		t.Fatalf("injected payload %+v, want shard 2 / boom", inj)
+	}
+	var err error = inj
+	if !errors.As(err, &inj) {
+		t.Fatal("*Injected does not satisfy error")
+	}
+
+	disarm()
+	Hit(Site{Engine: "RunLarge", Op: OpPlace, Rep: 0, Shard: 2, Block: -1}) // disarmed: no panic
+}
+
+func TestArmCountAndOnce(t *testing.T) {
+	defer Arm(Plan{
+		Match: Site{Op: OpRoute, Rep: -1, Shard: -1, Block: -1},
+		Do:    Panic, Msg: "third", Count: 3, Once: true,
+	})()
+	s := Site{Engine: "RunLarge", Op: OpRoute, Rep: 0, Shard: 0, Block: 0}
+	Hit(s)
+	Hit(s)
+	mustPanic(t, func() { Hit(s) })
+	Hit(s) // Once: never fires again
+}
+
+func TestArmCancelAndDelay(t *testing.T) {
+	var cancelled atomic.Bool
+	defer Arm(
+		Plan{
+			Match:  Site{Op: OpSummary, Rep: 1, Shard: -1, Block: -1},
+			Do:     CancelRun,
+			Cancel: func() { cancelled.Store(true) },
+		},
+		Plan{
+			Match: Site{Op: OpReset, Rep: -1, Shard: -1, Block: -1},
+			Do:    Delay, Sleep: time.Millisecond,
+		},
+	)()
+	Hit(Site{Engine: "RunLargeMonte", Op: OpSummary, Rep: 0, Shard: -1, Block: -1})
+	if cancelled.Load() {
+		t.Fatal("cancel fired on the wrong repetition")
+	}
+	Hit(Site{Engine: "RunLargeMonte", Op: OpSummary, Rep: 1, Shard: -1, Block: -1})
+	if !cancelled.Load() {
+		t.Fatal("cancel did not fire")
+	}
+	start := time.Now()
+	Hit(Site{Engine: "RunLargeMonte", Op: OpReset, Rep: 0, Shard: 3, Block: -1})
+	if time.Since(start) < time.Millisecond {
+		t.Fatal("delay did not sleep")
+	}
+}

@@ -1,0 +1,38 @@
+package fault
+
+import "testing"
+
+// TestMatches pins the wildcard semantics plans rely on.
+func TestMatches(t *testing.T) {
+	site := Site{Engine: "RunLargeMonte", Op: OpPlace, Rep: 3, Shard: 7, Block: -1}
+	cases := []struct {
+		pattern Site
+		want    bool
+	}{
+		{Site{Rep: -1, Shard: -1, Block: -1}, true},                                     // all wildcards
+		{Site{Engine: "RunLargeMonte", Op: OpPlace, Rep: 3, Shard: 7, Block: -1}, true}, // exact
+		{Site{Engine: "RunLarge", Op: OpAny, Rep: -1, Shard: -1, Block: -1}, false},     // wrong engine
+		{Site{Op: OpRoute, Rep: -1, Shard: -1, Block: -1}, false},                       // wrong op
+		{Site{Op: OpPlace, Rep: 2, Shard: -1, Block: -1}, false},                        // wrong rep
+		{Site{Op: OpPlace, Rep: -1, Shard: 7, Block: -1}, true},                         // shard only
+		{Site{Op: OpPlace, Rep: -1, Shard: -1, Block: 4}, false},                        // block set, site has -1
+		{Site{Engine: "", Op: OpAny, Rep: 3, Shard: 7, Block: -1}, true},                // indices only
+	}
+	for i, c := range cases {
+		if got := c.pattern.matches(site); got != c.want {
+			t.Errorf("case %d: matches(%+v) = %v, want %v", i, c.pattern, got, c.want)
+		}
+	}
+}
+
+// TestOpStrings keeps provenance messages readable.
+func TestOpStrings(t *testing.T) {
+	for op, want := range map[Op]string{
+		OpAny: "any", OpRoute: "route", OpPlace: "place", OpReset: "reset",
+		OpSummary: "summary", OpChunk: "chunk", OpOrchestrator: "orchestrator",
+	} {
+		if op.String() != want {
+			t.Errorf("Op(%d).String() = %q, want %q", op, op.String(), want)
+		}
+	}
+}

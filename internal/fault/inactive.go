@@ -1,0 +1,16 @@
+//go:build !faultinject
+
+package fault
+
+// Enabled is false in normal builds: every `if fault.Enabled { ... }`
+// guard in the engines is deleted by the compiler, so the hooks cost
+// nothing — no branch, no call, no site construction.
+const Enabled = false
+
+// Hit is a no-op in normal builds.
+func Hit(Site) {}
+
+// Arm is a no-op in normal builds; the returned disarm func is also a
+// no-op. Chaos tests that need faults to actually fire must be build-
+// tagged `faultinject` (they assert on fault.Enabled).
+func Arm(...Plan) (disarm func()) { return func() {} }

@@ -1,0 +1,41 @@
+package fault
+
+import "time"
+
+// Action is what an armed plan does when its site is hit.
+type Action uint8
+
+const (
+	// Panic panics with an *Injected carrying the hit site.
+	Panic Action = iota
+	// Delay sleeps for Plan.Sleep before returning — the hook for
+	// stragglers and ordering stress, not for failures.
+	Delay
+	// CancelRun calls Plan.Cancel (typically a context.CancelFunc), so
+	// a test can cancel a run at an exact logical point — e.g. "at
+	// routing block 3 of repetition 2" — instead of at a wall-clock
+	// instant.
+	CancelRun
+)
+
+// Plan is one armed fault: a site pattern, an action, and an optional
+// hit selector. Plans are immutable once armed.
+type Plan struct {
+	// Match is the site pattern; wildcard fields (empty Engine, OpAny,
+	// negative indices) match anything.
+	Match Site
+	// Do selects the action taken on a matching hit.
+	Do Action
+	// Msg labels injected panics (Panic action).
+	Msg string
+	// Sleep is the Delay action's duration.
+	Sleep time.Duration
+	// Cancel is the CancelRun action's callback (required for it).
+	Cancel func()
+	// Count fires the action on the n-th matching hit only (1-based);
+	// 0 means every matching hit. With Once set, the plan disarms
+	// itself after firing.
+	Count int
+	// Once disarms the plan after its first firing.
+	Once bool
+}

@@ -71,18 +71,23 @@ type Collector interface {
 	Merge(other Collector) error
 }
 
-// NormalizeCuts returns a sorted copy of the requested checkpoint ball
-// counts, rejecting non-positive entries (a checkpoint at 0 balls can
-// never be reached by a placement).
+// NormalizeCuts validates the requested checkpoint ball counts and
+// returns a private copy. Cuts must be positive (a checkpoint at 0
+// balls can never be reached by a placement) and strictly increasing:
+// an unsorted or duplicated list is rejected with a field-named error
+// instead of being silently reordered — a caller who passes cuts out
+// of order almost certainly has a bug upstream, and silent sorting
+// would make the mistake invisible in every downstream row.
 func NormalizeCuts(cuts []int64) ([]int64, error) {
-	for _, c := range cuts {
+	for i, c := range cuts {
 		if c < 1 {
-			return nil, fmt.Errorf("obs: checkpoint at %d balls, need >= 1", c)
+			return nil, fmt.Errorf("obs: Checkpoints[%d] = %d balls, need >= 1", i, c)
+		}
+		if i > 0 && c <= cuts[i-1] {
+			return nil, fmt.Errorf("obs: Checkpoints[%d] = %d after Checkpoints[%d] = %d: cuts must be strictly increasing", i, c, i-1, cuts[i-1])
 		}
 	}
-	out := append([]int64(nil), cuts...)
-	slices.Sort(out)
-	return out, nil
+	return slices.Clone(cuts), nil
 }
 
 // CountReached returns how many of the (ascending) cuts are <= m.
@@ -367,6 +372,18 @@ func (s *SortedLoads) Merge(other Collector) error {
 
 // Reps returns the number of repetitions observed.
 func (s *SortedLoads) Reps() int64 { return s.n }
+
+// State exposes the running sum vector and observation count for
+// checkpoint/resume serialization. The returned slice is the live
+// backing array — callers must not mutate it.
+func (s *SortedLoads) State() (sum []float64, n int64) { return s.sum, s.n }
+
+// RestoreSortedLoads rebuilds a collector from serialized state; a
+// restored collector continues bit-identically (float64 addition onto
+// the exact same running sums).
+func RestoreSortedLoads(sum []float64, n int64) *SortedLoads {
+	return &SortedLoads{sum: slices.Clone(sum), n: n}
+}
 
 // Mean returns the element-wise mean non-increasing load vector, or
 // nil when nothing was observed.

@@ -3,30 +3,40 @@ package obs
 import (
 	"math"
 	"reflect"
+	"strings"
 	"testing"
 
 	"repro/internal/bins"
 )
 
 func TestNormalizeCuts(t *testing.T) {
-	got, err := NormalizeCuts([]int64{50, 10, 30})
+	got, err := NormalizeCuts([]int64{10, 30, 50})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !reflect.DeepEqual(got, []int64{10, 30, 50}) {
 		t.Fatalf("normalized = %v", got)
 	}
-	// the input must not be mutated
-	in := []int64{5, 1}
-	if _, err := NormalizeCuts(in); err != nil {
+	// the returned slice is a private copy, never the caller's backing
+	in := []int64{1, 5}
+	got, err = NormalizeCuts(in)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(in, []int64{5, 1}) {
-		t.Fatalf("input mutated: %v", in)
+	got[0] = 99
+	if !reflect.DeepEqual(in, []int64{1, 5}) {
+		t.Fatalf("input aliased/mutated: %v", in)
 	}
-	for _, bad := range [][]int64{{0}, {-2, 5}, {10, 0}} {
-		if _, err := NormalizeCuts(bad); err == nil {
+	// non-positive, unsorted and duplicated cuts are rejected with
+	// field-named errors, never silently reordered
+	for _, bad := range [][]int64{{0}, {-2, 5}, {10, 0}, {50, 10, 30}, {5, 1}, {10, 10}} {
+		_, err := NormalizeCuts(bad)
+		if err == nil {
 			t.Errorf("NormalizeCuts(%v) accepted", bad)
+			continue
+		}
+		if !strings.Contains(err.Error(), "Checkpoints[") {
+			t.Errorf("NormalizeCuts(%v) error %q does not name the field", bad, err)
 		}
 	}
 	if got, err := NormalizeCuts(nil); err != nil || len(got) != 0 {

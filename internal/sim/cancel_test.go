@@ -1,0 +1,429 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/bins"
+	"repro/internal/protocol"
+	"repro/internal/xrand"
+)
+
+// leakCheck snapshots the goroutine count; the returned func fails the
+// test if the count has not settled back to the baseline — a worker,
+// orchestrator or canceller watcher stranded by an error path.
+func leakCheck(t *testing.T) func() {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if runtime.NumGoroutine() <= before {
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Errorf("goroutine leak: %d before, %d after", before, runtime.NumGoroutine())
+	}
+}
+
+// hookedPlacer wraps a real placer and runs a hook before every
+// PlaceBatch — the test's way of triggering cancellation or a panic
+// from inside the engines' placement hot path without build tags.
+type hookedPlacer struct {
+	protocol.Placer
+	calls *atomic.Int64
+	hook  func(call int64)
+}
+
+func (p *hookedPlacer) PlaceBatch(a *bins.Array, r *xrand.Rand, k int64) {
+	p.hook(p.calls.Add(1))
+	p.Placer.PlaceBatch(a, r, k)
+}
+
+// hookedFactory builds Greedy(2) placers whose PlaceBatch calls share
+// one global counter and run hook first.
+func hookedFactory(hook func(call int64)) protocol.Factory {
+	var calls atomic.Int64
+	return func(a *bins.Array, weights []float64) (protocol.Placer, error) {
+		p, err := protocol.GreedyFactory(2)(a, weights)
+		if err != nil {
+			return nil, err
+		}
+		return &hookedPlacer{Placer: p, calls: &calls, hook: hook}, nil
+	}
+}
+
+// TestRunCancelImmediate: a context that is already cancelled stops the
+// classic engine before any repetition and still returns a well-formed
+// (empty) partial.
+func TestRunCancelImmediate(t *testing.T) {
+	defer leakCheck(t)()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	a := largeArray(t, 200)
+	res, err := Run(Config{Array: a, Seed: 1, Reps: 10, Context: ctx})
+	var cerr *CancelledError
+	if !errors.As(err, &cerr) {
+		t.Fatalf("err = %v, want *CancelledError", err)
+	}
+	if !errors.Is(err, ErrCancelled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err %v does not match ErrCancelled/context.Canceled", err)
+	}
+	if cerr.Engine != engRun || cerr.CompletedReps != 0 || cerr.CompletedCuts != -1 {
+		t.Fatalf("provenance %+v, want engine %q with 0 completed reps", cerr, engRun)
+	}
+	if res == nil || res.MaxLoad.N() != 0 {
+		t.Fatalf("partial result %+v, want empty aggregates", res)
+	}
+}
+
+// TestRunCancelPartialIsPrefix: the classic engine's cancelled partial
+// must be bit-identical to an uninterrupted run configured with exactly
+// CompletedReps repetitions — partial results are a prefix of the
+// deterministic model, not a best-effort snapshot.
+func TestRunCancelPartialIsPrefix(t *testing.T) {
+	defer leakCheck(t)()
+	a := largeArray(t, 300)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	factory := hookedFactory(func(call int64) {
+		if call == 3 {
+			cancel()
+			// Give the canceller's watcher time to latch the flag so
+			// later repetition boundaries observe it.
+			time.Sleep(20 * time.Millisecond)
+		}
+	})
+	res, err := Run(Config{
+		Array: a, Seed: 5, Reps: 64, Workers: 3, Placer: factory,
+		Checkpoints: []int64{500, 1000},
+		Context:     ctx,
+	})
+	var cerr *CancelledError
+	if !errors.As(err, &cerr) {
+		t.Fatalf("err = %v, want *CancelledError", err)
+	}
+	k := cerr.CompletedReps
+	if k < 0 || k >= 64 {
+		t.Fatalf("completed reps %d out of range [0, 64)", k)
+	}
+	if res.MaxLoad.N() != int64(k) {
+		t.Fatalf("partial aggregates %d observations, CompletedReps %d", res.MaxLoad.N(), k)
+	}
+	if k == 0 {
+		t.Skip("cancelled before the first repetition; nothing to compare")
+	}
+	want, err := Run(Config{
+		Array: a, Seed: 5, Reps: k, Workers: 3, Placer: hookedFactory(func(int64) {}),
+		Checkpoints: []int64{500, 1000},
+	})
+	if err != nil {
+		t.Fatalf("prefix run: %v", err)
+	}
+	if !reflect.DeepEqual(res, want) {
+		t.Fatalf("cancelled partial differs from a Reps=%d run:\n got  %+v\n want %+v", k, res, want)
+	}
+}
+
+// TestRunLargeCancelImmediate: a pre-cancelled context stops the
+// sharded single-run engine during routing; the partial carries shape
+// but no checkpoint rows and no final state.
+func TestRunLargeCancelImmediate(t *testing.T) {
+	defer leakCheck(t)()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	a := largeArray(t, 400)
+	res, err := RunLarge(LargeConfig{
+		Array: a, Seed: 3, Shards: 4,
+		Checkpoints: []int64{500, 1000},
+		Context:     ctx,
+	})
+	var cerr *CancelledError
+	if !errors.As(err, &cerr) {
+		t.Fatalf("err = %v, want *CancelledError", err)
+	}
+	if cerr.Engine != engRunLarge || cerr.CompletedCuts != 0 || cerr.CompletedReps != -1 {
+		t.Fatalf("provenance %+v, want RunLarge with 0 completed cuts", cerr)
+	}
+	if res == nil || res.N != 400 || res.Shards != 4 {
+		t.Fatalf("partial shape %+v", res)
+	}
+	if len(res.Checkpoints) != 0 || res.Array != nil {
+		t.Fatalf("pre-routing partial carries state: %+v", res)
+	}
+}
+
+// TestRunLargeCancelCheckpointPrefix: when cancellation lands during
+// placement, the partial's checkpoint rows are a prefix of — and
+// bit-identical to — the uninterrupted run's rows.
+func TestRunLargeCancelCheckpointPrefix(t *testing.T) {
+	defer leakCheck(t)()
+	a := largeArray(t, 1500)
+	cuts := []int64{2000, 20000, 100000, 300000}
+	base := LargeConfig{Array: a, Seed: 11, Shards: 4, BallsFactor: 50, Checkpoints: cuts}
+	want, err := RunLarge(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cancelled := base
+	cancelled.Context = ctx
+	cancelled.Placer = hookedFactory(func(call int64) {
+		if call == 2 {
+			cancel()
+			// Give the canceller's watcher goroutine time to latch the
+			// flag so the remaining placement segments observe it.
+			time.Sleep(20 * time.Millisecond)
+		}
+	})
+	// The baseline must use the same wrapped factory type so the rows
+	// compare against an identical draw sequence.
+	wrapped := base
+	wrapped.Placer = hookedFactory(func(int64) {})
+	want2, err := RunLarge(wrapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want.Checkpoints, want2.Checkpoints) {
+		t.Fatal("wrapping the placer changed the draw sequence")
+	}
+	res, err := RunLarge(cancelled)
+	var cerr *CancelledError
+	if !errors.As(err, &cerr) {
+		t.Skipf("run completed before the cancellation latched (err = %v)", err)
+	}
+	done := cerr.CompletedCuts
+	if done < 0 || done > len(cuts) {
+		t.Fatalf("completed cuts %d out of range", done)
+	}
+	if len(res.Checkpoints) != done {
+		t.Fatalf("partial has %d rows, CompletedCuts %d", len(res.Checkpoints), done)
+	}
+	if !reflect.DeepEqual(res.Checkpoints, want.Checkpoints[:done]) {
+		t.Fatalf("cancelled rows differ from the uninterrupted prefix:\n got  %+v\n want %+v",
+			res.Checkpoints, want.Checkpoints[:done])
+	}
+}
+
+// TestRunLargeMonteCancelAfterRepsIsPrefix: a deterministic self-cancel
+// after k repetitions yields aggregates bit-identical to a Reps=k run,
+// across shard and worker topologies, with a resumable checkpoint and a
+// nil Cause.
+func TestRunLargeMonteCancelAfterRepsIsPrefix(t *testing.T) {
+	a := largeArray(t, 600)
+	for _, shards := range []int{1, 4} {
+		for _, workers := range []int{1, 3} {
+			defer leakCheck(t)()
+			cfg := LargeMonteConfig{
+				LargeConfig: LargeConfig{
+					Array: a, Seed: 77, Shards: shards, Workers: workers,
+					Checkpoints:  []int64{500, 1500},
+					HeightLevels: 3,
+				},
+				Reps:              7,
+				CollectLoadVector: true,
+				ShardStats:        true,
+			}
+			prefix := cfg
+			prefix.Reps = 3
+			want, err := RunLargeMonte(prefix)
+			if err != nil {
+				t.Fatalf("shards=%d workers=%d prefix run: %v", shards, workers, err)
+			}
+			cancelledCfg := cfg
+			cancelledCfg.CancelAfterReps = 3
+			res, err := RunLargeMonte(cancelledCfg)
+			var cerr *CancelledError
+			if !errors.As(err, &cerr) {
+				t.Fatalf("shards=%d workers=%d: err = %v, want *CancelledError", shards, workers, err)
+			}
+			if cerr.CompletedReps != 3 || cerr.Cause != nil || cerr.Checkpoint == nil {
+				t.Fatalf("shards=%d workers=%d: provenance %+v, want 3 reps, nil cause, checkpoint", shards, workers, cerr)
+			}
+			if !reflect.DeepEqual(res, want) {
+				t.Fatalf("shards=%d workers=%d: partial differs from a Reps=3 run:\n got  %+v\n want %+v",
+					shards, workers, res, want)
+			}
+		}
+	}
+}
+
+// TestRunLargeMonteContextCancel: a real context cancellation mid-run
+// surfaces as ErrCancelled with a context cause and a contiguous
+// completed prefix, and strands no goroutine.
+func TestRunLargeMonteContextCancel(t *testing.T) {
+	defer leakCheck(t)()
+	a := largeArray(t, 600)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	factory := hookedFactory(func(call int64) {
+		if call == 5 {
+			cancel()
+		}
+	})
+	res, err := RunLargeMonte(LargeMonteConfig{
+		LargeConfig: LargeConfig{Array: a, Seed: 9, Shards: 4, Workers: 3, Placer: factory, Context: ctx},
+		Reps:        50,
+	})
+	var cerr *CancelledError
+	if !errors.As(err, &cerr) {
+		t.Skipf("run completed before the cancellation latched (err = %v)", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cause chain %v does not include context.Canceled", err)
+	}
+	if cerr.CompletedReps < 0 || cerr.CompletedReps >= 50 {
+		t.Fatalf("completed reps %d out of range", cerr.CompletedReps)
+	}
+	if res.MaxLoad.N() != int64(cerr.CompletedReps) {
+		t.Fatalf("aggregates %d observations, CompletedReps %d", res.MaxLoad.N(), cerr.CompletedReps)
+	}
+}
+
+// TestRunLargeMontePlacePanicReleasesFold is the monteAgg error-path
+// regression: a pool task dying mid-repetition (after the orchestrator
+// claimed its fold slot) must surface as a provenance error and release
+// the fold ladder — every orchestrator and worker goroutine exits, no
+// waiter hangs on the fold condition.
+func TestRunLargeMontePlacePanicReleasesFold(t *testing.T) {
+	a := largeArray(t, 400)
+	for _, workers := range []int{1, 4} {
+		defer leakCheck(t)()
+		factory := hookedFactory(func(call int64) {
+			if call == 7 {
+				panic("injected placement panic")
+			}
+		})
+		_, err := RunLargeMonte(LargeMonteConfig{
+			LargeConfig: LargeConfig{Array: a, Seed: 2, Shards: 4, Workers: workers, Placer: factory},
+			Reps:        12,
+		})
+		var perr *PanicError
+		if !errors.As(err, &perr) {
+			t.Fatalf("workers=%d: err = %v, want *PanicError", workers, err)
+		}
+		if perr.Engine != engRunLargeMC || perr.Task != "place" {
+			t.Fatalf("workers=%d: provenance %+v, want RunLargeMonte place task", workers, perr)
+		}
+		if len(perr.Stack) == 0 {
+			t.Fatalf("workers=%d: no stack captured", workers)
+		}
+	}
+}
+
+// TestRunChunkPanicContained: the classic engine converts a repetition
+// panic into a provenance error instead of crashing, and never masks it
+// with a concurrent cancellation.
+func TestRunChunkPanicContained(t *testing.T) {
+	defer leakCheck(t)()
+	a := largeArray(t, 200)
+	factory := hookedFactory(func(call int64) {
+		if call == 4 {
+			panic("injected chunk panic")
+		}
+	})
+	_, err := Run(Config{Array: a, Seed: 1, Reps: 24, Workers: 3, Placer: factory})
+	var perr *PanicError
+	if !errors.As(err, &perr) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if perr.Engine != engRun || perr.Task != "chunk" {
+		t.Fatalf("provenance %+v, want Run chunk task", perr)
+	}
+}
+
+// TestRunLargePlacePanicContained: a shard placement panic in the
+// single-run engine carries its shard index.
+func TestRunLargePlacePanicContained(t *testing.T) {
+	defer leakCheck(t)()
+	a := largeArray(t, 400)
+	factory := hookedFactory(func(call int64) {
+		if call == 2 {
+			panic("injected shard panic")
+		}
+	})
+	_, err := RunLarge(LargeConfig{Array: a, Seed: 4, Shards: 4, Placer: factory})
+	var perr *PanicError
+	if !errors.As(err, &perr) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if perr.Engine != engRunLarge || perr.Task != "place" || perr.Index < 0 || perr.Index >= 4 {
+		t.Fatalf("provenance %+v, want RunLarge place task with a shard index", perr)
+	}
+}
+
+// TestValidateFieldNamedErrors pins the config-validation hardening:
+// malformed observation requests and negative knobs are rejected with
+// errors naming the offending field, before any goroutine starts.
+func TestValidateFieldNamedErrors(t *testing.T) {
+	a := largeArray(t, 100)
+	cases := []struct {
+		name string
+		frag string
+		run  func() error
+	}{
+		{"classic negative checkpoint", "Checkpoints[", func() error {
+			_, err := Run(Config{Array: a, Reps: 1, Checkpoints: []int64{-5}})
+			return err
+		}},
+		{"classic unsorted checkpoints", "Checkpoints[", func() error {
+			_, err := Run(Config{Array: a, Reps: 1, Checkpoints: []int64{50, 10}})
+			return err
+		}},
+		{"classic duplicate checkpoints", "Checkpoints[", func() error {
+			_, err := Run(Config{Array: a, Reps: 1, Checkpoints: []int64{10, 10}})
+			return err
+		}},
+		{"classic negative workers", "Workers", func() error {
+			_, err := Run(Config{Array: a, Reps: 1, Workers: -2})
+			return err
+		}},
+		{"classic negative height levels", "HeightLevels", func() error {
+			_, err := Run(Config{Array: a, Reps: 1, HeightLevels: -1})
+			return err
+		}},
+		{"large zero checkpoint", "Checkpoints[", func() error {
+			_, err := RunLarge(LargeConfig{Array: a, Checkpoints: []int64{0, 5}})
+			return err
+		}},
+		{"large unsorted checkpoints", "Checkpoints[", func() error {
+			_, err := RunLarge(LargeConfig{Array: a, Checkpoints: []int64{100, 20}})
+			return err
+		}},
+		{"large negative workers", "Workers", func() error {
+			_, err := RunLarge(LargeConfig{Array: a, Workers: -1})
+			return err
+		}},
+		{"monte unsorted checkpoints", "Checkpoints[", func() error {
+			_, err := RunLargeMonte(LargeMonteConfig{
+				LargeConfig: LargeConfig{Array: a, Checkpoints: []int64{9, 3}}, Reps: 1,
+			})
+			return err
+		}},
+		{"monte negative cancel-after", "CancelAfterReps", func() error {
+			_, err := RunLargeMonte(LargeMonteConfig{
+				LargeConfig: LargeConfig{Array: a}, Reps: 1, CancelAfterReps: -1,
+			})
+			return err
+		}},
+	}
+	for _, tc := range cases {
+		err := tc.run()
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.frag) {
+			t.Errorf("%s: error %q does not name the field (%q)", tc.name, err, tc.frag)
+		}
+	}
+}

@@ -1,0 +1,223 @@
+//go:build faultinject
+
+// Chaos test matrix: with -tags faultinject the engines' fault sites
+// are live, and every test here arms a deterministic Plan — panic,
+// stall, or cancel at one exact {engine, op, rep, shard, block} — then
+// asserts the run surfaces a provenance error (never a crash, never a
+// hang) and strands no goroutine. The CI chaos job runs this file,
+// plus the whole engine suite, under -race.
+package sim
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+)
+
+// wantInjectedPanic asserts err is a *PanicError wrapping the injected
+// fault at the expected operation, with engine/task provenance.
+func wantInjectedPanic(t *testing.T, err error, engine string, op fault.Op) {
+	t.Helper()
+	var perr *PanicError
+	if !errors.As(err, &perr) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if perr.Engine != engine {
+		t.Fatalf("panic attributed to engine %q, want %q", perr.Engine, engine)
+	}
+	var inj *fault.Injected
+	if !errors.As(err, &inj) {
+		t.Fatalf("panic value %v is not the injected fault", perr.Value)
+	}
+	if inj.Site.Op != op {
+		t.Fatalf("fault fired at op %v, want %v", inj.Site.Op, op)
+	}
+	if perr.Task != op.String() && op != fault.OpChunk {
+		t.Fatalf("task %q does not match op %v", perr.Task, op)
+	}
+}
+
+// TestChaosRunLargePanicSites: a panic at any routing block or shard
+// placement of the single-run engine surfaces with provenance, across
+// shard and worker topologies.
+func TestChaosRunLargePanicSites(t *testing.T) {
+	a := largeArray(t, 600)
+	sites := []fault.Site{
+		{Engine: engRunLarge, Op: fault.OpRoute, Rep: -1, Shard: -1, Block: 0},
+		{Engine: engRunLarge, Op: fault.OpPlace, Rep: -1, Shard: 0, Block: -1},
+	}
+	for _, site := range sites {
+		for _, shards := range []int{1, 4} {
+			for _, workers := range []int{1, 4} {
+				func() {
+					defer leakCheck(t)()
+					defer fault.Arm(fault.Plan{Match: site, Do: fault.Panic, Msg: "chaos"})()
+					_, err := RunLarge(LargeConfig{Array: a, Seed: 1, Shards: shards, Workers: workers})
+					wantInjectedPanic(t, err, engRunLarge, site.Op)
+				}()
+			}
+		}
+	}
+}
+
+// TestChaosRunLargeMontePanicSites: every Monte pool-task kind — a
+// routing block, a shard placement, a between-rep reset, a summary, an
+// orchestrator step — dies at a pinned repetition and the run reports
+// it instead of hanging, across shard and worker topologies.
+func TestChaosRunLargeMontePanicSites(t *testing.T) {
+	a := largeArray(t, 600)
+	sites := []fault.Site{
+		{Engine: engRunLargeMC, Op: fault.OpRoute, Rep: 2, Shard: -1, Block: -1},
+		{Engine: engRunLargeMC, Op: fault.OpPlace, Rep: 1, Shard: 0, Block: -1},
+		{Engine: engRunLargeMC, Op: fault.OpReset, Rep: -1, Shard: -1, Block: -1},
+		{Engine: engRunLargeMC, Op: fault.OpSummary, Rep: 3, Shard: -1, Block: -1},
+		{Engine: engRunLargeMC, Op: fault.OpOrchestrator, Rep: 2, Shard: -1, Block: -1},
+	}
+	for _, site := range sites {
+		for _, shards := range []int{1, 4} {
+			for _, workers := range []int{1, 4} {
+				func() {
+					defer leakCheck(t)()
+					defer fault.Arm(fault.Plan{Match: site, Do: fault.Panic, Msg: "chaos"})()
+					_, err := RunLargeMonte(LargeMonteConfig{
+						LargeConfig: LargeConfig{Array: a, Seed: 1, Shards: shards, Workers: workers},
+						Reps:        6,
+					})
+					wantInjectedPanic(t, err, engRunLargeMC, site.Op)
+				}()
+			}
+		}
+	}
+}
+
+// TestChaosRunChunkPanic: a classic chunk repetition dying at a pinned
+// repetition surfaces with rep provenance.
+func TestChaosRunChunkPanic(t *testing.T) {
+	a := largeArray(t, 200)
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer leakCheck(t)()
+			defer fault.Arm(fault.Plan{
+				Match: fault.Site{Engine: engRun, Op: fault.OpChunk, Rep: 3, Shard: -1, Block: -1},
+				Do:    fault.Panic, Msg: "chaos",
+			})()
+			_, err := Run(Config{Array: a, Seed: 1, Reps: 24, Workers: workers})
+			wantInjectedPanic(t, err, engRun, fault.OpChunk)
+			var perr *PanicError
+			errors.As(err, &perr)
+			if perr.Rep != 3 {
+				t.Fatalf("panic attributed to rep %d, want 3", perr.Rep)
+			}
+		}()
+	}
+}
+
+// TestChaosCancelMidRouting: a CancelRun fault at routing block 1 (with
+// a stall at block 3 so the watcher latches) cancels the single-run
+// engine inside Phase 1 — the partial carries shape but no state.
+func TestChaosCancelMidRouting(t *testing.T) {
+	defer leakCheck(t)()
+	a := largeArray(t, 1500)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	disarm := fault.Arm(
+		fault.Plan{
+			Match: fault.Site{Op: fault.OpRoute, Rep: -1, Shard: -1, Block: 1},
+			Do:    fault.CancelRun, Cancel: cancel, Once: true,
+		},
+		fault.Plan{
+			Match: fault.Site{Op: fault.OpRoute, Rep: -1, Shard: -1, Block: 3},
+			Do:    fault.Delay, Sleep: 50 * time.Millisecond, Once: true,
+		},
+	)
+	defer disarm()
+	// ~30 routing blocks (m = 50·C at C = 132000 means many RoutingBlock
+	// strides), one worker so blocks are visited in order.
+	res, err := RunLarge(LargeConfig{
+		Array: a, Seed: 6, Shards: 4, Workers: 1, BallsFactor: 30,
+		Checkpoints: []int64{100000}, Context: ctx,
+	})
+	var cerr *CancelledError
+	if !errors.As(err, &cerr) {
+		t.Skipf("routing finished before the cancellation latched (err = %v)", err)
+	}
+	if cerr.Engine != engRunLarge || cerr.CompletedCuts != 0 {
+		t.Fatalf("provenance %+v, want RunLarge cancelled during routing", cerr)
+	}
+	if res == nil || res.Array != nil || len(res.Checkpoints) != 0 {
+		t.Fatalf("mid-routing partial carries state: %+v", res)
+	}
+}
+
+// TestChaosCancelThenResume: a chaotic (timing-dependent) cancellation
+// at an orchestrator step still leaves a checkpoint that resumes to the
+// byte-identical uninterrupted aggregate — the resume contract does not
+// depend on WHERE the cancel landed.
+func TestChaosCancelThenResume(t *testing.T) {
+	defer leakCheck(t)()
+	a := largeArray(t, 600)
+	cfg := LargeMonteConfig{
+		LargeConfig: LargeConfig{Array: a, Seed: 77, Shards: 4, Workers: 3,
+			Checkpoints: []int64{500, 1500}, HeightLevels: 3},
+		Reps:              8,
+		CollectLoadVector: true,
+		ShardStats:        true,
+	}
+	full, err := RunLargeMonte(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	disarm := fault.Arm(fault.Plan{
+		Match: fault.Site{Engine: engRunLargeMC, Op: fault.OpOrchestrator, Rep: 3, Shard: -1, Block: -1},
+		Do:    fault.CancelRun, Cancel: cancel, Once: true,
+	})
+	interrupted := cfg
+	interrupted.Context = ctx
+	_, err = RunLargeMonte(interrupted)
+	disarm()
+	var cerr *CancelledError
+	if !errors.As(err, &cerr) {
+		t.Skipf("run completed before the cancellation latched (err = %v)", err)
+	}
+	if cerr.Checkpoint == nil {
+		t.Fatal("cancelled run carried no checkpoint")
+	}
+	resumedCfg := cfg
+	resumedCfg.Resume = cerr.Checkpoint
+	resumed, err := RunLargeMonte(resumedCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resumed, full) {
+		t.Fatalf("resumed-after-chaos aggregates differ from uninterrupted:\n got  %+v\n want %+v", resumed, full)
+	}
+}
+
+// TestChaosDelayHarmless: a pure stall at a placement site slows a run
+// down but never changes its result — fault hooks are observation
+// points, not draws.
+func TestChaosDelayHarmless(t *testing.T) {
+	a := largeArray(t, 400)
+	want, err := RunLarge(LargeConfig{Array: a, Seed: 9, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fault.Arm(fault.Plan{
+		Match: fault.Site{Op: fault.OpPlace, Rep: -1, Shard: 1, Block: -1},
+		Do:    fault.Delay, Sleep: 30 * time.Millisecond,
+	})()
+	got, err := RunLarge(LargeConfig{Array: a, Seed: 9, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MaxLoad != want.MaxLoad || got.Deviation != want.Deviation ||
+		!reflect.DeepEqual(got.ShardBalls, want.ShardBalls) {
+		t.Fatal("a delay fault changed the result")
+	}
+}

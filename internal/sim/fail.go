@@ -1,0 +1,196 @@
+// Fault-tolerant execution layer, part 1: the failure and cancellation
+// vocabulary shared by all three engines.
+//
+// # Cooperative cancellation
+//
+// Every engine config carries an optional context.Context. Cancellation
+// is checked at task boundaries — one classic repetition, one routing
+// block, one RoutingBlock-sized placement stride — so cancellation
+// latency is bounded by one block of work, while the no-context hot
+// path keeps its exact pre-existing instruction stream (the checks sit
+// behind a nil canceller). A cancelled run returns a typed
+// *CancelledError AND a deterministic partial result: the partial is a
+// prefix of the engine's deterministic model (completed repetitions,
+// completed checkpoint cuts), so its content is bit-identical to the
+// corresponding prefix of an uninterrupted run — only WHICH prefix you
+// get depends on timing.
+//
+// # Panic containment
+//
+// Every pool task (classic chunk repetitions, routing groups, shard
+// placements, Monte resets/summaries/orchestrators) runs behind a
+// recover that converts a panic into a *PanicError carrying provenance
+// (engine, task kind, repetition, shard/group index). The first error
+// wins, every waiter is released (see monteAgg.abort), and no worker
+// goroutine is stranded — a panic anywhere surfaces as an ordinary
+// error from Run/RunLarge/RunLargeMonte, never as a process crash or a
+// hang.
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync/atomic"
+)
+
+// Engine names used in provenance (PanicError.Engine, fault.Site.Engine).
+const (
+	engRun        = "Run"
+	engRunLarge   = "RunLarge"
+	engRunLargeMC = "RunLargeMonte"
+)
+
+// ErrCancelled is the sentinel every cancellation error matches:
+// errors.Is(err, ErrCancelled) is true exactly when a run stopped
+// early because its context was cancelled (or a deterministic
+// self-cancel like CancelAfterReps fired) rather than because of a
+// failure.
+var ErrCancelled = errors.New("sim: run cancelled")
+
+// CancelledError reports a cooperatively cancelled run. The engine
+// that returns it ALSO returns a non-nil partial result; the fields
+// here describe which deterministic prefix that partial covers.
+type CancelledError struct {
+	// Engine is the engine that was cancelled ("Run", "RunLarge",
+	// "RunLargeMonte").
+	Engine string
+	// CompletedReps is the folded repetition prefix of the partial
+	// (Run, RunLargeMonte): aggregates cover reps [0, CompletedReps)
+	// and are bit-identical to a run configured with that Reps value.
+	// -1 for RunLarge, whose unit of progress is checkpoint cuts.
+	CompletedReps int
+	// CompletedCuts is the number of leading checkpoint rows present
+	// in a cancelled RunLarge partial (each bit-identical to the
+	// corresponding row of an uninterrupted run). -1 for the
+	// repetition-based engines.
+	CompletedCuts int
+	// Checkpoint is the serializable resume state of a cancelled
+	// RunLargeMonte run (nil for the other engines): feeding it back
+	// through LargeMonteConfig.Resume continues the run and produces
+	// final aggregates byte-identical to an uninterrupted one.
+	Checkpoint *MonteCheckpoint
+	// Cause is the context error that triggered the cancellation, or
+	// nil when a deterministic self-cancel (CancelAfterReps) fired.
+	Cause error
+}
+
+// Error implements error.
+func (e *CancelledError) Error() string {
+	switch {
+	case e.CompletedReps >= 0:
+		return fmt.Sprintf("sim: %s cancelled after %d completed repetitions", e.Engine, e.CompletedReps)
+	case e.CompletedCuts >= 0:
+		return fmt.Sprintf("sim: %s cancelled with %d completed checkpoint cuts", e.Engine, e.CompletedCuts)
+	}
+	return fmt.Sprintf("sim: %s cancelled", e.Engine)
+}
+
+// Is makes errors.Is(err, ErrCancelled) — and, when the cause was a
+// real context, errors.Is(err, context.Canceled) — work.
+func (e *CancelledError) Is(target error) bool { return target == ErrCancelled }
+
+// Unwrap exposes the context error as the cause chain.
+func (e *CancelledError) Unwrap() error { return e.Cause }
+
+// PanicError is a contained panic from inside an engine: provenance
+// plus the recovered value and stack. It is how "a worker died"
+// surfaces — as an error from the engine call, never as a crash.
+type PanicError struct {
+	// Engine is the engine the panic happened in.
+	Engine string
+	// Task names the task kind: "route", "place", "reset", "summary",
+	// "rep" (classic chunk repetition), "orchestrator".
+	Task string
+	// Rep is the repetition the task belonged to (-1 when unknown; 0
+	// for the single-run engine).
+	Rep int
+	// Index is the task's shard index (place/reset), routing-group
+	// index (route), or worker index (orchestrator); -1 when not
+	// applicable.
+	Index int
+	// Value is the recovered panic value; Stack the goroutine stack
+	// captured at recovery.
+	Value any
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	if e.Index >= 0 {
+		return fmt.Sprintf("sim: panic in %s %s task (rep %d, index %d): %v", e.Engine, e.Task, e.Rep, e.Index, e.Value)
+	}
+	return fmt.Sprintf("sim: panic in %s %s task (rep %d): %v", e.Engine, e.Task, e.Rep, e.Value)
+}
+
+// Unwrap exposes an error panic value to errors.Is/As chains.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// newPanicError builds the provenance error for a recovered value.
+func newPanicError(engine, task string, rep, index int, v any) *PanicError {
+	return &PanicError{Engine: engine, Task: task, Rep: rep, Index: index, Value: v, Stack: debug.Stack()}
+}
+
+// canceller adapts a context to the single atomic flag the hot loops
+// poll. A nil *canceller means "cancellation not armed": the methods
+// are nil-receiver safe and collapse to a register test, so engines
+// pass the canceller unconditionally and pay nothing when no context
+// is configured.
+type canceller struct {
+	flag  atomic.Bool
+	cause func() error // ctx.Err, read only after flag is set
+	done  chan struct{}
+}
+
+// newCanceller arms cancellation for ctx; it returns nil (no watcher
+// goroutine, no checks) when ctx is nil or can never be cancelled.
+// The caller must stop() the returned canceller before returning so
+// the watcher goroutine never outlives the run.
+func newCanceller(ctx context.Context) *canceller {
+	if ctx == nil || ctx.Done() == nil {
+		return nil
+	}
+	c := &canceller{cause: ctx.Err, done: make(chan struct{})}
+	if ctx.Err() != nil {
+		// Already cancelled: latch synchronously (no watcher needed) so
+		// a run with a dead context deterministically stops at its first
+		// check. done stays open for the caller's deferred stop.
+		c.flag.Store(true)
+		return c
+	}
+	go func() {
+		select {
+		case <-ctx.Done():
+			c.flag.Store(true)
+		case <-c.done:
+		}
+	}()
+	return c
+}
+
+// cancelled reports whether the context fired. Safe on a nil receiver.
+func (c *canceller) cancelled() bool {
+	return c != nil && c.flag.Load()
+}
+
+// err returns the context's error once cancelled (nil otherwise).
+func (c *canceller) err() error {
+	if !c.cancelled() {
+		return nil
+	}
+	return c.cause()
+}
+
+// stop releases the watcher goroutine. Safe on a nil receiver and
+// idempotent-enough for a single deferred call.
+func (c *canceller) stop() {
+	if c != nil {
+		close(c.done)
+	}
+}

@@ -47,6 +47,7 @@ import (
 
 	"repro/internal/bins"
 	"repro/internal/dist"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/protocol"
 	"repro/internal/sampling"
@@ -75,6 +76,20 @@ type LargeMonteConfig struct {
 	// of the two-level protocol. Costs one O(shard) scan per shard per
 	// repetition.
 	ShardStats bool
+	// Resume continues a previously cancelled run from its checkpoint
+	// (see MonteCheckpoint): repetitions [0, CompletedReps) are taken
+	// from the checkpoint and the run proceeds to Reps. The final
+	// aggregates are byte-identical to an uninterrupted run — per-rep
+	// RNG streams depend only on (Seed, rep), the fold order is fixed,
+	// and JSON round-trips the fold state exactly. The checkpoint's
+	// fingerprint must match this configuration.
+	Resume *MonteCheckpoint
+	// CancelAfterReps, when positive, deterministically cancels the run
+	// after exactly that many folded repetitions — as if the context
+	// had fired at precisely that point. Unlike a real context it is
+	// timing-free, which is what lets tests and scripts byte-compare an
+	// interrupted-then-resumed run against an uninterrupted one.
+	CancelAfterReps int
 }
 
 // LargeMonteResult aggregates a sharded Monte-Carlo run. Per-repetition
@@ -120,7 +135,18 @@ type monteAgg struct {
 	mu   sync.Mutex
 	cond *sync.Cond
 	next int // next repetition index allowed to fold
-	err  error
+	// stopAt caps the folded prefix: a repetition folds its summary
+	// only while rep < stopAt. It starts at the run's planned last
+	// repetition (Reps, or CancelAfterReps) and only ever decreases —
+	// the earliest cancelled repetition wins — so the folded prefix
+	// [0, stopAt) is always contiguous, whatever the timing.
+	stopAt int
+	// aborted releases every fold waiter unconditionally: set when an
+	// orchestrator dies without taking its remaining turns (recovered
+	// panic), so the ladder can never strand the other orchestrators
+	// on cond.Wait.
+	aborted bool
+	err     error
 	// The result-level collectors. fold runs strictly in repetition
 	// order, so every Observe below happens in one fixed order — the
 	// unified observation contract's requirement for bit-identical
@@ -132,18 +158,56 @@ type monteAgg struct {
 }
 
 // fold blocks until it is rep's turn, runs fn under the aggregation
-// lock (skipped once an earlier repetition has failed), and passes the
-// turn on. Every repetition must fold exactly once, success or not,
-// or the turn chain stalls.
+// lock (skipped once an earlier repetition has failed or the prefix
+// was capped below rep), and passes the turn on. Every repetition must
+// take its turn exactly once — fold, foldCancelled or abort — or the
+// turn chain stalls.
 func (ag *monteAgg) fold(rep int, fn func(ag *monteAgg)) {
 	ag.mu.Lock()
-	for ag.next != rep {
+	for ag.next != rep && !ag.aborted {
 		ag.cond.Wait()
 	}
-	if ag.err == nil {
+	if ag.aborted {
+		ag.mu.Unlock()
+		return
+	}
+	if ag.err == nil && rep < ag.stopAt {
 		fn(ag)
 	}
 	ag.next++
+	ag.cond.Broadcast()
+	ag.mu.Unlock()
+}
+
+// foldCancelled takes rep's fold turn without folding and caps the
+// folded prefix at rep: the partial result then covers exactly the
+// repetitions below the earliest cancelled one.
+func (ag *monteAgg) foldCancelled(rep int) {
+	ag.mu.Lock()
+	for ag.next != rep && !ag.aborted {
+		ag.cond.Wait()
+	}
+	if ag.aborted {
+		ag.mu.Unlock()
+		return
+	}
+	if rep < ag.stopAt {
+		ag.stopAt = rep
+	}
+	ag.next++
+	ag.cond.Broadcast()
+	ag.mu.Unlock()
+}
+
+// abort records err (first error wins) and releases every waiter on
+// the fold ladder — the recovery path for an orchestrator that dies
+// and can never take its remaining turns.
+func (ag *monteAgg) abort(err error) {
+	ag.mu.Lock()
+	if ag.err == nil {
+		ag.err = err
+	}
+	ag.aborted = true
 	ag.cond.Broadcast()
 	ag.mu.Unlock()
 }
@@ -180,7 +244,16 @@ type monteRepState struct {
 	base   uint64 // stream base rep·(shards+1)
 	rbase  uint64 // Mix64(seed, base): the routing substream base
 	m      int64
+	rep    int
 	router *sampling.Multinomial
+
+	// cc is the run's shared canceller (nil when no Context). taskErr
+	// collects the first contained panic of the current repetition's
+	// pool tasks (tasks of one repetition run concurrently, hence the
+	// mutex; orchestrator reads happen after wg.Wait).
+	cc      *canceller
+	errMu   sync.Mutex
+	taskErr error
 
 	// Routing state: the orchestrator's routing groups (route.go),
 	// reused across its repetitions, plus the cut plan (shared,
@@ -276,18 +349,62 @@ const (
 	taskSummary                 // whole-array summary (Phase C)
 )
 
+// String names the task kind for panic provenance.
+func (k taskKind) String() string {
+	switch k {
+	case taskRoute:
+		return "route"
+	case taskReset:
+		return "reset"
+	case taskPlace:
+		return "place"
+	case taskSummary:
+		return "summary"
+	}
+	return "task"
+}
+
+// fail records the first contained panic of the current repetition.
+func (st *monteRepState) fail(err error) {
+	st.errMu.Lock()
+	if st.taskErr == nil {
+		st.taskErr = err
+	}
+	st.errMu.Unlock()
+}
+
+// takeErr reads the repetition's first task error (called by the
+// orchestrator after wg.Wait, so no task is writing concurrently —
+// the lock only orders the read against the failing task's write).
+func (st *monteRepState) takeErr() error {
+	st.errMu.Lock()
+	defer st.errMu.Unlock()
+	return st.taskErr
+}
+
 // run executes the task. Per-repetition parameters (seed, stream
 // base, ball count, router) live on the repetition state, set by
-// runRep before any task of that repetition is submitted.
+// runRep before any task of that repetition is submitted. A panic
+// anywhere in the task body is contained into a provenance error on
+// the repetition state — the pool worker survives, the phase barrier
+// (st.wg) is always reached.
 func (t poolTask) run() {
 	st := t.st
 	defer st.wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			st.fail(newPanicError(engRunLargeMC, t.kind.String(), st.rep, t.idx, r))
+		}
+	}()
 	switch t.kind {
 	case taskRoute:
 		rg := &st.routeGroups[t.idx]
 		rg.reset()
-		rg.route(st.rbase, st.router, st.m, t.idx, len(st.routeGroups), st.cutBlocks, st.cutRems)
+		rg.route(st.cc, engRunLargeMC, st.rep, st.rbase, st.router, st.m, t.idx, len(st.routeGroups), st.cutBlocks, st.cutRems)
 	case taskReset:
+		if fault.Enabled {
+			fault.Hit(fault.Site{Engine: engRunLargeMC, Op: fault.OpReset, Rep: st.rep, Shard: t.idx, Block: -1})
+		}
 		st.views[t.idx].Reset()
 	case taskPlace:
 		s := t.idx
@@ -305,11 +422,14 @@ func (t poolTask) run() {
 		// The shared segment schedule (placeShardSegments) is what
 		// keeps repetition 0 bit-identical to a checkpointed
 		// RunLarge. Segmentation never moves a draw.
-		placeShardSegments(p, st.views[s], rs, st.counts[s], s, st.prefix, st.track)
+		placeShardSegments(st.cc, engRunLargeMC, st.rep, p, st.views[s], rs, st.counts[s], s, st.prefix, st.track)
 		if st.shardMax != nil {
 			st.shardMax[s] = st.views[s].MaxLoad()
 		}
 	case taskSummary:
+		if fault.Enabled {
+			fault.Hit(fault.Site{Engine: engRunLargeMC, Op: fault.OpSummary, Rep: st.rep, Shard: -1, Block: -1})
+		}
 		st.arr.Recount()
 		st.max = st.arr.MaxLoad()
 		st.avg = st.arr.AverageLoad()
@@ -334,8 +454,15 @@ func (t poolTask) run() {
 // stream base+1+s. Phase C summarises the whole array (the only phase
 // that may run parent-array methods, which the bins.Shard contract
 // forbids while views mutate).
-func (st *monteRepState) runRep(tasks chan<- poolTask, seed, rep uint64, shards int, m int64, router *sampling.Multinomial) {
+//
+// It returns ok = false when the repetition was abandoned because the
+// run's context fired (the state is then never read again — every
+// later repetition of this orchestrator is skipped too), and a non-nil
+// err when a pool task of this repetition panicked.
+func (st *monteRepState) runRep(tasks chan<- poolTask, seed, rep uint64, shards int, m int64, router *sampling.Multinomial) (ok bool, err error) {
 	st.seed = seed
+	st.rep = int(rep)
+	st.taskErr = nil
 	st.base = rep * uint64(shards+1)
 	st.rbase = xrand.Mix64(seed, st.base)
 	st.m = m
@@ -352,6 +479,12 @@ func (st *monteRepState) runRep(tasks chan<- poolTask, seed, rep uint64, shards 
 		tasks <- poolTask{st, taskReset, s}
 	}
 	st.wg.Wait()
+	if err := st.takeErr(); err != nil {
+		return false, err
+	}
+	if st.cc.cancelled() {
+		return false, nil
+	}
 	// Folding the groups is O(groups·shards·cuts) — orchestrator-side
 	// bookkeeping, not pool work.
 	mergeRouteGroups(st.routeGroups, st.counts, st.prefix)
@@ -371,15 +504,32 @@ func (st *monteRepState) runRep(tasks chan<- poolTask, seed, rep uint64, shards 
 		tasks <- poolTask{st, taskPlace, s}
 	}
 	st.wg.Wait()
+	if err := st.takeErr(); err != nil {
+		return false, err
+	}
+	if st.cc.cancelled() {
+		return false, nil
+	}
 
 	st.wg.Add(1)
 	tasks <- poolTask{st, taskSummary, 0}
 	st.wg.Wait()
+	if err := st.takeErr(); err != nil {
+		return false, err
+	}
+	return true, nil
 }
 
 // RunLargeMonte executes cfg.Reps repetitions of the sharded single-run
 // engine and aggregates them. See the package comment of this file for
 // the scheduling model and the determinism contract.
+//
+// When cfg.Context fires (or CancelAfterReps triggers), RunLargeMonte
+// returns a partial *LargeMonteResult covering a contiguous repetition
+// prefix — bit-identical to a run configured with that many Reps —
+// plus a *CancelledError whose Checkpoint resumes the run. A panic in
+// any pool task or orchestrator surfaces as a *PanicError, never as a
+// crash or a stuck fold ladder.
 func RunLargeMonte(cfg LargeMonteConfig) (*LargeMonteResult, error) {
 	shards, err := cfg.LargeConfig.validate()
 	if err != nil {
@@ -388,6 +538,11 @@ func RunLargeMonte(cfg LargeMonteConfig) (*LargeMonteResult, error) {
 	if cfg.Reps < 1 {
 		return nil, fmt.Errorf("sim: RunLargeMonte Reps = %d, need >= 1", cfg.Reps)
 	}
+	if cfg.CancelAfterReps < 0 {
+		return nil, fmt.Errorf("sim: RunLargeMonte CancelAfterReps = %d, need >= 0", cfg.CancelAfterReps)
+	}
+	cc := newCanceller(cfg.Context)
+	defer cc.stop()
 
 	n := cfg.Array.N()
 	master := cfg.Array
@@ -427,10 +582,6 @@ func RunLargeMonte(cfg LargeMonteConfig) (*LargeMonteResult, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	inflight := workers
-	if inflight > cfg.Reps {
-		inflight = cfg.Reps
-	}
 	// Routing fan-out per repetition: one group per worker, capped at
 	// the number of routing blocks (the grouping never affects the
 	// merged counts — integer sums are exact).
@@ -459,6 +610,50 @@ func RunLargeMonte(cfg LargeMonteConfig) (*LargeMonteResult, error) {
 		agg.ss = obs.NewShardStats(shards)
 	}
 
+	// The fingerprint pins the experiment a checkpoint belongs to. It
+	// costs an O(n) capacity hash, so it is computed only when a
+	// checkpoint can actually be read (Resume) or written (a cancel
+	// source exists) — the plain path pays nothing.
+	var fp MonteFingerprint
+	if cfg.Resume != nil || cc != nil || cfg.CancelAfterReps > 0 {
+		fp = MonteFingerprint{
+			N: n, Shards: shards, Balls: m, Seed: cfg.Seed,
+			TotalCapacity: totalCap, CapHash: capHash(master),
+			Checkpoints: allCuts, HeightLevels: cfg.HeightLevels,
+			CollectLoadVector: cfg.CollectLoadVector, ShardStats: cfg.ShardStats,
+		}
+	}
+	resumed := 0
+	if cfg.Resume != nil {
+		if err := cfg.Resume.restore(fp, res, agg); err != nil {
+			return nil, err
+		}
+		resumed = agg.next
+		if resumed > cfg.Reps {
+			return nil, fmt.Errorf("sim: resume checkpoint covers %d repetitions, run has only %d", resumed, cfg.Reps)
+		}
+	}
+	// planned is the last repetition the run intends to fold: Reps, or
+	// the deterministic self-cancel point. A real context cancellation
+	// lowers the realised prefix further through foldCancelled.
+	planned := cfg.Reps
+	if cfg.CancelAfterReps > 0 && cfg.CancelAfterReps < planned {
+		planned = cfg.CancelAfterReps
+	}
+	if planned < resumed {
+		planned = resumed
+	}
+	agg.stopAt = planned
+	// Single-assignment copies for the orchestrator closures: captured
+	// by value, so the mutable planning variables above never escape
+	// to the heap.
+	start, stop := resumed, planned
+
+	inflight := workers
+	if remaining := cfg.Reps - start; inflight > remaining {
+		inflight = remaining
+	}
+
 	// The shared bounded pool: every CPU-heavy task of every phase of
 	// every repetition runs here, so concurrency is exactly workers.
 	// Tasks travel by value — no per-task heap traffic.
@@ -479,7 +674,19 @@ func RunLargeMonte(cfg LargeMonteConfig) (*LargeMonteResult, error) {
 		orchWG.Add(1)
 		go func(w int) {
 			defer orchWG.Done()
+			// A panic in orchestrator bookkeeping (pool tasks carry
+			// their own recover) would leave the fold ladder waiting
+			// for turns that never come; abort releases every waiter
+			// and surfaces the provenance error instead.
+			defer func() {
+				if r := recover(); r != nil {
+					agg.abort(newPanicError(engRunLargeMC, "orchestrator", -1, w, r))
+				}
+			}()
 			st, serr := newMonteRepState(master, weights, bounds, shardW, factory, &cfg, cuts, routeWidth, cutBlocks, cutRems)
+			if serr == nil {
+				st.cc = cc
+			}
 			// One fold body per orchestrator, not per repetition: it
 			// snapshots whatever st holds when its repetition's turn
 			// comes, so hoisting it out of the loop only removes the
@@ -518,20 +725,34 @@ func RunLargeMonte(cfg LargeMonteConfig) (*LargeMonteResult, error) {
 			}
 			skip := func(*monteAgg) {}
 			// Static strided assignment: orchestrator w owns reps
-			// w, w+inflight, … — processed in increasing order, which
-			// the in-order fold relies on for progress.
-			for rep := w; rep < cfg.Reps; rep += inflight {
+			// start+w, start+w+inflight, … — processed in increasing
+			// order, which the in-order fold relies on for progress.
+			for rep := start + w; rep < cfg.Reps; rep += inflight {
+				if fault.Enabled {
+					fault.Hit(fault.Site{Engine: engRunLargeMC, Op: fault.OpOrchestrator, Rep: rep, Shard: -1, Block: -1})
+				}
 				if serr != nil {
 					err := serr
 					agg.fold(rep, func(ag *monteAgg) { ag.err = err })
+					continue
+				}
+				if rep >= stop || cc.cancelled() {
+					agg.foldCancelled(rep)
 					continue
 				}
 				if agg.failed() {
 					agg.fold(rep, skip)
 					continue
 				}
-				st.runRep(tasks, cfg.Seed, uint64(rep), shards, m, router)
-				agg.fold(rep, foldRep)
+				ok, rerr := st.runRep(tasks, cfg.Seed, uint64(rep), shards, m, router)
+				switch {
+				case rerr != nil:
+					agg.fold(rep, func(ag *monteAgg) { ag.err = rerr })
+				case !ok:
+					agg.foldCancelled(rep)
+				default:
+					agg.fold(rep, foldRep)
+				}
 			}
 		}(w)
 	}
@@ -552,5 +773,19 @@ func RunLargeMonte(cfg LargeMonteConfig) (*LargeMonteResult, error) {
 		res.HeightCounts = agg.hl.Rows()
 	}
 	res.ShardStats = agg.ss
+	if completed := agg.stopAt; completed < cfg.Reps {
+		// Cancelled (context or CancelAfterReps): the aggregates cover
+		// exactly repetitions [0, completed) — bit-identical to a run
+		// configured with Reps = completed — and the checkpoint resumes
+		// from there.
+		res.Reps = completed
+		return res, &CancelledError{
+			Engine:        engRunLargeMC,
+			CompletedReps: completed,
+			CompletedCuts: -1,
+			Checkpoint:    captureMonteCheckpoint(fp, completed, res, agg),
+			Cause:         cc.err(),
+		}
+	}
 	return res, nil
 }

@@ -1,0 +1,283 @@
+// Fault-tolerant execution layer, part 2: deterministic checkpoint and
+// resume for the sharded Monte-Carlo engine.
+//
+// RunLargeMonte folds repetition summaries strictly in repetition order
+// (monteAgg), so the complete fold state after repetitions [0, k) is a
+// small, well-defined value: the three result accumulators, the running
+// load-vector sums and every collector row. MonteCheckpoint serializes
+// exactly that state. Because JSON round-trips float64 exactly (Go
+// emits the shortest representation that parses back to the same bits)
+// and Welford state is always finite for finite inputs, a run resumed
+// from repetition k is byte-identical to one that was never
+// interrupted: the fold after restore continues on bit-identical
+// accumulator state, in the same repetition order, with the same
+// per-repetition RNG streams (repetition rep's streams depend only on
+// (Seed, rep), never on where the run started).
+//
+// A fingerprint of the generating configuration — capacities, seed,
+// shard count, ball count, collector shapes — is stored alongside the
+// state and verified on resume, so feeding a checkpoint to a different
+// experiment fails loudly instead of silently blending two models.
+package sim
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"slices"
+
+	"repro/internal/bins"
+	"repro/internal/obs"
+	"repro/internal/stats"
+)
+
+// monteCheckpointVersion guards the serialization layout. Bump it when
+// the fold-state shape changes; old files are then rejected instead of
+// being misinterpreted.
+const monteCheckpointVersion = 1
+
+// MonteFingerprint identifies the experiment a checkpoint belongs to.
+// Two runs with equal fingerprints fold bit-identical per-repetition
+// summaries, so resuming across them is sound.
+type MonteFingerprint struct {
+	// N is the bin count; Shards the realised shard count; Balls the
+	// per-repetition ball count m; Seed the run's base seed.
+	N      int    `json:"n"`
+	Shards int    `json:"shards"`
+	Balls  int64  `json:"balls"`
+	Seed   uint64 `json:"seed"`
+	// TotalCapacity and CapHash (FNV-1a over the capacity vector) pin
+	// the bin array: equal N can still mean different capacities.
+	TotalCapacity int64  `json:"totalCapacity"`
+	CapHash       uint64 `json:"capHash"`
+	// Collector shapes: the requested checkpoint cuts, height levels,
+	// and whether load-vector / shard aggregates were on.
+	Checkpoints       []int64 `json:"checkpoints,omitempty"`
+	HeightLevels      int     `json:"heightLevels,omitempty"`
+	CollectLoadVector bool    `json:"collectLoadVector,omitempty"`
+	ShardStats        bool    `json:"shardStats,omitempty"`
+}
+
+// equal reports whether two fingerprints describe the same experiment.
+func (f *MonteFingerprint) equal(o *MonteFingerprint) bool {
+	return f.N == o.N && f.Shards == o.Shards && f.Balls == o.Balls &&
+		f.Seed == o.Seed && f.TotalCapacity == o.TotalCapacity &&
+		f.CapHash == o.CapHash && slices.Equal(f.Checkpoints, o.Checkpoints) &&
+		f.HeightLevels == o.HeightLevels &&
+		f.CollectLoadVector == o.CollectLoadVector &&
+		f.ShardStats == o.ShardStats
+}
+
+// capHash hashes the capacity vector (FNV-1a over little-endian int64
+// encodings) so mismatched arrays are rejected on resume.
+func capHash(a *bins.Array) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for i := 0; i < a.N(); i++ {
+		binary.LittleEndian.PutUint64(buf[:], uint64(a.Capacity(i)))
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// checkpointRowState serializes one obs.CheckpointRow.
+type checkpointRowState struct {
+	Balls     int64                  `json:"balls"`
+	RealBalls stats.AccumulatorState `json:"realBalls"`
+	MaxLoad   stats.AccumulatorState `json:"maxLoad"`
+	Deviation stats.AccumulatorState `json:"deviation"`
+}
+
+// heightRowState serializes one obs.HeightRow.
+type heightRowState struct {
+	Level int64                  `json:"level"`
+	Bins  stats.AccumulatorState `json:"bins"`
+}
+
+// shardRowState serializes one obs.ShardRow.
+type shardRowState struct {
+	Shard   int                    `json:"shard"`
+	Balls   stats.AccumulatorState `json:"balls"`
+	MaxLoad stats.AccumulatorState `json:"maxLoad"`
+}
+
+// MonteCheckpoint is the complete, serializable fold state of a
+// RunLargeMonte run after repetitions [0, CompletedReps) have been
+// folded. Feed it back through LargeMonteConfig.Resume to continue the
+// run; the final aggregates are then byte-identical to an
+// uninterrupted run (see the file comment for why).
+type MonteCheckpoint struct {
+	Version       int              `json:"version"`
+	Fingerprint   MonteFingerprint `json:"fingerprint"`
+	CompletedReps int              `json:"completedReps"`
+
+	// The three result-level accumulators.
+	MaxLoad   stats.AccumulatorState `json:"maxLoad"`
+	AvgLoad   stats.AccumulatorState `json:"avgLoad"`
+	Deviation stats.AccumulatorState `json:"deviation"`
+
+	// SortedLoads state (only when CollectLoadVector): the running
+	// element-wise sums of the non-increasing load vector, plus the
+	// number of repetitions folded into them.
+	LoadSums []float64 `json:"loadSums,omitempty"`
+	LoadReps int64     `json:"loadReps,omitempty"`
+
+	// Collector rows, in their canonical orders.
+	Checkpoints []checkpointRowState `json:"checkpoints,omitempty"`
+	Heights     []heightRowState     `json:"heights,omitempty"`
+	Shards      []shardRowState      `json:"shards,omitempty"`
+}
+
+// captureMonteCheckpoint snapshots the fold state. Callers hold the
+// aggregation lock or have exclusive access (the orchestrators have
+// all returned).
+func captureMonteCheckpoint(fp MonteFingerprint, completed int, res *LargeMonteResult, ag *monteAgg) *MonteCheckpoint {
+	cp := &MonteCheckpoint{
+		Version:       monteCheckpointVersion,
+		Fingerprint:   fp,
+		CompletedReps: completed,
+		MaxLoad:       res.MaxLoad.State(),
+		AvgLoad:       res.AvgLoad.State(),
+		Deviation:     res.Deviation.State(),
+	}
+	if ag.loads != nil {
+		sum, n := ag.loads.State()
+		cp.LoadSums = slices.Clone(sum)
+		cp.LoadReps = n
+	}
+	if ag.cp != nil {
+		rows := ag.cp.Rows()
+		cp.Checkpoints = make([]checkpointRowState, len(rows))
+		for i := range rows {
+			cp.Checkpoints[i] = checkpointRowState{
+				Balls:     rows[i].Balls,
+				RealBalls: rows[i].RealBalls.State(),
+				MaxLoad:   rows[i].MaxLoad.State(),
+				Deviation: rows[i].Deviation.State(),
+			}
+		}
+	}
+	if ag.hl != nil {
+		rows := ag.hl.Rows()
+		cp.Heights = make([]heightRowState, len(rows))
+		for i := range rows {
+			cp.Heights[i] = heightRowState{Level: rows[i].Level, Bins: rows[i].Bins.State()}
+		}
+	}
+	if ag.ss != nil {
+		rows := ag.ss.Rows()
+		cp.Shards = make([]shardRowState, len(rows))
+		for i := range rows {
+			cp.Shards[i] = shardRowState{
+				Shard:   rows[i].Shard,
+				Balls:   rows[i].Balls.State(),
+				MaxLoad: rows[i].MaxLoad.State(),
+			}
+		}
+	}
+	return cp
+}
+
+// restore loads the checkpointed fold state into a freshly built
+// result and aggregator (whose collectors already have the shapes the
+// fingerprint promised). It runs before any orchestrator starts.
+func (cp *MonteCheckpoint) restore(fp MonteFingerprint, res *LargeMonteResult, ag *monteAgg) error {
+	if cp.Version != monteCheckpointVersion {
+		return fmt.Errorf("sim: resume checkpoint version %d, this build reads %d", cp.Version, monteCheckpointVersion)
+	}
+	if !cp.Fingerprint.equal(&fp) {
+		return fmt.Errorf("sim: resume checkpoint fingerprint %+v does not match this run %+v", cp.Fingerprint, fp)
+	}
+	if cp.CompletedReps < 0 {
+		return fmt.Errorf("sim: resume checkpoint has %d completed repetitions", cp.CompletedReps)
+	}
+	res.MaxLoad.Restore(cp.MaxLoad)
+	res.AvgLoad.Restore(cp.AvgLoad)
+	res.Deviation.Restore(cp.Deviation)
+	if ag.loads != nil {
+		ag.loads = obs.RestoreSortedLoads(cp.LoadSums, cp.LoadReps)
+	}
+	if ag.cp != nil {
+		rows := ag.cp.Rows()
+		if len(cp.Checkpoints) != len(rows) {
+			return fmt.Errorf("sim: resume checkpoint has %d checkpoint rows, run has %d", len(cp.Checkpoints), len(rows))
+		}
+		for i := range rows {
+			if rows[i].Balls != cp.Checkpoints[i].Balls {
+				return fmt.Errorf("sim: resume checkpoint row %d at %d balls, run expects %d", i, cp.Checkpoints[i].Balls, rows[i].Balls)
+			}
+			rows[i].RealBalls.Restore(cp.Checkpoints[i].RealBalls)
+			rows[i].MaxLoad.Restore(cp.Checkpoints[i].MaxLoad)
+			rows[i].Deviation.Restore(cp.Checkpoints[i].Deviation)
+		}
+	}
+	if ag.hl != nil {
+		rows := ag.hl.Rows()
+		if len(cp.Heights) != len(rows) {
+			return fmt.Errorf("sim: resume checkpoint has %d height rows, run has %d", len(cp.Heights), len(rows))
+		}
+		for i := range rows {
+			rows[i].Bins.Restore(cp.Heights[i].Bins)
+		}
+	}
+	if ag.ss != nil {
+		rows := ag.ss.Rows()
+		if len(cp.Shards) != len(rows) {
+			return fmt.Errorf("sim: resume checkpoint has %d shard rows, run has %d", len(cp.Shards), len(rows))
+		}
+		for i := range rows {
+			rows[i].Balls.Restore(cp.Shards[i].Balls)
+			rows[i].MaxLoad.Restore(cp.Shards[i].MaxLoad)
+		}
+	}
+	ag.next = cp.CompletedReps
+	return nil
+}
+
+// WriteFile atomically persists the checkpoint as JSON: it writes to a
+// temporary file in the destination directory and renames it into
+// place, so a crash mid-write never leaves a truncated checkpoint.
+func (cp *MonteCheckpoint) WriteFile(path string) error {
+	data, err := json.MarshalIndent(cp, "", " ")
+	if err != nil {
+		return fmt.Errorf("sim: encoding resume checkpoint: %w", err)
+	}
+	data = append(data, '\n')
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("sim: writing resume checkpoint: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("sim: writing resume checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("sim: writing resume checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("sim: writing resume checkpoint: %w", err)
+	}
+	return nil
+}
+
+// ReadMonteCheckpoint loads a checkpoint previously written with
+// WriteFile. Fingerprint verification happens at resume time, when the
+// run's own fingerprint is known.
+func ReadMonteCheckpoint(path string) (*MonteCheckpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("sim: reading resume checkpoint: %w", err)
+	}
+	cp := new(MonteCheckpoint)
+	if err := json.Unmarshal(data, cp); err != nil {
+		return nil, fmt.Errorf("sim: decoding resume checkpoint %s: %w", path, err)
+	}
+	return cp, nil
+}

@@ -1,0 +1,215 @@
+package sim
+
+import (
+	"errors"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// monteResumeConfig is the shared configuration of the resume tests:
+// every collector switched on, so the checkpoint must round-trip the
+// whole observation pipeline, not just the three scalar accumulators.
+func monteResumeConfig(t *testing.T, shards, workers int) LargeMonteConfig {
+	t.Helper()
+	return LargeMonteConfig{
+		LargeConfig: LargeConfig{
+			Array: largeArray(t, 600), Seed: 20260727, Shards: shards, Workers: workers,
+			Checkpoints:  []int64{500, 1500, 3000},
+			HeightLevels: 3,
+		},
+		Reps:              9,
+		CollectLoadVector: true,
+		ShardStats:        true,
+	}
+}
+
+// TestMonteResumeByteIdentical is the tentpole determinism contract:
+// a run cancelled at repetition k and resumed from its checkpoint must
+// produce final aggregates bit-identical to an uninterrupted run —
+// across shard counts, worker counts, and cancellation points.
+func TestMonteResumeByteIdentical(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		for _, workers := range []int{1, 3} {
+			for _, k := range []int{1, 4, 8} {
+				cfg := monteResumeConfig(t, shards, workers)
+				full, err := RunLargeMonte(cfg)
+				if err != nil {
+					t.Fatalf("shards=%d workers=%d: uninterrupted run: %v", shards, workers, err)
+				}
+				interrupted := cfg
+				interrupted.CancelAfterReps = k
+				partial, err := RunLargeMonte(interrupted)
+				var cerr *CancelledError
+				if !errors.As(err, &cerr) || cerr.Checkpoint == nil {
+					t.Fatalf("shards=%d workers=%d k=%d: err = %v, want checkpoint-carrying *CancelledError", shards, workers, k, err)
+				}
+				if partial.Reps != k || cerr.Checkpoint.CompletedReps != k {
+					t.Fatalf("shards=%d workers=%d k=%d: partial covers %d reps, checkpoint %d",
+						shards, workers, k, partial.Reps, cerr.Checkpoint.CompletedReps)
+				}
+				resumedCfg := cfg
+				resumedCfg.Resume = cerr.Checkpoint
+				resumed, err := RunLargeMonte(resumedCfg)
+				if err != nil {
+					t.Fatalf("shards=%d workers=%d k=%d: resumed run: %v", shards, workers, k, err)
+				}
+				if !reflect.DeepEqual(resumed, full) {
+					t.Fatalf("shards=%d workers=%d k=%d: resumed aggregates differ from uninterrupted:\n got  %+v\n want %+v",
+						shards, workers, k, resumed, full)
+				}
+			}
+		}
+	}
+}
+
+// TestMonteResumeAcrossTopologies: a checkpoint written under one
+// worker topology resumes under another — Workers schedules work, it is
+// never part of the model, and the resume state must not leak it.
+func TestMonteResumeAcrossTopologies(t *testing.T) {
+	cfg := monteResumeConfig(t, 4, 3)
+	full, err := RunLargeMonte(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	interrupted := cfg
+	interrupted.CancelAfterReps = 5
+	_, err = RunLargeMonte(interrupted)
+	var cerr *CancelledError
+	if !errors.As(err, &cerr) {
+		t.Fatalf("err = %v", err)
+	}
+	resumedCfg := cfg
+	resumedCfg.Workers = 1
+	resumedCfg.Resume = cerr.Checkpoint
+	resumed, err := RunLargeMonte(resumedCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resumed, full) {
+		t.Fatal("resuming under a different worker count changed the aggregates")
+	}
+}
+
+// TestMonteResumeFileRoundTrip: the checkpoint survives its JSON file
+// round trip exactly — WriteFile then ReadMonteCheckpoint feeds Resume
+// and still reproduces the uninterrupted run bit for bit.
+func TestMonteResumeFileRoundTrip(t *testing.T) {
+	cfg := monteResumeConfig(t, 4, 2)
+	full, err := RunLargeMonte(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	interrupted := cfg
+	interrupted.CancelAfterReps = 3
+	_, err = RunLargeMonte(interrupted)
+	var cerr *CancelledError
+	if !errors.As(err, &cerr) {
+		t.Fatalf("err = %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "resume.json")
+	if err := cerr.Checkpoint.WriteFile(path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	loaded, err := ReadMonteCheckpoint(path)
+	if err != nil {
+		t.Fatalf("ReadMonteCheckpoint: %v", err)
+	}
+	if !reflect.DeepEqual(loaded, cerr.Checkpoint) {
+		t.Fatalf("checkpoint changed across the file round trip:\n got  %+v\n want %+v", loaded, cerr.Checkpoint)
+	}
+	resumedCfg := cfg
+	resumedCfg.Resume = loaded
+	resumed, err := RunLargeMonte(resumedCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resumed, full) {
+		t.Fatal("file-loaded resume differs from uninterrupted run")
+	}
+}
+
+// TestMonteResumeChained: cancelling and resuming twice (k=2, then
+// k=5, then to completion) still lands on the uninterrupted result —
+// resume composes.
+func TestMonteResumeChained(t *testing.T) {
+	cfg := monteResumeConfig(t, 4, 2)
+	full, err := RunLargeMonte(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step1 := cfg
+	step1.CancelAfterReps = 2
+	_, err = RunLargeMonte(step1)
+	var cerr *CancelledError
+	if !errors.As(err, &cerr) {
+		t.Fatalf("step 1: %v", err)
+	}
+	step2 := cfg
+	step2.Resume = cerr.Checkpoint
+	step2.CancelAfterReps = 5
+	_, err = RunLargeMonte(step2)
+	if !errors.As(err, &cerr) {
+		t.Fatalf("step 2: %v", err)
+	}
+	if cerr.CompletedReps != 5 {
+		t.Fatalf("step 2 stopped at %d reps, want 5", cerr.CompletedReps)
+	}
+	final := cfg
+	final.Resume = cerr.Checkpoint
+	resumed, err := RunLargeMonte(final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resumed, full) {
+		t.Fatal("twice-resumed aggregates differ from uninterrupted run")
+	}
+}
+
+// TestMonteResumeRejectsMismatch: a checkpoint only resumes the run it
+// came from — any model-relevant difference (seed, shards, capacities,
+// observation set, repetition budget) is rejected with a named reason
+// instead of silently folding incompatible state.
+func TestMonteResumeRejectsMismatch(t *testing.T) {
+	cfg := monteResumeConfig(t, 4, 2)
+	interrupted := cfg
+	interrupted.CancelAfterReps = 3
+	_, err := RunLargeMonte(interrupted)
+	var cerr *CancelledError
+	if !errors.As(err, &cerr) {
+		t.Fatalf("err = %v", err)
+	}
+	cp := cerr.Checkpoint
+
+	mutate := []struct {
+		name string
+		mod  func(c *LargeMonteConfig)
+	}{
+		{"seed", func(c *LargeMonteConfig) { c.Seed = 999 }},
+		{"shards", func(c *LargeMonteConfig) { c.Shards = 8 }},
+		{"checkpoints", func(c *LargeMonteConfig) { c.Checkpoints = []int64{500, 1500} }},
+		{"heights", func(c *LargeMonteConfig) { c.HeightLevels = 2 }},
+		{"load vector", func(c *LargeMonteConfig) { c.CollectLoadVector = false }},
+		{"shard stats", func(c *LargeMonteConfig) { c.ShardStats = false }},
+		{"capacities", func(c *LargeMonteConfig) { c.Array = largeArray(t, 601) }},
+		{"reps budget", func(c *LargeMonteConfig) { c.Reps = 2 }},
+	}
+	for _, tc := range mutate {
+		bad := cfg
+		tc.mod(&bad)
+		bad.Resume = cp
+		if _, err := RunLargeMonte(bad); err == nil {
+			t.Errorf("%s mismatch accepted", tc.name)
+		}
+	}
+
+	// A tampered version number is rejected too.
+	stale := *cp
+	stale.Version = 99
+	bad := cfg
+	bad.Resume = &stale
+	if _, err := RunLargeMonte(bad); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("stale version accepted (err = %v)", err)
+	}
+}

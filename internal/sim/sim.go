@@ -12,6 +12,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"slices"
@@ -19,6 +20,7 @@ import (
 
 	"repro/internal/bins"
 	"repro/internal/dist"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/protocol"
 	"repro/internal/stats"
@@ -58,6 +60,13 @@ type Config struct {
 	Seed uint64
 	// Workers caps parallelism; 0 means GOMAXPROCS.
 	Workers int
+	// Context, when non-nil, arms cooperative cancellation: workers
+	// poll it between repetitions and, once it fires, Run returns a
+	// *CancelledError together with a deterministic partial result
+	// covering a contiguous repetition prefix — bit-identical to a run
+	// configured with that many Reps. Nil behaves like
+	// context.Background().
+	Context context.Context
 
 	// CollectLoadVector requests the element-wise mean of the sorted
 	// (non-increasing) load vector across repetitions — the "load
@@ -141,6 +150,11 @@ type chunkPartial struct {
 	hl                                           *obs.Heights
 	heights                                      *stats.Histogram
 	err                                          error
+	// reps counts the repetitions completed and folded into this
+	// partial — the chunk runs its repetitions in order, so a chunk
+	// abandoned by cancellation holds exactly its leading reps, which
+	// is what makes the cancelled partial a contiguous prefix.
+	reps int
 }
 
 func (c *Config) validate() error {
@@ -151,16 +165,38 @@ func (c *Config) validate() error {
 		return fmt.Errorf("sim: Reps = %d, need >= 1", c.Reps)
 	}
 	if c.Balls < 0 {
-		return fmt.Errorf("sim: Balls = %d", c.Balls)
+		return fmt.Errorf("sim: Balls = %d, need >= 0", c.Balls)
 	}
 	if c.BallsFactor < 0 {
-		return fmt.Errorf("sim: BallsFactor = %v", c.BallsFactor)
+		return fmt.Errorf("sim: BallsFactor = %v, need >= 0", c.BallsFactor)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("sim: Workers = %d, need >= 0", c.Workers)
 	}
 	if len(c.ClassLoadVectors) > 0 && c.ArrayFn != nil {
 		return fmt.Errorf("sim: ClassLoadVectors requires a fixed Array")
 	}
+	for i, class := range c.ClassLoadVectors {
+		if class < 1 {
+			return fmt.Errorf("sim: ClassLoadVectors[%d] = %d, capacity classes are >= 1", i, class)
+		}
+	}
+	for i, class := range c.TrackClasses {
+		if class < 1 {
+			return fmt.Errorf("sim: TrackClasses[%d] = %d, capacity classes are >= 1", i, class)
+		}
+	}
 	if c.HeightLevels < 0 {
-		return fmt.Errorf("sim: HeightLevels = %d", c.HeightLevels)
+		return fmt.Errorf("sim: HeightLevels = %d, need >= 0", c.HeightLevels)
+	}
+	if c.HeightBins < 0 {
+		return fmt.Errorf("sim: HeightBins = %d, need >= 0", c.HeightBins)
+	}
+	if c.HeightMax < 0 {
+		return fmt.Errorf("sim: HeightMax = %v, need >= 0 (0 defaults to 8)", c.HeightMax)
+	}
+	if c.HeightBins == 0 && c.HeightMax > 0 {
+		return fmt.Errorf("sim: HeightMax = %v without HeightBins: the height histogram needs a positive HeightBins", c.HeightMax)
 	}
 	if _, err := obs.NormalizeCuts(c.Checkpoints); err != nil {
 		return fmt.Errorf("sim: %w", err)
@@ -197,10 +233,18 @@ func (c *Config) ballCount(totalCapacity int64) int64 {
 }
 
 // Run executes the configured experiment.
+//
+// When cfg.Context fires mid-run, Run returns a partial *Result
+// together with a *CancelledError: the partial covers a contiguous
+// repetition prefix and is bit-identical to a run configured with that
+// many Reps. A panic in repetition or setup code surfaces as a
+// *PanicError, never as a crash or a hang.
 func Run(cfg Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	cc := newCanceller(cfg.Context)
+	defer cc.stop()
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -222,16 +266,26 @@ func Run(cfg Config) (*Result, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			worker(&cfg, checkpoints, chunkCh, partials)
+			worker(&cfg, cc, checkpoints, chunkCh, partials)
 		}()
 	}
+	// Workers never exit before the close — a cancelled or panicked
+	// worker keeps draining chunk indices (skipping the work) — so
+	// these sends can never block forever.
 	for ci := 0; ci < nChunks; ci++ {
 		chunkCh <- ci
 	}
 	close(chunkCh)
 	wg.Wait()
 
-	return reduce(&cfg, checkpoints, partials)
+	res, completed, err := reduce(&cfg, checkpoints, partials)
+	if err != nil {
+		return nil, err
+	}
+	if completed < cfg.Reps {
+		return res, &CancelledError{Engine: engRun, CompletedReps: completed, CompletedCuts: -1, Cause: cc.err()}
+	}
+	return res, nil
 }
 
 // workerScratch holds per-worker reusable buffers so the repetition loop
@@ -247,20 +301,12 @@ type workerScratch struct {
 // worker processes chunks of repetitions. Each worker keeps its own clone
 // of a fixed array, a placer (and its alias tables) built once and reused
 // across repetitions via Reset, and scratch buffers — workers never share
-// mutable state.
-func worker(cfg *Config, checkpoints []int64, chunkCh <-chan int, partials []chunkPartial) {
-	var fixedArr *bins.Array
-	var fixedPlacer protocol.Placer
-	var setupErr error
-	if cfg.ArrayFn == nil {
-		fixedArr = cfg.Array.Clone()
-		fixedArr.Reset()
-		weights, err := cfg.distribution().Weights(fixedArr)
-		if err == nil {
-			fixedPlacer, err = cfg.factory()(fixedArr, weights)
-		}
-		setupErr = err
-	}
+// mutable state. A worker NEVER stops draining chunkCh — setup errors,
+// repetition errors, contained panics and cancellation all just skip the
+// remaining work — because the sender in Run blocks until every chunk
+// index is consumed.
+func worker(cfg *Config, cc *canceller, checkpoints []int64, chunkCh <-chan int, partials []chunkPartial) {
+	fixedArr, fixedPlacer, setupErr := workerSetup(cfg)
 	var scratch workerScratch
 	for ci := range chunkCh {
 		p := &partials[ci]
@@ -274,12 +320,56 @@ func worker(cfg *Config, checkpoints []int64, chunkCh <-chan int, partials []chu
 			hi = cfg.Reps
 		}
 		for rep := lo; rep < hi; rep++ {
-			if err := runRep(cfg, checkpoints, uint64(rep), fixedArr, fixedPlacer, &scratch, p); err != nil {
+			// Repetition granularity is the classic engine's
+			// cancellation check: one repetition bounds the latency.
+			if cc.cancelled() {
+				break
+			}
+			if err := runRepGuarded(cfg, checkpoints, uint64(rep), ci, fixedArr, fixedPlacer, &scratch, p); err != nil {
 				p.err = err
 				break
 			}
+			p.reps++
 		}
 	}
+}
+
+// workerSetup builds a worker's fixed array and placer, containing
+// panics in distribution or protocol constructors into provenance
+// errors so a failing build can never crash the process or strand the
+// chunk sender.
+func workerSetup(cfg *Config) (fixedArr *bins.Array, fixedPlacer protocol.Placer, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			fixedArr, fixedPlacer = nil, nil
+			err = newPanicError(engRun, "setup", -1, -1, r)
+		}
+	}()
+	if cfg.ArrayFn != nil {
+		return nil, nil, nil
+	}
+	fixedArr = cfg.Array.Clone()
+	fixedArr.Reset()
+	weights, err := cfg.distribution().Weights(fixedArr)
+	if err == nil {
+		fixedPlacer, err = cfg.factory()(fixedArr, weights)
+	}
+	return fixedArr, fixedPlacer, err
+}
+
+// runRepGuarded wraps one repetition in the fault-injection hook and a
+// recover that converts panics (in ArrayFn, distribution, protocol or
+// collector code) into provenance errors.
+func runRepGuarded(cfg *Config, checkpoints []int64, rep uint64, chunk int, fixedArr *bins.Array, fixedPlacer protocol.Placer, scratch *workerScratch, p *chunkPartial) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = newPanicError(engRun, "chunk", int(rep), chunk, r)
+		}
+	}()
+	if fault.Enabled {
+		fault.Hit(fault.Site{Engine: engRun, Op: fault.OpChunk, Rep: int(rep), Shard: -1, Block: -1})
+	}
+	return runRep(cfg, checkpoints, rep, fixedArr, fixedPlacer, scratch, p)
 }
 
 // runRep executes one repetition and folds its metrics into the partial.
@@ -426,7 +516,20 @@ func runRep(cfg *Config, checkpoints []int64, rep uint64, fixedArr *bins.Array, 
 }
 
 // reduce merges chunk partials in deterministic (chunk index) order.
-func reduce(cfg *Config, checkpoints []int64, partials []chunkPartial) (*Result, error) {
+// It merges the longest contiguous prefix of complete chunks plus the
+// leading repetitions of the first incomplete chunk, and reports how
+// many repetitions that prefix covers: an uncancelled run always
+// yields completed == cfg.Reps, a cancelled one the deterministic
+// prefix the partial result covers (chunks a worker claimed after
+// cancellation hold zero repetitions and end the prefix). Any chunk
+// error — including errors in chunks beyond the prefix — fails the
+// whole run: a panic is never masked by a concurrent cancellation.
+func reduce(cfg *Config, checkpoints []int64, partials []chunkPartial) (*Result, int, error) {
+	for ci := range partials {
+		if partials[ci].err != nil {
+			return nil, 0, partials[ci].err
+		}
+	}
 	res := &Result{}
 	var cp *obs.Checkpoints
 	if len(checkpoints) > 0 {
@@ -436,12 +539,17 @@ func reduce(cfg *Config, checkpoints []int64, partials []chunkPartial) (*Result,
 	if cfg.HeightLevels > 0 {
 		hl = obs.NewHeights(cfg.HeightLevels)
 	}
+	completed := 0
 	loads := obs.NewSortedLoads()
 	for ci := range partials {
 		p := &partials[ci]
-		if p.err != nil {
-			return nil, p.err
+		lo := ci * chunkSize
+		hi := lo + chunkSize
+		if hi > cfg.Reps {
+			hi = cfg.Reps
 		}
+		completed += p.reps
+		incomplete := p.reps < hi-lo
 		res.Balls.Merge(&p.balls)
 		res.TotalCapacity.Merge(&p.totalCap)
 		res.MaxLoad.Merge(&p.maxLoad)
@@ -449,17 +557,17 @@ func reduce(cfg *Config, checkpoints []int64, partials []chunkPartial) (*Result,
 		res.Deviation.Merge(&p.deviation)
 		if p.loads != nil {
 			if err := loads.Merge(p.loads); err != nil {
-				return nil, fmt.Errorf("sim: inconsistent bin counts across repetitions: %w", err)
+				return nil, 0, fmt.Errorf("sim: inconsistent bin counts across repetitions: %w", err)
 			}
 		}
 		if p.cp != nil {
 			if err := cp.Merge(p.cp); err != nil {
-				return nil, fmt.Errorf("sim: %w", err)
+				return nil, 0, fmt.Errorf("sim: %w", err)
 			}
 		}
 		if p.hl != nil {
 			if err := hl.Merge(p.hl); err != nil {
-				return nil, fmt.Errorf("sim: %w", err)
+				return nil, 0, fmt.Errorf("sim: %w", err)
 			}
 		}
 		if p.classMaxCount != nil {
@@ -489,13 +597,18 @@ func reduce(cfg *Config, checkpoints []int64, partials []chunkPartial) (*Result,
 			if res.Heights == nil {
 				h, err := stats.NewHistogram(p.heights.Lo, p.heights.Hi, len(p.heights.Counts))
 				if err != nil {
-					return nil, err
+					return nil, 0, err
 				}
 				res.Heights = h
 			}
 			if err := res.Heights.Merge(p.heights); err != nil {
-				return nil, err
+				return nil, 0, err
 			}
+		}
+		if incomplete {
+			// The first incomplete chunk ends the prefix: later chunks
+			// may have run out of order and would punch holes in it.
+			break
 		}
 	}
 	res.MeanSortedLoads = loads.Mean()
@@ -505,26 +618,29 @@ func reduce(cfg *Config, checkpoints []int64, partials []chunkPartial) (*Result,
 	if hl != nil {
 		res.HeightCounts = hl.Rows()
 	}
-	if res.ClassMaxFraction != nil {
+	// Fractions normalise by the repetitions actually folded, so a
+	// cancelled partial reports the same fractions a Reps = completed
+	// run would.
+	if res.ClassMaxFraction != nil && completed > 0 {
 		for class := range res.ClassMaxFraction {
-			res.ClassMaxFraction[class] /= float64(cfg.Reps)
+			res.ClassMaxFraction[class] /= float64(completed)
 		}
 	}
-	if res.ClassMeanSortedLoads != nil {
+	if res.ClassMeanSortedLoads != nil && completed > 0 {
 		for _, sum := range res.ClassMeanSortedLoads {
 			for i := range sum {
-				sum[i] /= float64(cfg.Reps)
+				sum[i] /= float64(completed)
 			}
 		}
 	}
 	if res.Balls.N() > 0 {
 		n, err := nBins(cfg)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		res.N = n
 	}
-	return res, nil
+	return res, completed, nil
 }
 
 func nBins(cfg *Config) (int, error) {

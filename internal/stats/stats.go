@@ -122,6 +122,31 @@ func (a *Accumulator) StdErr() float64 {
 // interval for the mean.
 func (a *Accumulator) CI95() float64 { return 1.96 * a.StdErr() }
 
+// AccumulatorState is the exported, serializable snapshot of an
+// Accumulator — the checkpoint/resume subsystem persists fold state
+// through it. All fields are finite for any sequence of finite Add
+// inputs, so JSON (which round-trips float64 exactly but rejects
+// NaN/Inf) is a safe carrier.
+type AccumulatorState struct {
+	N    int64   `json:"n"`
+	Mean float64 `json:"mean"`
+	M2   float64 `json:"m2"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+// State snapshots the accumulator.
+func (a *Accumulator) State() AccumulatorState {
+	return AccumulatorState{N: a.n, Mean: a.mean, M2: a.m2, Min: a.min, Max: a.max}
+}
+
+// Restore overwrites the accumulator with a snapshot. A restored
+// accumulator continues bit-identically: State→Restore→Add(x…) equals
+// Add(x…) on the original.
+func (a *Accumulator) Restore(st AccumulatorState) {
+	a.n, a.mean, a.m2, a.min, a.max = st.N, st.Mean, st.M2, st.Min, st.Max
+}
+
 // Summary is a one-shot description of a sample.
 type Summary struct {
 	N               int64

@@ -1,6 +1,8 @@
 package balls
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/bins"
@@ -45,6 +47,11 @@ type LargeConfig struct {
 	// Heights requests, for k = 1..Heights, the number of bins whose
 	// final load is at least k.
 	Heights int
+	// Context, when non-nil, arms cooperative cancellation: the run
+	// stops at the next routing-block or placement-block boundary and
+	// returns a partial result alongside a *CancelledError. Nil runs
+	// to completion.
+	Context context.Context
 }
 
 // LargeLoads exposes the final state of a sharded run.
@@ -72,7 +79,10 @@ type LargeResult struct {
 	// Heights holds bins-at-load>=k counts of the final state (only
 	// when requested).
 	Heights []HeightResult
-	// Loads gives read access to the final per-bin state.
+	// Loads gives read access to the final per-bin state. On a
+	// cancelled run whose placement phase never completed, no final
+	// state exists and Loads is the zero value (its methods must not
+	// be called).
 	Loads LargeLoads
 }
 
@@ -100,6 +110,12 @@ func (l LargeLoads) N() int { return l.arr.N() }
 // bit-identical for any Workers value — only (Capacities, Balls, Seed,
 // Shards, Distribution, Protocol) determine it; routing blocks are
 // part of the model, like Shards.
+//
+// When cfg.Context fires mid-run, SimulateLarge returns a partial
+// result alongside a *CancelledError: the leading
+// CancelledError.CompletedCuts checkpoint rows, each bit-identical to
+// the corresponding row of an uninterrupted run. Final-state fields
+// (MaxLoad, Loads, …) are unset on a cancelled partial.
 func SimulateLarge(cfg LargeConfig) (*LargeResult, error) {
 	if len(cfg.Capacities) == 0 {
 		return nil, fmt.Errorf("balls: SimulateLarge needs capacities")
@@ -127,9 +143,16 @@ func SimulateLarge(cfg LargeConfig) (*LargeResult, error) {
 		// skipping the clone avoids a second transient O(n) array at
 		// n = 10^7.
 		AdoptArray: true,
+		Context:    cfg.Context,
 	})
 	if err != nil {
-		return nil, err
+		// Declared inside the branch: errors.As takes the address, and
+		// a function-scope declaration would heap-allocate on the
+		// happy path too.
+		var cancelled *CancelledError
+		if !errors.As(err, &cancelled) || res == nil {
+			return nil, err
+		}
 	}
 	return &LargeResult{
 		N:           res.N,
@@ -142,7 +165,7 @@ func SimulateLarge(cfg LargeConfig) (*LargeResult, error) {
 		Checkpoints: checkpointResults(res.Checkpoints),
 		Heights:     heightResults(res.HeightCounts),
 		Loads:       LargeLoads{arr: res.Array},
-	}, nil
+	}, err
 }
 
 // MonteLargeConfig describes a Monte-Carlo aggregate over sharded
@@ -152,6 +175,18 @@ type MonteLargeConfig struct {
 	LargeConfig
 	// Reps is the number of independent repetitions (default 100).
 	Reps int
+	// Resume continues a previously cancelled run from the ResumeState
+	// its CancelledError carried (or ReadResumeState loaded). The rest
+	// of the config must describe the same model — Capacities, Balls,
+	// Seed, Shards, Checkpoints, Heights, SortedLoads, ShardStats —
+	// or MonteCarloLarge rejects the checkpoint. A resumed run's final
+	// aggregates are byte-identical to an uninterrupted one.
+	Resume *ResumeState
+	// CancelAfterReps, when positive, deterministically stops the run
+	// after exactly that many repetitions — a timing-free stand-in for
+	// an external cancellation (the returned CancelledError has a nil
+	// Cause). Zero disables it.
+	CancelAfterReps int
 	// SortedLoads requests the element-wise mean of the non-increasing
 	// sorted load vector across repetitions (one O(n) sort per
 	// repetition; the per-repetition vectors are never retained).
@@ -214,6 +249,12 @@ type MonteLargeResult struct {
 // offsets the stream layout by rep·(Shards+1). The aggregate is
 // bit-identical for any Workers value; Shards remains part of the
 // model, exactly as in SimulateLarge.
+//
+// When cfg.Context fires (or CancelAfterReps triggers),
+// MonteCarloLarge returns the aggregates over the completed-repetition
+// prefix alongside a *CancelledError whose Checkpoint resumes the run
+// (see MonteLargeConfig.Resume): interrupted-then-resumed aggregates
+// are byte-identical to an uninterrupted run's.
 func MonteCarloLarge(cfg MonteLargeConfig) (*MonteLargeResult, error) {
 	if len(cfg.Capacities) == 0 {
 		return nil, fmt.Errorf("balls: MonteCarloLarge needs capacities")
@@ -245,13 +286,21 @@ func MonteCarloLarge(cfg MonteLargeConfig) (*MonteLargeResult, error) {
 			// arr is private to this call; adopting it as the master
 			// saves one transient O(n) array at n = 10^7.
 			AdoptArray: true,
+			Context:    cfg.Context,
 		},
 		Reps:              reps,
 		CollectLoadVector: cfg.SortedLoads,
 		ShardStats:        cfg.ShardStats,
+		Resume:            cfg.Resume,
+		CancelAfterReps:   cfg.CancelAfterReps,
 	})
 	if err != nil {
-		return nil, err
+		// Same heap-allocation dodge as SimulateLarge: errors.As takes
+		// the address, so the declaration stays inside the error branch.
+		var cancelled *CancelledError
+		if !errors.As(err, &cancelled) || res == nil {
+			return nil, err
+		}
 	}
 	return &MonteLargeResult{
 		N:               res.N,
@@ -268,5 +317,5 @@ func MonteCarloLarge(cfg MonteLargeConfig) (*MonteLargeResult, error) {
 		Checkpoints:     checkpointResults(res.Checkpoints),
 		Heights:         heightResults(res.HeightCounts),
 		ShardStats:      shardStatResults(res.ShardStats),
-	}, nil
+	}, err
 }

@@ -87,4 +87,29 @@ if ! diff -u "$TMP/plain.txt" "$TMP/obs_stripped.txt"; then
 fi
 echo "ok    checkpoints never move a draw (sharded single run)"
 
+# Deterministic resume: a sharded Monte-Carlo run interrupted after k
+# repetitions (-cancel-after-reps, the timing-free stand-in for SIGINT)
+# that persisted its state via -resume, then re-run with the same
+# flags, must print a summary byte-identical to the uninterrupted run —
+# resume notices go to stderr, so stdout stays comparable. Checked at
+# two cancellation points and under different worker counts on each
+# side of the interruption (resume state must not leak the topology).
+MONTE="-spec $SPEC -seed $SEED -large -shards 4 -reps 12 -checkpoints $CPS -heights 4"
+run "$TMP/unint.txt" $MONTE -workers 4
+for k in 1 7; do
+	rm -f "$TMP/resume.json"
+	"$BNBSIM" $MONTE -workers 4 -resume "$TMP/resume.json" -cancel-after-reps "$k" > /dev/null 2> "$TMP/cancel.err"
+	if [ ! -f "$TMP/resume.json" ]; then
+		echo "RESUME VIOLATION: -cancel-after-reps $k wrote no resume state" >&2
+		cat "$TMP/cancel.err" >&2
+		exit 1
+	fi
+	run "$TMP/resumed.txt" $MONTE -workers 2 -resume "$TMP/resume.json"
+	if ! diff -u "$TMP/unint.txt" "$TMP/resumed.txt"; then
+		echo "RESUME VIOLATION: interrupted-at-$k-then-resumed output differs from uninterrupted run" >&2
+		exit 1
+	fi
+	echo "ok    sharded Monte-Carlo resumed after $k reps == uninterrupted"
+done
+
 echo "all bnbsim outputs byte-identical across worker counts"

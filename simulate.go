@@ -1,7 +1,10 @@
 package balls
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"math"
 
 	"repro/internal/bins"
 	"repro/internal/obs"
@@ -40,6 +43,11 @@ type SimConfig struct {
 	// Heights requests, for k = 1..Heights, the number of bins whose
 	// final load is at least k — the concentration-bound observable.
 	Heights int
+	// Context, when non-nil, arms cooperative cancellation: when it
+	// fires, Simulate stops at the next repetition boundary and returns
+	// a partial result (the aggregates over the completed-repetition
+	// prefix) alongside a *CancelledError. Nil runs to completion.
+	Context context.Context
 }
 
 // CheckpointResult is one aggregated checkpoint. It is shared by all
@@ -177,6 +185,12 @@ type SimResult struct {
 // Simulate runs cfg.Reps independent games and aggregates them. Results
 // are deterministic in (Capacities, Balls, Seed, Distribution, Protocol)
 // regardless of Workers.
+//
+// When cfg.Context fires mid-run, Simulate returns a partial result
+// covering the completed-repetition prefix together with a
+// *CancelledError (errors.Is(err, ErrCancelled)); the partial's
+// aggregates are bit-identical to a run configured with that smaller
+// Reps. Mean fields are NaN when no repetition completed.
 func Simulate(cfg SimConfig) (*SimResult, error) {
 	if len(cfg.Capacities) == 0 {
 		return nil, fmt.Errorf("balls: Simulate needs capacities")
@@ -205,13 +219,25 @@ func Simulate(cfg SimConfig) (*SimResult, error) {
 		CollectLoadVector: cfg.SortedLoads,
 		Checkpoints:       cfg.Checkpoints,
 		HeightLevels:      cfg.Heights,
+		Context:           cfg.Context,
 	})
 	if err != nil {
-		return nil, err
+		// errors.As takes cancelled's address, which would heap-allocate
+		// it on every call — declared inside the error branch so the
+		// happy path stays allocation-free.
+		var cancelled *CancelledError
+		if !errors.As(err, &cancelled) || res == nil {
+			return nil, err
+		}
+		reps = cancelled.CompletedReps
+	}
+	balls := res.Balls.Mean()
+	if math.IsNaN(balls) {
+		balls = 0 // cancelled before any repetition completed
 	}
 	return &SimResult{
 		Reps:            reps,
-		Balls:           int64(res.Balls.Mean()),
+		Balls:           int64(balls),
 		MeanMaxLoad:     res.MaxLoad.Mean(),
 		MaxLoadCI95:     res.MaxLoad.CI95(),
 		WorstMaxLoad:    res.MaxLoad.Max(),
@@ -221,5 +247,5 @@ func Simulate(cfg SimConfig) (*SimResult, error) {
 		Checkpoints:     checkpointResults(res.Checkpoints),
 		Heights:         heightResults(res.HeightCounts),
 		TheoryBound:     theory.TwoChoiceBound(arr.N(), 2),
-	}, nil
+	}, err
 }
