@@ -6,6 +6,7 @@
 //	bnbfig -list                     # show available experiments
 //	bnbfig -fig fig06                # run one figure at default size
 //	bnbfig -fig fig01 -scale 0.1     # quick run at 10% problem size
+//	bnbfig -fig fig01 -scale 100 -engine sharded   # 100× the paper's n
 //	bnbfig -all -out results/        # regenerate everything into TSVs
 package main
 
@@ -19,6 +20,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/gnuplot"
+	"repro/internal/sim"
 	"repro/internal/table"
 )
 
@@ -36,8 +38,10 @@ func run(args []string) error {
 	list := fs.Bool("list", false, "list available experiments")
 	reps := fs.Int("reps", 0, "override repetitions per data point (0 = experiment default)")
 	seed := fs.Uint64("seed", 1, "base RNG seed")
-	scale := fs.Float64("scale", 1, "problem-size scale in (0,1]")
+	scale := fs.Float64("scale", 1, "problem-size scale: <1 shrinks for quick runs, >1 grows past the paper's n (pair with -engine sharded or closed-form)")
 	workers := fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	engine := fs.String("engine", "auto", "simulation engine: auto, classic, sharded or closed-form")
+	shards := fs.Int("shards", 0, "sharded engine's shard count (0 = default; part of the model, like the seed)")
 	out := fs.String("out", "", "directory for TSV output (default: pretty-print to stdout)")
 	plot := fs.Bool("gnuplot", false, "also write a .gp plotting script per table (needs -out)")
 	if err := fs.Parse(args); err != nil {
@@ -45,6 +49,13 @@ func run(args []string) error {
 	}
 	if *plot && *out == "" {
 		return fmt.Errorf("-gnuplot requires -out")
+	}
+	if *scale < 0 {
+		return fmt.Errorf("-scale %v: need a positive factor (0 = paper size)", *scale)
+	}
+	eng, err := sim.ParseEngine(*engine)
+	if err != nil {
+		return err
 	}
 
 	if *list {
@@ -63,6 +74,8 @@ func run(args []string) error {
 		Seed:    *seed,
 		Workers: *workers,
 		Scale:   *scale,
+		Engine:  eng,
+		Shards:  *shards,
 	}
 
 	var toRun []experiments.Experiment

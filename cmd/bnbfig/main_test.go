@@ -49,6 +49,44 @@ func TestRunSingleFigureToDir(t *testing.T) {
 	}
 }
 
+func TestRunEngineFlag(t *testing.T) {
+	if err := run([]string{"-fig", "fig10", "-engine", "warp"}); err == nil {
+		t.Error("unknown engine accepted")
+	}
+	if err := run([]string{"-fig", "fig10", "-scale", "-2"}); err == nil {
+		t.Error("negative scale accepted")
+	}
+	// The same figure must run through the classic and sharded engines
+	// and produce tables of identical shape.
+	dirs := map[string]string{}
+	for _, engine := range []string{"classic", "sharded"} {
+		dir := t.TempDir()
+		err := run([]string{"-fig", "fig01", "-reps", "3", "-scale", "0.02",
+			"-engine", engine, "-shards", "8", "-out", dir})
+		if err != nil {
+			t.Fatalf("-engine %s: %v", engine, err)
+		}
+		dirs[engine] = dir
+	}
+	classic, err := os.ReadDir(dirs["classic"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range classic {
+		a, err := os.ReadFile(filepath.Join(dirs["classic"], e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(dirs["sharded"], e.Name()))
+		if err != nil {
+			t.Fatalf("sharded run missing %s: %v", e.Name(), err)
+		}
+		if la, lb := len(strings.Split(string(a), "\n")), len(strings.Split(string(b), "\n")); la != lb {
+			t.Errorf("%s: %d lines classic vs %d sharded", e.Name(), la, lb)
+		}
+	}
+}
+
 func TestEmitMultipleTables(t *testing.T) {
 	dir := t.TempDir()
 	t1 := table.New("one", "a")

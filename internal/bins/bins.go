@@ -114,6 +114,17 @@ func (a *Array) Add(i int) {
 	a.m++
 }
 
+// AddBalls places k balls into bin i at once — the bulk entry point of
+// the closed-form multinomial engine, which materialises whole count
+// vectors instead of placing balls one by one. It panics on k < 0.
+func (a *Array) AddBalls(i int, k int64) {
+	if k < 0 {
+		panic(fmt.Sprintf("bins: AddBalls(%d, %d) with negative count", i, k))
+	}
+	a.bins[i].balls += k
+	a.m += k
+}
+
 // Remove takes one ball out of bin i (queueing-style departures; the
 // dynamic setting of the cluster simulator). It panics if bin i is
 // empty — a departure without a prior arrival is a programming error.

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/sim"
 	"repro/internal/table"
 )
 
@@ -25,9 +26,19 @@ type Params struct {
 	Seed uint64
 	// Workers caps parallelism (0 = GOMAXPROCS).
 	Workers int
-	// Scale in (0, 1] shrinks problem sizes (number of bins, sweep
-	// density) for quick runs and benchmarks. 0 means 1 (full size).
+	// Scale scales problem sizes (number of bins, sweep density):
+	// values in (0, 1) shrink them for quick runs and benchmarks,
+	// values above 1 grow them past the paper's n — the regime the
+	// sharded and closed-form engines exist for. 0 means 1 (paper
+	// size). Repetition counts scale DOWN with Scale < 1 but never up.
 	Scale float64
+	// Engine selects the simulation engine every sim-backed experiment
+	// dispatches through ("" = auto). Experiments whose observables an
+	// engine cannot collect fail loudly when it is forced.
+	Engine sim.Engine
+	// Shards overrides the sharded engine's shard count (0 =
+	// sim.DefaultShards).
+	Shards int
 }
 
 func (p Params) seed() uint64 {
@@ -38,10 +49,21 @@ func (p Params) seed() uint64 {
 }
 
 func (p Params) scale() float64 {
-	if p.Scale <= 0 || p.Scale > 1 {
+	if p.Scale <= 0 {
 		return 1
 	}
 	return p.Scale
+}
+
+// repScale is the factor applied to default repetition counts: Scale
+// shrinks work in both directions of the tradeoff, but a scale-up run
+// keeps the default repetitions (more repetitions at 100× n is a
+// budget decision the caller makes explicitly via Reps).
+func (p Params) repScale() float64 {
+	if s := p.scale(); s < 1 {
+		return s
+	}
+	return 1
 }
 
 // reps returns the repetition count: the override, or the experiment
@@ -51,11 +73,18 @@ func (p Params) reps(def int) int {
 	if p.Reps > 0 {
 		return p.Reps
 	}
-	r := int(float64(def) * p.scale())
+	r := int(float64(def) * p.repScale())
 	if r < 3 {
 		r = 3
 	}
 	return r
+}
+
+// sim dispatches one engine-independent run with the Params' engine
+// hint and shard count applied — the single funnel every sim-backed
+// experiment goes through.
+func (p Params) sim(cfg sim.Config) (*sim.Result, error) {
+	return sim.Dispatch(sim.RunSpec{Config: cfg, Engine: p.Engine, Shards: p.Shards})
 }
 
 // scaledN scales a problem dimension, keeping at least min.

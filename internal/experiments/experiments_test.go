@@ -127,9 +127,15 @@ func TestParamsDefaults(t *testing.T) {
 	if p.scaledN(10000, 50) != 50 {
 		t.Error("scaledN floor broken")
 	}
-	p = Params{Scale: 5} // out of range → treated as 1
-	if p.scale() != 1 {
-		t.Error("out-of-range scale not clamped")
+	p = Params{Scale: 5} // scale-up: sizes grow, repetitions do not
+	if p.scale() != 5 {
+		t.Error("scale-up factor not honoured")
+	}
+	if p.scaledN(100, 10) != 500 {
+		t.Errorf("scaledN at scale 5 = %d, want 500", p.scaledN(100, 10))
+	}
+	if p.reps(100) != 100 {
+		t.Errorf("reps at scale 5 = %d, want 100 (never scaled up)", p.reps(100))
 	}
 }
 

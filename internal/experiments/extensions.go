@@ -55,7 +55,7 @@ func extHeights(p Params) ([]*table.Table, error) {
 	tab := table.New(fmt.Sprintf("Extension: ball height distribution (m=C, d=2, n=%d, %d reps)", n, reps), cols...)
 	var series [][]float64
 	for _, c := range configs {
-		res, err := sim.Run(sim.Config{
+		res, err := p.sim(sim.Config{
 			Array: c.caps, Reps: reps, Seed: p.seed(), Workers: p.Workers,
 			HeightBins: heightBins, HeightMax: heightMax,
 		})
@@ -103,7 +103,7 @@ func extBatch(p Params) ([]*table.Table, error) {
 		"batch_size", "max_load_mean", "max_load_ci95")
 	m := arr.TotalCapacity()
 	for _, batch := range []int{1, 4, 16, 64, 256, 1024, int(m)} {
-		res, err := sim.Run(sim.Config{
+		res, err := p.sim(sim.Config{
 			Array:   arr,
 			Placer:  protocol.BatchedFactory(2, batch),
 			Reps:    reps,
@@ -136,7 +136,7 @@ func extHeavyHet(p Params) ([]*table.Table, error) {
 	for i, k := range ks {
 		checkpoints[i] = k * c
 	}
-	res, err := sim.Run(sim.Config{
+	res, err := p.sim(sim.Config{
 		Array:       arr,
 		Balls:       ks[len(ks)-1] * c,
 		Reps:        reps,
@@ -177,7 +177,7 @@ func extMigration(p Params) ([]*table.Table, error) {
 			return nil, err
 		}
 		// From scratch: standard m = C run.
-		scratch, err := sim.Run(sim.Config{
+		scratch, err := p.sim(sim.Config{
 			Array: arr, Reps: reps, Seed: p.seed(), Workers: p.Workers,
 		})
 		if err != nil {
@@ -264,7 +264,7 @@ func extWieder(p Params) ([]*table.Table, error) {
 	tab := table.New(fmt.Sprintf("Extension (related work, Wieder 2007): skewed selection over unit bins (n=%d, %d reps)", n, reps), cols...)
 	series := make([][]float64, 3)
 	run := func(d int, dd dist.Distribution) ([]float64, error) {
-		res, err := sim.Run(sim.Config{
+		res, err := p.sim(sim.Config{
 			Array:       arr,
 			Dist:        dd,
 			Placer:      protocol.StandardFactory(d),
@@ -352,7 +352,7 @@ func extTune(p Params) ([]*table.Table, error) {
 				caps[i] = x
 			}
 		}
-		cfg := tune.Config{Reps: reps, Seed: p.seed(), Workers: p.Workers}
+		cfg := tune.Config{Reps: reps, Seed: p.seed(), Workers: p.Workers, Engine: p.Engine, Shards: p.Shards}
 		er, err := tune.OptimalExponent(caps, 0.5, 3.5, cfg)
 		if err != nil {
 			return nil, err
@@ -382,7 +382,7 @@ func extFairness(p Params) ([]*table.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := sim.Run(sim.Config{
+		res, err := p.sim(sim.Config{
 			Array: arr, Reps: reps, Seed: p.seed(), Workers: p.Workers,
 			CollectLoadVector: true,
 		})

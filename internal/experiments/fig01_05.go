@@ -31,7 +31,7 @@ func uniformDistribution(p Params, n int, caps []int64, factor float64, defReps 
 		if err != nil {
 			return nil, err
 		}
-		res, err := sim.Run(sim.Config{
+		res, err := p.sim(sim.Config{
 			Array:             arr,
 			BallsFactor:       factor,
 			Reps:              reps,

@@ -43,7 +43,7 @@ func mixSweep(p Params) ([]*table.Table, error) {
 		if nLarge > 0 {
 			track = append(track, cLarge)
 		}
-		res, err := sim.Run(sim.Config{
+		res, err := p.sim(sim.Config{
 			Array:        arr,
 			Reps:         reps,
 			Seed:         p.seed(),

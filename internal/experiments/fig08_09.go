@@ -23,7 +23,7 @@ func fig08(p Params) ([]*table.Table, error) {
 		"target_mean_c", "total_capacity_mean", "max_load_mean", "max_load_ci95")
 	for c := 1.0; c <= 8.0+1e-9; c += step {
 		c := c
-		res, err := sim.Run(sim.Config{
+		res, err := p.sim(sim.Config{
 			ArrayFn: func(r *xrand.Rand) (*bins.Array, error) {
 				return bins.RandomBinomial(n, c, r)
 			},
@@ -57,7 +57,7 @@ func fig09(p Params) ([]*table.Table, error) {
 	tab := table.New(fmt.Sprintf("Figure 9: randomised bin sizes, n=%d, location of max load (%d reps)", n, reps), cols...)
 	for c := 1.0; c <= 8.0+1e-9; c += step {
 		c := c
-		res, err := sim.Run(sim.Config{
+		res, err := p.sim(sim.Config{
 			ArrayFn: func(r *xrand.Rand) (*bins.Array, error) {
 				return bins.RandomBinomial(n, c, r)
 			},

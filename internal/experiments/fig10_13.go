@@ -51,7 +51,7 @@ func twoClassDistributions(p Params, n int, cLarge int64, largeCounts []int, def
 			}
 			cfg.ClassLoadVectors = classes
 		}
-		res, err := sim.Run(cfg)
+		res, err := p.sim(cfg)
 		if err != nil {
 			return nil, err
 		}

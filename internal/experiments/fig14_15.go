@@ -43,7 +43,7 @@ func growthSweep(p Params, curves []growthCurve, defReps int, title string) (*ta
 			if err != nil {
 				return nil, err
 			}
-			res, err := sim.Run(sim.Config{
+			res, err := p.sim(sim.Config{
 				Array:   arr,
 				Reps:    reps,
 				Seed:    p.seed(),

@@ -42,7 +42,7 @@ func fig16(p Params) ([]*table.Table, error) {
 		for i := range checkpoints {
 			checkpoints[i] = capTotal * int64(i+1)
 		}
-		res, err := sim.Run(sim.Config{
+		res, err := p.sim(sim.Config{
 			ArrayFn: func(r *xrand.Rand) (*bins.Array, error) {
 				return bins.RandomBinomialK(n, meanC, k, r)
 			},

@@ -18,7 +18,7 @@ func powerMixMaxLoad(p Params, x int64, t float64, reps int) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	res, err := sim.Run(sim.Config{
+	res, err := p.sim(sim.Config{
 		Array:   arr,
 		Dist:    dist.Power{T: t},
 		Reps:    reps,

@@ -35,37 +35,18 @@ func obs1(p Params) ([]*table.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		weights, err := dist.Proportional{}.Weights(arr)
+		res, err := p.sim(sim.Config{
+			Array:         arr,
+			Reps:          reps,
+			Seed:          p.seed(),
+			Workers:       p.Workers,
+			ClassMaxLoads: []int64{bigCap},
+		})
 		if err != nil {
 			return nil, err
 		}
-		var mean, worst float64
-		for rep := 0; rep < reps; rep++ {
-			r := xrand.NewStream(p.seed(), uint64(rep))
-			a := arr.Clone()
-			g, err := protocol.NewGreedy(a, weights, 2)
-			if err != nil {
-				return nil, err
-			}
-			m := a.TotalCapacity()
-			for i := int64(0); i < m; i++ {
-				g.Place(a, r)
-			}
-			maxBig := 0.0
-			for i := 0; i < a.N(); i++ {
-				if a.Capacity(i) == bigCap {
-					if l := a.Load(i); l > maxBig {
-						maxBig = l
-					}
-				}
-			}
-			mean += maxBig
-			if maxBig > worst {
-				worst = maxBig
-			}
-		}
-		mean /= float64(reps)
-		tab.MustAddRow(float64(n), float64(bigCap), float64(cfg.pctBig), mean, worst)
+		big := res.ClassMaxLoad[bigCap]
+		tab.MustAddRow(float64(n), float64(bigCap), float64(cfg.pctBig), big.Mean(), big.Max())
 	}
 	return []*table.Table{tab}, nil
 }
@@ -80,7 +61,7 @@ func thm3(p Params) ([]*table.Table, error) {
 		n := p.scaledN(n0, 200)
 		for _, d := range []int{2, 3, 4} {
 			d := d
-			res, err := sim.Run(sim.Config{
+			res, err := p.sim(sim.Config{
 				ArrayFn: func(r *xrand.Rand) (*bins.Array, error) {
 					return bins.RandomBinomial(n, 4, r)
 				},
@@ -119,7 +100,7 @@ func thm5(p Params) ([]*table.Table, error) {
 		}
 		// k = m/C = 1 here (m = C).
 		run := func(dd dist.Distribution) (float64, error) {
-			res, err := sim.Run(sim.Config{
+			res, err := p.sim(sim.Config{
 				Array:   arr,
 				Dist:    dd,
 				Reps:    reps,
@@ -174,11 +155,11 @@ func lemma1(p Params) ([]*table.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		resH, err := sim.Run(sim.Config{Array: het, Reps: reps, Seed: p.seed(), Workers: p.Workers})
+		resH, err := p.sim(sim.Config{Array: het, Reps: reps, Seed: p.seed(), Workers: p.Workers})
 		if err != nil {
 			return nil, err
 		}
-		resU, err := sim.Run(sim.Config{Array: unit, Reps: reps, Seed: p.seed() + 1, Workers: p.Workers})
+		resU, err := p.sim(sim.Config{Array: unit, Reps: reps, Seed: p.seed() + 1, Workers: p.Workers})
 		if err != nil {
 			return nil, err
 		}
@@ -253,7 +234,7 @@ func ablationTieBreak(p Params) ([]*table.Table, error) {
 		for _, f := range []protocol.Factory{
 			protocol.GreedyFactory(d), protocol.StandardFactory(d), protocol.GoLeftFactory(d),
 		} {
-			res, err := sim.Run(sim.Config{
+			res, err := p.sim(sim.Config{
 				Array: arr, Placer: f, Reps: reps, Seed: p.seed(), Workers: p.Workers,
 			})
 			if err != nil {
@@ -279,7 +260,7 @@ func ablationDist(p Params) ([]*table.Table, error) {
 	tab := table.New(fmt.Sprintf("Ablation: selection distribution on a 50/50 mix of capacities 1 and 10 (n=%d, m=C, d=2, %d reps)", n, reps),
 		"exponent_t", "max_load_mean", "max_load_ci95")
 	for _, t := range []float64{0, 0.5, 1, 1.5, 2, 2.5, 3} {
-		res, err := sim.Run(sim.Config{
+		res, err := p.sim(sim.Config{
 			Array: arr, Dist: dist.Power{T: t}, Reps: reps, Seed: p.seed(), Workers: p.Workers,
 		})
 		if err != nil {
@@ -304,7 +285,7 @@ func onePlusBeta(p Params) ([]*table.Table, error) {
 	tab := table.New(fmt.Sprintf("Extension: (1+beta)-choice on a 50/50 mix of capacities 1 and 10 (n=%d, m=C, %d reps)", n, reps),
 		"beta", "max_load_mean", "max_load_ci95")
 	for _, beta := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 1} {
-		res, err := sim.Run(sim.Config{
+		res, err := p.sim(sim.Config{
 			Array: arr, Placer: protocol.OnePlusBetaFactory(beta),
 			Reps: reps, Seed: p.seed(), Workers: p.Workers,
 		})
@@ -336,7 +317,7 @@ func summary(p Params) ([]*table.Table, error) {
 	tab.Comment = "checks: 1 big-bin load<=4 | 2 thm3 below lnln bound | 3 thm5 toponly<=k/a+1 | 4 lemma1 coupling | 5 greedy beats oblivious"
 
 	// 1: Observation 1 at one configuration.
-	obsTabs, err := obs1(Params{Reps: p.reps(40), Seed: p.seed(), Workers: p.Workers, Scale: p.scale()})
+	obsTabs, err := obs1(Params{Reps: p.reps(40), Seed: p.seed(), Workers: p.Workers, Scale: p.scale(), Engine: p.Engine, Shards: p.Shards})
 	if err != nil {
 		return nil, err
 	}
@@ -350,7 +331,7 @@ func summary(p Params) ([]*table.Table, error) {
 
 	// 2: Theorem 3 at one (n, d).
 	n := p.scaledN(5000, 500)
-	res, err := sim.Run(sim.Config{
+	res, err := p.sim(sim.Config{
 		ArrayFn: func(r *xrand.Rand) (*bins.Array, error) {
 			return bins.RandomBinomial(n, 4, r)
 		},
@@ -367,7 +348,7 @@ func summary(p Params) ([]*table.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	resTop, err := sim.Run(sim.Config{
+	resTop, err := p.sim(sim.Config{
 		Array: arr, Dist: dist.TopOnly{MinCapacity: 5},
 		Reps: p.reps(40), Seed: p.seed(), Workers: p.Workers,
 	})
@@ -389,11 +370,11 @@ func summary(p Params) ([]*table.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	resG, err := sim.Run(sim.Config{Array: mixed, Reps: p.reps(40), Seed: p.seed(), Workers: p.Workers})
+	resG, err := p.sim(sim.Config{Array: mixed, Reps: p.reps(40), Seed: p.seed(), Workers: p.Workers})
 	if err != nil {
 		return nil, err
 	}
-	resS, err := sim.Run(sim.Config{
+	resS, err := p.sim(sim.Config{
 		Array: mixed, Placer: protocol.StandardFactory(2),
 		Reps: p.reps(40), Seed: p.seed(), Workers: p.Workers,
 	})

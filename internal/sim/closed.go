@@ -1,0 +1,245 @@
+// Closed-form multinomial engine: for single-choice protocols the
+// final load vector needs no per-ball simulation at all.
+//
+// # Model
+//
+// A single-choice protocol places each of the m balls independently
+// into bin i with probability p_i (the normalised selection weights).
+// The joint law of the final ball counts is therefore exactly
+// Multinomial(m, p) — one Draw of sampling.Multinomial materialises a
+// whole repetition in O(n) instead of O(m) weighted samples.
+//
+// Checkpoints extend the closed form by conditional splitting: the
+// increment vectors between consecutive cuts 0 < B_1 < … < B_k <= m
+// are independent Multinomial(B_j − B_{j−1}, p) draws, and their
+// running sums have exactly the joint law of the trajectory snapshots
+// a per-ball pass would record at the same cuts. HeightLevels and the
+// final-state observables read the realised array as usual; only the
+// per-ball height histogram (HeightBins) is out of reach, because it
+// depends on the placement order the closed form integrates out.
+//
+// # Determinism
+//
+// Repetition rep draws everything from xrand.NewStream(Seed, rep) —
+// the classic engine's stream layout — and repetitions fold through
+// the same chunk scaffolding as Run, so results are bit-identical for
+// any Workers value and cancellation yields the same deterministic
+// contiguous-prefix partials. The engine draws a different random
+// sequence than Run (interval-tree binomial splits instead of per-ball
+// samples), so classic and closed-form agree in distribution, not bit
+// for bit: parity_test.go pins the distributional agreement.
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/bins"
+	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/sampling"
+	"repro/internal/xrand"
+)
+
+// RunClosed executes the configured experiment through the closed-form
+// multinomial engine. The protocol must be single-choice (see
+// closedUnsupported); everything else — fixed or random arrays, any
+// distribution, checkpoints, height levels, load vectors, class
+// observables — behaves like Run.
+//
+// Cancellation and panic containment follow the classic engine's
+// contract: a fired Context returns a deterministic repetition-prefix
+// partial plus a *CancelledError, a contained panic a *PanicError.
+func RunClosed(cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if err := closedUnsupported(&cfg); err != nil {
+		return nil, err
+	}
+	cc := newCanceller(cfg.Context)
+	defer cc.stop()
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	nChunks := (cfg.Reps + chunkSize - 1) / chunkSize
+	if workers > nChunks {
+		workers = nChunks
+	}
+
+	checkpoints, err := obs.NormalizeCuts(cfg.Checkpoints)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+
+	partials := make([]chunkPartial, nChunks)
+	chunkCh := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			closedWorker(&cfg, cc, checkpoints, chunkCh, partials)
+		}()
+	}
+	for ci := 0; ci < nChunks; ci++ {
+		chunkCh <- ci
+	}
+	close(chunkCh)
+	wg.Wait()
+
+	res, completed, err := reduce(&cfg, checkpoints, partials)
+	if err != nil {
+		return nil, err
+	}
+	if completed < cfg.Reps {
+		return res, &CancelledError{Engine: engRunClosed, CompletedReps: completed, CompletedCuts: -1, Cause: cc.err()}
+	}
+	return res, nil
+}
+
+// closedScratch is a worker's reusable state: the classic scratch
+// buffers plus the multinomial increment vector.
+type closedScratch struct {
+	ws     workerScratch
+	counts []int64
+}
+
+// closedWorker mirrors worker: fixed array and router built once per
+// worker, chunks drained unconditionally so the sender never blocks.
+func closedWorker(cfg *Config, cc *canceller, checkpoints []int64, chunkCh <-chan int, partials []chunkPartial) {
+	fixedArr, fixedRouter, setupErr := closedSetup(cfg)
+	var scratch closedScratch
+	for ci := range chunkCh {
+		p := &partials[ci]
+		if setupErr != nil {
+			p.err = setupErr
+			continue
+		}
+		lo := ci * chunkSize
+		hi := lo + chunkSize
+		if hi > cfg.Reps {
+			hi = cfg.Reps
+		}
+		for rep := lo; rep < hi; rep++ {
+			if cc.cancelled() {
+				break
+			}
+			if err := closedRepGuarded(cfg, checkpoints, uint64(rep), ci, fixedArr, fixedRouter, &scratch, p); err != nil {
+				p.err = err
+				break
+			}
+			p.reps++
+		}
+	}
+}
+
+// closedSetup builds a worker's fixed array and multinomial router,
+// containing constructor panics like workerSetup does.
+func closedSetup(cfg *Config) (fixedArr *bins.Array, fixedRouter *sampling.Multinomial, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			fixedArr, fixedRouter = nil, nil
+			err = newPanicError(engRunClosed, "setup", -1, -1, r)
+		}
+	}()
+	if cfg.ArrayFn != nil {
+		return nil, nil, nil
+	}
+	fixedArr = cfg.Array.Clone()
+	fixedArr.Reset()
+	weights, err := cfg.distribution().Weights(fixedArr)
+	if err == nil {
+		fixedRouter, err = sampling.NewMultinomial(weights)
+	}
+	return fixedArr, fixedRouter, err
+}
+
+// closedRepGuarded wraps one repetition in the fault hook and panic
+// containment (the closed engine shares the classic chunk topology, so
+// its fault site reuses OpChunk with its own engine name).
+func closedRepGuarded(cfg *Config, checkpoints []int64, rep uint64, chunk int, fixedArr *bins.Array, fixedRouter *sampling.Multinomial, scratch *closedScratch, p *chunkPartial) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = newPanicError(engRunClosed, "chunk", int(rep), chunk, r)
+		}
+	}()
+	if fault.Enabled {
+		fault.Hit(fault.Site{Engine: engRunClosed, Op: fault.OpChunk, Rep: int(rep), Shard: -1, Block: -1})
+	}
+	return closedRep(cfg, checkpoints, rep, fixedArr, fixedRouter, scratch, p)
+}
+
+// closedRep materialises one repetition: one multinomial increment per
+// checkpoint segment, accumulated into the array, then the classic
+// engine's shared final fold.
+func closedRep(cfg *Config, checkpoints []int64, rep uint64, fixedArr *bins.Array, fixedRouter *sampling.Multinomial, scratch *closedScratch, p *chunkPartial) error {
+	r := xrand.NewStream(cfg.Seed, rep)
+
+	arr := fixedArr
+	router := fixedRouter
+	if cfg.ArrayFn != nil {
+		var err error
+		arr, err = cfg.ArrayFn(r)
+		if err != nil {
+			return fmt.Errorf("sim: rep %d array: %w", rep, err)
+		}
+		weights, err := cfg.distribution().Weights(arr)
+		if err != nil {
+			return fmt.Errorf("sim: rep %d weights: %w", rep, err)
+		}
+		router, err = sampling.NewMultinomial(weights)
+		if err != nil {
+			return fmt.Errorf("sim: rep %d router: %w", rep, err)
+		}
+	} else {
+		arr.Reset()
+	}
+
+	m := cfg.ballCount(arr.TotalCapacity())
+
+	if len(checkpoints) > 0 && p.cp == nil {
+		p.cp = obs.NewCheckpoints(checkpoints)
+	}
+	if cfg.HeightLevels > 0 && p.hl == nil {
+		p.hl = obs.NewHeights(cfg.HeightLevels)
+	}
+	if cap(scratch.counts) < arr.N() {
+		scratch.counts = make([]int64, arr.N())
+	}
+	counts := scratch.counts[:arr.N()]
+
+	// Conditional splitting: each segment between consecutive reached
+	// cuts (and the final segment up to m) is an independent
+	// Multinomial(segment, p) increment; the running sums realise the
+	// trajectory's exact joint law.
+	placed := int64(0)
+	nextCp := 0
+	for nextCp < len(checkpoints) && checkpoints[nextCp] <= m {
+		cut := checkpoints[nextCp]
+		router.Draw(r, cut-placed, counts)
+		addCounts(arr, counts)
+		placed = cut
+		if err := p.cp.Snapshot(nextCp, arr, cut); err != nil {
+			return err
+		}
+		nextCp++
+	}
+	router.Draw(r, m-placed, counts)
+	addCounts(arr, counts)
+	// Checkpoints beyond m stay unrecorded, exactly like the classic
+	// engine: their rows show Reps() < cfg.Reps.
+
+	return foldFinal(cfg, arr, m, rep, &scratch.ws, p)
+}
+
+// addCounts applies one multinomial increment vector to the array.
+func addCounts(arr *bins.Array, counts []int64) {
+	for i, k := range counts {
+		if k != 0 {
+			arr.AddBalls(i, k)
+		}
+	}
+}

@@ -1,0 +1,277 @@
+// Unified engine dispatch: one RunSpec, one entry point, three engines.
+//
+// The repo grew three ways to run the balls-into-bins game — the
+// classic chunked engine (Run), the sharded Monte-Carlo engine
+// (RunLargeMonte) and the closed-form multinomial engine (RunClosed) —
+// each with its own sweet spot. Dispatch hides the choice behind a
+// single spec so the figure/validate/tune harness can ask for "this
+// game, these observables, at this n" and get the right engine:
+//
+//   - classic: the reference engine. Supports every observable
+//     (random arrays, per-ball heights, per-class vectors) at any n a
+//     per-ball pass can afford.
+//   - sharded: RunLargeMonte. Fixed arrays only; scales a single
+//     repetition across cores via multinomial block routing, so
+//     n = 10^6..10^7 repetitions are practical. Shards and the routing
+//     blocks are part of the model (see large.go): results are
+//     deterministic in the spec but not bit-identical to classic.
+//   - closed-form: RunClosed. Single-choice protocols only; one
+//     Multinomial(m, p) draw per repetition, O(n + checkpoints·n) per
+//     rep with no per-ball work at all.
+//
+// # Determinism contract
+//
+// Engine auto-selection is a pure function of the spec — never of the
+// machine (worker count, core count, load). The same spec selects the
+// same engine everywhere, and each engine is itself deterministic in
+// (spec, seed), so Dispatch inherits every engine's reproducibility
+// guarantee. Engines draw different random-number sequences, though:
+// switching engines changes individual numbers while preserving the
+// distributional law (see parity_test.go), which is why the selection
+// rule only switches engines at scale thresholds, where distributional
+// agreement is what matters.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/bins"
+	"repro/internal/protocol"
+)
+
+// Engine names a simulation engine for RunSpec/Dispatch.
+type Engine string
+
+const (
+	// EngineAuto lets Dispatch pick: closed-form when the protocol is
+	// single-choice and n is at least AutoScaleMinBins, else sharded
+	// when the spec supports it and n is at least AutoScaleMinBins,
+	// else classic. The choice depends only on the spec.
+	EngineAuto Engine = "auto"
+	// EngineClassic forces the classic chunked engine (Run).
+	EngineClassic Engine = "classic"
+	// EngineSharded forces the sharded Monte-Carlo engine
+	// (RunLargeMonte).
+	EngineSharded Engine = "sharded"
+	// EngineClosedForm forces the closed-form multinomial engine
+	// (RunClosed).
+	EngineClosedForm Engine = "closed-form"
+)
+
+// AutoScaleMinBins is the bin count at which EngineAuto switches from
+// the classic engine to a scale engine (closed-form or sharded). It is
+// a fixed constant — auto-selection must never depend on the machine —
+// chosen so that paper-scale runs (n <= 3·10^4) keep their classic
+// bit-exact behaviour while 100-1000× scale-ups move off the per-ball
+// path.
+const AutoScaleMinBins = 1 << 16
+
+// ParseEngine parses a CLI engine name. The empty string means auto.
+func ParseEngine(s string) (Engine, error) {
+	switch Engine(s) {
+	case "", EngineAuto:
+		return EngineAuto, nil
+	case EngineClassic:
+		return EngineClassic, nil
+	case EngineSharded:
+		return EngineSharded, nil
+	case EngineClosedForm:
+		return EngineClosedForm, nil
+	}
+	return "", fmt.Errorf("sim: unknown engine %q (want auto, classic, sharded or closed-form)", s)
+}
+
+// RunSpec is the engine-independent description of one experiment: the
+// classic Config (array, distribution, protocol, balls, reps, seed,
+// workers, observables) plus an engine hint and the sharded engine's
+// shard count.
+type RunSpec struct {
+	Config
+	// Engine selects the engine ("" = EngineAuto).
+	Engine Engine
+	// Shards is the sharded engine's shard count (0 = DefaultShards).
+	// Ignored by the classic and closed-form engines.
+	Shards int
+}
+
+// Dispatch resolves the spec's engine and runs it, converging on the
+// classic Result shape whatever the engine. The returned Result's
+// Engine field records the choice. Cancellation behaves like the
+// underlying engine: a fired Context yields a deterministic partial
+// Result plus a *CancelledError.
+func Dispatch(spec RunSpec) (*Result, error) {
+	engine, err := spec.resolveEngine()
+	if err != nil {
+		return nil, err
+	}
+	var res *Result
+	switch engine {
+	case EngineClassic:
+		res, err = Run(spec.Config)
+	case EngineClosedForm:
+		res, err = RunClosed(spec.Config)
+	case EngineSharded:
+		res, err = runShardedSpec(&spec)
+	default:
+		return nil, fmt.Errorf("sim: unknown engine %q", engine)
+	}
+	if res != nil {
+		res.Engine = engine
+	}
+	return res, err
+}
+
+// resolveEngine applies the selection rule. Explicitly requested
+// engines fail loudly when the spec is outside their capability;
+// EngineAuto only ever picks an engine that supports the spec.
+func (spec *RunSpec) resolveEngine() (Engine, error) {
+	switch spec.Engine {
+	case EngineClassic:
+		return EngineClassic, nil
+	case EngineClosedForm:
+		if err := closedUnsupported(&spec.Config); err != nil {
+			return "", err
+		}
+		return EngineClosedForm, nil
+	case EngineSharded:
+		if err := shardedUnsupported(&spec.Config); err != nil {
+			return "", err
+		}
+		return EngineSharded, nil
+	case "", EngineAuto:
+		// Auto: below the scale threshold stay classic (bit-compatible
+		// with the seed harness); at scale prefer closed-form (exact
+		// law, no per-ball work), then sharded.
+		n, err := probeNBins(&spec.Config)
+		if err != nil || n < AutoScaleMinBins {
+			return EngineClassic, nil
+		}
+		if closedUnsupported(&spec.Config) == nil {
+			return EngineClosedForm, nil
+		}
+		if shardedUnsupported(&spec.Config) == nil {
+			return EngineSharded, nil
+		}
+		return EngineClassic, nil
+	}
+	return "", fmt.Errorf("sim: unknown engine %q (want auto, classic, sharded or closed-form)", spec.Engine)
+}
+
+// probeNBins is nBins with panic containment: a panicking ArrayFn must
+// fail the run through the engine's guarded paths, not crash the
+// selection probe (auto then falls back to classic, which surfaces the
+// panic as a *PanicError).
+func probeNBins(c *Config) (n int, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			n, err = 0, newPanicError(engRun, "probe", -1, -1, r)
+		}
+	}()
+	return nBins(c)
+}
+
+// shardedUnsupported reports why the sharded engine cannot run the
+// spec (nil when it can). The sharded engine works on fixed arrays and
+// the observables RunLargeMonte aggregates; per-class and per-ball
+// observables stay classic.
+func shardedUnsupported(c *Config) error {
+	switch {
+	case c.ArrayFn != nil:
+		return fmt.Errorf("sim: sharded engine needs a fixed Array (ArrayFn builds per-repetition arrays)")
+	case len(c.TrackClasses) > 0:
+		return fmt.Errorf("sim: sharded engine does not collect TrackClasses")
+	case len(c.ClassLoadVectors) > 0:
+		return fmt.Errorf("sim: sharded engine does not collect ClassLoadVectors")
+	case len(c.ClassMaxLoads) > 0:
+		return fmt.Errorf("sim: sharded engine does not collect ClassMaxLoads")
+	case c.HeightBins > 0:
+		return fmt.Errorf("sim: sharded engine does not collect the per-ball height histogram")
+	}
+	return nil
+}
+
+// closedUnsupported reports why the closed-form engine cannot run the
+// spec (nil when it can): the protocol must place every ball by one
+// independent weighted draw — then and only then is the final load
+// vector one Multinomial(m, p) sample — and the per-ball height
+// histogram needs a placement order the closed form integrates out.
+func closedUnsupported(c *Config) error {
+	if c.HeightBins > 0 {
+		return fmt.Errorf("sim: closed-form engine does not collect the per-ball height histogram")
+	}
+	if !singleChoiceFactory(c.factory()) {
+		return fmt.Errorf("sim: closed-form engine needs a single-choice protocol (single, or d=1 / beta=0 variants)")
+	}
+	return nil
+}
+
+// singleChoiceFactory reports whether the factory builds a protocol
+// that places each ball by a single independent weighted draw. It
+// probes the factory on a tiny array and matches the placer's name —
+// the protocol package's names are part of its contract (they key the
+// figure tables) — containing any probe panic as "not single-choice".
+func singleChoiceFactory(f protocol.Factory) (single bool) {
+	defer func() {
+		if recover() != nil {
+			single = false
+		}
+	}()
+	probe, err := bins.New([]int64{1, 1})
+	if err != nil {
+		return false
+	}
+	p, err := f(probe, []float64{0.5, 0.5})
+	if err != nil {
+		return false
+	}
+	switch p.Name() {
+	case "single", "greedy(d=1)", "standard(d=1)", "goleft(d=1)", "oneplusbeta(b=0)":
+		return true
+	}
+	return false
+}
+
+// runShardedSpec maps the spec onto RunLargeMonte and its result back
+// onto the classic Result shape. The mapping is total for everything
+// shardedUnsupported admits; checkpoint rows keep the sharded model's
+// block-aligned realised cuts (RealBalls <= the requested cut).
+func runShardedSpec(spec *RunSpec) (*Result, error) {
+	mcfg := LargeMonteConfig{
+		LargeConfig: LargeConfig{
+			Array:        spec.Array,
+			Dist:         spec.Dist,
+			Placer:       spec.Placer,
+			Balls:        spec.Balls,
+			BallsFactor:  spec.BallsFactor,
+			Seed:         spec.Seed,
+			Shards:       spec.Shards,
+			Workers:      spec.Workers,
+			Context:      spec.Context,
+			Checkpoints:  spec.Checkpoints,
+			HeightLevels: spec.HeightLevels,
+		},
+		Reps:              spec.Reps,
+		CollectLoadVector: spec.CollectLoadVector,
+	}
+	mres, merr := RunLargeMonte(mcfg)
+	if mres == nil {
+		return nil, merr
+	}
+	// merr may be a *CancelledError carrying a deterministic partial;
+	// convert the partial and pass the error through untouched.
+	res := &Result{
+		N:               mres.N,
+		MaxLoad:         mres.MaxLoad,
+		AvgLoad:         mres.AvgLoad,
+		Deviation:       mres.Deviation,
+		MeanSortedLoads: mres.MeanSortedLoads,
+		Checkpoints:     mres.Checkpoints,
+		HeightCounts:    mres.HeightCounts,
+	}
+	// The sharded engine runs fixed arrays only, so balls and capacity
+	// are the same constant every repetition.
+	reps := int64(mres.Reps)
+	res.Balls.AddN(float64(mres.Balls), reps)
+	res.TotalCapacity.AddN(float64(spec.Array.TotalCapacity()), reps)
+	return res, merr
+}

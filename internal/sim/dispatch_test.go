@@ -1,0 +1,268 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/bins"
+	"repro/internal/protocol"
+	"repro/internal/xrand"
+)
+
+func TestParseEngine(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Engine
+	}{
+		{"", EngineAuto},
+		{"auto", EngineAuto},
+		{"classic", EngineClassic},
+		{"sharded", EngineSharded},
+		{"closed-form", EngineClosedForm},
+	} {
+		got, err := ParseEngine(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseEngine(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+	}
+	if _, err := ParseEngine("warp"); err == nil {
+		t.Errorf("ParseEngine(warp): want error")
+	}
+}
+
+func TestDispatchAutoSelection(t *testing.T) {
+	small := uniformArray(t, 64, 1)
+	big := uniformArray(t, AutoScaleMinBins, 1)
+	cases := []struct {
+		name string
+		spec RunSpec
+		want Engine
+	}{
+		{"small-single-classic", RunSpec{Config: Config{
+			Array: small, Placer: protocol.SingleFactory(), Reps: 2, Seed: 1,
+		}}, EngineClassic},
+		{"small-greedy-classic", RunSpec{Config: Config{
+			Array: small, Reps: 2, Seed: 1,
+		}}, EngineClassic},
+		{"big-single-closed", RunSpec{Config: Config{
+			Array: big, Placer: protocol.SingleFactory(), Reps: 2, Seed: 1,
+		}}, EngineClosedForm},
+		{"big-greedy-sharded", RunSpec{Config: Config{
+			Array: big, Reps: 2, Seed: 1,
+		}}, EngineSharded},
+		{"big-greedy-classes-classic", RunSpec{Config: Config{
+			Array: big, Reps: 2, Seed: 1, TrackClasses: []int64{1},
+		}}, EngineClassic},
+		{"big-arrayfn-single-closed", RunSpec{Config: Config{
+			ArrayFn: func(r *xrand.Rand) (*bins.Array, error) {
+				return uniformArray(t, AutoScaleMinBins, 1), nil
+			},
+			Placer: protocol.SingleFactory(), Reps: 2, Seed: 1,
+		}}, EngineClosedForm},
+		{"big-arrayfn-greedy-classic", RunSpec{Config: Config{
+			ArrayFn: func(r *xrand.Rand) (*bins.Array, error) {
+				return uniformArray(t, AutoScaleMinBins, 1), nil
+			},
+			Reps: 2, Seed: 1,
+		}}, EngineClassic},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := tc.spec.resolveEngine()
+			if err != nil {
+				t.Fatalf("resolveEngine: %v", err)
+			}
+			if got != tc.want {
+				t.Fatalf("resolveEngine = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestDispatchExplicitEngineErrors(t *testing.T) {
+	arr := uniformArray(t, 32, 1)
+	fn := func(r *xrand.Rand) (*bins.Array, error) { return uniformArray(t, 32, 1), nil }
+	cases := []struct {
+		name string
+		spec RunSpec
+	}{
+		{"sharded-arrayfn", RunSpec{Engine: EngineSharded, Config: Config{ArrayFn: fn, Reps: 1}}},
+		{"sharded-classes", RunSpec{Engine: EngineSharded, Config: Config{Array: arr, Reps: 1, TrackClasses: []int64{1}}}},
+		{"sharded-heightbins", RunSpec{Engine: EngineSharded, Config: Config{Array: arr, Reps: 1, HeightBins: 8}}},
+		{"closed-greedy", RunSpec{Engine: EngineClosedForm, Config: Config{Array: arr, Reps: 1}}},
+		{"closed-heightbins", RunSpec{Engine: EngineClosedForm, Config: Config{Array: arr, Placer: protocol.SingleFactory(), Reps: 1, HeightBins: 8}}},
+		{"unknown-engine", RunSpec{Engine: Engine("warp"), Config: Config{Array: arr, Reps: 1}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Dispatch(tc.spec); err == nil {
+				t.Fatalf("Dispatch: want error, got nil")
+			}
+		})
+	}
+}
+
+// TestDispatchShardedResultShape pins the LargeMonteResult → Result
+// conversion: every classic field the sharded engine can fill must
+// arrive filled.
+func TestDispatchShardedResultShape(t *testing.T) {
+	// n is large enough that the block-aligned per-shard cut
+	// realisation (multiples of protocol.BlockSize per shard) is
+	// non-empty at both cuts.
+	n := 8192
+	reps := 5
+	arr := uniformArray(t, n, 1)
+	res, err := Dispatch(RunSpec{
+		Engine: EngineSharded,
+		Shards: 4,
+		Config: Config{
+			Array:             arr,
+			Reps:              reps,
+			Seed:              7,
+			CollectLoadVector: true,
+			Checkpoints:       []int64{int64(n) / 2, int64(n)},
+			HeightLevels:      4,
+		},
+	})
+	if err != nil {
+		t.Fatalf("Dispatch: %v", err)
+	}
+	if res.Engine != EngineSharded {
+		t.Errorf("Engine = %v, want sharded", res.Engine)
+	}
+	if res.N != n {
+		t.Errorf("N = %d, want %d", res.N, n)
+	}
+	if res.Balls.N() != int64(reps) || res.Balls.Mean() != float64(n) {
+		t.Errorf("Balls: N=%d mean=%v, want N=%d mean=%d", res.Balls.N(), res.Balls.Mean(), reps, n)
+	}
+	if res.TotalCapacity.N() != int64(reps) || res.TotalCapacity.Mean() != float64(n) {
+		t.Errorf("TotalCapacity: N=%d mean=%v", res.TotalCapacity.N(), res.TotalCapacity.Mean())
+	}
+	if res.MaxLoad.N() != int64(reps) || res.MaxLoad.Mean() <= 0 {
+		t.Errorf("MaxLoad: N=%d mean=%v", res.MaxLoad.N(), res.MaxLoad.Mean())
+	}
+	if len(res.MeanSortedLoads) != n {
+		t.Errorf("MeanSortedLoads: len=%d, want %d", len(res.MeanSortedLoads), n)
+	}
+	if len(res.Checkpoints) != 2 {
+		t.Fatalf("Checkpoints: len=%d, want 2", len(res.Checkpoints))
+	}
+	if res.Checkpoints[1].Balls != int64(n) || res.Checkpoints[1].Reps() != int64(reps) {
+		t.Errorf("final checkpoint: balls=%d reps=%d", res.Checkpoints[1].Balls, res.Checkpoints[1].Reps())
+	}
+	if len(res.HeightCounts) != 4 {
+		t.Errorf("HeightCounts: len=%d, want 4", len(res.HeightCounts))
+	}
+}
+
+// TestClosedFormDeterminism pins the closed-form engine's worker
+// independence: identical results for any Workers value.
+func TestClosedFormDeterminism(t *testing.T) {
+	arr := uniformArray(t, 512, 1)
+	base := Config{
+		Array:             arr,
+		Placer:            protocol.SingleFactory(),
+		Reps:              20,
+		Seed:              99,
+		CollectLoadVector: true,
+		Checkpoints:       []int64{128, 512},
+		HeightLevels:      5,
+		ClassMaxLoads:     []int64{1},
+	}
+	var ref *Result
+	for _, workers := range []int{1, 3, 8} {
+		cfg := base
+		cfg.Workers = workers
+		res, err := RunClosed(cfg)
+		if err != nil {
+			t.Fatalf("RunClosed(workers=%d): %v", workers, err)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		if res.MaxLoad != ref.MaxLoad || res.Deviation != ref.Deviation {
+			t.Errorf("workers=%d: max-load accumulator differs", workers)
+		}
+		for i, v := range res.MeanSortedLoads {
+			if v != ref.MeanSortedLoads[i] {
+				t.Fatalf("workers=%d: MeanSortedLoads[%d] = %v != %v", workers, i, v, ref.MeanSortedLoads[i])
+			}
+		}
+		for i := range res.Checkpoints {
+			if res.Checkpoints[i] != ref.Checkpoints[i] {
+				t.Errorf("workers=%d: checkpoint %d differs", workers, i)
+			}
+		}
+		if *res.ClassMaxLoad[1] != *ref.ClassMaxLoad[1] {
+			t.Errorf("workers=%d: ClassMaxLoad differs", workers)
+		}
+	}
+}
+
+// TestClassMaxLoads pins the classic engine's per-class max-load
+// accumulator against a hand-rolled per-repetition replay.
+func TestClassMaxLoads(t *testing.T) {
+	arr, err := bins.TwoClass(24, 1, 8, 5)
+	if err != nil {
+		t.Fatalf("TwoClass: %v", err)
+	}
+	reps := 6
+	cfg := Config{Array: arr, Reps: reps, Seed: 42, Workers: 2, ClassMaxLoads: []int64{1, 5}}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, class := range []int64{1, 5} {
+		acc := res.ClassMaxLoad[class]
+		if acc == nil || acc.N() != int64(reps) {
+			t.Fatalf("ClassMaxLoad[%d]: missing or short (%v)", class, acc)
+		}
+	}
+	// Replay single-threaded: the per-class accumulators are part of
+	// the deterministic result, so they must match bit for bit.
+	serial := cfg
+	serial.Workers = 1
+	sres, err := Run(serial)
+	if err != nil {
+		t.Fatalf("serial Run: %v", err)
+	}
+	for _, class := range []int64{1, 5} {
+		if *res.ClassMaxLoad[class] != *sres.ClassMaxLoad[class] {
+			t.Errorf("ClassMaxLoad[%d] differs across worker counts", class)
+		}
+	}
+	// The class-wise maximum can never exceed the overall maximum, and
+	// at least one class attains it in every repetition.
+	if res.ClassMaxLoad[1].Max() > res.MaxLoad.Max()+1e-12 ||
+		res.ClassMaxLoad[5].Max() > res.MaxLoad.Max()+1e-12 {
+		t.Errorf("class max exceeds overall max")
+	}
+	if m := math.Max(res.ClassMaxLoad[1].Max(), res.ClassMaxLoad[5].Max()); m < res.MaxLoad.Max()-1e-12 {
+		t.Errorf("no class attains the overall max: %v < %v", m, res.MaxLoad.Max())
+	}
+}
+
+// TestDispatchCancelledPassthrough: a dead context yields the engine's
+// partial plus a *CancelledError, with the engine recorded.
+func TestDispatchCancelledPassthrough(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	arr := uniformArray(t, 32, 1)
+	for _, engine := range []Engine{EngineClassic, EngineSharded, EngineClosedForm} {
+		spec := RunSpec{Engine: engine, Config: Config{Array: arr, Reps: 4, Seed: 3, Context: ctx}}
+		if engine == EngineClosedForm {
+			spec.Placer = protocol.SingleFactory()
+		}
+		res, err := Dispatch(spec)
+		if !errors.Is(err, ErrCancelled) {
+			t.Fatalf("%s: err = %v, want ErrCancelled", engine, err)
+		}
+		if res == nil || res.Engine != engine {
+			t.Fatalf("%s: partial result missing or engine unset (%+v)", engine, res)
+		}
+	}
+}

@@ -40,6 +40,7 @@ const (
 	engRun        = "Run"
 	engRunLarge   = "RunLarge"
 	engRunLargeMC = "RunLargeMonte"
+	engRunClosed  = "RunClosed"
 )
 
 // ErrCancelled is the sentinel every cancellation error matches:

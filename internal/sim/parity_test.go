@@ -1,0 +1,223 @@
+package sim
+
+// Cross-engine statistical parity: the classic, sharded and closed-form
+// engines draw different random sequences, so agreement is
+// distributional, never bitwise. For single-choice protocols all three
+// engines realise exactly the same law (the final counts are one
+// Multinomial(m, p) sample however they are drawn — the sharded
+// routing factorises it as P(shard)·P(bin | shard)), so a two-sample
+// chi-square on the max-load distribution applies. For d >= 2 the
+// sharded engine is the partitioned relaxation — same protocol on
+// independent n/Shards-sized sub-games — so parity there is a
+// concentration band (the max load of d-choice games concentrates on
+// O(1) values; cf. Schulte-Geers' bounds referenced in PAPERS.md), not
+// an identity of laws.
+
+import (
+	"math"
+	"slices"
+	"testing"
+
+	"repro/internal/protocol"
+	"repro/internal/stats"
+)
+
+// perRepMaxBalls collects R independent per-repetition max-load values
+// from an engine by running Reps=1 games on distinct seeds (engines
+// derive all randomness from the seed, so runs are independent).
+func perRepMaxBalls(t *testing.T, spec RunSpec, r int) []float64 {
+	t.Helper()
+	out := make([]float64, r)
+	for i := range out {
+		s := spec
+		s.Reps = 1
+		s.Seed = 0x9e3779b9 + uint64(i)
+		s.Workers = 1
+		res, err := Dispatch(s)
+		if err != nil {
+			t.Fatalf("Dispatch(%s, seed %d): %v", s.Engine, s.Seed, err)
+		}
+		out[i] = res.MaxLoad.Mean()
+	}
+	return out
+}
+
+// chiSquareTwoSample pools two equal-size integer-valued samples into
+// categories with combined count >= 10 (adjacent values merge) and
+// returns the two-sample chi-square statistic and its degrees of
+// freedom. With |a| == |b| the statistic is Σ (a_i−b_i)²/(a_i+b_i).
+func chiSquareTwoSample(a, b []float64) (x2 float64, df int) {
+	counts := map[int][2]float64{}
+	for _, v := range a {
+		c := counts[int(v)]
+		c[0]++
+		counts[int(v)] = c
+	}
+	for _, v := range b {
+		c := counts[int(v)]
+		c[1]++
+		counts[int(v)] = c
+	}
+	keys := make([]int, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	// Merge adjacent categories until each pooled bucket holds at
+	// least 10 observations (the classic validity rule of thumb).
+	type bucket struct{ a, b float64 }
+	var buckets []bucket
+	var cur bucket
+	for _, k := range keys {
+		cur.a += counts[k][0]
+		cur.b += counts[k][1]
+		if cur.a+cur.b >= 10 {
+			buckets = append(buckets, cur)
+			cur = bucket{}
+		}
+	}
+	if cur.a+cur.b > 0 {
+		if len(buckets) == 0 {
+			buckets = append(buckets, cur)
+		} else {
+			buckets[len(buckets)-1].a += cur.a
+			buckets[len(buckets)-1].b += cur.b
+		}
+	}
+	for _, bk := range buckets {
+		d := bk.a - bk.b
+		x2 += d * d / (bk.a + bk.b)
+	}
+	return x2, len(buckets) - 1
+}
+
+// TestParitySingleMaxLoadChiSquare: for the Single protocol all three
+// engines sample the same max-load law; a two-sample chi-square at
+// alpha = 0.001 must not reject either pairing.
+func TestParitySingleMaxLoadChiSquare(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical parity needs full sample sizes")
+	}
+	const n, r = 64, 400
+	arr := uniformArray(t, n, 1)
+	base := Config{Array: arr, Placer: protocol.SingleFactory(), Reps: 1}
+	classic := perRepMaxBalls(t, RunSpec{Engine: EngineClassic, Config: base}, r)
+	closed := perRepMaxBalls(t, RunSpec{Engine: EngineClosedForm, Config: base}, r)
+	sharded := perRepMaxBalls(t, RunSpec{Engine: EngineSharded, Shards: 8, Config: base}, r)
+	for _, pair := range []struct {
+		name string
+		a, b []float64
+	}{
+		{"classic-vs-closed", classic, closed},
+		{"classic-vs-sharded", classic, sharded},
+	} {
+		x2, df := chiSquareTwoSample(pair.a, pair.b)
+		if df < 1 {
+			t.Fatalf("%s: degenerate pooling (df=%d)", pair.name, df)
+		}
+		crit, err := stats.ChiSquareCritical(df, 0.001)
+		if err != nil {
+			t.Fatalf("critical value: %v", err)
+		}
+		if x2 > crit {
+			t.Errorf("%s: chi-square %.2f > critical %.2f (df=%d) — distributions differ", pair.name, x2, crit, df)
+		}
+	}
+}
+
+// meanBand asserts |mean(a) − mean(b)| within z standard errors plus an
+// absolute slack (the slack absorbs genuine model differences like the
+// sharded relaxation; z absorbs sampling noise).
+func meanBand(t *testing.T, name string, a, b *stats.Accumulator, z, slack float64) {
+	t.Helper()
+	se := math.Sqrt(a.StdErr()*a.StdErr() + b.StdErr()*b.StdErr())
+	if d := math.Abs(a.Mean() - b.Mean()); d > z*se+slack {
+		t.Errorf("%s: means %.4f vs %.4f differ by %.4f > band %.4f", name, a.Mean(), b.Mean(), d, z*se+slack)
+	}
+}
+
+// TestParityGreedyD2Band: classic vs sharded two-choice. The sharded
+// game is the partitioned relaxation, so the band allows a small model
+// shift on top of sampling noise; a broken engine (e.g. degenerating
+// to single-choice, whose max load at this n is ~2.5 higher) blows
+// far through it.
+func TestParityGreedyD2Band(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical parity needs full sample sizes")
+	}
+	const n, reps = 512, 300
+	arr := uniformArray(t, n, 1)
+	classic, err := Dispatch(RunSpec{Engine: EngineClassic, Config: Config{
+		Array: arr, Placer: protocol.GreedyFactory(2), Reps: reps, Seed: 11,
+	}})
+	if err != nil {
+		t.Fatalf("classic: %v", err)
+	}
+	sharded, err := Dispatch(RunSpec{Engine: EngineSharded, Shards: 8, Config: Config{
+		Array: arr, Placer: protocol.GreedyFactory(2), Reps: reps, Seed: 12,
+	}})
+	if err != nil {
+		t.Fatalf("sharded: %v", err)
+	}
+	meanBand(t, "max load", &classic.MaxLoad, &sharded.MaxLoad, 4, 0.6)
+	meanBand(t, "gap", &classic.Deviation, &sharded.Deviation, 4, 0.6)
+}
+
+// TestParityClosedSingleAggregates: classic vs closed-form Single at
+// identical law — endpoint aggregates, checkpoint rows and the mean
+// sorted load vector must agree within sampling noise.
+func TestParityClosedSingleAggregates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical parity needs full sample sizes")
+	}
+	const n, reps = 256, 400
+	arr := uniformArray(t, n, 1)
+	cuts := []int64{64, 128, 192, 256}
+	mk := func(engine Engine, seed uint64) *Result {
+		res, err := Dispatch(RunSpec{Engine: engine, Config: Config{
+			Array:             arr,
+			Placer:            protocol.SingleFactory(),
+			Reps:              reps,
+			Seed:              seed,
+			Checkpoints:       cuts,
+			CollectLoadVector: true,
+		}})
+		if err != nil {
+			t.Fatalf("%s: %v", engine, err)
+		}
+		return res
+	}
+	classic := mk(EngineClassic, 21)
+	closed := mk(EngineClosedForm, 22)
+
+	meanBand(t, "final max load", &classic.MaxLoad, &closed.MaxLoad, 5, 0)
+	meanBand(t, "final gap", &classic.Deviation, &closed.Deviation, 5, 0)
+	if len(closed.Checkpoints) != len(cuts) {
+		t.Fatalf("closed checkpoints: %d rows, want %d", len(closed.Checkpoints), len(cuts))
+	}
+	for i := range cuts {
+		cc, cl := classic.Checkpoints[i], closed.Checkpoints[i]
+		if cc.Balls != cl.Balls || cl.Reps() != int64(reps) {
+			t.Fatalf("cut %d: balls %d vs %d, reps %d", i, cc.Balls, cl.Balls, cl.Reps())
+		}
+		// The closed form realises cuts exactly (RealBalls == Balls),
+		// like the classic engine.
+		if cl.RealBalls.Mean() != float64(cl.Balls) {
+			t.Errorf("cut %d: realised %v balls, want %d", i, cl.RealBalls.Mean(), cl.Balls)
+		}
+		meanBand(t, "cut max load", &cc.MaxLoad, &cl.MaxLoad, 5, 0)
+		meanBand(t, "cut gap", &cc.Deviation, &cl.Deviation, 5, 0)
+	}
+	// The mean sorted load vectors estimate the same curve; allow a
+	// small per-element band (loads here are integer ball counts, so
+	// per-element standard errors are well below 0.1 at 400 reps).
+	worst := 0.0
+	for i := range classic.MeanSortedLoads {
+		if d := math.Abs(classic.MeanSortedLoads[i] - closed.MeanSortedLoads[i]); d > worst {
+			worst = d
+		}
+	}
+	if worst > 0.2 {
+		t.Errorf("mean sorted load vectors diverge: max element gap %.3f", worst)
+	}
+}

@@ -80,6 +80,10 @@ type Config struct {
 	// repetitions in which a bin of that class attains the maximum load
 	// (Figs 7 and 9).
 	TrackClasses []int64
+	// ClassMaxLoads requests, per listed capacity class, an accumulator
+	// of the per-repetition maximum load among the bins of that class —
+	// the Observation 1 observable (mean and worst big-bin load).
+	ClassMaxLoads []int64
 	// Checkpoints lists ball counts at which the running maximum load
 	// and its deviation from the running average load are recorded
 	// (Fig 16). Checkpoints larger than a repetition's ball count are
@@ -110,6 +114,9 @@ type CheckpointStat = obs.CheckpointRow
 type Result struct {
 	// N is the number of bins (identical across repetitions).
 	N int
+	// Engine records which engine produced the result. Set by Dispatch
+	// (empty when an engine entry point was called directly).
+	Engine Engine
 	// Balls aggregates the per-repetition ball count (constant unless the
 	// array is random and BallsFactor scaling is used).
 	Balls stats.Accumulator
@@ -127,6 +134,10 @@ type Result struct {
 	// ClassMaxFraction maps capacity class → fraction of repetitions in
 	// which that class attains the maximum load (only for TrackClasses).
 	ClassMaxFraction map[int64]float64
+	// ClassMaxLoad maps capacity class → accumulator of the
+	// per-repetition maximum load among bins of that class (only for
+	// ClassMaxLoads).
+	ClassMaxLoad map[int64]*stats.Accumulator
 	// ClassMeanSortedLoads maps class → mean sorted load vector over the
 	// bins of that class (only for ClassLoadVectors).
 	ClassMeanSortedLoads map[int64][]float64
@@ -145,6 +156,7 @@ type chunkPartial struct {
 	balls, totalCap, maxLoad, avgLoad, deviation stats.Accumulator
 	loads                                        *obs.SortedLoads
 	classMaxCount                                map[int64]int64
+	classMaxLoad                                 map[int64]*stats.Accumulator
 	classLoadSum                                 map[int64][]float64
 	cp                                           *obs.Checkpoints
 	hl                                           *obs.Heights
@@ -184,6 +196,11 @@ func (c *Config) validate() error {
 	for i, class := range c.TrackClasses {
 		if class < 1 {
 			return fmt.Errorf("sim: TrackClasses[%d] = %d, capacity classes are >= 1", i, class)
+		}
+	}
+	for i, class := range c.ClassMaxLoads {
+		if class < 1 {
+			return fmt.Errorf("sim: ClassMaxLoads[%d] = %d, capacity classes are >= 1", i, class)
 		}
 	}
 	if c.HeightLevels < 0 {
@@ -454,6 +471,14 @@ func runRep(cfg *Config, checkpoints []int64, rep uint64, fixedArr *bins.Array, 
 	// rows end up with Reps() < cfg.Reps (0 when no repetition reaches
 	// them), which is how callers see the shortfall.
 
+	return foldFinal(cfg, arr, m, rep, scratch, p)
+}
+
+// foldFinal folds one repetition's final array state into the chunk
+// partial. It is the shared endpoint of the classic and closed-form
+// engines: both converge on the same observables once the balls are
+// placed, however they got there.
+func foldFinal(cfg *Config, arr *bins.Array, m int64, rep uint64, scratch *workerScratch, p *chunkPartial) error {
 	max := arr.MaxLoad()
 	avg := arr.AverageLoad()
 	p.balls.Add(float64(m))
@@ -486,6 +511,27 @@ func runRep(cfg *Config, checkpoints []int64, rep uint64, fixedArr *bins.Array, 
 			if arr.MaxLoadInClassC(class) {
 				p.classMaxCount[class]++
 			}
+		}
+	}
+	if len(cfg.ClassMaxLoads) > 0 {
+		if p.classMaxLoad == nil {
+			p.classMaxLoad = make(map[int64]*stats.Accumulator, len(cfg.ClassMaxLoads))
+		}
+		for _, class := range cfg.ClassMaxLoads {
+			classMax := 0.0
+			for i := 0; i < arr.N(); i++ {
+				if arr.Capacity(i) == class {
+					if l := arr.Load(i); l > classMax {
+						classMax = l
+					}
+				}
+			}
+			acc := p.classMaxLoad[class]
+			if acc == nil {
+				acc = &stats.Accumulator{}
+				p.classMaxLoad[class] = acc
+			}
+			acc.Add(classMax)
 		}
 	}
 	if len(cfg.ClassLoadVectors) > 0 {
@@ -576,6 +622,19 @@ func reduce(cfg *Config, checkpoints []int64, partials []chunkPartial) (*Result,
 			}
 			for class, count := range p.classMaxCount {
 				res.ClassMaxFraction[class] += float64(count)
+			}
+		}
+		if p.classMaxLoad != nil {
+			if res.ClassMaxLoad == nil {
+				res.ClassMaxLoad = make(map[int64]*stats.Accumulator, len(p.classMaxLoad))
+			}
+			for class, acc := range p.classMaxLoad {
+				dst := res.ClassMaxLoad[class]
+				if dst == nil {
+					dst = &stats.Accumulator{}
+					res.ClassMaxLoad[class] = dst
+				}
+				dst.Merge(acc)
 			}
 		}
 		if p.classLoadSum != nil {

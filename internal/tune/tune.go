@@ -36,6 +36,12 @@ type Config struct {
 	Workers int
 	// D is the number of choices (default 2).
 	D int
+	// Engine selects the simulation engine objective evaluations
+	// dispatch through ("" = auto).
+	Engine sim.Engine
+	// Shards overrides the sharded engine's shard count (0 =
+	// sim.DefaultShards).
+	Shards int
 }
 
 func (c Config) reps() int {
@@ -59,14 +65,18 @@ func EvaluateExponent(caps []int64, t float64, cfg Config) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	res, err := sim.Run(sim.Config{
-		Array:   arr,
-		Dist:    dist.Power{T: t},
-		Balls:   cfg.Balls,
-		Reps:    cfg.reps(),
-		Seed:    cfg.seed(),
-		Workers: cfg.Workers,
-		Placer:  nil, // Algorithm 1, d = 2 default
+	res, err := sim.Dispatch(sim.RunSpec{
+		Config: sim.Config{
+			Array:   arr,
+			Dist:    dist.Power{T: t},
+			Balls:   cfg.Balls,
+			Reps:    cfg.reps(),
+			Seed:    cfg.seed(),
+			Workers: cfg.Workers,
+			Placer:  nil, // Algorithm 1, d = 2 default
+		},
+		Engine: cfg.Engine,
+		Shards: cfg.Shards,
 	})
 	if err != nil {
 		return 0, err
@@ -228,13 +238,17 @@ func evaluateClassWeights(arr *bins.Array, classes []int64, classW []float64, cf
 	for i := 0; i < arr.N(); i++ {
 		w[i] = classW[idx[arr.Capacity(i)]]
 	}
-	res, err := sim.Run(sim.Config{
-		Array:   arr,
-		Dist:    dist.Custom{W: w, Desc: "class-weights"},
-		Balls:   cfg.Balls,
-		Reps:    cfg.reps(),
-		Seed:    cfg.seed(),
-		Workers: cfg.Workers,
+	res, err := sim.Dispatch(sim.RunSpec{
+		Config: sim.Config{
+			Array:   arr,
+			Dist:    dist.Custom{W: w, Desc: "class-weights"},
+			Balls:   cfg.Balls,
+			Reps:    cfg.reps(),
+			Seed:    cfg.seed(),
+			Workers: cfg.Workers,
+		},
+		Engine: cfg.Engine,
+		Shards: cfg.Shards,
 	})
 	if err != nil {
 		return 0, err

@@ -7,10 +7,13 @@
 #   literal "ci" for the bench-regression CI job (same suite, shorter
 #   benchtime, output BENCH_ci.json — never commit that file).
 #
-# The JSON maps benchmark name -> {ns_per_op, bytes_per_op, allocs_per_op}.
-# Missing -benchmem fields are emitted as JSON null; the output is
-# always valid JSON (self-checked with `jq -e .` when jq is available),
-# including the no-benchmarks-matched case ({}).
+# The JSON maps benchmark name -> {ns_per_op, bytes_per_op, allocs_per_op},
+# plus a "_topology" entry recording the box the numbers were taken on
+# (GOOS/GOARCH, CPU count, GOMAXPROCS) so bench_compare.sh can warn when
+# a comparison crosses machines. Missing -benchmem fields are emitted as
+# JSON null; the output is always valid JSON (self-checked with
+# `jq -e .` when jq is available), including the no-benchmarks-matched
+# case.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -27,6 +30,16 @@ fi
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
+# Box topology, recorded alongside the numbers so bench_compare.sh can
+# warn when a comparison crosses machines (ns/op is only meaningful
+# like-with-like). GOMAXPROCS defaults to the CPU count unless pinned
+# via the environment, mirroring the Go runtime's default.
+GOOS_V="$(go env GOOS)"
+GOARCH_V="$(go env GOARCH)"
+NUM_CPU="$(getconf _NPROCESSORS_ONLN 2>/dev/null || nproc 2>/dev/null || echo 0)"
+GOMAXPROCS_V="${GOMAXPROCS:-$NUM_CPU}"
+TOPO="{\"goos\": \"${GOOS_V}\", \"goarch\": \"${GOARCH_V}\", \"num_cpu\": ${NUM_CPU}, \"gomaxprocs\": ${GOMAXPROCS_V}}"
+
 # BenchmarkRouteBalls* (old per-ball routing vs the block-wise
 # multinomial pass) lives in internal/sim, so the suite spans two
 # packages; the awk emitter below keys on benchmark lines only and is
@@ -34,7 +47,7 @@ trap 'rm -f "$RAW"' EXIT
 go test -run '^$' -bench 'BenchmarkPlace|BenchmarkSimulateSmall|BenchmarkSimulateLargeCheckpoints|BenchmarkRunLargeSharded|BenchmarkRunLargeMonte|BenchmarkRouteBalls' \
 	-benchmem -benchtime "$BENCHTIME" -count 1 . ./internal/sim | tee "$RAW"
 
-awk '
+awk -v topo="$TOPO" '
 # jnum renders a benchmark metric as a JSON value: the number itself,
 # or null when the field was absent from the line (e.g. -benchmem off).
 function jnum(x) {
@@ -59,6 +72,7 @@ function jnum(x) {
 }
 END {
 	print "{"
+	printf "  \"_topology\": %s%s\n", topo, (n > 0 ? "," : "")
 	for (i = 1; i <= n; i++) printf "%s%s\n", results[i], (i < n ? "," : "")
 	print "}"
 }

@@ -13,6 +13,12 @@
 #     so any increase is a real regression, not noise).
 # Benchmarks present in only one file are reported and skipped: new
 # benchmarks have no baseline, and retired ones no current number.
+#
+# When both files carry a "_topology" entry (bench.sh records
+# GOOS/GOARCH, CPU count and GOMAXPROCS) and they differ, a warning is
+# printed: ns/op comparisons across differing boxes are indicative
+# only, not grounds for a verdict. The comparison still runs — the
+# allocs/op check remains machine-independent.
 set -eu
 
 if [ $# -lt 2 ]; then
@@ -27,8 +33,20 @@ command -v jq >/dev/null 2>&1 || { echo "bench_compare.sh: jq is required" >&2; 
 jq -e . "$BASE" >/dev/null || { echo "bench_compare.sh: $BASE is not valid JSON" >&2; exit 2; }
 jq -e . "$CUR" >/dev/null || { echo "bench_compare.sh: $CUR is not valid JSON" >&2; exit 2; }
 
+# Topology check: compare like with like. Older baselines without a
+# _topology entry compare as "null" and only warn if the current file
+# has one (and vice versa).
+base_topo=$(jq -cS '."_topology" // null' "$BASE")
+cur_topo=$(jq -cS '."_topology" // null' "$CUR")
+if [ "$base_topo" != "$cur_topo" ]; then
+	echo "WARN  box topology differs between baseline and current run:"
+	echo "WARN    baseline: $base_topo"
+	echo "WARN    current:  $cur_topo"
+	echo "WARN  ns/op deltas across differing boxes are indicative only"
+fi
+
 fail=0
-for name in $(jq -r 'keys[]' "$BASE"); do
+for name in $(jq -r 'keys[] | select(. != "_topology")' "$BASE"); do
 	if ! jq -e --arg n "$name" 'has($n)' "$CUR" >/dev/null; then
 		echo "SKIP  $name: absent from current run"
 		continue
@@ -56,7 +74,7 @@ for name in $(jq -r 'keys[]' "$BASE"); do
 	printf 'ok    %s: ns/op %s -> %s, allocs/op %s -> %s\n' \
 		"$name" "${base_ns:-?}" "${cur_ns:-?}" "${base_allocs:-?}" "${cur_allocs:-?}"
 done
-for name in $(jq -r 'keys[]' "$CUR"); do
+for name in $(jq -r 'keys[] | select(. != "_topology")' "$CUR"); do
 	if ! jq -e --arg n "$name" 'has($n)' "$BASE" >/dev/null; then
 		echo "NEW   $name: no baseline yet"
 	fi
