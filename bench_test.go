@@ -172,6 +172,39 @@ func benchRunLarge(b *testing.B, workers int) {
 func BenchmarkRunLargeSharded1W(b *testing.B) { benchRunLarge(b, 1) }
 func BenchmarkRunLargeSharded4W(b *testing.B) { benchRunLarge(b, 4) }
 
+// benchRunStream measures the streaming engine at n = 10^6: arrivals,
+// deletions and rebalance every round, reported as rounds/sec. The
+// alloc counters cover the whole run including setup; the engine's
+// steady-state zero-allocation guarantee (no per-round allocations
+// after warm-up) is asserted exactly by
+// internal/sim.TestStreamSteadyStateAllocFree.
+func benchRunStream(b *testing.B, workers int) {
+	b.Helper()
+	caps := CapacitiesTwoClass(500000, 1, 500000, 10)
+	const rounds = 4
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SimulateStream(StreamConfig{
+			Capacities:   caps,
+			Rounds:       rounds,
+			Arrivals:     250_000,
+			Deletions:    100_000,
+			RebalanceTol: 0.2,
+			Seed:         1,
+			Shards:       64,
+			Workers:      workers,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*rounds)/b.Elapsed().Seconds(), "rounds/sec")
+}
+
+func BenchmarkRunStream1W(b *testing.B) { benchRunStream(b, 1) }
+func BenchmarkRunStream4W(b *testing.B) { benchRunStream(b, 4) }
+
 // benchRunLargeMonte measures the sharded Monte-Carlo engine: several
 // repetitions of a large sharded game per iteration, with per-shard
 // tasks nested inside repetition orchestration on the shared pool.

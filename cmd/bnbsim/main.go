@@ -10,6 +10,8 @@
 //	bnbsim -spec 500000x1+500000x10 -large     # one sharded huge run
 //	bnbsim -spec 1000000x1 -large -shards 128 -workers 8
 //	bnbsim -spec 1000000x1 -large -reps 100    # sharded Monte-Carlo aggregate
+//	bnbsim -spec 100000x1 -stream -rounds 10 -m 50000 -deletions 20000
+//	bnbsim -spec 100000x1 -stream -schedule 80000,0,40000 -rebalance-tol 0.2
 package main
 
 import (
@@ -64,6 +66,12 @@ func run(args []string) error {
 	heights := fs.Int("heights", 0, "report the number of bins at final load >= k for k = 1..HEIGHTS")
 	resumeFile := fs.String("resume", "", "resume-state file for -large -reps: loaded when it exists, written on cancellation; a resumed run's output is byte-identical to an uninterrupted one")
 	cancelAfter := fs.Int("cancel-after-reps", 0, "with -large -reps: deterministically stop after this many repetitions, emitting partial aggregates (and -resume state) with exit status 0")
+	stream := fs.Bool("stream", false, "run the streaming engine: balls arrive in rounds (-m per round), a deterministic deletion stream expires them, shards optionally rebalance between rounds")
+	rounds := fs.Int("rounds", 0, "with -stream: number of rounds")
+	scheduleFlag := fs.String("schedule", "", "with -stream: comma-separated per-round arrival counts (mutually exclusive with -m/-factor; implies -rounds)")
+	deletions := fs.Int64("deletions", 0, "with -stream: balls deleted per round (clamped to the occupancy)")
+	rebalanceTol := fs.Float64("rebalance-tol", 0, "with -stream: after deletions, shards above (1+TOL)x their target occupancy shed the excess to underfull shards (0 = off)")
+	cancelRounds := fs.Int("cancel-after-rounds", 0, "with -stream: deterministically stop after this many completed rounds, emitting the partial round prefix with exit status 0")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -71,6 +79,11 @@ func run(args []string) error {
 	caps, err := balls.ParseCapacitySpec(*spec)
 	if err != nil {
 		return err
+	}
+	// In stream mode checkpoints are ROUND indices, so the NxC
+	// ball-count syntax has no meaning there.
+	if *stream && strings.Contains(*checkpointsFlag, "xC") {
+		return fmt.Errorf("-checkpoints with -stream takes round indices, not NxC ball counts")
 	}
 	checkpoints, err := parseCheckpoints(*checkpointsFlag, sum(caps))
 	if err != nil {
@@ -96,6 +109,28 @@ func run(args []string) error {
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
 
+	if *stream {
+		if *large {
+			return fmt.Errorf("-stream and -large are mutually exclusive (a streaming run is already sharded)")
+		}
+		if explicit["reps"] {
+			return fmt.Errorf("-reps needs the classic or -large engines (a -stream run is a single stream)")
+		}
+		if *showLoads {
+			return fmt.Errorf("-loads needs the classic engine or -large -reps (a streaming run has no mean load vector)")
+		}
+		if *resumeFile != "" || *cancelAfter != 0 {
+			return fmt.Errorf("-resume and -cancel-after-reps need -large -reps (streaming runs stop on round boundaries; see -cancel-after-rounds)")
+		}
+		schedule, err := parseSchedule(*scheduleFlag)
+		if err != nil {
+			return err
+		}
+		return runStream(ctx, caps, *ballsN, *factor, schedule, *rounds, *deletions, *rebalanceTol, *seed, *shards, *workers, checkpoints, *heights, distribution, protocol, *cancelRounds)
+	}
+	if explicit["rounds"] || explicit["schedule"] || explicit["deletions"] || explicit["rebalance-tol"] || explicit["cancel-after-rounds"] {
+		return fmt.Errorf("-rounds, -schedule, -deletions, -rebalance-tol and -cancel-after-rounds need -stream")
+	}
 	if *large {
 		// -large alone runs one sharded repetition; -large with an
 		// explicit -reps runs the sharded Monte-Carlo engine.
@@ -270,6 +305,112 @@ func runLarge(ctx context.Context, caps []int64, m int64, factor float64, seed u
 	fmt.Printf("max load:        %.4f\n", res.MaxLoad)
 	fmt.Printf("max − avg:       %.4f\n", res.Deviation)
 	printCheckpoints(res.Checkpoints)
+	printHeights(res.Heights)
+	fmt.Printf("wall time:       %s\n", elapsed.Round(time.Millisecond))
+	return nil
+}
+
+// parseSchedule parses the -schedule flag: comma-separated per-round
+// arrival counts.
+func parseSchedule(s string) ([]int64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int64
+	for _, item := range strings.Split(s, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(item), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad schedule entry %q (want an integer arrival count)", item)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// printStreamCheckpoints renders the round-indexed trajectory table of
+// a streaming run: the first column is the ROUND of the cut and the
+// third the occupancy at the end of that round.
+func printStreamCheckpoints(cps []balls.CheckpointResult) {
+	if len(cps) == 0 {
+		return
+	}
+	fmt.Println("trajectory:      (round, reps, balls, max load, max − avg)")
+	for _, cp := range cps {
+		if cp.Reps == 0 {
+			fmt.Printf("%16d %6d %14s %10s %10s  (not observed)\n", cp.Balls, cp.Reps, "-", "-", "-")
+			continue
+		}
+		fmt.Printf("%16d %6d %14.1f %10.4f %10.4f\n",
+			cp.Balls, cp.Reps, cp.MeanBalls, cp.MeanMaxLoad, cp.MeanDeviation)
+	}
+}
+
+// runStream executes the streaming mode (-stream) and prints its
+// summary. Everything above the wall-time line is a pure function of
+// the model flags — scripts/determinism.sh byte-compares it across
+// worker counts. A cancelled run prints the completed-round prefix
+// (bit-identical to a run configured with that many rounds) and
+// returns the CancelledError for main's exit-status handling.
+func runStream(ctx context.Context, caps []int64, m int64, factor float64, schedule []int64, rounds int, deletions int64, tol float64, seed uint64, shards, workers int, checkpoints []int64, heights int, d balls.Distribution, p balls.Protocol, cancelRounds int) error {
+	start := time.Now()
+	res, err := balls.SimulateStream(balls.StreamConfig{
+		Capacities:        caps,
+		Rounds:            rounds,
+		Arrivals:          m,
+		ArrivalsFactor:    factor,
+		Schedule:          schedule,
+		Deletions:         deletions,
+		RebalanceTol:      tol,
+		Seed:              seed,
+		Shards:            shards,
+		Workers:           workers,
+		Distribution:      d,
+		Protocol:          p,
+		Checkpoints:       checkpoints,
+		Heights:           heights,
+		Context:           ctx,
+		CancelAfterRounds: cancelRounds,
+	})
+	var cancelled *balls.CancelledError
+	if err != nil && !errors.As(err, &cancelled) {
+		return err
+	}
+	if cancelled != nil {
+		fmt.Fprintf(os.Stderr, "bnbsim: interrupted — %d completed rounds, %d checkpoint cuts, no final state\n",
+			cancelled.CompletedRounds, cancelled.CompletedCuts)
+		fmt.Printf("mode:            streaming (interrupted)\n")
+		fmt.Printf("bins:            %d (C = %d)\n", res.N, sum(caps))
+		fmt.Printf("rounds:          %d completed\n", res.Rounds)
+		fmt.Printf("arrived:         %d\n", res.Arrived)
+		fmt.Printf("deleted:         %d\n", res.Deleted)
+		fmt.Printf("balls:           %d\n", res.Balls)
+		printStreamCheckpoints(res.Checkpoints[:cancelled.CompletedCuts])
+		return err
+	}
+	elapsed := time.Since(start)
+	var minB, maxB int64 = res.Balls, 0
+	for _, b := range res.ShardBalls {
+		if b < minB {
+			minB = b
+		}
+		if b > maxB {
+			maxB = b
+		}
+	}
+	fmt.Printf("mode:            streaming\n")
+	fmt.Printf("bins:            %d (C = %d)\n", res.N, sum(caps))
+	fmt.Printf("rounds:          %d\n", res.Rounds)
+	fmt.Printf("protocol:        %s\n", p.Name())
+	fmt.Printf("distribution:    %s\n", d.Name())
+	fmt.Printf("shards:          %d (balls/shard %d..%d)\n", res.Shards, minB, maxB)
+	fmt.Printf("arrived:         %d\n", res.Arrived)
+	fmt.Printf("deleted:         %d\n", res.Deleted)
+	fmt.Printf("rebalanced:      %d\n", res.Moved)
+	fmt.Printf("balls:           %d\n", res.Balls)
+	fmt.Printf("average load:    %.4f\n", res.AverageLoad)
+	fmt.Printf("max load:        %.4f\n", res.MaxLoad)
+	fmt.Printf("max − avg:       %.4f\n", res.Deviation)
+	printStreamCheckpoints(res.Checkpoints)
 	printHeights(res.Heights)
 	fmt.Printf("wall time:       %s\n", elapsed.Round(time.Millisecond))
 	return nil

@@ -121,6 +121,81 @@ func TestRunLargeMonteEndToEnd(t *testing.T) {
 	}
 }
 
+func TestRunStreamEndToEnd(t *testing.T) {
+	if err := run([]string{"-spec", "100x1+100x10", "-stream", "-rounds", "4", "-m", "500",
+		"-deletions", "100", "-rebalance-tol", "0.25", "-shards", "8",
+		"-checkpoints", "2,4", "-heights", "2"}); err != nil {
+		t.Fatalf("run -stream: %v", err)
+	}
+	if err := run([]string{"-spec", "100x1", "-stream", "-schedule", "800,0,200", "-deletions", "50", "-shards", "4"}); err != nil {
+		t.Fatalf("run -stream -schedule: %v", err)
+	}
+	// -cancel-after-rounds reports a planned cancel (nil cause — main
+	// exits 0 on it) with the completed-round prefix.
+	err := run([]string{"-spec", "100x1", "-stream", "-rounds", "5", "-m", "200",
+		"-cancel-after-rounds", "2", "-checkpoints", "1,4"})
+	var cerr *balls.CancelledError
+	if !errors.As(err, &cerr) {
+		t.Fatalf("cancelled run: err = %v, want *balls.CancelledError", err)
+	}
+	if cerr.Cause != nil || cerr.CompletedRounds != 2 || cerr.CompletedCuts != 1 {
+		t.Fatalf("cancelled run: provenance %+v, want planned cancel at 2 rounds, 1 cut", cerr)
+	}
+}
+
+func TestStreamFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"stream+large", []string{"-spec", "10x1", "-stream", "-large", "-rounds", "2"}},
+		{"stream+reps", []string{"-spec", "10x1", "-stream", "-rounds", "2", "-reps", "5"}},
+		{"stream+loads", []string{"-spec", "10x1", "-stream", "-rounds", "2", "-loads"}},
+		{"stream+resume", []string{"-spec", "10x1", "-stream", "-rounds", "2", "-resume", "x.json"}},
+		{"stream+cancel-reps", []string{"-spec", "10x1", "-stream", "-rounds", "2", "-cancel-after-reps", "3"}},
+		{"stream+xC-checkpoint", []string{"-spec", "10x1", "-stream", "-rounds", "2", "-checkpoints", "1xC"}},
+		{"rounds-without-stream", []string{"-spec", "10x1", "-rounds", "3"}},
+		{"deletions-without-stream", []string{"-spec", "10x1", "-deletions", "5"}},
+		{"tol-without-stream", []string{"-spec", "10x1", "-rebalance-tol", "0.1"}},
+		{"schedule-without-stream", []string{"-spec", "10x1", "-schedule", "5,5"}},
+		{"cancel-rounds-without-stream", []string{"-spec", "10x1", "-cancel-after-rounds", "2"}},
+		{"no-rounds", []string{"-spec", "10x1", "-stream"}},
+		{"schedule-clash", []string{"-spec", "10x1", "-stream", "-schedule", "5,5", "-m", "5"}},
+		{"bad-schedule", []string{"-spec", "10x1", "-stream", "-schedule", "5,x"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := run(tc.args); err == nil {
+				t.Errorf("run(%v) accepted", tc.args)
+			}
+		})
+	}
+}
+
+func TestParseSchedule(t *testing.T) {
+	got, err := parseSchedule("500, 0,200")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{500, 0, 200}
+	if len(got) != len(want) {
+		t.Fatalf("parseSchedule = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("parseSchedule = %v, want %v", got, want)
+		}
+	}
+	if got, err := parseSchedule(""); err != nil || got != nil {
+		t.Fatalf("empty flag: %v, %v", got, err)
+	}
+	for _, bad := range []string{"abc", "1,", "1..2"} {
+		if _, err := parseSchedule(bad); err == nil {
+			t.Errorf("parseSchedule(%q) accepted", bad)
+		}
+	}
+}
+
 func TestSum(t *testing.T) {
 	if got := sum([]int64{1, 2, 3}); got != 6 {
 		t.Fatalf("sum = %d", got)

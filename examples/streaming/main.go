@@ -1,0 +1,109 @@
+// Command streaming demonstrates the streaming engine: balls arrive in
+// rounds, a deterministic deletion stream expires them, and an
+// inter-round rebalance pass bounds cross-shard drift — a churning
+// system observed along its trajectory rather than a one-shot
+// placement. The run shows three contracts at once:
+//
+//   - the trajectory (round-indexed checkpoints) and final state are
+//     bit-identical for any -workers value;
+//
+//   - a run cancelled after k rounds is bit-identical to a run
+//     configured with k rounds — the completed-round prefix is the
+//     model state, never a torn intermediate;
+//
+//   - steady-state occupancy converges to arrivals − deletions per
+//     round, with the rebalance pass keeping every shard within
+//     (1+tol)× its target.
+//
+// Usage:
+//
+//	go run ./examples/streaming [-n 100000] [-rounds 12]
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"reflect"
+
+	balls "repro"
+)
+
+func main() {
+	n := flag.Int("n", 100_000, "number of bins (half capacity 1, half capacity 10)")
+	rounds := flag.Int("rounds", 12, "rounds to run")
+	flag.Parse()
+
+	caps := balls.CapacitiesTwoClass(*n/2, 1, *n-*n/2, 10)
+	cfg := balls.StreamConfig{
+		Capacities:   caps,
+		Rounds:       *rounds,
+		Arrivals:     int64(*n),
+		Deletions:    int64(*n) / 2,
+		RebalanceTol: 0.1,
+		Seed:         7,
+		Shards:       32,
+		Checkpoints:  roundCuts(*rounds),
+	}
+	fmt.Printf("streaming: n = %d bins, %d rounds × (%d arrivals, %d deletions), tol 0.1\n\n",
+		*n, *rounds, cfg.Arrivals, cfg.Deletions)
+
+	res, err := balls.SimulateStream(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("round   occupancy   max load   max − avg")
+	for _, cp := range res.Checkpoints {
+		fmt.Printf("%5d %11.0f %10.4f %11.4f\n", cp.Balls, cp.MeanBalls, cp.MeanMaxLoad, cp.MeanDeviation)
+	}
+	fmt.Printf("\nfinal: %d balls (%d arrived − %d deleted), %d rebalanced, max load %.4f\n",
+		res.Balls, res.Arrived, res.Deleted, res.Moved, res.MaxLoad)
+
+	// Workers never change a bit of the trajectory or the final state.
+	cfg2 := cfg
+	cfg2.Workers = 4
+	res4, err := balls.SimulateStream(cfg2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.ShardBalls, res4.ShardBalls) || res.MaxLoad != res4.MaxLoad {
+		fmt.Fprintln(os.Stderr, "DETERMINISM VIOLATION: result differs at workers=4")
+		os.Exit(1)
+	}
+	fmt.Printf("trajectory and final state bit-identical across worker counts ✓\n")
+
+	// A cancelled run IS a shorter run: stop after rounds/2 completed
+	// rounds and compare against a run configured with exactly that
+	// many rounds.
+	k := *rounds / 2
+	part := cfg
+	part.CancelAfterRounds = k
+	pres, err := balls.SimulateStream(part)
+	var cancelled *balls.CancelledError
+	if !errors.As(err, &cancelled) {
+		log.Fatalf("expected a CancelledError, got %v", err)
+	}
+	short := cfg
+	short.Rounds = k
+	short.Checkpoints = roundCuts(k)
+	sres, err := balls.SimulateStream(short)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if pres.Balls != sres.Balls || !reflect.DeepEqual(pres.ShardBalls, sres.ShardBalls) {
+		fmt.Fprintln(os.Stderr, "PREFIX VIOLATION: cancelled prefix differs from a shorter run")
+		os.Exit(1)
+	}
+	fmt.Printf("run cancelled after %d rounds ≡ a %d-round run, bit for bit ✓\n", k, k)
+}
+
+// roundCuts observes every round: 1..rounds.
+func roundCuts(rounds int) []int64 {
+	cuts := make([]int64, rounds)
+	for i := range cuts {
+		cuts[i] = int64(i + 1)
+	}
+	return cuts
+}

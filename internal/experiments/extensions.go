@@ -57,7 +57,7 @@ func extHeights(p Params) ([]*table.Table, error) {
 	for _, c := range configs {
 		res, err := p.sim(sim.Config{
 			Array: c.caps, Reps: reps, Seed: p.seed(), Workers: p.Workers,
-			HeightBins: heightBins, HeightMax: heightMax,
+			ObsOptions: sim.ObsOptions{HeightBins: heightBins, HeightMax: heightMax},
 		})
 		if err != nil {
 			return nil, err
@@ -137,12 +137,12 @@ func extHeavyHet(p Params) ([]*table.Table, error) {
 		checkpoints[i] = k * c
 	}
 	res, err := p.sim(sim.Config{
-		Array:       arr,
-		Balls:       ks[len(ks)-1] * c,
-		Reps:        reps,
-		Seed:        p.seed(),
-		Workers:     p.Workers,
-		Checkpoints: checkpoints,
+		Array:      arr,
+		Balls:      ks[len(ks)-1] * c,
+		Reps:       reps,
+		Seed:       p.seed(),
+		Workers:    p.Workers,
+		ObsOptions: sim.ObsOptions{Checkpoints: checkpoints},
 	})
 	if err != nil {
 		return nil, err
@@ -265,14 +265,14 @@ func extWieder(p Params) ([]*table.Table, error) {
 	series := make([][]float64, 3)
 	run := func(d int, dd dist.Distribution) ([]float64, error) {
 		res, err := p.sim(sim.Config{
-			Array:       arr,
-			Dist:        dd,
-			Placer:      protocol.StandardFactory(d),
-			Balls:       ks[len(ks)-1] * int64(n),
-			Reps:        reps,
-			Seed:        p.seed(),
-			Workers:     p.Workers,
-			Checkpoints: checkpoints,
+			Array:      arr,
+			Dist:       dd,
+			Placer:     protocol.StandardFactory(d),
+			Balls:      ks[len(ks)-1] * int64(n),
+			Reps:       reps,
+			Seed:       p.seed(),
+			Workers:    p.Workers,
+			ObsOptions: sim.ObsOptions{Checkpoints: checkpoints},
 		})
 		if err != nil {
 			return nil, err

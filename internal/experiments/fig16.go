@@ -46,11 +46,11 @@ func fig16(p Params) ([]*table.Table, error) {
 			ArrayFn: func(r *xrand.Rand) (*bins.Array, error) {
 				return bins.RandomBinomialK(n, meanC, k, r)
 			},
-			Balls:       capTotal * rounds,
-			Reps:        reps,
-			Seed:        p.seed(),
-			Workers:     p.Workers,
-			Checkpoints: checkpoints,
+			Balls:      capTotal * rounds,
+			Reps:       reps,
+			Seed:       p.seed(),
+			Workers:    p.Workers,
+			ObsOptions: sim.ObsOptions{Checkpoints: checkpoints},
 		})
 		if err != nil {
 			return nil, err

@@ -51,6 +51,14 @@ const (
 	// OpOrchestrator is a Monte repetition orchestrator step — after
 	// the repetition's tasks have drained, before its fold turn.
 	OpOrchestrator
+	// OpDelete is one deletion step of the streaming engine: the
+	// round's shard-routing pass (Shard = -1) or one shard's
+	// within-shard deletion task (Shard = the shard index). Rep is the
+	// round index.
+	OpDelete
+	// OpRebalance is one shard's inter-round move-out task in the
+	// streaming engine's rebalance pass. Rep is the round index.
+	OpRebalance
 )
 
 // String returns the operation name used in provenance messages.
@@ -70,6 +78,10 @@ func (o Op) String() string {
 		return "chunk"
 	case OpOrchestrator:
 		return "orchestrator"
+	case OpDelete:
+		return "delete"
+	case OpRebalance:
+		return "rebalance"
 	}
 	return "unknown"
 }

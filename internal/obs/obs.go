@@ -129,12 +129,15 @@ func AlignShardCuts(prefix [][]int64, align int64, realized []int64) {
 
 // CheckpointRow aggregates one checkpoint across repetitions.
 type CheckpointRow struct {
-	// Balls is the requested cut (a global ball count).
+	// Balls is the requested cut: a global ball count in the
+	// repetition engines, a ROUND index in the streaming engine (cut k
+	// observes the system at the end of round Balls).
 	Balls int64
 	// RealBalls aggregates the realised ball count at the cut: equal
 	// to Balls in the classic engine, the block-aligned per-shard sum
 	// (<= Balls, and varying per repetition with the routing stream)
-	// in the sharded engines.
+	// in the sharded engines, and the occupancy at the end of the cut
+	// round in the streaming engine.
 	RealBalls stats.Accumulator
 	// MaxLoad aggregates the running maximum load at the cut.
 	MaxLoad stats.Accumulator

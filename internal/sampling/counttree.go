@@ -1,0 +1,124 @@
+package sampling
+
+import (
+	"fmt"
+
+	"repro/internal/xrand"
+)
+
+// CountTree is a Fenwick tree over non-negative integer counts,
+// supporting exact uniform sampling WITHOUT replacement: Sample picks
+// index i with probability count_i / total using one bounded integer
+// draw (no floating point anywhere, so the draw law is exact and the
+// structure never accumulates rounding residue the way the float64
+// Fenwick sampler can), and Dec removes one unit from an index. Both
+// cost O(log n).
+//
+// It is the kernel of the streaming engine's deletion pass: deleting D
+// balls exactly uniformly without replacement is D rounds of
+// Sample-then-Dec over the bin (or shard) ball counts — each round a
+// single Uint64n draw on the caller's stream, so the draw sequence is
+// pinned by (counts, stream) alone.
+//
+// A CountTree is not safe for concurrent use. The zero value is
+// unusable; allocate with NewCountTree and (re)fill with Build, which
+// is allocation-free so per-round rebuilds cost no steady-state
+// garbage.
+type CountTree struct {
+	tree []int64 // 1-based Fenwick tree of counts
+	n    int
+	mask int // highest power of two <= n
+	tot  int64
+}
+
+// NewCountTree allocates a tree over n indices (n >= 1), all counts
+// zero. Call Build (or Inc) before sampling.
+func NewCountTree(n int) (*CountTree, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("sampling: CountTree over %d indices, need >= 1", n)
+	}
+	mask := 1
+	for mask<<1 <= n {
+		mask <<= 1
+	}
+	return &CountTree{tree: make([]int64, n+1), n: n, mask: mask}, nil
+}
+
+// N returns the number of indices.
+func (t *CountTree) N() int { return t.n }
+
+// Total returns the current sum of counts.
+func (t *CountTree) Total() int64 { return t.tot }
+
+// Build refills the tree from count(i) for i in [0, N()) in O(n)
+// without allocating, so a tree can be rebuilt every round. count must
+// return non-negative values; Build panics on a negative count (a
+// negative ball count is always an upstream accounting bug, and
+// sampling would silently misbehave on it).
+func (t *CountTree) Build(count func(i int) int64) {
+	clear(t.tree)
+	t.tot = 0
+	for i := 1; i <= t.n; i++ {
+		c := count(i - 1)
+		if c < 0 {
+			panic(fmt.Sprintf("sampling: CountTree.Build: negative count %d at index %d", c, i-1))
+		}
+		t.tot += c
+		t.tree[i] += c
+		if j := i + (i & -i); j <= t.n {
+			t.tree[j] += t.tree[i]
+		}
+	}
+}
+
+// Count returns the current count of index i in O(log n).
+func (t *CountTree) Count(i int) int64 {
+	c := t.tree[i+1]
+	// Subtract the sibling ranges folded into tree[i+1].
+	for j, stop := i, (i+1)-((i+1)&-(i+1)); j > stop; j -= j & -j {
+		c -= t.tree[j]
+	}
+	return c
+}
+
+// Sample returns an index with probability count_i / Total(), using a
+// single exact bounded draw from r. It panics when Total() == 0 —
+// sampling from an empty population is always a caller bug.
+func (t *CountTree) Sample(r *xrand.Rand) int {
+	if t.tot <= 0 {
+		panic("sampling: CountTree.Sample with zero total")
+	}
+	// u is uniform on [0, tot); descend to the first index whose prefix
+	// sum exceeds u. All-integer: the sampled law is exactly the counts.
+	u := int64(r.Uint64n(uint64(t.tot)))
+	idx := 0
+	for mask := t.mask; mask > 0; mask >>= 1 {
+		next := idx + mask
+		if next <= t.n && t.tree[next] <= u {
+			u -= t.tree[next]
+			idx = next
+		}
+	}
+	return idx // 0-based: idx entries have prefix sum <= u
+}
+
+// Dec removes one unit from index i (O(log n)). It panics when the
+// index's count is already zero: a without-replacement stream can
+// never remove what is not there.
+func (t *CountTree) Dec(i int) {
+	if t.Count(i) <= 0 {
+		panic(fmt.Sprintf("sampling: CountTree.Dec at index %d with zero count", i))
+	}
+	t.tot--
+	for j := i + 1; j <= t.n; j += j & -j {
+		t.tree[j]--
+	}
+}
+
+// Inc adds one unit to index i (O(log n)).
+func (t *CountTree) Inc(i int) {
+	t.tot++
+	for j := i + 1; j <= t.n; j += j & -j {
+		t.tree[j]++
+	}
+}

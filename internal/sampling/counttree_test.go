@@ -1,0 +1,161 @@
+package sampling
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestCountTreeBuildAndCount(t *testing.T) {
+	counts := []int64{3, 0, 7, 1, 0, 5, 2}
+	ct, err := NewCountTree(len(counts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct.Build(func(i int) int64 { return counts[i] })
+	if ct.Total() != 18 {
+		t.Fatalf("Total = %d, want 18", ct.Total())
+	}
+	for i, c := range counts {
+		if got := ct.Count(i); got != c {
+			t.Fatalf("Count(%d) = %d, want %d", i, got, c)
+		}
+	}
+	// Build must be idempotent (clears previous state).
+	ct.Build(func(i int) int64 { return counts[i] })
+	if ct.Total() != 18 {
+		t.Fatalf("Total after rebuild = %d, want 18", ct.Total())
+	}
+}
+
+// TestCountTreeExhaustion drains the whole population without
+// replacement: every unit must come out exactly once.
+func TestCountTreeExhaustion(t *testing.T) {
+	counts := []int64{2, 5, 0, 1, 9, 3, 0, 4}
+	for _, n := range []int{1, 3, len(counts)} {
+		ct, err := NewCountTree(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ct.Build(func(i int) int64 { return counts[i] })
+		drawn := make([]int64, n)
+		r := xrand.New(99)
+		for ct.Total() > 0 {
+			i := ct.Sample(r)
+			ct.Dec(i)
+			drawn[i]++
+		}
+		for i := 0; i < n; i++ {
+			if drawn[i] != counts[i] {
+				t.Fatalf("n=%d: drew %d units from index %d, want %d", n, drawn[i], i, counts[i])
+			}
+			if ct.Count(i) != 0 {
+				t.Fatalf("n=%d: Count(%d) = %d after exhaustion", n, i, ct.Count(i))
+			}
+		}
+	}
+}
+
+// TestCountTreeLaw checks the exact sampling law: the frequency of each
+// index over many WITH-replacement draws (Sample without Dec) must
+// match count_i/total within Monte-Carlo noise.
+func TestCountTreeLaw(t *testing.T) {
+	counts := []int64{1, 0, 4, 10, 0, 5}
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	ct, err := NewCountTree(len(counts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct.Build(func(i int) int64 { return counts[i] })
+	r := xrand.New(7)
+	const draws = 200000
+	freq := make([]int64, len(counts))
+	for k := 0; k < draws; k++ {
+		freq[ct.Sample(r)]++
+	}
+	for i, c := range counts {
+		want := float64(c) / float64(total)
+		got := float64(freq[i]) / draws
+		if diff := got - want; diff > 0.01 || diff < -0.01 {
+			t.Errorf("index %d: frequency %.4f, want %.4f", i, got, want)
+		}
+	}
+}
+
+// TestCountTreeDeterminism pins the draw sequence: sampling is a pure
+// function of (counts, stream). A change here is a model change.
+func TestCountTreeDeterminism(t *testing.T) {
+	counts := []int64{3, 1, 4, 1, 5, 9, 2, 6}
+	ct, err := NewCountTree(len(counts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct.Build(func(i int) int64 { return counts[i] })
+	r := xrand.New(42)
+	got := make([]int, 0, 12)
+	for k := 0; k < 12; k++ {
+		i := ct.Sample(r)
+		ct.Dec(i)
+		got = append(got, i)
+	}
+	want := []int{7, 4, 7, 5, 6, 5, 1, 5, 2, 7, 5, 7}
+	for k := range want {
+		if got[k] != want[k] {
+			t.Fatalf("draw sequence %v, want %v (pinned golden: the deletion model changed)", got, want)
+		}
+	}
+}
+
+func TestCountTreeIncDec(t *testing.T) {
+	ct, err := NewCountTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct.Inc(2)
+	ct.Inc(2)
+	ct.Inc(0)
+	if ct.Total() != 3 || ct.Count(2) != 2 || ct.Count(0) != 1 {
+		t.Fatalf("state after Inc: total=%d c0=%d c2=%d", ct.Total(), ct.Count(0), ct.Count(2))
+	}
+	ct.Dec(2)
+	if ct.Total() != 2 || ct.Count(2) != 1 {
+		t.Fatalf("state after Dec: total=%d c2=%d", ct.Total(), ct.Count(2))
+	}
+}
+
+func TestCountTreePanics(t *testing.T) {
+	if _, err := NewCountTree(0); err == nil {
+		t.Fatal("NewCountTree(0) should fail")
+	}
+	ct, _ := NewCountTree(3)
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("Sample on empty", func() { ct.Sample(xrand.New(1)) })
+	mustPanic("Dec at zero", func() { ct.Dec(1) })
+	mustPanic("Build with negative count", func() { ct.Build(func(int) int64 { return -1 }) })
+}
+
+func TestCountTreeBuildAllocFree(t *testing.T) {
+	ct, err := NewCountTree(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int64, 256)
+	for i := range counts {
+		counts[i] = int64(i % 5)
+	}
+	fn := func(i int) int64 { return counts[i] }
+	if allocs := testing.AllocsPerRun(20, func() { ct.Build(fn) }); allocs != 0 {
+		t.Fatalf("Build allocates %v per run, want 0", allocs)
+	}
+}

@@ -104,8 +104,8 @@ func TestRunCancelPartialIsPrefix(t *testing.T) {
 	})
 	res, err := Run(Config{
 		Array: a, Seed: 5, Reps: 64, Workers: 3, Placer: factory,
-		Checkpoints: []int64{500, 1000},
-		Context:     ctx,
+		ObsOptions: ObsOptions{Checkpoints: []int64{500, 1000}},
+		Context:    ctx,
 	})
 	var cerr *CancelledError
 	if !errors.As(err, &cerr) {
@@ -123,7 +123,7 @@ func TestRunCancelPartialIsPrefix(t *testing.T) {
 	}
 	want, err := Run(Config{
 		Array: a, Seed: 5, Reps: k, Workers: 3, Placer: hookedFactory(func(int64) {}),
-		Checkpoints: []int64{500, 1000},
+		ObsOptions: ObsOptions{Checkpoints: []int64{500, 1000}},
 	})
 	if err != nil {
 		t.Fatalf("prefix run: %v", err)
@@ -143,8 +143,8 @@ func TestRunLargeCancelImmediate(t *testing.T) {
 	a := largeArray(t, 400)
 	res, err := RunLarge(LargeConfig{
 		Array: a, Seed: 3, Shards: 4,
-		Checkpoints: []int64{500, 1000},
-		Context:     ctx,
+		ObsOptions: ObsOptions{Checkpoints: []int64{500, 1000}},
+		Context:    ctx,
 	})
 	var cerr *CancelledError
 	if !errors.As(err, &cerr) {
@@ -168,7 +168,7 @@ func TestRunLargeCancelCheckpointPrefix(t *testing.T) {
 	defer leakCheck(t)()
 	a := largeArray(t, 1500)
 	cuts := []int64{2000, 20000, 100000, 300000}
-	base := LargeConfig{Array: a, Seed: 11, Shards: 4, BallsFactor: 50, Checkpoints: cuts}
+	base := LargeConfig{Array: a, Seed: 11, Shards: 4, BallsFactor: 50, ObsOptions: ObsOptions{Checkpoints: cuts}}
 	want, err := RunLarge(base)
 	if err != nil {
 		t.Fatal(err)
@@ -226,8 +226,7 @@ func TestRunLargeMonteCancelAfterRepsIsPrefix(t *testing.T) {
 			cfg := LargeMonteConfig{
 				LargeConfig: LargeConfig{
 					Array: a, Seed: 77, Shards: shards, Workers: workers,
-					Checkpoints:  []int64{500, 1500},
-					HeightLevels: 3,
+					ObsOptions: ObsOptions{Checkpoints: []int64{500, 1500}, HeightLevels: 3},
 				},
 				Reps:              7,
 				CollectLoadVector: true,
@@ -372,15 +371,15 @@ func TestValidateFieldNamedErrors(t *testing.T) {
 		run  func() error
 	}{
 		{"classic negative checkpoint", "Checkpoints[", func() error {
-			_, err := Run(Config{Array: a, Reps: 1, Checkpoints: []int64{-5}})
+			_, err := Run(Config{Array: a, Reps: 1, ObsOptions: ObsOptions{Checkpoints: []int64{-5}}})
 			return err
 		}},
 		{"classic unsorted checkpoints", "Checkpoints[", func() error {
-			_, err := Run(Config{Array: a, Reps: 1, Checkpoints: []int64{50, 10}})
+			_, err := Run(Config{Array: a, Reps: 1, ObsOptions: ObsOptions{Checkpoints: []int64{50, 10}}})
 			return err
 		}},
 		{"classic duplicate checkpoints", "Checkpoints[", func() error {
-			_, err := Run(Config{Array: a, Reps: 1, Checkpoints: []int64{10, 10}})
+			_, err := Run(Config{Array: a, Reps: 1, ObsOptions: ObsOptions{Checkpoints: []int64{10, 10}}})
 			return err
 		}},
 		{"classic negative workers", "Workers", func() error {
@@ -388,15 +387,15 @@ func TestValidateFieldNamedErrors(t *testing.T) {
 			return err
 		}},
 		{"classic negative height levels", "HeightLevels", func() error {
-			_, err := Run(Config{Array: a, Reps: 1, HeightLevels: -1})
+			_, err := Run(Config{Array: a, Reps: 1, ObsOptions: ObsOptions{HeightLevels: -1}})
 			return err
 		}},
 		{"large zero checkpoint", "Checkpoints[", func() error {
-			_, err := RunLarge(LargeConfig{Array: a, Checkpoints: []int64{0, 5}})
+			_, err := RunLarge(LargeConfig{Array: a, ObsOptions: ObsOptions{Checkpoints: []int64{0, 5}}})
 			return err
 		}},
 		{"large unsorted checkpoints", "Checkpoints[", func() error {
-			_, err := RunLarge(LargeConfig{Array: a, Checkpoints: []int64{100, 20}})
+			_, err := RunLarge(LargeConfig{Array: a, ObsOptions: ObsOptions{Checkpoints: []int64{100, 20}}})
 			return err
 		}},
 		{"large negative workers", "Workers", func() error {
@@ -405,7 +404,7 @@ func TestValidateFieldNamedErrors(t *testing.T) {
 		}},
 		{"monte unsorted checkpoints", "Checkpoints[", func() error {
 			_, err := RunLargeMonte(LargeMonteConfig{
-				LargeConfig: LargeConfig{Array: a, Checkpoints: []int64{9, 3}}, Reps: 1,
+				LargeConfig: LargeConfig{Array: a, ObsOptions: ObsOptions{Checkpoints: []int64{9, 3}}}, Reps: 1,
 			})
 			return err
 		}},

@@ -139,7 +139,7 @@ func TestChaosCancelMidRouting(t *testing.T) {
 	// strides), one worker so blocks are visited in order.
 	res, err := RunLarge(LargeConfig{
 		Array: a, Seed: 6, Shards: 4, Workers: 1, BallsFactor: 30,
-		Checkpoints: []int64{100000}, Context: ctx,
+		Context: ctx, ObsOptions: ObsOptions{Checkpoints: []int64{100000}},
 	})
 	var cerr *CancelledError
 	if !errors.As(err, &cerr) {
@@ -162,7 +162,7 @@ func TestChaosCancelThenResume(t *testing.T) {
 	a := largeArray(t, 600)
 	cfg := LargeMonteConfig{
 		LargeConfig: LargeConfig{Array: a, Seed: 77, Shards: 4, Workers: 3,
-			Checkpoints: []int64{500, 1500}, HeightLevels: 3},
+			ObsOptions: ObsOptions{Checkpoints: []int64{500, 1500}, HeightLevels: 3}},
 		Reps:              8,
 		CollectLoadVector: true,
 		ShardStats:        true,
@@ -219,5 +219,147 @@ func TestChaosDelayHarmless(t *testing.T) {
 	if got.MaxLoad != want.MaxLoad || got.Deviation != want.Deviation ||
 		!reflect.DeepEqual(got.ShardBalls, want.ShardBalls) {
 		t.Fatal("a delay fault changed the result")
+	}
+}
+
+// chaosStreamConfig is the streaming spec the stream chaos cases
+// share: every phase (routing, placement, deletions, rebalance)
+// active, every round doing real work.
+func chaosStreamConfig(t *testing.T, ctx context.Context) StreamConfig {
+	t.Helper()
+	return StreamConfig{
+		Array: largeArray(t, 400), Seed: 20260808, Shards: 4, Workers: 2,
+		Rounds: 5, Arrivals: 2000, Deletions: 600, RebalanceTol: 0.001,
+		Context:    ctx,
+		ObsOptions: ObsOptions{Checkpoints: []int64{2, 4}},
+	}
+}
+
+// TestChaosRunStreamPanicSites: an injected panic at each streaming
+// fault site — a routing block, a placement stride, the deletion
+// router, a shard deletion task, a rebalance move-out task — surfaces
+// as a provenance-carrying *PanicError naming the round it fired in.
+func TestChaosRunStreamPanicSites(t *testing.T) {
+	cases := []struct {
+		name  string
+		match fault.Site
+		op    fault.Op
+		task  string
+	}{
+		{"route", fault.Site{Engine: engRunStream, Op: fault.OpRoute, Rep: 1, Shard: -1, Block: -1},
+			fault.OpRoute, "route"},
+		{"place", fault.Site{Engine: engRunStream, Op: fault.OpPlace, Rep: 1, Shard: 2, Block: -1},
+			fault.OpPlace, "place"},
+		{"delete-route", fault.Site{Engine: engRunStream, Op: fault.OpDelete, Rep: 1, Shard: -1, Block: -1},
+			fault.OpDelete, "delete-route"},
+		{"delete-shard", fault.Site{Engine: engRunStream, Op: fault.OpDelete, Rep: 1, Shard: 2, Block: -1},
+			fault.OpDelete, "delete"},
+		{"rebalance", fault.Site{Engine: engRunStream, Op: fault.OpRebalance, Rep: -1, Shard: -1, Block: -1},
+			fault.OpRebalance, "move-out"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer leakCheck(t)()
+			defer fault.Arm(fault.Plan{Match: tc.match, Do: fault.Panic, Msg: "chaos"})()
+			_, err := runStream(chaosStreamConfig(t, nil))
+			var perr *PanicError
+			if !errors.As(err, &perr) {
+				t.Fatalf("err = %v, want *PanicError", err)
+			}
+			if perr.Engine != engRunStream || perr.Task != tc.task {
+				t.Fatalf("provenance engine %q task %q, want %s %s", perr.Engine, perr.Task, engRunStream, tc.task)
+			}
+			var inj *fault.Injected
+			if !errors.As(err, &inj) {
+				t.Fatalf("panic value %v is not the injected fault", perr.Value)
+			}
+			if inj.Site.Op != tc.op {
+				t.Fatalf("fault fired at op %v, want %v", inj.Site.Op, tc.op)
+			}
+			if tc.match.Rep >= 0 && perr.Rep != tc.match.Rep {
+				t.Fatalf("panic attributed to round %d, want %d", perr.Rep, tc.match.Rep)
+			}
+		})
+	}
+}
+
+// TestChaosRunStreamRoundKill kills a round mid-flight at a pinned
+// deletion site and checks the cancelled partial is exactly the
+// completed-round prefix — bit-identical to an uninterrupted run
+// configured with that Rounds value, however the chaos landed.
+func TestChaosRunStreamRoundKill(t *testing.T) {
+	defer leakCheck(t)()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	disarm := fault.Arm(
+		fault.Plan{
+			Match: fault.Site{Engine: engRunStream, Op: fault.OpDelete, Rep: 2, Shard: -1, Block: -1},
+			Do:    fault.CancelRun, Cancel: cancel, Once: true,
+		},
+		// Stall one of round 2's shard deletion tasks so the watcher
+		// latches before the phase barrier's cancellation check.
+		fault.Plan{
+			Match: fault.Site{Engine: engRunStream, Op: fault.OpDelete, Rep: 2, Shard: 1, Block: -1},
+			Do:    fault.Delay, Sleep: 50 * time.Millisecond, Once: true,
+		},
+	)
+	res, err := runStream(chaosStreamConfig(t, ctx))
+	disarm()
+	var cerr *CancelledError
+	if !errors.As(err, &cerr) {
+		t.Skipf("run completed before the cancellation latched (err = %v)", err)
+	}
+	if cerr.Engine != engRunStream || cerr.CompletedRounds != res.Rounds {
+		t.Fatalf("provenance %+v does not match partial rounds %d", cerr, res.Rounds)
+	}
+	if res.Rounds > 2 {
+		t.Fatalf("cancel fired in round 2 but %d rounds committed", res.Rounds)
+	}
+	short := chaosStreamConfig(t, nil)
+	short.Rounds = res.Rounds
+	if short.Rounds == 0 {
+		return
+	}
+	want, err := runStream(short)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Arrived != want.Arrived || res.Deleted != want.Deleted ||
+		res.Moved != want.Moved || res.Balls != want.Balls {
+		t.Fatalf("partial counters %+v, want prefix %+v", res, want)
+	}
+	if !reflect.DeepEqual(res.ShardBalls, want.ShardBalls) {
+		t.Fatal("partial shard occupancies differ from the equivalent shorter run")
+	}
+	if !reflect.DeepEqual(res.Checkpoints, want.Checkpoints) {
+		t.Fatal("partial trajectory differs from the equivalent shorter run")
+	}
+}
+
+// TestChaosRunStreamDelayHarmless: stalls at streaming sites slow the
+// run but never change a bit of the result.
+func TestChaosRunStreamDelayHarmless(t *testing.T) {
+	want, err := runStream(chaosStreamConfig(t, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fault.Arm(
+		fault.Plan{
+			Match: fault.Site{Engine: engRunStream, Op: fault.OpDelete, Rep: -1, Shard: 1, Block: -1},
+			Do:    fault.Delay, Sleep: 20 * time.Millisecond,
+		},
+		fault.Plan{
+			Match: fault.Site{Engine: engRunStream, Op: fault.OpRoute, Rep: 3, Shard: -1, Block: -1},
+			Do:    fault.Delay, Sleep: 20 * time.Millisecond, Once: true,
+		},
+	)()
+	got, err := runStream(chaosStreamConfig(t, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MaxLoad != want.MaxLoad || got.Moved != want.Moved ||
+		!reflect.DeepEqual(got.ShardBalls, want.ShardBalls) ||
+		!reflect.DeepEqual(got.Checkpoints, want.Checkpoints) {
+		t.Fatal("a delay fault changed the streaming result")
 	}
 }

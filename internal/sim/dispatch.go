@@ -56,6 +56,12 @@ const (
 	// EngineClosedForm forces the closed-form multinomial engine
 	// (RunClosed).
 	EngineClosedForm Engine = "closed-form"
+	// EngineStream selects the streaming engine (stream.go): balls
+	// arrive in rounds, a deterministic deletion stream expires them,
+	// and an optional rebalance pass bounds cross-shard drift. The
+	// engine function is unexported — Dispatch is its only public
+	// entry point — and requires RunSpec.Stream.
+	EngineStream Engine = "stream"
 )
 
 // AutoScaleMinBins is the bin count at which EngineAuto switches from
@@ -77,8 +83,32 @@ func ParseEngine(s string) (Engine, error) {
 		return EngineSharded, nil
 	case EngineClosedForm:
 		return EngineClosedForm, nil
+	case EngineStream:
+		return EngineStream, nil
 	}
-	return "", fmt.Errorf("sim: unknown engine %q (want auto, classic, sharded or closed-form)", s)
+	return "", fmt.Errorf("sim: unknown engine %q (want auto, classic, sharded, closed-form or stream)", s)
+}
+
+// StreamParams carries the round-structure parameters of a streaming
+// run (RunSpec.Stream). Their presence is what makes a spec a
+// streaming spec: EngineAuto dispatches to the streaming engine iff
+// Stream is non-nil, and no other engine will silently run such a
+// spec. The spec's Balls/BallsFactor become the per-round arrival
+// count (StreamConfig.Arrivals/ArrivalsFactor).
+type StreamParams struct {
+	// Rounds is the number of rounds (>= 1; 0 allowed when Schedule
+	// implies it).
+	Rounds int
+	// Schedule optionally gives every round's arrival count explicitly
+	// (see StreamConfig.Schedule).
+	Schedule []int64
+	// Deletions is the per-round deletion count (>= 0).
+	Deletions int64
+	// RebalanceTol enables the inter-round rebalance pass when > 0.
+	RebalanceTol float64
+	// CancelAfterRounds deterministically stops the run after that
+	// many rounds when positive (see StreamConfig.CancelAfterRounds).
+	CancelAfterRounds int
 }
 
 // RunSpec is the engine-independent description of one experiment: the
@@ -89,9 +119,20 @@ type RunSpec struct {
 	Config
 	// Engine selects the engine ("" = EngineAuto).
 	Engine Engine
-	// Shards is the sharded engine's shard count (0 = DefaultShards).
-	// Ignored by the classic and closed-form engines.
+	// Shards is the sharded and streaming engines' shard count
+	// (0 = DefaultShards). Ignored by the classic and closed-form
+	// engines.
 	Shards int
+	// Stream carries the streaming engine's round parameters. Setting
+	// it makes the spec a streaming spec: EngineAuto (and
+	// EngineStream) run the streaming engine, and every other explicit
+	// engine rejects the spec — round structure is never silently
+	// dropped.
+	Stream *StreamParams
+	// AdoptArray lets the engine mutate Config.Array in place instead
+	// of cloning it (streaming engine only; the public wrappers use it
+	// to avoid a transient second O(n) array).
+	AdoptArray bool
 }
 
 // Dispatch resolves the spec's engine and runs it, converging on the
@@ -112,6 +153,8 @@ func Dispatch(spec RunSpec) (*Result, error) {
 		res, err = RunClosed(spec.Config)
 	case EngineSharded:
 		res, err = runShardedSpec(&spec)
+	case EngineStream:
+		res, err = runStreamSpec(&spec)
 	default:
 		return nil, fmt.Errorf("sim: unknown engine %q", engine)
 	}
@@ -125,6 +168,21 @@ func Dispatch(spec RunSpec) (*Result, error) {
 // engines fail loudly when the spec is outside their capability;
 // EngineAuto only ever picks an engine that supports the spec.
 func (spec *RunSpec) resolveEngine() (Engine, error) {
+	// Round parameters bind the spec to the streaming engine: any
+	// other explicit engine would silently drop the round structure,
+	// so it errors instead.
+	if spec.Stream != nil {
+		switch spec.Engine {
+		case "", EngineAuto, EngineStream:
+			if err := streamUnsupported(spec); err != nil {
+				return "", err
+			}
+			return EngineStream, nil
+		case EngineClassic, EngineSharded, EngineClosedForm:
+			return "", fmt.Errorf("sim: engine %q cannot run a streaming spec (Stream is set; use engine stream or auto)", spec.Engine)
+		}
+		return "", fmt.Errorf("sim: unknown engine %q (want auto, classic, sharded, closed-form or stream)", spec.Engine)
+	}
 	switch spec.Engine {
 	case EngineClassic:
 		return EngineClassic, nil
@@ -138,6 +196,8 @@ func (spec *RunSpec) resolveEngine() (Engine, error) {
 			return "", err
 		}
 		return EngineSharded, nil
+	case EngineStream:
+		return "", fmt.Errorf("sim: engine stream needs round parameters (RunSpec.Stream is nil)")
 	case "", EngineAuto:
 		// Auto: below the scale threshold stay classic (bit-compatible
 		// with the seed harness); at scale prefer closed-form (exact
@@ -154,7 +214,32 @@ func (spec *RunSpec) resolveEngine() (Engine, error) {
 		}
 		return EngineClassic, nil
 	}
-	return "", fmt.Errorf("sim: unknown engine %q (want auto, classic, sharded or closed-form)", spec.Engine)
+	return "", fmt.Errorf("sim: unknown engine %q (want auto, classic, sharded, closed-form or stream)", spec.Engine)
+}
+
+// streamUnsupported reports, by field name, why the streaming engine
+// cannot run the spec (nil when it can). Like the sharded engine it
+// works on fixed arrays and whole-array observables; it runs a single
+// stream, not repetitions.
+func streamUnsupported(spec *RunSpec) error {
+	c := &spec.Config
+	switch {
+	case c.ArrayFn != nil:
+		return fmt.Errorf("sim: streaming engine needs a fixed Array (ArrayFn builds per-repetition arrays)")
+	case c.Reps > 1:
+		return fmt.Errorf("sim: Reps = %d: the streaming engine runs a single stream", c.Reps)
+	case c.CollectLoadVector:
+		return fmt.Errorf("sim: streaming engine does not collect the sorted load vector (CollectLoadVector)")
+	case len(c.TrackClasses) > 0:
+		return fmt.Errorf("sim: streaming engine does not collect TrackClasses")
+	case len(c.ClassLoadVectors) > 0:
+		return fmt.Errorf("sim: streaming engine does not collect ClassLoadVectors")
+	case len(c.ClassMaxLoads) > 0:
+		return fmt.Errorf("sim: streaming engine does not collect ClassMaxLoads")
+	case c.HeightBins > 0:
+		return fmt.Errorf("sim: streaming engine does not collect the per-ball height histogram")
+	}
+	return nil
 }
 
 // probeNBins is nBins with panic containment: a panicking ArrayFn must
@@ -238,17 +323,16 @@ func singleChoiceFactory(f protocol.Factory) (single bool) {
 func runShardedSpec(spec *RunSpec) (*Result, error) {
 	mcfg := LargeMonteConfig{
 		LargeConfig: LargeConfig{
-			Array:        spec.Array,
-			Dist:         spec.Dist,
-			Placer:       spec.Placer,
-			Balls:        spec.Balls,
-			BallsFactor:  spec.BallsFactor,
-			Seed:         spec.Seed,
-			Shards:       spec.Shards,
-			Workers:      spec.Workers,
-			Context:      spec.Context,
-			Checkpoints:  spec.Checkpoints,
-			HeightLevels: spec.HeightLevels,
+			Array:       spec.Array,
+			Dist:        spec.Dist,
+			Placer:      spec.Placer,
+			Balls:       spec.Balls,
+			BallsFactor: spec.BallsFactor,
+			Seed:        spec.Seed,
+			Shards:      spec.Shards,
+			Workers:     spec.Workers,
+			Context:     spec.Context,
+			ObsOptions:  spec.ObsOptions,
 		},
 		Reps:              spec.Reps,
 		CollectLoadVector: spec.CollectLoadVector,
@@ -274,4 +358,54 @@ func runShardedSpec(spec *RunSpec) (*Result, error) {
 	res.Balls.AddN(float64(mres.Balls), reps)
 	res.TotalCapacity.AddN(float64(spec.Array.TotalCapacity()), reps)
 	return res, merr
+}
+
+// runStreamSpec maps the spec onto the streaming engine and its
+// result back onto the classic Result shape: the final-state load
+// statistics become single-observation aggregates, the round-indexed
+// trajectory rows flow through Checkpoints, and the full streaming
+// result rides along in Result.Stream. A cancelled run converts the
+// deterministic completed-round partial and passes the
+// *CancelledError through untouched.
+func runStreamSpec(spec *RunSpec) (*Result, error) {
+	p := spec.Stream
+	scfg := StreamConfig{
+		Array:             spec.Array,
+		Dist:              spec.Dist,
+		Placer:            spec.Placer,
+		Rounds:            p.Rounds,
+		Arrivals:          spec.Balls,
+		ArrivalsFactor:    spec.BallsFactor,
+		Schedule:          p.Schedule,
+		Deletions:         p.Deletions,
+		RebalanceTol:      p.RebalanceTol,
+		Seed:              spec.Seed,
+		Shards:            spec.Shards,
+		Workers:           spec.Workers,
+		Context:           spec.Context,
+		AdoptArray:        spec.AdoptArray,
+		CancelAfterRounds: p.CancelAfterRounds,
+		ObsOptions:        spec.ObsOptions,
+	}
+	sres, serr := runStream(scfg)
+	if sres == nil {
+		return nil, serr
+	}
+	res := &Result{
+		N:            sres.N,
+		Checkpoints:  sres.Checkpoints,
+		HeightCounts: sres.HeightCounts,
+		Stream:       sres,
+	}
+	if sres.Array != nil {
+		// Completed run: the final state is one observation of each
+		// whole-array statistic. A cancelled partial has no final
+		// state, so its accumulators stay empty.
+		res.MaxLoad.AddN(sres.MaxLoad, 1)
+		res.AvgLoad.AddN(sres.AvgLoad, 1)
+		res.Deviation.AddN(sres.Deviation, 1)
+		res.Balls.AddN(float64(sres.Balls), 1)
+		res.TotalCapacity.AddN(float64(spec.Array.TotalCapacity()), 1)
+	}
+	return res, serr
 }

@@ -90,9 +90,9 @@ func TestDispatchExplicitEngineErrors(t *testing.T) {
 	}{
 		{"sharded-arrayfn", RunSpec{Engine: EngineSharded, Config: Config{ArrayFn: fn, Reps: 1}}},
 		{"sharded-classes", RunSpec{Engine: EngineSharded, Config: Config{Array: arr, Reps: 1, TrackClasses: []int64{1}}}},
-		{"sharded-heightbins", RunSpec{Engine: EngineSharded, Config: Config{Array: arr, Reps: 1, HeightBins: 8}}},
+		{"sharded-heightbins", RunSpec{Engine: EngineSharded, Config: Config{Array: arr, Reps: 1, ObsOptions: ObsOptions{HeightBins: 8}}}},
 		{"closed-greedy", RunSpec{Engine: EngineClosedForm, Config: Config{Array: arr, Reps: 1}}},
-		{"closed-heightbins", RunSpec{Engine: EngineClosedForm, Config: Config{Array: arr, Placer: protocol.SingleFactory(), Reps: 1, HeightBins: 8}}},
+		{"closed-heightbins", RunSpec{Engine: EngineClosedForm, Config: Config{Array: arr, Placer: protocol.SingleFactory(), Reps: 1, ObsOptions: ObsOptions{HeightBins: 8}}}},
 		{"unknown-engine", RunSpec{Engine: Engine("warp"), Config: Config{Array: arr, Reps: 1}}},
 	}
 	for _, tc := range cases {
@@ -122,8 +122,7 @@ func TestDispatchShardedResultShape(t *testing.T) {
 			Reps:              reps,
 			Seed:              7,
 			CollectLoadVector: true,
-			Checkpoints:       []int64{int64(n) / 2, int64(n)},
-			HeightLevels:      4,
+			ObsOptions:        ObsOptions{Checkpoints: []int64{int64(n) / 2, int64(n)}, HeightLevels: 4},
 		},
 	})
 	if err != nil {
@@ -168,8 +167,7 @@ func TestClosedFormDeterminism(t *testing.T) {
 		Reps:              20,
 		Seed:              99,
 		CollectLoadVector: true,
-		Checkpoints:       []int64{128, 512},
-		HeightLevels:      5,
+		ObsOptions:        ObsOptions{Checkpoints: []int64{128, 512}, HeightLevels: 5},
 		ClassMaxLoads:     []int64{1},
 	}
 	var ref *Result

@@ -41,6 +41,7 @@ const (
 	engRunLarge   = "RunLarge"
 	engRunLargeMC = "RunLargeMonte"
 	engRunClosed  = "RunClosed"
+	engRunStream  = "RunStream"
 )
 
 // ErrCancelled is the sentinel every cancellation error matches:
@@ -60,13 +61,20 @@ type CancelledError struct {
 	// CompletedReps is the folded repetition prefix of the partial
 	// (Run, RunLargeMonte): aggregates cover reps [0, CompletedReps)
 	// and are bit-identical to a run configured with that Reps value.
-	// -1 for RunLarge, whose unit of progress is checkpoint cuts.
+	// -1 for RunLarge (whose unit of progress is checkpoint cuts) and
+	// for the streaming engine (whose unit is completed rounds).
 	CompletedReps int
 	// CompletedCuts is the number of leading checkpoint rows present
-	// in a cancelled RunLarge partial (each bit-identical to the
-	// corresponding row of an uninterrupted run). -1 for the
+	// in a cancelled RunLarge or RunStream partial (each bit-identical
+	// to the corresponding row of an uninterrupted run). -1 for the
 	// repetition-based engines.
 	CompletedCuts int
+	// CompletedRounds is the completed-round prefix of a cancelled
+	// streaming run: the partial's trajectory, counters and shard
+	// occupancies cover rounds [0, CompletedRounds) and are
+	// bit-identical to a run configured with Rounds = CompletedRounds.
+	// -1 for the other engines.
+	CompletedRounds int
 	// Checkpoint is the serializable resume state of a cancelled
 	// RunLargeMonte run (nil for the other engines): feeding it back
 	// through LargeMonteConfig.Resume continues the run and produces
@@ -80,6 +88,8 @@ type CancelledError struct {
 // Error implements error.
 func (e *CancelledError) Error() string {
 	switch {
+	case e.CompletedRounds >= 0:
+		return fmt.Sprintf("sim: %s cancelled after %d completed rounds", e.Engine, e.CompletedRounds)
 	case e.CompletedReps >= 0:
 		return fmt.Sprintf("sim: %s cancelled after %d completed repetitions", e.Engine, e.CompletedReps)
 	case e.CompletedCuts >= 0:

@@ -259,8 +259,7 @@ func TestRunLargeCheckpointsDoNotMoveDraws(t *testing.T) {
 	}
 	cped, err := RunLarge(LargeConfig{
 		Array: a, Seed: 20260727, Shards: 8,
-		Checkpoints:  []int64{300, 1500, 2500},
-		HeightLevels: 4,
+		ObsOptions: ObsOptions{Checkpoints: []int64{300, 1500, 2500}, HeightLevels: 4},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -291,7 +290,7 @@ func TestRunLargeCheckpointModel(t *testing.T) {
 	a := largeArray(t, 4000) // C = 22000
 	res, err := RunLarge(LargeConfig{
 		Array: a, Seed: 9, Shards: 4,
-		Checkpoints: []int64{1, 5000, 15000, 900000},
+		ObsOptions: ObsOptions{Checkpoints: []int64{1, 5000, 15000, 900000}},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -336,8 +335,7 @@ func TestRunLargeCheckpointsBitIdenticalAcrossWorkers(t *testing.T) {
 	for _, workers := range []int{1, 2, 3, 8} {
 		res, err := RunLarge(LargeConfig{
 			Array: a, Seed: 42, Shards: 16, Workers: workers,
-			Checkpoints:  []int64{2000, 6000, 10000},
-			HeightLevels: 3,
+			ObsOptions: ObsOptions{Checkpoints: []int64{2000, 6000, 10000}, HeightLevels: 3},
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -360,7 +358,7 @@ func TestRunLargeCheckpointsBitIdenticalAcrossWorkers(t *testing.T) {
 func TestRunLargeHeights(t *testing.T) {
 	a := largeArray(t, 1000)
 	res, err := RunLarge(LargeConfig{
-		Array: a, Seed: 4, Shards: 8, BallsFactor: 3, HeightLevels: 5,
+		Array: a, Seed: 4, Shards: 8, BallsFactor: 3, ObsOptions: ObsOptions{HeightLevels: 5},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -410,10 +408,10 @@ func TestRunLargeAdoptArray(t *testing.T) {
 
 func TestRunLargeObservationValidation(t *testing.T) {
 	a := largeArray(t, 100)
-	if _, err := RunLarge(LargeConfig{Array: a, Checkpoints: []int64{0}}); err == nil {
+	if _, err := RunLarge(LargeConfig{Array: a, ObsOptions: ObsOptions{Checkpoints: []int64{0}}}); err == nil {
 		t.Error("checkpoint at 0 balls accepted")
 	}
-	if _, err := RunLarge(LargeConfig{Array: a, HeightLevels: -1}); err == nil {
+	if _, err := RunLarge(LargeConfig{Array: a, ObsOptions: ObsOptions{HeightLevels: -1}}); err == nil {
 		t.Error("negative HeightLevels accepted")
 	}
 }

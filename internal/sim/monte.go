@@ -780,11 +780,12 @@ func RunLargeMonte(cfg LargeMonteConfig) (*LargeMonteResult, error) {
 		// from there.
 		res.Reps = completed
 		return res, &CancelledError{
-			Engine:        engRunLargeMC,
-			CompletedReps: completed,
-			CompletedCuts: -1,
-			Checkpoint:    captureMonteCheckpoint(fp, completed, res, agg),
-			Cause:         cc.err(),
+			Engine:          engRunLargeMC,
+			CompletedReps:   completed,
+			CompletedCuts:   -1,
+			CompletedRounds: -1,
+			Checkpoint:      captureMonteCheckpoint(fp, completed, res, agg),
+			Cause:           cc.err(),
 		}
 	}
 	return res, nil

@@ -249,8 +249,7 @@ func TestRunLargeMonteCheckpointedRepZero(t *testing.T) {
 	a := largeArray(t, 1500)
 	lc := LargeConfig{
 		Array: a, Seed: 42, Shards: 16,
-		Checkpoints:  []int64{1000, 4000, 8000},
-		HeightLevels: 4,
+		ObsOptions: ObsOptions{Checkpoints: []int64{1000, 4000, 8000}, HeightLevels: 4},
 	}
 	want, err := RunLarge(lc)
 	if err != nil {
@@ -282,8 +281,7 @@ func TestRunLargeMonteObservationsBitIdenticalAcrossTopologies(t *testing.T) {
 				res, err := RunLargeMonte(LargeMonteConfig{
 					LargeConfig: LargeConfig{
 						Array: a, Seed: 77, Shards: shards, Workers: workers,
-						Checkpoints:  []int64{500, 1500, 3000},
-						HeightLevels: 3,
+						ObsOptions: ObsOptions{Checkpoints: []int64{500, 1500, 3000}, HeightLevels: 3},
 					},
 					Reps:              reps,
 					CollectLoadVector: true,
@@ -313,7 +311,7 @@ func TestRunLargeMonteCheckpointAggregates(t *testing.T) {
 	res, err := RunLargeMonte(LargeMonteConfig{
 		LargeConfig: LargeConfig{
 			Array: a, Seed: 13, Shards: 8,
-			Checkpoints: []int64{2000, 4000, 50000},
+			ObsOptions: ObsOptions{Checkpoints: []int64{2000, 4000, 50000}},
 		},
 		Reps: 12,
 	})

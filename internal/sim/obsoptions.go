@@ -1,0 +1,84 @@
+// Shared observation options: one struct, one validation, one set of
+// docs for the observation requests every engine config carries.
+//
+// Before this file each engine config re-declared (and re-validated)
+// its own Checkpoints / HeightLevels / HeightBins / HeightMax fields,
+// and the docs drifted per copy. ObsOptions is embedded anonymously in
+// Config, LargeConfig (and through it LargeMonteConfig) and
+// StreamConfig, so field READS keep their flat spelling
+// (cfg.Checkpoints); composite literals spell the extra level
+// (ObsOptions: sim.ObsOptions{...}).
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
+
+// ObsOptions is the observation-request block shared by every engine
+// config. Engines differ in which options they support and in the cut
+// semantics — the embedding config documents both:
+//
+//   - Config (classic): every option; Checkpoints are ball counts,
+//     observed exactly.
+//   - LargeConfig / LargeMonteConfig (sharded): Checkpoints are ball
+//     counts realised as block-aligned per-shard cuts (<= the request;
+//     see large.go); HeightLevels observes the final state; the
+//     per-ball height histogram (HeightBins) is not collected.
+//   - StreamConfig (streaming): Checkpoints are ROUND indices — cut k
+//     observes the system state at the end of round Checkpoints[k]
+//     (1-based) — HeightLevels observes the final state, and
+//     HeightBins is not collected.
+type ObsOptions struct {
+	// Checkpoints lists the cut points at which running (max,
+	// max − average) load observations are taken: ball counts in the
+	// classic and sharded engines, round indices in the streaming
+	// engine. Cuts must be positive and strictly increasing; cuts
+	// beyond the run (balls > m, rounds > Rounds) are skipped, visible
+	// through CheckpointRow.Reps.
+	Checkpoints []int64
+	// HeightLevels, when positive, requests the count of bins at final
+	// load >= k for k = 1..HeightLevels (obs.Heights) — the
+	// concentration-bound observable.
+	HeightLevels int
+	// HeightBins, when positive, requests a histogram of ball heights —
+	// the paper's §2 notion: the load of the receiving bin immediately
+	// after the allocation. The histogram spans [0, HeightMax) with
+	// HeightBins bins (HeightMax defaults to 8). Classic engine only:
+	// it needs the receiving bin of every single ball.
+	HeightBins int
+	// HeightMax is the height histogram's upper bound (default 8).
+	HeightMax float64
+}
+
+// validate checks the option fields shared by every engine. Engines
+// with narrower support (no per-ball histogram outside the classic
+// engine) layer their own field-named rejections on top.
+func (o *ObsOptions) validate() error {
+	if o.HeightLevels < 0 {
+		return fmt.Errorf("sim: HeightLevels = %d, need >= 0", o.HeightLevels)
+	}
+	if o.HeightBins < 0 {
+		return fmt.Errorf("sim: HeightBins = %d, need >= 0", o.HeightBins)
+	}
+	if o.HeightMax < 0 {
+		return fmt.Errorf("sim: HeightMax = %v, need >= 0 (0 defaults to 8)", o.HeightMax)
+	}
+	if o.HeightBins == 0 && o.HeightMax > 0 {
+		return fmt.Errorf("sim: HeightMax = %v without HeightBins: the height histogram needs a positive HeightBins", o.HeightMax)
+	}
+	if _, err := obs.NormalizeCuts(o.Checkpoints); err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	return nil
+}
+
+// rejectHeightBins is the shared field-named rejection for the engines
+// that cannot collect the per-ball height histogram.
+func (o *ObsOptions) rejectHeightBins(engine string) error {
+	if o.HeightBins > 0 {
+		return fmt.Errorf("sim: HeightBins = %d: %s does not collect the per-ball height histogram (classic engine only)", o.HeightBins, engine)
+	}
+	return nil
+}

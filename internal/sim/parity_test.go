@@ -179,7 +179,7 @@ func TestParityClosedSingleAggregates(t *testing.T) {
 			Placer:            protocol.SingleFactory(),
 			Reps:              reps,
 			Seed:              seed,
-			Checkpoints:       cuts,
+			ObsOptions:        ObsOptions{Checkpoints: cuts},
 			CollectLoadVector: true,
 		}})
 		if err != nil {

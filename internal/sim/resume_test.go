@@ -16,8 +16,7 @@ func monteResumeConfig(t *testing.T, shards, workers int) LargeMonteConfig {
 	return LargeMonteConfig{
 		LargeConfig: LargeConfig{
 			Array: largeArray(t, 600), Seed: 20260727, Shards: shards, Workers: workers,
-			Checkpoints:  []int64{500, 1500, 3000},
-			HeightLevels: 3,
+			ObsOptions: ObsOptions{Checkpoints: []int64{500, 1500, 3000}, HeightLevels: 3},
 		},
 		Reps:              9,
 		CollectLoadVector: true,

@@ -233,8 +233,7 @@ func TestRunLargeShardsWorkersCheckpointsMatrix(t *testing.T) {
 			for _, workers := range []int{1, 2, 3, 8} {
 				res, err := RunLarge(LargeConfig{
 					Array: a, Seed: 1234, Shards: shards, Workers: workers,
-					Checkpoints:  cuts,
-					HeightLevels: 2,
+					ObsOptions: ObsOptions{Checkpoints: cuts, HeightLevels: 2},
 				})
 				if err != nil {
 					t.Fatalf("shards=%d cuts=%v workers=%d: %v", shards, cuts, workers, err)
@@ -264,7 +263,7 @@ func TestRunLargeShardsWorkersCheckpointsMatrix(t *testing.T) {
 		}
 		cped, err := RunLarge(LargeConfig{
 			Array: a, Seed: 1234, Shards: shards,
-			Checkpoints: []int64{300, 5000, 12000},
+			ObsOptions: ObsOptions{Checkpoints: []int64{300, 5000, 12000}},
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -288,7 +287,7 @@ func TestRunLargeHugeBallCount(t *testing.T) {
 	for _, workers := range []int{1, 4} {
 		res, err := RunLarge(LargeConfig{
 			Array: a, Seed: 5, Shards: 16, Workers: workers, Balls: m,
-			Checkpoints: []int64{RoutingBlock + 100},
+			ObsOptions: ObsOptions{Checkpoints: []int64{RoutingBlock + 100}},
 		})
 		if err != nil {
 			t.Fatal(err)

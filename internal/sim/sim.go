@@ -84,24 +84,11 @@ type Config struct {
 	// of the per-repetition maximum load among the bins of that class —
 	// the Observation 1 observable (mean and worst big-bin load).
 	ClassMaxLoads []int64
-	// Checkpoints lists ball counts at which the running maximum load
-	// and its deviation from the running average load are recorded
-	// (Fig 16). Checkpoints larger than a repetition's ball count are
-	// skipped for that repetition — the shortfall is visible through
-	// CheckpointStat.Reps, which counts the repetitions that actually
-	// observed each cut.
-	Checkpoints []int64
-	// HeightLevels, when positive, requests the count of bins at final
-	// load >= k for k = 1..HeightLevels — the concentration-bound
-	// observable (collected through obs.Heights).
-	HeightLevels int
-	// HeightBins, when positive, requests a histogram of ball heights —
-	// the paper's §2 notion: the load of the receiving bin immediately
-	// after the allocation. The histogram spans [0, HeightMax) with
-	// HeightBins bins (HeightMax defaults to 8).
-	HeightBins int
-	// HeightMax is the histogram's upper bound (default 8).
-	HeightMax float64
+	// ObsOptions is the shared observation-option block (checkpoints,
+	// height levels, height histogram — see obsoptions.go). In the
+	// classic engine Checkpoints are exact ball counts (Fig 16), and
+	// every option is supported.
+	ObsOptions
 }
 
 // CheckpointStat aggregates one checkpoint across repetitions. It is
@@ -150,6 +137,10 @@ type Result struct {
 	// Heights is the aggregated ball-height histogram (only when
 	// HeightBins was requested).
 	Heights *stats.Histogram
+	// Stream is the full streaming-engine result (only when Dispatch
+	// ran a streaming spec): round counters, final shard occupancies
+	// and the round-indexed trajectory.
+	Stream *StreamResult
 }
 
 type chunkPartial struct {
@@ -203,22 +194,7 @@ func (c *Config) validate() error {
 			return fmt.Errorf("sim: ClassMaxLoads[%d] = %d, capacity classes are >= 1", i, class)
 		}
 	}
-	if c.HeightLevels < 0 {
-		return fmt.Errorf("sim: HeightLevels = %d, need >= 0", c.HeightLevels)
-	}
-	if c.HeightBins < 0 {
-		return fmt.Errorf("sim: HeightBins = %d, need >= 0", c.HeightBins)
-	}
-	if c.HeightMax < 0 {
-		return fmt.Errorf("sim: HeightMax = %v, need >= 0 (0 defaults to 8)", c.HeightMax)
-	}
-	if c.HeightBins == 0 && c.HeightMax > 0 {
-		return fmt.Errorf("sim: HeightMax = %v without HeightBins: the height histogram needs a positive HeightBins", c.HeightMax)
-	}
-	if _, err := obs.NormalizeCuts(c.Checkpoints); err != nil {
-		return fmt.Errorf("sim: %w", err)
-	}
-	return nil
+	return c.ObsOptions.validate()
 }
 
 func (c *Config) distribution() dist.Distribution {
@@ -300,7 +276,7 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	if completed < cfg.Reps {
-		return res, &CancelledError{Engine: engRun, CompletedReps: completed, CompletedCuts: -1, Cause: cc.err()}
+		return res, &CancelledError{Engine: engRun, CompletedReps: completed, CompletedCuts: -1, CompletedRounds: -1, Cause: cc.err()}
 	}
 	return res, nil
 }

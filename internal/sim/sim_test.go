@@ -89,7 +89,7 @@ func TestDeterministicAcrossWorkerCounts(t *testing.T) {
 			Array: a, Reps: 40, Seed: 99, Workers: workers,
 			CollectLoadVector: true,
 			TrackClasses:      []int64{2},
-			Checkpoints:       []int64{16, 64, 128},
+			ObsOptions:        ObsOptions{Checkpoints: []int64{16, 64, 128}},
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -212,7 +212,7 @@ func TestCheckpoints(t *testing.T) {
 	a := uniformArray(t, 16, 1)
 	res, err := Run(Config{
 		Array: a, Reps: 10, Seed: 6, Balls: 64,
-		Checkpoints: []int64{16, 32, 48, 64},
+		ObsOptions: ObsOptions{Checkpoints: []int64{16, 32, 48, 64}},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -241,7 +241,7 @@ func TestCheckpointBeyondBallsIgnored(t *testing.T) {
 	a := uniformArray(t, 8, 1)
 	res, err := Run(Config{
 		Array: a, Reps: 5, Seed: 7, Balls: 8,
-		Checkpoints: []int64{4, 100},
+		ObsOptions: ObsOptions{Checkpoints: []int64{4, 100}},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -450,7 +450,7 @@ func TestHeightHistogram(t *testing.T) {
 	a := uniformArray(t, 50, 1)
 	res, err := Run(Config{
 		Array: a, Reps: 20, Seed: 12,
-		HeightBins: 16, HeightMax: 8,
+		ObsOptions: ObsOptions{HeightBins: 16, HeightMax: 8},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -474,7 +474,7 @@ func TestHeightHistogram(t *testing.T) {
 	// deterministic across worker counts
 	res2, err := Run(Config{
 		Array: a, Reps: 20, Seed: 12,
-		HeightBins: 16, HeightMax: 8, Workers: 3,
+		Workers: 3, ObsOptions: ObsOptions{HeightBins: 16, HeightMax: 8},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -488,7 +488,7 @@ func TestHeightHistogram(t *testing.T) {
 
 func TestHeightHistogramDefaultMax(t *testing.T) {
 	a := uniformArray(t, 10, 1)
-	res, err := Run(Config{Array: a, Reps: 2, Seed: 1, HeightBins: 4})
+	res, err := Run(Config{Array: a, Reps: 2, Seed: 1, ObsOptions: ObsOptions{HeightBins: 4}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -516,10 +516,10 @@ func TestMaxLoadSanity(t *testing.T) {
 // on how to skip it.
 func TestCheckpointValidation(t *testing.T) {
 	a := uniformArray(t, 4, 1)
-	if _, err := Run(Config{Array: a, Reps: 1, Checkpoints: []int64{0, 5}}); err == nil {
+	if _, err := Run(Config{Array: a, Reps: 1, ObsOptions: ObsOptions{Checkpoints: []int64{0, 5}}}); err == nil {
 		t.Fatal("checkpoint at 0 balls accepted")
 	}
-	if _, err := Run(Config{Array: a, Reps: 1, Checkpoints: []int64{-3}}); err == nil {
+	if _, err := Run(Config{Array: a, Reps: 1, ObsOptions: ObsOptions{Checkpoints: []int64{-3}}}); err == nil {
 		t.Fatal("negative checkpoint accepted")
 	}
 }
@@ -529,7 +529,7 @@ func TestCheckpointValidation(t *testing.T) {
 // change.
 func TestCheckpointsAgreeAcrossPaths(t *testing.T) {
 	a := uniformArray(t, 8, 2)
-	base := Config{Array: a, Reps: 4, Seed: 11, Balls: 40, Checkpoints: []int64{5, 20}}
+	base := Config{Array: a, Reps: 4, Seed: 11, Balls: 40, ObsOptions: ObsOptions{Checkpoints: []int64{5, 20}}}
 	plain, err := Run(base)
 	if err != nil {
 		t.Fatal(err)

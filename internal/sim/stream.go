@@ -1,0 +1,960 @@
+// Streaming engine: the balls-into-bins game as a round-structured
+// stream. Balls ARRIVE in rounds (a fixed per-round count or an
+// explicit schedule), a deterministic deletion stream EXPIRES balls
+// between arrivals, and an optional inter-round rebalance pass bounds
+// how far the per-shard occupancies drift from the shard weights. One
+// round is: arrivals → deletions → rebalance → observation.
+//
+// # Model
+//
+// Arrivals reuse the sharded engine's two-level protocol unchanged:
+// the round's balls are routed to shards block-wise (exact
+// Multinomial(blockBalls, shardWeights) per routing block, route.go)
+// and each shard places its routed balls with its own pre-built
+// protocol state on its own bins.Shard view.
+//
+// Deletions are exactly uniform WITHOUT replacement over the balls
+// currently in the system, factorised like routing as
+// P(shard)·P(bin | shard): a shard-level Fenwick count tree
+// (sampling.CountTree) over the per-shard occupancies draws the
+// deletion's shard, then each shard's own count tree over its bin
+// loads draws the bin — both stages all-integer, so the deletion law
+// is exact, not a relaxation.
+//
+// The rebalance pass (enabled by RebalanceTol > 0) moves balls from
+// shards above (1+tol)·target to shards below target, where shard s's
+// target is its weight share of the current occupancy. Surplus balls
+// are removed uniformly without replacement from their shard and
+// re-placed by the destination shard's protocol; destinations receive
+// the surplus apportioned to their deficits by largest remainder — a
+// deterministic integer rule with no RNG of its own.
+//
+// # Determinism: the substream layout is part of the model
+//
+// One round consumes K = 3·Shards + 2 consecutive RNG streams; round
+// r's base stream is r·K. Within a round:
+//
+//	base+0            arrival routing (routing blocks as substreams)
+//	base+1+s          shard s placement (arrivals, then move-ins)
+//	base+1+S          deletion shard-routing (S = Shards)
+//	base+2+S+s        shard s within-shard deletion draws
+//	base+2+2S+s      shard s rebalance move-out draws
+//
+// Every stream is owned by exactly one deterministic actor, so the
+// result is a pure function of (capacities, distribution, protocol,
+// schedule, Deletions, RebalanceTol, Seed, Shards, Rounds) and — bit
+// for bit — independent of Workers. The layout is FROZEN: with
+// Rounds = 1, Deletions = 0 and RebalanceTol = 0, round 0 consumes
+// exactly RunLarge's streams (routing on stream 0, shard s placement
+// on stream 1+s), so a one-round quiet stream reproduces RunLarge bit
+// for bit — pinned by tests, like the stream goldens.
+//
+// # Observation
+//
+// Checkpoints are ROUND indices: cut k observes the whole system at
+// the end of round Checkpoints[k] (1-based) through the existing
+// obs.Checkpoints collector — CheckpointRow.Balls is the round index,
+// RealBalls the occupancy at that round's end. Cuts beyond Rounds are
+// skipped (visible through Reps), like cuts beyond m elsewhere.
+//
+// # Cancellation and faults
+//
+// Cancellation is polled at task boundaries (routing blocks,
+// placement strides, deletion strides) and at every phase barrier. A
+// cancelled run returns a *CancelledError plus a deterministic
+// partial: counters, shard occupancies and trajectory rows of the
+// COMPLETED-ROUND prefix, bit-identical to a run configured with
+// Rounds = CompletedRounds. Every pool task runs behind the usual
+// panic containment; fault-injection sites cover routing blocks
+// (OpRoute), placement strides (OpPlace), the deletion router and
+// per-shard deletion tasks (OpDelete) and move-out tasks
+// (OpRebalance), all with Rep = the round index.
+package sim
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/bins"
+	"repro/internal/dist"
+	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/protocol"
+	"repro/internal/sampling"
+	"repro/internal/xrand"
+)
+
+// StreamConfig describes one streaming run. The engine itself is
+// unexported (runStream): the only public path is Dispatch with
+// Engine = EngineStream, so every caller goes through the same
+// eligibility checks and result shape.
+type StreamConfig struct {
+	// Array supplies the capacities (required). It is cloned and reset
+	// unless AdoptArray is set.
+	Array *bins.Array
+	// Dist chooses bin selection weights (nil = dist.Proportional{}).
+	Dist dist.Distribution
+	// Placer builds the per-shard protocol (nil = Algorithm 1, d = 2).
+	Placer protocol.Factory
+	// Rounds is the number of rounds (>= 1). When Schedule is set and
+	// Rounds is 0, Rounds defaults to len(Schedule).
+	Rounds int
+	// Arrivals is the fixed per-round arrival count. When 0 the count
+	// is ArrivalsFactor·C (rounded), and when that is also 0 it
+	// defaults to exactly C — Config's ball-count rules, per round.
+	Arrivals int64
+	// ArrivalsFactor scales the total capacity into a per-round
+	// arrival count.
+	ArrivalsFactor float64
+	// Schedule, when non-empty, gives every round's arrival count
+	// explicitly (entries >= 0; length must equal Rounds when Rounds
+	// is set). Mutually exclusive with Arrivals/ArrivalsFactor.
+	Schedule []int64
+	// Deletions is the number of balls deleted per round, clamped to
+	// the current occupancy (>= 0).
+	Deletions int64
+	// RebalanceTol enables the inter-round rebalance pass when > 0:
+	// after deletions, every shard holding more than
+	// (1+RebalanceTol)·target balls sheds the excess to shards below
+	// target. 0 disables the pass.
+	RebalanceTol float64
+	// Seed is the base RNG seed; see the package comment for the
+	// frozen per-round substream layout.
+	Seed uint64
+	// Shards is the shard count (0 = DefaultShards, clamped to n).
+	// Part of the model, like Seed.
+	Shards int
+	// Workers caps parallelism (0 = GOMAXPROCS). Never affects the
+	// result, only the wall clock.
+	Workers int
+	// Context, when non-nil, arms cooperative cancellation: a fired
+	// context stops the run at the next task or phase boundary and
+	// returns the completed-round prefix (see the package comment).
+	Context context.Context
+	// AdoptArray lets the engine mutate Array in place (reset first)
+	// instead of cloning it.
+	AdoptArray bool
+	// CancelAfterRounds, when positive, deterministically stops the
+	// run after exactly that many completed rounds, as if the context
+	// had fired there (Cause == nil) — a timing-free way to exercise
+	// the cancellation path.
+	CancelAfterRounds int
+
+	// ObsOptions is the shared observation block (obsoptions.go). In
+	// the streaming engine Checkpoints are ROUND indices — cut k
+	// observes the system at the end of round Checkpoints[k] — and the
+	// per-ball height histogram (HeightBins) is not collected.
+	ObsOptions
+}
+
+// StreamResult aggregates one streaming run.
+type StreamResult struct {
+	// N is the number of bins; Shards the realised shard count.
+	N      int
+	Shards int
+	// Rounds is the number of COMPLETED rounds (== cfg.Rounds unless
+	// the run was cancelled).
+	Rounds int
+	// Arrived, Deleted and Moved count the balls that arrived, were
+	// deleted and were rebalanced across the completed rounds.
+	Arrived int64
+	Deleted int64
+	Moved   int64
+	// Balls is the occupancy after the last completed round
+	// (== Arrived − Deleted).
+	Balls int64
+	// MaxLoad, AvgLoad and Deviation are the final whole-array load
+	// statistics (deviation = max − average). Zero on a cancelled run,
+	// whose mid-round array state is not a model state.
+	MaxLoad   float64
+	AvgLoad   float64
+	Deviation float64
+	// ShardBalls[s] is shard s's occupancy after the last completed
+	// round.
+	ShardBalls []int64
+	// Checkpoints holds the round-indexed trajectory rows (one row per
+	// requested cut, in ascending round order; Balls is the round
+	// index, RealBalls the occupancy, unreached cuts have Reps 0).
+	Checkpoints []obs.CheckpointRow
+	// HeightCounts holds the bins-at-load>=k counts of the final state
+	// (only when HeightLevels was requested; nil on a cancelled run).
+	HeightCounts []obs.HeightRow
+	// Array is the final bin state (nil on a cancelled run).
+	Array *bins.Array
+}
+
+func (c *StreamConfig) validate() (shards, rounds int, err error) {
+	if c.Array == nil {
+		return 0, 0, fmt.Errorf("sim: RunStream needs an Array")
+	}
+	if c.Arrivals < 0 {
+		return 0, 0, fmt.Errorf("sim: Arrivals = %d, need >= 0", c.Arrivals)
+	}
+	if c.ArrivalsFactor < 0 {
+		return 0, 0, fmt.Errorf("sim: ArrivalsFactor = %v, need >= 0", c.ArrivalsFactor)
+	}
+	rounds = c.Rounds
+	if len(c.Schedule) > 0 {
+		if c.Arrivals != 0 || c.ArrivalsFactor != 0 {
+			return 0, 0, fmt.Errorf("sim: Schedule is mutually exclusive with Arrivals/ArrivalsFactor")
+		}
+		if rounds == 0 {
+			rounds = len(c.Schedule)
+		} else if rounds != len(c.Schedule) {
+			return 0, 0, fmt.Errorf("sim: Rounds = %d but len(Schedule) = %d", c.Rounds, len(c.Schedule))
+		}
+		for r, a := range c.Schedule {
+			if a < 0 {
+				return 0, 0, fmt.Errorf("sim: Schedule[%d] = %d, need >= 0", r, a)
+			}
+		}
+	}
+	if rounds < 1 {
+		return 0, 0, fmt.Errorf("sim: Rounds = %d, need >= 1", c.Rounds)
+	}
+	if c.Deletions < 0 {
+		return 0, 0, fmt.Errorf("sim: Deletions = %d, need >= 0", c.Deletions)
+	}
+	if c.RebalanceTol < 0 || c.RebalanceTol != c.RebalanceTol {
+		return 0, 0, fmt.Errorf("sim: RebalanceTol = %v, need >= 0", c.RebalanceTol)
+	}
+	if c.Workers < 0 {
+		return 0, 0, fmt.Errorf("sim: Workers = %d, need >= 0", c.Workers)
+	}
+	if c.CancelAfterRounds < 0 {
+		return 0, 0, fmt.Errorf("sim: CancelAfterRounds = %d, need >= 0", c.CancelAfterRounds)
+	}
+	if err := c.ObsOptions.validate(); err != nil {
+		return 0, 0, err
+	}
+	if err := c.ObsOptions.rejectHeightBins("the streaming engine"); err != nil {
+		return 0, 0, err
+	}
+	n := c.Array.N()
+	shards = c.Shards
+	if shards == 0 {
+		shards = DefaultShards
+		if shards > n {
+			shards = n
+		}
+	} else if shards < 1 || shards > n {
+		return 0, 0, fmt.Errorf("sim: Shards = %d outside [1,%d]", c.Shards, n)
+	}
+	return shards, rounds, nil
+}
+
+// Stream task kinds: one per phase of a round (plus the one-time
+// placer-build setup phase). Every task is identified by (kind, shard
+// or routing-group index); the kind also names the PanicError task.
+const (
+	streamTaskRoute = iota
+	streamTaskSetup
+	streamTaskPlace
+	streamTaskDelete
+	streamTaskMoveOut
+	streamTaskMoveIn
+	streamTaskObserve
+)
+
+// streamTaskNames[kind] is the provenance name of a task kind.
+var streamTaskNames = [...]string{"route", "setup", "place", "delete", "move-out", "move-in", "observe"}
+
+// streamTask is one unit of pool work: a task kind plus the shard (or
+// routing-group) index it applies to. Plain values flow through the
+// task channel, so dispatching a phase allocates nothing.
+type streamTask struct {
+	kind int32
+	idx  int32
+}
+
+// apportion sorts deficit-shard indices by descending largest-remainder
+// residue (ties by ascending shard index — a total order, so the result
+// is unique whatever sort algorithm runs). It lives in streamState so
+// the per-round sort allocates nothing.
+type apportion struct {
+	rem []float64 // residue per shard (indexed by shard)
+	idx []int     // candidate shard indices being sorted
+}
+
+func (a *apportion) Len() int      { return len(a.idx) }
+func (a *apportion) Swap(i, j int) { a.idx[i], a.idx[j] = a.idx[j], a.idx[i] }
+func (a *apportion) Less(i, j int) bool {
+	ri, rj := a.rem[a.idx[i]], a.rem[a.idx[j]]
+	if ri != rj {
+		return ri > rj
+	}
+	return a.idx[i] < a.idx[j]
+}
+
+// streamState is the engine's whole working set, allocated once before
+// round 0: after a two-round warm-up a steady-state round performs no
+// allocation at all (pinned by TestStreamSteadyStateAllocFree and the
+// rounds/sec benchmark).
+type streamState struct {
+	cfg    *StreamConfig
+	cc     *canceller
+	arr    *bins.Array
+	n      int
+	shards int
+	seed   uint64
+	kk     uint64 // RNG streams consumed per round: 3·shards + 2
+
+	weights []float64
+	factory protocol.Factory
+	bounds  []int
+	shardW  []float64
+	sumW    float64
+	router  *sampling.Multinomial
+
+	views   []*bins.Array
+	placers []protocol.Placer
+	trees   []*sampling.CountTree // per-shard bin count trees (deletion/move-out)
+	shardT  *sampling.CountTree   // shard-level occupancy tree (deletion routing)
+
+	rands   []xrand.Rand // per-shard placement streams, re-seeded every round
+	scratch []xrand.Rand // per-shard scratch streams (deletion / move-out tasks)
+	srand   xrand.Rand   // deletion shard-routing stream
+
+	groups   []routeGroup
+	counts   []int64 // per-round arrival routing counts
+	sballs   []int64 // live per-shard occupancy
+	total    int64   // live occupancy
+	delQuota []int64
+	moveOut  []int64
+	moveIn   []int64
+	targets  []float64 // rebalance scratch: per-shard occupancy targets
+	defW     []float64 // rebalance scratch: per-shard deficit weights
+	ap       apportion
+
+	fixedM   int64   // per-round arrivals when no schedule is set
+	sched    []int64 // explicit schedule (nil when fixedM applies)
+	totalCap int64
+
+	cuts     []int64 // normalized round-index cuts
+	nCuts    int     // cuts reachable within Rounds
+	nextCut  int
+	cp       *obs.Checkpoints
+	trackRow []float64   // per-shard max-load scratch for the current cut
+	trackMat [][]float64 // {trackRow}, the shape combineShardMaxima folds
+	maxOut   []float64   // combineShardMaxima output scratch (len 1)
+
+	taskCh chan streamTask
+	wg     sync.WaitGroup
+	errs   []error
+
+	// Round-scoped fields, written by the orchestrator strictly
+	// between phase barriers (the task-channel sends order the writes
+	// before any worker reads).
+	round  int
+	rbase  uint64 // round base stream index: round·kk
+	rrbase uint64 // Mix64(seed, rbase): arrival routing base
+	curM   int64  // this round's arrivals
+	rgr    int    // routing groups active this round
+
+	// Committed prefix: updated only when a round completes, so a
+	// cancelled run reports exactly the completed-round state.
+	rounds  int
+	arrived int64
+	deleted int64
+	moved   int64
+	ctotal  int64
+	csballs []int64
+}
+
+// runStream executes one streaming run. Unexported by design: Dispatch
+// (Engine = EngineStream) is the only public entry point, so every
+// caller shares the eligibility checks and the Result mapping.
+func runStream(cfg StreamConfig) (*StreamResult, error) {
+	shards, rounds, err := cfg.validate()
+	if err != nil {
+		return nil, err
+	}
+	cc := newCanceller(cfg.Context)
+	defer cc.stop()
+	arr := cfg.Array
+	if !cfg.AdoptArray {
+		arr = cfg.Array.Clone()
+	}
+	arr.Reset()
+	n := arr.N()
+
+	d := cfg.Dist
+	if d == nil {
+		d = dist.Proportional{}
+	}
+	weights, err := d.Weights(arr)
+	if err != nil {
+		return nil, fmt.Errorf("sim: RunStream weights: %w", err)
+	}
+	factory := cfg.Placer
+	if factory == nil {
+		factory = protocol.GreedyFactory(2)
+	}
+	bounds, shardW, router, err := shardPlan(weights, n, shards)
+	if err != nil {
+		return nil, fmt.Errorf("sim: RunStream router: %w", err)
+	}
+
+	st := &streamState{
+		cfg:     &cfg,
+		cc:      cc,
+		arr:     arr,
+		n:       n,
+		shards:  shards,
+		seed:    cfg.Seed,
+		kk:      uint64(3*shards + 2),
+		weights: weights,
+		factory: factory,
+		bounds:  bounds,
+		shardW:  shardW,
+		router:  router,
+	}
+	for _, w := range shardW {
+		st.sumW += w
+	}
+	st.totalCap = arr.TotalCapacity()
+	if len(cfg.Schedule) > 0 {
+		st.sched = cfg.Schedule
+	} else {
+		st.fixedM = (&Config{Balls: cfg.Arrivals, BallsFactor: cfg.ArrivalsFactor}).ballCount(st.totalCap)
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	maxM := st.fixedM
+	for _, a := range st.sched {
+		if a > maxM {
+			maxM = a
+		}
+	}
+	rg := workers
+	if nb := numRouteBlocks(maxM); rg > nb {
+		rg = nb
+	}
+	if rg < 1 {
+		rg = 1
+	}
+	st.groups = newRouteGroups(rg, shards, 0)
+
+	lim := shards
+	if lim < rg {
+		lim = rg
+	}
+	pool := workers
+	if pool > lim {
+		pool = lim
+	}
+	st.errs = make([]error, lim)
+	st.taskCh = make(chan streamTask)
+
+	st.counts = make([]int64, shards)
+	st.sballs = make([]int64, shards)
+	st.csballs = make([]int64, shards)
+	st.delQuota = make([]int64, shards)
+	st.moveOut = make([]int64, shards)
+	st.moveIn = make([]int64, shards)
+	st.targets = make([]float64, shards)
+	st.defW = make([]float64, shards)
+	st.ap = apportion{rem: make([]float64, shards), idx: make([]int, 0, shards)}
+	st.rands = make([]xrand.Rand, shards)
+	st.scratch = make([]xrand.Rand, shards)
+	st.views = make([]*bins.Array, shards)
+	st.placers = make([]protocol.Placer, shards)
+	st.trees = make([]*sampling.CountTree, shards)
+	st.shardT, err = sampling.NewCountTree(shards)
+	if err != nil {
+		return nil, fmt.Errorf("sim: RunStream: %w", err)
+	}
+
+	cuts, _ := obs.NormalizeCuts(cfg.Checkpoints) // validated above
+	st.cuts = cuts
+	st.nCuts = obs.CountReached(cuts, int64(rounds))
+	if len(cuts) > 0 {
+		st.cp = obs.NewCheckpoints(cuts)
+		st.trackRow = make([]float64, shards)
+		st.trackMat = [][]float64{st.trackRow}
+		st.maxOut = make([]float64, 1)
+	}
+
+	// Shard views are built before the pool does any work: Array.Shard
+	// is a parent method, and the bins.Shard contract forbids running
+	// parent methods while views mutate. Zero-weight shards get no
+	// view: routing never sends them a ball, deletion and rebalance
+	// never touch an empty shard, and skipping them keeps degenerate
+	// weight slices from failing the placer build.
+	for s := 0; s < shards; s++ {
+		if shardW[s] <= 0 {
+			continue
+		}
+		st.views[s], err = arr.Shard(bounds[s], bounds[s+1])
+		if err != nil {
+			return nil, fmt.Errorf("sim: RunStream shard %d: %w", s, err)
+		}
+		st.trees[s], err = sampling.NewCountTree(st.views[s].N())
+		if err != nil {
+			return nil, fmt.Errorf("sim: RunStream shard %d: %w", s, err)
+		}
+	}
+
+	for w := 0; w < pool; w++ {
+		go st.serve()
+	}
+	res, err := st.orchestrate(rounds)
+	close(st.taskCh)
+	return res, err
+}
+
+// serve is one pool worker: drain tasks until the channel closes. Each
+// task runs behind its own recover (in do) so a panic anywhere
+// surfaces as a *PanicError from runStream, never as a crash or hang.
+func (st *streamState) serve() {
+	for t := range st.taskCh {
+		st.do(t)
+	}
+}
+
+// do executes one task. Task state is indexed by (kind, idx) and every
+// task touches only its own shard's (or routing group's) state, so any
+// scheduling of tasks onto workers produces identical bits.
+func (st *streamState) do(t streamTask) {
+	defer st.wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			st.errs[t.idx] = newPanicError(engRunStream, streamTaskNames[t.kind], st.round, int(t.idx), r)
+		}
+	}()
+	s := int(t.idx)
+	switch t.kind {
+	case streamTaskRoute:
+		st.groups[s].reset()
+		st.groups[s].route(st.cc, engRunStream, st.round, st.rrbase, st.router, st.curM, s, st.rgr, nil, nil)
+	case streamTaskSetup:
+		if st.views[s] != nil {
+			st.placers[s], st.errs[s] = st.factory(st.views[s], st.weights[st.bounds[s]:st.bounds[s+1]])
+		}
+	case streamTaskPlace:
+		if st.counts[s] > 0 {
+			placeSegment(st.cc, engRunStream, st.round, s, st.placers[s], st.views[s], &st.rands[s], st.counts[s])
+		}
+	case streamTaskDelete:
+		st.deleteShard(s)
+	case streamTaskMoveOut:
+		st.moveOutShard(s)
+	case streamTaskMoveIn:
+		if st.moveIn[s] > 0 {
+			placeSegment(st.cc, engRunStream, st.round, s, st.placers[s], st.views[s], &st.rands[s], st.moveIn[s])
+		}
+	case streamTaskObserve:
+		if v := st.views[s]; v != nil {
+			st.trackRow[s] = v.MaxLoad()
+		} else {
+			st.trackRow[s] = 0
+		}
+	}
+}
+
+// runPhase dispatches count tasks of one kind, waits for the barrier
+// and surfaces the first task error (wrapped with the phase label and
+// index). The error slots are cleared for the next phase.
+func (st *streamState) runPhase(kind int32, count int, label string) error {
+	for i := 0; i < count; i++ {
+		st.wg.Add(1)
+		st.taskCh <- streamTask{kind: kind, idx: int32(i)}
+	}
+	st.wg.Wait()
+	for i := 0; i < count; i++ {
+		if err := st.errs[i]; err != nil {
+			clear(st.errs[:count])
+			return fmt.Errorf("sim: RunStream %s %d: %w", label, i, err)
+		}
+	}
+	return nil
+}
+
+// deleteShard removes the round's delQuota[s] deletion draws from
+// shard s: rebuild the shard's bin count tree from the live loads,
+// then Sample/Dec/Remove on the shard's own deletion stream. The tree
+// mirrors the view exactly, so Remove can never hit an empty bin.
+func (st *streamState) deleteShard(s int) {
+	q := st.delQuota[s]
+	if q == 0 {
+		return
+	}
+	if fault.Enabled {
+		fault.Hit(fault.Site{Engine: engRunStream, Op: fault.OpDelete, Rep: st.round, Shard: s, Block: -1})
+	}
+	view := st.views[s]
+	tree := st.trees[s]
+	tree.Build(view.Balls)
+	rng := &st.scratch[s]
+	rng.Seed(xrand.Mix64(st.seed, st.rbase+2+uint64(st.shards)+uint64(s)))
+	for k := int64(0); k < q; k++ {
+		if k&(RoutingBlock-1) == 0 && st.cc.cancelled() {
+			return
+		}
+		i := tree.Sample(rng)
+		tree.Dec(i)
+		view.Remove(i)
+	}
+}
+
+// moveOutShard removes the round's moveOut[s] rebalance draws from
+// shard s — the same without-replacement kernel as deleteShard, on the
+// shard's move-out stream. The removed balls are re-placed by the
+// deficit shards' move-in tasks; ball identity is not tracked, exactly
+// as in the count-based routing model.
+func (st *streamState) moveOutShard(s int) {
+	q := st.moveOut[s]
+	if q == 0 {
+		return
+	}
+	if fault.Enabled {
+		fault.Hit(fault.Site{Engine: engRunStream, Op: fault.OpRebalance, Rep: st.round, Shard: s, Block: -1})
+	}
+	view := st.views[s]
+	tree := st.trees[s]
+	tree.Build(view.Balls)
+	rng := &st.scratch[s]
+	rng.Seed(xrand.Mix64(st.seed, st.rbase+2+2*uint64(st.shards)+uint64(s)))
+	for k := int64(0); k < q; k++ {
+		if k&(RoutingBlock-1) == 0 && st.cc.cancelled() {
+			return
+		}
+		i := tree.Sample(rng)
+		tree.Dec(i)
+		view.Remove(i)
+	}
+}
+
+// routeDeletions is the round's deletion shard-routing step: D
+// sequential draws from the shard-occupancy count tree on the round's
+// deletion-routing stream, decrementing as it goes — the quota vector
+// is multivariate-hypergeometric, exactly the shard counts of deleting
+// D balls uniformly without replacement. It runs on the orchestrator
+// goroutine behind its own recover so an injected (or genuine) panic
+// surfaces as a *PanicError like any pool task's.
+func (st *streamState) routeDeletions(d int64) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("sim: RunStream deletion routing: %w", newPanicError(engRunStream, "delete-route", st.round, -1, r))
+		}
+	}()
+	if fault.Enabled {
+		fault.Hit(fault.Site{Engine: engRunStream, Op: fault.OpDelete, Rep: st.round, Shard: -1, Block: -1})
+	}
+	st.shardT.Build(func(s int) int64 { return st.sballs[s] })
+	st.srand.Seed(xrand.Mix64(st.seed, st.rbase+1+uint64(st.shards)))
+	clear(st.delQuota)
+	for k := int64(0); k < d; k++ {
+		s := st.shardT.Sample(&st.srand)
+		st.shardT.Dec(s)
+		st.delQuota[s]++
+	}
+	return nil
+}
+
+// planRebalance fills moveOut/moveIn for the round and returns the
+// total moved. Shard s's target is shardW[s]/ΣW · occupancy; surplus
+// above (1+tol)·target moves out, apportioned to the deficit shards
+// (weight = target − occupancy) by largest remainder — floor quotas
+// first, then one extra ball per candidate in descending-residue order
+// (ties by shard index), a deterministic rule with no RNG draw. All
+// arithmetic is either exact integer or correctly-rounded IEEE binary
+// (+, ·, /, Floor, Ceil — no fused operations), so the plan is
+// bit-identical across platforms and worker counts.
+func (st *streamState) planRebalance(tol float64) int64 {
+	if st.total == 0 || st.sumW <= 0 {
+		return 0
+	}
+	b := float64(st.total)
+	var m int64
+	for s := 0; s < st.shards; s++ {
+		st.targets[s] = st.shardW[s] / st.sumW * b
+		lim := int64(math.Ceil((1 + tol) * st.targets[s]))
+		out := st.sballs[s] - lim
+		if out < 0 {
+			out = 0
+		}
+		st.moveOut[s] = out
+		m += out
+	}
+	if m == 0 {
+		return 0
+	}
+	var wd float64
+	st.ap.idx = st.ap.idx[:0]
+	for s := 0; s < st.shards; s++ {
+		st.moveIn[s] = 0
+		st.defW[s] = 0
+		if st.views[s] == nil {
+			continue
+		}
+		if def := st.targets[s] - float64(st.sballs[s]); def > 0 {
+			st.defW[s] = def
+			wd += def
+			st.ap.idx = append(st.ap.idx, s)
+		}
+	}
+	if wd <= 0 || len(st.ap.idx) == 0 {
+		// No shard is below target (possible only through float
+		// corner cases): nothing can absorb the surplus, skip the pass.
+		clear(st.moveOut)
+		return 0
+	}
+	var assigned int64
+	for _, s := range st.ap.idx {
+		ideal := float64(m) * st.defW[s] / wd
+		q := math.Floor(ideal)
+		st.moveIn[s] = int64(q)
+		st.ap.rem[s] = ideal - q
+		assigned += int64(q)
+	}
+	sort.Sort(&st.ap)
+	k := len(st.ap.idx)
+	for r := m - assigned; r > 0; {
+		// One extra ball per candidate in residue order; wrap in the
+		// (float-residue) corner case of more leftover than candidates.
+		for j := 0; j < k && r > 0; j++ {
+			st.moveIn[st.ap.idx[j]]++
+			r--
+		}
+	}
+	for r := assigned - m; r > 0; {
+		// Float residue over-assigned (Σfloor > m): take back from the
+		// smallest residues.
+		for j := k - 1; j >= 0 && r > 0; j-- {
+			if st.moveIn[st.ap.idx[j]] > 0 {
+				st.moveIn[st.ap.idx[j]]--
+				r--
+			}
+		}
+	}
+	return m
+}
+
+// arrivalsAt returns round r's arrival count.
+func (st *streamState) arrivalsAt(r int) int64 {
+	if st.sched != nil {
+		return st.sched[r]
+	}
+	return st.fixedM
+}
+
+// orchestrate runs the setup phase and then the rounds, committing the
+// completed-round prefix as it goes.
+func (st *streamState) orchestrate(rounds int) (*StreamResult, error) {
+	// One-time setup: per-shard placer builds (alias tables,
+	// O(shard size) each) fan out across the pool. Built once, not per
+	// round — a steady-state round allocates nothing.
+	if err := st.runPhase(streamTaskSetup, st.shards, "setup shard"); err != nil {
+		return nil, err
+	}
+	if st.cc.cancelled() {
+		return st.partial()
+	}
+	for r := 0; r < rounds; r++ {
+		ok, err := st.runRound(r)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return st.partial()
+		}
+		if ca := st.cfg.CancelAfterRounds; ca > 0 && st.rounds == ca && st.rounds < rounds {
+			return st.partialSelfCancel()
+		}
+	}
+	return st.final()
+}
+
+// runRound executes round r: arrivals → deletions → rebalance →
+// observation → commit. ok == false means the round was abandoned at a
+// cancellation point — nothing of it is committed.
+func (st *streamState) runRound(r int) (ok bool, err error) {
+	if st.cc.cancelled() {
+		return false, nil
+	}
+	st.round = r
+	st.rbase = uint64(r) * st.kk
+	// Placement streams are re-seeded for EVERY shard at the start of
+	// every round — whether or not the shard receives arrivals — so a
+	// shard's draws depend only on (seed, round, shard), never on the
+	// quiet rounds before.
+	for s := 0; s < st.shards; s++ {
+		st.rands[s].Seed(xrand.Mix64(st.seed, st.rbase+1+uint64(s)))
+	}
+
+	// Phase 1+2 — arrivals: block-wise multinomial routing on the
+	// round's routing stream, then per-shard placement.
+	m := st.arrivalsAt(r)
+	st.curM = m
+	if m > 0 {
+		st.rrbase = xrand.Mix64(st.seed, st.rbase)
+		rgr := len(st.groups)
+		if nb := numRouteBlocks(m); rgr > nb {
+			rgr = nb
+		}
+		st.rgr = rgr
+		if err := st.runPhase(streamTaskRoute, rgr, "routing group"); err != nil {
+			return false, err
+		}
+		if st.cc.cancelled() {
+			return false, nil
+		}
+		mergeRouteGroups(st.groups[:rgr], st.counts, nil)
+		if err := st.runPhase(streamTaskPlace, st.shards, "shard"); err != nil {
+			return false, err
+		}
+		if st.cc.cancelled() {
+			return false, nil
+		}
+		for s, c := range st.counts {
+			st.sballs[s] += c
+		}
+		st.total += m
+	}
+
+	// Phase 3 — deletions: exactly uniform without replacement over
+	// the current occupancy, P(shard)·P(bin|shard) factorised.
+	d := st.cfg.Deletions
+	if d > st.total {
+		d = st.total
+	}
+	if d > 0 {
+		if err := st.routeDeletions(d); err != nil {
+			return false, err
+		}
+		if st.cc.cancelled() {
+			return false, nil
+		}
+		if err := st.runPhase(streamTaskDelete, st.shards, "deletion shard"); err != nil {
+			return false, err
+		}
+		if st.cc.cancelled() {
+			return false, nil
+		}
+		for s, q := range st.delQuota {
+			st.sballs[s] -= q
+		}
+		st.total -= d
+	}
+
+	// Phase 4 — rebalance: shed surpluses above (1+tol)·target to the
+	// deficit shards. Source and destination shards are disjoint, but
+	// the model orders move-outs before move-ins.
+	var moved int64
+	if tol := st.cfg.RebalanceTol; tol > 0 {
+		moved = st.planRebalance(tol)
+		if moved > 0 {
+			if err := st.runPhase(streamTaskMoveOut, st.shards, "move-out shard"); err != nil {
+				return false, err
+			}
+			if st.cc.cancelled() {
+				return false, nil
+			}
+			if err := st.runPhase(streamTaskMoveIn, st.shards, "move-in shard"); err != nil {
+				return false, err
+			}
+			if st.cc.cancelled() {
+				return false, nil
+			}
+			for s := 0; s < st.shards; s++ {
+				st.sballs[s] += st.moveIn[s] - st.moveOut[s]
+			}
+		}
+	}
+
+	// Phase 5 — observation: a cut at round r+1 snapshots the system
+	// before the commit, so a cancellation inside the observe phase
+	// abandons the whole round and the trajectory stays exactly the
+	// committed prefix's.
+	if st.nextCut < st.nCuts && st.cuts[st.nextCut] == int64(r)+1 {
+		if err := st.runPhase(streamTaskObserve, st.shards, "observe shard"); err != nil {
+			return false, err
+		}
+		if st.cc.cancelled() {
+			return false, nil
+		}
+		combineShardMaxima(st.trackMat, st.maxOut)
+		st.cp.Observe(st.nextCut, st.total, st.totalCap, st.maxOut[0])
+		st.nextCut++
+	}
+
+	// Commit: the round is now part of the result prefix.
+	st.rounds = r + 1
+	st.arrived += m
+	st.deleted += d
+	st.moved += moved
+	st.ctotal = st.total
+	copy(st.csballs, st.sballs)
+	return true, nil
+}
+
+// partialResult builds the committed-prefix result every cancelled
+// path shares.
+func (st *streamState) partialResult() *StreamResult {
+	res := &StreamResult{
+		N:          st.n,
+		Shards:     st.shards,
+		Rounds:     st.rounds,
+		Arrived:    st.arrived,
+		Deleted:    st.deleted,
+		Moved:      st.moved,
+		Balls:      st.ctotal,
+		ShardBalls: st.csballs,
+	}
+	if st.cp != nil {
+		res.Checkpoints = st.cp.Rows()
+	}
+	return res
+}
+
+// partial is the context-cancelled exit: the committed-round prefix
+// plus a *CancelledError carrying the context's cause.
+func (st *streamState) partial() (*StreamResult, error) {
+	return st.partialResult(), &CancelledError{
+		Engine:          engRunStream,
+		CompletedReps:   -1,
+		CompletedCuts:   st.nextCut,
+		CompletedRounds: st.rounds,
+		Cause:           st.cc.err(),
+	}
+}
+
+// partialSelfCancel is the CancelAfterRounds exit: same deterministic
+// prefix, nil Cause.
+func (st *streamState) partialSelfCancel() (*StreamResult, error) {
+	return st.partialResult(), &CancelledError{
+		Engine:          engRunStream,
+		CompletedReps:   -1,
+		CompletedCuts:   st.nextCut,
+		CompletedRounds: st.rounds,
+	}
+}
+
+// final builds the completed-run result: the committed counters plus
+// the final whole-array statistics and (optionally) height counts.
+func (st *streamState) final() (*StreamResult, error) {
+	res := st.partialResult()
+	st.arr.Recount()
+	max := st.arr.MaxLoad()
+	avg := st.arr.AverageLoad()
+	res.MaxLoad = max
+	res.AvgLoad = avg
+	res.Deviation = max - avg
+	if st.cfg.HeightLevels > 0 {
+		hl := obs.NewHeights(st.cfg.HeightLevels)
+		if err := hl.Snapshot(obs.Final, st.arr, st.arrived); err != nil {
+			return nil, fmt.Errorf("sim: RunStream heights: %w", err)
+		}
+		res.HeightCounts = hl.Rows()
+	}
+	res.Array = st.arr
+	return res, nil
+}

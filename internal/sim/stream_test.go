@@ -1,0 +1,560 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/protocol"
+	"repro/internal/sampling"
+	"repro/internal/xrand"
+)
+
+func TestStreamValidation(t *testing.T) {
+	a := largeArray(t, 100)
+	cases := []struct {
+		name string
+		cfg  StreamConfig
+		want string
+	}{
+		{"nil array", StreamConfig{Rounds: 1}, "needs an Array"},
+		{"no rounds", StreamConfig{Array: a}, "Rounds"},
+		{"negative rounds", StreamConfig{Array: a, Rounds: -2}, "Rounds"},
+		{"negative arrivals", StreamConfig{Array: a, Rounds: 1, Arrivals: -1}, "Arrivals"},
+		{"negative factor", StreamConfig{Array: a, Rounds: 1, ArrivalsFactor: -0.5}, "ArrivalsFactor"},
+		{"negative deletions", StreamConfig{Array: a, Rounds: 1, Deletions: -3}, "Deletions"},
+		{"negative tolerance", StreamConfig{Array: a, Rounds: 1, RebalanceTol: -0.1}, "RebalanceTol"},
+		{"NaN tolerance", StreamConfig{Array: a, Rounds: 1, RebalanceTol: math.NaN()}, "RebalanceTol"},
+		{"negative workers", StreamConfig{Array: a, Rounds: 1, Workers: -1}, "Workers"},
+		{"negative cancel", StreamConfig{Array: a, Rounds: 1, CancelAfterRounds: -1}, "CancelAfterRounds"},
+		{"shards out of range", StreamConfig{Array: a, Rounds: 1, Shards: 101}, "Shards"},
+		{"schedule and arrivals", StreamConfig{Array: a, Schedule: []int64{10}, Arrivals: 5}, "mutually exclusive"},
+		{"schedule length", StreamConfig{Array: a, Rounds: 3, Schedule: []int64{10, 20}}, "len(Schedule)"},
+		{"negative schedule entry", StreamConfig{Array: a, Schedule: []int64{10, -1}}, "Schedule[1]"},
+		{"height histogram", StreamConfig{Array: a, Rounds: 1,
+			ObsOptions: ObsOptions{HeightBins: 4}}, "streaming engine"},
+		{"bad cuts", StreamConfig{Array: a, Rounds: 1,
+			ObsOptions: ObsOptions{Checkpoints: []int64{3, 2}}}, "Checkpoints"},
+	}
+	for _, tc := range cases {
+		_, err := runStream(tc.cfg)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not name the field (want %q)", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestStreamQuietRoundMatchesRunLarge pins the frozen substream
+// layout's anchor: with one round, no deletions and no rebalance, the
+// streaming engine consumes exactly RunLarge's streams (routing on
+// stream 0, shard s placement on stream 1+s), so the final array is
+// bit-for-bit RunLarge's.
+func TestStreamQuietRoundMatchesRunLarge(t *testing.T) {
+	a := largeArray(t, 1500)
+	want, err := RunLarge(LargeConfig{Array: a, Seed: 42, Shards: 8,
+		Placer: protocol.GreedyFactory(3), ObsOptions: ObsOptions{HeightLevels: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := runStream(StreamConfig{Array: a, Seed: 42, Shards: 8, Rounds: 1,
+		Placer: protocol.GreedyFactory(3), ObsOptions: ObsOptions{HeightLevels: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Balls != want.Balls || got.Arrived != want.Balls {
+		t.Fatalf("stream placed %d balls, RunLarge %d", got.Balls, want.Balls)
+	}
+	if !reflect.DeepEqual(got.ShardBalls, want.ShardBalls) {
+		t.Fatalf("routing diverged: %v vs %v", got.ShardBalls, want.ShardBalls)
+	}
+	for i := 0; i < a.N(); i++ {
+		if got.Array.Balls(i) != want.Array.Balls(i) {
+			t.Fatalf("bin %d: stream %d balls, RunLarge %d", i, got.Array.Balls(i), want.Array.Balls(i))
+		}
+	}
+	if got.MaxLoad != want.MaxLoad || got.AvgLoad != want.AvgLoad || got.Deviation != want.Deviation {
+		t.Fatal("final statistics diverged from RunLarge")
+	}
+	if !reflect.DeepEqual(got.HeightCounts, want.HeightCounts) {
+		t.Fatal("height counts diverged from RunLarge")
+	}
+}
+
+// streamMatrixConfig is the full-featured configuration the topology
+// matrix and the goldens share: arrivals, deletions, rebalance and
+// round cuts all active.
+func streamMatrixConfig(t *testing.T, workers int) StreamConfig {
+	t.Helper()
+	return StreamConfig{
+		Array:        largeArray(t, 512),
+		Seed:         20260808,
+		Shards:       8,
+		Workers:      workers,
+		Rounds:       5,
+		Arrivals:     1000,
+		Deletions:    400,
+		RebalanceTol: 0.25,
+		ObsOptions:   ObsOptions{Checkpoints: []int64{2, 4, 5}},
+	}
+}
+
+// TestStreamBitIdenticalAcrossWorkers is the tentpole determinism
+// contract: the same stream spec produces identical bits — counters,
+// shard occupancies, trajectory rows and the final array — under every
+// worker topology (also exercised under -race by the CI matrix).
+func TestStreamBitIdenticalAcrossWorkers(t *testing.T) {
+	var base *StreamResult
+	for _, workers := range []int{1, 2, 3, 8} {
+		res, err := runStream(streamMatrixConfig(t, workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base == nil {
+			base = res
+			continue
+		}
+		if res.Arrived != base.Arrived || res.Deleted != base.Deleted ||
+			res.Moved != base.Moved || res.Balls != base.Balls {
+			t.Fatalf("workers=%d: counters differ: %+v vs %+v", workers, res, base)
+		}
+		if !reflect.DeepEqual(res.ShardBalls, base.ShardBalls) {
+			t.Fatalf("workers=%d: shard occupancies differ", workers)
+		}
+		if !reflect.DeepEqual(res.Checkpoints, base.Checkpoints) {
+			t.Fatalf("workers=%d: trajectory rows differ", workers)
+		}
+		if res.MaxLoad != base.MaxLoad || res.Deviation != base.Deviation {
+			t.Fatalf("workers=%d: final stats differ", workers)
+		}
+		for i := 0; i < res.N; i++ {
+			if res.Array.Balls(i) != base.Array.Balls(i) {
+				t.Fatalf("workers=%d: bin %d has %d balls, want %d",
+					workers, i, res.Array.Balls(i), base.Array.Balls(i))
+			}
+		}
+	}
+}
+
+// TestStreamGoldenValues pins exact outputs of the full streaming
+// model — arrival routing, placement, the deletion factorisation, the
+// rebalance apportionment and the round cuts — for one fixed spec.
+// Like the RunLarge goldens these are FROZEN: any change here means
+// the stream substream layout (or a kernel on it) was redefined, which
+// silently invalidates every pinned streaming result and must be
+// deliberate.
+func TestStreamGoldenValues(t *testing.T) {
+	res, err := runStream(streamMatrixConfig(t, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 5 || res.Arrived != 5000 || res.Deleted != 2000 || res.Balls != 3000 {
+		t.Fatalf("counters = %+v, golden rounds 5, arrived 5000, deleted 2000, balls 3000", res)
+	}
+	const wantMoved = int64(1)
+	if res.Moved != wantMoved {
+		t.Fatalf("moved = %d, golden %d", res.Moved, wantMoved)
+	}
+	wantShardBalls := []int64{76, 69, 63, 77, 648, 700, 659, 708}
+	if !reflect.DeepEqual(res.ShardBalls, wantShardBalls) {
+		t.Fatalf("shard occupancies %v, golden %v", res.ShardBalls, wantShardBalls)
+	}
+	wantRows := []struct {
+		round   int64
+		balls   float64
+		maxLoad float64
+	}{
+		{2, 1200, 2}, {4, 2400, 2}, {5, 3000, 3},
+	}
+	for k, w := range wantRows {
+		row := &res.Checkpoints[k]
+		if row.Balls != w.round || row.Reps() != 1 ||
+			row.RealBalls.Mean() != w.balls || row.MaxLoad.Mean() != w.maxLoad {
+			t.Fatalf("cut %d: round %d balls %v max %v (reps %d), golden %+v",
+				k, row.Balls, row.RealBalls.Mean(), row.MaxLoad.Mean(), row.Reps(), w)
+		}
+	}
+	var h uint64
+	for i := 0; i < res.Array.N(); i++ {
+		h = h*1315423911 + uint64(res.Array.Balls(i))
+	}
+	const wantHash = uint64(668858400744103328)
+	if h != wantHash {
+		t.Fatalf("final-state hash %d, golden %d (stream substreams changed)", h, wantHash)
+	}
+}
+
+// TestStreamConservation checks the occupancy accounting across a run
+// with all phases active: arrived − deleted balls remain, the array
+// agrees, and every shard respects the rebalance ceiling at the end.
+func TestStreamConservation(t *testing.T) {
+	const tol = 0.3
+	res, err := runStream(StreamConfig{
+		Array: largeArray(t, 800), Seed: 9, Shards: 10, Workers: 4,
+		Rounds: 6, Arrivals: 700, Deletions: 250, RebalanceTol: tol,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Arrived != 6*700 || res.Deleted != 6*250 {
+		t.Fatalf("arrived/deleted = %d/%d, want 4200/1500", res.Arrived, res.Deleted)
+	}
+	if res.Balls != res.Arrived-res.Deleted {
+		t.Fatalf("balls = %d, want arrived-deleted = %d", res.Balls, res.Arrived-res.Deleted)
+	}
+	if got := res.Array.TotalBalls(); got != res.Balls {
+		t.Fatalf("array holds %d balls, result says %d", got, res.Balls)
+	}
+	var sum int64
+	for _, b := range res.ShardBalls {
+		sum += b
+	}
+	if sum != res.Balls {
+		t.Fatalf("shard occupancies sum to %d, want %d", sum, res.Balls)
+	}
+	// The final round's rebalance pass capped every shard at
+	// ceil((1+tol)·target) of the final occupancy.
+	weights, err := dist.Proportional{}.Weights(res.Array)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, shardW, _, err := shardPlan(weights, res.N, res.Shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w float64
+	for _, v := range shardW {
+		w += v
+	}
+	for s, b := range res.ShardBalls {
+		lim := int64(math.Ceil((1 + tol) * shardW[s] / w * float64(res.Balls)))
+		if b > lim {
+			t.Fatalf("shard %d holds %d balls above the rebalance ceiling %d", s, b, lim)
+		}
+	}
+	if res.Moved == 0 {
+		t.Fatal("rebalance pass never moved a ball (config was built to drift)")
+	}
+}
+
+// TestStreamSchedule: an explicit schedule drives per-round arrivals,
+// implies Rounds, and deletions clamp to the occupancy instead of
+// going negative.
+func TestStreamSchedule(t *testing.T) {
+	res, err := runStream(StreamConfig{
+		Array: largeArray(t, 400), Seed: 3, Shards: 4,
+		Schedule:  []int64{5000, 0, 0, 0},
+		Deletions: 2000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 4 {
+		t.Fatalf("rounds = %d, want 4 (implied by the schedule)", res.Rounds)
+	}
+	if res.Arrived != 5000 {
+		t.Fatalf("arrived = %d, want 5000", res.Arrived)
+	}
+	// Rounds 1-3 delete 2000 each but round 3 finds only 1000 balls:
+	// deletions clamp, the system drains to empty.
+	if res.Deleted != 5000 || res.Balls != 0 {
+		t.Fatalf("deleted/balls = %d/%d, want 5000/0 (clamped drain)", res.Deleted, res.Balls)
+	}
+	if got := res.Array.TotalBalls(); got != 0 {
+		t.Fatalf("array holds %d balls after drain", got)
+	}
+}
+
+// TestStreamZeroWeightShards: shards with zero selection weight never
+// receive, lose or rebalance a ball — and never build a placer.
+func TestStreamZeroWeightShards(t *testing.T) {
+	a := largeArray(t, 1000)
+	res, err := runStream(StreamConfig{
+		Array: a, Seed: 5, Shards: 20, Rounds: 3,
+		Arrivals: 800, Deletions: 300, RebalanceTol: 0.5,
+		Dist: dist.TopOnly{MinCapacity: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < a.N(); i++ {
+		if res.Array.Capacity(i) < 10 && res.Array.Balls(i) != 0 {
+			t.Fatalf("small bin %d received balls under top-only", i)
+		}
+	}
+}
+
+// TestStreamCancelAfterRoundsPrefix: the deterministic self-cancel
+// returns exactly the completed-round prefix — counters, occupancies
+// and trajectory rows bit-identical to a run configured with that
+// Rounds value.
+func TestStreamCancelAfterRoundsPrefix(t *testing.T) {
+	cfg := streamMatrixConfig(t, 4)
+	short := cfg
+	short.Rounds = 3
+	want, err := runStream(short)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancelled := cfg
+	cancelled.CancelAfterRounds = 3
+	got, err := runStream(cancelled)
+	var cerr *CancelledError
+	if !errors.As(err, &cerr) {
+		t.Fatalf("err = %v, want *CancelledError", err)
+	}
+	if !errors.Is(err, ErrCancelled) {
+		t.Fatal("cancelled stream does not match ErrCancelled")
+	}
+	if cerr.Engine != engRunStream || cerr.CompletedRounds != 3 || cerr.Cause != nil {
+		t.Fatalf("provenance %+v, want RunStream self-cancelled after 3 rounds", cerr)
+	}
+	if got.Rounds != 3 || got.Arrived != want.Arrived || got.Deleted != want.Deleted ||
+		got.Moved != want.Moved || got.Balls != want.Balls {
+		t.Fatalf("partial counters %+v, want prefix of %+v", got, want)
+	}
+	if !reflect.DeepEqual(got.ShardBalls, want.ShardBalls) {
+		t.Fatalf("partial occupancies %v, want %v", got.ShardBalls, want.ShardBalls)
+	}
+	if !reflect.DeepEqual(got.Checkpoints, want.Checkpoints) {
+		t.Fatal("partial trajectory differs from the equivalent shorter run")
+	}
+	if cerr.CompletedCuts != 1 {
+		t.Fatalf("completed cuts = %d, want 1 (only the round-2 cut fired)", cerr.CompletedCuts)
+	}
+	if got.Array != nil || got.MaxLoad != 0 {
+		t.Fatal("cancelled partial carries final state")
+	}
+	// CancelAfterRounds >= Rounds is a no-op: the run completes.
+	full := cfg
+	full.CancelAfterRounds = cfg.Rounds
+	if _, err := runStream(full); err != nil {
+		t.Fatalf("CancelAfterRounds == Rounds should complete, got %v", err)
+	}
+}
+
+// TestStreamContextCancellation: a context dead before round 0 yields
+// the empty prefix; one fired mid-run yields a completed-round prefix
+// matching an equivalent shorter run.
+func TestStreamContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := streamMatrixConfig(t, 2)
+	cfg.Context = ctx
+	res, err := runStream(cfg)
+	var cerr *CancelledError
+	if !errors.As(err, &cerr) {
+		t.Fatalf("err = %v, want *CancelledError", err)
+	}
+	if cerr.CompletedRounds != 0 || cerr.Cause == nil {
+		t.Fatalf("provenance %+v, want 0 rounds with a context cause", cerr)
+	}
+	if res.Rounds != 0 || res.Balls != 0 || res.Arrived != 0 {
+		t.Fatalf("partial %+v, want the empty prefix", res)
+	}
+}
+
+// TestStreamDispatch covers the spec integration: Stream params bind
+// the spec to the streaming engine, every other explicit engine
+// rejects them with a reason, and the engine is unreachable without
+// them.
+func TestStreamDispatch(t *testing.T) {
+	if e, err := ParseEngine("stream"); err != nil || e != EngineStream {
+		t.Fatalf("ParseEngine(stream) = %v, %v", e, err)
+	}
+	a := largeArray(t, 512)
+	// Explicit stream engine without round params: field-named error.
+	_, err := Dispatch(RunSpec{Config: Config{Array: a, Seed: 1}, Engine: EngineStream})
+	if err == nil || !strings.Contains(err.Error(), "RunSpec.Stream") {
+		t.Fatalf("engine stream without Stream params: err = %v", err)
+	}
+	// Any other explicit engine with round params: loud rejection, no
+	// silent fallback.
+	for _, e := range []Engine{EngineClassic, EngineSharded, EngineClosedForm} {
+		_, err := Dispatch(RunSpec{Config: Config{Array: a, Seed: 1}, Engine: e,
+			Stream: &StreamParams{Rounds: 2}})
+		if err == nil || !strings.Contains(err.Error(), "streaming spec") {
+			t.Fatalf("engine %s with Stream params: err = %v", e, err)
+		}
+	}
+	// Unsupported spec fields error by name even under auto.
+	unsupported := []struct {
+		name string
+		spec RunSpec
+	}{
+		{"Reps", RunSpec{Config: Config{Array: a, Seed: 1, Reps: 3}, Stream: &StreamParams{Rounds: 2}}},
+		{"CollectLoadVector", RunSpec{Config: Config{Array: a, Seed: 1, CollectLoadVector: true}, Stream: &StreamParams{Rounds: 2}}},
+		{"height histogram", RunSpec{Config: Config{Array: a, Seed: 1,
+			ObsOptions: ObsOptions{HeightBins: 4}}, Stream: &StreamParams{Rounds: 2}}},
+	}
+	for _, tc := range unsupported {
+		if _, err := Dispatch(tc.spec); err == nil || !strings.Contains(err.Error(), tc.name) {
+			t.Errorf("%s: err = %v, want a field-named rejection", tc.name, err)
+		}
+	}
+	// The happy path: auto + Stream params dispatches to the streaming
+	// engine and maps the result onto the classic shape.
+	res, err := Dispatch(RunSpec{
+		Config: Config{Array: a, Seed: 20260808, Balls: 1000,
+			ObsOptions: ObsOptions{Checkpoints: []int64{2, 4, 5}}},
+		Shards: 8,
+		Stream: &StreamParams{Rounds: 5, Deletions: 400, RebalanceTol: 0.25},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Engine != EngineStream {
+		t.Fatalf("engine = %q, want stream", res.Engine)
+	}
+	if res.Stream == nil || res.Stream.Rounds != 5 {
+		t.Fatalf("Result.Stream = %+v, want the 5-round streaming result", res.Stream)
+	}
+	if res.MaxLoad.N() != 1 || res.Balls.Mean() != float64(res.Stream.Balls) {
+		t.Fatalf("classic mapping off: %+v", res)
+	}
+	// It must be the same bits runStream produces directly.
+	direct, err := runStream(streamMatrixConfig(t, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.Balls != res.Stream.Balls || !reflect.DeepEqual(direct.ShardBalls, res.Stream.ShardBalls) {
+		t.Fatal("Dispatch and runStream disagree on the same spec")
+	}
+	// A cancelled dispatch passes the CancelledError through with the
+	// partial mapped (empty accumulators, trajectory preserved).
+	cres, err := Dispatch(RunSpec{
+		Config: Config{Array: a, Seed: 20260808, Balls: 1000,
+			ObsOptions: ObsOptions{Checkpoints: []int64{2, 4, 5}}},
+		Shards: 8,
+		Stream: &StreamParams{Rounds: 5, Deletions: 400, RebalanceTol: 0.25, CancelAfterRounds: 3},
+	})
+	var cerr *CancelledError
+	if !errors.As(err, &cerr) || cerr.CompletedRounds != 3 {
+		t.Fatalf("err = %v, want cancelled after 3 rounds", err)
+	}
+	if cres == nil || cres.Stream == nil || cres.Stream.Rounds != 3 || cres.MaxLoad.N() != 0 {
+		t.Fatalf("cancelled dispatch partial %+v", cres)
+	}
+}
+
+// TestStreamSteadyStateAllocFree is the perf acceptance gate: after
+// warm-up, a steady-state round allocates nothing — measured as the
+// allocation DELTA between a 12-round and a 2-round run of the same
+// spec (setup allocations cancel out).
+func TestStreamSteadyStateAllocFree(t *testing.T) {
+	a := largeArray(t, 4096)
+	run := func(rounds int) float64 {
+		return testing.AllocsPerRun(3, func() {
+			_, err := runStream(StreamConfig{
+				Array: a, Seed: 11, Shards: 8, Workers: 2, Rounds: rounds,
+				Arrivals: 2048, Deletions: 512, RebalanceTol: 0.2,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	base := run(2)
+	long := run(12)
+	if perRound := (long - base) / 10; perRound > 0.5 {
+		t.Fatalf("steady-state rounds allocate %.2f allocs/round, want 0 (2 rounds: %.0f, 12 rounds: %.0f)",
+			perRound, base, long)
+	}
+}
+
+// TestStreamDeletionTwoLevelLaw: deleting ALL balls must empty every
+// bin exactly — the two-level (shard tree, then bin tree) deletion
+// kernel is without-replacement end to end.
+func TestStreamDeletionExhaustive(t *testing.T) {
+	res, err := runStream(StreamConfig{
+		Array: largeArray(t, 300), Seed: 8, Shards: 6,
+		Schedule:  []int64{4000, 0},
+		Deletions: 4000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Balls != 0 || res.Deleted != 4000 {
+		t.Fatalf("balls/deleted = %d/%d, want 0/4000", res.Balls, res.Deleted)
+	}
+	for i := 0; i < res.N; i++ {
+		if res.Array.Balls(i) != 0 {
+			t.Fatalf("bin %d still holds %d balls", i, res.Array.Balls(i))
+		}
+	}
+}
+
+// TestStreamSubstreamLayout pins the frozen per-round stream layout
+// constant K = 3·Shards + 2 by behaviour: two configs whose only
+// difference is a model knob that consumes a LATER stream of the same
+// round (deletions) leave the arrival routing and placement draws of
+// that round untouched.
+func TestStreamSubstreamLayout(t *testing.T) {
+	base := StreamConfig{
+		Array: largeArray(t, 400), Seed: 13, Shards: 4, Rounds: 1, Arrivals: 2000,
+	}
+	quiet, err := runStream(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withDel := base
+	withDel.Deletions = 500
+	del, err := runStream(withDel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Routing consumed the same stream: identical per-shard arrivals.
+	if !reflect.DeepEqual(del.Moved, quiet.Moved) || del.Arrived != quiet.Arrived {
+		t.Fatalf("arrival counters changed: %+v vs %+v", del, quiet)
+	}
+	if del.Balls != quiet.Balls-500 {
+		t.Fatalf("deletions removed %d balls, want 500", quiet.Balls-del.Balls)
+	}
+	// And the deletion draws come from their own streams: the
+	// per-round stream budget covers routing (1), placements (S),
+	// deletion routing (1), per-shard deletions (S) and move-outs (S).
+	st := &streamState{shards: 4, kk: uint64(3*4 + 2)}
+	if st.kk != 14 {
+		t.Fatalf("stream budget = %d, want 14 for 4 shards", st.kk)
+	}
+	// The shard-routing stream of round r is disjoint from round r+1's
+	// base: Mix64 of distinct stream indices.
+	s0 := xrand.Mix64(13, 0*st.kk+1+4)
+	s1 := xrand.Mix64(13, 1*st.kk)
+	if s0 == s1 {
+		t.Fatal("stream indices collide across rounds")
+	}
+	_ = sampling.CountTree{}
+}
+
+// TestStreamHeights: the final-state height observable rides along
+// like RunLarge's.
+func TestStreamHeights(t *testing.T) {
+	res, err := runStream(StreamConfig{
+		Array: largeArray(t, 500), Seed: 2, Shards: 5, Rounds: 3,
+		Arrivals: 400, Deletions: 100,
+		ObsOptions: ObsOptions{HeightLevels: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.HeightCounts) != 3 {
+		t.Fatalf("height rows = %d, want 3", len(res.HeightCounts))
+	}
+	var loaded int64
+	for i := 0; i < res.N; i++ {
+		if res.Array.Balls(i) >= res.Array.Capacity(i) {
+			loaded++
+		}
+	}
+	if got := res.HeightCounts[0].Bins.Mean(); got != float64(loaded) {
+		t.Fatalf("bins at load >= 1: %v, want %d", got, loaded)
+	}
+}

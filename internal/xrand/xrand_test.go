@@ -477,3 +477,31 @@ func TestNewBlockStream(t *testing.T) {
 		}
 	}
 }
+
+// TestRoundWindowStreams pins the round-windowed substream layout the
+// streaming engine freezes on top of this package: round r of a run
+// with S shards owns the top-level stream indices
+// [r·(3S+2), (r+1)·(3S+2)) — arrival routing, S placement streams,
+// deletion shard-routing, S deletion streams, S move-out streams —
+// and every stream in every window must be distinct, across rounds
+// and across the plain single-run layout (whose round-0 window it is).
+func TestRoundWindowStreams(t *testing.T) {
+	const (
+		seed   = 20260808
+		shards = 4
+		rounds = 6
+		k      = 3*shards + 2
+	)
+	seen := map[uint64][2]uint64{}
+	for r := uint64(0); r < rounds; r++ {
+		base := r * k
+		for j := uint64(0); j < k; j++ {
+			v := NewStream(seed, base+j).Uint64()
+			if prev, dup := seen[v]; dup {
+				t.Fatalf("stream (round %d, offset %d) collides with (round %d, offset %d)",
+					r, j, prev[0], prev[1])
+			}
+			seen[v] = [2]uint64{r, j}
+		}
+	}
+}

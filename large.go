@@ -129,16 +129,18 @@ func SimulateLarge(cfg LargeConfig) (*LargeResult, error) {
 		seed = 1
 	}
 	res, err := sim.RunLarge(sim.LargeConfig{
-		Array:        arr,
-		Dist:         cfg.Distribution.resolve(),
-		Placer:       cfg.Protocol.resolve(),
-		Balls:        cfg.Balls,
-		BallsFactor:  cfg.BallsFactor,
-		Seed:         seed,
-		Shards:       cfg.Shards,
-		Workers:      cfg.Workers,
-		Checkpoints:  cfg.Checkpoints,
-		HeightLevels: cfg.Heights,
+		Array:       arr,
+		Dist:        cfg.Distribution.resolve(),
+		Placer:      cfg.Protocol.resolve(),
+		Balls:       cfg.Balls,
+		BallsFactor: cfg.BallsFactor,
+		Seed:        seed,
+		Shards:      cfg.Shards,
+		Workers:     cfg.Workers,
+		ObsOptions: sim.ObsOptions{
+			Checkpoints:  cfg.Checkpoints,
+			HeightLevels: cfg.Heights,
+		},
 		// arr is private to this call, so the engine may own it —
 		// skipping the clone avoids a second transient O(n) array at
 		// n = 10^7.
@@ -273,16 +275,18 @@ func MonteCarloLarge(cfg MonteLargeConfig) (*MonteLargeResult, error) {
 	}
 	res, err := sim.RunLargeMonte(sim.LargeMonteConfig{
 		LargeConfig: sim.LargeConfig{
-			Array:        arr,
-			Dist:         cfg.Distribution.resolve(),
-			Placer:       cfg.Protocol.resolve(),
-			Balls:        cfg.Balls,
-			BallsFactor:  cfg.BallsFactor,
-			Seed:         seed,
-			Shards:       cfg.Shards,
-			Workers:      cfg.Workers,
-			Checkpoints:  cfg.Checkpoints,
-			HeightLevels: cfg.Heights,
+			Array:       arr,
+			Dist:        cfg.Distribution.resolve(),
+			Placer:      cfg.Protocol.resolve(),
+			Balls:       cfg.Balls,
+			BallsFactor: cfg.BallsFactor,
+			Seed:        seed,
+			Shards:      cfg.Shards,
+			Workers:     cfg.Workers,
+			ObsOptions: sim.ObsOptions{
+				Checkpoints:  cfg.Checkpoints,
+				HeightLevels: cfg.Heights,
+			},
 			// arr is private to this call; adopting it as the master
 			// saves one transient O(n) array at n = 10^7.
 			AdoptArray: true,

@@ -44,7 +44,7 @@ TOPO="{\"goos\": \"${GOOS_V}\", \"goarch\": \"${GOARCH_V}\", \"num_cpu\": ${NUM_
 # multinomial pass) lives in internal/sim, so the suite spans two
 # packages; the awk emitter below keys on benchmark lines only and is
 # package-agnostic.
-go test -run '^$' -bench 'BenchmarkPlace|BenchmarkSimulateSmall|BenchmarkSimulateLargeCheckpoints|BenchmarkRunLargeSharded|BenchmarkRunLargeMonte|BenchmarkRouteBalls' \
+go test -run '^$' -bench 'BenchmarkPlace|BenchmarkSimulateSmall|BenchmarkSimulateLargeCheckpoints|BenchmarkRunLargeSharded|BenchmarkRunLargeMonte|BenchmarkRunStream|BenchmarkRouteBalls' \
 	-benchmem -benchtime "$BENCHTIME" -count 1 . ./internal/sim | tee "$RAW"
 
 awk -v topo="$TOPO" '

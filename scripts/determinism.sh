@@ -74,6 +74,7 @@ check "sharded single run (multi-block routing)" -spec "$BIGSPEC" -seed "$SEED" 
 # realisation itself is covered by the across-workers diffs above.)
 strip_obs() {
 	awk '/^checkpoints:/ { skip=1; next }
+	     /^trajectory:/ { skip=1; next }
 	     /^bins at load>=k:/ { skip=1; next }
 	     /^[a-z]/ { skip=0 }
 	     !skip' "$1"
@@ -111,5 +112,27 @@ for k in 1 7; do
 	fi
 	echo "ok    sharded Monte-Carlo resumed after $k reps == uninterrupted"
 done
+
+# Streaming runs: rounds of arrivals, deletions and inter-round
+# rebalance must be byte-identical across worker counts at each shard
+# count — the round structure, like Shards, is part of the model. The
+# checkpoint cuts are ROUND indices here.
+STREAM="-spec $SPEC -seed $SEED -stream -rounds 6 -m 3000 -deletions 800 -rebalance-tol 0.2"
+for shards in 1 4; do
+	check "streaming run (shards=$shards)"      $STREAM -shards "$shards"
+	check "streaming run (obs, shards=$shards)" $STREAM -shards "$shards" -checkpoints 2,4,6 -heights 3
+done
+check "streaming run (schedule)" -spec "$SPEC" -seed "$SEED" -stream -schedule 5000,0,2500 -deletions 1000 -shards 4 -checkpoints 1,3
+
+# Round cuts must never move a draw either: a streaming run with the
+# trajectory/heights tables stripped must byte-match the plain run.
+run "$TMP/splain.txt" $STREAM -shards 4
+run "$TMP/sobs.txt"   $STREAM -shards 4 -checkpoints 2,4,6 -heights 3
+strip_obs "$TMP/sobs.txt" > "$TMP/sobs_stripped.txt"
+if ! diff -u "$TMP/splain.txt" "$TMP/sobs_stripped.txt"; then
+	echo "DETERMINISM VIOLATION: requesting round checkpoints changed the stream" >&2
+	exit 1
+fi
+echo "ok    checkpoints never move a draw (streaming run)"
 
 echo "all bnbsim outputs byte-identical across worker counts"

@@ -217,9 +217,11 @@ func Simulate(cfg SimConfig) (*SimResult, error) {
 		Seed:              seed,
 		Workers:           cfg.Workers,
 		CollectLoadVector: cfg.SortedLoads,
-		Checkpoints:       cfg.Checkpoints,
-		HeightLevels:      cfg.Heights,
-		Context:           cfg.Context,
+		ObsOptions: sim.ObsOptions{
+			Checkpoints:  cfg.Checkpoints,
+			HeightLevels: cfg.Heights,
+		},
+		Context: cfg.Context,
 	})
 	if err != nil {
 		// errors.As takes cancelled's address, which would heap-allocate

@@ -1,0 +1,225 @@
+package balls
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestSimulateStream(t *testing.T) {
+	cfg := StreamConfig{
+		Capacities:   CapacitiesTwoClass(500, 1, 500, 10),
+		Rounds:       4,
+		Arrivals:     1000,
+		Deletions:    300,
+		RebalanceTol: 0.25,
+		Seed:         9,
+		Shards:       8,
+		Checkpoints:  []int64{2, 4},
+	}
+	res, err := SimulateStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.N != 1000 || res.Shards != 8 || res.Rounds != 4 {
+		t.Fatalf("N = %d shards = %d rounds = %d", res.N, res.Shards, res.Rounds)
+	}
+	if res.Arrived != 4000 || res.Deleted != 1200 || res.Balls != 2800 {
+		t.Fatalf("arrived = %d deleted = %d balls = %d", res.Arrived, res.Deleted, res.Balls)
+	}
+	var sum int64
+	for i := 0; i < res.Loads.N(); i++ {
+		sum += res.Loads.Balls(i)
+	}
+	if sum != res.Balls {
+		t.Fatalf("final state holds %d balls, want %d", sum, res.Balls)
+	}
+	var shardSum int64
+	for _, b := range res.ShardBalls {
+		shardSum += b
+	}
+	if shardSum != res.Balls {
+		t.Fatalf("shard occupancies sum to %d, want %d", shardSum, res.Balls)
+	}
+	if len(res.Checkpoints) != 2 {
+		t.Fatalf("checkpoints = %d, want 2", len(res.Checkpoints))
+	}
+	// Round-indexed cuts are realised exactly: occupancy at the end of
+	// round r is r·(Arrivals − Deletions).
+	for i, want := range []struct{ round, balls int64 }{{2, 1400}, {4, 2800}} {
+		cp := res.Checkpoints[i]
+		if cp.Balls != want.round || cp.MeanBalls != float64(want.balls) || cp.Reps != 1 {
+			t.Fatalf("cut %d = %+v, want round %d occupancy %d", i, cp, want.round, want.balls)
+		}
+	}
+
+	// Workers never changes the outcome.
+	cfg.Workers = 4
+	res4, err := SimulateStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.ShardBalls, res4.ShardBalls) ||
+		!reflect.DeepEqual(res.Checkpoints, res4.Checkpoints) ||
+		res.MaxLoad != res4.MaxLoad || res.Moved != res4.Moved {
+		t.Fatal("result differs across worker counts")
+	}
+	for i := 0; i < res.Loads.N(); i++ {
+		if res.Loads.Balls(i) != res4.Loads.Balls(i) {
+			t.Fatalf("bin %d differs across worker counts", i)
+		}
+	}
+}
+
+// A quiet round — no deletions, no rebalance — is exactly one sharded
+// single run.
+func TestSimulateStreamQuietRoundMatchesLarge(t *testing.T) {
+	caps := CapacitiesTwoClass(400, 1, 400, 10)
+	sres, err := SimulateStream(StreamConfig{
+		Capacities: caps,
+		Rounds:     1,
+		Arrivals:   2000,
+		Seed:       9,
+		Shards:     8,
+		Heights:    3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lres, err := SimulateLarge(LargeConfig{
+		Capacities: caps,
+		Balls:      2000,
+		Seed:       9,
+		Shards:     8,
+		Heights:    3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sres.ShardBalls, lres.ShardBalls) {
+		t.Fatalf("shard balls %v != %v", sres.ShardBalls, lres.ShardBalls)
+	}
+	if sres.MaxLoad != lres.MaxLoad || sres.Deviation != lres.Deviation {
+		t.Fatalf("stats (%v, %v) != (%v, %v)", sres.MaxLoad, sres.Deviation, lres.MaxLoad, lres.Deviation)
+	}
+	if len(sres.Heights) != len(lres.Heights) {
+		t.Fatalf("heights %v != %v", sres.Heights, lres.Heights)
+	}
+	for i := range sres.Heights {
+		// CI95 is NaN for a single run on both sides, so compare the
+		// meaningful fields.
+		if sres.Heights[i].Level != lres.Heights[i].Level ||
+			sres.Heights[i].MeanBins != lres.Heights[i].MeanBins {
+			t.Fatalf("heights %v != %v", sres.Heights, lres.Heights)
+		}
+	}
+	for i := 0; i < sres.Loads.N(); i++ {
+		if sres.Loads.Balls(i) != lres.Loads.Balls(i) {
+			t.Fatalf("bin %d differs from SimulateLarge", i)
+		}
+	}
+}
+
+func TestSimulateStreamSchedule(t *testing.T) {
+	res, err := SimulateStream(StreamConfig{
+		Capacities: CapacitiesTwoClass(200, 1, 200, 10),
+		Schedule:   []int64{1500, 0, 500},
+		Deletions:  400,
+		Seed:       5,
+		Shards:     4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 3 {
+		t.Fatalf("rounds = %d, want 3 (implied by schedule)", res.Rounds)
+	}
+	if res.Arrived != 2000 || res.Deleted != 1200 || res.Balls != 800 {
+		t.Fatalf("arrived = %d deleted = %d balls = %d", res.Arrived, res.Deleted, res.Balls)
+	}
+}
+
+// A cancelled run returns the deterministic completed-round prefix.
+func TestSimulateStreamCancelPrefix(t *testing.T) {
+	cfg := StreamConfig{
+		Capacities:        CapacitiesTwoClass(300, 1, 300, 10),
+		Rounds:            5,
+		Arrivals:          800,
+		Deletions:         200,
+		Seed:              11,
+		Shards:            4,
+		Checkpoints:       []int64{2, 5},
+		CancelAfterRounds: 3,
+	}
+	part, err := SimulateStream(cfg)
+	var cancelled *CancelledError
+	if !errors.As(err, &cancelled) {
+		t.Fatalf("err = %v, want *CancelledError", err)
+	}
+	if cancelled.CompletedRounds != 3 || cancelled.CompletedCuts != 1 {
+		t.Fatalf("completed rounds = %d cuts = %d", cancelled.CompletedRounds, cancelled.CompletedCuts)
+	}
+	if part == nil || part.Rounds != 3 {
+		t.Fatalf("partial rounds = %v", part)
+	}
+
+	short := cfg
+	short.Rounds, short.CancelAfterRounds = 3, 0
+	short.Checkpoints = []int64{2}
+	full, err := SimulateStream(short)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part.Arrived != full.Arrived || part.Deleted != full.Deleted || part.Balls != full.Balls {
+		t.Fatalf("partial counters (%d, %d, %d) != short run (%d, %d, %d)",
+			part.Arrived, part.Deleted, part.Balls, full.Arrived, full.Deleted, full.Balls)
+	}
+	if !reflect.DeepEqual(part.ShardBalls, full.ShardBalls) {
+		t.Fatalf("partial shard balls %v != %v", part.ShardBalls, full.ShardBalls)
+	}
+	if !reflect.DeepEqual(part.Checkpoints[:1], full.Checkpoints) {
+		t.Fatalf("partial cuts %v != %v", part.Checkpoints[:1], full.Checkpoints)
+	}
+	// No final state on a cancelled partial.
+	if part.MaxLoad != 0 || part.Heights != nil {
+		t.Fatalf("partial carries final-state fields: max %v heights %v", part.MaxLoad, part.Heights)
+	}
+
+	// A pre-cancelled context yields an empty prefix.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	live := cfg
+	live.CancelAfterRounds = 0
+	live.Context = ctx
+	part0, err := SimulateStream(live)
+	if !errors.As(err, &cancelled) {
+		t.Fatalf("err = %v, want *CancelledError", err)
+	}
+	if part0.Rounds != 0 || part0.Arrived != 0 {
+		t.Fatalf("pre-cancelled prefix rounds = %d arrived = %d", part0.Rounds, part0.Arrived)
+	}
+}
+
+func TestSimulateStreamValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  StreamConfig
+		want string
+	}{
+		{"capacities", StreamConfig{Rounds: 1}, "capacities"},
+		{"rounds", StreamConfig{Capacities: []int64{1, 1}}, "Rounds"},
+		{"deletions", StreamConfig{Capacities: []int64{1, 1}, Rounds: 1, Deletions: -1}, "Deletions"},
+		{"schedule-clash", StreamConfig{Capacities: []int64{1, 1}, Schedule: []int64{5}, Arrivals: 5}, "Schedule"},
+		{"tol", StreamConfig{Capacities: []int64{1, 1}, Rounds: 1, RebalanceTol: -0.5}, "RebalanceTol"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := SimulateStream(tc.cfg)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want mention of %q", err, tc.want)
+			}
+		})
+	}
+}
