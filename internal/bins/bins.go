@@ -18,6 +18,7 @@ package bins
 import (
 	"fmt"
 	"math"
+	"slices"
 )
 
 // Array is a heterogeneous bin array: capacities plus current ball counts.
@@ -176,25 +177,41 @@ func compareRatio(p, q, r, s int64) int {
 	}
 }
 
-// MaxLoad returns the maximum load over all bins as a float64.
+// MaxLoad returns the maximum load over all bins as a float64. The
+// argmax is found by exact cross-multiplied comparison — never by
+// comparing float quotients, so rational ties that collide (or split)
+// in float64 can never misreport it; only the winning pair's final
+// report converts to float.
 func (a *Array) MaxLoad() float64 {
-	best := 0
+	b, c := a.MaxLoadPair()
+	return float64(b) / float64(c)
+}
+
+// MaxLoadPair returns the exact (balls, capacity) pair of the first
+// bin attaining the maximum load — the rational the protocol's
+// comparisons actually rank, before any float conversion.
+func (a *Array) MaxLoadPair() (balls, capacity int64) {
+	bb, bc := a.bins[0].balls, a.bins[0].cap
 	for i := 1; i < len(a.bins); i++ {
-		if a.CompareLoads(i, best) > 0 {
-			best = i
+		b := &a.bins[i]
+		if b.balls*bc > bb*b.cap {
+			bb, bc = b.balls, b.cap
 		}
 	}
-	return a.Load(best)
+	return bb, bc
 }
 
 // ArgMaxLoad returns every bin index attaining the maximum load
-// (ties resolved exactly).
+// (ties resolved exactly, by cross multiplication).
 func (a *Array) ArgMaxLoad() []int {
 	best := []int{0}
+	bb, bc := a.bins[0].balls, a.bins[0].cap
 	for i := 1; i < len(a.bins); i++ {
-		switch a.CompareLoads(i, best[0]) {
+		b := &a.bins[i]
+		switch compareRatio(b.balls, b.cap, bb, bc) {
 		case 1:
 			best = append(best[:0], i)
+			bb, bc = b.balls, b.cap
 		case 0:
 			best = append(best, i)
 		}
@@ -295,22 +312,50 @@ func (a *Array) SmallCapacity(r float64) int64 {
 	return cs
 }
 
+// capacityClassScanLimit is the class count up to which CapacityClasses
+// dedupes by linear containment scan. Class sets are tiny (≤ 8 in the
+// paper), and a handful of predictable compares per bin is far cheaper
+// than hashing every one of n capacities; past the limit a map takes
+// over so adversarial inputs stay O(n).
+const capacityClassScanLimit = 32
+
 // CapacityClasses returns the sorted distinct capacity values present.
 func (a *Array) CapacityClasses() []int64 {
-	seen := map[int64]bool{}
 	var classes []int64
+	var seen map[int64]bool
+	last := int64(-1) // capacities often come in runs; skip repeats for free
 	for i := range a.bins {
-		if c := a.bins[i].cap; !seen[c] {
-			seen[c] = true
-			classes = append(classes, c)
+		c := a.bins[i].cap
+		if c == last {
+			continue
+		}
+		last = c
+		if seen != nil {
+			if !seen[c] {
+				seen[c] = true
+				classes = append(classes, c)
+			}
+			continue
+		}
+		known := false
+		for _, k := range classes {
+			if k == c {
+				known = true
+				break
+			}
+		}
+		if known {
+			continue
+		}
+		classes = append(classes, c)
+		if len(classes) > capacityClassScanLimit {
+			seen = make(map[int64]bool, 2*len(classes))
+			for _, k := range classes {
+				seen[k] = true
+			}
 		}
 	}
-	// insertion sort; class counts are tiny (≤ 8 in the paper)
-	for i := 1; i < len(classes); i++ {
-		for j := i; j > 0 && classes[j] < classes[j-1]; j-- {
-			classes[j], classes[j-1] = classes[j-1], classes[j]
-		}
-	}
+	slices.Sort(classes)
 	return classes
 }
 

@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"testing"
+
+	"repro/internal/bins"
+)
+
+// benchObsState is the n=10⁶ / 64-shard observation workload of the
+// acceptance benchmarks: the paper's two-class split (half capacity 1,
+// half capacity 10) under a deterministic skewed fill, shard views and
+// per-shard histograms prebuilt so iterations measure the snapshot
+// path, not setup.
+type benchObsState struct {
+	arr    *bins.Array
+	views  []*bins.Array
+	hists  []*bins.LoadHistogram
+	merged *bins.LoadHistogram
+	balls  int64
+}
+
+func newBenchObsState(b *testing.B, n, shards int) *benchObsState {
+	b.Helper()
+	caps := make([]int64, n)
+	for i := range caps {
+		if i%2 == 0 {
+			caps[i] = 1
+		} else {
+			caps[i] = 10
+		}
+	}
+	arr, err := bins.New(caps)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		arr.AddBalls(i, int64((i*7+3)%13))
+	}
+	st := &benchObsState{arr: arr}
+	proto := arr.NewLoadHistogram()
+	st.merged = proto.CloneEmpty()
+	for s := 0; s < shards; s++ {
+		lo, hi := s*n/shards, (s+1)*n/shards
+		v, err := arr.Shard(lo, hi)
+		if err != nil {
+			b.Fatal(err)
+		}
+		st.views = append(st.views, v)
+		st.hists = append(st.hists, proto.CloneEmpty())
+	}
+	st.balls = arr.TotalBalls()
+	return st
+}
+
+// buildMerged is the histogram path's per-snapshot cost: one O(shard)
+// pass per shard (single-threaded here — the engines run these on
+// their worker pools) plus the integer merge in shard order.
+func (st *benchObsState) buildMerged(b *testing.B) *bins.LoadHistogram {
+	st.merged.Reset()
+	for s, v := range st.views {
+		if err := v.HistogramInto(st.hists[s]); err != nil {
+			b.Fatal(err)
+		}
+		if err := st.merged.Merge(st.hists[s]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return st.merged
+}
+
+const (
+	benchObsN      = 1_000_000
+	benchObsShards = 64
+)
+
+func BenchmarkObsSnapshotCheckpoints(b *testing.B) {
+	st := newBenchObsState(b, benchObsN, benchObsShards)
+	b.Run("scan", func(b *testing.B) {
+		cp := NewCheckpoints([]int64{st.balls})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := cp.Snapshot(0, st.arr, st.balls); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("hist", func(b *testing.B) {
+		cp := NewCheckpoints([]int64{st.balls})
+		st.buildMerged(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h := st.buildMerged(b)
+			if err := cp.SnapshotHist(0, h, st.balls); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkObsSnapshotHeights(b *testing.B) {
+	st := newBenchObsState(b, benchObsN, benchObsShards)
+	b.Run("scan", func(b *testing.B) {
+		hl := NewHeights(8)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := hl.Snapshot(Final, st.arr, st.balls); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("hist", func(b *testing.B) {
+		hl := NewHeights(8)
+		st.buildMerged(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h := st.buildMerged(b)
+			if err := hl.SnapshotHist(Final, h, st.balls); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkObsSnapshotSortedLoads(b *testing.B) {
+	st := newBenchObsState(b, benchObsN, benchObsShards)
+	b.Run("scan", func(b *testing.B) {
+		sl := NewSortedLoads()
+		if err := sl.Snapshot(Final, st.arr, st.balls); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := sl.Snapshot(Final, st.arr, st.balls); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("hist", func(b *testing.B) {
+		sl := NewSortedLoads()
+		if err := sl.SnapshotHist(Final, st.buildMerged(b), st.balls); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h := st.buildMerged(b)
+			if err := sl.SnapshotHist(Final, h, st.balls); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkObsSnapshotFused is the acceptance-criterion workload: one
+// checkpointed snapshot feeding SortedLoads + Heights + Checkpoints
+// together. The scan path pays one pass per collector plus the float
+// sort; the histogram path pays ONE build (64 shard passes + merges)
+// from which all three collectors derive.
+func BenchmarkObsSnapshotFused(b *testing.B) {
+	st := newBenchObsState(b, benchObsN, benchObsShards)
+	b.Run("scan", func(b *testing.B) {
+		cp := NewCheckpoints([]int64{st.balls})
+		hl := NewHeights(8)
+		sl := NewSortedLoads()
+		if err := sl.Snapshot(Final, st.arr, st.balls); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := cp.Snapshot(0, st.arr, st.balls); err != nil {
+				b.Fatal(err)
+			}
+			if err := hl.Snapshot(Final, st.arr, st.balls); err != nil {
+				b.Fatal(err)
+			}
+			if err := sl.Snapshot(Final, st.arr, st.balls); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("hist", func(b *testing.B) {
+		cp := NewCheckpoints([]int64{st.balls})
+		hl := NewHeights(8)
+		sl := NewSortedLoads()
+		if err := sl.SnapshotHist(Final, st.buildMerged(b), st.balls); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h := st.buildMerged(b)
+			if err := cp.SnapshotHist(0, h, st.balls); err != nil {
+				b.Fatal(err)
+			}
+			if err := hl.SnapshotHist(Final, h, st.balls); err != nil {
+				b.Fatal(err)
+			}
+			if err := sl.SnapshotHist(Final, h, st.balls); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -16,12 +16,25 @@
 // order) so that floating-point aggregation is bit-identical for any
 // worker topology.
 //
-// # Cost model
+// # Cost model: one pass, then pairs
 //
-// Collectors are block-grained, never ball-grained: a Snapshot costs
-// one O(n) (or O(shard)) scan, taken between placement segments. When
-// no collector is requested the engines skip every observation hook,
-// so the no-collector hot path costs nothing (bench-gated).
+// Collectors are block-grained, never ball-grained — and since the
+// histogram kernel (bins.LoadHistogram) they share ONE pass, not one
+// scan each. A snapshot builds an exact integer histogram over the
+// distinct (ball count, capacity class) pairs in one O(n) (or
+// O(shard)) sweep; every collector then derives its rows from the
+// pairs via SnapshotHist: Checkpoints take an exact rational argmax
+// over at most (classes) candidate pairs, Heights a weighted suffix
+// sum, SortedLoads a counting sort by cross-multiplied rational order
+// over the few hundred distinct pairs (never an O(n log n) float
+// sort), ShardStats the per-shard pair maxima. Histograms merge by
+// integer addition, so sharded engines build them per shard in
+// parallel and fold in shard order; every derived float is then
+// computed once, from the same integers, for any worker topology.
+// The array-scanning Snapshot methods remain as the reference path —
+// equivalence tests pin the two bit-identical. When no collector is
+// requested the engines skip every observation hook, so the
+// no-collector hot path costs nothing (bench-gated).
 //
 // # Sharded checkpoint cuts are part of the model
 //
@@ -56,6 +69,11 @@ import (
 // Final is the Snapshot cut index of the end-of-game observation.
 const Final = -1
 
+// LoadHistogram is the one-pass observation kernel every collector can
+// derive its rows from; see bins.LoadHistogram and the package
+// comment's cost model.
+type LoadHistogram = bins.LoadHistogram
+
 // Collector is the contract shared by all observation collectors. See
 // the package comment for the cut semantics and the merge-order
 // requirement.
@@ -69,6 +87,16 @@ type Collector interface {
 	// Merge folds another collector of the same type and shape into
 	// the receiver. Engines must call it in a deterministic order.
 	Merge(other Collector) error
+}
+
+// HistSnapshotter is the histogram fast path of the Collector
+// contract: SnapshotHist records the same observation Snapshot would,
+// but derives it from a pre-built LoadHistogram instead of scanning
+// the array — the values produced are bit-identical to the scan path
+// (pinned by equivalence tests). Every collector in this package
+// implements both.
+type HistSnapshotter interface {
+	SnapshotHist(cut int, h *LoadHistogram, balls int64) error
 }
 
 // NormalizeCuts validates the requested checkpoint ball counts and
@@ -115,10 +143,9 @@ func CountReached(cuts []int64, m int64) int {
 func AlignShardCuts(prefix [][]int64, align int64, realized []int64) {
 	for k, row := range prefix {
 		var total int64
-		for s, c := range row {
-			c -= c % align
-			row[s] = c
-			total += c
+		for s := range row {
+			row[s] -= row[s] % align
+			total += row[s]
 		}
 		realized[k] = total
 	}
@@ -190,6 +217,17 @@ func (c *Checkpoints) Snapshot(cut int, a *bins.Array, balls int64) error {
 		return nil
 	}
 	c.Observe(cut, balls, a.TotalCapacity(), a.MaxLoad())
+	return nil
+}
+
+// SnapshotHist implements HistSnapshotter: the max load is an exact
+// rational argmax over the histogram's pairs, the capacity the
+// per-class bin-count sum — bit-identical to the array scan.
+func (c *Checkpoints) SnapshotHist(cut int, h *LoadHistogram, balls int64) error {
+	if cut == Final {
+		return nil
+	}
+	c.Observe(cut, balls, h.TotalCapacity(), h.MaxLoad())
 	return nil
 }
 
@@ -289,6 +327,18 @@ func (h *Heights) Snapshot(cut int, a *bins.Array, balls int64) error {
 	return nil
 }
 
+// SnapshotHist implements HistSnapshotter: the per-level counts are
+// weighted suffix sums over the histogram's pairs — integer-exact,
+// identical to the per-bin scan.
+func (h *Heights) SnapshotHist(cut int, hist *LoadHistogram, balls int64) error {
+	if cut != Final {
+		return nil
+	}
+	hist.CountAtOrAbove(h.scratch)
+	h.Observe(h.scratch)
+	return nil
+}
+
 // Merge implements Collector.
 func (h *Heights) Merge(other Collector) error {
 	o, ok := other.(*Heights)
@@ -317,6 +367,7 @@ type SortedLoads struct {
 	sum     []float64
 	n       int64
 	scratch []float64
+	pairs   []bins.LoadPair // SnapshotHist scratch, reused across reps
 }
 
 // NewSortedLoads builds an empty collector; the vector length is fixed
@@ -349,6 +400,40 @@ func (s *SortedLoads) Snapshot(cut int, a *bins.Array, balls int64) error {
 	s.scratch = a.LoadVectorInto(s.scratch)
 	slices.Sort(s.scratch)
 	return s.Observe(s.scratch)
+}
+
+// SnapshotHist implements HistSnapshotter: a counting sort over the
+// histogram's distinct pairs replaces the O(n log n) float sort. The
+// pairs are ranked by exact cross-multiplied rational order
+// (descending) and expanded by multiplicity into the running sums;
+// float64 conversion is monotone on exactly-representable operands, so
+// the emitted sequence — and therefore every accumulated sum — is
+// bit-identical to sorting the float load vector.
+func (s *SortedLoads) SnapshotHist(cut int, h *LoadHistogram, balls int64) error {
+	if cut != Final {
+		return nil
+	}
+	n := h.Bins()
+	if s.sum == nil {
+		s.sum = make([]float64, n)
+	}
+	if int64(len(s.sum)) != n {
+		return fmt.Errorf("obs: load histogram over %d bins, earlier repetitions had %d", n, len(s.sum))
+	}
+	s.pairs = h.AppendPairs(s.pairs[:0])
+	slices.SortFunc(s.pairs, func(p, q bins.LoadPair) int {
+		return bins.CompareLoadPairs(q, p) // descending load order
+	})
+	pos := 0
+	for _, p := range s.pairs {
+		v := float64(p.Balls) / float64(p.Cap)
+		for j := int64(0); j < p.Count; j++ {
+			s.sum[pos] += v
+			pos++
+		}
+	}
+	s.n++
+	return nil
 }
 
 // Merge implements Collector.
@@ -458,6 +543,25 @@ func (s *ShardStats) Snapshot(cut int, a *bins.Array, balls int64) error {
 	max := 0.0
 	if a != nil && balls > 0 {
 		max = a.MaxLoad()
+	}
+	s.rows[cut].Balls.Add(float64(balls))
+	s.rows[cut].MaxLoad.Add(max)
+	return nil
+}
+
+// SnapshotHist implements HistSnapshotter: cut is the shard index, h
+// the shard's histogram (nil for a shard that can never receive
+// balls) and balls the count routed to it.
+func (s *ShardStats) SnapshotHist(cut int, h *LoadHistogram, balls int64) error {
+	if cut == Final {
+		return nil
+	}
+	if cut < 0 || cut >= len(s.rows) {
+		return fmt.Errorf("obs: shard index %d outside [0,%d)", cut, len(s.rows))
+	}
+	max := 0.0
+	if h != nil && balls > 0 {
+		max = h.MaxLoad()
 	}
 	s.rows[cut].Balls.Add(float64(balls))
 	s.rows[cut].MaxLoad.Add(max)

@@ -222,7 +222,7 @@ func closedRep(cfg *Config, checkpoints []int64, rep uint64, fixedArr *bins.Arra
 		router.Draw(r, cut-placed, counts)
 		addCounts(arr, counts)
 		placed = cut
-		if err := p.cp.Snapshot(nextCp, arr, cut); err != nil {
+		if err := snapshotCheckpoint(cfg, p, &scratch.ws, arr, nextCp, cut); err != nil {
 			return err
 		}
 		nextCp++

@@ -1,0 +1,167 @@
+package sim
+
+import (
+	"slices"
+	"testing"
+
+	"repro/internal/bins"
+)
+
+// naiveSortedDesc is the pre-histogram reference path: float loads,
+// O(n log n) sort, non-increasing order.
+func naiveSortedDesc(a *bins.Array) []float64 {
+	loads := a.LoadVector()
+	slices.Sort(loads)
+	slices.Reverse(loads)
+	return loads
+}
+
+// naiveHeights counts bins at load >= k per bin, the scan the
+// histogram's suffix sums replace.
+func naiveHeights(a *bins.Array, levels int) []float64 {
+	counts := make([]float64, levels)
+	for k := 1; k <= levels; k++ {
+		for i := 0; i < a.N(); i++ {
+			if a.Balls(i) >= int64(k)*a.Capacity(i) {
+				counts[k-1]++
+			}
+		}
+	}
+	return counts
+}
+
+// TestRunHistogramPathMatchesNaive pins the classic engine's fused
+// histogram observation against naive per-bin scans of the SAME final
+// state (RunOnce replays repetition 0's exact draw sequence): the mean
+// sorted load vector, height counts, max load and every per-class
+// observable must be bit-identical to the scan/sort path they replaced.
+func TestRunHistogramPathMatchesNaive(t *testing.T) {
+	a, err := bins.TwoClass(40, 1, 24, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Array: a, Reps: 1, Seed: 314,
+		CollectLoadVector: true,
+		TrackClasses:      []int64{1, 10},
+		ClassMaxLoads:     []int64{1, 10},
+		ClassLoadVectors:  []int64{1, 10},
+		ObsOptions:        ObsOptions{HeightLevels: 4},
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := RunOnce(Config{Array: a, Seed: 314})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := res.MaxLoad.Mean(), final.MaxLoad(); got != want {
+		t.Fatalf("MaxLoad %v, naive %v", got, want)
+	}
+	if want := naiveSortedDesc(final); !slices.Equal(res.MeanSortedLoads, want) {
+		t.Fatalf("MeanSortedLoads diverge from naive sort:\n hist %v\n sort %v", res.MeanSortedLoads, want)
+	}
+	for k, want := range naiveHeights(final, 4) {
+		if got := res.HeightCounts[k].Bins.Mean(); got != want {
+			t.Fatalf("height level %d: %v, naive %v", k+1, got, want)
+		}
+	}
+	for _, class := range []int64{1, 10} {
+		attains := final.MaxLoadInClassC(class)
+		frac := res.ClassMaxFraction[class]
+		if (frac == 1) != attains {
+			t.Fatalf("class %d attains-max fraction %v, naive %v", class, frac, attains)
+		}
+		var classMax float64
+		var classLoads []float64
+		for i := 0; i < final.N(); i++ {
+			if final.Capacity(i) != class {
+				continue
+			}
+			l := final.Load(i)
+			classLoads = append(classLoads, l)
+			if l > classMax {
+				classMax = l
+			}
+		}
+		if got := res.ClassMaxLoad[class].Mean(); got != classMax {
+			t.Fatalf("class %d max load %v, naive %v", class, got, classMax)
+		}
+		slices.Sort(classLoads)
+		slices.Reverse(classLoads)
+		if !slices.Equal(res.ClassMeanSortedLoads[class], classLoads) {
+			t.Fatalf("class %d sorted loads diverge:\n hist %v\n sort %v",
+				class, res.ClassMeanSortedLoads[class], classLoads)
+		}
+	}
+}
+
+// TestRunLargeMonteHistogramMatchesNaive pins the sharded engines'
+// merge-in-shard-order histogram against naive scans of the identical
+// final state: RunLarge (which returns its final array) must agree
+// with a Reps=1 RunLargeMonte carrying every histogram-derived
+// collector, bit for bit.
+func TestRunLargeMonteHistogramMatchesNaive(t *testing.T) {
+	a := largeArray(t, 900)
+	ref, err := RunLarge(LargeConfig{Array: a, Seed: 2718, Shards: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunLargeMonte(LargeMonteConfig{
+		LargeConfig: LargeConfig{
+			Array: a, Seed: 2718, Shards: 16,
+			ObsOptions: ObsOptions{HeightLevels: 3},
+		},
+		Reps:              1,
+		CollectLoadVector: true,
+		ShardStats:        true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := ref.Array
+
+	if got, want := res.MaxLoad.Mean(), final.MaxLoad(); got != want {
+		t.Fatalf("MaxLoad %v, naive %v", got, want)
+	}
+	if got, want := res.AvgLoad.Mean(), final.AverageLoad(); got != want {
+		t.Fatalf("AvgLoad %v, naive %v", got, want)
+	}
+	if want := naiveSortedDesc(final); !slices.Equal(res.MeanSortedLoads, want) {
+		t.Fatalf("MeanSortedLoads diverge from naive sort at shards=16")
+	}
+	for k, want := range naiveHeights(final, 3) {
+		if got := res.HeightCounts[k].Bins.Mean(); got != want {
+			t.Fatalf("height level %d: %v, naive %v", k+1, got, want)
+		}
+	}
+}
+
+// TestRunLargeFinalHistogramMatchesScan: RunLarge's final fold uses
+// the histogram only when heights are requested; both paths must
+// report identical stats for the identical placement.
+func TestRunLargeFinalHistogramMatchesScan(t *testing.T) {
+	a := largeArray(t, 700)
+	plain, err := RunLarge(LargeConfig{Array: a, Seed: 5, Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withHeights, err := RunLarge(LargeConfig{
+		Array: a, Seed: 5, Shards: 8,
+		ObsOptions: ObsOptions{HeightLevels: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.MaxLoad != withHeights.MaxLoad || plain.Deviation != withHeights.Deviation {
+		t.Fatalf("heights request changed headline stats: %v/%v vs %v/%v",
+			plain.MaxLoad, plain.Deviation, withHeights.MaxLoad, withHeights.Deviation)
+	}
+	for k, want := range naiveHeights(withHeights.Array, 5) {
+		if got := withHeights.HeightCounts[k].Bins.Mean(); got != want {
+			t.Fatalf("height level %d: %v, naive %v", k+1, got, want)
+		}
+	}
+}

@@ -42,7 +42,6 @@ package sim
 import (
 	"fmt"
 	"runtime"
-	"slices"
 	"sync"
 
 	"repro/internal/bins"
@@ -231,10 +230,19 @@ type monteRepState struct {
 	placers []protocol.Placer // nil iff views[s] is nil
 	rands   []xrand.Rand      // per-shard placement generators, re-seeded each rep
 	counts  []int64
-	collect bool
-	loads   []float64 // sorted-ascending load vector scratch
 	max     float64
 	avg     float64
+
+	// Per-shard load histograms (non-nil iff the run requests a
+	// distribution-shaped observable: load vector or height counts).
+	// Phase B rebuilds each routed shard's histogram over its own view
+	// in parallel; Phase C merges them in shard order into histAll —
+	// exact integer addition, so the merged histogram is identical to
+	// a whole-array pass for any worker count. All share the master
+	// array's class skeleton, which is what makes the shard views'
+	// histograms mergeable.
+	hists   []*bins.LoadHistogram
+	histAll *bins.LoadHistogram
 
 	// Per-repetition task parameters, set by runRep before submitting
 	// any task of the repetition (tasks of at most one repetition
@@ -279,7 +287,7 @@ type monteRepState struct {
 // never send a ball there, and building a placer over an all-zero
 // weight slice would fail. routeWidth is the number of routing groups
 // (min(workers, blocks)), and cutBlocks/cutRems the shared cut plan.
-func newMonteRepState(master *bins.Array, weights []float64, bounds []int, shardW []float64, factory protocol.Factory, cfg *LargeMonteConfig, cuts []int64, routeWidth int, cutBlocks, cutRems []int64) (*monteRepState, error) {
+func newMonteRepState(master *bins.Array, weights []float64, bounds []int, shardW []float64, factory protocol.Factory, cfg *LargeMonteConfig, cuts []int64, routeWidth int, cutBlocks, cutRems []int64, protoHist *bins.LoadHistogram) (*monteRepState, error) {
 	shards := len(shardW)
 	st := &monteRepState{
 		arr:         master.Clone(),
@@ -287,7 +295,6 @@ func newMonteRepState(master *bins.Array, weights []float64, bounds []int, shard
 		placers:     make([]protocol.Placer, shards),
 		rands:       make([]xrand.Rand, shards),
 		counts:      make([]int64, shards),
-		collect:     cfg.CollectLoadVector,
 		routeGroups: newRouteGroups(routeWidth, shards, len(cuts)),
 		cutBlocks:   cutBlocks,
 		cutRems:     cutRems,
@@ -325,6 +332,26 @@ func newMonteRepState(master *bins.Array, weights []float64, bounds []int, shard
 		}
 		st.views[s] = v
 		st.placers[s] = p
+	}
+	if protoHist != nil {
+		st.histAll = protoHist.CloneEmpty()
+		st.hists = make([]*bins.LoadHistogram, shards)
+		for s := 0; s < shards; s++ {
+			st.hists[s] = protoHist.CloneEmpty()
+			if st.views[s] != nil {
+				continue // rebuilt by Phase B every repetition
+			}
+			// Zero-weight shards are never routed to, reset or placed:
+			// their bins stay empty for the whole run, so one build at
+			// height zero stands for every repetition.
+			v, err := st.arr.Shard(bounds[s], bounds[s+1])
+			if err != nil {
+				return nil, fmt.Errorf("sim: RunLargeMonte shard %d: %w", s, err)
+			}
+			if err := v.HistogramInto(st.hists[s]); err != nil {
+				return nil, fmt.Errorf("sim: RunLargeMonte shard %d histogram: %w", s, err)
+			}
+		}
 	}
 	return st, nil
 }
@@ -423,24 +450,52 @@ func (t poolTask) run() {
 		// keeps repetition 0 bit-identical to a checkpointed
 		// RunLarge. Segmentation never moves a draw.
 		placeShardSegments(st.cc, engRunLargeMC, st.rep, p, st.views[s], rs, st.counts[s], s, st.prefix, st.track)
+		if st.hists != nil {
+			// The shard's one-pass histogram, rebuilt over its own view
+			// while other shards are still placing. A zero-count shard
+			// reaches here too (its segment schedule places nothing and
+			// consumes no draws) so its freshly reset view overwrites
+			// last repetition's rows.
+			if err := st.views[s].HistogramInto(st.hists[s]); err != nil {
+				st.fail(fmt.Errorf("sim: RunLargeMonte shard %d histogram: %w", s, err))
+				return
+			}
+		}
 		if st.shardMax != nil {
-			st.shardMax[s] = st.views[s].MaxLoad()
+			if st.hists != nil {
+				st.shardMax[s] = st.hists[s].MaxLoad()
+			} else {
+				st.shardMax[s] = st.views[s].MaxLoad()
+			}
 		}
 	case taskSummary:
 		if fault.Enabled {
 			fault.Hit(fault.Site{Engine: engRunLargeMC, Op: fault.OpSummary, Rep: st.rep, Shard: -1, Block: -1})
 		}
-		st.arr.Recount()
-		st.max = st.arr.MaxLoad()
-		st.avg = st.arr.AverageLoad()
-		if st.collect {
-			st.loads = st.arr.LoadVectorInto(st.loads)
-			slices.Sort(st.loads)
+		if st.hists != nil {
+			// Shard-order merge: exact integer addition, so the result
+			// is identical to one whole-array pass — and every final
+			// observable (max, average, heights, sorted loads) derives
+			// from the merged histogram without touching the bins again.
+			ha := st.histAll
+			ha.Reset()
+			for s := range st.hists {
+				if err := ha.Merge(st.hists[s]); err != nil {
+					st.fail(fmt.Errorf("sim: RunLargeMonte merge shard %d: %w", s, err))
+					return
+				}
+			}
+			st.max = ha.MaxLoad()
+			st.avg = float64(ha.Balls()) / float64(st.arr.TotalCapacity())
+			if st.hlCounts != nil {
+				ha.CountAtOrAbove(st.hlCounts)
+			}
+		} else {
+			st.arr.Recount()
+			st.max = st.arr.MaxLoad()
+			st.avg = st.arr.AverageLoad()
 		}
 		combineShardMaxima(st.track, st.cpMax)
-		if st.hlCounts != nil {
-			obs.CountAtOrAbove(st.arr, st.hlCounts)
-		}
 	}
 }
 
@@ -497,7 +552,10 @@ func (st *monteRepState) runRep(tasks chan<- poolTask, seed, rep uint64, shards 
 	clear(st.shardMax)
 
 	for s := range st.views {
-		if st.counts[s] == 0 {
+		// A zero-count shard normally needs no Phase B at all; with
+		// histograms on it still gets a (draw-free) taskPlace so its
+		// empty view refreshes st.hists[s] for the Phase C merge.
+		if st.views[s] == nil || (st.counts[s] == 0 && st.hists == nil) {
 			continue
 		}
 		st.wg.Add(1)
@@ -594,6 +652,16 @@ func RunLargeMonte(cfg LargeMonteConfig) (*LargeMonteResult, error) {
 	}
 	cutBlocks, cutRems := cutPlan(cuts)
 
+	// One class skeleton for the whole run: every orchestrator's shard
+	// and whole-array histograms clone it, which is what makes shard
+	// merges exact (identical class set) and keeps CapacityClasses out
+	// of the per-repetition path. Max/avg-only runs skip histograms
+	// entirely and keep the direct exact scans.
+	var proto *bins.LoadHistogram
+	if cfg.CollectLoadVector || cfg.HeightLevels > 0 {
+		proto = master.NewLoadHistogram()
+	}
+
 	res := &LargeMonteResult{N: n, Shards: shards, Reps: cfg.Reps, Balls: m}
 	agg := &monteAgg{}
 	agg.cond = sync.NewCond(&agg.mu)
@@ -645,9 +713,10 @@ func RunLargeMonte(cfg LargeMonteConfig) (*LargeMonteResult, error) {
 	}
 	agg.stopAt = planned
 	// Single-assignment copies for the orchestrator closures: captured
-	// by value, so the mutable planning variables above never escape
-	// to the heap.
+	// by value, so the mutable variables above (planning state, proto
+	// histogram) never escape to the heap.
 	start, stop := resumed, planned
+	protoHist := proto
 
 	inflight := workers
 	if remaining := cfg.Reps - start; inflight > remaining {
@@ -683,7 +752,7 @@ func RunLargeMonte(cfg LargeMonteConfig) (*LargeMonteResult, error) {
 					agg.abort(newPanicError(engRunLargeMC, "orchestrator", -1, w, r))
 				}
 			}()
-			st, serr := newMonteRepState(master, weights, bounds, shardW, factory, &cfg, cuts, routeWidth, cutBlocks, cutRems)
+			st, serr := newMonteRepState(master, weights, bounds, shardW, factory, &cfg, cuts, routeWidth, cutBlocks, cutRems, protoHist)
 			if serr == nil {
 				st.cc = cc
 			}
@@ -696,7 +765,7 @@ func RunLargeMonte(cfg LargeMonteConfig) (*LargeMonteResult, error) {
 				res.AvgLoad.Add(st.avg)
 				res.Deviation.Add(st.max - st.avg)
 				if ag.loads != nil {
-					if err := ag.loads.Observe(st.loads); err != nil {
+					if err := ag.loads.SnapshotHist(obs.Final, st.histAll, m); err != nil {
 						ag.err = err
 						return
 					}

@@ -15,7 +15,6 @@ import (
 	"context"
 	"fmt"
 	"runtime"
-	"slices"
 	"sync"
 
 	"repro/internal/bins"
@@ -281,14 +280,57 @@ func Run(cfg Config) (*Result, error) {
 	return res, nil
 }
 
-// workerScratch holds per-worker reusable buffers so the repetition loop
-// does not allocate: one buffer for sorting full load vectors, one for
-// per-class load vectors. Buffers are reused across all repetitions a
-// worker processes; partial aggregates stay per chunk so merging remains
-// deterministic.
+// workerScratch holds per-worker reusable buffers so the repetition
+// loop does not allocate: the one-pass load histogram every
+// distribution-shaped observable derives from. It is reused across all
+// repetitions a worker processes; partial aggregates stay per chunk so
+// merging remains deterministic.
 type workerScratch struct {
-	loads      []float64
-	classLoads []float64
+	hist *bins.LoadHistogram
+}
+
+// histogram rebuilds the worker's reusable load histogram from arr in
+// one pass. Random per-repetition arrays (ArrayFn) may change the
+// class skeleton between repetitions; a skeleton miss rebuilds it once
+// and retries — fixed-array runs never hit that path.
+func (sc *workerScratch) histogram(arr *bins.Array) (*bins.LoadHistogram, error) {
+	if sc.hist == nil {
+		sc.hist = arr.NewLoadHistogram()
+	}
+	if err := arr.HistogramInto(sc.hist); err != nil {
+		sc.hist = arr.NewLoadHistogram()
+		if err := arr.HistogramInto(sc.hist); err != nil {
+			return nil, err
+		}
+	}
+	return sc.hist, nil
+}
+
+// needsHistogram reports whether the run requests any
+// distribution-shaped observable — the collectors that derive from the
+// one-pass load histogram. Max/avg-only runs keep the direct exact
+// scan (and its allocation profile).
+func (c *Config) needsHistogram() bool {
+	return c.CollectLoadVector || c.HeightLevels > 0 ||
+		len(c.TrackClasses) > 0 || len(c.ClassMaxLoads) > 0 || len(c.ClassLoadVectors) > 0
+}
+
+// snapshotCheckpoint folds checkpoint cut index cut at the given
+// realised ball count. Runs that also request distribution-shaped
+// observables route through the worker's reusable histogram — the
+// same pairs that feed the final fold; checkpoint-only runs keep the
+// direct exact scan, which is the same O(n) without the buffer.
+// Both paths rank the argmax by cross-multiplied rationals, so the
+// rows are bit-identical.
+func snapshotCheckpoint(cfg *Config, p *chunkPartial, scratch *workerScratch, arr *bins.Array, cut int, balls int64) error {
+	if !cfg.needsHistogram() {
+		return p.cp.Snapshot(cut, arr, balls)
+	}
+	h, err := scratch.histogram(arr)
+	if err != nil {
+		return err
+	}
+	return p.cp.SnapshotHist(cut, h, balls)
 }
 
 // worker processes chunks of repetitions. Each worker keeps its own clone
@@ -422,7 +464,7 @@ func runRep(cfg *Config, checkpoints []int64, rep uint64, fixedArr *bins.Array, 
 			idx := placer.Place(arr, r)
 			p.heights.Add(arr.Load(idx))
 			for nextCp < len(checkpoints) && checkpoints[nextCp] == k {
-				if err := p.cp.Snapshot(nextCp, arr, k); err != nil {
+				if err := snapshotCheckpoint(cfg, p, scratch, arr, nextCp, k); err != nil {
 					return err
 				}
 				nextCp++
@@ -436,7 +478,7 @@ func runRep(cfg *Config, checkpoints []int64, rep uint64, fixedArr *bins.Array, 
 			cp := checkpoints[nextCp]
 			placer.PlaceBatch(arr, r, cp-placed)
 			placed = cp
-			if err := p.cp.Snapshot(nextCp, arr, cp); err != nil {
+			if err := snapshotCheckpoint(cfg, p, scratch, arr, nextCp, cp); err != nil {
 				return err
 			}
 			nextCp++
@@ -453,9 +495,25 @@ func runRep(cfg *Config, checkpoints []int64, rep uint64, fixedArr *bins.Array, 
 // foldFinal folds one repetition's final array state into the chunk
 // partial. It is the shared endpoint of the classic and closed-form
 // engines: both converge on the same observables once the balls are
-// placed, however they got there.
+// placed, however they got there. When any distribution-shaped
+// observable is requested, ONE histogram build replaces the per-
+// collector scans and sorts: max load, heights, the sorted load
+// vector and every class observable all derive from the same pairs
+// (bit-identical to the scans they replace — pinned by equivalence
+// tests); max/avg-only runs keep the direct exact scan.
 func foldFinal(cfg *Config, arr *bins.Array, m int64, rep uint64, scratch *workerScratch, p *chunkPartial) error {
-	max := arr.MaxLoad()
+	var h *bins.LoadHistogram
+	var max float64
+	if cfg.needsHistogram() {
+		var err error
+		h, err = scratch.histogram(arr)
+		if err != nil {
+			return fmt.Errorf("sim: rep %d histogram: %w", rep, err)
+		}
+		max = h.MaxLoad()
+	} else {
+		max = arr.MaxLoad()
+	}
 	avg := arr.AverageLoad()
 	p.balls.Add(float64(m))
 	p.totalCap.Add(float64(arr.TotalCapacity()))
@@ -464,18 +522,15 @@ func foldFinal(cfg *Config, arr *bins.Array, m int64, rep uint64, scratch *worke
 	p.deviation.Add(max - avg)
 
 	if p.hl != nil {
-		if err := p.hl.Snapshot(obs.Final, arr, m); err != nil {
+		if err := p.hl.SnapshotHist(obs.Final, h, m); err != nil {
 			return fmt.Errorf("sim: rep %d heights: %w", rep, err)
 		}
 	}
 	if cfg.CollectLoadVector {
-		lv := arr.LoadVectorInto(scratch.loads)
-		scratch.loads = lv
-		slices.Sort(lv)
 		if p.loads == nil {
 			p.loads = obs.NewSortedLoads()
 		}
-		if err := p.loads.Observe(lv); err != nil {
+		if err := p.loads.SnapshotHist(obs.Final, h, m); err != nil {
 			return fmt.Errorf("sim: rep %d: %w", rep, err)
 		}
 	}
@@ -484,7 +539,7 @@ func foldFinal(cfg *Config, arr *bins.Array, m int64, rep uint64, scratch *worke
 			p.classMaxCount = make(map[int64]int64, len(cfg.TrackClasses))
 		}
 		for _, class := range cfg.TrackClasses {
-			if arr.MaxLoadInClassC(class) {
+			if h.ClassAttainsMax(class) {
 				p.classMaxCount[class]++
 			}
 		}
@@ -494,20 +549,12 @@ func foldFinal(cfg *Config, arr *bins.Array, m int64, rep uint64, scratch *worke
 			p.classMaxLoad = make(map[int64]*stats.Accumulator, len(cfg.ClassMaxLoads))
 		}
 		for _, class := range cfg.ClassMaxLoads {
-			classMax := 0.0
-			for i := 0; i < arr.N(); i++ {
-				if arr.Capacity(i) == class {
-					if l := arr.Load(i); l > classMax {
-						classMax = l
-					}
-				}
-			}
 			acc := p.classMaxLoad[class]
 			if acc == nil {
 				acc = &stats.Accumulator{}
 				p.classMaxLoad[class] = acc
 			}
-			acc.Add(classMax)
+			acc.Add(h.MaxLoadOfClass(class))
 		}
 	}
 	if len(cfg.ClassLoadVectors) > 0 {
@@ -515,22 +562,15 @@ func foldFinal(cfg *Config, arr *bins.Array, m int64, rep uint64, scratch *worke
 			p.classLoadSum = make(map[int64][]float64, len(cfg.ClassLoadVectors))
 		}
 		for _, class := range cfg.ClassLoadVectors {
-			loads := scratch.classLoads[:0]
-			for i := 0; i < arr.N(); i++ {
-				if arr.Capacity(i) == class {
-					loads = append(loads, arr.Load(i))
-				}
-			}
-			scratch.classLoads = loads
-			slices.Sort(loads)
-			sum := p.classLoadSum[class]
-			if sum == nil {
-				sum = make([]float64, len(loads))
+			sum, ok := p.classLoadSum[class]
+			if !ok {
+				sum = make([]float64, h.ClassBins(class))
 				p.classLoadSum[class] = sum
 			}
-			// accumulate in non-increasing order
-			for i := range loads {
-				sum[i] += loads[len(loads)-1-i]
+			// Within one class load order is ball-count order, so the
+			// histogram emits the non-increasing vector with no sort.
+			if err := h.AddClassLoadsDesc(class, sum); err != nil {
+				return fmt.Errorf("sim: rep %d class %d: %w", rep, class, err)
 			}
 		}
 	}

@@ -943,18 +943,30 @@ func (st *streamState) partialSelfCancel() (*StreamResult, error) {
 func (st *streamState) final() (*StreamResult, error) {
 	res := st.partialResult()
 	st.arr.Recount()
-	max := st.arr.MaxLoad()
+	var max float64
+	if st.cfg.HeightLevels > 0 {
+		// Distribution-shaped final report: one histogram pass yields
+		// the exact max load and the height counts together. The
+		// per-round observe phase keeps its direct per-shard MaxLoad
+		// scan — max-only snapshots need no histogram and the scan is
+		// alloc-free.
+		h := st.arr.NewLoadHistogram()
+		if err := st.arr.HistogramInto(h); err != nil {
+			return nil, fmt.Errorf("sim: RunStream histogram: %w", err)
+		}
+		max = h.MaxLoad()
+		hl := obs.NewHeights(st.cfg.HeightLevels)
+		if err := hl.SnapshotHist(obs.Final, h, st.arrived); err != nil {
+			return nil, fmt.Errorf("sim: RunStream heights: %w", err)
+		}
+		res.HeightCounts = hl.Rows()
+	} else {
+		max = st.arr.MaxLoad()
+	}
 	avg := st.arr.AverageLoad()
 	res.MaxLoad = max
 	res.AvgLoad = avg
 	res.Deviation = max - avg
-	if st.cfg.HeightLevels > 0 {
-		hl := obs.NewHeights(st.cfg.HeightLevels)
-		if err := hl.Snapshot(obs.Final, st.arr, st.arrived); err != nil {
-			return nil, fmt.Errorf("sim: RunStream heights: %w", err)
-		}
-		res.HeightCounts = hl.Rows()
-	}
 	res.Array = st.arr
 	return res, nil
 }

@@ -41,11 +41,12 @@ GOMAXPROCS_V="${GOMAXPROCS:-$NUM_CPU}"
 TOPO="{\"goos\": \"${GOOS_V}\", \"goarch\": \"${GOARCH_V}\", \"num_cpu\": ${NUM_CPU}, \"gomaxprocs\": ${GOMAXPROCS_V}}"
 
 # BenchmarkRouteBalls* (old per-ball routing vs the block-wise
-# multinomial pass) lives in internal/sim, so the suite spans two
-# packages; the awk emitter below keys on benchmark lines only and is
-# package-agnostic.
-go test -run '^$' -bench 'BenchmarkPlace|BenchmarkSimulateSmall|BenchmarkSimulateLargeCheckpoints|BenchmarkRunLargeSharded|BenchmarkRunLargeMonte|BenchmarkRunStream|BenchmarkRouteBalls' \
-	-benchmem -benchtime "$BENCHTIME" -count 1 . ./internal/sim | tee "$RAW"
+# multinomial pass) lives in internal/sim and the observation-kernel
+# suite (BenchmarkObsSnapshot*, scan-vs-histogram at n=10⁶/64 shards)
+# in internal/obs, so the suite spans three packages; the awk emitter
+# below keys on benchmark lines only and is package-agnostic.
+go test -run '^$' -bench 'BenchmarkPlace|BenchmarkSimulateSmall|BenchmarkSimulateLargeCheckpoints|BenchmarkRunLargeSharded|BenchmarkRunLargeMonte|BenchmarkRunStream|BenchmarkRouteBalls|BenchmarkObsSnapshot' \
+	-benchmem -benchtime "$BENCHTIME" -count 1 . ./internal/sim ./internal/obs | tee "$RAW"
 
 awk -v topo="$TOPO" '
 # jnum renders a benchmark metric as a JSON value: the number itself,

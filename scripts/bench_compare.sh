@@ -11,8 +11,9 @@
 #     also settable via BENCH_TOLERANCE_PCT), or
 #   - allocs_per_op increases at all (allocation count is deterministic,
 #     so any increase is a real regression, not noise).
-# Benchmarks present in only one file are reported and skipped: new
-# benchmarks have no baseline, and retired ones no current number.
+# Benchmarks present in only one file WARN and never fail: new
+# benchmarks have no baseline to regress against, and retired ones no
+# current number — both are expected while the suite grows PR over PR.
 #
 # When both files carry a "_topology" entry (bench.sh records
 # GOOS/GOARCH, CPU count and GOMAXPROCS) and they differ, a warning is
@@ -48,7 +49,7 @@ fi
 fail=0
 for name in $(jq -r 'keys[] | select(. != "_topology")' "$BASE"); do
 	if ! jq -e --arg n "$name" 'has($n)' "$CUR" >/dev/null; then
-		echo "SKIP  $name: absent from current run"
+		echo "WARN  $name: absent from current run (retired benchmark?), not compared"
 		continue
 	fi
 	base_ns=$(jq -r --arg n "$name" '.[$n].ns_per_op // empty' "$BASE")
@@ -76,7 +77,7 @@ for name in $(jq -r 'keys[] | select(. != "_topology")' "$BASE"); do
 done
 for name in $(jq -r 'keys[] | select(. != "_topology")' "$CUR"); do
 	if ! jq -e --arg n "$name" 'has($n)' "$BASE" >/dev/null; then
-		echo "NEW   $name: no baseline yet"
+		echo "WARN  $name: absent from baseline (new benchmark), not compared"
 	fi
 done
 
