@@ -205,6 +205,41 @@ func benchRunStream(b *testing.B, workers int) {
 func BenchmarkRunStream1W(b *testing.B) { benchRunStream(b, 1) }
 func BenchmarkRunStream4W(b *testing.B) { benchRunStream(b, 4) }
 
+// benchClusterTick measures the churn-tolerant serving engine with all
+// degraded-mode machinery armed — stochastic churn (so ring re-shards
+// and queue redistribution fire), timeouts with retries, and admission
+// control — reported as ticks/sec.
+func benchClusterTick(b *testing.B, workers int) {
+	b.Helper()
+	caps := CapacitiesTwoClass(50_000, 1, 50_000, 10)
+	const ticks = 8
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SimulateCluster(ClusterConfig{
+			Capacities: caps,
+			Ticks:      ticks,
+			Arrivals:   400_000,
+			Churn: ChurnPlan{
+				CrashProb:   0.0002,
+				RecoverProb: 0.05,
+			},
+			Retry:         RetryPolicy{TimeoutTicks: 2, MaxRetries: 2, BackoffBase: 1},
+			ShedThreshold: 3,
+			Seed:          1,
+			Shards:        64,
+			Workers:       workers,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*ticks)/b.Elapsed().Seconds(), "ticks/sec")
+}
+
+func BenchmarkClusterTick1W(b *testing.B) { benchClusterTick(b, 1) }
+func BenchmarkClusterTick4W(b *testing.B) { benchClusterTick(b, 4) }
+
 // benchRunLargeMonte measures the sharded Monte-Carlo engine: several
 // repetitions of a large sharded game per iteration, with per-shard
 // tasks nested inside repetition orchestration on the shared pool.

@@ -1,14 +1,16 @@
 // Public surface of the fault-tolerant execution layer: cancellation
 // errors, panic provenance, and resume state.
 //
-// All three engines accept a context.Context (SimConfig.Context,
-// LargeConfig.Context — inherited by MonteLargeConfig). When the
-// context fires mid-run the engine stops at the next task boundary and
+// Every engine accepts a context.Context (SimConfig.Context,
+// LargeConfig.Context — inherited by MonteLargeConfig —
+// StreamConfig.Context and ClusterConfig.Context). When the context
+// fires mid-run the engine stops at the next task boundary and
 // returns BOTH a partial result and a *CancelledError describing which
 // deterministic prefix the partial covers. Partial results are part of
 // the model, like Shards and routing blocks: the prefix content is
 // bit-identical to the corresponding prefix of an uninterrupted run —
-// only WHICH prefix you get depends on timing. Use CancelAfterReps for
+// only WHICH prefix you get depends on timing. Use CancelAfterReps
+// (CancelAfterRounds for streaming, CancelAfterTicks for serving) for
 // a fully deterministic stop.
 //
 // A panic inside any engine worker never crashes or hangs the process:

@@ -1,0 +1,168 @@
+package balls
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func clusterTestConfig() ClusterConfig {
+	return ClusterConfig{
+		Capacities: []int64{2, 3, 4, 5, 2, 4},
+		Ticks:      24,
+		Arrivals:   30,
+		Seed:       7,
+		Shards:     3,
+		Churn: ChurnPlan{
+			Schedule: []ChurnEvent{
+				{Tick: 3, Peer: 3, Down: true},
+				{Tick: 9, Peer: 3, Down: false},
+			},
+			CrashProb:   0.04,
+			RecoverProb: 0.5,
+		},
+		Retry:         RetryPolicy{TimeoutTicks: 4, MaxRetries: 2, BackoffBase: 1},
+		ShedThreshold: 2.5,
+		Checkpoints:   []int64{6, 12, 24},
+		Heights:       4,
+	}
+}
+
+func TestSimulateClusterConservation(t *testing.T) {
+	cfg := clusterTestConfig()
+	res, err := SimulateCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.N != 6 || res.Shards != 3 || res.Ticks != cfg.Ticks {
+		t.Fatalf("shape: N %d Shards %d Ticks %d", res.N, res.Shards, res.Ticks)
+	}
+	if res.Arrived != cfg.Arrivals*int64(cfg.Ticks) {
+		t.Fatalf("Arrived = %d, want %d", res.Arrived, cfg.Arrivals*int64(cfg.Ticks))
+	}
+	if res.Arrived != res.Shed+res.Admitted {
+		t.Fatalf("Arrived %d != Shed %d + Admitted %d", res.Arrived, res.Shed, res.Admitted)
+	}
+	if res.Admitted != res.Completed+res.Failed+res.PendingRetry+res.Queued {
+		t.Fatalf("admitted %d not conserved: completed %d failed %d pending %d queued %d",
+			res.Admitted, res.Completed, res.Failed, res.PendingRetry, res.Queued)
+	}
+	if res.Availability <= 0 || res.Availability > 1 {
+		t.Fatalf("Availability = %v", res.Availability)
+	}
+	if len(res.LivePerTick) != cfg.Ticks {
+		t.Fatalf("LivePerTick has %d entries", len(res.LivePerTick))
+	}
+	var latN int64
+	for _, c := range res.LatencyBuckets {
+		latN += c
+	}
+	if latN != res.Completed {
+		t.Fatalf("latency histogram holds %d requests, completed %d", latN, res.Completed)
+	}
+	if res.Completed > 0 && res.MeanLatency < 1 {
+		t.Fatalf("MeanLatency = %v with %d completions", res.MeanLatency, res.Completed)
+	}
+	if len(res.Checkpoints) != 3 || res.Checkpoints[2].Balls != 24 {
+		t.Fatalf("checkpoints: %+v", res.Checkpoints)
+	}
+	if len(res.Heights) != 4 {
+		t.Fatalf("heights: %+v", res.Heights)
+	}
+	var queued int64
+	for i := 0; i < res.N; i++ {
+		queued += int64(res.Loads.Balls(i))
+	}
+	if queued != res.Queued {
+		t.Fatalf("Loads sum %d != Queued %d", queued, res.Queued)
+	}
+}
+
+func TestSimulateClusterWorkerInvariance(t *testing.T) {
+	cfg := clusterTestConfig()
+	// A single trajectory has no across-rep spread, so CI95 fields are
+	// NaN — which DeepEqual never matches. Zero them before comparing.
+	normalize := func(r *ClusterResult) {
+		r.Loads = LargeLoads{}
+		for i := range r.Heights {
+			r.Heights[i].BinsCI95 = 0
+		}
+	}
+	base, err := SimulateCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	normalize(base)
+	for _, w := range []int{1, 2, 7} {
+		c := cfg
+		c.Workers = w
+		got, err := SimulateCluster(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		normalize(got)
+		if !reflect.DeepEqual(base, got) {
+			t.Fatalf("workers=%d diverged:\n base %+v\n got  %+v", w, base, got)
+		}
+	}
+}
+
+func TestSimulateClusterCancellation(t *testing.T) {
+	cfg := clusterTestConfig()
+	cfg.CancelAfterTicks = 10
+	part, err := SimulateCluster(cfg)
+	var cancelled *CancelledError
+	if !errors.As(err, &cancelled) {
+		t.Fatalf("err = %v, want CancelledError", err)
+	}
+	if cancelled.CompletedTicks != 10 || part.Ticks != 10 {
+		t.Fatalf("completed %d ticks, result says %d", cancelled.CompletedTicks, part.Ticks)
+	}
+	if part.MaxQueueLoad != 0 || part.Heights != nil {
+		t.Fatal("cancelled partial carries final-state fields")
+	}
+
+	ref := clusterTestConfig()
+	ref.Ticks = 10
+	ref.Checkpoints = []int64{6}
+	full, err := SimulateCluster(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part.Admitted != full.Admitted || part.Completed != full.Completed ||
+		part.Availability != full.Availability {
+		t.Fatalf("prefix mismatch: partial {%d %d %v} vs Ticks=10 {%d %d %v}",
+			part.Admitted, part.Completed, part.Availability,
+			full.Admitted, full.Completed, full.Availability)
+	}
+	if cancelled.CompletedCuts != 1 || part.Checkpoints[0] != full.Checkpoints[0] {
+		t.Fatalf("checkpoint prefix mismatch: cuts %d rows %+v vs %+v",
+			cancelled.CompletedCuts, part.Checkpoints[:1], full.Checkpoints)
+	}
+
+	ctx, stop := context.WithCancel(context.Background())
+	stop()
+	cfg = clusterTestConfig()
+	cfg.Context = ctx
+	_, err = SimulateCluster(cfg)
+	if !errors.Is(err, ErrCancelled) {
+		t.Fatalf("pre-fired context: err = %v", err)
+	}
+}
+
+func TestSimulateClusterValidation(t *testing.T) {
+	if _, err := SimulateCluster(ClusterConfig{Ticks: 1}); err == nil {
+		t.Fatal("missing capacities accepted")
+	}
+	cfg := clusterTestConfig()
+	cfg.Ticks = 0
+	if _, err := SimulateCluster(cfg); err == nil {
+		t.Fatal("Ticks=0 accepted")
+	}
+	cfg = clusterTestConfig()
+	cfg.Retry = RetryPolicy{MaxRetries: 1}
+	if _, err := SimulateCluster(cfg); err == nil {
+		t.Fatal("retries without timeout accepted")
+	}
+}

@@ -137,6 +137,22 @@ func (a *Array) Remove(i int) {
 	a.m--
 }
 
+// RemoveBalls takes k balls out of bin i at once — the bulk departure
+// entry point of the cluster engines, whose service phase completes up
+// to `capacity` requests per server per tick. It panics on k < 0 and on
+// k exceeding the bin's current ball count: draining more than arrived
+// is a programming error, exactly as for Remove.
+func (a *Array) RemoveBalls(i int, k int64) {
+	if k < 0 {
+		panic(fmt.Sprintf("bins: RemoveBalls(%d, %d) with negative count", i, k))
+	}
+	if k > a.bins[i].balls {
+		panic(fmt.Sprintf("bins: RemoveBalls(%d, %d) exceeds %d balls", i, k, a.bins[i].balls))
+	}
+	a.bins[i].balls -= k
+	a.m -= k
+}
+
 // Load returns ℓ_i = m_i / c_i as a float64 (for reporting only; the
 // protocol never compares floats).
 func (a *Array) Load(i int) float64 {

@@ -537,3 +537,32 @@ func TestShardViews(t *testing.T) {
 		t.Fatalf("shard max load %v", got)
 	}
 }
+
+// TestRemoveBalls: bulk removal matches k single removals, keeps the
+// total consistent, and panics on negative or overdrawn counts.
+func TestRemoveBalls(t *testing.T) {
+	a, err := New([]int64{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.AddBalls(0, 5)
+	a.AddBalls(1, 4)
+	a.RemoveBalls(0, 3)
+	if a.Balls(0) != 2 || a.TotalBalls() != 6 {
+		t.Fatalf("after RemoveBalls(0,3): balls %d total %d", a.Balls(0), a.TotalBalls())
+	}
+	a.RemoveBalls(1, 0)
+	if a.Balls(1) != 4 {
+		t.Fatalf("RemoveBalls(1,0) changed the bin: %d", a.Balls(1))
+	}
+	for _, k := range []int64{-1, 5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("RemoveBalls(0,%d) did not panic", k)
+				}
+			}()
+			a.RemoveBalls(0, k)
+		}()
+	}
+}

@@ -1,5 +1,6 @@
 // Package chash implements the consistent-hashing ring that motivates the
-// paper's non-uniform selection probabilities (§1 and §1.1).
+// paper's non-uniform selection probabilities (§1 and §1.1) — and the
+// membership substrate of the churn-tolerant cluster engine.
 //
 // Peers are mapped to random points on the unit ring; a key at position x
 // is owned by the first peer point at or after x (wrapping). Each peer's
@@ -9,6 +10,19 @@
 // game of Byers et al. into exactly the kind of non-uniform
 // balls-into-bins game the paper generalises, which this package
 // demonstrates by exporting the arc vector as selection weights.
+//
+// # Membership churn
+//
+// A ring remembers every peer's virtual points forever: the positions are
+// drawn once, at construction, and RemovePeer/AddPeer splice a peer's
+// points out of and back into the sorted ring incrementally — one
+// compaction or merge pass, no re-sort, and crucially no RNG draw, so
+// churn is deterministic given the construction seed and a peer that
+// crashes and recovers returns to exactly its old points (its keys come
+// home). Arc weights are recomputed from the surviving points; a dead
+// peer owns no points, so lookups can never land on it and its former
+// arcs accrue to its ring successors — the consistent-hashing property
+// that only neighbouring shares move under churn.
 package chash
 
 import (
@@ -18,17 +32,23 @@ import (
 	"repro/internal/xrand"
 )
 
-// Ring is a consistent-hashing ring with n peers, each owning vnodes
-// virtual points.
+// Ring is a consistent-hashing ring over n peers, each owning a fixed
+// set of virtual points drawn at construction. Peers may be live (their
+// points are on the ring) or removed (points remembered, not mounted).
 type Ring struct {
 	n      int
 	vnodes int
-	points []float64 // sorted positions in [0,1)
-	owner  []int32   // peer owning each point
+	points []float64 // sorted positions in [0,1) of LIVE peers' points
+	owner  []int32   // peer owning each mounted point
+	// peerPts[p] is peer p's fixed, ascending point set — the
+	// churn-invariant identity RemovePeer/AddPeer splice with.
+	peerPts [][]float64
+	live    []bool
+	nLive   int
 }
 
 // NewRing places n peers with the given number of virtual nodes each at
-// positions drawn from r.
+// positions drawn from r. All peers start live.
 func NewRing(n, vnodes int, r *xrand.Rand) (*Ring, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("chash: n = %d", n)
@@ -36,22 +56,79 @@ func NewRing(n, vnodes int, r *xrand.Rand) (*Ring, error) {
 	if vnodes <= 0 {
 		return nil, fmt.Errorf("chash: vnodes = %d", vnodes)
 	}
-	total := n * vnodes
+	counts := make([]int, n)
+	for p := range counts {
+		counts[p] = vnodes
+	}
+	ring, err := build(counts, r)
+	if err != nil {
+		return nil, err
+	}
+	ring.vnodes = vnodes
+	return ring, nil
+}
+
+// NewWeightedRing places peer p with vnodesPerUnit·capacity[p] virtual
+// nodes, the standard way to give heterogeneous peers arc shares
+// proportional to capacity. Combined with the d-point game this is the
+// ring-level equivalent of the paper's capacity-proportional selection:
+// the expected arc share of peer p is capacity[p]/ΣC.
+func NewWeightedRing(capacities []int64, vnodesPerUnit int, r *xrand.Rand) (*Ring, error) {
+	if len(capacities) == 0 {
+		return nil, fmt.Errorf("chash: no capacities")
+	}
+	if vnodesPerUnit <= 0 {
+		return nil, fmt.Errorf("chash: vnodesPerUnit = %d", vnodesPerUnit)
+	}
+	counts := make([]int, len(capacities))
+	for i, c := range capacities {
+		if c < 1 {
+			return nil, fmt.Errorf("chash: capacity %d of peer %d", c, i)
+		}
+		counts[i] = int(c) * vnodesPerUnit
+	}
+	ring, err := build(counts, r)
+	if err != nil {
+		return nil, err
+	}
+	ring.vnodes = -1 // heterogeneous
+	return ring, nil
+}
+
+// build draws counts[p] points for every peer IN PEER ORDER (the draw
+// sequence is part of the model), caches each peer's ascending point
+// set, and mounts everything sorted.
+func build(counts []int, r *xrand.Rand) (*Ring, error) {
+	n := len(counts)
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
 	ring := &Ring{
-		n:      n,
-		vnodes: vnodes,
-		points: make([]float64, total),
-		owner:  make([]int32, total),
+		n:       n,
+		points:  make([]float64, total),
+		owner:   make([]int32, total),
+		peerPts: make([][]float64, n),
+		live:    make([]bool, n),
+		nLive:   n,
 	}
 	type pv struct {
 		pos   float64
 		owner int32
 	}
-	pvs := make([]pv, total)
+	pvs := make([]pv, 0, total)
+	flat := make([]float64, total) // one backing array for every peer's cache
+	off := 0
 	for p := 0; p < n; p++ {
-		for v := 0; v < vnodes; v++ {
-			pvs[p*vnodes+v] = pv{pos: r.Float64(), owner: int32(p)}
+		pts := flat[off : off+counts[p] : off+counts[p]]
+		off += counts[p]
+		for v := range pts {
+			pts[v] = r.Float64()
+			pvs = append(pvs, pv{pos: pts[v], owner: int32(p)})
 		}
+		sort.Float64s(pts)
+		ring.peerPts[p] = pts
+		ring.live[p] = true
 	}
 	sort.Slice(pvs, func(i, j int) bool { return pvs[i].pos < pvs[j].pos })
 	for i, e := range pvs {
@@ -61,8 +138,84 @@ func NewRing(n, vnodes int, r *xrand.Rand) (*Ring, error) {
 	return ring, nil
 }
 
-// N returns the number of peers.
+// N returns the number of peers (live or not).
 func (r *Ring) N() int { return r.n }
+
+// NumLive returns the number of live peers.
+func (r *Ring) NumLive() int { return r.nLive }
+
+// Live reports whether peer p is currently mounted on the ring.
+func (r *Ring) Live(p int) bool { return r.live[p] }
+
+// RemovePeer unmounts peer p's points — one compaction pass over the
+// sorted ring, no re-sort, no RNG. The last live peer cannot be
+// removed: an empty ring owns nothing and Lookup would be undefined.
+func (r *Ring) RemovePeer(p int) error {
+	if p < 0 || p >= r.n {
+		return fmt.Errorf("chash: RemovePeer(%d) of %d peers", p, r.n)
+	}
+	if !r.live[p] {
+		return fmt.Errorf("chash: RemovePeer(%d): peer is not live", p)
+	}
+	if r.nLive == 1 {
+		return fmt.Errorf("chash: RemovePeer(%d) would empty the ring", p)
+	}
+	k := 0
+	for i := range r.points {
+		if r.owner[i] == int32(p) {
+			continue
+		}
+		r.points[k] = r.points[i]
+		r.owner[k] = r.owner[i]
+		k++
+	}
+	r.points = r.points[:k]
+	r.owner = r.owner[:k]
+	r.live[p] = false
+	r.nLive--
+	return nil
+}
+
+// AddPeer re-mounts peer p's remembered points — one backwards
+// in-place merge of its ascending cached set into the sorted ring, no
+// re-sort, no RNG. A peer that crashes and recovers therefore returns
+// to exactly the points it held before, bit for bit.
+func (r *Ring) AddPeer(p int) error {
+	if p < 0 || p >= r.n {
+		return fmt.Errorf("chash: AddPeer(%d) of %d peers", p, r.n)
+	}
+	if r.live[p] {
+		return fmt.Errorf("chash: AddPeer(%d): peer is already live", p)
+	}
+	pts := r.peerPts[p]
+	old := len(r.points)
+	total := old + len(pts)
+	if cap(r.points) >= total {
+		r.points = r.points[:total]
+		r.owner = r.owner[:total]
+	} else {
+		np := make([]float64, total)
+		no := make([]int32, total)
+		copy(np, r.points)
+		copy(no, r.owner)
+		r.points, r.owner = np, no
+	}
+	i, k := old-1, total-1
+	for j := len(pts) - 1; j >= 0; k-- {
+		if i >= 0 && r.points[i] > pts[j] {
+			r.points[k] = r.points[i]
+			r.owner[k] = r.owner[i]
+			i--
+		} else {
+			r.points[k] = pts[j]
+			r.owner[k] = int32(p)
+			j--
+		}
+	}
+	r.live[p] = true
+	r.nLive++
+	return nil
+}
 
 // Lookup returns the peer owning position x in [0,1): the peer of the
 // first point at or after x, wrapping around.
@@ -74,11 +227,56 @@ func (r *Ring) Lookup(x float64) int {
 	return int(r.owner[i])
 }
 
-// ArcLengths returns each peer's total owned arc length; the entries sum
-// to 1. The arc ending at point i (owned by peer owner[i]) starts at the
-// previous point.
+// LookupBatch resolves many positions at once: the queries are sorted
+// once and resolved in a single merge pass against the sorted ring —
+// O(P + Q + Q·log Q) for Q queries over P points instead of Q binary
+// searches — writing each query's owner to the matching out slot.
+// Results are exactly Lookup's, element for element. out is reused
+// when it has the capacity; the filled slice is returned.
+func (r *Ring) LookupBatch(xs []float64, out []int) []int {
+	if cap(out) < len(xs) {
+		out = make([]int, len(xs))
+	}
+	out = out[:len(xs)]
+	if len(xs) == 0 {
+		return out
+	}
+	order := make([]int32, len(xs))
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(a, b int) bool { return xs[order[a]] < xs[order[b]] })
+	i := 0
+	for _, q := range order {
+		x := xs[q]
+		for i < len(r.points) && r.points[i] < x {
+			i++
+		}
+		if i == len(r.points) {
+			out[q] = int(r.owner[0]) // wrap, like Lookup
+			continue
+		}
+		out[q] = int(r.owner[i])
+	}
+	return out
+}
+
+// ArcLengths returns each peer's total owned arc length; the entries
+// sum to 1 and removed peers hold 0. The arc ending at point i (owned
+// by peer owner[i]) starts at the previous point.
 func (r *Ring) ArcLengths() []float64 {
-	arcs := make([]float64, r.n)
+	return r.ArcLengthsInto(nil)
+}
+
+// ArcLengthsInto fills dst (grown if needed) with the per-peer arc
+// lengths — the allocation-free variant the cluster engine calls on
+// every churn event.
+func (r *Ring) ArcLengthsInto(dst []float64) []float64 {
+	if cap(dst) < r.n {
+		dst = make([]float64, r.n)
+	}
+	dst = dst[:r.n]
+	clear(dst)
 	for i := range r.points {
 		prev := 0.0
 		if i == 0 {
@@ -87,9 +285,9 @@ func (r *Ring) ArcLengths() []float64 {
 		} else {
 			prev = r.points[i-1]
 		}
-		arcs[r.owner[i]] += r.points[i] - prev
+		dst[r.owner[i]] += r.points[i] - prev
 	}
-	return arcs
+	return dst
 }
 
 // ArcStats summarises the arc length distribution.
@@ -100,7 +298,8 @@ type ArcStats struct {
 	MaxOverAvg float64
 }
 
-// Stats computes arc statistics for the ring.
+// Stats computes arc statistics for the ring (over all peers,
+// including removed ones, whose arcs are 0).
 func (r *Ring) Stats() ArcStats {
 	arcs := r.ArcLengths()
 	st := ArcStats{Min: arcs[0], Max: arcs[0]}
@@ -119,24 +318,49 @@ func (r *Ring) Stats() ArcStats {
 	return st
 }
 
+// dchoiceChunk is the number of balls whose positions DChoiceLoads
+// pre-draws and batch-resolves per chunk: big enough to amortise the
+// batch sort against per-ball binary searches, small enough that the
+// scratch stays cache-resident.
+const dchoiceChunk = 4096
+
 // DChoiceLoads plays the Byers et al. d-point game: m balls each draw d
 // uniform ring positions, look up the owning peers, and commit to a peer
 // currently holding the fewest balls (ties to the first drawn). It
 // returns the final ball counts per peer.
+//
+// Positions are pre-drawn in ball order and resolved chunk-wise through
+// LookupBatch — lookups consume no randomness and never read the loads,
+// so the batched pass is bit-identical to the serial per-ball original
+// (pinned by TestDChoiceBatchParity).
 func (r *Ring) DChoiceLoads(m int64, d int, rng *xrand.Rand) ([]int64, error) {
 	if d < 1 {
 		return nil, fmt.Errorf("chash: d = %d", d)
 	}
 	loads := make([]int64, r.n)
-	for b := int64(0); b < m; b++ {
-		best := -1
-		for j := 0; j < d; j++ {
-			p := r.Lookup(rng.Float64())
-			if best == -1 || loads[p] < loads[best] {
-				best = p
-			}
+	chunk := int64(dchoiceChunk)
+	xs := make([]float64, 0, chunk*int64(d))
+	var owners []int
+	for b := int64(0); b < m; b += chunk {
+		balls := chunk
+		if left := m - b; balls > left {
+			balls = left
 		}
-		loads[best]++
+		xs = xs[:balls*int64(d)]
+		for i := range xs {
+			xs[i] = rng.Float64()
+		}
+		owners = r.LookupBatch(xs, owners)
+		for i := int64(0); i < balls; i++ {
+			cand := owners[i*int64(d) : (i+1)*int64(d)]
+			best := cand[0]
+			for _, p := range cand[1:] {
+				if loads[p] < loads[best] {
+					best = p
+				}
+			}
+			loads[best]++
+		}
 	}
 	return loads, nil
 }
@@ -150,47 +374,4 @@ func MaxLoad(loads []int64) int64 {
 		}
 	}
 	return max
-}
-
-// NewWeightedRing places peer p with vnodesPerUnit·capacity[p] virtual
-// nodes, the standard way to give heterogeneous peers arc shares
-// proportional to capacity. Combined with the d-point game this is the
-// ring-level equivalent of the paper's capacity-proportional selection:
-// the expected arc share of peer p is capacity[p]/ΣC.
-func NewWeightedRing(capacities []int64, vnodesPerUnit int, r *xrand.Rand) (*Ring, error) {
-	if len(capacities) == 0 {
-		return nil, fmt.Errorf("chash: no capacities")
-	}
-	if vnodesPerUnit <= 0 {
-		return nil, fmt.Errorf("chash: vnodesPerUnit = %d", vnodesPerUnit)
-	}
-	total := 0
-	for i, c := range capacities {
-		if c < 1 {
-			return nil, fmt.Errorf("chash: capacity %d of peer %d", c, i)
-		}
-		total += int(c) * vnodesPerUnit
-	}
-	ring := &Ring{
-		n:      len(capacities),
-		vnodes: -1, // heterogeneous
-		points: make([]float64, 0, total),
-		owner:  make([]int32, 0, total),
-	}
-	type pv struct {
-		pos   float64
-		owner int32
-	}
-	pvs := make([]pv, 0, total)
-	for p, c := range capacities {
-		for v := int64(0); v < c*int64(vnodesPerUnit); v++ {
-			pvs = append(pvs, pv{pos: r.Float64(), owner: int32(p)})
-		}
-	}
-	sort.Slice(pvs, func(i, j int) bool { return pvs[i].pos < pvs[j].pos })
-	for _, e := range pvs {
-		ring.points = append(ring.points, e.pos)
-		ring.owner = append(ring.owner, e.owner)
-	}
-	return ring, nil
 }

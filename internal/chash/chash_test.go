@@ -264,3 +264,162 @@ func TestQuickRingInvariants(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestLookupBatchParity: LookupBatch resolves every query to exactly
+// the peer the serial Lookup returns, whatever the query order.
+func TestLookupBatchParity(t *testing.T) {
+	ring, err := NewWeightedRing([]int64{3, 1, 4, 1, 5}, 3, xrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(42)
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = r.Float64()
+	}
+	// Include wrap-around and boundary-adjacent queries.
+	xs = append(xs, 0, 0.9999999, 1e-12)
+	out := ring.LookupBatch(xs, nil)
+	for i, x := range xs {
+		if want := ring.Lookup(x); out[i] != want {
+			t.Fatalf("query %d (%v): batch %d, serial %d", i, x, out[i], want)
+		}
+	}
+}
+
+// TestChurnLookupOracle: after RemovePeer(p), every point keeps its
+// owner unless it was owned by p — those move to SOME other live peer —
+// and AddPeer(p) restores the original ring bit-identically (ownership
+// AND arc lengths), because a peer's vnode points are cached, not
+// redrawn.
+func TestChurnLookupOracle(t *testing.T) {
+	ring, err := NewWeightedRing([]int64{2, 3, 4, 5}, 4, xrand.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(99)
+	xs := make([]float64, 2000)
+	for i := range xs {
+		xs[i] = r.Float64()
+	}
+	origOwner := ring.LookupBatch(xs, nil)
+	origOwner = append([]int(nil), origOwner...)
+	origArcs := ring.ArcLengths()
+
+	const p = 2
+	if err := ring.RemovePeer(p); err != nil {
+		t.Fatal(err)
+	}
+	if ring.NumLive() != 3 || ring.Live(p) {
+		t.Fatalf("NumLive/Live after remove: %d/%v", ring.NumLive(), ring.Live(p))
+	}
+	if got := ring.ArcLengths()[p]; got != 0 {
+		t.Fatalf("dead peer's arc length = %v, want 0", got)
+	}
+	after := ring.LookupBatch(xs, nil)
+	for i := range xs {
+		switch {
+		case origOwner[i] != p && after[i] != origOwner[i]:
+			t.Fatalf("query %d moved from live peer %d to %d", i, origOwner[i], after[i])
+		case origOwner[i] == p && after[i] == p:
+			t.Fatalf("query %d still resolves to the dead peer", i)
+		}
+	}
+
+	if err := ring.AddPeer(p); err != nil {
+		t.Fatal(err)
+	}
+	restored := ring.LookupBatch(xs, nil)
+	for i := range xs {
+		if restored[i] != origOwner[i] {
+			t.Fatalf("query %d: owner %d after recover, originally %d", i, restored[i], origOwner[i])
+		}
+	}
+	for i, a := range ring.ArcLengths() {
+		if a != origArcs[i] {
+			t.Fatalf("arc %d = %v after recover, originally %v", i, a, origArcs[i])
+		}
+	}
+}
+
+// TestChurnErrors: the membership operations reject out-of-range,
+// double-down, double-up and last-live-peer transitions by name.
+func TestChurnErrors(t *testing.T) {
+	ring, err := NewRing(2, 3, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ring.RemovePeer(5); err == nil {
+		t.Error("out-of-range RemovePeer accepted")
+	}
+	if err := ring.AddPeer(0); err == nil {
+		t.Error("AddPeer of a live peer accepted")
+	}
+	if err := ring.RemovePeer(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := ring.RemovePeer(0); err == nil {
+		t.Error("double RemovePeer accepted")
+	}
+	if err := ring.RemovePeer(1); err == nil {
+		t.Error("last live peer removed")
+	}
+}
+
+// dchoiceSerial is the pre-batching reference implementation: one
+// Lookup per drawn position, in ball order.
+func dchoiceSerial(r *Ring, m int64, d int, rng *xrand.Rand) []int64 {
+	loads := make([]int64, r.N())
+	cand := make([]int, d)
+	for b := int64(0); b < m; b++ {
+		for j := 0; j < d; j++ {
+			cand[j] = r.Lookup(rng.Float64())
+		}
+		best := cand[0]
+		for _, p := range cand[1:] {
+			if loads[p] < loads[best] {
+				best = p
+			}
+		}
+		loads[best]++
+	}
+	return loads
+}
+
+// TestDChoiceBatchParity: the batched DChoiceLoads is bit-identical to
+// the serial per-ball reference — same seed, same loads — including
+// across a chunk boundary and after churn. This is the ring-parity
+// oracle the cluster engine's dispatch path leans on.
+func TestDChoiceBatchParity(t *testing.T) {
+	ring, err := NewWeightedRing([]int64{1, 2, 3, 4, 5, 6}, 3, xrand.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(m int64, d int) {
+		t.Helper()
+		got, err := ring.DChoiceLoads(m, d, xrand.New(77))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := dchoiceSerial(ring, m, d, xrand.New(77))
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("m=%d d=%d: peer %d batched %d, serial %d", m, d, i, got[i], want[i])
+			}
+		}
+	}
+	check(100, 2)
+	check(5000, 2) // spans a chunk boundary (chunk = 4096)
+	check(300, 3)
+	if err := ring.RemovePeer(3); err != nil {
+		t.Fatal(err)
+	}
+	check(5000, 2) // churned ring: dead peer owns nothing
+	loads, err := ring.DChoiceLoads(5000, 2, xrand.New(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loads[3] != 0 {
+		t.Fatalf("dead peer received %d balls", loads[3])
+	}
+}

@@ -1,15 +1,28 @@
-// Package cluster is a discrete-time queueing simulator for a storage /
-// server cluster with heterogeneous service capacities — the application
-// setting the paper's introduction motivates (requests = balls, servers =
-// bins, "capacity" = speed).
+// Package cluster is the serving-cluster domain model behind the
+// paper's application framing (requests = balls, heterogeneous servers
+// = bins, "capacity" = speed): a discrete-time queueing simulator plus
+// the churn/retry vocabulary of the batched, churn-tolerant cluster
+// engine in internal/sim (reached through sim.Dispatch with engine
+// "cluster").
 //
-// Time advances in ticks. Each tick, a configurable number of requests
-// arrives; a dispatcher assigns each to a server using one of the
-// balls-into-bins policies (Algorithm 1 on queue-relative load by
-// default); then every server completes up to `capacity` requests. The
-// simulator reports queue and response-time statistics, turning the
-// paper's static max-load guarantee into the dynamic quantity operators
-// actually watch: tail latency.
+// Two layers live here:
+//
+//   - Run, the seed-era reference simulator: time advances in ticks,
+//     each tick dispatches requests one at a time through a
+//     balls-into-bins policy (Algorithm 1 on queue-relative load by
+//     default), then every server completes up to `capacity` requests.
+//     It reports queue and response-time statistics, turning the
+//     paper's static max-load guarantee into the dynamic quantity
+//     operators watch: tail latency. Serial, always-up servers.
+//
+//   - ChurnPlan and RetryPolicy (churn.go), the failure model of the
+//     production-shaped engine: scheduled and stochastic crash/recover
+//     events over a consistent-hashing ring (internal/chash), request
+//     timeouts with bounded exponential-backoff retries, and overload
+//     shedding. The engine itself lives in internal/sim so it can
+//     reuse the multinomial block router and the fault-tolerant
+//     execution layer; this package stays the dependency-free domain
+//     model both sides import.
 package cluster
 
 import (
@@ -137,9 +150,7 @@ func Run(cfg Config) (*Result, error) {
 			s.queue = s.queue[n:]
 			// keep the protocol's view in sync: bins.Balls tracks the
 			// queue length, so completed requests must leave the array.
-			for k := int64(0); k < n; k++ {
-				arr.Remove(i)
-			}
+			arr.RemoveBalls(i, n)
 		}
 		// tick-end queue statistics
 		if tick >= cfg.WarmupTicks {

@@ -59,6 +59,22 @@ const (
 	// OpRebalance is one shard's inter-round move-out task in the
 	// streaming engine's rebalance pass. Rep is the round index.
 	OpRebalance
+	// OpCrash is one applied churn event of the cluster engine: a peer
+	// crashing or recovering at a tick boundary. Rep is the tick index,
+	// Shard the peer index.
+	OpCrash
+	// OpRetry is one shard's retry-dispatch task in the cluster engine:
+	// re-placing timed-out requests onto an alternate candidate. Rep is
+	// the tick index, Shard the shard index.
+	OpRetry
+	// OpShed is the cluster engine's per-tick admission-control step
+	// (orchestrator side, Shard = -1). Rep is the tick index.
+	OpShed
+	// OpReshard is one step of the cluster engine's incremental
+	// re-sharding after churn: the ring/router rebuild (Shard = -1) or
+	// one shard's redistribution task (Shard = the shard index). Rep is
+	// the tick index.
+	OpReshard
 )
 
 // String returns the operation name used in provenance messages.
@@ -82,6 +98,14 @@ func (o Op) String() string {
 		return "delete"
 	case OpRebalance:
 		return "rebalance"
+	case OpCrash:
+		return "crash"
+	case OpRetry:
+		return "retry"
+	case OpShed:
+		return "shed"
+	case OpReshard:
+		return "reshard"
 	}
 	return "unknown"
 }

@@ -1,0 +1,114 @@
+// Latency: the exact-integer response-time histogram of the cluster
+// engine's degraded-mode accounting. Every operation is an int64
+// addition, so per-shard instances merged in shard order produce
+// bit-identical totals whatever the worker topology — the same
+// exactness argument as the routing counts. (Queue-STATE snapshots use
+// the bins.LoadHistogram kernel; latency is a per-request observable
+// that kernel cannot express, hence its own collector.)
+package obs
+
+import "fmt"
+
+// Latency is a histogram of request response times in ticks: bucket
+// k < Max counts requests with latency exactly k+1 ticks, and the
+// final bucket (index Max) counts everything above Max. The exact sum
+// and count ride along so the mean needs no float accumulation.
+type Latency struct {
+	buckets []int64
+	sum     int64
+	count   int64
+}
+
+// NewLatency builds a collector with buckets for latencies 1..max
+// ticks plus one overflow bucket.
+func NewLatency(max int) (*Latency, error) {
+	if max < 1 {
+		return nil, fmt.Errorf("obs: latency buckets = %d, need >= 1", max)
+	}
+	return &Latency{buckets: make([]int64, max+1)}, nil
+}
+
+// ObserveN records n requests completing with the given latency (>= 1
+// tick; anything above Max lands in the overflow bucket).
+func (l *Latency) ObserveN(latency, n int64) {
+	if n == 0 {
+		return
+	}
+	i := latency - 1
+	if max := int64(len(l.buckets) - 1); i < 0 || i > max {
+		i = max
+	}
+	l.buckets[i] += n
+	l.sum += latency * n
+	l.count += n
+}
+
+// Merge folds other into l (bucket shapes must match). Integer
+// addition is exactly associative: folding per-shard collectors in
+// shard order is bit-identical for every worker topology.
+func (l *Latency) Merge(other *Latency) error {
+	if len(other.buckets) != len(l.buckets) {
+		return fmt.Errorf("obs: merging %d latency buckets into %d", len(other.buckets), len(l.buckets))
+	}
+	for i, c := range other.buckets {
+		l.buckets[i] += c
+	}
+	l.sum += other.sum
+	l.count += other.count
+	return nil
+}
+
+// Reset clears the collector for reuse (per-tick shard scratch).
+func (l *Latency) Reset() {
+	clear(l.buckets)
+	l.sum = 0
+	l.count = 0
+}
+
+// Count returns the number of observed requests, Sum their total
+// latency in ticks.
+func (l *Latency) Count() int64 { return l.count }
+func (l *Latency) Sum() int64   { return l.sum }
+
+// Mean returns the average latency in ticks (0 when empty).
+func (l *Latency) Mean() float64 {
+	if l.count == 0 {
+		return 0
+	}
+	return float64(l.sum) / float64(l.count)
+}
+
+// Buckets returns the bucket counts: index k < Max is latency k+1,
+// index Max the overflow. The slice is the collector's own storage.
+func (l *Latency) Buckets() []int64 { return l.buckets }
+
+// Quantile returns the smallest latency L such that at least q of the
+// observed requests finished within L ticks (0 when empty; the
+// overflow bucket reports Max+1).
+func (l *Latency) Quantile(q float64) int64 {
+	if l.count == 0 {
+		return 0
+	}
+	target := int64(q * float64(l.count))
+	if target < 1 {
+		target = 1
+	}
+	if target > l.count {
+		target = l.count
+	}
+	var cum int64
+	for i, c := range l.buckets {
+		cum += c
+		if cum >= target {
+			return int64(i) + 1
+		}
+	}
+	return int64(len(l.buckets))
+}
+
+// Clone returns a deep copy.
+func (l *Latency) Clone() *Latency {
+	c := &Latency{buckets: make([]int64, len(l.buckets)), sum: l.sum, count: l.count}
+	copy(c.buckets, l.buckets)
+	return c
+}

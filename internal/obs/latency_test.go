@@ -1,0 +1,97 @@
+package obs
+
+import "testing"
+
+func TestLatencyValidation(t *testing.T) {
+	if _, err := NewLatency(0); err == nil {
+		t.Fatal("NewLatency(0) accepted")
+	}
+	if _, err := NewLatency(-3); err == nil {
+		t.Fatal("NewLatency(-3) accepted")
+	}
+}
+
+func TestLatencyObserve(t *testing.T) {
+	l, err := NewLatency(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.ObserveN(1, 2) // bucket 0
+	l.ObserveN(4, 1) // bucket 3 (= Max)
+	l.ObserveN(9, 3) // overflow bucket 4
+	l.ObserveN(0, 5) // sub-minimum clamps into overflow too
+	l.ObserveN(2, 0) // no-op
+	if got := l.Count(); got != 11 {
+		t.Fatalf("count = %d, want 11", got)
+	}
+	// sum tracks the latency as observed, clamped or not: 2*1+4+3*9+5*0
+	if got := l.Sum(); got != 33 {
+		t.Fatalf("sum = %d, want 33", got)
+	}
+	want := []int64{2, 0, 0, 1, 8}
+	for i, c := range l.Buckets() {
+		if c != want[i] {
+			t.Fatalf("buckets = %v, want %v", l.Buckets(), want)
+		}
+	}
+	if got := l.Mean(); got != 3.0 {
+		t.Fatalf("mean = %v, want 3", got)
+	}
+}
+
+func TestLatencyMergeResetClone(t *testing.T) {
+	a, _ := NewLatency(3)
+	b, _ := NewLatency(3)
+	a.ObserveN(1, 4)
+	b.ObserveN(3, 2)
+	b.ObserveN(7, 1) // overflow
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != 7 || a.Sum() != 4+6+7 {
+		t.Fatalf("after merge: count %d sum %d", a.Count(), a.Sum())
+	}
+	c := a.Clone()
+	a.Reset()
+	if a.Count() != 0 || a.Sum() != 0 {
+		t.Fatalf("after reset: count %d sum %d", a.Count(), a.Sum())
+	}
+	for _, n := range a.Buckets() {
+		if n != 0 {
+			t.Fatalf("after reset buckets = %v", a.Buckets())
+		}
+	}
+	if c.Count() != 7 {
+		t.Fatalf("clone shares state: count %d after reset", c.Count())
+	}
+	c.ObserveN(2, 1)
+	if a.Count() != 0 {
+		t.Fatal("clone writes leaked into original")
+	}
+
+	wide, _ := NewLatency(5)
+	if err := a.Merge(wide); err == nil {
+		t.Fatal("shape-mismatched merge accepted")
+	}
+}
+
+func TestLatencyQuantile(t *testing.T) {
+	l, _ := NewLatency(10)
+	if got := l.Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %d", got)
+	}
+	l.ObserveN(1, 50)
+	l.ObserveN(3, 40)
+	l.ObserveN(20, 10) // overflow reports Max+1 = 11
+	cases := []struct {
+		q    float64
+		want int64
+	}{
+		{0, 1}, {0.25, 1}, {0.5, 1}, {0.6, 3}, {0.9, 3}, {0.95, 11}, {1, 11},
+	}
+	for _, tc := range cases {
+		if got := l.Quantile(tc.q); got != tc.want {
+			t.Fatalf("Quantile(%v) = %d, want %d", tc.q, got, tc.want)
+		}
+	}
+}

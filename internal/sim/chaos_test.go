@@ -15,6 +15,8 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/bins"
+	"repro/internal/cluster"
 	"repro/internal/fault"
 )
 
@@ -361,5 +363,150 @@ func TestChaosRunStreamDelayHarmless(t *testing.T) {
 		!reflect.DeepEqual(got.ShardBalls, want.ShardBalls) ||
 		!reflect.DeepEqual(got.Checkpoints, want.Checkpoints) {
 		t.Fatal("a delay fault changed the streaming result")
+	}
+}
+
+// chaosClusterConfig is the cluster chaos spec: scheduled + stochastic
+// churn, timeouts with retries, and shedding, so every new fault site
+// is on the executed path.
+func chaosClusterConfig(t *testing.T, ctx context.Context) ClusterConfig {
+	t.Helper()
+	// Uniform peers, sustained overload: every queue is backlogged from
+	// tick 1 on, so the crashed peer always has residents to
+	// redistribute and every shard's retry task has work.
+	a, err := bins.Uniform(12, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ClusterConfig{
+		Array: a, Ticks: 20, Arrivals: 80, Seed: 5, Shards: 4, Workers: 4,
+		// Purely scheduled churn: every site's tick is exact, so a plan
+		// pinned to {op, tick, peer} always fires.
+		Churn: cluster.ChurnPlan{
+			Schedule: []cluster.ChurnEvent{
+				{Tick: 2, Peer: 7, Down: true},
+				{Tick: 6, Peer: 7, Down: false},
+			},
+		},
+		Retry:         cluster.RetryPolicy{TimeoutTicks: 2, MaxRetries: 2, BackoffBase: 1},
+		ShedThreshold: 1.5,
+		Context:       ctx,
+	}
+}
+
+// wantClusterInjected asserts err is a provenance *PanicError wrapping
+// the injected fault at the expected op and task, attributed to the
+// cluster engine.
+func wantClusterInjected(t *testing.T, err error, op fault.Op, task string) {
+	t.Helper()
+	var perr *PanicError
+	if !errors.As(err, &perr) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if perr.Engine != engRunCluster {
+		t.Fatalf("panic attributed to engine %q, want %q", perr.Engine, engRunCluster)
+	}
+	var inj *fault.Injected
+	if !errors.As(err, &inj) {
+		t.Fatalf("panic value %v is not the injected fault", perr.Value)
+	}
+	if inj.Site.Op != op {
+		t.Fatalf("fault fired at op %v, want %v", inj.Site.Op, op)
+	}
+	if perr.Task != task {
+		t.Fatalf("task %q, want %q", perr.Task, task)
+	}
+}
+
+// TestChaosRunClusterPanicSites: a panic at every churn-tolerant fault
+// site — a crash event, the ring/router rebuild, a shard's
+// redistribution task, the admission step, a shard's retry task, plus
+// the inherited routing and placement sites — surfaces as a typed
+// error with {engine, task, tick, peer/shard} provenance and strands
+// no goroutine.
+func TestChaosRunClusterPanicSites(t *testing.T) {
+	cases := []struct {
+		site fault.Site
+		task string
+	}{
+		// Rep pins the scheduled crash tick; Shard carries the peer.
+		{fault.Site{Engine: engRunCluster, Op: fault.OpCrash, Rep: 2, Shard: 7, Block: -1}, "churn"},
+		{fault.Site{Engine: engRunCluster, Op: fault.OpReshard, Rep: 2, Shard: -1, Block: -1}, "reshard"},
+		{fault.Site{Engine: engRunCluster, Op: fault.OpReshard, Rep: 2, Shard: 0, Block: -1}, "redistribute"},
+		{fault.Site{Engine: engRunCluster, Op: fault.OpShed, Rep: 3, Shard: -1, Block: -1}, "shed"},
+		{fault.Site{Engine: engRunCluster, Op: fault.OpRetry, Rep: -1, Shard: -1, Block: -1}, "retry"},
+		{fault.Site{Engine: engRunCluster, Op: fault.OpRoute, Rep: 1, Shard: -1, Block: -1}, "route"},
+		{fault.Site{Engine: engRunCluster, Op: fault.OpPlace, Rep: 1, Shard: 1, Block: -1}, "place"},
+	}
+	for _, tc := range cases {
+		for _, workers := range []int{1, 4} {
+			func() {
+				defer leakCheck(t)()
+				defer fault.Arm(fault.Plan{Match: tc.site, Do: fault.Panic, Msg: "chaos"})()
+				cfg := chaosClusterConfig(t, nil)
+				cfg.Workers = workers
+				_, err := runCluster(cfg)
+				wantClusterInjected(t, err, tc.site.Op, tc.task)
+			}()
+		}
+	}
+}
+
+// TestChaosRunClusterCancelMidTick: a context fired from inside tick
+// k's retry phase abandons that tick and returns a committed prefix
+// bit-identical to a CancelAfterTicks = k run.
+func TestChaosRunClusterCancelMidTick(t *testing.T) {
+	defer leakCheck(t)()
+	const k = 7
+	short := chaosClusterConfig(t, nil)
+	short.CancelAfterTicks = k
+	want, werr := runCluster(short)
+	var wcerr *CancelledError
+	if !errors.As(werr, &wcerr) || wcerr.CompletedTicks != k {
+		t.Fatalf("reference run: %v", werr)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	defer fault.Arm(fault.Plan{
+		Match: fault.Site{Engine: engRunCluster, Op: fault.OpRetry, Rep: k, Shard: -1, Block: -1},
+		Do:    fault.CancelRun, Cancel: cancel, Once: true,
+	})()
+	got, err := runCluster(chaosClusterConfig(t, ctx))
+	var cerr *CancelledError
+	if !errors.As(err, &cerr) {
+		t.Fatalf("err = %v, want *CancelledError", err)
+	}
+	if cerr.CompletedTicks != k {
+		t.Fatalf("completed ticks = %d, want %d", cerr.CompletedTicks, k)
+	}
+	if !reflect.DeepEqual(traceOf(got), traceOf(want)) {
+		t.Fatal("mid-tick cancellation prefix diverges from the CancelAfterTicks run")
+	}
+}
+
+// TestChaosRunClusterDelayHarmless: stalls at churn-path sites slow
+// the run but never change a bit of the degraded-mode result.
+func TestChaosRunClusterDelayHarmless(t *testing.T) {
+	want, err := runCluster(chaosClusterConfig(t, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fault.Arm(
+		fault.Plan{
+			Match: fault.Site{Engine: engRunCluster, Op: fault.OpReshard, Rep: -1, Shard: -1, Block: -1},
+			Do:    fault.Delay, Sleep: 10 * time.Millisecond,
+		},
+		fault.Plan{
+			Match: fault.Site{Engine: engRunCluster, Op: fault.OpRetry, Rep: -1, Shard: 2, Block: -1},
+			Do:    fault.Delay, Sleep: 10 * time.Millisecond,
+		},
+	)()
+	got, err := runCluster(chaosClusterConfig(t, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(traceOf(got), traceOf(want)) {
+		t.Fatal("a delay fault changed the cluster result")
 	}
 }

@@ -95,7 +95,7 @@ func RunClosed(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	if completed < cfg.Reps {
-		return res, &CancelledError{Engine: engRunClosed, CompletedReps: completed, CompletedCuts: -1, CompletedRounds: -1, Cause: cc.err()}
+		return res, &CancelledError{Engine: engRunClosed, CompletedReps: completed, CompletedCuts: -1, CompletedRounds: -1, CompletedTicks: -1, Cause: cc.err()}
 	}
 	return res, nil
 }

@@ -1,0 +1,1229 @@
+// Cluster engine: the balls-into-bins game as a churn-tolerant serving
+// system. Requests are balls, heterogeneous servers are bins, and time
+// advances in ticks; each tick dispatches an arrival batch through the
+// multinomial block router (route.go) onto live-peer weights derived
+// from a consistent-hashing ring (internal/chash), places it with the
+// PlaceBatch kernels on queue-relative load, and services up to
+// `capacity` requests per live server. Unlike every other engine,
+// membership is dynamic: peers crash and recover at tick boundaries,
+// and the request path carries the production behaviours that
+// distinguishes a serving system from a static allocation — timeouts
+// with bounded exponential-backoff retries, overload shedding, and
+// degraded-mode accounting.
+//
+// # Tick structure
+//
+// One tick is: churn → re-shard/redistribute → admission → arrival
+// dispatch → retry dispatch → service → timeout scan → observation →
+// commit.
+//
+//   - Churn (cluster.ChurnPlan): scheduled events apply first, then
+//     every peer consumes one Bernoulli draw from the tick's churn
+//     substream — in peer order, applied or not, so the draw sequence
+//     is frozen whatever the membership state. The last live peer is
+//     never taken down.
+//   - Re-shard: a crashed peer's points leave the ring incrementally
+//     (chash.Ring.RemovePeer — no rebuild, no RNG; recovery re-mounts
+//     the identical points), arc weights are recomputed, the shard
+//     router is rebuilt over the new shard weight sums, and only the
+//     shards whose weight slice changed rebuild their placers. The
+//     dead peer's resident queue is redistributed: each cohort is
+//     split over the live shard weights by largest remainder (the
+//     PR 8 rebalance rule — deterministic, no RNG) and re-placed by
+//     the destination shards' placers, KEEPING its original dispatch
+//     tick — redistribution does not reset the timeout clock.
+//   - Admission: when ShedThreshold > 0, arrivals beyond
+//     floor(threshold·live capacity) − queued are shed — counted,
+//     never silently dropped. Retries bypass admission: a request the
+//     system already accepted is not shed on its second attempt.
+//   - Dispatch: the admitted batch routes block-wise (exact
+//     multinomial count vectors) to shards and places on
+//     queue-relative load. Destinations are recovered from per-shard
+//     before/after queue deltas and recorded as cohorts — every ball
+//     of one batch shares (dispatch tick, origin tick, attempt), so
+//     per-request metadata costs O(changed bins), not O(balls).
+//   - Service: each live server completes up to `capacity` requests
+//     FIFO; response time (now − origin + 1, in ticks) folds into an
+//     exact integer obs.Latency histogram per shard.
+//   - Timeout: requests queued for TimeoutTicks or longer are pulled
+//     and either re-dispatched after a deterministic exponential
+//     backoff onto a fresh d-choice placement (an alternate candidate
+//     — the queue state has moved on) or, after MaxRetries attempts,
+//     counted failed.
+//
+// # Determinism: the substream layout is part of the model
+//
+// Global stream 0 builds the ring. One tick consumes K = Shards + 2
+// consecutive streams; tick t's base is 1 + t·K:
+//
+//	base+0      churn draws (one Float64 per peer, peer order)
+//	base+1      arrival routing (routing blocks as substreams)
+//	base+2+s    shard s placement (redistribution, then arrivals,
+//	            then retries — in that frozen phase order)
+//
+// Every stream is owned by one deterministic actor and every
+// cross-shard fold is exact-integer or in shard order, so the result —
+// counters, availability trace, latency histogram, trajectory — is a
+// pure function of the spec and bit-identical across worker
+// topologies, even with mid-flight crashes, recoveries, retries and
+// shedding (pinned by the bit-identity matrix in cluster_test.go).
+//
+// # Cancellation and faults
+//
+// Cancellation is tick-granular: a cancelled run returns a
+// *CancelledError with CompletedTicks = k plus a partial whose
+// counters, availability trace, latency histogram and trajectory are
+// bit-identical to a run configured with Ticks = k. Every pool task
+// runs behind panic containment with {engine, task, tick, peer/shard}
+// provenance. Fault sites: OpCrash (each applied churn event, peer in
+// Site.Shard), OpReshard (ring/router rebuild with Shard = −1, each
+// shard's redistribution task), OpShed (the admission step), OpRetry
+// (each shard's retry-dispatch task), plus the inherited OpRoute and
+// OpPlace sites of the routing and placement kernels.
+package sim
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/bins"
+	"repro/internal/chash"
+	"repro/internal/cluster"
+	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/protocol"
+	"repro/internal/sampling"
+	"repro/internal/xrand"
+)
+
+// ClusterConfig describes one cluster run. The engine is unexported
+// (runCluster): the only public path is Dispatch with a RunSpec whose
+// Cluster field is set, so every caller shares the eligibility checks
+// and result shape.
+type ClusterConfig struct {
+	// Array supplies the server capacities (required); ball counts are
+	// queue lengths. Cloned and reset unless AdoptArray is set.
+	Array *bins.Array
+	// Placer builds the per-shard dispatch policy (nil = Algorithm 1,
+	// d = 2) on queue-relative load.
+	Placer protocol.Factory
+	// Ticks is the horizon (>= 1).
+	Ticks int
+	// Arrivals is the per-tick request count (>= 0).
+	Arrivals int64
+	// VnodesPerUnit gives every peer capacity·VnodesPerUnit ring
+	// points (0 = 2), so arc shares are capacity-proportional in
+	// expectation — the ring-level version of the paper's non-uniform
+	// selection probabilities.
+	VnodesPerUnit int
+	// Churn is the crash/recover plan (zero value = no churn).
+	Churn cluster.ChurnPlan
+	// Retry is the timeout/retry policy (zero value = no timeouts).
+	Retry cluster.RetryPolicy
+	// ShedThreshold arms admission control when > 0: arrivals that
+	// would push the total queue beyond threshold·(live capacity) are
+	// shed. 0 admits everything.
+	ShedThreshold float64
+	// LatencyMax is the latency histogram's top bucket in ticks
+	// (0 = 32); completions slower than that land in the overflow
+	// bucket.
+	LatencyMax int
+	// Seed is the base RNG seed; see the package comment for the
+	// frozen per-tick substream layout.
+	Seed uint64
+	// Shards is the shard count (0 = DefaultShards, clamped to n).
+	// Part of the model, like Seed.
+	Shards int
+	// Workers caps parallelism (0 = GOMAXPROCS). Never affects the
+	// result, only the wall clock.
+	Workers int
+	// Context, when non-nil, arms cooperative cancellation: a fired
+	// context stops the run at the next task or phase boundary and
+	// returns the completed-tick prefix.
+	Context context.Context
+	// AdoptArray lets the engine mutate Array in place (reset first)
+	// instead of cloning it.
+	AdoptArray bool
+	// CancelAfterTicks, when positive, deterministically stops the run
+	// after exactly that many completed ticks, as if the context had
+	// fired there (Cause == nil).
+	CancelAfterTicks int
+
+	// ObsOptions is the shared observation block. Checkpoints are TICK
+	// indices — cut k observes queue occupancy and the maximum
+	// queue-relative load at the end of tick Checkpoints[k] (1-based) —
+	// HeightLevels reports the final queue-depth distribution through
+	// the LoadHistogram kernel, and the per-ball height histogram
+	// (HeightBins) is not collected.
+	ObsOptions
+}
+
+// ClusterResult aggregates one cluster run. All counters cover the
+// COMPLETED-tick prefix (== the whole run unless cancelled).
+type ClusterResult struct {
+	// N is the number of peers; Shards the realised shard count; Ticks
+	// the number of completed ticks.
+	N      int
+	Shards int
+	Ticks  int
+	// Request accounting. Conservation:
+	// Admitted + Retried = Completed + TimedOut + FinalQueued and
+	// Admitted = Completed + Failed + PendingRetry + FinalQueued.
+	Arrived       int64 // offered requests
+	Shed          int64 // rejected by admission control
+	Admitted      int64 // accepted into the system
+	Dispatched    int64 // balls placed: Admitted + Retried + Redistributed
+	Completed     int64 // serviced
+	TimedOut      int64 // pulled from a queue after TimeoutTicks
+	Retried       int64 // re-dispatched after a timeout
+	Failed        int64 // timed out with retries exhausted
+	Redistributed int64 // moved off crashed peers
+	FinalQueued   int64 // resident at the horizon
+	PendingRetry  int64 // timed out, waiting on backoff at the horizon
+	// Churn accounting.
+	Crashes    int
+	Recoveries int
+	// LivePerTick[t] is the live-peer count during tick t (after that
+	// tick's churn); Availability its mean over peers and ticks.
+	LivePerTick  []int
+	Availability float64
+	// Latency is the exact integer response-time histogram of every
+	// completed request (goodput = Latency.Count() == Completed).
+	Latency *obs.Latency
+	// Checkpoints holds the tick-indexed trajectory rows (Balls is the
+	// tick index, RealBalls the queued-request count at that tick's
+	// end, MaxLoad the maximum queue-relative load).
+	Checkpoints []obs.CheckpointRow
+	// Final-state fields, zero/nil on a cancelled run: the maximum and
+	// average queue-relative load at the horizon, the queue-depth
+	// height counts (when HeightLevels was requested), and the final
+	// queue state itself.
+	MaxQueueLoad float64
+	AvgQueueLoad float64
+	HeightCounts []obs.HeightRow
+	Array        *bins.Array
+}
+
+func (c *ClusterConfig) validate() (shards int, err error) {
+	if c.Array == nil {
+		return 0, fmt.Errorf("sim: RunCluster needs an Array")
+	}
+	if c.Ticks < 1 {
+		return 0, fmt.Errorf("sim: Ticks = %d, need >= 1", c.Ticks)
+	}
+	if c.Arrivals < 0 {
+		return 0, fmt.Errorf("sim: Arrivals = %d, need >= 0", c.Arrivals)
+	}
+	if c.VnodesPerUnit < 0 {
+		return 0, fmt.Errorf("sim: VnodesPerUnit = %d, need >= 0", c.VnodesPerUnit)
+	}
+	if c.ShedThreshold < 0 || c.ShedThreshold != c.ShedThreshold {
+		return 0, fmt.Errorf("sim: ShedThreshold = %v, need >= 0", c.ShedThreshold)
+	}
+	if c.LatencyMax < 0 {
+		return 0, fmt.Errorf("sim: LatencyMax = %d, need >= 0", c.LatencyMax)
+	}
+	if c.Workers < 0 {
+		return 0, fmt.Errorf("sim: Workers = %d, need >= 0", c.Workers)
+	}
+	if c.CancelAfterTicks < 0 {
+		return 0, fmt.Errorf("sim: CancelAfterTicks = %d, need >= 0", c.CancelAfterTicks)
+	}
+	n := c.Array.N()
+	if err := c.Churn.Validate(n); err != nil {
+		return 0, fmt.Errorf("sim: %w", err)
+	}
+	if err := c.Retry.Validate(); err != nil {
+		return 0, fmt.Errorf("sim: %w", err)
+	}
+	if err := c.ObsOptions.validate(); err != nil {
+		return 0, err
+	}
+	if err := c.ObsOptions.rejectHeightBins("the cluster engine"); err != nil {
+		return 0, err
+	}
+	shards = c.Shards
+	if shards == 0 {
+		shards = DefaultShards
+		if shards > n {
+			shards = n
+		}
+	} else if shards < 1 || shards > n {
+		return 0, fmt.Errorf("sim: Shards = %d outside [1,%d]", c.Shards, n)
+	}
+	return shards, nil
+}
+
+// Cluster task kinds; the kind also names the PanicError task.
+const (
+	clusterTaskSetup = iota
+	clusterTaskRoute
+	clusterTaskPlace
+	clusterTaskRedist
+	clusterTaskRetry
+	clusterTaskServe
+	clusterTaskExpire
+	clusterTaskObserve
+)
+
+var clusterTaskNames = [...]string{"setup", "route", "place", "redistribute", "retry", "serve", "expire", "observe"}
+
+type clusterTask struct {
+	kind int32
+	idx  int32
+}
+
+// cohort is a batch of requests sharing (dispatch tick, origin tick,
+// attempt): one FIFO queue entry per peer per batch, so per-request
+// metadata costs O(batches), not O(requests). It doubles as the
+// work-list item of the redistribution/retry phases and the expired
+// record of the timeout scan (disp unused there).
+type cohort struct {
+	disp  int32 // dispatch tick (timeout clock; preserved across redistribution)
+	orig  int32 // original arrival tick (latency clock)
+	att   int16 // retry attempt (0 = first dispatch)
+	count int64
+}
+
+// retryEntry is one timed-out batch waiting for its backoff to elapse.
+type retryEntry struct {
+	orig  int32
+	att   int16 // the attempt this retry will be (1-based)
+	count int64
+}
+
+// clusterState is the engine's whole working set, allocated once.
+type clusterState struct {
+	cfg    *ClusterConfig
+	cc     *canceller
+	arr    *bins.Array
+	n      int
+	shards int
+	seed   uint64
+	kk     uint64 // RNG streams consumed per tick: shards + 2
+
+	ring      *chash.Ring
+	weights   []float64 // live per-peer arc weights (0 = dead)
+	prevW     []float64 // last weights the placers were built over
+	caps      []int64
+	totalCap  int64
+	liveCap   int64
+	live      []bool
+	nLive     int
+	peerShard []int32
+
+	factory protocol.Factory
+	bounds  []int
+	shardW  []float64
+	sumW    float64
+	router  *sampling.Multinomial
+	views   []*bins.Array
+	placers []protocol.Placer
+	dirty   []bool
+
+	queues         [][]cohort           // per-peer FIFO of resident cohorts
+	retryQ         map[int][]retryEntry // due tick -> timed-out batches
+	work           [][]cohort           // per-shard redistribution/retry work lists
+	aport          []int64              // apportionment scratch
+	ap             apportion
+	before         [][]int64 // per-shard queue-snapshot scratch (delta scans)
+	svcLat         []*obs.Latency
+	svcDone        []int64
+	expired        [][]cohort
+	crashedScratch []int
+
+	rands  []xrand.Rand
+	crand  xrand.Rand
+	groups []routeGroup
+	counts []int64
+
+	cuts     []int64
+	nCuts    int
+	nextCut  int
+	cp       *obs.Checkpoints
+	trackRow []float64
+	trackMat [][]float64
+	maxOut   []float64
+
+	taskCh chan clusterTask
+	wg     sync.WaitGroup
+	errs   []error
+
+	// Tick-scoped fields, written by the orchestrator strictly between
+	// phase barriers.
+	tick         int
+	tbase        uint64
+	rrbase       uint64
+	curM         int64
+	rgr          int
+	nextEv       int
+	liveQ        int64 // live queued-request total
+	pendingRetry int64
+
+	// Committed prefix: updated only when a tick completes, so a
+	// cancelled run reports exactly the completed-tick state.
+	ticksDone     int
+	arrived       int64
+	shed          int64
+	admitted      int64
+	dispatched    int64
+	completed     int64
+	timedOut      int64
+	retried       int64
+	failed        int64
+	redistributed int64
+	crashes       int
+	recoveries    int
+	livePerTick   []int
+	lat           *obs.Latency
+	cQueued       int64
+	cPending      int64
+}
+
+// runCluster executes one cluster run. Unexported by design: Dispatch
+// (RunSpec.Cluster) is the only public entry point.
+func runCluster(cfg ClusterConfig) (*ClusterResult, error) {
+	shards, err := cfg.validate()
+	if err != nil {
+		return nil, err
+	}
+	cc := newCanceller(cfg.Context)
+	defer cc.stop()
+	arr := cfg.Array
+	if !cfg.AdoptArray {
+		arr = cfg.Array.Clone()
+	}
+	arr.Reset()
+	n := arr.N()
+
+	st := &clusterState{
+		cfg:    &cfg,
+		cc:     cc,
+		arr:    arr,
+		n:      n,
+		shards: shards,
+		seed:   cfg.Seed,
+		kk:     uint64(shards + 2),
+	}
+	st.caps = arr.Capacities()
+	st.totalCap = arr.TotalCapacity()
+	st.liveCap = st.totalCap
+
+	// Global stream 0: ring construction. The vnode positions are the
+	// only randomness membership ever consumes — churn splices cached
+	// points, so a crash/recover cycle is RNG-free.
+	vpu := cfg.VnodesPerUnit
+	if vpu == 0 {
+		vpu = 2
+	}
+	st.ring, err = chash.NewWeightedRing(st.caps, vpu, xrand.NewStream(cfg.Seed, 0))
+	if err != nil {
+		return nil, fmt.Errorf("sim: RunCluster ring: %w", err)
+	}
+	st.weights = st.ring.ArcLengths()
+	st.prevW = make([]float64, n)
+	copy(st.prevW, st.weights)
+	st.live = make([]bool, n)
+	for i := range st.live {
+		st.live[i] = true
+	}
+	st.nLive = n
+
+	st.factory = cfg.Placer
+	if st.factory == nil {
+		st.factory = protocol.GreedyFactory(2)
+	}
+	st.bounds, st.shardW, st.router, err = shardPlan(st.weights, n, shards)
+	if err != nil {
+		return nil, fmt.Errorf("sim: RunCluster router: %w", err)
+	}
+	for _, w := range st.shardW {
+		st.sumW += w
+	}
+	st.peerShard = make([]int32, n)
+	for s := 0; s < shards; s++ {
+		for i := st.bounds[s]; i < st.bounds[s+1]; i++ {
+			st.peerShard[i] = int32(s)
+		}
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	rg := workers
+	if nb := numRouteBlocks(cfg.Arrivals); rg > nb {
+		rg = nb
+	}
+	if rg < 1 {
+		rg = 1
+	}
+	st.groups = newRouteGroups(rg, shards, 0)
+
+	lim := shards
+	if lim < rg {
+		lim = rg
+	}
+	pool := workers
+	if pool > lim {
+		pool = lim
+	}
+	st.errs = make([]error, lim)
+	st.taskCh = make(chan clusterTask)
+
+	st.counts = make([]int64, shards)
+	st.aport = make([]int64, shards)
+	st.ap = apportion{rem: make([]float64, shards), idx: make([]int, 0, shards)}
+	st.dirty = make([]bool, shards)
+	st.rands = make([]xrand.Rand, shards)
+	st.views = make([]*bins.Array, shards)
+	st.placers = make([]protocol.Placer, shards)
+	st.work = make([][]cohort, shards)
+	st.before = make([][]int64, shards)
+	st.svcLat = make([]*obs.Latency, shards)
+	st.svcDone = make([]int64, shards)
+	st.expired = make([][]cohort, shards)
+	st.queues = make([][]cohort, n)
+	st.retryQ = make(map[int][]retryEntry)
+	st.crashedScratch = make([]int, 0, n)
+	st.livePerTick = make([]int, 0, cfg.Ticks)
+
+	latMax := cfg.LatencyMax
+	if latMax == 0 {
+		latMax = 32
+	}
+	st.lat, err = obs.NewLatency(latMax)
+	if err != nil {
+		return nil, fmt.Errorf("sim: RunCluster: %w", err)
+	}
+	for s := 0; s < shards; s++ {
+		st.views[s], err = arr.Shard(st.bounds[s], st.bounds[s+1])
+		if err != nil {
+			return nil, fmt.Errorf("sim: RunCluster shard %d: %w", s, err)
+		}
+		st.before[s] = make([]int64, st.views[s].N())
+		st.svcLat[s], _ = obs.NewLatency(latMax)
+		st.dirty[s] = true // initial build: every placer
+	}
+
+	cuts, _ := obs.NormalizeCuts(cfg.Checkpoints) // validated above
+	st.cuts = cuts
+	st.nCuts = obs.CountReached(cuts, int64(cfg.Ticks))
+	if len(cuts) > 0 {
+		st.cp = obs.NewCheckpoints(cuts)
+	}
+	st.trackRow = make([]float64, shards)
+	st.trackMat = [][]float64{st.trackRow}
+	st.maxOut = make([]float64, 1)
+
+	for w := 0; w < pool; w++ {
+		go st.serve()
+	}
+	res, err := st.orchestrate(cfg.Ticks)
+	close(st.taskCh)
+	return res, err
+}
+
+func (st *clusterState) serve() {
+	for t := range st.taskCh {
+		st.do(t)
+	}
+}
+
+// do executes one task. Task state is indexed by (kind, idx) and every
+// task touches only its own shard's (or routing group's) peers,
+// queues and scratch, so any scheduling onto workers is bit-identical.
+func (st *clusterState) do(t clusterTask) {
+	defer st.wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			st.errs[t.idx] = newPanicError(engRunCluster, clusterTaskNames[t.kind], st.tick, int(t.idx), r)
+		}
+	}()
+	s := int(t.idx)
+	switch t.kind {
+	case clusterTaskSetup:
+		st.setupShard(s)
+	case clusterTaskRoute:
+		st.groups[s].reset()
+		st.groups[s].route(st.cc, engRunCluster, st.tick, st.rrbase, st.router, st.curM, s, st.rgr, nil, nil)
+	case clusterTaskPlace:
+		if st.counts[s] > 0 {
+			tick := int32(st.tick)
+			st.placeCohort(s, tick, tick, 0, st.counts[s])
+		}
+	case clusterTaskRedist:
+		if len(st.work[s]) > 0 {
+			if fault.Enabled {
+				fault.Hit(fault.Site{Engine: engRunCluster, Op: fault.OpReshard, Rep: st.tick, Shard: s, Block: -1})
+			}
+			for _, it := range st.work[s] {
+				st.placeCohort(s, it.disp, it.orig, it.att, it.count)
+			}
+			st.work[s] = st.work[s][:0]
+		}
+	case clusterTaskRetry:
+		if len(st.work[s]) > 0 {
+			if fault.Enabled {
+				fault.Hit(fault.Site{Engine: engRunCluster, Op: fault.OpRetry, Rep: st.tick, Shard: s, Block: -1})
+			}
+			for _, it := range st.work[s] {
+				st.placeCohort(s, it.disp, it.orig, it.att, it.count)
+			}
+			st.work[s] = st.work[s][:0]
+		}
+	case clusterTaskServe:
+		st.serveShard(s)
+	case clusterTaskExpire:
+		st.expireShard(s)
+	case clusterTaskObserve:
+		st.trackRow[s] = st.views[s].MaxLoad()
+	}
+}
+
+// setupShard (re)builds shard s's placer over the current live-peer
+// weight slice. Only shards whose weights changed since the last build
+// are dirty; a shard whose live weight vanished entirely (every peer
+// down) gets a nil placer — the router can never route a ball there.
+func (st *clusterState) setupShard(s int) {
+	if !st.dirty[s] {
+		return
+	}
+	st.dirty[s] = false
+	w := st.weights[st.bounds[s]:st.bounds[s+1]]
+	var sum float64
+	for _, v := range w {
+		sum += v
+	}
+	if sum <= 0 {
+		st.placers[s] = nil
+		return
+	}
+	st.placers[s], st.errs[s] = st.factory(st.views[s], w)
+}
+
+// placeCohort places one batch on shard s and records the receiving
+// peers: snapshot the shard's queue lengths, run the placement kernel,
+// and append a cohort to every peer whose queue grew. All balls of the
+// batch share (disp, orig, att), so the delta scan loses nothing.
+func (st *clusterState) placeCohort(s int, disp, orig int32, att int16, count int64) {
+	if count == 0 {
+		return
+	}
+	view := st.views[s]
+	lo := st.bounds[s]
+	b := st.before[s]
+	for i := range b {
+		b[i] = view.Balls(i)
+	}
+	placeSegment(st.cc, engRunCluster, st.tick, s, st.placers[s], view, &st.rands[s], count)
+	for i := range b {
+		if d := view.Balls(i) - b[i]; d > 0 {
+			st.queues[lo+i] = append(st.queues[lo+i], cohort{disp: disp, orig: orig, att: att, count: d})
+		}
+	}
+}
+
+// serveShard is the tick's service phase on shard s: every live peer
+// completes up to `capacity` requests FIFO, folding response times
+// into the shard's per-tick latency scratch.
+func (st *clusterState) serveShard(s int) {
+	lat := st.svcLat[s]
+	lat.Reset()
+	var done int64
+	now := int64(st.tick)
+	for p := st.bounds[s]; p < st.bounds[s+1]; p++ {
+		if !st.live[p] {
+			continue
+		}
+		q := st.queues[p]
+		budget := st.caps[p]
+		var served int64
+		for budget > 0 && len(q) > 0 {
+			c := &q[0]
+			take := c.count
+			if take > budget {
+				take = budget
+			}
+			lat.ObserveN(now-int64(c.orig)+1, take)
+			c.count -= take
+			budget -= take
+			served += take
+			if c.count == 0 {
+				q = q[1:]
+			}
+		}
+		st.queues[p] = q
+		if served > 0 {
+			st.views[s].RemoveBalls(p-st.bounds[s], served)
+			done += served
+		}
+	}
+	st.svcDone[s] = done
+}
+
+// expireShard is the tick's timeout scan on shard s: cohorts
+// dispatched at or before tick − TimeoutTicks leave their queues and
+// are recorded for the orchestrator's retry/failure fold. The scan
+// covers whole queues, not just heads — redistributed cohorts keep
+// their original dispatch ticks, so a queue is not disp-sorted.
+func (st *clusterState) expireShard(s int) {
+	cutoff := int32(st.tick - st.cfg.Retry.TimeoutTicks)
+	exp := st.expired[s][:0]
+	for p := st.bounds[s]; p < st.bounds[s+1]; p++ {
+		q := st.queues[p]
+		kept := q[:0]
+		var gone int64
+		for _, c := range q {
+			if c.disp <= cutoff {
+				exp = append(exp, c)
+				gone += c.count
+			} else {
+				kept = append(kept, c)
+			}
+		}
+		st.queues[p] = kept
+		if gone > 0 {
+			st.views[s].RemoveBalls(p-st.bounds[s], gone)
+		}
+	}
+	st.expired[s] = exp
+}
+
+func (st *clusterState) runPhase(kind int32, count int, label string) error {
+	for i := 0; i < count; i++ {
+		st.wg.Add(1)
+		st.taskCh <- clusterTask{kind: kind, idx: int32(i)}
+	}
+	st.wg.Wait()
+	for i := 0; i < count; i++ {
+		if err := st.errs[i]; err != nil {
+			clear(st.errs[:count])
+			return fmt.Errorf("sim: RunCluster %s %d: %w", label, i, err)
+		}
+	}
+	return nil
+}
+
+// crash takes peer p off the ring. Returns false when the event does
+// not apply (already down, or p is the last live peer — the engine
+// degrades, it never dies).
+func (st *clusterState) crash(t, p int) bool {
+	if !st.live[p] || st.nLive <= 1 {
+		return false
+	}
+	if fault.Enabled {
+		fault.Hit(fault.Site{Engine: engRunCluster, Op: fault.OpCrash, Rep: t, Shard: p, Block: -1})
+	}
+	if err := st.ring.RemovePeer(p); err != nil {
+		panic(err) // state mirrors ring liveness; contained by churnStep
+	}
+	st.live[p] = false
+	st.nLive--
+	st.liveCap -= st.caps[p]
+	return true
+}
+
+// revive re-mounts peer p's remembered ring points. Returns false when
+// p is already live.
+func (st *clusterState) revive(t, p int) bool {
+	if st.live[p] {
+		return false
+	}
+	if fault.Enabled {
+		fault.Hit(fault.Site{Engine: engRunCluster, Op: fault.OpCrash, Rep: t, Shard: p, Block: -1})
+	}
+	if err := st.ring.AddPeer(p); err != nil {
+		panic(err)
+	}
+	st.live[p] = true
+	st.nLive++
+	st.liveCap += st.caps[p]
+	return true
+}
+
+// churnStep applies tick t's membership changes: scheduled events
+// first, then one Bernoulli draw per peer (in peer order, consumed
+// whether or not it applies) from the tick's churn substream. It runs
+// on the orchestrator behind its own recover.
+func (st *clusterState) churnStep(t int) (crashed []int, recovered int, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			crashed, recovered = nil, 0
+			err = fmt.Errorf("sim: RunCluster churn: %w", newPanicError(engRunCluster, "churn", t, -1, r))
+		}
+	}()
+	crashed = st.crashedScratch[:0]
+	sched := st.cfg.Churn.Schedule
+	for st.nextEv < len(sched) && sched[st.nextEv].Tick <= t {
+		e := sched[st.nextEv]
+		st.nextEv++
+		if e.Tick < t {
+			continue
+		}
+		if e.Down {
+			if st.crash(t, e.Peer) {
+				crashed = append(crashed, e.Peer)
+			}
+		} else if st.revive(t, e.Peer) {
+			recovered++
+		}
+	}
+	if st.cfg.Churn.Stochastic() {
+		st.crand.Seed(xrand.Mix64(st.seed, st.tbase))
+		for p := 0; p < st.n; p++ {
+			u := st.crand.Float64()
+			if st.live[p] {
+				if u < st.cfg.Churn.CrashProb && st.crash(t, p) {
+					crashed = append(crashed, p)
+				}
+			} else if u < st.cfg.Churn.RecoverProb && st.revive(t, p) {
+				recovered++
+			}
+		}
+	}
+	st.crashedScratch = crashed[:0]
+	return crashed, recovered, nil
+}
+
+// reshardPlan recomputes routing after churn: fresh arc weights from
+// the spliced ring, per-shard weight sums, a rebuilt multinomial
+// router, and dirty marks on exactly the shards whose weight slice
+// changed. Orchestrator-side, behind its own recover.
+func (st *clusterState) reshardPlan(t int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("sim: RunCluster reshard: %w", newPanicError(engRunCluster, "reshard", t, -1, r))
+		}
+	}()
+	if fault.Enabled {
+		fault.Hit(fault.Site{Engine: engRunCluster, Op: fault.OpReshard, Rep: t, Shard: -1, Block: -1})
+	}
+	st.weights = st.ring.ArcLengthsInto(st.weights)
+	for i := 0; i < st.n; i++ {
+		if st.weights[i] != st.prevW[i] {
+			st.dirty[st.peerShard[i]] = true
+			st.prevW[i] = st.weights[i]
+		}
+	}
+	st.sumW = 0
+	for s := 0; s < st.shards; s++ {
+		var w float64
+		for i := st.bounds[s]; i < st.bounds[s+1]; i++ {
+			w += st.weights[i]
+		}
+		st.shardW[s] = w
+		st.sumW += w
+	}
+	router, rerr := sampling.NewMultinomial(st.shardW)
+	if rerr != nil {
+		return rerr // unreachable while a peer lives; surfaced loudly if not
+	}
+	st.router = router
+	return nil
+}
+
+// admission is the shedding step: of the tick's arrivals, admit what
+// fits under threshold × live capacity given the current occupancy and
+// shed the rest. Orchestrator-side, behind its own recover so an
+// injected OpShed fault surfaces as a provenance error.
+func (st *clusterState) admission(t int, arrived int64, th float64) (admit, shed int64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			admit, shed = 0, 0
+			err = fmt.Errorf("sim: RunCluster admission: %w", newPanicError(engRunCluster, "shed", t, -1, r))
+		}
+	}()
+	if fault.Enabled {
+		fault.Hit(fault.Site{Engine: engRunCluster, Op: fault.OpShed, Rep: t, Shard: -1, Block: -1})
+	}
+	admit = arrived
+	room := int64(math.Floor(th*float64(st.liveCap))) - st.liveQ
+	if room < 0 {
+		room = 0
+	}
+	if admit > room {
+		admit = room
+		shed = arrived - admit
+	}
+	return admit, shed, nil
+}
+
+// apportionLive splits m balls over the live shard weights by largest
+// remainder — floor quotas, then one extra per candidate in
+// descending-residue order (ties by shard index) — the PR 8 rebalance
+// rule: deterministic, integer-exact, no RNG.
+func (st *clusterState) apportionLive(m int64, out []int64) {
+	clear(out)
+	if m == 0 || st.sumW <= 0 {
+		return
+	}
+	st.ap.idx = st.ap.idx[:0]
+	var assigned int64
+	for s := 0; s < st.shards; s++ {
+		if st.shardW[s] <= 0 {
+			continue
+		}
+		ideal := float64(m) * st.shardW[s] / st.sumW
+		q := math.Floor(ideal)
+		out[s] = int64(q)
+		st.ap.rem[s] = ideal - q
+		assigned += int64(q)
+		st.ap.idx = append(st.ap.idx, s)
+	}
+	if len(st.ap.idx) == 0 {
+		return
+	}
+	sort.Sort(&st.ap)
+	k := len(st.ap.idx)
+	for r := m - assigned; r > 0; {
+		for j := 0; j < k && r > 0; j++ {
+			out[st.ap.idx[j]]++
+			r--
+		}
+	}
+	for r := assigned - m; r > 0; {
+		for j := k - 1; j >= 0 && r > 0; j-- {
+			if out[st.ap.idx[j]] > 0 {
+				out[st.ap.idx[j]]--
+				r--
+			}
+		}
+	}
+}
+
+// redistribute drains the queues of this tick's crashed peers: each
+// resident cohort leaves its dead queue, is split over the live shard
+// weights, and re-placed by the destination shards — keeping its
+// original dispatch AND origin ticks, so neither the timeout nor the
+// latency clock resets. Returns the number of requests moved.
+func (st *clusterState) redistribute(crashed []int) (int64, error) {
+	var moved int64
+	for _, p := range crashed {
+		q := st.queues[p]
+		st.queues[p] = nil
+		s := int(st.peerShard[p])
+		for _, c := range q {
+			st.views[s].RemoveBalls(p-st.bounds[s], c.count)
+			st.apportionLive(c.count, st.aport)
+			for s2, cnt := range st.aport {
+				if cnt > 0 {
+					st.work[s2] = append(st.work[s2], cohort{disp: c.disp, orig: c.orig, att: c.att, count: cnt})
+				}
+			}
+			moved += c.count
+		}
+	}
+	if moved == 0 {
+		return 0, nil
+	}
+	if err := st.runPhase(clusterTaskRedist, st.shards, "redistribution shard"); err != nil {
+		return 0, err
+	}
+	return moved, nil
+}
+
+// orchestrate runs the setup phase and then the ticks, committing the
+// completed-tick prefix as it goes.
+func (st *clusterState) orchestrate(ticks int) (*ClusterResult, error) {
+	if err := st.runPhase(clusterTaskSetup, st.shards, "setup shard"); err != nil {
+		return nil, err
+	}
+	if st.cc.cancelled() {
+		return st.partial()
+	}
+	for t := 0; t < ticks; t++ {
+		ok, err := st.runTick(t)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return st.partial()
+		}
+		if ca := st.cfg.CancelAfterTicks; ca > 0 && st.ticksDone == ca && st.ticksDone < ticks {
+			return st.partialSelfCancel()
+		}
+	}
+	return st.final()
+}
+
+// runTick executes tick t. ok == false means the tick was abandoned at
+// a cancellation point — nothing of it is committed.
+func (st *clusterState) runTick(t int) (ok bool, err error) {
+	if st.cc.cancelled() {
+		return false, nil
+	}
+	st.tick = t
+	st.tbase = 1 + uint64(t)*st.kk
+	// Placement streams are re-seeded for EVERY shard at the start of
+	// every tick, so a shard's draws depend only on (seed, tick,
+	// shard), never on the traffic of earlier ticks.
+	for s := 0; s < st.shards; s++ {
+		st.rands[s].Seed(xrand.Mix64(st.seed, st.tbase+2+uint64(s)))
+	}
+
+	// Phase 1 — churn + incremental re-shard + redistribution.
+	crashed, recovered, err := st.churnStep(t)
+	if err != nil {
+		return false, err
+	}
+	tickLive := st.nLive
+	var movedT int64
+	if len(crashed) > 0 || recovered > 0 {
+		if err := st.reshardPlan(t); err != nil {
+			return false, err
+		}
+		if st.cc.cancelled() {
+			return false, nil
+		}
+		if err := st.runPhase(clusterTaskSetup, st.shards, "setup shard"); err != nil {
+			return false, err
+		}
+		if st.cc.cancelled() {
+			return false, nil
+		}
+		movedT, err = st.redistribute(crashed)
+		if err != nil {
+			return false, err
+		}
+		if st.cc.cancelled() {
+			return false, nil
+		}
+	}
+
+	// Phase 2 — admission: shed what would push the cluster past
+	// ShedThreshold × live capacity. Counted, never silently dropped.
+	arrivedT := st.cfg.Arrivals
+	admitT := arrivedT
+	var shedT int64
+	if th := st.cfg.ShedThreshold; th > 0 {
+		admitT, shedT, err = st.admission(t, arrivedT, th)
+		if err != nil {
+			return false, err
+		}
+	}
+
+	// Phase 3 — arrival dispatch: block-wise multinomial routing over
+	// the live shard weights, then per-shard placement.
+	if admitT > 0 {
+		st.curM = admitT
+		st.rrbase = xrand.Mix64(st.seed, st.tbase+1)
+		rgr := len(st.groups)
+		if nb := numRouteBlocks(admitT); rgr > nb {
+			rgr = nb
+		}
+		st.rgr = rgr
+		if err := st.runPhase(clusterTaskRoute, rgr, "routing group"); err != nil {
+			return false, err
+		}
+		if st.cc.cancelled() {
+			return false, nil
+		}
+		mergeRouteGroups(st.groups[:rgr], st.counts, nil)
+		if err := st.runPhase(clusterTaskPlace, st.shards, "shard"); err != nil {
+			return false, err
+		}
+		if st.cc.cancelled() {
+			return false, nil
+		}
+		st.liveQ += admitT
+	}
+
+	// Phase 4 — retry dispatch: batches whose backoff elapses this
+	// tick re-enter, apportioned over the live shard weights and
+	// re-placed on the CURRENT queue state — a fresh d-choice
+	// placement, hence an alternate candidate. Retries bypass
+	// admission.
+	var retriedT int64
+	if due := st.retryQ[t]; len(due) > 0 {
+		delete(st.retryQ, t)
+		for _, e := range due {
+			st.apportionLive(e.count, st.aport)
+			for s, cnt := range st.aport {
+				if cnt > 0 {
+					st.work[s] = append(st.work[s], cohort{disp: int32(t), orig: e.orig, att: e.att, count: cnt})
+				}
+			}
+			retriedT += e.count
+		}
+		st.pendingRetry -= retriedT
+		if err := st.runPhase(clusterTaskRetry, st.shards, "retry shard"); err != nil {
+			return false, err
+		}
+		if st.cc.cancelled() {
+			return false, nil
+		}
+		st.liveQ += retriedT
+	}
+
+	// Phase 5 — service.
+	if err := st.runPhase(clusterTaskServe, st.shards, "service shard"); err != nil {
+		return false, err
+	}
+	if st.cc.cancelled() {
+		return false, nil
+	}
+	var doneT int64
+	for s := 0; s < st.shards; s++ {
+		doneT += st.svcDone[s]
+	}
+	st.liveQ -= doneT
+
+	// Phase 6 — timeout scan: requests queued TimeoutTicks or longer
+	// leave their queues; each either schedules a backed-off retry or
+	// — retries exhausted — counts failed.
+	var timedOutT, failedT int64
+	if st.cfg.Retry.TimeoutTicks > 0 {
+		if err := st.runPhase(clusterTaskExpire, st.shards, "timeout shard"); err != nil {
+			return false, err
+		}
+		if st.cc.cancelled() {
+			return false, nil
+		}
+		for s := 0; s < st.shards; s++ {
+			for _, e := range st.expired[s] {
+				timedOutT += e.count
+				if int(e.att) < st.cfg.Retry.MaxRetries {
+					att := e.att + 1
+					dueTick := t + st.cfg.Retry.Backoff(int(att))
+					st.retryQ[dueTick] = append(st.retryQ[dueTick], retryEntry{orig: e.orig, att: att, count: e.count})
+					st.pendingRetry += e.count
+				} else {
+					failedT += e.count
+				}
+			}
+		}
+		st.liveQ -= timedOutT
+	}
+
+	// Phase 7 — observation: a cut at tick t+1 snapshots queue
+	// occupancy and max queue-relative load before the commit.
+	if st.nextCut < st.nCuts && st.cuts[st.nextCut] == int64(t)+1 {
+		if err := st.runPhase(clusterTaskObserve, st.shards, "observe shard"); err != nil {
+			return false, err
+		}
+		if st.cc.cancelled() {
+			return false, nil
+		}
+		combineShardMaxima(st.trackMat, st.maxOut)
+		st.cp.Observe(st.nextCut, st.liveQ, st.totalCap, st.maxOut[0])
+		st.nextCut++
+	}
+
+	// Commit: the tick is now part of the result prefix. Latency folds
+	// in shard order — integer adds, exactly associative.
+	st.ticksDone = t + 1
+	st.arrived += arrivedT
+	st.shed += shedT
+	st.admitted += admitT
+	st.retried += retriedT
+	st.redistributed += movedT
+	st.dispatched += admitT + retriedT + movedT
+	st.completed += doneT
+	st.timedOut += timedOutT
+	st.failed += failedT
+	st.crashes += len(crashed)
+	st.recoveries += recovered
+	st.livePerTick = append(st.livePerTick, tickLive)
+	for s := 0; s < st.shards; s++ {
+		if err := st.lat.Merge(st.svcLat[s]); err != nil {
+			return false, err
+		}
+	}
+	st.cQueued = st.liveQ
+	st.cPending = st.pendingRetry
+	return true, nil
+}
+
+// partialResult builds the committed-prefix result every exit shares.
+func (st *clusterState) partialResult() *ClusterResult {
+	res := &ClusterResult{
+		N:             st.n,
+		Shards:        st.shards,
+		Ticks:         st.ticksDone,
+		Arrived:       st.arrived,
+		Shed:          st.shed,
+		Admitted:      st.admitted,
+		Dispatched:    st.dispatched,
+		Completed:     st.completed,
+		TimedOut:      st.timedOut,
+		Retried:       st.retried,
+		Failed:        st.failed,
+		Redistributed: st.redistributed,
+		FinalQueued:   st.cQueued,
+		PendingRetry:  st.cPending,
+		Crashes:       st.crashes,
+		Recoveries:    st.recoveries,
+		LivePerTick:   st.livePerTick,
+		Latency:       st.lat,
+	}
+	if st.ticksDone > 0 {
+		var liveSum int64
+		for _, l := range st.livePerTick {
+			liveSum += int64(l)
+		}
+		res.Availability = float64(liveSum) / float64(int64(st.n)*int64(st.ticksDone))
+	}
+	if st.cp != nil {
+		res.Checkpoints = st.cp.Rows()
+	}
+	return res
+}
+
+// partial is the context-cancelled exit: the committed-tick prefix
+// plus a *CancelledError carrying the context's cause.
+func (st *clusterState) partial() (*ClusterResult, error) {
+	return st.partialResult(), &CancelledError{
+		Engine:          engRunCluster,
+		CompletedReps:   -1,
+		CompletedCuts:   st.nextCut,
+		CompletedRounds: -1,
+		CompletedTicks:  st.ticksDone,
+		Cause:           st.cc.err(),
+	}
+}
+
+// partialSelfCancel is the CancelAfterTicks exit: same deterministic
+// prefix, nil Cause.
+func (st *clusterState) partialSelfCancel() (*ClusterResult, error) {
+	return st.partialResult(), &CancelledError{
+		Engine:          engRunCluster,
+		CompletedReps:   -1,
+		CompletedCuts:   st.nextCut,
+		CompletedRounds: -1,
+		CompletedTicks:  st.ticksDone,
+	}
+}
+
+// final builds the completed-run result: the committed counters plus
+// the final queue-state statistics.
+func (st *clusterState) final() (*ClusterResult, error) {
+	res := st.partialResult()
+	st.arr.Recount()
+	var max float64
+	if st.cfg.HeightLevels > 0 {
+		// Queue-depth distribution through the PR 9 histogram kernel:
+		// one pass yields the exact max queue load and the
+		// queues-at-load>=k counts together.
+		h := st.arr.NewLoadHistogram()
+		if err := st.arr.HistogramInto(h); err != nil {
+			return nil, fmt.Errorf("sim: RunCluster histogram: %w", err)
+		}
+		max = h.MaxLoad()
+		hl := obs.NewHeights(st.cfg.HeightLevels)
+		if err := hl.SnapshotHist(obs.Final, h, st.cQueued); err != nil {
+			return nil, fmt.Errorf("sim: RunCluster heights: %w", err)
+		}
+		res.HeightCounts = hl.Rows()
+	} else {
+		max = st.arr.MaxLoad()
+	}
+	res.MaxQueueLoad = max
+	res.AvgQueueLoad = st.arr.AverageLoad()
+	res.Array = st.arr
+	return res, nil
+}

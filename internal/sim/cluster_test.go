@@ -1,0 +1,514 @@
+// Cluster engine tests: validation, conservation, the golden
+// crash/recover availability trace, the peers×workers×ticks
+// bit-identity matrix (the CI race job runs this package under -race),
+// cancellation-prefix equality and the Dispatch wiring.
+package sim
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/bins"
+	"repro/internal/cluster"
+	"repro/internal/obs"
+)
+
+func clusterArray(t testing.TB, caps ...int64) *bins.Array {
+	t.Helper()
+	a, err := bins.New(caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// clusterTrace flattens a ClusterResult into a comparable value: every
+// counter, the availability trace, the latency buckets, the trajectory
+// rows and the final queue vector.
+type clusterTrace struct {
+	Res     ClusterResult
+	LatBkts []int64
+	Rows    []obs.CheckpointRow
+	Queues  []int64
+}
+
+func traceOf(res *ClusterResult) clusterTrace {
+	tr := clusterTrace{Res: *res, LatBkts: res.Latency.Buckets(), Rows: res.Checkpoints}
+	tr.Res.Latency = nil
+	tr.Res.Checkpoints = nil
+	tr.Res.Array = nil
+	tr.Res.HeightCounts = nil
+	if res.Array != nil {
+		tr.Queues = make([]int64, res.Array.N())
+		for i := range tr.Queues {
+			tr.Queues[i] = res.Array.Balls(i)
+		}
+	}
+	return tr
+}
+
+// stressPlan is the test-wide churn/retry/shedding configuration that
+// exercises every degraded-mode path at once.
+func stressPlan() (cluster.ChurnPlan, cluster.RetryPolicy) {
+	churn := cluster.ChurnPlan{
+		Schedule: []cluster.ChurnEvent{
+			{Tick: 2, Peer: 0, Down: true},
+			{Tick: 3, Peer: 5, Down: true},
+			{Tick: 6, Peer: 0, Down: false},
+		},
+		CrashProb:   0.05,
+		RecoverProb: 0.3,
+	}
+	retry := cluster.RetryPolicy{TimeoutTicks: 3, MaxRetries: 2, BackoffBase: 1}
+	return churn, retry
+}
+
+// TestClusterValidation: every bad field fails by name before any work
+// starts.
+func TestClusterValidation(t *testing.T) {
+	a := clusterArray(t, 2, 3, 4)
+	base := func() ClusterConfig { return ClusterConfig{Array: a, Ticks: 4, Arrivals: 5} }
+	cases := []struct {
+		name string
+		mut  func(*ClusterConfig)
+		want string
+	}{
+		{"nil array", func(c *ClusterConfig) { c.Array = nil }, "needs an Array"},
+		{"zero ticks", func(c *ClusterConfig) { c.Ticks = 0 }, "Ticks"},
+		{"negative arrivals", func(c *ClusterConfig) { c.Arrivals = -1 }, "Arrivals"},
+		{"negative vnodes", func(c *ClusterConfig) { c.VnodesPerUnit = -1 }, "VnodesPerUnit"},
+		{"negative shed", func(c *ClusterConfig) { c.ShedThreshold = -0.5 }, "ShedThreshold"},
+		{"negative latency max", func(c *ClusterConfig) { c.LatencyMax = -1 }, "LatencyMax"},
+		{"negative workers", func(c *ClusterConfig) { c.Workers = -1 }, "Workers"},
+		{"negative cancel", func(c *ClusterConfig) { c.CancelAfterTicks = -1 }, "CancelAfterTicks"},
+		{"bad crash prob", func(c *ClusterConfig) { c.Churn.CrashProb = 1.5 }, "CrashProb"},
+		{"bad schedule peer", func(c *ClusterConfig) {
+			c.Churn.Schedule = []cluster.ChurnEvent{{Tick: 0, Peer: 9, Down: true}}
+		}, "Peer"},
+		{"unsorted schedule", func(c *ClusterConfig) {
+			c.Churn.Schedule = []cluster.ChurnEvent{{Tick: 3, Peer: 0, Down: true}, {Tick: 1, Peer: 1, Down: true}}
+		}, "out of order"},
+		{"retries without timeout", func(c *ClusterConfig) { c.Retry.MaxRetries = 2 }, "MaxRetries"},
+		{"height bins", func(c *ClusterConfig) { c.HeightBins = 4 }, "cluster engine"},
+		{"shards out of range", func(c *ClusterConfig) { c.Shards = 7 }, "Shards"},
+		{"bad checkpoints", func(c *ClusterConfig) { c.Checkpoints = []int64{3, 2} }, "cuts"},
+	}
+	for _, tc := range cases {
+		cfg := base()
+		tc.mut(&cfg)
+		_, err := runCluster(cfg)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestClusterQuietConservation: no churn, no timeouts, no shedding —
+// the engine is a plain batched queueing loop and every request is
+// accounted for: admitted = completed + queued, full availability,
+// goodput equals the latency histogram mass.
+func TestClusterQuietConservation(t *testing.T) {
+	a := clusterArray(t, 1, 2, 3, 4, 5, 6, 7, 8)
+	res, err := runCluster(ClusterConfig{Array: a, Ticks: 12, Arrivals: 30, Seed: 7, Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Arrived != 12*30 || res.Shed != 0 || res.Admitted != res.Arrived {
+		t.Fatalf("arrived/shed/admitted = %d/%d/%d", res.Arrived, res.Shed, res.Admitted)
+	}
+	if res.Admitted != res.Completed+res.FinalQueued {
+		t.Fatalf("conservation: admitted %d != completed %d + queued %d", res.Admitted, res.Completed, res.FinalQueued)
+	}
+	if res.TimedOut != 0 || res.Retried != 0 || res.Failed != 0 || res.Redistributed != 0 {
+		t.Fatalf("degraded-mode counters nonzero on a quiet run: %+v", res)
+	}
+	if res.Availability != 1 || res.Crashes != 0 || res.Recoveries != 0 {
+		t.Fatalf("availability %v crashes %d recoveries %d, want 1/0/0", res.Availability, res.Crashes, res.Recoveries)
+	}
+	if res.Latency.Count() != res.Completed {
+		t.Fatalf("latency mass %d != completed %d", res.Latency.Count(), res.Completed)
+	}
+	var queued int64
+	for i := 0; i < res.Array.N(); i++ {
+		queued += res.Array.Balls(i)
+	}
+	if queued != res.FinalQueued {
+		t.Fatalf("array holds %d queued, result says %d", queued, res.FinalQueued)
+	}
+}
+
+// TestClusterStressConservation: with crashes, recoveries, retries and
+// shedding all active, the two conservation identities still hold
+// exactly.
+func TestClusterStressConservation(t *testing.T) {
+	churn, retry := stressPlan()
+	a := clusterArray(t, 4, 1, 6, 2, 8, 3, 5, 7, 2, 4)
+	res, err := runCluster(ClusterConfig{
+		Array: a, Ticks: 40, Arrivals: 25, Seed: 11, Shards: 4,
+		Churn: churn, Retry: retry, ShedThreshold: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Arrived != res.Shed+res.Admitted {
+		t.Fatalf("arrived %d != shed %d + admitted %d", res.Arrived, res.Shed, res.Admitted)
+	}
+	if res.Admitted != res.Completed+res.Failed+res.PendingRetry+res.FinalQueued {
+		t.Fatalf("conservation: admitted %d != completed %d + failed %d + pending %d + queued %d",
+			res.Admitted, res.Completed, res.Failed, res.PendingRetry, res.FinalQueued)
+	}
+	if res.Dispatched != res.Admitted+res.Retried+res.Redistributed {
+		t.Fatalf("dispatched %d != admitted %d + retried %d + redistributed %d",
+			res.Dispatched, res.Admitted, res.Retried, res.Redistributed)
+	}
+	if res.Crashes == 0 || res.Recoveries == 0 || res.TimedOut == 0 || res.Retried == 0 {
+		t.Fatalf("stress plan exercised nothing: %+v", res)
+	}
+	if res.Availability >= 1 || res.Availability <= 0 {
+		t.Fatalf("availability = %v, want in (0,1)", res.Availability)
+	}
+	if res.Latency.Count() != res.Completed {
+		t.Fatalf("latency mass %d != completed %d", res.Latency.Count(), res.Completed)
+	}
+}
+
+// TestClusterBitIdenticalAcrossWorkers: the full degraded-mode
+// trajectory — counters, availability trace, latency buckets,
+// checkpoint rows, final queue vector — is bit-identical across
+// worker counts for every shard count. Workers may only change the
+// wall clock.
+func TestClusterBitIdenticalAcrossWorkers(t *testing.T) {
+	churn, retry := stressPlan()
+	a := clusterArray(t, 4, 1, 6, 2, 8, 3, 5, 7, 2, 4)
+	for _, shards := range []int{1, 3, 8} {
+		var want clusterTrace
+		for wi, workers := range []int{1, 2, 8} {
+			res, err := runCluster(ClusterConfig{
+				Array: a, Ticks: 30, Arrivals: 25, Seed: 5, Shards: shards, Workers: workers,
+				Churn: churn, Retry: retry, ShedThreshold: 3,
+				ObsOptions: ObsOptions{Checkpoints: []int64{5, 10, 20, 30}},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := traceOf(res)
+			if wi == 0 {
+				want = got
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("shards=%d workers=%d diverges from workers=1:\n got %+v\nwant %+v", shards, workers, got, want)
+			}
+		}
+	}
+}
+
+// TestClusterGoldenAvailabilityTrace: a pinned crash/recover schedule
+// yields the exact availability trace — peer 1 down ticks 2..5, peer 3
+// down ticks 4..7 — and the matching crash/recovery counters. Purely
+// scheduled churn, so the trace is readable by hand.
+func TestClusterGoldenAvailabilityTrace(t *testing.T) {
+	a := clusterArray(t, 2, 3, 4, 5)
+	res, err := runCluster(ClusterConfig{
+		Array: a, Ticks: 10, Arrivals: 20, Seed: 3, Shards: 2,
+		Churn: cluster.ChurnPlan{Schedule: []cluster.ChurnEvent{
+			{Tick: 2, Peer: 1, Down: true},
+			{Tick: 4, Peer: 3, Down: true},
+			{Tick: 6, Peer: 1, Down: false},
+			{Tick: 8, Peer: 3, Down: false},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLive := []int{4, 4, 3, 3, 2, 2, 3, 3, 4, 4}
+	if !reflect.DeepEqual(res.LivePerTick, wantLive) {
+		t.Fatalf("LivePerTick = %v, want %v", res.LivePerTick, wantLive)
+	}
+	if res.Crashes != 2 || res.Recoveries != 2 {
+		t.Fatalf("crashes/recoveries = %d/%d, want 2/2", res.Crashes, res.Recoveries)
+	}
+	// 4+4+3+3+2+2+3+3+4+4 = 32 live-peer-ticks over 4 peers × 10 ticks.
+	if want := 32.0 / 40.0; res.Availability != want {
+		t.Fatalf("availability = %v, want %v", res.Availability, want)
+	}
+	if res.Redistributed == 0 {
+		t.Fatal("crashes with resident queues redistributed nothing")
+	}
+	if res.Admitted != res.Completed+res.FinalQueued {
+		t.Fatalf("conservation: admitted %d != completed %d + queued %d", res.Admitted, res.Completed, res.FinalQueued)
+	}
+}
+
+// TestClusterLastPeerNeverDies: a schedule and stochastic process that
+// try to kill everything leave one live peer — availability degrades,
+// the engine never deadlocks.
+func TestClusterLastPeerNeverDies(t *testing.T) {
+	a := clusterArray(t, 2, 2, 2)
+	res, err := runCluster(ClusterConfig{
+		Array: a, Ticks: 8, Arrivals: 4, Seed: 1, Shards: 3,
+		Churn: cluster.ChurnPlan{
+			Schedule: []cluster.ChurnEvent{
+				{Tick: 0, Peer: 0, Down: true},
+				{Tick: 0, Peer: 1, Down: true},
+				{Tick: 0, Peer: 2, Down: true},
+			},
+			CrashProb: 1,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tick, live := range res.LivePerTick {
+		if live < 1 {
+			t.Fatalf("tick %d: %d live peers", tick, live)
+		}
+	}
+	if res.Crashes != 2 {
+		t.Fatalf("crashes = %d, want 2 (third refused)", res.Crashes)
+	}
+}
+
+// TestClusterDeadPeerGetsNothing: a peer that crashes before any
+// arrival keeps an empty queue for the whole run — the ring drops its
+// arcs, the router its weight, redistribution its residents.
+func TestClusterDeadPeerGetsNothing(t *testing.T) {
+	a := clusterArray(t, 3, 3, 3, 3)
+	res, err := runCluster(ClusterConfig{
+		Array: a, Ticks: 10, Arrivals: 20, Seed: 9, Shards: 2,
+		Churn: cluster.ChurnPlan{Schedule: []cluster.ChurnEvent{{Tick: 0, Peer: 2, Down: true}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Array.Balls(2); got != 0 {
+		t.Fatalf("dead peer 2 holds %d queued requests", got)
+	}
+	if res.Redistributed != 0 {
+		t.Fatalf("redistributed %d from a peer that never held anything", res.Redistributed)
+	}
+}
+
+// TestClusterRetryFailureSplit: one server of capacity 1 and a flood
+// of arrivals force timeouts; with MaxRetries = 0 every timeout is a
+// failure, with retries allowed the timed-out mass splits between
+// retried and failed exactly.
+func TestClusterRetryFailureSplit(t *testing.T) {
+	a := clusterArray(t, 1)
+	res, err := runCluster(ClusterConfig{
+		Array: a, Ticks: 10, Arrivals: 5, Seed: 2, Shards: 1,
+		Retry: cluster.RetryPolicy{TimeoutTicks: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TimedOut == 0 {
+		t.Fatal("overload produced no timeouts")
+	}
+	if res.Failed != res.TimedOut || res.Retried != 0 || res.PendingRetry != 0 {
+		t.Fatalf("MaxRetries=0: failed %d / timedOut %d / retried %d / pending %d",
+			res.Failed, res.TimedOut, res.Retried, res.PendingRetry)
+	}
+	res2, err := runCluster(ClusterConfig{
+		Array: a, Ticks: 10, Arrivals: 5, Seed: 2, Shards: 1,
+		Retry: cluster.RetryPolicy{TimeoutTicks: 2, MaxRetries: 3, BackoffBase: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Retried == 0 {
+		t.Fatal("retries enabled but none dispatched")
+	}
+	if res2.Admitted != res2.Completed+res2.Failed+res2.PendingRetry+res2.FinalQueued {
+		t.Fatalf("conservation: %+v", res2)
+	}
+}
+
+// TestClusterShedding: a tight threshold sheds load and the occupancy
+// cap holds at every checkpoint.
+func TestClusterShedding(t *testing.T) {
+	a := clusterArray(t, 2, 2, 2, 2)
+	cuts := []int64{1, 2, 3, 4, 5, 6, 7, 8}
+	res, err := runCluster(ClusterConfig{
+		Array: a, Ticks: 8, Arrivals: 40, Seed: 4, Shards: 2,
+		ShedThreshold: 1.5,
+		ObsOptions:    ObsOptions{Checkpoints: cuts},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shed == 0 {
+		t.Fatal("tight threshold shed nothing")
+	}
+	if res.Arrived != res.Shed+res.Admitted {
+		t.Fatalf("arrived %d != shed %d + admitted %d", res.Arrived, res.Shed, res.Admitted)
+	}
+	// Queue cap: threshold 1.5 × total capacity 8 = 12 requests.
+	for _, row := range res.Checkpoints {
+		if row.Reps() > 0 && row.RealBalls.Mean() > 12 {
+			t.Fatalf("checkpoint occupancy %v exceeds the admission cap", row.RealBalls.Mean())
+		}
+	}
+}
+
+// TestClusterCancelAfterTicksPrefix: stopping after k ticks yields
+// counters, trace, latency and trajectory bit-identical to a run
+// configured with Ticks = k, plus a typed *CancelledError carrying
+// CompletedTicks = k and no Cause.
+func TestClusterCancelAfterTicksPrefix(t *testing.T) {
+	churn, retry := stressPlan()
+	a := clusterArray(t, 4, 1, 6, 2, 8, 3, 5, 7, 2, 4)
+	const k = 9
+	cfg := ClusterConfig{
+		Array: a, Ticks: 30, Arrivals: 25, Seed: 5, Shards: 4, Workers: 4,
+		Churn: churn, Retry: retry, ShedThreshold: 3,
+		ObsOptions: ObsOptions{Checkpoints: []int64{3, 6, 9, 20}},
+	}
+	short := cfg
+	short.Ticks = k
+	want, err := runCluster(short)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cancelledCfg := cfg
+	cancelledCfg.CancelAfterTicks = k
+	got, err := runCluster(cancelledCfg)
+	var cerr *CancelledError
+	if !errors.As(err, &cerr) {
+		t.Fatalf("err = %v, want *CancelledError", err)
+	}
+	if cerr.Engine != engRunCluster || cerr.CompletedTicks != k || cerr.Cause != nil {
+		t.Fatalf("cancel error = %+v, want engine %q, %d ticks, nil cause", cerr, engRunCluster, k)
+	}
+	gt, wt := traceOf(got), traceOf(want)
+	// The completed short run carries final-state fields the partial
+	// cannot (Array, MaxQueueLoad, AvgQueueLoad); blank them before
+	// comparing the committed prefix.
+	wt.Queues = nil
+	wt.Res.MaxQueueLoad, wt.Res.AvgQueueLoad = 0, 0
+	if !reflect.DeepEqual(gt, wt) {
+		t.Fatalf("cancelled prefix diverges from Ticks=%d run:\n got %+v\nwant %+v", k, gt, wt)
+	}
+}
+
+// TestClusterContextCancellation: a pre-fired context stops the run
+// before the first tick with a well-formed empty partial.
+func TestClusterContextCancellation(t *testing.T) {
+	defer leakCheck(t)()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	a := clusterArray(t, 2, 3, 4)
+	res, err := runCluster(ClusterConfig{Array: a, Ticks: 10, Arrivals: 5, Context: ctx})
+	var cerr *CancelledError
+	if !errors.As(err, &cerr) {
+		t.Fatalf("err = %v, want *CancelledError", err)
+	}
+	if cerr.CompletedTicks != 0 || !errors.Is(cerr.Cause, context.Canceled) {
+		t.Fatalf("cancel error = %+v, want 0 ticks and context.Canceled", cerr)
+	}
+	if res == nil || res.Ticks != 0 || res.Admitted != 0 || res.Latency.Count() != 0 {
+		t.Fatalf("partial = %+v, want empty zero-tick prefix", res)
+	}
+}
+
+// TestClusterHeights: HeightLevels reports the final queue-depth
+// distribution through the histogram kernel, consistent with the final
+// array.
+func TestClusterHeights(t *testing.T) {
+	a := clusterArray(t, 1, 2, 3, 4)
+	res, err := runCluster(ClusterConfig{
+		Array: a, Ticks: 6, Arrivals: 20, Seed: 8, Shards: 2,
+		ObsOptions: ObsOptions{HeightLevels: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.HeightCounts) != 4 {
+		t.Fatalf("HeightCounts rows = %d, want 4", len(res.HeightCounts))
+	}
+	var atLeast1 int64
+	for i := 0; i < res.Array.N(); i++ {
+		if float64(res.Array.Balls(i))/float64(res.Array.Capacity(i)) >= 1 {
+			atLeast1++
+		}
+	}
+	if got := res.HeightCounts[0].Bins.Mean(); got != float64(atLeast1) {
+		t.Fatalf("bins at load >= 1: rows say %v, array says %d", got, atLeast1)
+	}
+}
+
+// TestClusterDispatch: the RunSpec wiring — engine selection,
+// exclusivity against Stream, field-named unsupported errors, and the
+// result mapping into the classic shape.
+func TestClusterDispatch(t *testing.T) {
+	a := clusterArray(t, 2, 3, 4, 5)
+	params := &ClusterParams{Ticks: 6, ArrivalsPerTick: 8}
+	res, err := Dispatch(RunSpec{Config: Config{Array: a, Seed: 2}, Cluster: params})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Engine != EngineCluster || res.Cluster == nil {
+		t.Fatalf("engine %q, Cluster %v; want cluster engine with full result", res.Engine, res.Cluster)
+	}
+	if res.Cluster.Ticks != 6 || res.Balls.Mean() != float64(res.Cluster.FinalQueued) {
+		t.Fatalf("result mapping: %+v", res.Cluster)
+	}
+
+	if _, err := Dispatch(RunSpec{Config: Config{Array: a}, Engine: EngineCluster}); err == nil || !strings.Contains(err.Error(), "RunSpec.Cluster") {
+		t.Fatalf("engine cluster without params: %v", err)
+	}
+	if _, err := Dispatch(RunSpec{Config: Config{Array: a}, Engine: EngineSharded, Cluster: params}); err == nil || !strings.Contains(err.Error(), "cluster spec") {
+		t.Fatalf("sharded on a cluster spec: %v", err)
+	}
+	if _, err := Dispatch(RunSpec{Config: Config{Array: a}, Cluster: params, Stream: &StreamParams{Rounds: 2}}); err == nil || !strings.Contains(err.Error(), "not both") {
+		t.Fatalf("stream+cluster spec: %v", err)
+	}
+	bad := []struct {
+		mut  func(*RunSpec)
+		want string
+	}{
+		{func(s *RunSpec) { s.Balls = 10 }, "ArrivalsPerTick"},
+		{func(s *RunSpec) { s.Reps = 3 }, "single trajectory"},
+		{func(s *RunSpec) { s.CollectLoadVector = true }, "CollectLoadVector"},
+		{func(s *RunSpec) { s.HeightBins = 2 }, "height histogram"},
+	}
+	for _, tc := range bad {
+		spec := RunSpec{Config: Config{Array: a}, Cluster: params}
+		tc.mut(&spec)
+		if _, err := Dispatch(spec); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("unsupported spec: err = %v, want mention of %q", err, tc.want)
+		}
+	}
+	if _, err := ParseEngine("cluster"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClusterGoldenCounters: one pinned stress spec, every counter
+// pinned. Catches any silent change to the routing, placement, churn
+// or retry sequencing — the cluster analogue of the classic engine's
+// golden tests.
+func TestClusterGoldenCounters(t *testing.T) {
+	churn, retry := stressPlan()
+	a := clusterArray(t, 4, 1, 6, 2, 8, 3, 5, 7, 2, 4)
+	res, err := runCluster(ClusterConfig{
+		Array: a, Ticks: 30, Arrivals: 38, Seed: 5, Shards: 4,
+		Churn: churn, Retry: retry, ShedThreshold: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := [...]int64{res.Arrived, res.Shed, res.Admitted, res.Dispatched, res.Completed,
+		res.TimedOut, res.Retried, res.Failed, res.Redistributed, res.FinalQueued,
+		res.PendingRetry, int64(res.Crashes), int64(res.Recoveries), res.Latency.Count(), res.Latency.Sum()}
+	want := [...]int64{1140, 131, 1009, 1103, 975,
+		30, 27, 0, 67, 31,
+		3, 10, 9, 975, 2083}
+	if got != want {
+		t.Fatalf("golden counters drifted:\n got %v\nwant %v", got, want)
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"fmt"
 
 	"repro/internal/bins"
+	"repro/internal/cluster"
 	"repro/internal/protocol"
 )
 
@@ -62,6 +63,12 @@ const (
 	// engine function is unexported — Dispatch is its only public
 	// entry point — and requires RunSpec.Stream.
 	EngineStream Engine = "stream"
+	// EngineCluster selects the churn-tolerant serving engine
+	// (cluster.go): ticks of batched arrivals over a consistent-hashing
+	// ring of live peers, with crashes, recoveries, timeouts, retries
+	// and shedding. The engine function is unexported — Dispatch is its
+	// only public entry point — and requires RunSpec.Cluster.
+	EngineCluster Engine = "cluster"
 )
 
 // AutoScaleMinBins is the bin count at which EngineAuto switches from
@@ -85,8 +92,10 @@ func ParseEngine(s string) (Engine, error) {
 		return EngineClosedForm, nil
 	case EngineStream:
 		return EngineStream, nil
+	case EngineCluster:
+		return EngineCluster, nil
 	}
-	return "", fmt.Errorf("sim: unknown engine %q (want auto, classic, sharded, closed-form or stream)", s)
+	return "", fmt.Errorf("sim: unknown engine %q (want auto, classic, sharded, closed-form, stream or cluster)", s)
 }
 
 // StreamParams carries the round-structure parameters of a streaming
@@ -111,6 +120,32 @@ type StreamParams struct {
 	CancelAfterRounds int
 }
 
+// ClusterParams carries the serving-model parameters of a cluster run
+// (RunSpec.Cluster). Their presence is what makes a spec a cluster
+// spec: EngineAuto dispatches to the cluster engine iff Cluster is
+// non-nil, and no other engine will silently run such a spec. The
+// spec's Array supplies the peer capacities; arrivals come from
+// ArrivalsPerTick, not Config.Balls.
+type ClusterParams struct {
+	// Ticks is the simulation horizon (>= 1).
+	Ticks int
+	// ArrivalsPerTick is the per-tick request count (>= 0).
+	ArrivalsPerTick int64
+	// VnodesPerUnit is the ring density (ClusterConfig.VnodesPerUnit).
+	VnodesPerUnit int
+	// Churn is the crash/recover plan.
+	Churn cluster.ChurnPlan
+	// Retry is the timeout/retry policy.
+	Retry cluster.RetryPolicy
+	// ShedThreshold arms admission control when > 0.
+	ShedThreshold float64
+	// LatencyMax is the latency histogram's top bucket in ticks (0 = 32).
+	LatencyMax int
+	// CancelAfterTicks deterministically stops the run after that many
+	// ticks when positive (see ClusterConfig.CancelAfterTicks).
+	CancelAfterTicks int
+}
+
 // RunSpec is the engine-independent description of one experiment: the
 // classic Config (array, distribution, protocol, balls, reps, seed,
 // workers, observables) plus an engine hint and the sharded engine's
@@ -129,6 +164,11 @@ type RunSpec struct {
 	// engine rejects the spec — round structure is never silently
 	// dropped.
 	Stream *StreamParams
+	// Cluster carries the serving engine's churn/retry/shedding
+	// parameters. Setting it makes the spec a cluster spec, with the
+	// same exclusivity contract as Stream (and at most one of the two
+	// may be set).
+	Cluster *ClusterParams
 	// AdoptArray lets the engine mutate Config.Array in place instead
 	// of cloning it (streaming engine only; the public wrappers use it
 	// to avoid a transient second O(n) array).
@@ -155,6 +195,8 @@ func Dispatch(spec RunSpec) (*Result, error) {
 		res, err = runShardedSpec(&spec)
 	case EngineStream:
 		res, err = runStreamSpec(&spec)
+	case EngineCluster:
+		res, err = runClusterSpec(&spec)
 	default:
 		return nil, fmt.Errorf("sim: unknown engine %q", engine)
 	}
@@ -168,9 +210,12 @@ func Dispatch(spec RunSpec) (*Result, error) {
 // engines fail loudly when the spec is outside their capability;
 // EngineAuto only ever picks an engine that supports the spec.
 func (spec *RunSpec) resolveEngine() (Engine, error) {
-	// Round parameters bind the spec to the streaming engine: any
-	// other explicit engine would silently drop the round structure,
-	// so it errors instead.
+	// Round parameters bind the spec to the streaming engine, serving
+	// parameters to the cluster engine: any other explicit engine would
+	// silently drop that structure, so it errors instead.
+	if spec.Stream != nil && spec.Cluster != nil {
+		return "", fmt.Errorf("sim: Stream and Cluster both set: a spec is streaming or serving, not both")
+	}
 	if spec.Stream != nil {
 		switch spec.Engine {
 		case "", EngineAuto, EngineStream:
@@ -178,10 +223,22 @@ func (spec *RunSpec) resolveEngine() (Engine, error) {
 				return "", err
 			}
 			return EngineStream, nil
-		case EngineClassic, EngineSharded, EngineClosedForm:
+		case EngineClassic, EngineSharded, EngineClosedForm, EngineCluster:
 			return "", fmt.Errorf("sim: engine %q cannot run a streaming spec (Stream is set; use engine stream or auto)", spec.Engine)
 		}
-		return "", fmt.Errorf("sim: unknown engine %q (want auto, classic, sharded, closed-form or stream)", spec.Engine)
+		return "", fmt.Errorf("sim: unknown engine %q (want auto, classic, sharded, closed-form, stream or cluster)", spec.Engine)
+	}
+	if spec.Cluster != nil {
+		switch spec.Engine {
+		case "", EngineAuto, EngineCluster:
+			if err := clusterUnsupported(spec); err != nil {
+				return "", err
+			}
+			return EngineCluster, nil
+		case EngineClassic, EngineSharded, EngineClosedForm, EngineStream:
+			return "", fmt.Errorf("sim: engine %q cannot run a cluster spec (Cluster is set; use engine cluster or auto)", spec.Engine)
+		}
+		return "", fmt.Errorf("sim: unknown engine %q (want auto, classic, sharded, closed-form, stream or cluster)", spec.Engine)
 	}
 	switch spec.Engine {
 	case EngineClassic:
@@ -198,6 +255,8 @@ func (spec *RunSpec) resolveEngine() (Engine, error) {
 		return EngineSharded, nil
 	case EngineStream:
 		return "", fmt.Errorf("sim: engine stream needs round parameters (RunSpec.Stream is nil)")
+	case EngineCluster:
+		return "", fmt.Errorf("sim: engine cluster needs serving parameters (RunSpec.Cluster is nil)")
 	case "", EngineAuto:
 		// Auto: below the scale threshold stay classic (bit-compatible
 		// with the seed harness); at scale prefer closed-form (exact
@@ -214,7 +273,7 @@ func (spec *RunSpec) resolveEngine() (Engine, error) {
 		}
 		return EngineClassic, nil
 	}
-	return "", fmt.Errorf("sim: unknown engine %q (want auto, classic, sharded, closed-form or stream)", spec.Engine)
+	return "", fmt.Errorf("sim: unknown engine %q (want auto, classic, sharded, closed-form, stream or cluster)", spec.Engine)
 }
 
 // streamUnsupported reports, by field name, why the streaming engine
@@ -238,6 +297,36 @@ func streamUnsupported(spec *RunSpec) error {
 		return fmt.Errorf("sim: streaming engine does not collect ClassMaxLoads")
 	case c.HeightBins > 0:
 		return fmt.Errorf("sim: streaming engine does not collect the per-ball height histogram")
+	}
+	return nil
+}
+
+// clusterUnsupported reports, by field name, why the cluster engine
+// cannot run the spec (nil when it can). Like the streaming engine it
+// runs a single trajectory over a fixed array; dispatch probabilities
+// come from the ring's live arcs, never from Config.Dist; arrivals
+// come from ClusterParams.ArrivalsPerTick, never from Config.Balls.
+func clusterUnsupported(spec *RunSpec) error {
+	c := &spec.Config
+	switch {
+	case c.ArrayFn != nil:
+		return fmt.Errorf("sim: cluster engine needs a fixed Array (ArrayFn builds per-repetition arrays)")
+	case c.Dist != nil:
+		return fmt.Errorf("sim: cluster engine derives dispatch weights from the ring's live arcs (Dist is not configurable)")
+	case c.Balls != 0 || c.BallsFactor != 0:
+		return fmt.Errorf("sim: cluster engine takes arrivals from Cluster.ArrivalsPerTick, not Balls/BallsFactor")
+	case c.Reps > 1:
+		return fmt.Errorf("sim: Reps = %d: the cluster engine runs a single trajectory", c.Reps)
+	case c.CollectLoadVector:
+		return fmt.Errorf("sim: cluster engine does not collect the sorted load vector (CollectLoadVector)")
+	case len(c.TrackClasses) > 0:
+		return fmt.Errorf("sim: cluster engine does not collect TrackClasses")
+	case len(c.ClassLoadVectors) > 0:
+		return fmt.Errorf("sim: cluster engine does not collect ClassLoadVectors")
+	case len(c.ClassMaxLoads) > 0:
+		return fmt.Errorf("sim: cluster engine does not collect ClassMaxLoads")
+	case c.HeightBins > 0:
+		return fmt.Errorf("sim: cluster engine does not collect the per-ball height histogram")
 	}
 	return nil
 }
@@ -408,4 +497,53 @@ func runStreamSpec(spec *RunSpec) (*Result, error) {
 		res.TotalCapacity.AddN(float64(spec.Array.TotalCapacity()), 1)
 	}
 	return res, serr
+}
+
+// runClusterSpec maps the spec onto the cluster engine and its result
+// back onto the classic Result shape: the final queue-state statistics
+// become single-observation aggregates, the tick-indexed trajectory
+// rows flow through Checkpoints, and the full serving result rides
+// along in Result.Cluster. A cancelled run converts the deterministic
+// completed-tick partial and passes the *CancelledError through
+// untouched.
+func runClusterSpec(spec *RunSpec) (*Result, error) {
+	p := spec.Cluster
+	ccfg := ClusterConfig{
+		Array:            spec.Array,
+		Placer:           spec.Placer,
+		Ticks:            p.Ticks,
+		Arrivals:         p.ArrivalsPerTick,
+		VnodesPerUnit:    p.VnodesPerUnit,
+		Churn:            p.Churn,
+		Retry:            p.Retry,
+		ShedThreshold:    p.ShedThreshold,
+		LatencyMax:       p.LatencyMax,
+		Seed:             spec.Seed,
+		Shards:           spec.Shards,
+		Workers:          spec.Workers,
+		Context:          spec.Context,
+		AdoptArray:       spec.AdoptArray,
+		CancelAfterTicks: p.CancelAfterTicks,
+		ObsOptions:       spec.ObsOptions,
+	}
+	cres, cerr := runCluster(ccfg)
+	if cres == nil {
+		return nil, cerr
+	}
+	res := &Result{
+		N:            cres.N,
+		Checkpoints:  cres.Checkpoints,
+		HeightCounts: cres.HeightCounts,
+		Cluster:      cres,
+	}
+	if cres.Array != nil {
+		// Completed run: the final queue state is one observation of
+		// each whole-array statistic. A cancelled partial has no final
+		// state, so its accumulators stay empty.
+		res.MaxLoad.AddN(cres.MaxQueueLoad, 1)
+		res.AvgLoad.AddN(cres.AvgQueueLoad, 1)
+		res.Balls.AddN(float64(cres.FinalQueued), 1)
+		res.TotalCapacity.AddN(float64(spec.Array.TotalCapacity()), 1)
+	}
+	return res, cerr
 }

@@ -42,6 +42,7 @@ const (
 	engRunLargeMC = "RunLargeMonte"
 	engRunClosed  = "RunClosed"
 	engRunStream  = "RunStream"
+	engRunCluster = "RunCluster"
 )
 
 // ErrCancelled is the sentinel every cancellation error matches:
@@ -75,6 +76,12 @@ type CancelledError struct {
 	// bit-identical to a run configured with Rounds = CompletedRounds.
 	// -1 for the other engines.
 	CompletedRounds int
+	// CompletedTicks is the completed-tick prefix of a cancelled
+	// cluster run: the partial's counters, availability trace and
+	// trajectory cover ticks [0, CompletedTicks) and are bit-identical
+	// to a run configured with Ticks = CompletedTicks. -1 for the other
+	// engines.
+	CompletedTicks int
 	// Checkpoint is the serializable resume state of a cancelled
 	// RunLargeMonte run (nil for the other engines): feeding it back
 	// through LargeMonteConfig.Resume continues the run and produces
@@ -88,6 +95,8 @@ type CancelledError struct {
 // Error implements error.
 func (e *CancelledError) Error() string {
 	switch {
+	case e.CompletedTicks >= 0:
+		return fmt.Sprintf("sim: %s cancelled after %d completed ticks", e.Engine, e.CompletedTicks)
 	case e.CompletedRounds >= 0:
 		return fmt.Sprintf("sim: %s cancelled after %d completed rounds", e.Engine, e.CompletedRounds)
 	case e.CompletedReps >= 0:

@@ -853,6 +853,7 @@ func RunLargeMonte(cfg LargeMonteConfig) (*LargeMonteResult, error) {
 			CompletedReps:   completed,
 			CompletedCuts:   -1,
 			CompletedRounds: -1,
+			CompletedTicks:  -1,
 			Checkpoint:      captureMonteCheckpoint(fp, completed, res, agg),
 			Cause:           cc.err(),
 		}

@@ -140,6 +140,10 @@ type Result struct {
 	// ran a streaming spec): round counters, final shard occupancies
 	// and the round-indexed trajectory.
 	Stream *StreamResult
+	// Cluster is the full cluster-engine result (only when Dispatch ran
+	// a cluster spec): request/churn accounting, the availability
+	// trace, the latency histogram and the tick-indexed trajectory.
+	Cluster *ClusterResult
 }
 
 type chunkPartial struct {
@@ -275,7 +279,7 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	if completed < cfg.Reps {
-		return res, &CancelledError{Engine: engRun, CompletedReps: completed, CompletedCuts: -1, CompletedRounds: -1, Cause: cc.err()}
+		return res, &CancelledError{Engine: engRun, CompletedReps: completed, CompletedCuts: -1, CompletedRounds: -1, CompletedTicks: -1, Cause: cc.err()}
 	}
 	return res, nil
 }

@@ -923,6 +923,7 @@ func (st *streamState) partial() (*StreamResult, error) {
 		CompletedReps:   -1,
 		CompletedCuts:   st.nextCut,
 		CompletedRounds: st.rounds,
+		CompletedTicks:  -1,
 		Cause:           st.cc.err(),
 	}
 }
@@ -935,6 +936,7 @@ func (st *streamState) partialSelfCancel() (*StreamResult, error) {
 		CompletedReps:   -1,
 		CompletedCuts:   st.nextCut,
 		CompletedRounds: st.rounds,
+		CompletedTicks:  -1,
 	}
 }
 

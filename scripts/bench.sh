@@ -45,7 +45,7 @@ TOPO="{\"goos\": \"${GOOS_V}\", \"goarch\": \"${GOARCH_V}\", \"num_cpu\": ${NUM_
 # suite (BenchmarkObsSnapshot*, scan-vs-histogram at n=10⁶/64 shards)
 # in internal/obs, so the suite spans three packages; the awk emitter
 # below keys on benchmark lines only and is package-agnostic.
-go test -run '^$' -bench 'BenchmarkPlace|BenchmarkSimulateSmall|BenchmarkSimulateLargeCheckpoints|BenchmarkRunLargeSharded|BenchmarkRunLargeMonte|BenchmarkRunStream|BenchmarkRouteBalls|BenchmarkObsSnapshot' \
+go test -run '^$' -bench 'BenchmarkPlace|BenchmarkSimulateSmall|BenchmarkSimulateLargeCheckpoints|BenchmarkRunLargeSharded|BenchmarkRunLargeMonte|BenchmarkRunStream|BenchmarkClusterTick|BenchmarkRouteBalls|BenchmarkObsSnapshot' \
 	-benchmem -benchtime "$BENCHTIME" -count 1 . ./internal/sim ./internal/obs | tee "$RAW"
 
 awk -v topo="$TOPO" '

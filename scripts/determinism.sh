@@ -135,4 +135,52 @@ if ! diff -u "$TMP/splain.txt" "$TMP/sobs_stripped.txt"; then
 fi
 echo "ok    checkpoints never move a draw (streaming run)"
 
-echo "all bnbsim outputs byte-identical across worker counts"
+# Serving runs: the churn-tolerant cluster engine must print
+# byte-identical reports across worker counts with every failure-mode
+# feature armed at once — scheduled AND stochastic churn (ring
+# re-sharding, queue redistribution), timeouts with retries and
+# backoff, admission-control shedding — at each shard count. bnbcluster
+# prints no wall-clock fields, so the -json report diffs directly.
+BNBCLUSTER="$TMP/bnbcluster"
+go build -o "$BNBCLUSTER" ./cmd/bnbcluster
+crun() {
+	out="$1"
+	shift
+	"$BNBCLUSTER" "$@" > "$out"
+}
+ccheck() {
+	desc="$1"
+	shift
+	crun "$TMP/cw1.txt" "$@" -workers 1
+	crun "$TMP/cw4.txt" "$@" -workers 4
+	if ! diff -u "$TMP/cw1.txt" "$TMP/cw4.txt"; then
+		echo "DETERMINISM VIOLATION: $desc differs between -workers 1 and -workers 4" >&2
+		exit 1
+	fi
+	echo "ok    $desc"
+}
+CLUSTER="-spec 800x1+200x10 -arrivals 2000 -ticks 200 -seed $SEED -json \
+	-churn down@20:801,up@90:801 -crash-prob 0.003 -recover-prob 0.1 \
+	-timeout 6 -retries 2 -backoff 2 -shed 2.5"
+for shards in 1 4; do
+	ccheck "serving run (churn+retry+shed, shards=$shards)" $CLUSTER -shards "$shards"
+done
+# Cancellation is part of the contract too: the completed-tick prefix
+# of a cancelled run must be worker-independent, and must equal the
+# counters of a run whose horizon IS the cancellation point.
+ccheck "serving run (cancelled at tick 120)" $CLUSTER -shards 4 -cancel-after-ticks 120
+crun "$TMP/cprefix.txt" $CLUSTER -shards 4 -cancel-after-ticks 120 -workers 4
+crun "$TMP/cshort.txt" -spec 800x1+200x10 -arrivals 2000 -ticks 120 -seed "$SEED" -json \
+	-churn down@20:801,up@90:801 -crash-prob 0.003 -recover-prob 0.1 \
+	-timeout 6 -retries 2 -backoff 2 -shed 2.5 -shards 4 -workers 4
+# The cancelled report differs only in its "cancelled": true marker and
+# the final-state queue-load lines (undefined on a partial).
+grep -v '"cancelled"\|"max_queue_load"\|"avg_queue_load"' "$TMP/cprefix.txt" > "$TMP/cprefix_cmp.txt"
+grep -v '"cancelled"\|"max_queue_load"\|"avg_queue_load"' "$TMP/cshort.txt" > "$TMP/cshort_cmp.txt"
+if ! diff -u "$TMP/cshort_cmp.txt" "$TMP/cprefix_cmp.txt"; then
+	echo "DETERMINISM VIOLATION: serving run cancelled at tick 120 differs from a ticks=120 run" >&2
+	exit 1
+fi
+echo "ok    serving run cancelled at tick 120 == ticks=120 run"
+
+echo "all bnbsim and bnbcluster outputs byte-identical across worker counts"
